@@ -1,0 +1,51 @@
+//! **Ablation** — batched vs one-by-one SHARE commands (§3.2).
+//!
+//! The paper batches LPN pairs into one command to amortize the ioctl
+//! round trip *and* the mapping-log writes ("this batch can reduce the
+//! number of potential flash writes to persist the updated mapping").
+//! This sweep remaps the same number of pages with different batch sizes.
+
+use share_bench::{f, print_table};
+use share_core::{BlockDevice, Ftl, FtlConfig, Lpn, SharePair};
+
+fn main() {
+    let pages: u64 = 8_192;
+    let mut rows = Vec::new();
+    for batch in [1usize, 8, 64, 254] {
+        let cfg = FtlConfig::for_capacity(256 << 20, 0.2);
+        let mut dev = Ftl::new(cfg);
+        // Source region: freshly written pages (the journal copies).
+        let img = vec![0xAAu8; dev.page_size()];
+        for i in 0..pages {
+            dev.write(Lpn(40_000 + i), &img).expect("write");
+        }
+        dev.flush().expect("flush");
+        let s0 = dev.stats();
+        let t0 = dev.clock().now_ns();
+        let mut done = 0u64;
+        while done < pages {
+            let n = (pages - done).min(batch as u64);
+            let pairs: Vec<SharePair> = (0..n)
+                .map(|i| SharePair::new(Lpn(done + i), Lpn(40_000 + done + i)))
+                .collect();
+            dev.share(&pairs).expect("share");
+            done += n;
+        }
+        let dt = dev.clock().now_ns() - t0;
+        let d = dev.stats().delta_since(&s0);
+        rows.push(vec![
+            batch.to_string(),
+            d.share_commands.to_string(),
+            d.meta_page_writes.to_string(),
+            f(dt as f64 / 1e6, 2),
+            f(dt as f64 / pages as f64 / 1e3, 2),
+        ]);
+    }
+    print_table(
+        &format!("Ablation: SHARE batch size (remapping {pages} pages)"),
+        &["batch", "commands", "meta page writes", "total ms", "us/page"],
+        &rows,
+    );
+    println!("\nExpectation: batching divides both the command count and the mapping-log");
+    println!("page programs by the batch size — the paper's motivation for batch SHARE.");
+}

@@ -1,0 +1,46 @@
+//! **Ablation** — delta-log flush policy (§4.2.2).
+//!
+//! The FTL persists mapping deltas in page-sized groups; a host that
+//! fsyncs after every write forces a (mostly empty) delta page per
+//! command, while group commit amortizes ~254 deltas per page. This sweep
+//! quantifies the meta-write overhead of the flush cadence.
+
+use share_bench::{f, print_table};
+use share_core::{BlockDevice, Ftl, FtlConfig, Lpn};
+
+fn main() {
+    let writes: u64 = 20_000;
+    let logical_pages = 16_384u64;
+    let mut rows = Vec::new();
+    for flush_every in [1u64, 8, 64, 254, u64::MAX] {
+        let cfg = FtlConfig::for_capacity(128 << 20, 0.2);
+        let mut dev = Ftl::new(cfg);
+        let img = vec![0x55u8; dev.page_size()];
+        let t0 = dev.clock().now_ns();
+        for i in 0..writes {
+            dev.write(Lpn((i * 7919) % logical_pages), &img).expect("write");
+            if flush_every != u64::MAX && i % flush_every == flush_every - 1 {
+                dev.flush().expect("flush");
+            }
+        }
+        dev.flush().expect("final flush");
+        let dt = dev.clock().now_ns() - t0;
+        let s = dev.stats();
+        let label = if flush_every == u64::MAX { "buffer-full only".into() } else { format!("every {flush_every}") };
+        rows.push(vec![
+            label,
+            s.meta_page_writes.to_string(),
+            f(s.meta_page_writes as f64 / writes as f64, 3),
+            f(s.waf(), 3),
+            s.checkpoints.to_string(),
+            f(dt as f64 / 1e9, 2),
+        ]);
+    }
+    print_table(
+        &format!("Ablation: delta-log flush cadence ({writes} random page writes)"),
+        &["fsync cadence", "meta pages", "meta/write", "WAF", "checkpoints", "sim s"],
+        &rows,
+    );
+    println!("\nExpectation: per-write fsync costs ~1 extra meta program per write (WAF ~2);");
+    println!("group commit pushes the mapping-persistence overhead toward 1/254 per write.");
+}

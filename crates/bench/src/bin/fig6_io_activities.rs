@@ -1,0 +1,68 @@
+//! **Figure 6** — I/O activities inside the SSD while running LinkBench.
+//!
+//! (a) page writes requested by the host, (b) garbage-collection events,
+//! (c) pages copied back by GC — DWB-On vs SHARE, per buffer size.
+//! Paper's shape: SHARE cuts host writes ~45 %, GC events ~55 %, and
+//! copyback pages ~75 %.
+
+use mini_innodb::FlushMode;
+use share_bench::{f, print_table, run_linkbench, scaled, LinkBenchRun};
+
+fn main() {
+    let base = LinkBenchRun {
+        nodes: scaled(20_000, 2_000),
+        warmup_txns: scaled(40_000, 500),
+        txns: scaled(20_000, 1_000),
+        ..Default::default()
+    };
+
+    let mut rows = Vec::new();
+    for (label, fraction) in [("50MB*", 1.0 / 30.0), ("100MB*", 1.0 / 15.0), ("150MB*", 1.0 / 10.0)] {
+        let dwb = run_linkbench(&LinkBenchRun {
+            mode: FlushMode::DwbOn,
+            pool_fraction: fraction,
+            ..base.clone()
+        });
+        let share = run_linkbench(&LinkBenchRun {
+            mode: FlushMode::Share,
+            pool_fraction: fraction,
+            ..base.clone()
+        });
+        let red = |a: u64, b: u64| -> String {
+            if a == 0 {
+                "-".into()
+            } else {
+                format!("-{}%", f((1.0 - b as f64 / a as f64) * 100.0, 0))
+            }
+        };
+        rows.push(vec![
+            label.to_string(),
+            dwb.device.host_writes.to_string(),
+            share.device.host_writes.to_string(),
+            red(dwb.device.host_writes, share.device.host_writes),
+            dwb.device.gc_events.to_string(),
+            share.device.gc_events.to_string(),
+            red(dwb.device.gc_events, share.device.gc_events),
+            dwb.device.copyback_pages.to_string(),
+            share.device.copyback_pages.to_string(),
+            red(dwb.device.copyback_pages, share.device.copyback_pages),
+        ]);
+    }
+    print_table(
+        "Figure 6: IO activities inside the SSD (LinkBench, 4 KB pages)",
+        &[
+            "buffer",
+            "writes DWB",
+            "writes SHARE",
+            "Δw",
+            "GC DWB",
+            "GC SHARE",
+            "Δgc",
+            "copyback DWB",
+            "copyback SHARE",
+            "Δcb",
+        ],
+        &rows,
+    );
+    println!("\nPaper shape: host writes -45%, GC events -55%, copyback pages -75%.");
+}

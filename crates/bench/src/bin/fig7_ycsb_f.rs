@@ -1,0 +1,50 @@
+//! **Figure 7** — YCSB workload-F on Couchbase: (a) throughput and
+//! (b) written data vs batch size, original vs SHARE.
+//!
+//! Paper's shape: SHARE wins 3.45x at batch 1 shrinking to 1.96x at 256;
+//! written-data gap narrows from 7.86x to 1.64x while the SHARE line stays
+//! flat (no wandering tree).
+
+use mini_couch::CouchMode;
+use share_bench::{f, mb, print_table, run_ycsb, scaled, YcsbRun};
+use share_workloads::YcsbWorkload;
+
+fn main() {
+    let records = scaled(10_000, 1_000);
+    let ops = scaled(10_000, 1_000);
+    let mut rows = Vec::new();
+    for batch in [1usize, 4, 16, 64, 256] {
+        let orig = run_ycsb(&YcsbRun {
+            mode: CouchMode::Original,
+            workload: YcsbWorkload::F,
+            batch_size: batch,
+            records,
+            ops,
+            ..Default::default()
+        });
+        let share = run_ycsb(&YcsbRun {
+            mode: CouchMode::Share,
+            workload: YcsbWorkload::F,
+            batch_size: batch,
+            records,
+            ops,
+            ..Default::default()
+        });
+        rows.push(vec![
+            batch.to_string(),
+            f(orig.ops_per_sec, 0),
+            f(share.ops_per_sec, 0),
+            format!("{}x", f(share.ops_per_sec / orig.ops_per_sec, 2)),
+            mb(orig.written_bytes),
+            mb(share.written_bytes),
+            format!("{}x", f(orig.written_bytes as f64 / share.written_bytes as f64, 2)),
+        ]);
+    }
+    print_table(
+        "Figure 7: YCSB workload-F on Couchbase (ops/s and written MB vs batch size)",
+        &["batch", "Orig OPS", "SHARE OPS", "speedup", "Orig MB", "SHARE MB", "write ratio"],
+        &rows,
+    );
+    println!("\nPaper shape: speedup 3.45x (batch 1) -> 1.96x (batch 256);");
+    println!("write ratio 7.86x -> 1.64x; SHARE written volume ~flat across batches.");
+}

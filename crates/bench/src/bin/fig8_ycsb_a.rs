@@ -1,0 +1,47 @@
+//! **Figure 8** — YCSB workload-A (50 % read / 50 % update) on Couchbase:
+//! throughput vs batch size, original vs SHARE.
+//!
+//! Paper's shape: SHARE wins 2.23x at batch 1 shrinking to 1.61x at 256 —
+//! smaller gains than workload-F because half the ops are reads.
+
+use mini_couch::CouchMode;
+use share_bench::{f, mb, print_table, run_ycsb, scaled, YcsbRun};
+use share_workloads::YcsbWorkload;
+
+fn main() {
+    let records = scaled(10_000, 1_000);
+    let ops = scaled(10_000, 1_000);
+    let mut rows = Vec::new();
+    for batch in [1usize, 4, 16, 64, 256] {
+        let orig = run_ycsb(&YcsbRun {
+            mode: CouchMode::Original,
+            workload: YcsbWorkload::A,
+            batch_size: batch,
+            records,
+            ops,
+            ..Default::default()
+        });
+        let share = run_ycsb(&YcsbRun {
+            mode: CouchMode::Share,
+            workload: YcsbWorkload::A,
+            batch_size: batch,
+            records,
+            ops,
+            ..Default::default()
+        });
+        rows.push(vec![
+            batch.to_string(),
+            f(orig.ops_per_sec, 0),
+            f(share.ops_per_sec, 0),
+            format!("{}x", f(share.ops_per_sec / orig.ops_per_sec, 2)),
+            mb(orig.written_bytes),
+            mb(share.written_bytes),
+        ]);
+    }
+    print_table(
+        "Figure 8: YCSB workload-A on Couchbase (ops/s vs batch size)",
+        &["batch", "Orig OPS", "SHARE OPS", "speedup", "Orig MB", "SHARE MB"],
+        &rows,
+    );
+    println!("\nPaper shape: speedup 2.23x (batch 1) -> 1.61x (batch 256).");
+}

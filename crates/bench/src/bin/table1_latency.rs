@@ -1,0 +1,67 @@
+//! **Table 1** — distribution of LinkBench transaction latency (ms):
+//! mean / P25 / P50 / P75 / P99 / max for the ten transaction types,
+//! DWB-On vs SHARE (50 MB-equivalent buffer, 4 KB pages).
+//!
+//! Paper's shape: SHARE reduces mean latency 2.1–4.2x, P99 2.0–8.3x, max
+//! 1.2–3.4x — and read latencies improve too (reads queue behind writes).
+
+use mini_innodb::FlushMode;
+use share_bench::{f, print_table, run_linkbench, scaled, LinkBenchRun};
+use share_workloads::{LatencySummary, LinkOpType};
+
+fn main() {
+    let base = LinkBenchRun {
+        nodes: scaled(20_000, 2_000),
+        warmup_txns: scaled(40_000, 500),
+        txns: scaled(40_000, 2_000),
+        ..Default::default()
+    };
+    let dwb = run_linkbench(&LinkBenchRun { mode: FlushMode::DwbOn, ..base.clone() });
+    let share = run_linkbench(&LinkBenchRun { mode: FlushMode::Share, ..base.clone() });
+
+    let ms = |ns: u64| f(LatencySummary::ms(ns), 3);
+    for (label, result) in [("DWB-On", &dwb), ("SHARE", &share)] {
+        let mut rows = Vec::new();
+        for op in LinkOpType::ALL {
+            let Some(s) = result.latency.summary(op.name()) else {
+                continue;
+            };
+            rows.push(vec![
+                if op.is_write() { "Write" } else { "Read" }.to_string(),
+                op.name().to_string(),
+                f(s.mean_ns / 1e6, 3),
+                ms(s.p25_ns),
+                ms(s.p50_ns),
+                ms(s.p75_ns),
+                ms(s.p99_ns),
+                ms(s.max_ns),
+            ]);
+        }
+        print_table(
+            &format!("Table 1 ({label}): LinkBench transaction latency (ms)"),
+            &["I/O", "Name", "Mean", "P25", "P50", "P75", "P99", "Max"],
+            &rows,
+        );
+    }
+
+    // Reduction factors, the numbers the paper quotes in the text.
+    let mut rows = Vec::new();
+    for op in LinkOpType::ALL {
+        let (Some(a), Some(b)) = (dwb.latency.summary(op.name()), share.latency.summary(op.name()))
+        else {
+            continue;
+        };
+        let ratio = |x: f64, y: f64| if y > 0.0 { format!("{}x", f(x / y, 2)) } else { "-".into() };
+        rows.push(vec![
+            op.name().to_string(),
+            ratio(a.mean_ns, b.mean_ns),
+            ratio(a.p99_ns as f64, b.p99_ns as f64),
+            ratio(a.max_ns as f64, b.max_ns as f64),
+        ]);
+    }
+    print_table(
+        "Latency reduction, DWB-On / SHARE (paper: mean 2.1-4.2x, P99 2.0-8.3x, max 1.2-3.4x)",
+        &["Name", "mean", "P99", "max"],
+        &rows,
+    );
+}

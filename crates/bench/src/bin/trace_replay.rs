@@ -1,0 +1,75 @@
+//! **Trace replay** — drive the FTL with block-level traces, the way FTL
+//! papers evaluate: WAF, GC behaviour and wear across access patterns.
+//!
+//! Patterns: sequential (FTL heaven), uniform, Zipfian (hot set), and a
+//! 70/30 mixed stream. All at 85 % logical fill so garbage collection
+//! works for a living.
+
+use share_bench::{f, print_table, scaled};
+use share_core::{BlockDevice, Ftl, FtlConfig, Lpn};
+use share_workloads::{AccessPattern, TraceConfig, TraceGen, TraceOp};
+
+fn replay(pattern: AccessPattern, label: &str, ops: u64) -> Vec<String> {
+    let cfg = FtlConfig::for_capacity(64 << 20, 0.12);
+    let mut dev = Ftl::new(cfg);
+    let logical = dev.capacity_pages();
+    let img = vec![0x99u8; dev.page_size()];
+    // Pre-fill 85 % so GC is under pressure from the start.
+    for i in 0..logical * 85 / 100 {
+        dev.write(Lpn(i), &img).unwrap();
+    }
+    dev.flush().unwrap();
+    let s0 = dev.stats();
+    let t0 = dev.clock().now_ns();
+
+    let tcfg = TraceConfig {
+        pattern,
+        logical_pages: logical * 85 / 100,
+        ops,
+        write_fraction: 0.7,
+        trim_every: 0,
+        flush_every: 64,
+        seed: 17,
+    };
+    let mut buf = vec![0u8; dev.page_size()];
+    for op in TraceGen::new(tcfg) {
+        match op {
+            TraceOp::Write { lpn } => dev.write(Lpn(lpn), &img).unwrap(),
+            TraceOp::Read { lpn } => dev.read(Lpn(lpn), &mut buf).unwrap(),
+            TraceOp::Trim { lpn, len } => dev.trim(Lpn(lpn), len).unwrap(),
+            TraceOp::Flush => dev.flush().unwrap(),
+        }
+    }
+    let d = dev.stats().delta_since(&s0);
+    let dt = (dev.clock().now_ns() - t0) as f64 / 1e9;
+    let wear = dev.wear_stats();
+    vec![
+        label.to_string(),
+        d.host_writes.to_string(),
+        f(d.waf(), 3),
+        d.gc_events.to_string(),
+        d.copyback_pages.to_string(),
+        f(dt, 2),
+        format!("{}..{}", wear.min_erases, wear.max_erases),
+    ]
+}
+
+fn main() {
+    let ops = scaled(200_000, 20_000);
+    let rows = vec![
+        replay(AccessPattern::Sequential, "sequential", ops),
+        replay(AccessPattern::Uniform, "uniform", ops),
+        replay(AccessPattern::Zipfian { theta: 0.99 }, "zipfian(.99)", ops),
+        replay(AccessPattern::Mixed { seq_fraction: 0.7 }, "mixed 70/30", ops),
+    ];
+    print_table(
+        &format!("Block-trace replay on the SHARE FTL ({ops} ops, 85% fill, 12% OP)"),
+        &["pattern", "writes", "WAF", "GC events", "copybacks", "sim s", "wear"],
+        &rows,
+    );
+    println!("\nReading: sequential overwrites leave whole-dead blocks (WAF near 1);");
+    println!("random churn pays a heavy copyback tax. Note Zipfian slightly *exceeding*");
+    println!("uniform: with a single write point, hot-head pages share blocks with a");
+    println!("cold tail that gets copied over and over — the classic argument for");
+    println!("hot/cold data separation in FTL design.");
+}

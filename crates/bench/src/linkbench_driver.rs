@@ -1,0 +1,218 @@
+//! LinkBench-over-mini-InnoDB experiment driver (Figures 5–6, Table 1).
+
+use mini_innodb::{standard_log_device, FlushMode, InnoDb, InnoDbConfig};
+use nand_sim::NandTiming;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use share_core::{BlockDevice, DeviceStats, Ftl, FtlConfig, GcPolicy, RevMapPolicy};
+use share_workloads::{LatencyRecorder, LinkBench, LinkBenchConfig, LinkOpType};
+
+/// Parameters of one LinkBench run.
+#[derive(Debug, Clone)]
+pub struct LinkBenchRun {
+    /// InnoDB flush protocol under test.
+    pub mode: FlushMode,
+    /// Engine page size (the paper's 4/8/16 KiB axis).
+    pub page_bytes: usize,
+    /// Buffer pool as a fraction of the database size (the paper's
+    /// 50–150 MB axis, scaled).
+    pub pool_fraction: f64,
+    /// Social-graph nodes to load.
+    pub nodes: u64,
+    /// Links per node at load time.
+    pub links_per_node: u64,
+    /// Warm-up transactions (not measured; also ages the SSD).
+    pub warmup_txns: u64,
+    /// Measured transactions.
+    pub txns: u64,
+    /// Workload seed.
+    pub seed: u64,
+    /// Reverse-map capacity of the device.
+    pub revmap_capacity: usize,
+    /// Reverse-map overflow policy.
+    pub revmap_policy: RevMapPolicy,
+    /// GC victim policy.
+    pub gc_policy: GcPolicy,
+    /// InnoDB neighbor flushing (the paper turned it off).
+    pub flush_neighbors: bool,
+}
+
+impl Default for LinkBenchRun {
+    fn default() -> Self {
+        Self {
+            mode: FlushMode::DwbOn,
+            page_bytes: 4096,
+            pool_fraction: 1.0 / 30.0, // 50 MB of a 1.5 GB database
+            nodes: 20_000,
+            links_per_node: 3,
+            warmup_txns: 40_000,
+            txns: 20_000,
+            seed: 42,
+            revmap_capacity: 500,
+            revmap_policy: RevMapPolicy::default(),
+            gc_policy: GcPolicy::default(),
+            flush_neighbors: false,
+        }
+    }
+}
+
+/// Measured outcome of one run.
+#[derive(Debug)]
+pub struct LinkBenchResult {
+    /// Transactions per simulated second.
+    pub tps: f64,
+    /// Simulated seconds of the measured window.
+    pub elapsed_secs: f64,
+    /// Per-op-type latency samples.
+    pub latency: LatencyRecorder,
+    /// Data-device traffic during the measured window.
+    pub device: DeviceStats,
+    /// Database size in engine pages after load.
+    pub db_pages: u64,
+    /// Buffer-pool size used (engine pages).
+    pub pool_pages: usize,
+    /// Engine counters for the whole run.
+    pub engine: mini_innodb::EngineStats,
+    /// Final wear summary of the data device.
+    pub wear: share_core::WearStats,
+}
+
+fn payload(rng: &mut StdRng, n: usize) -> Vec<u8> {
+    let mut v = vec![0u8; n];
+    rng.fill(v.as_mut_slice());
+    v
+}
+
+/// Build the device + engine, load the graph, run warm-up + measured
+/// transactions. The FTL is sized so the database fills most of the
+/// logical space (aged device: GC stays active, as in the paper's setup).
+pub fn run_linkbench(run: &LinkBenchRun) -> LinkBenchResult {
+    // Rough database size estimate: nodes + links + counts, ~70 % page fill.
+    let rows = run.nodes * (1 + 2 * run.links_per_node);
+    let row_bytes = 130u64;
+    let est_db_bytes = (rows * row_bytes) as f64 / 0.70;
+    let est_db_pages = (est_db_bytes / run.page_bytes as f64).ceil() as u64;
+    let pool_pages = ((est_db_pages as f64 * run.pool_fraction) as usize).max(64);
+
+    // Device: tablespace plus double-write area plus FS overhead; modest
+    // logical headroom keeps GC under pressure (aged device, as in the
+    // paper's setup).
+    let max_pages = (est_db_pages as f64 * 1.25) as u64 + 128;
+    let logical_bytes = max_pages * run.page_bytes as u64
+        + 80 * run.page_bytes as u64 // double-write area + slack
+        + (6 << 20); // file-system metadata + journal
+    let mut fcfg = FtlConfig::for_capacity_with(logical_bytes, 0.18, 4096, 128, NandTiming::default());
+    fcfg.revmap_capacity = run.revmap_capacity;
+    fcfg.revmap_policy = run.revmap_policy;
+    fcfg.gc_policy = run.gc_policy;
+    let dev = Ftl::new(fcfg);
+    let log_dev = standard_log_device(dev.clock().clone());
+
+    let ecfg = InnoDbConfig {
+        mode: run.mode,
+        page_bytes: run.page_bytes,
+        pool_pages,
+        max_pages,
+        flush_batch: 64,
+        ckpt_redo_bytes: 8 << 20,
+        fsync_on_commit: true,
+        cpu_ns_per_op: 5_000,
+        flush_neighbors: run.flush_neighbors,
+    };
+    let mut db = InnoDb::create(dev, log_dev, ecfg).expect("create engine");
+
+    // ---- load phase -----------------------------------------------------
+    let mut rng = StdRng::seed_from_u64(run.seed ^ 0x10ad);
+    for id in 0..run.nodes {
+        db.add_node(id, &payload(&mut rng, 96)).expect("load node");
+        for l in 0..run.links_per_node {
+            let id2 = rng.random_range(0..run.nodes);
+            db.add_link(id, (l % 4) as u32, id2, &payload(&mut rng, 96)).expect("load link");
+        }
+    }
+    db.checkpoint().expect("post-load checkpoint");
+    let db_pages = db.page_count();
+
+    // ---- warm-up / aging --------------------------------------------------
+    let mut lb = LinkBench::new(&LinkBenchConfig {
+        initial_nodes: run.nodes,
+        link_types: 4,
+        payload_mean: 96,
+        seed: run.seed,
+    });
+    let mut latency = LatencyRecorder::new();
+    for _ in 0..run.warmup_txns {
+        apply_op(&mut db, &mut lb, &mut rng, None);
+    }
+
+    // ---- measured window ---------------------------------------------------
+    let clock = db.clock();
+    let stats0 = db.data_device_stats();
+    let t0 = clock.now_ns();
+    for _ in 0..run.txns {
+        apply_op(&mut db, &mut lb, &mut rng, Some(&mut latency));
+    }
+    let elapsed = clock.now_ns() - t0;
+    let device = db.data_device_stats().delta_since(&stats0);
+    let wear = db.fs_mut().device().wear_stats();
+
+    LinkBenchResult {
+        tps: run.txns as f64 / (elapsed as f64 / 1e9),
+        elapsed_secs: elapsed as f64 / 1e9,
+        latency,
+        device,
+        db_pages,
+        pool_pages,
+        engine: db.stats(),
+        wear,
+    }
+}
+
+fn apply_op(
+    db: &mut InnoDb<Ftl>,
+    lb: &mut LinkBench,
+    rng: &mut StdRng,
+    latency: Option<&mut LatencyRecorder>,
+) {
+    let op = lb.next_op();
+    let clock = db.clock();
+    let t0 = clock.now_ns();
+    match op.op {
+        LinkOpType::GetNode => {
+            db.get_node(op.id1).expect("get_node");
+        }
+        LinkOpType::CountLink => {
+            db.count_link(op.id1, op.link_type).expect("count_link");
+        }
+        LinkOpType::MultigetLink => {
+            let id2s: Vec<u64> = (0..4).map(|_| rng.random_range(0..lb.node_count())).collect();
+            db.multiget_link(op.id1, op.link_type, &id2s).expect("multiget_link");
+        }
+        LinkOpType::GetLinkList => {
+            db.get_link_list(op.id1, op.link_type).expect("get_link_list");
+        }
+        LinkOpType::AddNode => {
+            db.add_node(op.id1, &payload(rng, op.payload)).expect("add_node");
+        }
+        LinkOpType::UpdateNode => {
+            db.update_node(op.id1, &payload(rng, op.payload)).expect("update_node");
+        }
+        LinkOpType::DeleteNode => {
+            db.delete_node(op.id1).expect("delete_node");
+        }
+        LinkOpType::AddLink => {
+            db.add_link(op.id1, op.link_type, op.id2, &payload(rng, op.payload))
+                .expect("add_link");
+        }
+        LinkOpType::DeleteLink => {
+            db.delete_link(op.id1, op.link_type, op.id2).expect("delete_link");
+        }
+        LinkOpType::UpdateLink => {
+            db.update_link(op.id1, op.link_type, op.id2, &payload(rng, op.payload))
+                .expect("update_link");
+        }
+    }
+    if let Some(rec) = latency {
+        rec.record(op.op.name(), clock.now_ns() - t0);
+    }
+}

@@ -1,0 +1,77 @@
+//! Fixed-width text tables for experiment output.
+
+/// Print a titled table with right-aligned numeric-ish columns.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i == 0 {
+                s.push_str(&format!("{:<w$}", cell, w = widths[i]));
+            } else {
+                s.push_str(&format!("  {:>w$}", cell, w = widths[i]));
+            }
+        }
+        s
+    };
+    let hdr: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    println!("{}", line(&hdr));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    for row in rows {
+        println!("{}", line(row));
+    }
+}
+
+/// Format a float with `digits` decimals.
+pub fn f(x: f64, digits: usize) -> String {
+    format!("{x:.digits$}")
+}
+
+/// Format bytes as MB with one decimal.
+pub fn mb(bytes: u64) -> String {
+    format!("{:.1}", bytes as f64 / (1024.0 * 1024.0))
+}
+
+/// Experiment scale knob: `SHARE_BENCH_SCALE` (default 1.0) multiplies
+/// record counts / transaction counts so the full suite can be smoke-run.
+pub fn scale_from_env() -> f64 {
+    std::env::var("SHARE_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|s| *s > 0.0)
+        .unwrap_or(1.0)
+}
+
+/// Scale an integer quantity, keeping a sane floor.
+pub fn scaled(base: u64, floor: u64) -> u64 {
+    ((base as f64 * scale_from_env()) as u64).max(floor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f(1.234567, 2), "1.23");
+        assert_eq!(mb(1024 * 1024), "1.0");
+        assert_eq!(scaled(100, 10), 100);
+    }
+
+    #[test]
+    fn print_table_does_not_panic() {
+        print_table(
+            "demo",
+            &["mode", "tps"],
+            &[vec!["a".into(), "1".into()], vec!["bb".into(), "22".into()]],
+        );
+    }
+}

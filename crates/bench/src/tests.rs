@@ -1,0 +1,70 @@
+//! Smoke tests for the experiment drivers at miniature scale, so the
+//! harness itself is covered by `cargo test`.
+
+use crate::{run_compaction, run_linkbench, run_ycsb, LinkBenchRun, YcsbRun};
+use mini_couch::CouchMode;
+use mini_innodb::FlushMode;
+use share_workloads::YcsbWorkload;
+
+fn tiny_linkbench(mode: FlushMode) -> LinkBenchRun {
+    LinkBenchRun { mode, nodes: 1_500, warmup_txns: 200, txns: 800, ..Default::default() }
+}
+
+#[test]
+fn linkbench_driver_produces_coherent_results() {
+    let dwb = run_linkbench(&tiny_linkbench(FlushMode::DwbOn));
+    let share = run_linkbench(&tiny_linkbench(FlushMode::Share));
+    assert!(dwb.tps > 0.0 && share.tps > 0.0);
+    assert!(share.tps > dwb.tps, "SHARE must win even at tiny scale");
+    assert!(share.device.host_writes < dwb.device.host_writes);
+    assert!(share.device.share_commands > 0);
+    assert_eq!(dwb.device.share_commands, 0);
+    assert!(dwb.latency.total_count() >= 800);
+    // Deterministic: same run config, same numbers.
+    let again = run_linkbench(&tiny_linkbench(FlushMode::DwbOn));
+    assert_eq!(again.device.host_writes, dwb.device.host_writes);
+    assert_eq!(again.tps, dwb.tps);
+}
+
+fn tiny_ycsb(mode: CouchMode, workload: YcsbWorkload) -> YcsbRun {
+    YcsbRun { mode, workload, batch_size: 4, records: 600, ops: 600, ..Default::default() }
+}
+
+#[test]
+fn ycsb_driver_produces_coherent_results() {
+    let orig = run_ycsb(&tiny_ycsb(CouchMode::Original, YcsbWorkload::F));
+    let share = run_ycsb(&tiny_ycsb(CouchMode::Share, YcsbWorkload::F));
+    assert!(share.ops_per_sec > orig.ops_per_sec);
+    assert!(share.written_bytes < orig.written_bytes);
+    assert!(share.couch.share_remaps > 0);
+    assert_eq!(orig.couch.share_remaps, 0);
+}
+
+#[test]
+fn ycsb_driver_handles_every_workload() {
+    for workload in [
+        YcsbWorkload::A,
+        YcsbWorkload::B,
+        YcsbWorkload::C,
+        YcsbWorkload::D,
+        YcsbWorkload::E,
+        YcsbWorkload::F,
+    ] {
+        let r = run_ycsb(&tiny_ycsb(CouchMode::Share, workload));
+        assert!(r.ops_per_sec > 0.0, "{workload:?}");
+        if !workload.has_writes() {
+            assert_eq!(r.couch.share_remaps, 0);
+        }
+    }
+}
+
+#[test]
+fn compaction_driver_is_zero_copy_in_share_mode() {
+    let orig = run_compaction(CouchMode::Original, 400, 2);
+    let share = run_compaction(CouchMode::Share, 400, 2);
+    assert!(!orig.zero_copy);
+    assert!(share.zero_copy);
+    assert_eq!(orig.docs_moved, 400);
+    assert_eq!(share.docs_moved, 400);
+    assert!(share.bytes_written < orig.bytes_written / 2);
+}

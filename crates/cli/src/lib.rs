@@ -1,0 +1,258 @@
+//! # sharectl — a command-line tool for SHARE device images
+//!
+//! Persists the simulated SSD to a `.nand` image file (plus a small `.cfg`
+//! sidecar), so the device survives between invocations:
+//!
+//! ```text
+//! sharectl create disk.nand 64        # a 64 MiB SHARE device
+//! sharectl write  disk.nand 0 --byte aa
+//! sharectl share  disk.nand 100 0     # remap LPN 100 onto LPN 0's page
+//! sharectl read   disk.nand 100
+//! sharectl replay disk.nand trace.txt # run a block trace (W/R/T/F lines)
+//! sharectl info   disk.nand
+//! ```
+//!
+//! All logic lives in [`run`], which returns the output text — `main` is a
+//! thin wrapper, so the whole tool is unit-testable.
+
+use share_core::{BlockDevice, Ftl, FtlConfig, Lpn, SharePair};
+use share_workloads::{parse_trace, TraceOp};
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// Tool errors (argument problems, I/O, device failures).
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError(format!("io: {e}"))
+    }
+}
+
+impl From<share_core::FtlError> for CliError {
+    fn from(e: share_core::FtlError) -> Self {
+        CliError(format!("device: {e}"))
+    }
+}
+
+type Result<T> = std::result::Result<T, CliError>;
+
+fn usage() -> String {
+    "sharectl — SHARE device images\n\
+     usage:\n\
+     \x20 sharectl create <img> <size-mb> [op-percent]\n\
+     \x20 sharectl info   <img>\n\
+     \x20 sharectl write  <img> <lpn> [--byte XX] [--count N]\n\
+     \x20 sharectl read   <img> <lpn>\n\
+     \x20 sharectl share  <img> <dest-lpn> <src-lpn> [--len N]\n\
+     \x20 sharectl trim   <img> <lpn> [--len N]\n\
+     \x20 sharectl replay <img> <trace-file>\n"
+        .to_string()
+}
+
+fn cfg_path(img: &str) -> String {
+    format!("{img}.cfg")
+}
+
+fn save_cfg(img: &str, cfg: &FtlConfig) -> Result<()> {
+    let text = format!(
+        "logical_pages={}\nlog_blocks={}\nrevmap_capacity={}\n",
+        cfg.logical_pages, cfg.log_blocks, cfg.revmap_capacity
+    );
+    fs::write(cfg_path(img), text)?;
+    Ok(())
+}
+
+fn load_device(img: &str) -> Result<Ftl> {
+    let cfg_text = fs::read_to_string(cfg_path(img))
+        .map_err(|_| CliError(format!("missing sidecar {} — not a sharectl image?", cfg_path(img))))?;
+    let field = |name: &str| -> Result<u64> {
+        cfg_text
+            .lines()
+            .find_map(|l| l.strip_prefix(&format!("{name}=")))
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| CliError(format!("sidecar missing {name}")))
+    };
+    let logical_pages = field("logical_pages")?;
+    let log_blocks = field("log_blocks")? as u32;
+    let revmap_capacity = field("revmap_capacity")? as usize;
+
+    let bytes = fs::read(img)?;
+    let nand = nand_sim::NandArray::load_image(&mut bytes.as_slice(), nand_sim::NandTiming::default())
+        .map_err(|e| CliError(format!("bad image: {e}")))?;
+    let g = nand.geometry();
+    let mut cfg = FtlConfig::for_capacity_with(
+        logical_pages * g.page_size as u64,
+        0.10, // placeholder; the real geometry below overrides the layout
+        g.page_size,
+        g.pages_per_block,
+        nand.timing(),
+    );
+    cfg.geometry = g;
+    cfg.log_blocks = log_blocks;
+    cfg.revmap_capacity = revmap_capacity;
+    cfg.logical_pages = logical_pages;
+    Ftl::open(cfg, nand).map_err(Into::into)
+}
+
+fn save_device(img: &str, mut dev: Ftl) -> Result<()> {
+    dev.flush()?;
+    let cfg = dev.config().clone();
+    let nand = dev.into_nand();
+    let mut bytes = Vec::new();
+    nand.save_image(&mut bytes)?;
+    fs::write(img, bytes)?;
+    save_cfg(img, &cfg)
+}
+
+fn parse_u64(s: &str, what: &str) -> Result<u64> {
+    s.parse().map_err(|_| CliError(format!("bad {what}: {s}")))
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+/// Execute one command line (without the program name); returns the output.
+pub fn run(args: &[String]) -> Result<String> {
+    let mut out = String::new();
+    match args.first().map(String::as_str) {
+        Some("create") => {
+            let img = args.get(1).ok_or_else(|| CliError(usage()))?;
+            let mb = parse_u64(args.get(2).ok_or_else(|| CliError(usage()))?, "size")?;
+            let op = args.get(3).map(|s| parse_u64(s, "op-percent")).transpose()?.unwrap_or(15);
+            if Path::new(img).exists() {
+                return Err(CliError(format!("{img} already exists")));
+            }
+            let cfg = FtlConfig::for_capacity(mb << 20, op as f64 / 100.0);
+            let dev = Ftl::new(cfg);
+            writeln!(
+                out,
+                "created {img}: {} MiB logical, {} physical blocks, {}% over-provisioning",
+                mb,
+                dev.config().geometry.blocks,
+                op
+            )
+            .unwrap();
+            save_device(img, dev)?;
+        }
+        Some("info") => {
+            let img = args.get(1).ok_or_else(|| CliError(usage()))?;
+            let dev = load_device(img)?;
+            let cfg = dev.config();
+            let s = dev.stats();
+            let w = dev.wear_stats();
+            writeln!(out, "image:            {img}").unwrap();
+            writeln!(
+                out,
+                "geometry:         {} pages x {} B ({} blocks x {} pages)",
+                cfg.geometry.total_pages(),
+                cfg.geometry.page_size,
+                cfg.geometry.blocks,
+                cfg.geometry.pages_per_block
+            )
+            .unwrap();
+            writeln!(out, "logical capacity: {} pages ({} MiB)", cfg.logical_pages, cfg.logical_bytes() >> 20)
+                .unwrap();
+            writeln!(out, "share batch:      {} pairs", dev.share_batch_limit()).unwrap();
+            writeln!(out, "nand programs:    {}", s.nand.page_programs).unwrap();
+            writeln!(out, "nand erases:      {}", s.nand.block_erases).unwrap();
+            writeln!(out, "wear (min..max):  {}..{}", w.min_erases, w.max_erases).unwrap();
+        }
+        Some("write") => {
+            let img = args.get(1).ok_or_else(|| CliError(usage()))?;
+            let lpn = parse_u64(args.get(2).ok_or_else(|| CliError(usage()))?, "lpn")?;
+            let byte = flag_value(args, "--byte")
+                .map(|v| u8::from_str_radix(v, 16).map_err(|_| CliError(format!("bad byte: {v}"))))
+                .transpose()?
+                .unwrap_or(0xAB);
+            let count = flag_value(args, "--count").map(|v| parse_u64(v, "count")).transpose()?.unwrap_or(1);
+            let mut dev = load_device(img)?;
+            let page = vec![byte; dev.page_size()];
+            for i in 0..count {
+                dev.write(Lpn(lpn + i), &page)?;
+            }
+            writeln!(out, "wrote {count} page(s) of 0x{byte:02x} at LPN {lpn}").unwrap();
+            save_device(img, dev)?;
+        }
+        Some("read") => {
+            let img = args.get(1).ok_or_else(|| CliError(usage()))?;
+            let lpn = parse_u64(args.get(2).ok_or_else(|| CliError(usage()))?, "lpn")?;
+            let mut dev = load_device(img)?;
+            let mut buf = vec![0u8; dev.page_size()];
+            dev.read(Lpn(lpn), &mut buf)?;
+            write!(out, "LPN {lpn}:").unwrap();
+            for (i, b) in buf.iter().take(32).enumerate() {
+                if i % 16 == 0 {
+                    write!(out, "\n  {i:04x}:").unwrap();
+                }
+                write!(out, " {b:02x}").unwrap();
+            }
+            writeln!(out, "\n  ... ({} bytes/page)", buf.len()).unwrap();
+        }
+        Some("share") => {
+            let img = args.get(1).ok_or_else(|| CliError(usage()))?;
+            let dest = parse_u64(args.get(2).ok_or_else(|| CliError(usage()))?, "dest-lpn")?;
+            let src = parse_u64(args.get(3).ok_or_else(|| CliError(usage()))?, "src-lpn")?;
+            let len = flag_value(args, "--len").map(|v| parse_u64(v, "len")).transpose()?.unwrap_or(1);
+            let mut dev = load_device(img)?;
+            dev.share(&SharePair::range(Lpn(dest), Lpn(src), len))?;
+            writeln!(out, "shared {len} page(s): LPN {dest} <- LPN {src}").unwrap();
+            save_device(img, dev)?;
+        }
+        Some("trim") => {
+            let img = args.get(1).ok_or_else(|| CliError(usage()))?;
+            let lpn = parse_u64(args.get(2).ok_or_else(|| CliError(usage()))?, "lpn")?;
+            let len = flag_value(args, "--len").map(|v| parse_u64(v, "len")).transpose()?.unwrap_or(1);
+            let mut dev = load_device(img)?;
+            dev.trim(Lpn(lpn), len)?;
+            writeln!(out, "trimmed {len} page(s) at LPN {lpn}").unwrap();
+            save_device(img, dev)?;
+        }
+        Some("replay") => {
+            let img = args.get(1).ok_or_else(|| CliError(usage()))?;
+            let trace_file = args.get(2).ok_or_else(|| CliError(usage()))?;
+            let text = fs::read_to_string(trace_file)?;
+            let ops = parse_trace(&text);
+            let mut dev = load_device(img)?;
+            let before = dev.stats();
+            let t0 = dev.clock().now_ns();
+            let page = vec![0xCDu8; dev.page_size()];
+            let mut buf = vec![0u8; dev.page_size()];
+            for op in &ops {
+                match *op {
+                    TraceOp::Write { lpn } => dev.write(Lpn(lpn), &page)?,
+                    TraceOp::Read { lpn } => dev.read(Lpn(lpn), &mut buf)?,
+                    TraceOp::Trim { lpn, len } => dev.trim(Lpn(lpn), len)?,
+                    TraceOp::Flush => dev.flush()?,
+                }
+            }
+            let d = dev.stats().delta_since(&before);
+            let dt = dev.clock().now_ns() - t0;
+            writeln!(out, "replayed {} ops in {:.3} simulated s", ops.len(), dt as f64 / 1e9).unwrap();
+            writeln!(
+                out,
+                "host writes {}  reads {}  WAF {:.3}  GC events {}  copybacks {}",
+                d.host_writes,
+                d.host_reads,
+                d.waf(),
+                d.gc_events,
+                d.copyback_pages
+            )
+            .unwrap();
+            save_device(img, dev)?;
+        }
+        _ => return Err(CliError(usage())),
+    }
+    Ok(out)
+}

@@ -1,0 +1,12 @@
+//! Thin entry point; all logic lives in the library (see `sharectl::run`).
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match sharectl::run(&args) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
+}

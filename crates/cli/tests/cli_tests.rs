@@ -1,0 +1,75 @@
+//! End-to-end tests of the sharectl tool against on-disk images.
+
+use sharectl::run;
+
+fn tmpdir() -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("sharectl-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn cmd(args: &[&str]) -> Result<String, String> {
+    run(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>()).map_err(|e| e.to_string())
+}
+
+#[test]
+fn create_write_share_read_cycle_persists() {
+    let dir = tmpdir();
+    let img = dir.join("disk.nand");
+    let img = img.to_str().unwrap();
+
+    cmd(&["create", img, "16"]).unwrap();
+    assert!(std::path::Path::new(img).exists());
+
+    cmd(&["write", img, "0", "--byte", "5a", "--count", "4"]).unwrap();
+    cmd(&["share", img, "100", "0", "--len", "4"]).unwrap();
+
+    // The remap must be visible across separate invocations (image reload).
+    let out = cmd(&["read", img, "100"]).unwrap();
+    assert!(out.contains("5a 5a"), "shared page content missing: {out}");
+
+    cmd(&["trim", img, "0", "--len", "4"]).unwrap();
+    let out = cmd(&["read", img, "100"]).unwrap();
+    assert!(out.contains("5a"), "dest must survive trimming the source: {out}");
+
+    let info = cmd(&["info", img]).unwrap();
+    assert!(info.contains("logical capacity"), "{info}");
+    assert!(info.contains("share batch"), "{info}");
+}
+
+#[test]
+fn replay_runs_a_text_trace() {
+    let dir = tmpdir();
+    let img = dir.join("replay.nand");
+    let img = img.to_str().unwrap();
+    cmd(&["create", img, "16"]).unwrap();
+
+    let trace = dir.join("trace.txt");
+    std::fs::write(&trace, "W 1\nW 2\nW 1\nF\nR 1\nT 2 1\n# done\n").unwrap();
+    let out = cmd(&["replay", img, trace.to_str().unwrap()]).unwrap();
+    assert!(out.contains("replayed 6 ops"), "{out}");
+    assert!(out.contains("host writes 3"), "{out}");
+
+    // Stats accumulate across invocations.
+    let info = cmd(&["info", img]).unwrap();
+    assert!(info.contains("nand programs"), "{info}");
+}
+
+#[test]
+fn bad_usage_is_reported() {
+    assert!(cmd(&[]).is_err());
+    assert!(cmd(&["bogus"]).is_err());
+    assert!(cmd(&["create"]).is_err());
+    let e = cmd(&["info", "/nonexistent/img.nand"]).unwrap_err();
+    assert!(e.contains("sidecar") || e.contains("io"), "{e}");
+}
+
+#[test]
+fn create_refuses_to_overwrite() {
+    let dir = tmpdir();
+    let img = dir.join("dup.nand");
+    let img = img.to_str().unwrap();
+    cmd(&["create", img, "16"]).unwrap();
+    assert!(cmd(&["create", img, "16"]).unwrap_err().contains("exists"));
+}

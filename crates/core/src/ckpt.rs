@@ -1,0 +1,248 @@
+//! Base mapping-table checkpoints.
+//!
+//! The delta log (see [`crate::delta`]) is truncated by periodically
+//! persisting a full snapshot of the L2P table — the "reliably persistent
+//! version, i.e. a base mapping table" of the paper's §4.2.2. Two slots
+//! alternate so a crash during checkpointing always leaves the previous
+//! snapshot intact; a commit page written last makes the new snapshot
+//! valid all-or-nothing.
+
+use crate::config::FtlConfig;
+use crate::error::FtlError;
+use crate::types::Ppn;
+use crate::util::{crc32c, get_u32, get_u64, put_u32, put_u64};
+use nand_sim::{BlockId, NandArray};
+
+const CKPT_MAGIC: u32 = 0x434B_5054; // "CKPT"
+const COMMIT_MAGIC: u32 = 0x4343_4D54; // "CCMT"
+
+/// A recovered checkpoint: delta pages with `seq >= next_delta_seq` must be
+/// replayed on top of `l2p`.
+#[derive(Debug)]
+pub struct RecoveredCheckpoint {
+    /// Slot the snapshot was read from (0 or 1).
+    pub slot: u32,
+    /// Delta sequence number from which the log continues.
+    pub next_delta_seq: u64,
+    /// The snapshotted L2P table.
+    pub l2p: Vec<Ppn>,
+}
+
+/// Serialize the L2P table into little-endian bytes.
+fn encode_table(l2p: &[Ppn]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(l2p.len() * 4);
+    for p in l2p {
+        bytes.extend_from_slice(&p.0.to_le_bytes());
+    }
+    bytes
+}
+
+fn slot_ppn(cfg: &FtlConfig, slot: u32, page_idx: u32) -> nand_sim::Ppn {
+    let start = cfg.ckpt_slot_start(slot);
+    let ppb = cfg.geometry.pages_per_block;
+    let block = BlockId(start.0 + page_idx / ppb);
+    nand_sim::Ppn(block.0 * ppb + page_idx % ppb)
+}
+
+/// Number of meta pages a checkpoint occupies (header + table + commit).
+#[allow(dead_code)] // exercised by tests; kept for capacity planning
+pub fn checkpoint_pages(cfg: &FtlConfig) -> u32 {
+    let table_pages = (cfg.logical_pages * 4).div_ceil(cfg.geometry.page_size as u64) as u32;
+    table_pages + 2
+}
+
+/// Write a full snapshot into `slot`. `next_delta_seq` is the delta
+/// sequence number the log continues from after this checkpoint. Returns
+/// the number of meta pages programmed.
+pub fn write_checkpoint(
+    cfg: &FtlConfig,
+    nand: &mut NandArray,
+    slot: u32,
+    next_delta_seq: u64,
+    l2p: &[Ppn],
+) -> Result<u64, FtlError> {
+    debug_assert_eq!(l2p.len() as u64, cfg.logical_pages);
+    let page_size = cfg.geometry.page_size;
+    for b in 0..cfg.ckpt_slot_blocks() {
+        nand.erase(BlockId(cfg.ckpt_slot_start(slot).0 + b))?;
+    }
+
+    let table = encode_table(l2p);
+    let table_crc = crc32c(&table);
+    let table_pages = table.len().div_ceil(page_size) as u32;
+
+    // Header page.
+    let mut page = vec![0u8; page_size];
+    put_u32(&mut page, 0, CKPT_MAGIC);
+    put_u64(&mut page, 4, next_delta_seq);
+    put_u64(&mut page, 12, cfg.logical_pages);
+    put_u32(&mut page, 20, table_crc);
+    nand.program(slot_ppn(cfg, slot, 0), &page)?;
+
+    // Table pages.
+    for i in 0..table_pages {
+        let mut page = vec![0u8; page_size];
+        let start = i as usize * page_size;
+        let end = (start + page_size).min(table.len());
+        page[..end - start].copy_from_slice(&table[start..end]);
+        nand.program(slot_ppn(cfg, slot, 1 + i), &page)?;
+    }
+
+    // Commit page — programmed last; its presence validates the snapshot.
+    let mut page = vec![0u8; page_size];
+    put_u32(&mut page, 0, COMMIT_MAGIC);
+    put_u64(&mut page, 4, next_delta_seq);
+    put_u32(&mut page, 12, table_crc);
+    nand.program(slot_ppn(cfg, slot, 1 + table_pages), &page)?;
+
+    Ok(table_pages as u64 + 2)
+}
+
+fn read_slot(cfg: &FtlConfig, nand: &mut NandArray, slot: u32) -> Option<RecoveredCheckpoint> {
+    let page_size = cfg.geometry.page_size;
+    let mut buf = vec![0u8; page_size];
+    nand.read(slot_ppn(cfg, slot, 0), &mut buf).ok()?;
+    if get_u32(&buf, 0) != CKPT_MAGIC {
+        return None;
+    }
+    let seq = get_u64(&buf, 4);
+    let count = get_u64(&buf, 12);
+    let table_crc = get_u32(&buf, 20);
+    if count != cfg.logical_pages {
+        return None;
+    }
+    let table_bytes = (count * 4) as usize;
+    let table_pages = table_bytes.div_ceil(page_size) as u32;
+
+    // Commit page first: cheap validity check before reading the table.
+    nand.read(slot_ppn(cfg, slot, 1 + table_pages), &mut buf).ok()?;
+    if get_u32(&buf, 0) != COMMIT_MAGIC || get_u64(&buf, 4) != seq || get_u32(&buf, 12) != table_crc {
+        return None;
+    }
+
+    let mut table = vec![0u8; table_pages as usize * page_size];
+    for i in 0..table_pages {
+        let dst = i as usize * page_size;
+        nand.read(slot_ppn(cfg, slot, 1 + i), &mut table[dst..dst + page_size]).ok()?;
+    }
+    table.truncate(table_bytes);
+    if crc32c(&table) != table_crc {
+        return None;
+    }
+    let l2p = table
+        .chunks_exact(4)
+        .map(|c| Ppn(u32::from_le_bytes(c.try_into().unwrap())))
+        .collect();
+    Some(RecoveredCheckpoint { slot, next_delta_seq: seq, l2p })
+}
+
+/// Read the newest valid checkpoint, if any slot holds one.
+pub fn read_latest(cfg: &FtlConfig, nand: &mut NandArray) -> Option<RecoveredCheckpoint> {
+    let a = read_slot(cfg, nand, 0);
+    let b = read_slot(cfg, nand, 1);
+    match (a, b) {
+        (Some(a), Some(b)) => Some(if a.next_delta_seq >= b.next_delta_seq { a } else { b }),
+        (Some(a), None) => Some(a),
+        (None, Some(b)) => Some(b),
+        (None, None) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nand_sim::{NandArray, NandTiming, SimClock};
+
+    fn setup() -> (FtlConfig, NandArray) {
+        let cfg = FtlConfig::for_capacity_with(1 << 20, 0.3, 4096, 16, NandTiming::zero());
+        let nand = NandArray::with_timing(cfg.geometry, cfg.timing, SimClock::new());
+        (cfg, nand)
+    }
+
+    fn sample_l2p(cfg: &FtlConfig) -> Vec<Ppn> {
+        (0..cfg.logical_pages)
+            .map(|i| if i % 3 == 0 { Ppn(i as u32 + 1000) } else { Ppn::INVALID })
+            .collect()
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let (cfg, mut nand) = setup();
+        let l2p = sample_l2p(&cfg);
+        write_checkpoint(&cfg, &mut nand, 0, 42, &l2p).unwrap();
+        let r = read_latest(&cfg, &mut nand).unwrap();
+        assert_eq!(r.slot, 0);
+        assert_eq!(r.next_delta_seq, 42);
+        assert_eq!(r.l2p, l2p);
+    }
+
+    #[test]
+    fn empty_device_has_no_checkpoint() {
+        let (cfg, mut nand) = setup();
+        assert!(read_latest(&cfg, &mut nand).is_none());
+    }
+
+    #[test]
+    fn newer_slot_wins() {
+        let (cfg, mut nand) = setup();
+        let old = sample_l2p(&cfg);
+        let mut new = old.clone();
+        new[0] = Ppn(777);
+        write_checkpoint(&cfg, &mut nand, 0, 10, &old).unwrap();
+        write_checkpoint(&cfg, &mut nand, 1, 20, &new).unwrap();
+        let r = read_latest(&cfg, &mut nand).unwrap();
+        assert_eq!(r.slot, 1);
+        assert_eq!(r.l2p[0], Ppn(777));
+    }
+
+    #[test]
+    fn slots_alternate_by_erasure() {
+        let (cfg, mut nand) = setup();
+        let l2p = sample_l2p(&cfg);
+        write_checkpoint(&cfg, &mut nand, 0, 10, &l2p).unwrap();
+        write_checkpoint(&cfg, &mut nand, 1, 20, &l2p).unwrap();
+        write_checkpoint(&cfg, &mut nand, 0, 30, &l2p).unwrap(); // reuse slot 0
+        let r = read_latest(&cfg, &mut nand).unwrap();
+        assert_eq!(r.next_delta_seq, 30);
+        assert_eq!(r.slot, 0);
+    }
+
+    #[test]
+    fn crash_during_checkpoint_preserves_previous_snapshot() {
+        let (cfg, mut nand) = setup();
+        let old = sample_l2p(&cfg);
+        write_checkpoint(&cfg, &mut nand, 0, 10, &old).unwrap();
+        // Crash while writing slot 1, before its commit page lands.
+        nand.fault_handle().arm_after_programs(2, nand_sim::FaultMode::TornHalf);
+        let mut new = old.clone();
+        new[1] = Ppn(555);
+        assert!(write_checkpoint(&cfg, &mut nand, 1, 20, &new).is_err());
+        nand.power_cycle();
+        let r = read_latest(&cfg, &mut nand).unwrap();
+        assert_eq!(r.next_delta_seq, 10, "old snapshot must survive");
+        assert_eq!(r.l2p, old);
+    }
+
+    #[test]
+    fn corrupt_commit_page_invalidates_slot() {
+        let (cfg, mut nand) = setup();
+        let l2p = sample_l2p(&cfg);
+        write_checkpoint(&cfg, &mut nand, 0, 5, &l2p).unwrap();
+        // Fault exactly on the commit page of the second checkpoint.
+        let pages = checkpoint_pages(&cfg);
+        nand.fault_handle().arm_after_programs(pages as u64, nand_sim::FaultMode::DroppedWrite);
+        assert!(write_checkpoint(&cfg, &mut nand, 1, 6, &l2p).is_err());
+        nand.power_cycle();
+        let r = read_latest(&cfg, &mut nand).unwrap();
+        assert_eq!(r.slot, 0);
+        assert_eq!(r.next_delta_seq, 5);
+    }
+
+    #[test]
+    fn checkpoint_page_count_matches_layout() {
+        let (cfg, mut nand) = setup();
+        let l2p = sample_l2p(&cfg);
+        let written = write_checkpoint(&cfg, &mut nand, 0, 1, &l2p).unwrap();
+        assert_eq!(written, checkpoint_pages(&cfg) as u64);
+    }
+}

@@ -1,0 +1,307 @@
+//! The block-device abstraction and a conventional (non-SHARE) SSD model.
+//!
+//! [`BlockDevice`] is the command boundary the paper extends: read, write,
+//! flush and TRIM exist on every SSD; [`BlockDevice::share`] is the new
+//! vendor-unique command. A device that does not implement SHARE (like the
+//! Samsung PM853T the paper uses as a log device) reports
+//! [`FtlError::Unsupported`], letting engines fall back to their original
+//! redundant-write protocols.
+
+use crate::error::FtlError;
+use crate::stats::DeviceStats;
+use crate::types::{Lpn, SharePair};
+use nand_sim::{FaultHandle, FaultMode, NandError, NandTiming, SimClock};
+
+/// A page-granular block device on the simulated timeline.
+pub trait BlockDevice {
+    /// Page size in bytes (the I/O and mapping unit).
+    fn page_size(&self) -> usize;
+
+    /// Exported logical capacity in pages.
+    fn capacity_pages(&self) -> u64;
+
+    /// Read one page into `buf` (`buf.len() == page_size`). Unwritten pages
+    /// read as zeros.
+    fn read(&mut self, lpn: Lpn, buf: &mut [u8]) -> Result<(), FtlError>;
+
+    /// Write one page.
+    fn write(&mut self, lpn: Lpn, data: &[u8]) -> Result<(), FtlError>;
+
+    /// Make all completed writes durable (fsync).
+    fn flush(&mut self) -> Result<(), FtlError>;
+
+    /// Invalidate `len` pages starting at `lpn`.
+    fn trim(&mut self, lpn: Lpn, len: u64) -> Result<(), FtlError>;
+
+    /// Atomically remap each `pair.dest` to the physical page backing
+    /// `pair.src` (the SHARE command). Default: unsupported.
+    fn share(&mut self, _pairs: &[SharePair]) -> Result<(), FtlError> {
+        Err(FtlError::Unsupported("share"))
+    }
+
+    /// Write a batch of pages **atomically**: after a crash either every
+    /// page reads its new content or none does. This is the related-work
+    /// baseline the paper contrasts in §6.1 (Park et al. / FusionIO
+    /// atomic writes, txFlash): update-in-place atomicity without a
+    /// journal, but still a full data write per page. Default: unsupported.
+    fn write_atomic(&mut self, _pages: &[(Lpn, &[u8])]) -> Result<(), FtlError> {
+        Err(FtlError::Unsupported("write_atomic"))
+    }
+
+    /// Largest atomic-write batch (pages). 0 = unsupported.
+    fn write_atomic_limit(&self) -> usize {
+        0
+    }
+
+    /// Largest SHARE batch the device executes atomically (0 = none).
+    fn share_batch_limit(&self) -> usize {
+        0
+    }
+
+    /// Whether the device implements SHARE.
+    fn supports_share(&self) -> bool {
+        self.share_batch_limit() > 0
+    }
+
+    /// Cumulative statistics.
+    fn stats(&self) -> DeviceStats;
+
+    /// The simulated clock this device advances.
+    fn clock(&self) -> &SimClock;
+}
+
+/// A conventional SSD without the SHARE extension.
+///
+/// Models a fast drive with a large SLC cache (the paper's PM853T log
+/// device): constant per-command service times, no visible GC. Used for
+/// the InnoDB redo log and as a baseline device.
+#[derive(Debug)]
+pub struct SimpleSsd {
+    page_size: usize,
+    capacity_pages: u64,
+    pages: Vec<Option<Box<[u8]>>>,
+    clock: SimClock,
+    read_ns: u64,
+    write_ns: u64,
+    flush_ns: u64,
+    xfer_ns_per_kib: u64,
+    fault: FaultHandle,
+    stats: DeviceStats,
+}
+
+impl SimpleSsd {
+    /// A device with `capacity_pages` pages of `page_size` bytes.
+    pub fn new(page_size: usize, capacity_pages: u64, clock: SimClock) -> Self {
+        Self {
+            page_size,
+            capacity_pages,
+            pages: vec![None; capacity_pages as usize],
+            clock,
+            read_ns: 70_000,
+            write_ns: 30_000,
+            flush_ns: 50_000,
+            xfer_ns_per_kib: NandTiming::default().xfer_ns_per_kib,
+            fault: FaultHandle::new(),
+            stats: DeviceStats::default(),
+        }
+    }
+
+    /// Power-loss injection handle. Unlike the FTL, a conventional drive
+    /// has no mapping indirection: a write torn by power loss leaves the
+    /// sector half old pattern, half new — the torn-page hazard the
+    /// paper's §2 describes.
+    pub fn fault_handle(&self) -> FaultHandle {
+        self.fault.clone()
+    }
+
+    /// Bring the device back up after an injected power loss.
+    pub fn power_cycle(&mut self) {
+        self.fault.clear_down();
+    }
+
+    /// Override the latency model (read, write, flush in ns).
+    pub fn with_latency(mut self, read_ns: u64, write_ns: u64, flush_ns: u64) -> Self {
+        self.read_ns = read_ns;
+        self.write_ns = write_ns;
+        self.flush_ns = flush_ns;
+        self
+    }
+
+    fn check(&self, lpn: Lpn, len: usize) -> Result<(), FtlError> {
+        if lpn.0 >= self.capacity_pages {
+            return Err(FtlError::LpnOutOfRange { lpn, capacity: self.capacity_pages });
+        }
+        if len != self.page_size {
+            return Err(FtlError::BadBufferLength { got: len, want: self.page_size });
+        }
+        Ok(())
+    }
+}
+
+impl BlockDevice for SimpleSsd {
+    fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    fn capacity_pages(&self) -> u64 {
+        self.capacity_pages
+    }
+
+    fn read(&mut self, lpn: Lpn, buf: &mut [u8]) -> Result<(), FtlError> {
+        if self.fault.is_down() {
+            return Err(FtlError::Nand(NandError::PowerLoss));
+        }
+        self.check(lpn, buf.len())?;
+        self.clock.advance(self.read_ns + (buf.len() as u64 * self.xfer_ns_per_kib) / 1024);
+        self.stats.host_reads += 1;
+        self.stats.host_read_bytes += buf.len() as u64;
+        match &self.pages[lpn.0 as usize] {
+            Some(p) => buf.copy_from_slice(p),
+            None => buf.fill(0),
+        }
+        Ok(())
+    }
+
+    fn write(&mut self, lpn: Lpn, data: &[u8]) -> Result<(), FtlError> {
+        if self.fault.is_down() {
+            return Err(FtlError::Nand(NandError::PowerLoss));
+        }
+        self.check(lpn, data.len())?;
+        self.clock.advance(self.write_ns + (data.len() as u64 * self.xfer_ns_per_kib) / 1024);
+        self.stats.host_writes += 1;
+        self.stats.host_write_bytes += data.len() as u64;
+        if let Some(mode) = self.fault.on_program() {
+            match mode {
+                FaultMode::TornHalf => {
+                    // Half the new content lands; the old tail remains —
+                    // an in-place torn write, unlike NAND's erased tail.
+                    let cut = data.len() / 2;
+                    let mut torn = match self.pages[lpn.0 as usize].take() {
+                        Some(old) => old.into_vec(),
+                        None => vec![0u8; data.len()],
+                    };
+                    torn[..cut].copy_from_slice(&data[..cut]);
+                    self.pages[lpn.0 as usize] = Some(torn.into_boxed_slice());
+                }
+                FaultMode::DroppedWrite => {}
+                FaultMode::AfterProgram => {
+                    self.pages[lpn.0 as usize] = Some(data.to_vec().into_boxed_slice());
+                }
+            }
+            return Err(FtlError::Nand(NandError::PowerLoss));
+        }
+        self.pages[lpn.0 as usize] = Some(data.to_vec().into_boxed_slice());
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<(), FtlError> {
+        if self.fault.is_down() {
+            return Err(FtlError::Nand(NandError::PowerLoss));
+        }
+        self.clock.advance(self.flush_ns);
+        self.stats.flushes += 1;
+        Ok(())
+    }
+
+    fn trim(&mut self, lpn: Lpn, len: u64) -> Result<(), FtlError> {
+        for i in 0..len {
+            self.check(lpn.offset(i), self.page_size)?;
+            self.pages[(lpn.0 + i) as usize] = None;
+            self.stats.trims += 1;
+        }
+        Ok(())
+    }
+
+    fn stats(&self) -> DeviceStats {
+        self.stats
+    }
+
+    fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> SimpleSsd {
+        SimpleSsd::new(512, 16, SimClock::new())
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut d = dev();
+        d.write(Lpn(3), &[7u8; 512]).unwrap();
+        let mut buf = [0u8; 512];
+        d.read(Lpn(3), &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 7));
+    }
+
+    #[test]
+    fn unwritten_pages_read_zero() {
+        let mut d = dev();
+        let mut buf = [9u8; 512];
+        d.read(Lpn(0), &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn share_is_unsupported() {
+        let mut d = dev();
+        assert!(!d.supports_share());
+        assert_eq!(d.share_batch_limit(), 0);
+        assert_eq!(
+            d.share(&[SharePair::new(Lpn(0), Lpn(1))]),
+            Err(FtlError::Unsupported("share"))
+        );
+    }
+
+    #[test]
+    fn trim_clears_pages() {
+        let mut d = dev();
+        d.write(Lpn(1), &[1u8; 512]).unwrap();
+        d.write(Lpn(2), &[2u8; 512]).unwrap();
+        d.trim(Lpn(1), 2).unwrap();
+        let mut buf = [9u8; 512];
+        d.read(Lpn(1), &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0));
+        assert_eq!(d.stats().trims, 2);
+    }
+
+    #[test]
+    fn bounds_and_lengths_validated() {
+        let mut d = dev();
+        assert!(matches!(d.write(Lpn(16), &[0u8; 512]), Err(FtlError::LpnOutOfRange { .. })));
+        assert!(matches!(d.write(Lpn(0), &[0u8; 100]), Err(FtlError::BadBufferLength { .. })));
+    }
+
+    #[test]
+    fn torn_write_mixes_old_and_new_content() {
+        let mut d = dev();
+        d.write(Lpn(0), &[0x11u8; 512]).unwrap();
+        d.fault_handle().arm_after_programs(1, FaultMode::TornHalf);
+        assert!(d.write(Lpn(0), &[0x22u8; 512]).is_err());
+        // Down until power-cycled.
+        let mut buf = [0u8; 512];
+        assert!(d.read(Lpn(0), &mut buf).is_err());
+        d.power_cycle();
+        d.read(Lpn(0), &mut buf).unwrap();
+        assert!(buf[..256].iter().all(|&b| b == 0x22));
+        assert!(buf[256..].iter().all(|&b| b == 0x11), "old tail must survive a torn write");
+    }
+
+    #[test]
+    fn clock_advances_and_stats_count() {
+        let mut d = dev();
+        let c = d.clock().clone();
+        d.write(Lpn(0), &[0u8; 512]).unwrap();
+        d.flush().unwrap();
+        let mut buf = [0u8; 512];
+        d.read(Lpn(0), &mut buf).unwrap();
+        assert!(c.now_ns() > 0);
+        let s = d.stats();
+        assert_eq!((s.host_writes, s.flushes, s.host_reads), (1, 1, 1));
+        assert_eq!(s.host_write_bytes, 512);
+    }
+}

@@ -1,0 +1,99 @@
+//! Error type for FTL / block-device operations.
+
+use crate::types::Lpn;
+use nand_sim::NandError;
+use std::fmt;
+
+/// Errors surfaced by the SHARE FTL and other block devices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FtlError {
+    /// Underlying NAND failure (including injected power loss).
+    Nand(NandError),
+    /// LPN beyond the exported logical capacity.
+    LpnOutOfRange { lpn: Lpn, capacity: u64 },
+    /// SHARE source LPN has no current mapping.
+    SrcUnmapped(Lpn),
+    /// A SHARE batch exceeds what one mapping-log page can hold atomically.
+    ///
+    /// The paper (§4.2.2): "The maximum size of Deltas cannot exceed the
+    /// mapping page size because only a page is written atomically."
+    BatchTooLarge { got: usize, max: usize },
+    /// A SHARE batch is malformed (duplicate destination, unknown LPN, ...).
+    InvalidBatch(&'static str),
+    /// The bounded shared-page reverse-mapping table is full; the caller
+    /// should fall back to a plain write (§4.2.1 sizes it at 250/500).
+    RevMapFull { capacity: usize },
+    /// Too many logical pages share one physical page.
+    RefOverflow,
+    /// No reclaimable space remains (over-provisioning exhausted).
+    DeviceFull,
+    /// The device does not implement this command (e.g. SHARE on a
+    /// conventional SSD).
+    Unsupported(&'static str),
+    /// Buffer length does not match the device page size.
+    BadBufferLength { got: usize, want: usize },
+    /// Recovery found an unusable on-flash state.
+    RecoveryCorrupt(String),
+}
+
+impl fmt::Display for FtlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FtlError::Nand(e) => write!(f, "nand: {e}"),
+            FtlError::LpnOutOfRange { lpn, capacity } => {
+                write!(f, "{lpn} out of range (logical capacity {capacity} pages)")
+            }
+            FtlError::SrcUnmapped(lpn) => write!(f, "share source {lpn} is unmapped"),
+            FtlError::BatchTooLarge { got, max } => {
+                write!(f, "share batch of {got} pairs exceeds atomic limit {max}")
+            }
+            FtlError::InvalidBatch(reason) => write!(f, "invalid share batch: {reason}"),
+            FtlError::RevMapFull { capacity } => {
+                write!(f, "reverse-mapping table full ({capacity} entries)")
+            }
+            FtlError::RefOverflow => write!(f, "physical page reference count overflow"),
+            FtlError::DeviceFull => write!(f, "no reclaimable flash space left"),
+            FtlError::Unsupported(cmd) => write!(f, "command not supported by device: {cmd}"),
+            FtlError::BadBufferLength { got, want } => {
+                write!(f, "buffer length {got} does not match page size {want}")
+            }
+            FtlError::RecoveryCorrupt(msg) => write!(f, "recovery: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FtlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FtlError::Nand(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NandError> for FtlError {
+    fn from(e: NandError) -> Self {
+        FtlError::Nand(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nand_errors_convert_and_chain() {
+        let e: FtlError = NandError::PowerLoss.into();
+        assert_eq!(e, FtlError::Nand(NandError::PowerLoss));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("power loss"));
+    }
+
+    #[test]
+    fn messages_are_descriptive() {
+        assert!(FtlError::SrcUnmapped(Lpn(9)).to_string().contains("L9"));
+        assert!(FtlError::BatchTooLarge { got: 300, max: 254 }.to_string().contains("300"));
+        assert!(FtlError::RevMapFull { capacity: 250 }.to_string().contains("250"));
+        assert!(FtlError::Unsupported("share").to_string().contains("share"));
+    }
+}

@@ -1,0 +1,1002 @@
+//! The SHARE FTL: page-mapping translation layer with explicit remapping.
+//!
+//! This is the paper's contribution (§3–§4): a page-mapping FTL whose L2P
+//! table the host can rewrite through the `share` command. The write path,
+//! garbage collection, delta logging and checkpointing follow §4.2:
+//!
+//! * host writes go to an open data block; the mapping change is recorded
+//!   as a Delta and becomes durable when its log page is programmed,
+//! * `share(dest, src)` points `dest` at `src`'s physical page and logs all
+//!   deltas of the batch in **one** log page, making the batch atomic,
+//! * greedy GC picks the closed block with the fewest valid pages, copies
+//!   the valid ones to a dedicated copyback write point (relocating *all*
+//!   logical references, shared ones included), flushes the delta log and
+//!   only then erases the victim.
+
+use crate::ckpt;
+use crate::config::FtlConfig;
+use crate::delta::{Delta, DeltaLog};
+use crate::device::BlockDevice;
+use crate::error::FtlError;
+use crate::mapping::MappingTable;
+use crate::pool::{BlockPool, WritePoint};
+use crate::stats::DeviceStats;
+use crate::types::{Lpn, Ppn, SharePair};
+use nand_sim::{FaultHandle, NandArray, SimClock};
+use std::collections::{HashMap, HashSet};
+
+/// Checkpoint when fewer than this many log-ring pages remain.
+const CKPT_MIN_REMAINING_PAGES: u32 = 8;
+
+/// Erase-count distribution over the data pool (wear-leveling quality).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WearStats {
+    /// Least-erased data block.
+    pub min_erases: u32,
+    /// Most-erased data block.
+    pub max_erases: u32,
+    /// Mean erase count.
+    pub mean_erases: f64,
+}
+
+/// A flash device exposing the SHARE interface.
+#[derive(Debug)]
+pub struct Ftl {
+    cfg: FtlConfig,
+    nand: NandArray,
+    map: MappingTable,
+    log: DeltaLog,
+    pool: BlockPool,
+    stats: DeviceStats,
+    last_ckpt_slot: u32,
+    page_buf: Vec<u8>,
+}
+
+impl Ftl {
+    /// A freshly formatted device.
+    pub fn new(cfg: FtlConfig) -> Self {
+        cfg.validate();
+        let nand = NandArray::with_timing(cfg.geometry, cfg.timing, SimClock::new());
+        Self::format(cfg, nand)
+    }
+
+    /// Format `nand` (assumed erased) under `cfg`.
+    pub fn format(cfg: FtlConfig, nand: NandArray) -> Self {
+        let map = MappingTable::with_policy(cfg.geometry, cfg.logical_pages, cfg.revmap_capacity, cfg.revmap_policy);
+        let log = DeltaLog::new(&cfg, 0);
+        let pool = BlockPool::new(cfg.geometry, cfg.data_start(), cfg.data_blocks());
+        let page_size = cfg.geometry.page_size;
+        let mut ftl = Self {
+            cfg,
+            nand,
+            map,
+            log,
+            pool,
+            stats: DeviceStats::default(),
+            last_ckpt_slot: 1,
+            page_buf: vec![0u8; page_size],
+        };
+        ftl.checkpoint().expect("initial checkpoint on an erased device cannot fail");
+        ftl
+    }
+
+    /// Recover a device from the flash image in `nand` (e.g. after a crash):
+    /// latest checkpoint + intact delta-log pages, then reverse-state and
+    /// block-state rebuild. Ends by taking a fresh checkpoint so the log
+    /// ring restarts clean.
+    pub fn open(cfg: FtlConfig, mut nand: NandArray) -> Result<Self, FtlError> {
+        cfg.validate();
+        nand.power_cycle();
+
+        let recovered = ckpt::read_latest(&cfg, &mut nand);
+        let (next_seq0, base, slot) = match recovered {
+            Some(c) => (c.next_delta_seq, Some(c.l2p), c.slot),
+            None => (0, None, 1),
+        };
+
+        let mut map = MappingTable::with_policy(cfg.geometry, cfg.logical_pages, cfg.revmap_capacity, cfg.revmap_policy);
+        if let Some(base) = base {
+            if base.len() as u64 != cfg.logical_pages {
+                return Err(FtlError::RecoveryCorrupt(format!(
+                    "checkpoint has {} entries, config expects {}",
+                    base.len(),
+                    cfg.logical_pages
+                )));
+            }
+            for (i, &ppn) in base.iter().enumerate() {
+                map.raw_set(Lpn(i as u64), ppn);
+            }
+        }
+
+        let mut next_seq = next_seq0;
+        for page in DeltaLog::recover(&cfg, &mut nand, next_seq0) {
+            for d in &page.deltas {
+                map.raw_set(d.lpn, d.new);
+            }
+            next_seq = page.seq + 1;
+        }
+        map.rebuild_reverse();
+
+        let mut pool = BlockPool::new(cfg.geometry, cfg.data_start(), cfg.data_blocks());
+        pool.rebuild_from_nand(&nand);
+
+        let log = DeltaLog::new(&cfg, next_seq);
+        let page_size = cfg.geometry.page_size;
+        let mut ftl = Self {
+            cfg,
+            nand,
+            map,
+            log,
+            pool,
+            stats: DeviceStats::default(),
+            last_ckpt_slot: slot,
+            page_buf: vec![0u8; page_size],
+        };
+        ftl.checkpoint()?;
+        Ok(ftl)
+    }
+
+    /// The configuration this device runs under.
+    pub fn config(&self) -> &FtlConfig {
+        &self.cfg
+    }
+
+    /// Fault-injection handle of the underlying NAND.
+    pub fn fault_handle(&self) -> FaultHandle {
+        self.nand.fault_handle()
+    }
+
+    /// Read-only view of the NAND medium (tests, benches).
+    pub fn nand(&self) -> &NandArray {
+        &self.nand
+    }
+
+    /// Consume the FTL and take the NAND medium out (crash-recovery tests
+    /// re-open it with [`Ftl::open`]).
+    pub fn into_nand(self) -> NandArray {
+        self.nand
+    }
+
+    /// Current physical mapping of `lpn`, if any (introspection).
+    pub fn mapping_of(&self, lpn: Lpn) -> Option<Ppn> {
+        let p = self.map.lookup(lpn);
+        p.is_valid().then_some(p)
+    }
+
+    /// Reference count of the physical page backing `lpn`.
+    pub fn refcount_of(&self, lpn: Lpn) -> u16 {
+        let p = self.map.lookup(lpn);
+        if p.is_valid() {
+            self.map.refcount(p)
+        } else {
+            0
+        }
+    }
+
+    /// Occupancy of the shared-page reverse-mapping table.
+    pub fn revmap_len(&self) -> usize {
+        self.map.revmap().len()
+    }
+
+    /// Wear summary over the data pool: (min, max, mean) erase counts.
+    /// A tight min/max spread indicates effective wear leveling.
+    pub fn wear_stats(&self) -> WearStats {
+        let mut min = u32::MAX;
+        let mut max = 0u32;
+        let mut sum = 0u64;
+        let n = self.pool.block_count();
+        for rel in 0..n {
+            let e = self.nand.erase_count(self.pool.abs(rel));
+            min = min.min(e);
+            max = max.max(e);
+            sum += e as u64;
+        }
+        WearStats { min_erases: min, max_erases: max, mean_erases: sum as f64 / n as f64 }
+    }
+
+    /// Exhaustively check mapping invariants (test helper).
+    pub fn check_invariants(&self) {
+        self.map.check_invariants();
+    }
+
+    fn check_lpn(&self, lpn: Lpn) -> Result<(), FtlError> {
+        if lpn.0 >= self.cfg.logical_pages {
+            return Err(FtlError::LpnOutOfRange { lpn, capacity: self.cfg.logical_pages });
+        }
+        Ok(())
+    }
+
+    fn flush_log(&mut self) -> Result<(), FtlError> {
+        let before = self.log.pages_written;
+        self.log.flush(&mut self.nand)?;
+        self.stats.meta_page_writes += self.log.pages_written - before;
+        self.maybe_checkpoint()
+    }
+
+    fn maybe_checkpoint(&mut self) -> Result<(), FtlError> {
+        if self.log.pages_remaining() < CKPT_MIN_REMAINING_PAGES {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Persist a base mapping snapshot and truncate the delta log.
+    pub fn checkpoint(&mut self) -> Result<(), FtlError> {
+        // RAM-buffered deltas are already reflected in the snapshot.
+        self.log.clear_buffered();
+        let slot = 1 - self.last_ckpt_slot;
+        let seq = self.log.next_seq();
+        let l2p = self.map.l2p_raw().to_vec();
+        let pages = ckpt::write_checkpoint(&self.cfg, &mut self.nand, slot, seq, &l2p)?;
+        self.log.reset(&mut self.nand)?;
+        self.last_ckpt_slot = slot;
+        self.stats.checkpoints += 1;
+        self.stats.meta_page_writes += pages;
+        Ok(())
+    }
+
+    /// Pick a GC victim per the configured policy: greedy (fewest valid
+    /// pages) or FIFO (oldest sealed block). Fully valid blocks are never
+    /// picked — erasing them reclaims nothing.
+    fn pick_victim(&self) -> Option<(u32, u32)> {
+        let ppb = self.cfg.geometry.pages_per_block;
+        let mut best: Option<(u32, u32, u64)> = None;
+        for rel in 0..self.pool.block_count() {
+            if !self.pool.victim_eligible(rel) {
+                continue;
+            }
+            let valid = self.map.valid_pages(self.pool.abs(rel));
+            if valid >= ppb {
+                continue; // nothing reclaimable here
+            }
+            let rank = match self.cfg.gc_policy {
+                crate::config::GcPolicy::Greedy => valid as u64,
+                crate::config::GcPolicy::Fifo => self.pool.seal_seq(rel),
+            };
+            if best.is_none_or(|(_, _, r)| rank < r) {
+                best = Some((rel, valid, rank));
+                if rank == 0 && self.cfg.gc_policy == crate::config::GcPolicy::Greedy {
+                    break; // cannot do better
+                }
+            }
+        }
+        best.map(|(rel, valid, _)| (rel, valid))
+    }
+
+    /// One GC pass: relocate the victim's valid pages, persist the mapping,
+    /// erase. Returns false when no eligible victim exists.
+    fn collect_once(&mut self) -> Result<bool, FtlError> {
+        let Some((rel, valid)) = self.pick_victim() else {
+            return Ok(false);
+        };
+        self.stats.gc_events += 1;
+        let block = self.pool.abs(rel);
+        let ppb = self.cfg.geometry.pages_per_block;
+        if valid > 0 {
+            for idx in 0..ppb {
+                let ppn = self.cfg.geometry.ppn_at(block, idx);
+                if !self.map.is_live(ppn) {
+                    continue;
+                }
+                let mut buf = std::mem::take(&mut self.page_buf);
+                self.nand.read(ppn, &mut buf)?;
+                let dest = self.pool.alloc(&self.nand, WritePoint::Gc)?;
+                self.nand.program(dest, &buf)?;
+                self.page_buf = buf;
+                for lpn in self.map.relocate(ppn, dest)? {
+                    self.log.append(Delta { lpn, old: ppn, new: dest });
+                }
+                self.stats.copyback_pages += 1;
+            }
+        }
+        // The persisted mapping must stop referencing the victim before the
+        // victim's data disappears.
+        self.flush_log()?;
+        self.nand.erase(block)?;
+        self.stats.gc_erases += 1;
+        self.pool.release(rel);
+        Ok(true)
+    }
+
+    fn ensure_free(&mut self) -> Result<(), FtlError> {
+        if self.pool.free_count() > self.cfg.gc_low_water {
+            return Ok(());
+        }
+        while self.pool.free_count() < self.cfg.gc_high_water {
+            if !self.collect_once()? {
+                break;
+            }
+        }
+        if self.pool.free_count() == 0 {
+            return Err(FtlError::DeviceFull);
+        }
+        Ok(())
+    }
+
+    /// Validate a SHARE batch and resolve source PPNs (snapshot semantics).
+    fn validate_share(&self, pairs: &[SharePair]) -> Result<Vec<Ppn>, FtlError> {
+        let limit = self.cfg.deltas_per_page();
+        if pairs.len() > limit {
+            return Err(FtlError::BatchTooLarge { got: pairs.len(), max: limit });
+        }
+        let mut dests = HashSet::with_capacity(pairs.len());
+        let mut srcs = HashSet::with_capacity(pairs.len());
+        let mut src_ppns = Vec::with_capacity(pairs.len());
+        for p in pairs {
+            self.check_lpn(p.dest)?;
+            self.check_lpn(p.src)?;
+            if p.dest == p.src {
+                return Err(FtlError::InvalidBatch("destination equals source"));
+            }
+            if !dests.insert(p.dest) {
+                return Err(FtlError::InvalidBatch("duplicate destination LPN"));
+            }
+            srcs.insert(p.src);
+            let ppn = self.map.lookup(p.src);
+            if !ppn.is_valid() {
+                return Err(FtlError::SrcUnmapped(p.src));
+            }
+            src_ppns.push(ppn);
+        }
+        if pairs.iter().any(|p| srcs.contains(&p.dest)) {
+            return Err(FtlError::InvalidBatch("an LPN is both destination and source"));
+        }
+
+        // Reference-count overflow pre-check.
+        let mut incs: HashMap<Ppn, u32> = HashMap::new();
+        for &ppn in &src_ppns {
+            *incs.entry(ppn).or_default() += 1;
+        }
+        for (&ppn, &inc) in &incs {
+            if self.map.refcount(ppn) as u32 + inc > u16::MAX as u32 {
+                return Err(FtlError::RefOverflow);
+            }
+        }
+
+        // Reverse-map capacity pre-check, so the command is all-or-nothing
+        // at run time too (the caller falls back to a plain write). Under
+        // ScanOnOverflow the command never fails on capacity.
+        if self.map.policy() == crate::mapping::RevMapPolicy::Strict {
+            let mut need = 0usize;
+            for (p, &ppn) in pairs.iter().zip(&src_ppns) {
+                need += self.map.shared_slot_need(p.dest, ppn);
+            }
+            if need > self.map.revmap().free() {
+                return Err(FtlError::RevMapFull { capacity: self.map.revmap().capacity() });
+            }
+        }
+        Ok(src_ppns)
+    }
+}
+
+impl BlockDevice for Ftl {
+    fn page_size(&self) -> usize {
+        self.cfg.geometry.page_size
+    }
+
+    fn capacity_pages(&self) -> u64 {
+        self.cfg.logical_pages
+    }
+
+    fn read(&mut self, lpn: Lpn, buf: &mut [u8]) -> Result<(), FtlError> {
+        self.check_lpn(lpn)?;
+        if buf.len() != self.page_size() {
+            return Err(FtlError::BadBufferLength { got: buf.len(), want: self.page_size() });
+        }
+        self.stats.host_reads += 1;
+        self.stats.host_read_bytes += buf.len() as u64;
+        let ppn = self.map.lookup(lpn);
+        if ppn.is_valid() {
+            self.nand.read(ppn, buf)?;
+        } else {
+            buf.fill(0);
+            self.nand.clock().advance(self.cfg.timing.xfer_ns(buf.len()));
+        }
+        Ok(())
+    }
+
+    fn write(&mut self, lpn: Lpn, data: &[u8]) -> Result<(), FtlError> {
+        self.check_lpn(lpn)?;
+        if data.len() != self.page_size() {
+            return Err(FtlError::BadBufferLength { got: data.len(), want: self.page_size() });
+        }
+        self.stats.host_writes += 1;
+        self.stats.host_write_bytes += data.len() as u64;
+        self.ensure_free()?;
+        let ppn = self.pool.alloc(&self.nand, WritePoint::User)?;
+        self.nand.program(ppn, data)?;
+        let old = self.map.map_new_write(lpn, ppn)?;
+        self.log.append(Delta { lpn, old: old.old_ppn, new: ppn });
+        if self.log.buffer_full() {
+            self.flush_log()?;
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<(), FtlError> {
+        self.stats.flushes += 1;
+        self.nand.clock().advance(self.cfg.command_ns);
+        self.flush_log()
+    }
+
+    fn trim(&mut self, lpn: Lpn, len: u64) -> Result<(), FtlError> {
+        self.nand.clock().advance(self.cfg.command_ns);
+        for i in 0..len {
+            let l = lpn.offset(i);
+            self.check_lpn(l)?;
+            let old = self.map.unmap(l);
+            if old.old_ppn.is_valid() {
+                self.log.append(Delta { lpn: l, old: old.old_ppn, new: Ppn::INVALID });
+            }
+            self.stats.trims += 1;
+            if self.log.buffer_full() {
+                self.flush_log()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The SHARE command (§3.2): remap every `pair.dest` onto the physical
+    /// page of `pair.src`, atomically for the whole batch. The command
+    /// returns after its deltas are durably logged (§4.2.2).
+    fn share(&mut self, pairs: &[SharePair]) -> Result<(), FtlError> {
+        if pairs.is_empty() {
+            return Ok(());
+        }
+        let src_ppns = self.validate_share(pairs)?;
+        self.nand.clock().advance(self.cfg.command_ns);
+        self.stats.share_commands += 1;
+        self.stats.shared_pages += pairs.len() as u64;
+
+        let mut deltas = Vec::with_capacity(pairs.len());
+        for (p, &src_ppn) in pairs.iter().zip(&src_ppns) {
+            let old = self.map.map_shared(p.dest, src_ppn)?;
+            deltas.push(Delta { lpn: p.dest, old: old.old_ppn, new: src_ppn });
+        }
+        let before = self.log.pages_written;
+        self.log.flush_atomic_batch(&mut self.nand, &deltas)?;
+        self.stats.meta_page_writes += self.log.pages_written - before;
+        self.maybe_checkpoint()
+    }
+
+    fn share_batch_limit(&self) -> usize {
+        self.cfg.deltas_per_page()
+    }
+
+    /// Atomic multi-page write (§6.1's related-work primitive): all data
+    /// pages are programmed out-of-place first, then every mapping delta
+    /// of the batch is committed in a single atomically-programmed log
+    /// page — the same mechanism that makes SHARE batches atomic.
+    fn write_atomic(&mut self, pages: &[(Lpn, &[u8])]) -> Result<(), FtlError> {
+        if pages.is_empty() {
+            return Ok(());
+        }
+        let limit = self.cfg.deltas_per_page();
+        if pages.len() > limit {
+            return Err(FtlError::BatchTooLarge { got: pages.len(), max: limit });
+        }
+        let mut dests = HashSet::with_capacity(pages.len());
+        for (lpn, data) in pages {
+            self.check_lpn(*lpn)?;
+            if data.len() != self.page_size() {
+                return Err(FtlError::BadBufferLength { got: data.len(), want: self.page_size() });
+            }
+            if !dests.insert(*lpn) {
+                return Err(FtlError::InvalidBatch("duplicate LPN in atomic write"));
+            }
+        }
+        self.nand.clock().advance(self.cfg.command_ns);
+        let mut deltas = Vec::with_capacity(pages.len());
+        for (lpn, data) in pages {
+            self.stats.host_writes += 1;
+            self.stats.host_write_bytes += data.len() as u64;
+            self.ensure_free()?;
+            let ppn = self.pool.alloc(&self.nand, WritePoint::User)?;
+            self.nand.program(ppn, data)?;
+            let old = self.map.map_new_write(*lpn, ppn)?;
+            deltas.push(Delta { lpn: *lpn, old: old.old_ppn, new: ppn });
+        }
+        let before = self.log.pages_written;
+        self.log.flush_atomic_batch(&mut self.nand, &deltas)?;
+        self.stats.meta_page_writes += self.log.pages_written - before;
+        self.maybe_checkpoint()
+    }
+
+    fn write_atomic_limit(&self) -> usize {
+        self.cfg.deltas_per_page()
+    }
+
+    fn stats(&self) -> DeviceStats {
+        let mut s = self.stats;
+        s.nand = self.nand.stats();
+        s
+    }
+
+    fn clock(&self) -> &SimClock {
+        self.nand.clock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nand_sim::NandTiming;
+
+    fn tiny() -> Ftl {
+        // 1 MiB logical, generous OP so GC has room; zero latency for speed.
+        let cfg = FtlConfig::for_capacity_with(1 << 20, 0.5, 4096, 16, NandTiming::zero());
+        Ftl::new(cfg)
+    }
+
+    fn pagev(b: u8, ftl: &Ftl) -> Vec<u8> {
+        vec![b; ftl.page_size()]
+    }
+
+    fn read_byte(ftl: &mut Ftl, lpn: Lpn) -> u8 {
+        let mut buf = vec![0u8; ftl.page_size()];
+        ftl.read(lpn, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == buf[0]), "page not uniform");
+        buf[0]
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut f = tiny();
+        f.write(Lpn(7), &pagev(0xAA, &f)).unwrap();
+        assert_eq!(read_byte(&mut f, Lpn(7)), 0xAA);
+        f.check_invariants();
+    }
+
+    #[test]
+    fn unwritten_reads_zero() {
+        let mut f = tiny();
+        assert_eq!(read_byte(&mut f, Lpn(100)), 0);
+    }
+
+    #[test]
+    fn overwrite_returns_new_data() {
+        let mut f = tiny();
+        f.write(Lpn(5), &pagev(1, &f)).unwrap();
+        f.write(Lpn(5), &pagev(2, &f)).unwrap();
+        assert_eq!(read_byte(&mut f, Lpn(5)), 2);
+        f.check_invariants();
+    }
+
+    #[test]
+    fn share_makes_dest_read_src_content() {
+        let mut f = tiny();
+        f.write(Lpn(1), &pagev(0x11, &f)).unwrap();
+        f.write(Lpn(2), &pagev(0x22, &f)).unwrap();
+        f.share(&[SharePair::new(Lpn(1), Lpn(2))]).unwrap();
+        assert_eq!(read_byte(&mut f, Lpn(1)), 0x22);
+        assert_eq!(read_byte(&mut f, Lpn(2)), 0x22);
+        assert_eq!(f.mapping_of(Lpn(1)), f.mapping_of(Lpn(2)));
+        assert_eq!(f.refcount_of(Lpn(1)), 2);
+        f.check_invariants();
+    }
+
+    #[test]
+    fn share_consumes_no_data_page_writes() {
+        let mut f = tiny();
+        f.write(Lpn(1), &pagev(1, &f)).unwrap();
+        f.write(Lpn(2), &pagev(2, &f)).unwrap();
+        f.flush().unwrap(); // drain buffered deltas so the batch page is isolated
+        let before = f.stats();
+        f.share(&[SharePair::new(Lpn(1), Lpn(2))]).unwrap();
+        let d = f.stats().delta_since(&before);
+        assert_eq!(d.host_writes, 0);
+        // Exactly one meta page for the atomic batch.
+        assert_eq!(d.meta_page_writes, 1);
+        assert_eq!(d.share_commands, 1);
+        assert_eq!(d.shared_pages, 1);
+    }
+
+    #[test]
+    fn share_after_overwrite_of_src_keeps_old_content_for_dest() {
+        let mut f = tiny();
+        f.write(Lpn(1), &pagev(1, &f)).unwrap();
+        f.write(Lpn(2), &pagev(2, &f)).unwrap();
+        f.share(&[SharePair::new(Lpn(1), Lpn(2))]).unwrap();
+        // src moves on; dest keeps the shared physical page.
+        f.write(Lpn(2), &pagev(3, &f)).unwrap();
+        assert_eq!(read_byte(&mut f, Lpn(1)), 2);
+        assert_eq!(read_byte(&mut f, Lpn(2)), 3);
+        assert_eq!(f.refcount_of(Lpn(1)), 1);
+        f.check_invariants();
+    }
+
+    #[test]
+    fn share_unmapped_src_is_rejected() {
+        let mut f = tiny();
+        f.write(Lpn(1), &pagev(1, &f)).unwrap();
+        assert_eq!(
+            f.share(&[SharePair::new(Lpn(1), Lpn(9))]),
+            Err(FtlError::SrcUnmapped(Lpn(9)))
+        );
+        // Mapping untouched.
+        assert_eq!(read_byte(&mut f, Lpn(1)), 1);
+    }
+
+    #[test]
+    fn share_batch_validation() {
+        let mut f = tiny();
+        for i in 0..4 {
+            f.write(Lpn(i), &pagev(i as u8, &f)).unwrap();
+        }
+        assert_eq!(
+            f.share(&[SharePair::new(Lpn(1), Lpn(1))]),
+            Err(FtlError::InvalidBatch("destination equals source"))
+        );
+        assert_eq!(
+            f.share(&[SharePair::new(Lpn(1), Lpn(2)), SharePair::new(Lpn(1), Lpn(3))]),
+            Err(FtlError::InvalidBatch("duplicate destination LPN"))
+        );
+        assert_eq!(
+            f.share(&[SharePair::new(Lpn(1), Lpn(2)), SharePair::new(Lpn(3), Lpn(1))]),
+            Err(FtlError::InvalidBatch("an LPN is both destination and source"))
+        );
+        let too_big: Vec<SharePair> = (0..f.share_batch_limit() as u64 + 1)
+            .map(|i| SharePair::new(Lpn(1000 + i), Lpn(0)))
+            .collect();
+        assert!(matches!(f.share(&too_big), Err(FtlError::BatchTooLarge { .. })));
+        // Failed commands must not mutate state.
+        f.check_invariants();
+        assert_eq!(f.stats().share_commands, 0);
+    }
+
+    #[test]
+    fn ranged_share_remaps_every_page() {
+        let mut f = tiny();
+        for i in 0..8 {
+            f.write(Lpn(i), &pagev(i as u8, &f)).unwrap();
+        }
+        for i in 0..4u64 {
+            f.write(Lpn(100 + i), &pagev(0xF0 + i as u8, &f)).unwrap();
+        }
+        f.share(&SharePair::range(Lpn(0), Lpn(100), 4)).unwrap();
+        for i in 0..4u64 {
+            assert_eq!(read_byte(&mut f, Lpn(i)), 0xF0 + i as u8);
+        }
+        for i in 4..8u64 {
+            assert_eq!(read_byte(&mut f, Lpn(i)), i as u8);
+        }
+        f.check_invariants();
+    }
+
+    #[test]
+    fn trim_unmaps_and_reads_zero() {
+        let mut f = tiny();
+        f.write(Lpn(3), &pagev(9, &f)).unwrap();
+        f.trim(Lpn(3), 1).unwrap();
+        assert_eq!(read_byte(&mut f, Lpn(3)), 0);
+        assert_eq!(f.mapping_of(Lpn(3)), None);
+        f.check_invariants();
+    }
+
+    #[test]
+    fn revmap_full_rejects_whole_batch() {
+        let cfg = {
+            let mut c = FtlConfig::for_capacity_with(1 << 20, 0.5, 4096, 16, NandTiming::zero());
+            c.revmap_capacity = 2;
+            c.revmap_policy = crate::mapping::RevMapPolicy::Strict;
+            c
+        };
+        let mut f = Ftl::new(cfg);
+        for i in 0..8 {
+            f.write(Lpn(i), &pagev(i as u8, &f)).unwrap();
+        }
+        // Two shares fit...
+        f.share(&[SharePair::new(Lpn(0), Lpn(4)), SharePair::new(Lpn(1), Lpn(5))]).unwrap();
+        assert_eq!(f.revmap_len(), 2);
+        // ...a third does not, and the whole batch is rejected.
+        assert_eq!(
+            f.share(&[SharePair::new(Lpn(2), Lpn(6)), SharePair::new(Lpn(3), Lpn(7))]),
+            Err(FtlError::RevMapFull { capacity: 2 })
+        );
+        assert_eq!(f.revmap_len(), 2);
+        assert_eq!(read_byte(&mut f, Lpn(2)), 2);
+        f.check_invariants();
+    }
+
+    #[test]
+    fn overwriting_shared_dest_releases_revmap_slot() {
+        let mut f = tiny();
+        f.write(Lpn(0), &pagev(1, &f)).unwrap();
+        f.write(Lpn(1), &pagev(2, &f)).unwrap();
+        f.share(&[SharePair::new(Lpn(0), Lpn(1))]).unwrap();
+        assert_eq!(f.revmap_len(), 1);
+        f.write(Lpn(0), &pagev(3, &f)).unwrap();
+        assert_eq!(f.revmap_len(), 0);
+        f.check_invariants();
+    }
+
+    #[test]
+    fn gc_reclaims_space_under_overwrite_pressure() {
+        let mut f = tiny();
+        let logical = f.capacity_pages();
+        // Fill the device, then overwrite half of it repeatedly.
+        for i in 0..logical {
+            f.write(Lpn(i), &pagev((i % 251) as u8, &f)).unwrap();
+        }
+        for round in 0..4u64 {
+            for i in 0..logical / 2 {
+                f.write(Lpn(i), &pagev(((i + round) % 251) as u8, &f)).unwrap();
+            }
+        }
+        let s = f.stats();
+        assert!(s.gc_events > 0, "GC must have run");
+        assert!(s.gc_erases > 0);
+        assert!(s.waf() > 1.0);
+        // All data still readable and correct.
+        for i in 0..logical / 2 {
+            assert_eq!(read_byte(&mut f, Lpn(i)), ((i + 3) % 251) as u8);
+        }
+        for i in logical / 2..logical {
+            assert_eq!(read_byte(&mut f, Lpn(i)), (i % 251) as u8);
+        }
+        f.check_invariants();
+    }
+
+    #[test]
+    fn gc_preserves_shared_pages() {
+        let mut f = tiny();
+        let logical = f.capacity_pages();
+        // Create shared mappings up front.
+        f.write(Lpn(0), &pagev(0x5A, &f)).unwrap();
+        f.share(&[SharePair::new(Lpn(1), Lpn(0)), SharePair::new(Lpn(2), Lpn(0))]).unwrap();
+        // Force many GC cycles with overwrite churn elsewhere.
+        for round in 0..6u64 {
+            for i in 3..logical {
+                f.write(Lpn(i), &pagev(((i * 7 + round) % 251) as u8, &f)).unwrap();
+            }
+        }
+        assert!(f.stats().gc_events > 0);
+        // The shared trio still reads the same content through one PPN.
+        assert_eq!(read_byte(&mut f, Lpn(0)), 0x5A);
+        assert_eq!(read_byte(&mut f, Lpn(1)), 0x5A);
+        assert_eq!(read_byte(&mut f, Lpn(2)), 0x5A);
+        assert_eq!(f.mapping_of(Lpn(0)), f.mapping_of(Lpn(1)));
+        assert_eq!(f.mapping_of(Lpn(1)), f.mapping_of(Lpn(2)));
+        f.check_invariants();
+    }
+
+    #[test]
+    fn flush_persists_and_reopen_recovers() {
+        let mut f = tiny();
+        let cfg = f.config().clone();
+        for i in 0..50 {
+            f.write(Lpn(i), &pagev((i + 1) as u8, &f)).unwrap();
+        }
+        f.share(&[SharePair::new(Lpn(60), Lpn(0))]).unwrap();
+        f.flush().unwrap();
+        let nand = f.into_nand();
+        let mut f2 = Ftl::open(cfg, nand).unwrap();
+        for i in 0..50 {
+            assert_eq!(read_byte(&mut f2, Lpn(i)), (i + 1) as u8);
+        }
+        assert_eq!(read_byte(&mut f2, Lpn(60)), 1);
+        assert_eq!(f2.mapping_of(Lpn(60)), f2.mapping_of(Lpn(0)));
+        f2.check_invariants();
+    }
+
+    #[test]
+    fn unflushed_writes_may_be_lost_but_old_data_survives() {
+        let mut f = tiny();
+        let cfg = f.config().clone();
+        f.write(Lpn(1), &pagev(1, &f)).unwrap();
+        f.flush().unwrap();
+        // Overwrite without flush: durability not promised for the new data,
+        // but recovery must yield *some* consistent version (here: the old).
+        f.write(Lpn(1), &pagev(2, &f)).unwrap();
+        let mut f2 = Ftl::open(cfg, f.into_nand()).unwrap();
+        let v = read_byte(&mut f2, Lpn(1));
+        assert!(v == 1 || v == 2, "must be old or new, got {v}");
+        f2.check_invariants();
+    }
+
+    #[test]
+    fn crash_mid_share_batch_is_all_or_nothing() {
+        let mut f = tiny();
+        let cfg = f.config().clone();
+        for i in 0..4 {
+            f.write(Lpn(i), &pagev(10 + i as u8, &f)).unwrap();
+        }
+        for i in 0..4u64 {
+            f.write(Lpn(100 + i), &pagev(20 + i as u8, &f)).unwrap();
+        }
+        f.flush().unwrap();
+        // Tear the very next NAND program: that is the atomic batch's log page.
+        f.fault_handle().arm_after_programs(1, nand_sim::FaultMode::TornHalf);
+        let pairs = SharePair::range(Lpn(0), Lpn(100), 4);
+        assert!(f.share(&pairs).is_err());
+        let mut f2 = Ftl::open(cfg, f.into_nand()).unwrap();
+        let first = read_byte(&mut f2, Lpn(0));
+        let all_old = first == 10;
+        for i in 0..4u64 {
+            let v = read_byte(&mut f2, Lpn(i));
+            if all_old {
+                assert_eq!(v, 10 + i as u8, "partial share visible after crash");
+            } else {
+                assert_eq!(v, 20 + i as u8, "partial share visible after crash");
+            }
+        }
+        f2.check_invariants();
+    }
+
+    #[test]
+    fn committed_share_survives_crash() {
+        let mut f = tiny();
+        let cfg = f.config().clone();
+        for i in 0..4 {
+            f.write(Lpn(i), &pagev(10 + i as u8, &f)).unwrap();
+        }
+        for i in 0..4u64 {
+            f.write(Lpn(100 + i), &pagev(20 + i as u8, &f)).unwrap();
+        }
+        f.share(&SharePair::range(Lpn(0), Lpn(100), 4)).unwrap();
+        // Crash on the next data write, *after* the share completed.
+        f.fault_handle().arm_after_programs(1, nand_sim::FaultMode::AfterProgram);
+        let _ = f.write(Lpn(200), &pagev(1, &f));
+        let mut f2 = Ftl::open(cfg, f.into_nand()).unwrap();
+        for i in 0..4u64 {
+            assert_eq!(read_byte(&mut f2, Lpn(i)), 20 + i as u8);
+        }
+        f2.check_invariants();
+    }
+
+    #[test]
+    fn checkpoint_cycles_do_not_lose_data() {
+        // Tiny log ring forces frequent checkpoints.
+        let mut cfg = FtlConfig::for_capacity_with(256 << 10, 0.5, 4096, 16, NandTiming::zero());
+        cfg.log_blocks = 2;
+        let mut f = Ftl::new(cfg.clone());
+        let logical = f.capacity_pages();
+        let rounds = 30u64;
+        for round in 0..rounds {
+            for i in 0..logical {
+                f.write(Lpn(i), &pagev(((i + round) % 251) as u8, &f)).unwrap();
+            }
+            f.flush().unwrap();
+        }
+        assert!(f.stats().checkpoints > 1, "expected periodic checkpoints");
+        let mut f2 = Ftl::open(cfg, f.into_nand()).unwrap();
+        for i in 0..logical {
+            assert_eq!(read_byte(&mut f2, Lpn(i)), ((i + rounds - 1) % 251) as u8);
+        }
+    }
+
+    #[test]
+    fn stats_track_host_and_nand_sides() {
+        let mut f = tiny();
+        f.write(Lpn(0), &pagev(1, &f)).unwrap();
+        f.flush().unwrap();
+        let s = f.stats();
+        assert_eq!(s.host_writes, 1);
+        assert_eq!(s.flushes, 1);
+        assert!(s.nand.page_programs >= 2); // data page + delta page
+        assert!(s.meta_page_writes >= 1);
+    }
+
+    #[test]
+    fn out_of_range_lpn_rejected_everywhere() {
+        let mut f = tiny();
+        let cap = f.capacity_pages();
+        let buf = pagev(0, &f);
+        let mut rbuf = buf.clone();
+        assert!(matches!(f.write(Lpn(cap), &buf), Err(FtlError::LpnOutOfRange { .. })));
+        assert!(matches!(f.read(Lpn(cap), &mut rbuf), Err(FtlError::LpnOutOfRange { .. })));
+        assert!(matches!(f.trim(Lpn(cap), 1), Err(FtlError::LpnOutOfRange { .. })));
+        assert!(matches!(
+            f.share(&[SharePair::new(Lpn(cap), Lpn(0))]),
+            Err(FtlError::LpnOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn write_atomic_batch_round_trips() {
+        let mut f = tiny();
+        let imgs: Vec<Vec<u8>> = (0..8u8).map(|i| pagev(0x30 + i, &f)).collect();
+        let batch: Vec<(Lpn, &[u8])> =
+            imgs.iter().enumerate().map(|(i, v)| (Lpn(i as u64), v.as_slice())).collect();
+        f.write_atomic(&batch).unwrap();
+        for i in 0..8u64 {
+            assert_eq!(read_byte(&mut f, Lpn(i)), 0x30 + i as u8);
+        }
+        assert_eq!(f.stats().host_writes, 8);
+        f.check_invariants();
+    }
+
+    #[test]
+    fn write_atomic_is_all_or_nothing_across_crash() {
+        // Sweep crash points across the batch's data programs and its
+        // commit (delta) page: recovery must show all-old or all-new.
+        for crash_at in 1..=10u64 {
+            let mut f = tiny();
+            let cfg = f.config().clone();
+            let old: Vec<Vec<u8>> = (0..8u8).map(|i| pagev(0x10 + i, &f)).collect();
+            let batch: Vec<(Lpn, &[u8])> =
+                old.iter().enumerate().map(|(i, v)| (Lpn(i as u64), v.as_slice())).collect();
+            f.write_atomic(&batch).unwrap();
+            f.flush().unwrap();
+
+            let new: Vec<Vec<u8>> = (0..8u8).map(|i| pagev(0x50 + i, &f)).collect();
+            let batch: Vec<(Lpn, &[u8])> =
+                new.iter().enumerate().map(|(i, v)| (Lpn(i as u64), v.as_slice())).collect();
+            f.fault_handle().arm_after_programs(crash_at, nand_sim::FaultMode::TornHalf);
+            let crashed = f.write_atomic(&batch).is_err();
+            f.fault_handle().disarm();
+            let mut f2 = Ftl::open(cfg, f.into_nand()).unwrap();
+            let first = read_byte(&mut f2, Lpn(0));
+            let base = if first == 0x10 { 0x10 } else { 0x50 };
+            for i in 0..8u64 {
+                assert_eq!(
+                    read_byte(&mut f2, Lpn(i)),
+                    base + i as u8,
+                    "crash {crash_at} (crashed={crashed}): partial atomic write visible"
+                );
+            }
+            f2.check_invariants();
+        }
+    }
+
+    #[test]
+    fn write_atomic_validates_batches() {
+        let mut f = tiny();
+        let img = pagev(1, &f);
+        assert_eq!(
+            f.write_atomic(&[(Lpn(0), img.as_slice()), (Lpn(0), img.as_slice())]),
+            Err(FtlError::InvalidBatch("duplicate LPN in atomic write"))
+        );
+        let too_big: Vec<(Lpn, &[u8])> =
+            (0..f.write_atomic_limit() as u64 + 1).map(|i| (Lpn(i), img.as_slice())).collect();
+        assert!(matches!(f.write_atomic(&too_big), Err(FtlError::BatchTooLarge { .. })));
+        assert_eq!(f.stats().host_writes, 0, "failed batches must not write");
+    }
+
+    #[test]
+    fn wear_stats_track_erases_and_stay_balanced() {
+        let mut f = tiny();
+        let logical = f.capacity_pages();
+        let w0 = f.wear_stats();
+        assert_eq!(w0.max_erases, 0);
+        for round in 0..10u64 {
+            for i in 0..logical {
+                f.write(Lpn(i), &pagev(((i + round) % 251) as u8, &f)).unwrap();
+            }
+        }
+        let w = f.wear_stats();
+        assert!(w.max_erases > 0, "churn must cause erases");
+        assert!(w.mean_erases > 0.5);
+        // Min-erase-count free-block selection keeps wear within a band.
+        assert!(
+            w.max_erases - w.min_erases <= w.max_erases.max(4),
+            "wear spread too wide: {w:?}"
+        );
+    }
+
+    #[test]
+    fn share_timing_is_cheaper_than_write() {
+        // With real latencies, sharing N pages must beat writing N pages.
+        let cfg = FtlConfig::for_capacity_with(2 << 20, 0.5, 4096, 16, NandTiming::default());
+        let mut f = Ftl::new(cfg);
+        for i in 0..64u64 {
+            f.write(Lpn(i), &pagev(1, &f)).unwrap();
+        }
+        for i in 0..64u64 {
+            f.write(Lpn(100 + i), &pagev(2, &f)).unwrap();
+        }
+        let t0 = f.clock().now_ns();
+        f.share(&SharePair::range(Lpn(0), Lpn(100), 64)).unwrap();
+        let share_cost = f.clock().now_ns() - t0;
+
+        let t1 = f.clock().now_ns();
+        for i in 0..64u64 {
+            f.write(Lpn(200 + i), &pagev(3, &f)).unwrap();
+        }
+        let write_cost = f.clock().now_ns() - t1;
+        assert!(
+            share_cost * 10 < write_cost,
+            "share ({share_cost} ns) should be >10x cheaper than writes ({write_cost} ns)"
+        );
+    }
+}

@@ -1,0 +1,287 @@
+//! Data-pool block management: free list, active write points, block states.
+//!
+//! The pool tracks which data blocks are free (erased), which two are open
+//! as write points (one for host writes, one for GC copyback — keeping hot
+//! host data and cold relocated data apart), and which are closed and thus
+//! eligible as GC victims.
+
+use crate::error::FtlError;
+use nand_sim::{BlockId, NandArray, NandGeometry, Ppn};
+
+/// Lifecycle of a data-pool block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockState {
+    /// Erased, on the free list.
+    Free,
+    /// Open as the host-write point.
+    UserOpen,
+    /// Open as the GC copyback destination.
+    GcOpen,
+    /// Fully or partially programmed and sealed; GC victim candidate.
+    Closed,
+}
+
+/// Which write point an allocation feeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WritePoint {
+    /// Host data.
+    User,
+    /// GC copyback data.
+    Gc,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Open {
+    block: u32, // relative block index
+    next: u32,  // next in-block page
+}
+
+/// The data-pool allocator.
+#[derive(Debug)]
+pub struct BlockPool {
+    geometry: NandGeometry,
+    start: u32,
+    count: u32,
+    state: Vec<BlockState>,
+    free: Vec<u32>,
+    user: Option<Open>,
+    gc: Option<Open>,
+    /// Monotonic sequence assigned when a block is sealed (FIFO GC order).
+    seal_seq: Vec<u64>,
+    seal_counter: u64,
+}
+
+impl BlockPool {
+    /// A pool over data blocks `[start, start + count)`, all erased.
+    pub fn new(geometry: NandGeometry, start: BlockId, count: u32) -> Self {
+        Self {
+            geometry,
+            start: start.0,
+            count,
+            state: vec![BlockState::Free; count as usize],
+            free: (0..count).rev().collect(),
+            user: None,
+            gc: None,
+            seal_seq: vec![0; count as usize],
+            seal_counter: 0,
+        }
+    }
+
+    /// Absolute block id for pool-relative index `rel`.
+    #[inline]
+    pub fn abs(&self, rel: u32) -> BlockId {
+        BlockId(self.start + rel)
+    }
+
+    /// Pool-relative index for absolute `block`, if it is in the pool.
+    #[inline]
+    pub fn rel(&self, block: BlockId) -> Option<u32> {
+        block.0.checked_sub(self.start).filter(|&r| r < self.count)
+    }
+
+    /// Number of erased blocks on the free list.
+    pub fn free_count(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Number of blocks in the pool.
+    pub fn block_count(&self) -> u32 {
+        self.count
+    }
+
+    /// State of pool-relative block `rel`.
+    pub fn state(&self, rel: u32) -> BlockState {
+        self.state[rel as usize]
+    }
+
+    /// Pop the free block with the lowest erase count (simple wear leveling).
+    fn pop_free(&mut self, nand: &NandArray) -> Option<u32> {
+        if self.free.is_empty() {
+            return None;
+        }
+        let (pos, _) = self
+            .free
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &rel)| nand.erase_count(self.abs(rel)))?;
+        Some(self.free.swap_remove(pos))
+    }
+
+    fn open_mut(&mut self, wp: WritePoint) -> &mut Option<Open> {
+        match wp {
+            WritePoint::User => &mut self.user,
+            WritePoint::Gc => &mut self.gc,
+        }
+    }
+
+    /// Allocate the next physical page for `wp`, opening a fresh block from
+    /// the free list when needed. Fails with `DeviceFull` when no block is
+    /// available.
+    pub fn alloc(&mut self, nand: &NandArray, wp: WritePoint) -> Result<Ppn, FtlError> {
+        let ppb = self.geometry.pages_per_block;
+        // Close a full write point first.
+        if let Some(open) = *self.open_mut(wp) {
+            if open.next >= ppb {
+                self.state[open.block as usize] = BlockState::Closed;
+                self.seal_counter += 1;
+                self.seal_seq[open.block as usize] = self.seal_counter;
+                *self.open_mut(wp) = None;
+            }
+        }
+        if self.open_mut(wp).is_none() {
+            let rel = self.pop_free(nand).ok_or(FtlError::DeviceFull)?;
+            self.state[rel as usize] = match wp {
+                WritePoint::User => BlockState::UserOpen,
+                WritePoint::Gc => BlockState::GcOpen,
+            };
+            *self.open_mut(wp) = Some(Open { block: rel, next: 0 });
+        }
+        let geometry = self.geometry;
+        let start = self.start;
+        let open = self.open_mut(wp).as_mut().expect("opened above");
+        let ppn = geometry.ppn_at(BlockId(start + open.block), open.next);
+        open.next += 1;
+        Ok(ppn)
+    }
+
+    /// Whether `rel` may be chosen as a GC victim (closed, not a write point).
+    pub fn victim_eligible(&self, rel: u32) -> bool {
+        self.state[rel as usize] == BlockState::Closed
+    }
+
+    /// Return an erased victim to the free list.
+    pub fn release(&mut self, rel: u32) {
+        debug_assert_eq!(self.state[rel as usize], BlockState::Closed);
+        self.state[rel as usize] = BlockState::Free;
+        self.free.push(rel);
+    }
+
+    /// Rebuild pool state after recovery from NAND program frontiers:
+    /// untouched blocks are free, anything programmed is sealed. (Real MLC
+    /// firmware also refuses to append to a block left open across power
+    /// loss.)
+    pub fn rebuild_from_nand(&mut self, nand: &NandArray) {
+        self.user = None;
+        self.gc = None;
+        self.free.clear();
+        for rel in 0..self.count {
+            if nand.write_frontier(self.abs(rel)) == 0 {
+                self.state[rel as usize] = BlockState::Free;
+                self.free.push(rel);
+            } else {
+                self.state[rel as usize] = BlockState::Closed;
+                self.seal_counter += 1;
+                self.seal_seq[rel as usize] = self.seal_counter;
+            }
+        }
+    }
+
+    /// Seal order of a closed block (lower = sealed earlier).
+    pub fn seal_seq(&self, rel: u32) -> u64 {
+        self.seal_seq[rel as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nand_sim::{NandTiming, SimClock};
+
+    fn setup() -> (BlockPool, NandArray) {
+        let g = NandGeometry::new(512, 4, 10);
+        let nand = NandArray::with_timing(g, NandTiming::zero(), SimClock::new());
+        // Data pool: blocks 2..10 (first two "meta").
+        (BlockPool::new(g, BlockId(2), 8), nand)
+    }
+
+    #[test]
+    fn allocations_are_sequential_within_a_block() {
+        let (mut pool, nand) = setup();
+        let p0 = pool.alloc(&nand, WritePoint::User).unwrap();
+        let p1 = pool.alloc(&nand, WritePoint::User).unwrap();
+        assert_eq!(p1.0, p0.0 + 1);
+        // Same block until it fills (4 pages).
+        let p2 = pool.alloc(&nand, WritePoint::User).unwrap();
+        let p3 = pool.alloc(&nand, WritePoint::User).unwrap();
+        assert_eq!(nand.geometry().block_of(p0), nand.geometry().block_of(p3));
+        let p4 = pool.alloc(&nand, WritePoint::User).unwrap();
+        assert_ne!(nand.geometry().block_of(p0), nand.geometry().block_of(p4));
+        let _ = (p2, p4);
+    }
+
+    #[test]
+    fn user_and_gc_write_points_use_distinct_blocks() {
+        let (mut pool, nand) = setup();
+        let u = pool.alloc(&nand, WritePoint::User).unwrap();
+        let g = pool.alloc(&nand, WritePoint::Gc).unwrap();
+        assert_ne!(nand.geometry().block_of(u), nand.geometry().block_of(g));
+    }
+
+    #[test]
+    fn exhaustion_yields_device_full() {
+        let (mut pool, nand) = setup();
+        // 8 blocks * 4 pages = 32 allocations, all to the user point.
+        for _ in 0..32 {
+            pool.alloc(&nand, WritePoint::User).unwrap();
+        }
+        assert_eq!(pool.alloc(&nand, WritePoint::User), Err(FtlError::DeviceFull));
+        assert_eq!(pool.free_count(), 0);
+    }
+
+    #[test]
+    fn full_blocks_become_victim_eligible() {
+        let (mut pool, nand) = setup();
+        for _ in 0..4 {
+            pool.alloc(&nand, WritePoint::User).unwrap();
+        }
+        // Block not yet closed: closing happens lazily on the next alloc.
+        pool.alloc(&nand, WritePoint::User).unwrap();
+        let closed: Vec<u32> = (0..8).filter(|&r| pool.victim_eligible(r)).collect();
+        assert_eq!(closed.len(), 1);
+    }
+
+    #[test]
+    fn release_returns_block_to_free_list() {
+        let (mut pool, nand) = setup();
+        for _ in 0..5 {
+            pool.alloc(&nand, WritePoint::User).unwrap();
+        }
+        let victim = (0..8).find(|&r| pool.victim_eligible(r)).unwrap();
+        let before = pool.free_count();
+        pool.release(victim);
+        assert_eq!(pool.free_count(), before + 1);
+        assert_eq!(pool.state(victim), BlockState::Free);
+    }
+
+    #[test]
+    fn wear_leveling_prefers_low_erase_count() {
+        let (mut pool, mut nand) = setup();
+        // Wear out block rel=0 (abs 2) heavily.
+        for _ in 0..5 {
+            nand.erase(BlockId(2)).unwrap();
+        }
+        let p = pool.alloc(&nand, WritePoint::User).unwrap();
+        // Allocation should come from some block other than the worn one.
+        assert_ne!(nand.geometry().block_of(p), BlockId(2));
+    }
+
+    #[test]
+    fn rebuild_from_nand_seals_programmed_blocks() {
+        let (mut pool, mut nand) = setup();
+        let p = pool.alloc(&nand, WritePoint::User).unwrap();
+        nand.program(p, &[0u8; 512]).unwrap();
+        pool.rebuild_from_nand(&nand);
+        let rel = pool.rel(nand.geometry().block_of(p)).unwrap();
+        assert_eq!(pool.state(rel), BlockState::Closed);
+        assert_eq!(pool.free_count(), 7);
+    }
+
+    #[test]
+    fn rel_abs_round_trip() {
+        let (pool, _) = setup();
+        assert_eq!(pool.abs(3), BlockId(5));
+        assert_eq!(pool.rel(BlockId(5)), Some(3));
+        assert_eq!(pool.rel(BlockId(1)), None); // meta area
+        assert_eq!(pool.rel(BlockId(10)), None); // beyond pool
+    }
+}

@@ -1,0 +1,100 @@
+//! Host- and device-level I/O statistics.
+//!
+//! These counters regenerate the paper's Figure 6: host page writes,
+//! garbage-collection events, and copyback pages, plus the derived write
+//! amplification factor (WAF).
+
+use nand_sim::NandStats;
+
+/// Cumulative statistics of one block device.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeviceStats {
+    /// Host read commands (pages).
+    pub host_reads: u64,
+    /// Host write commands (pages).
+    pub host_writes: u64,
+    /// Bytes read by the host.
+    pub host_read_bytes: u64,
+    /// Bytes written by the host.
+    pub host_write_bytes: u64,
+    /// Flush (fsync) commands.
+    pub flushes: u64,
+    /// TRIMmed pages.
+    pub trims: u64,
+    /// SHARE commands received (a batch counts once).
+    pub share_commands: u64,
+    /// Individual LPN pairs remapped by SHARE.
+    pub shared_pages: u64,
+    /// Garbage-collection victim selections.
+    pub gc_events: u64,
+    /// Valid pages copied back during GC.
+    pub copyback_pages: u64,
+    /// Blocks erased by GC (excludes meta-area erases).
+    pub gc_erases: u64,
+    /// Mapping meta pages programmed (delta log + checkpoints).
+    pub meta_page_writes: u64,
+    /// Mapping-table checkpoints taken.
+    pub checkpoints: u64,
+    /// Raw NAND counters (includes meta and GC traffic).
+    pub nand: NandStats,
+}
+
+impl DeviceStats {
+    /// Write amplification: NAND page programs per host page write.
+    pub fn waf(&self) -> f64 {
+        if self.host_writes == 0 {
+            0.0
+        } else {
+            self.nand.page_programs as f64 / self.host_writes as f64
+        }
+    }
+
+    /// Field-wise difference `self - earlier`, for measurement windows.
+    pub fn delta_since(&self, earlier: &DeviceStats) -> DeviceStats {
+        DeviceStats {
+            host_reads: self.host_reads - earlier.host_reads,
+            host_writes: self.host_writes - earlier.host_writes,
+            host_read_bytes: self.host_read_bytes - earlier.host_read_bytes,
+            host_write_bytes: self.host_write_bytes - earlier.host_write_bytes,
+            flushes: self.flushes - earlier.flushes,
+            trims: self.trims - earlier.trims,
+            share_commands: self.share_commands - earlier.share_commands,
+            shared_pages: self.shared_pages - earlier.shared_pages,
+            gc_events: self.gc_events - earlier.gc_events,
+            copyback_pages: self.copyback_pages - earlier.copyback_pages,
+            gc_erases: self.gc_erases - earlier.gc_erases,
+            meta_page_writes: self.meta_page_writes - earlier.meta_page_writes,
+            checkpoints: self.checkpoints - earlier.checkpoints,
+            nand: self.nand.delta_since(&earlier.nand),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waf_handles_zero_writes() {
+        assert_eq!(DeviceStats::default().waf(), 0.0);
+    }
+
+    #[test]
+    fn waf_ratio() {
+        let s = DeviceStats {
+            host_writes: 100,
+            nand: NandStats { page_programs: 150, ..Default::default() },
+            ..Default::default()
+        };
+        assert!((s.waf() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_subtracts() {
+        let a = DeviceStats { host_writes: 10, gc_events: 3, ..Default::default() };
+        let b = DeviceStats { host_writes: 4, gc_events: 1, ..Default::default() };
+        let d = a.delta_since(&b);
+        assert_eq!(d.host_writes, 6);
+        assert_eq!(d.gc_events, 2);
+    }
+}

@@ -1,0 +1,57 @@
+//! Error type for the document store.
+
+use share_core::FtlError;
+use share_vfs::VfsError;
+use std::fmt;
+
+/// Errors surfaced by [`crate::CouchStore`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CouchError {
+    /// File-system / device failure.
+    Vfs(VfsError),
+    /// On-disk structure is unusable.
+    Corrupt(String),
+}
+
+impl fmt::Display for CouchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CouchError::Vfs(e) => write!(f, "vfs: {e}"),
+            CouchError::Corrupt(m) => write!(f, "corrupt store: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CouchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CouchError::Vfs(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<VfsError> for CouchError {
+    fn from(e: VfsError) -> Self {
+        CouchError::Vfs(e)
+    }
+}
+
+impl From<FtlError> for CouchError {
+    fn from(e: FtlError) -> Self {
+        CouchError::Vfs(VfsError::Device(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversion_and_display() {
+        let e: CouchError = VfsError::NotFound("db".into()).into();
+        assert!(e.to_string().contains("db"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(CouchError::Corrupt("x".into()).to_string().contains("x"));
+    }
+}

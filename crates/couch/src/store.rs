@@ -1,0 +1,696 @@
+//! The append-only document store (couchstore-like engine).
+//!
+//! Updates append new document copies at the file tail; commits fsync every
+//! `batch_size` updates. What happens to the **index** is the experimental
+//! axis of the paper's §5.3.2:
+//!
+//! * [`CouchMode::Original`] — copy-on-write wandering tree: each commit
+//!   rewrites every tree node on the path from touched leaves to the root
+//!   and appends a new header (Figure 1(b)).
+//! * [`CouchMode::Share`] — an update's new copy is SHARE-remapped onto the
+//!   old document's blocks, so the tree (and header) need not change at
+//!   all; only inserts and deletes fall back to the tree path.
+
+use crate::format::{
+    decode_doc_block, decode_header, decode_node, doc_blocks, encode_doc, encode_header,
+    encode_node, node_capacity, DocPtr, Header, NodeEntry,
+};
+use crate::CouchError;
+use share_core::BlockDevice;
+use share_vfs::{FileId, Vfs};
+use std::collections::{BTreeMap, HashMap};
+
+/// Sentinel for "no root".
+pub const NO_ROOT: u64 = u64::MAX;
+
+/// Index-maintenance strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CouchMode {
+    /// Copy-on-write wandering tree (stock couchstore behaviour).
+    Original,
+    /// SHARE-remap updates in place of the index cascade.
+    Share,
+}
+
+impl CouchMode {
+    /// Label used in experiment output.
+    pub fn label(self) -> &'static str {
+        match self {
+            CouchMode::Original => "Original",
+            CouchMode::Share => "SHARE",
+        }
+    }
+}
+
+/// Store configuration.
+#[derive(Debug, Clone)]
+pub struct CouchConfig {
+    /// Index strategy.
+    pub mode: CouchMode,
+    /// Updates per fsync (the paper's `batch-size` knob, 1..256).
+    pub batch_size: usize,
+    /// Max entries per tree node (drives tree height).
+    pub node_max_entries: usize,
+    /// Auto-compaction trigger: "when the ratio of stale data reaches a
+    /// configured threshold, the costly compaction operation is invoked"
+    /// (§2.2). `None` disables (compact explicitly).
+    pub auto_compact_ratio: Option<f64>,
+    /// Do not auto-compact below this file size (avoids thrashing tiny
+    /// databases where headers dominate the stale ratio).
+    pub auto_compact_min_blocks: u64,
+}
+
+impl Default for CouchConfig {
+    fn default() -> Self {
+        Self {
+            mode: CouchMode::Original,
+            batch_size: 1,
+            node_max_entries: 100,
+            auto_compact_ratio: None,
+            auto_compact_min_blocks: 1_024,
+        }
+    }
+}
+
+/// Engine counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CouchStats {
+    /// Commits (fsync boundaries).
+    pub commits: u64,
+    /// Document blocks appended.
+    pub doc_blocks_appended: u64,
+    /// Tree node blocks appended (the wandering-tree cost).
+    pub node_blocks_appended: u64,
+    /// Header blocks appended.
+    pub header_blocks_appended: u64,
+    /// Documents remapped via SHARE instead of a tree update.
+    pub share_remaps: u64,
+    /// Updates that had to fall back to the tree path in SHARE mode
+    /// (size change, new key, or rev-map pressure).
+    pub share_fallbacks: u64,
+    /// Compactions performed.
+    pub compactions: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Pending {
+    /// Insert/replace; the `u64` is the cross-index coordinate (seq for
+    /// by-id updates, doc key for by-seq updates).
+    Put(DocPtr, u64),
+    Delete,
+}
+
+/// The document store over a [`Vfs`].
+pub struct CouchStore<D: BlockDevice> {
+    pub(crate) fs: Vfs<D>,
+    pub(crate) file: FileId,
+    pub(crate) name: String,
+    pub(crate) cfg: CouchConfig,
+    pub(crate) tail: u64,
+    pub(crate) root: u64,
+    pub(crate) root_level: u8,
+    pub(crate) seq_root: u64,
+    pub(crate) seq_root_level: u8,
+    pub(crate) next_seq: u64,
+    pub(crate) hdr_seq: u64,
+    pub(crate) doc_count: u64,
+    pub(crate) stale_blocks: u64,
+    next_rev: u64,
+    pending: BTreeMap<u64, Pending>,
+    /// By-seq index changes awaiting commit (key = sequence number).
+    pending_seq: BTreeMap<u64, Pending>,
+    /// Same-size updates awaiting a SHARE remap at commit: key -> (old
+    /// location, newest appended copy). Re-updates of a key within one
+    /// batch coalesce here (last writer wins; earlier copies go stale).
+    pending_shares: BTreeMap<u64, (DocPtr, DocPtr)>,
+    ops_since_commit: usize,
+    pub(crate) node_cache: HashMap<u64, (u8, Vec<NodeEntry>)>,
+    pub(crate) stats: CouchStats,
+}
+
+impl<D: BlockDevice> CouchStore<D> {
+    /// Create a fresh database file `name` on `fs`.
+    pub fn create(mut fs: Vfs<D>, name: &str, cfg: CouchConfig) -> Result<Self, CouchError> {
+        assert!(cfg.batch_size >= 1);
+        assert!(cfg.node_max_entries >= 4);
+        assert!(cfg.node_max_entries <= node_capacity(fs.page_size()));
+        let file = fs.create(name)?;
+        let mut store = Self {
+            fs,
+            file,
+            name: name.to_string(),
+            cfg,
+            tail: 0,
+            root: NO_ROOT,
+            root_level: 0,
+            seq_root: NO_ROOT,
+            seq_root_level: 0,
+            next_seq: 1,
+            hdr_seq: 0,
+            doc_count: 0,
+            stale_blocks: 0,
+            next_rev: 1,
+            pending: BTreeMap::new(),
+            pending_seq: BTreeMap::new(),
+            pending_shares: BTreeMap::new(),
+            ops_since_commit: 0,
+            node_cache: HashMap::new(),
+            stats: CouchStats::default(),
+        };
+        store.write_header()?;
+        store.fs.fsync(store.file)?;
+        Ok(store)
+    }
+
+    /// Open an existing database: scan backward for the last intact header
+    /// (uncommitted tail appends are discarded, as couchstore does). A
+    /// leftover partial compaction file is deleted and compaction restarts
+    /// from scratch — the paper's §4.3 recovery rule.
+    pub fn open(mut fs: Vfs<D>, name: &str, cfg: CouchConfig) -> Result<Self, CouchError> {
+        let compact_name = format!("{name}.compact");
+        if fs.lookup(&compact_name).is_some() {
+            fs.delete(&compact_name)?;
+        }
+        let file = fs
+            .lookup(name)
+            .ok_or_else(|| CouchError::Corrupt(format!("no database file {name}")))?;
+        // Scan the whole *allocated* region: appends within an already
+        // allocated extent do not persist a new file length, so the last
+        // header can sit past the recorded length. Unwritten pages read as
+        // zeros and fail the header check harmlessly.
+        let len = fs.allocated_pages(file)?;
+        let bs = fs.page_size();
+        let mut buf = vec![0u8; bs];
+        let mut found: Option<(u64, Header)> = None;
+        for i in (0..len).rev() {
+            fs.read_page(file, i, &mut buf)?;
+            if let Some(h) = decode_header(&buf) {
+                found = Some((i, h));
+                break;
+            }
+        }
+        let (pos, h) =
+            found.ok_or_else(|| CouchError::Corrupt("no valid header found".to_string()))?;
+        // Truncate everything past the recovered header: future appends
+        // overwrite that region, and stale blocks (including stale headers
+        // from a discarded generation) must not be mistaken for fresh data
+        // at the next recovery.
+        fs.trim_range(file, pos + 1, len)?;
+        fs.truncate(file, pos + 1)?;
+        fs.fsync(file)?;
+        Ok(Self {
+            fs,
+            file,
+            name: name.to_string(),
+            cfg,
+            tail: pos + 1,
+            root: h.root,
+            root_level: h.root_level,
+            seq_root: h.seq_root,
+            seq_root_level: h.seq_root_level,
+            next_seq: h.next_seq.max(1),
+            hdr_seq: h.seq,
+            doc_count: h.doc_count,
+            stale_blocks: h.stale_blocks,
+            next_rev: h.seq + 1,
+            pending: BTreeMap::new(),
+            pending_seq: BTreeMap::new(),
+            pending_shares: BTreeMap::new(),
+            ops_since_commit: 0,
+            node_cache: HashMap::new(),
+            stats: CouchStats::default(),
+        })
+    }
+
+    /// Engine counters.
+    pub fn stats(&self) -> CouchStats {
+        self.stats
+    }
+
+    /// Live document count.
+    pub fn doc_count(&self) -> u64 {
+        self.doc_count
+    }
+
+    /// Current file length in blocks.
+    pub fn file_blocks(&self) -> u64 {
+        self.tail
+    }
+
+    /// Fraction of the file occupied by stale blocks.
+    pub fn stale_ratio(&self) -> f64 {
+        if self.tail == 0 {
+            0.0
+        } else {
+            self.stale_blocks as f64 / self.tail as f64
+        }
+    }
+
+    /// Access the underlying file system (stats, fault injection).
+    pub fn fs_mut(&mut self) -> &mut Vfs<D> {
+        &mut self.fs
+    }
+
+    /// Device statistics.
+    pub fn device_stats(&self) -> share_core::DeviceStats {
+        self.fs.device().stats()
+    }
+
+    /// The simulated clock.
+    pub fn clock(&self) -> nand_sim::SimClock {
+        self.fs.device().clock().clone()
+    }
+
+    /// Tear down, returning the file system.
+    pub fn into_fs(self) -> Vfs<D> {
+        self.fs
+    }
+
+    // ----- node I/O ---------------------------------------------------------
+
+    pub(crate) fn load_node(&mut self, ptr: u64) -> Result<(u8, Vec<NodeEntry>), CouchError> {
+        if let Some(n) = self.node_cache.get(&ptr) {
+            return Ok(n.clone());
+        }
+        let mut buf = vec![0u8; self.fs.page_size()];
+        self.fs.read_page(self.file, ptr, &mut buf)?;
+        let node = decode_node(&buf)
+            .ok_or_else(|| CouchError::Corrupt(format!("bad node block at {ptr}")))?;
+        // Immutable once written: cache freely, with a crude size cap.
+        if self.node_cache.len() > 200_000 {
+            self.node_cache.clear();
+        }
+        self.node_cache.insert(ptr, node.clone());
+        Ok(node)
+    }
+
+    pub(crate) fn append_node(&mut self, level: u8, entries: Vec<NodeEntry>) -> Result<u64, CouchError> {
+        let bs = self.fs.page_size();
+        let img = encode_node(level, &entries, bs);
+        let ptr = self.tail;
+        self.fs.write_page(self.file, ptr, &img)?;
+        self.tail += 1;
+        self.stats.node_blocks_appended += 1;
+        self.node_cache.insert(ptr, (level, entries));
+        Ok(ptr)
+    }
+
+    pub(crate) fn write_header(&mut self) -> Result<(), CouchError> {
+        self.hdr_seq += 1;
+        let h = Header {
+            seq: self.hdr_seq,
+            root: self.root,
+            root_level: self.root_level,
+            seq_root: self.seq_root,
+            seq_root_level: self.seq_root_level,
+            next_seq: self.next_seq,
+            doc_count: self.doc_count,
+            tail: self.tail + 1,
+            stale_blocks: self.stale_blocks,
+        };
+        let img = encode_header(&h, self.fs.page_size());
+        self.fs.write_page(self.file, self.tail, &img)?;
+        self.tail += 1;
+        self.stats.header_blocks_appended += 1;
+        Ok(())
+    }
+
+    // ----- document I/O ------------------------------------------------------
+
+    fn append_doc(&mut self, key: u64, payload: &[u8]) -> Result<DocPtr, CouchError> {
+        let bs = self.fs.page_size();
+        let rev = self.next_rev;
+        self.next_rev += 1;
+        let blocks = encode_doc(key, rev, payload, bs);
+        let ptr = DocPtr { block: self.tail, nblocks: blocks.len() as u16, len: payload.len() as u32 };
+        for img in &blocks {
+            self.fs.write_page(self.file, self.tail, img)?;
+            self.tail += 1;
+        }
+        self.stats.doc_blocks_appended += blocks.len() as u64;
+        Ok(ptr)
+    }
+
+    pub(crate) fn read_doc(&mut self, ptr: DocPtr) -> Result<Vec<u8>, CouchError> {
+        let bs = self.fs.page_size();
+        let mut buf = vec![0u8; bs];
+        let mut payload = Vec::with_capacity(ptr.len as usize);
+        for i in 0..ptr.nblocks as u64 {
+            self.fs.read_page(self.file, ptr.block + i, &mut buf)?;
+            let d = decode_doc_block(&buf)
+                .ok_or_else(|| CouchError::Corrupt(format!("bad doc block at {}", ptr.block + i)))?;
+            payload.extend_from_slice(&d.chunk);
+        }
+        payload.truncate(ptr.len as usize);
+        Ok(payload)
+    }
+
+    /// Find a leaf entry in the tree rooted at `(root, level)`.
+    fn lookup_in(&mut self, root: u64, level: u8, key: u64) -> Result<Option<NodeEntry>, CouchError> {
+        if root == NO_ROOT {
+            return Ok(None);
+        }
+        let mut ptr = root;
+        let mut level = level;
+        loop {
+            let (_, entries) = self.load_node(ptr)?;
+            if level == 0 {
+                return Ok(entries.binary_search_by(|e| e.key.cmp(&key)).ok().map(|i| entries[i]));
+            }
+            let idx = match entries.binary_search_by(|e| e.key.cmp(&key)) {
+                Ok(i) => i,
+                Err(0) => return Ok(None),
+                Err(i) => i - 1,
+            };
+            ptr = entries[idx].ptr;
+            level -= 1;
+        }
+    }
+
+    /// Find a committed document's pointer and sequence via the by-id tree.
+    fn tree_lookup(&mut self, key: u64) -> Result<Option<(DocPtr, u64)>, CouchError> {
+        Ok(self.lookup_in(self.root, self.root_level, key)?.map(|e| {
+            (DocPtr { block: e.ptr, nblocks: e.nblocks, len: e.len }, e.aux)
+        }))
+    }
+
+    /// Current (pointer, seq) of `key`, pending changes included.
+    fn current_of(&mut self, key: u64) -> Result<Option<(DocPtr, u64)>, CouchError> {
+        match self.pending.get(&key).copied() {
+            Some(Pending::Put(ptr, seq)) => Ok(Some((ptr, seq))),
+            Some(Pending::Delete) => Ok(None),
+            None => self.tree_lookup(key),
+        }
+    }
+
+    /// Point read.
+    pub fn get(&mut self, key: u64) -> Result<Option<Vec<u8>>, CouchError> {
+        match self.current_of(key)? {
+            Some((ptr, _)) => self.read_doc(ptr).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Read a document by its sequence number (committed state only).
+    pub fn get_by_seq(&mut self, seq: u64) -> Result<Option<(u64, Vec<u8>)>, CouchError> {
+        let Some(e) = self.lookup_in(self.seq_root, self.seq_root_level, seq)? else {
+            return Ok(None);
+        };
+        let doc = self.read_doc(DocPtr { block: e.ptr, nblocks: e.nblocks, len: e.len })?;
+        Ok(Some((e.aux, doc)))
+    }
+
+    /// Committed changes with sequence > `since`, in sequence order:
+    /// `(seq, key, ptr)` — couchstore's changes feed, also what incremental
+    /// replication and compaction walk.
+    pub fn changes_since(&mut self, since: u64) -> Result<Vec<(u64, u64, DocPtr)>, CouchError> {
+        let mut out = Vec::new();
+        if self.seq_root == NO_ROOT {
+            return Ok(out);
+        }
+        let mut stack = vec![(self.seq_root, self.seq_root_level)];
+        while let Some((ptr, level)) = stack.pop() {
+            let (_, entries) = self.load_node(ptr)?;
+            if level == 0 {
+                for e in entries.iter().filter(|e| e.key > since) {
+                    out.push((e.key, e.aux, DocPtr { block: e.ptr, nblocks: e.nblocks, len: e.len }));
+                }
+            } else {
+                for e in entries.iter().rev() {
+                    // Prune subtrees that end before `since`.
+                    stack.push((e.ptr, level - 1));
+                }
+            }
+        }
+        out.sort_by_key(|(s, _, _)| *s);
+        Ok(out)
+    }
+
+    /// Insert or update a document. Appends the new copy immediately; the
+    /// index effect is deferred to the commit boundary (`batch_size`).
+    pub fn save(&mut self, key: u64, payload: &[u8]) -> Result<(), CouchError> {
+        let bs = self.fs.page_size();
+        let new_blocks = doc_blocks(payload.len(), bs);
+
+        if self.cfg.mode == CouchMode::Share {
+            // A same-size update of a committed, not-currently-pending doc
+            // can be remapped without touching the tree at all.
+            // Note: remapped updates keep the document's old sequence
+            // number (neither index moves). couchstore semantics would
+            // advance it; the paper's SHARE commit skips the index cascade
+            // entirely, which is what we model. Inserts/deletes still go
+            // through both trees below.
+            if !self.pending.contains_key(&key) {
+                if let Some((old, _seq)) = self.tree_lookup(key)? {
+                    if old.nblocks as u64 == new_blocks && old.len as usize == payload.len() {
+                        let new_ptr = self.append_doc(key, payload)?;
+                        // The appended copy's blocks become stale the moment
+                        // the remap lands (the tree keeps the old location);
+                        // a superseded earlier copy in this batch is stale
+                        // garbage either way.
+                        self.pending_shares.insert(key, (old, new_ptr));
+                        self.stale_blocks += new_blocks;
+                        self.stats.share_remaps += 1;
+                        return self.bump_and_maybe_commit();
+                    }
+                }
+                self.stats.share_fallbacks += 1;
+            } else {
+                self.stats.share_fallbacks += 1;
+            }
+        }
+
+        let old_seq = self.current_of(key)?.map(|(_, s)| s);
+        let ptr = self.append_doc(key, payload)?;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pending.insert(key, Pending::Put(ptr, seq));
+        if let Some(old) = old_seq {
+            self.pending_seq.insert(old, Pending::Delete);
+        }
+        self.pending_seq.insert(seq, Pending::Put(ptr, key));
+        self.bump_and_maybe_commit()
+    }
+
+    /// Delete a document (tree path in both modes).
+    pub fn delete(&mut self, key: u64) -> Result<(), CouchError> {
+        if let Some((_, old_seq)) = self.current_of(key)? {
+            self.pending_seq.insert(old_seq, Pending::Delete);
+        }
+        self.pending.insert(key, Pending::Delete);
+        self.bump_and_maybe_commit()
+    }
+
+    fn bump_and_maybe_commit(&mut self) -> Result<(), CouchError> {
+        self.ops_since_commit += 1;
+        if self.ops_since_commit >= self.cfg.batch_size {
+            self.commit()?;
+        }
+        Ok(())
+    }
+
+    /// Commit: make everything since the last commit durable. In SHARE mode
+    /// an update-only batch costs one fsync plus one share command; any
+    /// pending tree changes take the wandering-tree path.
+    pub fn commit(&mut self) -> Result<(), CouchError> {
+        if self.ops_since_commit == 0 && self.pending.is_empty() && self.pending_shares.is_empty() {
+            return Ok(());
+        }
+        // No explicit fsync on the SHARE path: the share command itself
+        // persists the mapping log, which covers the appended copies' write
+        // deltas too (§4.2.2: "The SHARE command returns after logging
+        // finishes"). Batches with tree changes fsync below as usual.
+        if !self.pending_shares.is_empty() {
+            let docs = std::mem::take(&mut self.pending_shares);
+            let mut pairs = Vec::with_capacity(docs.len());
+            for (old, new) in docs.values() {
+                for i in 0..old.nblocks as u64 {
+                    pairs.push((old.block + i, new.block + i));
+                }
+            }
+            self.fs.ioctl_share_pairs(self.file, self.file, &pairs)?;
+        }
+
+        if !self.pending.is_empty() || !self.pending_seq.is_empty() {
+            // Data first (ordered write), then the new indexes and header.
+            self.fs.fsync(self.file)?;
+            let updates: Vec<(u64, Pending)> = std::mem::take(&mut self.pending).into_iter().collect();
+            let (root, level) =
+                self.apply_updates(self.root, self.root_level, &updates, true)?;
+            self.root = root;
+            self.root_level = level;
+            let seq_updates: Vec<(u64, Pending)> =
+                std::mem::take(&mut self.pending_seq).into_iter().collect();
+            let (sroot, slevel) =
+                self.apply_updates(self.seq_root, self.seq_root_level, &seq_updates, false)?;
+            self.seq_root = sroot;
+            self.seq_root_level = slevel;
+            self.write_header()?;
+            self.fs.fsync(self.file)?;
+        }
+        self.ops_since_commit = 0;
+        self.stats.commits += 1;
+        if let Some(threshold) = self.cfg.auto_compact_ratio {
+            if self.tail >= self.cfg.auto_compact_min_blocks && self.stale_ratio() >= threshold {
+                self.compact()?;
+            }
+        }
+        Ok(())
+    }
+
+    // ----- wandering-tree update ----------------------------------------------
+
+    /// Copy-on-write update of one of the two indexes; returns the new
+    /// `(root, level)`. `count_docs` ties document/stale accounting to the
+    /// by-id tree only (nodes are counted for both).
+    fn apply_updates(
+        &mut self,
+        root: u64,
+        root_level: u8,
+        updates: &[(u64, Pending)],
+        count_docs: bool,
+    ) -> Result<(u64, u8), CouchError> {
+        if updates.is_empty() {
+            return Ok((root, root_level));
+        }
+        let mut replacement = if root == NO_ROOT {
+            self.build_leaves_from(updates, &[], count_docs)?
+        } else {
+            self.update_node(root, root_level, updates, count_docs)?
+        };
+        // Collapse replacement entries into a single root.
+        let mut level = root_level;
+        while replacement.len() > 1 {
+            level += 1;
+            let mut uppers = Vec::new();
+            for chunk in replacement.chunks(self.cfg.node_max_entries) {
+                let ptr = self.append_node(level, chunk.to_vec())?;
+                uppers.push(NodeEntry { key: chunk[0].key, ptr, nblocks: 0, len: 0, aux: 0 });
+            }
+            replacement = uppers;
+        }
+        Ok(match replacement.first() {
+            Some(e) => (e.ptr, level),
+            None => (NO_ROOT, 0),
+        })
+    }
+
+    /// Build fresh leaves from puts (initial load / empty subtree).
+    fn build_leaves_from(
+        &mut self,
+        updates: &[(u64, Pending)],
+        existing: &[NodeEntry],
+        count_docs: bool,
+    ) -> Result<Vec<NodeEntry>, CouchError> {
+        let mut merged: BTreeMap<u64, NodeEntry> = existing.iter().map(|e| (e.key, *e)).collect();
+        for (key, op) in updates {
+            match op {
+                Pending::Put(ptr, aux) => {
+                    let inserted = merged.insert(
+                        *key,
+                        NodeEntry {
+                            key: *key,
+                            ptr: ptr.block,
+                            nblocks: ptr.nblocks,
+                            len: ptr.len,
+                            aux: *aux,
+                        },
+                    );
+                    if count_docs {
+                        if let Some(old) = inserted {
+                            self.stale_blocks += old.nblocks as u64;
+                        } else {
+                            self.doc_count += 1;
+                        }
+                    }
+                }
+                Pending::Delete => {
+                    if let Some(old) = merged.remove(key) {
+                        if count_docs {
+                            self.stale_blocks += old.nblocks as u64;
+                            self.doc_count -= 1;
+                        }
+                    }
+                }
+            }
+        }
+        let entries: Vec<NodeEntry> = merged.into_values().collect();
+        let mut out = Vec::new();
+        for chunk in entries.chunks(self.cfg.node_max_entries.max(1)) {
+            let ptr = self.append_node(0, chunk.to_vec())?;
+            out.push(NodeEntry { key: chunk[0].key, ptr, nblocks: 0, len: 0, aux: 0 });
+        }
+        Ok(out)
+    }
+
+    /// Copy-on-write update of the subtree at `ptr`; returns the entries
+    /// that replace it in the parent (several on splits).
+    fn update_node(
+        &mut self,
+        ptr: u64,
+        level: u8,
+        updates: &[(u64, Pending)],
+        count_docs: bool,
+    ) -> Result<Vec<NodeEntry>, CouchError> {
+        let (_, entries) = self.load_node(ptr)?;
+        self.stale_blocks += 1; // the old node version dies
+
+        if level == 0 {
+            return self.build_leaves_from(updates, &entries, count_docs);
+        }
+
+        // Partition updates among children: child i covers
+        // [entries[i].key, entries[i+1].key).
+        let mut new_children: Vec<NodeEntry> = Vec::with_capacity(entries.len() + 4);
+        let mut u = 0usize;
+        for (i, e) in entries.iter().enumerate() {
+            let hi = entries.get(i + 1).map(|n| n.key);
+            let start = u;
+            while u < updates.len() && hi.is_none_or(|h| updates[u].0 < h) {
+                // Keys below the first child's separator still go to child 0.
+                u += 1;
+            }
+            let slice = &updates[start..u];
+            if slice.is_empty() {
+                new_children.push(*e);
+            } else {
+                let replaced = self.update_node(e.ptr, level - 1, slice, count_docs)?;
+                new_children.extend(replaced);
+            }
+        }
+        debug_assert_eq!(u, updates.len(), "updates must all be routed");
+
+        let mut out = Vec::new();
+        for chunk in new_children.chunks(self.cfg.node_max_entries) {
+            if chunk.is_empty() {
+                continue;
+            }
+            let p = self.append_node(level, chunk.to_vec())?;
+            out.push(NodeEntry { key: chunk[0].key, ptr: p, nblocks: 0, len: 0, aux: 0 });
+        }
+        Ok(out)
+    }
+
+    /// All committed leaf entries in key order (compaction input; pending
+    /// changes must be committed first).
+    pub(crate) fn all_leaf_entries(&mut self) -> Result<Vec<NodeEntry>, CouchError> {
+        let mut out = Vec::with_capacity(self.doc_count as usize);
+        if self.root == NO_ROOT {
+            return Ok(out);
+        }
+        let mut stack = vec![(self.root, self.root_level)];
+        while let Some((ptr, level)) = stack.pop() {
+            let (_, entries) = self.load_node(ptr)?;
+            if level == 0 {
+                out.extend(entries);
+            } else {
+                // Reverse so the stack pops in ascending key order.
+                for e in entries.iter().rev() {
+                    stack.push((e.ptr, level - 1));
+                }
+            }
+        }
+        out.sort_by_key(|e| e.key);
+        Ok(out)
+    }
+}

@@ -1,0 +1,464 @@
+//! Integration tests for the mini-Couchbase store over the SHARE FTL.
+
+use mini_couch::{CouchConfig, CouchMode, CouchStore};
+use nand_sim::NandTiming;
+use share_core::{Ftl, FtlConfig};
+use share_vfs::{Vfs, VfsOptions};
+
+fn ftl_cfg(mb: u64) -> FtlConfig {
+    FtlConfig::for_capacity_with(mb << 20, 0.3, 4096, 32, NandTiming::zero())
+}
+
+fn store(mode: CouchMode, batch: usize) -> CouchStore<Ftl> {
+    let fs = Vfs::format(Ftl::new(ftl_cfg(48)), VfsOptions::default()).unwrap();
+    CouchStore::create(fs, "test.couch", CouchConfig { mode, batch_size: batch, node_max_entries: 16, ..Default::default() })
+        .unwrap()
+}
+
+fn doc(key: u64, version: u64) -> Vec<u8> {
+    let mut v = vec![0u8; 1000];
+    v[..8].copy_from_slice(&key.to_le_bytes());
+    v[8..16].copy_from_slice(&version.to_le_bytes());
+    v
+}
+
+#[test]
+fn save_get_cycle_both_modes() {
+    for mode in [CouchMode::Original, CouchMode::Share] {
+        let mut s = store(mode, 1);
+        for k in 0..100u64 {
+            s.save(k, &doc(k, 1)).unwrap();
+        }
+        for k in 0..100u64 {
+            assert_eq!(s.get(k).unwrap(), Some(doc(k, 1)), "{mode:?} key {k}");
+        }
+        assert_eq!(s.get(999).unwrap(), None);
+        assert_eq!(s.doc_count(), 100);
+    }
+}
+
+#[test]
+fn updates_return_latest_version() {
+    for mode in [CouchMode::Original, CouchMode::Share] {
+        let mut s = store(mode, 4);
+        for k in 0..50u64 {
+            s.save(k, &doc(k, 1)).unwrap();
+        }
+        for round in 2..6u64 {
+            for k in 0..50u64 {
+                s.save(k, &doc(k, round)).unwrap();
+            }
+        }
+        s.commit().unwrap();
+        for k in 0..50u64 {
+            assert_eq!(s.get(k).unwrap(), Some(doc(k, 5)), "{mode:?} key {k}");
+        }
+        assert_eq!(s.doc_count(), 50);
+    }
+}
+
+#[test]
+fn share_mode_remaps_updates_without_tree_writes() {
+    let mut s = store(CouchMode::Share, 1);
+    for k in 0..50u64 {
+        s.save(k, &doc(k, 1)).unwrap(); // inserts: tree path
+    }
+    let nodes_after_load = s.stats().node_blocks_appended;
+    for k in 0..50u64 {
+        s.save(k, &doc(k, 2)).unwrap(); // same-size updates: share path
+    }
+    let st = s.stats();
+    assert_eq!(st.node_blocks_appended, nodes_after_load, "updates must not touch the tree");
+    assert_eq!(st.share_remaps, 50);
+    for k in 0..50u64 {
+        assert_eq!(s.get(k).unwrap(), Some(doc(k, 2)));
+    }
+}
+
+#[test]
+fn original_mode_pays_wandering_tree_per_commit() {
+    let mut orig = store(CouchMode::Original, 1);
+    let mut share = store(CouchMode::Share, 1);
+    for s in [&mut orig, &mut share] {
+        for k in 0..200u64 {
+            s.save(k, &doc(k, 1)).unwrap();
+        }
+    }
+    let o0 = orig.device_stats().host_write_bytes;
+    let s0 = share.device_stats().host_write_bytes;
+    for round in 2..6u64 {
+        for k in 0..200u64 {
+            orig.save(k, &doc(k, round)).unwrap();
+            share.save(k, &doc(k, round)).unwrap();
+        }
+    }
+    let o = orig.device_stats().host_write_bytes - o0;
+    let s = share.device_stats().host_write_bytes - s0;
+    let ratio = o as f64 / s as f64;
+    assert!(
+        ratio > 2.5,
+        "wandering tree should amplify writes heavily at batch 1: ratio {ratio:.2}"
+    );
+}
+
+#[test]
+fn batch_size_amortizes_tree_writes() {
+    let written = |batch: usize| {
+        let mut s = store(CouchMode::Original, batch);
+        for k in 0..200u64 {
+            s.save(k, &doc(k, 1)).unwrap();
+        }
+        let w0 = s.device_stats().host_write_bytes;
+        for round in 2..6u64 {
+            for k in 0..200u64 {
+                s.save(k, &doc(k, round)).unwrap();
+            }
+        }
+        s.commit().unwrap();
+        s.device_stats().host_write_bytes - w0
+    };
+    let w1 = written(1);
+    let w64 = written(64);
+    assert!(
+        w1 as f64 > w64 as f64 * 1.8,
+        "batching must amortize tree writes: batch1 {w1} vs batch64 {w64}"
+    );
+}
+
+#[test]
+fn size_changing_update_falls_back_to_tree() {
+    let mut s = store(CouchMode::Share, 1);
+    s.save(7, &doc(7, 1)).unwrap();
+    // 5000-byte payload spans two blocks: cannot remap 1 -> 2 blocks.
+    s.save(7, &vec![0xEE; 5000]).unwrap();
+    assert!(s.stats().share_fallbacks > 0);
+    assert_eq!(s.get(7).unwrap(), Some(vec![0xEE; 5000]));
+    // Back to one block: the tree now points at the two-block doc, so the
+    // next same-size(1000) update cannot remap either; after it commits the
+    // store is consistent again.
+    s.save(7, &doc(7, 3)).unwrap();
+    assert_eq!(s.get(7).unwrap(), Some(doc(7, 3)));
+}
+
+#[test]
+fn delete_removes_documents() {
+    for mode in [CouchMode::Original, CouchMode::Share] {
+        let mut s = store(mode, 1);
+        for k in 0..20u64 {
+            s.save(k, &doc(k, 1)).unwrap();
+        }
+        for k in (0..20u64).step_by(2) {
+            s.delete(k).unwrap();
+        }
+        for k in 0..20u64 {
+            let got = s.get(k).unwrap();
+            if k % 2 == 0 {
+                assert_eq!(got, None);
+            } else {
+                assert_eq!(got, Some(doc(k, 1)));
+            }
+        }
+        assert_eq!(s.doc_count(), 10);
+    }
+}
+
+#[test]
+fn stale_ratio_grows_with_updates() {
+    let mut s = store(CouchMode::Original, 1);
+    for k in 0..50u64 {
+        s.save(k, &doc(k, 1)).unwrap();
+    }
+    let r0 = s.stale_ratio();
+    for round in 2..8u64 {
+        for k in 0..50u64 {
+            s.save(k, &doc(k, round)).unwrap();
+        }
+    }
+    assert!(s.stale_ratio() > r0);
+    assert!(s.stale_ratio() > 0.4, "heavy updates should leave much garbage");
+}
+
+#[test]
+fn compaction_preserves_data_and_reclaims_space() {
+    for mode in [CouchMode::Original, CouchMode::Share] {
+        let mut s = store(mode, 8);
+        for k in 0..100u64 {
+            s.save(k, &doc(k, 1)).unwrap();
+        }
+        for round in 2..6u64 {
+            for k in 0..100u64 {
+                s.save(k, &doc(k, round)).unwrap();
+            }
+        }
+        s.commit().unwrap();
+        let before_blocks = s.file_blocks();
+        let report = s.compact().unwrap();
+        assert_eq!(report.docs_moved, 100);
+        assert_eq!(report.zero_copy, mode == CouchMode::Share);
+        assert!(s.file_blocks() < before_blocks, "{mode:?} compaction must shrink the file");
+        assert!(s.stale_ratio() < 0.05);
+        for k in 0..100u64 {
+            assert_eq!(s.get(k).unwrap(), Some(doc(k, 5)), "{mode:?} key {k} after compaction");
+        }
+        // And the store keeps working after the swap.
+        s.save(1000, &doc(1000, 1)).unwrap();
+        s.commit().unwrap();
+        assert_eq!(s.get(1000).unwrap(), Some(doc(1000, 1)));
+    }
+}
+
+#[test]
+fn zero_copy_compaction_writes_far_less() {
+    // Realistic NAND timing: the elapsed-time comparison is meaningless on
+    // a zero-latency medium.
+    let run = |mode: CouchMode| {
+        let cfg = FtlConfig::for_capacity_with(48 << 20, 0.3, 4096, 32, NandTiming::default());
+        let fs = Vfs::format(Ftl::new(cfg), VfsOptions::default()).unwrap();
+        let mut s = CouchStore::create(
+            fs,
+            "test.couch",
+            CouchConfig { mode, batch_size: 8, node_max_entries: 16, ..Default::default() },
+        )
+        .unwrap();
+        for k in 0..300u64 {
+            s.save(k, &doc(k, 1)).unwrap();
+        }
+        for round in 2..5u64 {
+            for k in 0..300u64 {
+                s.save(k, &doc(k, round)).unwrap();
+            }
+        }
+        s.commit().unwrap();
+        s.compact().unwrap()
+    };
+    let orig = run(CouchMode::Original);
+    let share = run(CouchMode::Share);
+    let wratio = orig.bytes_written as f64 / share.bytes_written as f64;
+    assert!(wratio > 3.0, "zero-copy compaction write reduction only {wratio:.2}x");
+    assert!(
+        share.elapsed_ns < orig.elapsed_ns,
+        "zero-copy compaction should also be faster"
+    );
+}
+
+#[test]
+fn by_seq_index_tracks_changes() {
+    let mut s = store(CouchMode::Original, 4);
+    for k in 0..30u64 {
+        s.save(k, &doc(k, 1)).unwrap();
+    }
+    s.commit().unwrap();
+    // Sequences 1..=30 exist; read one back by sequence.
+    let (key, payload) = s.get_by_seq(5).unwrap().expect("seq 5 exists");
+    assert_eq!(key, 4);
+    assert_eq!(payload, doc(4, 1));
+    // Update two docs: their old seqs retire, new ones appear at the top.
+    s.save(3, &doc(3, 2)).unwrap();
+    s.save(9, &doc(9, 2)).unwrap();
+    s.commit().unwrap();
+    assert_eq!(s.get_by_seq(4).unwrap(), None, "old seq of doc 3 must be gone");
+    let changes = s.changes_since(30).unwrap();
+    assert_eq!(changes.len(), 2);
+    assert_eq!(changes[0].1, 3);
+    assert_eq!(changes[1].1, 9);
+    // Deletes retire their sequence too.
+    s.delete(9).unwrap();
+    s.commit().unwrap();
+    let last = s.changes_since(30).unwrap();
+    assert_eq!(last.len(), 1);
+    assert_eq!(last[0].1, 3);
+}
+
+#[test]
+fn by_seq_index_survives_compaction_and_reopen() {
+    let mut s = store(CouchMode::Original, 8);
+    for k in 0..60u64 {
+        s.save(k, &doc(k, 1)).unwrap();
+    }
+    for k in 0..30u64 {
+        s.save(k, &doc(k, 2)).unwrap();
+    }
+    s.commit().unwrap();
+    let before: Vec<(u64, u64)> =
+        s.changes_since(0).unwrap().into_iter().map(|(q, k, _)| (q, k)).collect();
+    s.compact().unwrap();
+    let after: Vec<(u64, u64)> =
+        s.changes_since(0).unwrap().into_iter().map(|(q, k, _)| (q, k)).collect();
+    assert_eq!(before, after, "compaction must preserve (seq, key) pairs");
+    let fs = s.into_fs();
+    let mut s2 = CouchStore::open(fs, "test.couch", CouchConfig::default()).unwrap();
+    let reopened: Vec<(u64, u64)> =
+        s2.changes_since(0).unwrap().into_iter().map(|(q, k, _)| (q, k)).collect();
+    assert_eq!(before, reopened, "reopen must preserve the by-seq index");
+    // And by-seq reads still resolve documents.
+    let (k, payload) = s2.get_by_seq(reopened[0].0).unwrap().unwrap();
+    assert_eq!(payload, doc(k, if k < 30 { 2 } else { 1 }));
+}
+
+#[test]
+fn auto_compaction_triggers_at_the_stale_threshold() {
+    for mode in [CouchMode::Original, CouchMode::Share] {
+        let fs = Vfs::format(Ftl::new(ftl_cfg(48)), VfsOptions::default()).unwrap();
+        let mut s = CouchStore::create(
+            fs,
+            "test.couch",
+            CouchConfig {
+                mode,
+                batch_size: 8,
+                node_max_entries: 16,
+                auto_compact_ratio: Some(0.6),
+                auto_compact_min_blocks: 64,
+            },
+        )
+        .unwrap();
+        for k in 0..100u64 {
+            s.save(k, &doc(k, 1)).unwrap();
+        }
+        // Update churn drives the stale ratio past the threshold several
+        // times; the store must compact itself and stay correct.
+        for round in 2..20u64 {
+            for k in 0..100u64 {
+                s.save(k, &doc(k, round)).unwrap();
+            }
+        }
+        s.commit().unwrap();
+        assert!(s.stats().compactions >= 1, "{mode:?}: expected auto-compactions");
+        assert!(s.stale_ratio() < 0.8, "{mode:?}: ratio {}", s.stale_ratio());
+        for k in 0..100u64 {
+            assert_eq!(s.get(k).unwrap(), Some(doc(k, 19)), "{mode:?} key {k}");
+        }
+    }
+}
+
+#[test]
+fn reopen_after_clean_commit() {
+    let mut s = store(CouchMode::Original, 4);
+    for k in 0..60u64 {
+        s.save(k, &doc(k, 1)).unwrap();
+    }
+    s.commit().unwrap();
+    let fs = s.into_fs();
+    let mut s2 = CouchStore::open(fs, "test.couch", CouchConfig::default()).unwrap();
+    assert_eq!(s2.doc_count(), 60);
+    for k in 0..60u64 {
+        assert_eq!(s2.get(k).unwrap(), Some(doc(k, 1)));
+    }
+}
+
+#[test]
+fn uncommitted_tail_is_discarded_on_reopen() {
+    let mut s = store(CouchMode::Original, 1000); // large batch: nothing commits
+    for k in 0..10u64 {
+        s.save(k, &doc(k, 1)).unwrap();
+    }
+    s.commit().unwrap(); // first 10 are durable
+    for k in 10..20u64 {
+        s.save(k, &doc(k, 1)).unwrap(); // appended but never committed
+    }
+    let fs = s.into_fs();
+    let mut s2 = CouchStore::open(fs, "test.couch", CouchConfig::default()).unwrap();
+    for k in 0..10u64 {
+        assert_eq!(s2.get(k).unwrap(), Some(doc(k, 1)));
+    }
+    for k in 10..20u64 {
+        assert_eq!(s2.get(k).unwrap(), None, "uncommitted doc {k} must vanish");
+    }
+}
+
+#[test]
+fn crash_during_workload_recovers_to_last_commit() {
+    for crash_at in [200u64, 500, 900, 1400] {
+        let mut s = store(CouchMode::Share, 4);
+        for k in 0..50u64 {
+            s.save(k, &doc(k, 1)).unwrap();
+        }
+        s.commit().unwrap();
+        s.fs_mut().device_mut().fault_handle().arm_after_programs(crash_at, nand_sim::FaultMode::TornHalf);
+        let mut version = vec![1u64; 50];
+        let mut committed = vec![1u64; 50];
+        'outer: for round in 2..40u64 {
+            for k in 0..50u64 {
+                match s.save(k, &doc(k, round)) {
+                    Ok(()) => {
+                        version[k as usize] = round;
+                        // A batch of 4 commits on every 4th op; track what
+                        // the last full commit covered conservatively below.
+                    }
+                    Err(_) => break 'outer,
+                }
+            }
+            committed = version.clone();
+        }
+        s.fs_mut().device_mut().fault_handle().disarm();
+        let nand = s.into_fs().into_device().into_nand();
+        let dev = Ftl::open(ftl_cfg(48), nand).unwrap();
+        let fs = Vfs::open(dev, VfsOptions::default()).unwrap();
+        let mut s2 = CouchStore::open(fs, "test.couch", CouchConfig::default()).unwrap();
+        for k in 0..50u64 {
+            let got = s2.get(k).unwrap().expect("doc must exist");
+            let got_version = u64::from_le_bytes(got[8..16].try_into().unwrap());
+            assert!(
+                got_version >= committed[k as usize].saturating_sub(1),
+                "crash {crash_at}: doc {k} regressed to v{got_version} (committed ~v{})",
+                committed[k as usize]
+            );
+            assert_eq!(&got[..8], &k.to_le_bytes(), "doc {k} holds wrong key content");
+        }
+    }
+}
+
+#[test]
+fn crash_during_compaction_keeps_old_file_usable() {
+    for crash_at in [50u64, 200, 400] {
+        let mut s = store(CouchMode::Share, 8);
+        for k in 0..100u64 {
+            s.save(k, &doc(k, 1)).unwrap();
+        }
+        for k in 0..100u64 {
+            s.save(k, &doc(k, 2)).unwrap();
+        }
+        s.commit().unwrap();
+        s.fs_mut().device_mut().fault_handle().arm_after_programs(crash_at, nand_sim::FaultMode::TornHalf);
+        let crashed = s.compact().is_err();
+        s.fs_mut().device_mut().fault_handle().disarm();
+        let nand = s.into_fs().into_device().into_nand();
+        let dev = Ftl::open(ftl_cfg(48), nand).unwrap();
+        let fs = Vfs::open(dev, VfsOptions::default()).unwrap();
+        let mut s2 = CouchStore::open(fs, "test.couch", CouchConfig::default()).unwrap();
+        for k in 0..100u64 {
+            assert_eq!(
+                s2.get(k).unwrap(),
+                Some(doc(k, 2)),
+                "crash {crash_at} (crashed={crashed}): doc {k} damaged by compaction crash"
+            );
+        }
+    }
+}
+
+#[test]
+fn share_mode_written_volume_is_batch_independent() {
+    // Figure 7(b)'s flat SHARE line: written volume per update is constant
+    // regardless of batch size.
+    let written = |batch: usize| {
+        let mut s = store(CouchMode::Share, batch);
+        for k in 0..200u64 {
+            s.save(k, &doc(k, 1)).unwrap();
+        }
+        s.commit().unwrap();
+        let w0 = s.device_stats().host_write_bytes;
+        for round in 2..6u64 {
+            for k in 0..200u64 {
+                s.save(k, &doc(k, round)).unwrap();
+            }
+        }
+        s.commit().unwrap();
+        s.device_stats().host_write_bytes - w0
+    };
+    let w1 = written(1);
+    let w64 = written(64);
+    let ratio = w1 as f64 / w64 as f64;
+    assert!(
+        (0.8..1.3).contains(&ratio),
+        "SHARE written volume should not depend on batch size: {w1} vs {w64}"
+    );
+}

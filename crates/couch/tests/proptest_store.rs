@@ -1,0 +1,98 @@
+//! Property tests: the document store against a `BTreeMap` model, in both
+//! modes, with interleaved commits and compactions.
+
+use mini_couch::{CouchConfig, CouchMode, CouchStore};
+use proptest::prelude::*;
+use share_core::{Ftl, FtlConfig};
+use share_vfs::{Vfs, VfsOptions};
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Save { key: u64, len: usize, fill: u8 },
+    Delete { key: u64 },
+    Get { key: u64 },
+    Commit,
+    Compact,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => (0u64..100, 1usize..6000, any::<u8>())
+            .prop_map(|(key, len, fill)| Op::Save { key, len, fill }),
+        2 => (0u64..100).prop_map(|key| Op::Delete { key }),
+        3 => (0u64..100).prop_map(|key| Op::Get { key }),
+        1 => Just(Op::Commit),
+        1 => Just(Op::Compact),
+    ]
+}
+
+fn store(mode: CouchMode, batch: usize) -> CouchStore<Ftl> {
+    let fcfg =
+        FtlConfig::for_capacity_with(96 << 20, 0.3, 4096, 64, nand_sim::NandTiming::zero());
+    let fs = Vfs::format(Ftl::new(fcfg), VfsOptions::default()).unwrap();
+    CouchStore::create(
+        fs,
+        "prop.couch",
+        CouchConfig { mode, batch_size: batch, node_max_entries: 8, ..Default::default() },
+    )
+    .unwrap()
+}
+
+fn run_case(mode: CouchMode, batch: usize, ops: &[Op]) {
+    let mut s = store(mode, batch);
+    let mut model: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+    for op in ops {
+        match op {
+            Op::Save { key, len, fill } => {
+                let v = vec![*fill; *len];
+                s.save(*key, &v).unwrap();
+                model.insert(*key, v);
+            }
+            Op::Delete { key } => {
+                s.delete(*key).unwrap();
+                model.remove(key);
+            }
+            Op::Get { key } => {
+                assert_eq!(s.get(*key).unwrap(), model.get(key).cloned(), "get({key}) diverged");
+            }
+            Op::Commit => s.commit().unwrap(),
+            Op::Compact => {
+                let r = s.compact().unwrap();
+                assert_eq!(r.zero_copy, mode == CouchMode::Share);
+            }
+        }
+    }
+    s.commit().unwrap();
+    for (key, want) in &model {
+        assert_eq!(s.get(*key).unwrap().as_ref(), Some(want), "final get({key})");
+    }
+    assert_eq!(s.doc_count(), model.len() as u64, "doc_count diverged");
+
+    // Reopen cycle preserves the committed state exactly.
+    let fs = s.into_fs();
+    let mut s2 = CouchStore::open(fs, "prop.couch", CouchConfig::default()).unwrap();
+    for (key, want) in &model {
+        assert_eq!(s2.get(*key).unwrap().as_ref(), Some(want), "reopen get({key})");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn original_mode_matches_model(
+        ops in proptest::collection::vec(op_strategy(), 1..100),
+        batch in 1usize..10,
+    ) {
+        run_case(CouchMode::Original, batch, &ops);
+    }
+
+    #[test]
+    fn share_mode_matches_model(
+        ops in proptest::collection::vec(op_strategy(), 1..100),
+        batch in 1usize..10,
+    ) {
+        run_case(CouchMode::Share, batch, &ops);
+    }
+}

@@ -1,0 +1,377 @@
+//! Buffer pool: fixed-capacity page cache with O(1) LRU and a dirty set.
+//!
+//! The pool holds *decoded* [`NodePage`]s. It performs no I/O itself: the
+//! engine loads pages on miss and flushes dirty victims (through the
+//! double-write / SHARE protocol) when the pool needs room, mirroring
+//! InnoDB's flush-list eviction that the paper's Figure 1(a) depicts.
+
+use crate::page::NodePage;
+use std::collections::HashMap;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug)]
+struct Frame {
+    page: NodePage,
+    dirty: bool,
+    prev: usize,
+    next: usize,
+}
+
+/// Pool hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Lookups served from the pool.
+    pub hits: u64,
+    /// Lookups that required a load.
+    pub misses: u64,
+    /// Pages evicted.
+    pub evictions: u64,
+}
+
+/// A fixed-capacity LRU cache of decoded pages.
+#[derive(Debug)]
+pub struct BufferPool {
+    capacity: usize,
+    frames: Vec<Option<Frame>>,
+    map: HashMap<u64, usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    free: Vec<usize>,
+    dirty: usize,
+    stats: PoolStats,
+}
+
+impl BufferPool {
+    /// A pool holding at most `capacity` pages.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 8, "pool too small to hold a root-to-leaf path plus workspace");
+        Self {
+            capacity,
+            frames: (0..capacity).map(|_| None).collect(),
+            map: HashMap::with_capacity(capacity),
+            head: NIL,
+            tail: NIL,
+            free: (0..capacity).rev().collect(),
+            dirty: 0,
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// Configured capacity in pages.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Resident pages.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no pages are resident.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Number of dirty resident pages.
+    pub fn dirty_count(&self) -> usize {
+        self.dirty
+    }
+
+    /// Hit/miss/eviction counters.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// Whether `page_no` is resident.
+    pub fn contains(&self, page_no: u64) -> bool {
+        self.map.contains_key(&page_no)
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = {
+            let f = self.frames[idx].as_ref().expect("linked frame");
+            (f.prev, f.next)
+        };
+        match prev {
+            NIL => self.head = next,
+            p => self.frames[p].as_mut().expect("prev frame").next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.frames[n].as_mut().expect("next frame").prev = prev,
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        {
+            let f = self.frames[idx].as_mut().expect("frame to link");
+            f.prev = NIL;
+            f.next = self.head;
+        }
+        match self.head {
+            NIL => self.tail = idx,
+            h => self.frames[h].as_mut().expect("old head").prev = idx,
+        }
+        self.head = idx;
+    }
+
+    fn touch(&mut self, idx: usize) {
+        if self.head != idx {
+            self.unlink(idx);
+            self.push_front(idx);
+        }
+    }
+
+    /// Get a page for reading/writing, bumping it to MRU. Counts a hit or
+    /// miss; the caller loads and [`BufferPool::insert`]s on miss.
+    pub fn get_mut(&mut self, page_no: u64) -> Option<&mut NodePage> {
+        match self.map.get(&page_no).copied() {
+            Some(idx) => {
+                self.stats.hits += 1;
+                self.touch(idx);
+                Some(&mut self.frames[idx].as_mut().expect("mapped frame").page)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Read-only access without LRU bump or hit accounting (flush paths).
+    pub fn peek(&self, page_no: u64) -> Option<&NodePage> {
+        self.map.get(&page_no).map(|&idx| &self.frames[idx].as_ref().expect("mapped frame").page)
+    }
+
+    /// Insert a freshly loaded or created page. Panics if full or already
+    /// resident — callers must make room first.
+    pub fn insert(&mut self, page: NodePage, dirty: bool) {
+        assert!(self.len() < self.capacity, "pool full: make room before insert");
+        assert!(!self.contains(page.page_no), "page {} already resident", page.page_no);
+        let idx = self.free.pop().expect("free frame exists when below capacity");
+        let page_no = page.page_no;
+        self.frames[idx] = Some(Frame { page, dirty, prev: NIL, next: NIL });
+        self.map.insert(page_no, idx);
+        self.push_front(idx);
+        if dirty {
+            self.dirty += 1;
+        }
+    }
+
+    /// Mark a resident page dirty.
+    pub fn mark_dirty(&mut self, page_no: u64) {
+        let idx = *self.map.get(&page_no).expect("mark_dirty on non-resident page");
+        let f = self.frames[idx].as_mut().expect("mapped frame");
+        if !f.dirty {
+            f.dirty = true;
+            self.dirty += 1;
+        }
+    }
+
+    /// Mark a resident page clean (after a successful flush).
+    pub fn mark_clean(&mut self, page_no: u64) {
+        let idx = *self.map.get(&page_no).expect("mark_clean on non-resident page");
+        let f = self.frames[idx].as_mut().expect("mapped frame");
+        if f.dirty {
+            f.dirty = false;
+            self.dirty -= 1;
+        }
+    }
+
+    /// Whether a resident page is dirty.
+    pub fn is_dirty(&self, page_no: u64) -> bool {
+        self.map
+            .get(&page_no)
+            .map(|&idx| self.frames[idx].as_ref().expect("mapped frame").dirty)
+            .unwrap_or(false)
+    }
+
+    /// The least-recently-used page and its dirtiness.
+    pub fn lru_victim(&self) -> Option<(u64, bool)> {
+        if self.tail == NIL {
+            return None;
+        }
+        let f = self.frames[self.tail].as_ref().expect("tail frame");
+        Some((f.page.page_no, f.dirty))
+    }
+
+    /// Up to `max` dirty page numbers from the cold end of the LRU list —
+    /// the flush batch InnoDB pushes through the double-write buffer.
+    pub fn collect_dirty_cold(&self, max: usize) -> Vec<u64> {
+        let mut out = Vec::with_capacity(max);
+        let mut idx = self.tail;
+        while idx != NIL && out.len() < max {
+            let f = self.frames[idx].as_ref().expect("linked frame");
+            if f.dirty {
+                out.push(f.page.page_no);
+            }
+            idx = f.prev;
+        }
+        out
+    }
+
+    /// The coldest clean page, if any (fallback eviction when dirty pages
+    /// are pinned by an open mini-transaction).
+    pub fn coldest_clean(&self) -> Option<u64> {
+        let mut idx = self.tail;
+        while idx != NIL {
+            let f = self.frames[idx].as_ref().expect("linked frame");
+            if !f.dirty {
+                return Some(f.page.page_no);
+            }
+            idx = f.prev;
+        }
+        None
+    }
+
+    /// All dirty page numbers (checkpoint flush).
+    pub fn all_dirty(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.dirty);
+        let mut idx = self.tail;
+        while idx != NIL {
+            let f = self.frames[idx].as_ref().expect("linked frame");
+            if f.dirty {
+                out.push(f.page.page_no);
+            }
+            idx = f.prev;
+        }
+        out
+    }
+
+    /// Evict a clean resident page, returning it.
+    pub fn evict(&mut self, page_no: u64) -> NodePage {
+        let idx = self.map.remove(&page_no).expect("evict of non-resident page");
+        assert!(
+            !self.frames[idx].as_ref().expect("mapped frame").dirty,
+            "evicting dirty page {page_no}"
+        );
+        self.unlink(idx);
+        let frame = self.frames[idx].take().expect("mapped frame");
+        self.free.push(idx);
+        self.stats.evictions += 1;
+        frame.page
+    }
+
+    /// Drop everything (recovery restart).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.frames.iter_mut().for_each(|f| *f = None);
+        self.free = (0..self.capacity).rev().collect();
+        self.head = NIL;
+        self.tail = NIL;
+        self.dirty = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(no: u64) -> NodePage {
+        NodePage::new(no, 0)
+    }
+
+    #[test]
+    fn insert_get_evict_cycle() {
+        let mut p = BufferPool::new(8);
+        p.insert(page(1), false);
+        assert!(p.contains(1));
+        assert!(p.get_mut(1).is_some());
+        assert!(p.get_mut(2).is_none());
+        let out = p.evict(1);
+        assert_eq!(out.page_no, 1);
+        assert!(!p.contains(1));
+        assert_eq!(p.stats().hits, 1);
+        assert_eq!(p.stats().misses, 1);
+        assert_eq!(p.stats().evictions, 1);
+    }
+
+    #[test]
+    fn lru_order_tracks_access() {
+        let mut p = BufferPool::new(8);
+        for i in 0..4 {
+            p.insert(page(i), false);
+        }
+        assert_eq!(p.lru_victim(), Some((0, false)));
+        p.get_mut(0); // 0 becomes MRU
+        assert_eq!(p.lru_victim(), Some((1, false)));
+    }
+
+    #[test]
+    fn dirty_tracking_and_cold_collection() {
+        let mut p = BufferPool::new(8);
+        for i in 0..6 {
+            p.insert(page(i), false);
+        }
+        p.mark_dirty(1);
+        p.mark_dirty(3);
+        p.mark_dirty(5);
+        assert_eq!(p.dirty_count(), 3);
+        // Cold-first order: 1 then 3 then 5 (insertion order, none touched).
+        assert_eq!(p.collect_dirty_cold(2), vec![1, 3]);
+        assert_eq!(p.all_dirty(), vec![1, 3, 5]);
+        p.mark_clean(3);
+        assert_eq!(p.dirty_count(), 2);
+        assert_eq!(p.all_dirty(), vec![1, 5]);
+    }
+
+    #[test]
+    fn mark_dirty_is_idempotent() {
+        let mut p = BufferPool::new(8);
+        p.insert(page(1), false);
+        p.mark_dirty(1);
+        p.mark_dirty(1);
+        assert_eq!(p.dirty_count(), 1);
+        p.mark_clean(1);
+        p.mark_clean(1);
+        assert_eq!(p.dirty_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "pool full")]
+    fn insert_beyond_capacity_panics() {
+        let mut p = BufferPool::new(8);
+        for i in 0..9 {
+            p.insert(page(i), false);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "evicting dirty page")]
+    fn evicting_dirty_page_panics() {
+        let mut p = BufferPool::new(8);
+        p.insert(page(1), true);
+        p.evict(1);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut p = BufferPool::new(8);
+        for i in 0..8 {
+            p.insert(page(i), i % 2 == 0);
+        }
+        p.clear();
+        assert_eq!(p.len(), 0);
+        assert_eq!(p.dirty_count(), 0);
+        for i in 8..16 {
+            p.insert(page(i), false);
+        }
+        assert_eq!(p.len(), 8);
+    }
+
+    #[test]
+    fn full_pool_lru_cycles_correctly() {
+        let mut p = BufferPool::new(8);
+        for i in 0..8 {
+            p.insert(page(i), false);
+        }
+        for round in 0..100u64 {
+            let (victim, dirty) = p.lru_victim().unwrap();
+            assert!(!dirty);
+            p.evict(victim);
+            p.insert(page(100 + round), false);
+        }
+        assert_eq!(p.len(), 8);
+    }
+}

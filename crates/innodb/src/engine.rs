@@ -1,0 +1,695 @@
+//! The mini-InnoDB engine: tablespace I/O, buffer-pool eviction through
+//! the double-write buffer (or SHARE), redo, checkpointing and recovery.
+//!
+//! ## The three flush modes (the paper's experimental axes)
+//!
+//! * [`FlushMode::DwbOn`] — default InnoDB: a dirty-page batch is first
+//!   written and fsynced to the double-write buffer, then written again in
+//!   place (Figure 1(a)). Every data page costs **two** host writes.
+//! * [`FlushMode::DwbOff`] — the unsafe baseline: one write, but a crash
+//!   mid-write leaves a torn page nothing can repair.
+//! * [`FlushMode::Share`] — the paper's contribution: one write to the
+//!   double-write area, then `share(ts_lpn ← dwb_lpn)` remaps the home
+//!   location onto the already-written copy. One data write, full torn-page
+//!   protection.
+//!
+//! ## Crash consistency
+//!
+//! Page *integrity* comes from the DWB/SHARE protocol; page *freshness*
+//! from physiological redo gated on per-page LSNs; multi-page structure
+//! changes (B+tree splits) from mini-transaction (MTR) grouping: pages
+//! dirtied by an open MTR are pinned until its `MtrEnd` is logged, and
+//! recovery discards a trailing incomplete MTR group.
+
+use crate::bufpool::{BufferPool, PoolStats};
+use crate::error::EngineError;
+use crate::page::{NodePage, PageDecodeError, NO_PAGE};
+use crate::redo::{CheckpointMeta, RedoBody, RedoLog};
+use share_core::{BlockDevice, DeviceStats, SimpleSsd};
+use share_vfs::{FileId, Vfs, VfsOptions};
+
+/// How dirty pages propagate to their home location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushMode {
+    /// Journal to the double-write buffer, then write in place.
+    DwbOn,
+    /// Write in place only (fast, torn-page unsafe).
+    DwbOff,
+    /// Journal to the double-write buffer, then SHARE-remap in place.
+    Share,
+    /// No double-write buffer: flush batches through the device's atomic
+    /// multi-page write (the §6.1 related-work primitive — FusionIO-style).
+    AtomicWrite,
+}
+
+impl FlushMode {
+    /// Label used in experiment output.
+    pub fn label(self) -> &'static str {
+        match self {
+            FlushMode::DwbOn => "DWB-On",
+            FlushMode::DwbOff => "DWB-Off",
+            FlushMode::Share => "SHARE",
+            FlushMode::AtomicWrite => "AtomicWr",
+        }
+    }
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct InnoDbConfig {
+    /// Flush protocol.
+    pub mode: FlushMode,
+    /// Engine page size (4/8/16 KiB in the paper's Figure 5(a)).
+    pub page_bytes: usize,
+    /// Buffer-pool capacity in engine pages.
+    pub pool_pages: usize,
+    /// Dirty pages flushed per double-write batch.
+    pub flush_batch: usize,
+    /// Redo bytes between fuzzy checkpoints.
+    pub ckpt_redo_bytes: u64,
+    /// fsync the redo log at every commit.
+    pub fsync_on_commit: bool,
+    /// Tablespace capacity in engine pages.
+    pub max_pages: u64,
+    /// Host CPU charged per user operation (ns of simulated time).
+    pub cpu_ns_per_op: u64,
+    /// InnoDB's `buffer_flush_neighbors`: when evicting, also flush dirty
+    /// pages from the victim's 64-page extent. The paper turned this OFF
+    /// "to reduce unnecessary write overhead"; the ablation shows why.
+    pub flush_neighbors: bool,
+}
+
+impl Default for InnoDbConfig {
+    fn default() -> Self {
+        Self {
+            mode: FlushMode::DwbOn,
+            page_bytes: 4096,
+            pool_pages: 2048,
+            flush_batch: 64,
+            ckpt_redo_bytes: 8 << 20,
+            fsync_on_commit: true,
+            max_pages: 16_384,
+            cpu_ns_per_op: 5_000,
+            flush_neighbors: false,
+        }
+    }
+}
+
+/// Engine-level counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Committed transactions.
+    pub commits: u64,
+    /// Flush batches pushed through the eviction path.
+    pub flush_batches: u64,
+    /// Engine pages flushed.
+    pub pages_flushed: u64,
+    /// Engine pages written to the double-write area.
+    pub dwb_pages_written: u64,
+    /// Flush batches that fell back to in-place writes because SHARE was
+    /// refused (reverse-map pressure).
+    pub share_fallbacks: u64,
+    /// Fuzzy checkpoints taken.
+    pub checkpoints: u64,
+}
+
+enum LoadOutcome {
+    Loaded(NodePage),
+    Empty,
+}
+
+/// The storage engine.
+pub struct InnoDb<D: BlockDevice> {
+    cfg: InnoDbConfig,
+    fs: Vfs<D>,
+    ts: FileId,
+    dwb: FileId,
+    log: RedoLog,
+    pub(crate) pool: BufferPool,
+    pub(crate) root: u64,
+    pub(crate) height: u16,
+    next_page_no: u64,
+    /// Device pages per engine page.
+    ppd: u64,
+    /// LSN of the last appended MtrEnd; dirty pages above this are pinned.
+    mtr_safe_lsn: u64,
+    replaying: bool,
+    stats: EngineStats,
+}
+
+impl<D: BlockDevice> InnoDb<D> {
+    /// Create a fresh database on `data_dev` (tablespace + double-write
+    /// area preallocated) with the redo log on `log_dev`.
+    pub fn create(data_dev: D, log_dev: SimpleSsd, cfg: InnoDbConfig) -> Result<Self, EngineError> {
+        assert_eq!(cfg.page_bytes % data_dev.page_size(), 0, "engine page must be a multiple of the device page");
+        let ppd = (cfg.page_bytes / data_dev.page_size()) as u64;
+        // Ordered-mode metadata journaling: ~2 journal pages per fsync that
+        // found dirty data, the ext4 share of traffic that keeps the
+        // paper's Figure 6(a) reduction below a clean 50 %.
+        let opts = VfsOptions { journal_pages_per_commit: 2, ..Default::default() };
+        let mut fs = Vfs::format(data_dev, opts)?;
+        let ts = fs.create("ibdata")?;
+        fs.fallocate(ts, cfg.max_pages * ppd)?;
+        let dwb = fs.create("doublewrite")?;
+        fs.fallocate(dwb, cfg.flush_batch as u64 * ppd)?;
+        fs.fsync(ts)?;
+        let log = RedoLog::format(log_dev)?;
+        let pool_pages = cfg.pool_pages;
+        Ok(Self {
+            cfg,
+            fs,
+            ts,
+            dwb,
+            log,
+            pool: BufferPool::new(pool_pages),
+            root: NO_PAGE,
+            height: 0,
+            next_page_no: 0,
+            ppd,
+            mtr_safe_lsn: 0,
+            replaying: false,
+            stats: EngineStats::default(),
+        })
+    }
+
+    /// Reopen after a crash: double-write repair, then redo replay of
+    /// complete mini-transactions. The devices must already be through
+    /// their own recovery (e.g. [`share_core::Ftl::open`]).
+    pub fn open(data_dev: D, log_dev: SimpleSsd, cfg: InnoDbConfig) -> Result<Self, EngineError> {
+        let ppd = (cfg.page_bytes / data_dev.page_size()) as u64;
+        let opts = VfsOptions { journal_pages_per_commit: 2, ..Default::default() };
+        let fs = Vfs::open(data_dev, opts)?;
+        let ts = fs.lookup("ibdata").ok_or_else(|| EngineError::Corrupt("no tablespace".into()))?;
+        let dwb = fs
+            .lookup("doublewrite")
+            .ok_or_else(|| EngineError::Corrupt("no double-write area".into()))?;
+        let (log, meta, records) = RedoLog::recover(log_dev)?;
+        let pool_pages = cfg.pool_pages;
+        let mut eng = Self {
+            cfg,
+            fs,
+            ts,
+            dwb,
+            log,
+            pool: BufferPool::new(pool_pages),
+            root: meta.root,
+            height: meta.height,
+            next_page_no: meta.next_page_no,
+            ppd,
+            mtr_safe_lsn: 0,
+            replaying: true,
+            stats: EngineStats::default(),
+        };
+        if meta.height == 0 && meta.root == 0 {
+            // Fresh log header: an empty tree uses the NO_PAGE sentinel.
+            eng.root = NO_PAGE;
+        }
+        if matches!(eng.cfg.mode, FlushMode::DwbOn | FlushMode::Share) {
+            eng.repair_from_dwb()?;
+        }
+        let mut max_replayed_lsn = 0;
+        for group in RedoBody::group_mtrs(records) {
+            for r in group {
+                eng.apply_to_page(r.lsn, &r.body)?;
+                max_replayed_lsn = max_replayed_lsn.max(r.lsn);
+            }
+        }
+        // Every replayed group was a complete MTR, so its pages are safe to
+        // flush — without this, replayed dirty pages look pinned forever.
+        eng.mtr_safe_lsn = max_replayed_lsn.max(meta.ckpt_lsn);
+        eng.replaying = false;
+        // Settle into a clean checkpointed state.
+        eng.checkpoint()?;
+        Ok(eng)
+    }
+
+    /// Engine configuration.
+    pub fn config(&self) -> &InnoDbConfig {
+        &self.cfg
+    }
+
+    /// Engine counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Pages allocated in the tablespace so far (database size).
+    pub fn page_count(&self) -> u64 {
+        self.next_page_no
+    }
+
+    /// Buffer-pool counters.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// Data-device statistics.
+    pub fn data_device_stats(&self) -> DeviceStats {
+        self.fs.device().stats()
+    }
+
+    /// Log-device statistics.
+    pub fn log_device_stats(&self) -> DeviceStats {
+        self.log.device_stats()
+    }
+
+    /// The shared simulated clock (from the data device).
+    pub fn clock(&self) -> nand_sim::SimClock {
+        self.fs.device().clock().clone()
+    }
+
+    /// Mutable access to the file system (tests, fault injection).
+    pub fn fs_mut(&mut self) -> &mut Vfs<D> {
+        &mut self.fs
+    }
+
+    /// Tear down, returning the data device and the log device.
+    pub fn into_devices(self) -> (D, SimpleSsd) {
+        (self.fs.into_device(), self.log.into_device())
+    }
+
+    // ----- page I/O -------------------------------------------------------
+
+    fn ts_offset(&self, page_no: u64) -> u64 {
+        page_no * self.ppd
+    }
+
+    fn load_page(&mut self, page_no: u64) -> Result<LoadOutcome, EngineError> {
+        let dps = self.fs.page_size();
+        let mut img = vec![0u8; self.cfg.page_bytes];
+        for j in 0..self.ppd {
+            let off = (j as usize) * dps;
+            self.fs.read_page(self.ts, self.ts_offset(page_no) + j, &mut img[off..off + dps])?;
+        }
+        match NodePage::decode(&img) {
+            Ok(p) => {
+                if p.page_no != page_no {
+                    return Err(EngineError::Corrupt(format!(
+                        "page {page_no} holds image of page {}",
+                        p.page_no
+                    )));
+                }
+                Ok(LoadOutcome::Loaded(p))
+            }
+            Err(PageDecodeError::Empty) => Ok(LoadOutcome::Empty),
+            Err(PageDecodeError::BadChecksum { .. }) => Err(EngineError::TornPage { page_no }),
+            Err(PageDecodeError::Malformed(m)) => {
+                Err(EngineError::Corrupt(format!("page {page_no}: {m}")))
+            }
+        }
+    }
+
+    fn write_image(&mut self, file: FileId, first_page: u64, img: &[u8]) -> Result<(), EngineError> {
+        let dps = self.fs.page_size();
+        for j in 0..self.ppd {
+            let off = (j as usize) * dps;
+            self.fs.write_page(file, first_page + j, &img[off..off + dps])?;
+        }
+        Ok(())
+    }
+
+    /// Make a page resident, loading it from the tablespace if needed.
+    pub(crate) fn ensure_resident(&mut self, page_no: u64) -> Result<(), EngineError> {
+        if self.pool.contains(page_no) {
+            return Ok(());
+        }
+        self.make_room()?;
+        match self.load_page(page_no)? {
+            LoadOutcome::Loaded(p) => self.pool.insert(p, false),
+            LoadOutcome::Empty => {
+                return Err(EngineError::Corrupt(format!("read of never-written page {page_no}")))
+            }
+        }
+        Ok(())
+    }
+
+    fn make_room(&mut self) -> Result<(), EngineError> {
+        while self.pool.len() >= self.pool.capacity() {
+            let (victim, dirty) = self.pool.lru_victim().expect("full pool has a victim");
+            if dirty {
+                let mut batch: Vec<u64> = self
+                    .pool
+                    .collect_dirty_cold(self.cfg.flush_batch)
+                    .into_iter()
+                    .filter(|&no| self.flushable(no))
+                    .collect();
+                if self.cfg.flush_neighbors {
+                    // Pull in dirty pages from each batch page's 64-page
+                    // extent (InnoDB's neighbor flushing).
+                    let mut extra = Vec::new();
+                    for &no in &batch {
+                        let base = no & !63;
+                        for n in base..base + 64 {
+                            if n != no
+                                && !batch.contains(&n)
+                                && !extra.contains(&n)
+                                && self.pool.is_dirty(n)
+                                && self.flushable(n)
+                            {
+                                extra.push(n);
+                            }
+                        }
+                    }
+                    batch.extend(extra);
+                }
+                if !batch.is_empty() {
+                    for chunk in std::mem::take(&mut batch).chunks(self.cfg.flush_batch) {
+                        self.flush_pages(chunk)?;
+                    }
+                }
+            }
+            let (victim2, dirty2) = self.pool.lru_victim().expect("full pool has a victim");
+            if !dirty2 {
+                self.pool.evict(victim2);
+            } else {
+                // The coldest page stayed dirty (pinned by the open MTR, or
+                // unflushable right now): evict the coldest clean page.
+                let Some(clean) = self.pool.coldest_clean() else {
+                    return Err(EngineError::Corrupt(format!(
+                        "pool wedged: {} resident, {} dirty, mtr_safe_lsn {}, victim {} (lsn {:?})",
+                        self.pool.len(),
+                        self.pool.dirty_count(),
+                        self.mtr_safe_lsn,
+                        victim,
+                        self.pool.peek(victim).map(|p| p.lsn),
+                    )));
+                };
+                self.pool.evict(clean);
+            }
+            let _ = (victim, dirty);
+        }
+        Ok(())
+    }
+
+    fn flushable(&self, page_no: u64) -> bool {
+        if self.replaying {
+            return true;
+        }
+        self.pool.peek(page_no).map(|p| p.lsn <= self.mtr_safe_lsn).unwrap_or(false)
+    }
+
+    /// Flush a batch of dirty pages through the configured protocol.
+    fn flush_pages(&mut self, batch: &[u64]) -> Result<(), EngineError> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        debug_assert!(batch.len() <= self.cfg.flush_batch);
+        // WAL rule, including the MtrEnd records of every MTR whose pages
+        // are in this batch.
+        self.log.flush()?;
+        self.stats.flush_batches += 1;
+
+        let images: Vec<(u64, Vec<u8>)> = batch
+            .iter()
+            .map(|&no| (no, self.pool.peek(no).expect("batch page resident").encode(self.cfg.page_bytes)))
+            .collect();
+
+        match self.cfg.mode {
+            FlushMode::DwbOff => {
+                for (no, img) in &images {
+                    self.write_image(self.ts, self.ts_offset(*no), img)?;
+                }
+                self.fs.fsync(self.ts)?;
+            }
+            FlushMode::AtomicWrite => {
+                // One data write per page, atomic per device batch; engine
+                // pages never straddle batches so none can tear.
+                let dps = self.fs.page_size();
+                let limit_pages = ((self.fs.atomic_write_limit() as u64 / self.ppd)
+                    * self.ppd) as usize;
+                let per_batch = (limit_pages / self.ppd as usize).max(1);
+                for chunk in images.chunks(per_batch) {
+                    let mut batch: Vec<(u64, &[u8])> = Vec::with_capacity(chunk.len() * self.ppd as usize);
+                    for (no, img) in chunk {
+                        for j in 0..self.ppd {
+                            let s = (j as usize) * dps;
+                            batch.push((self.ts_offset(*no) + j, &img[s..s + dps]));
+                        }
+                    }
+                    self.fs.write_pages_atomic(self.ts, &batch)?;
+                }
+            }
+            FlushMode::DwbOn => {
+                for (slot, (_, img)) in images.iter().enumerate() {
+                    self.write_image(self.dwb, slot as u64 * self.ppd, img)?;
+                    self.stats.dwb_pages_written += 1;
+                }
+                self.fs.fsync(self.dwb)?;
+                for (no, img) in &images {
+                    self.write_image(self.ts, self.ts_offset(*no), img)?;
+                }
+                self.fs.fsync(self.ts)?;
+            }
+            FlushMode::Share => {
+                for (slot, (_, img)) in images.iter().enumerate() {
+                    self.write_image(self.dwb, slot as u64 * self.ppd, img)?;
+                    self.stats.dwb_pages_written += 1;
+                }
+                self.fs.fsync(self.dwb)?;
+                // Remap home locations onto the just-written DWB copies,
+                // never splitting one engine page across atomic batches.
+                let mut pairs = Vec::with_capacity(images.len() * self.ppd as usize);
+                for (slot, (no, _)) in images.iter().enumerate() {
+                    for j in 0..self.ppd {
+                        pairs.push((self.ts_offset(*no) + j, slot as u64 * self.ppd + j));
+                    }
+                }
+                let chunk = ((self.fs.share_batch_limit() as u64 / self.ppd) * self.ppd) as usize;
+                let mut shared_ok = true;
+                for c in pairs.chunks(chunk.max(self.ppd as usize)) {
+                    match self.fs.ioctl_share_pairs(self.ts, self.dwb, c) {
+                        Ok(()) => {}
+                        Err(share_vfs::VfsError::Device(share_core::FtlError::RevMapFull { .. })) => {
+                            shared_ok = false;
+                            break;
+                        }
+                        Err(e) => return Err(e.into()),
+                    }
+                }
+                if !shared_ok {
+                    // Reverse-map pressure: fall back to the classic second
+                    // write for this batch (the engine keeps running).
+                    self.stats.share_fallbacks += 1;
+                    for (no, img) in &images {
+                        self.write_image(self.ts, self.ts_offset(*no), img)?;
+                    }
+                    self.fs.fsync(self.ts)?;
+                }
+            }
+        }
+        for (no, _) in &images {
+            self.pool.mark_clean(*no);
+        }
+        self.stats.pages_flushed += images.len() as u64;
+        Ok(())
+    }
+
+    // ----- redo application ------------------------------------------------
+
+    /// Allocate a fresh page number.
+    pub(crate) fn alloc_page_no(&mut self) -> Result<u64, EngineError> {
+        if self.next_page_no >= self.cfg.max_pages {
+            return Err(EngineError::Corrupt("tablespace full".into()));
+        }
+        let no = self.next_page_no;
+        self.next_page_no += 1;
+        Ok(no)
+    }
+
+    /// Runtime mutation: assign an LSN, log the record, apply it.
+    pub(crate) fn apply(&mut self, body: RedoBody) -> Result<(), EngineError> {
+        let lsn = self.log.next_lsn();
+        self.log.append(lsn, &body)?;
+        self.apply_to_page(lsn, &body)
+    }
+
+    /// Close the current mini-transaction.
+    pub(crate) fn mtr_end(&mut self) -> Result<(), EngineError> {
+        let lsn = self.log.next_lsn();
+        self.log.append(lsn, &RedoBody::MtrEnd)?;
+        self.mtr_safe_lsn = lsn;
+        Ok(())
+    }
+
+    fn with_page<F: FnOnce(&mut NodePage)>(
+        &mut self,
+        page_no: u64,
+        lsn: u64,
+        f: F,
+    ) -> Result<(), EngineError> {
+        self.ensure_resident(page_no)?;
+        let p = self.pool.get_mut(page_no).expect("just ensured");
+        if p.lsn < lsn {
+            f(p);
+            p.lsn = lsn;
+            self.pool.mark_dirty(page_no);
+        }
+        Ok(())
+    }
+
+    /// Apply one record to its page, gated by the page LSN. Used by both
+    /// the runtime path and recovery replay, which is what makes replay
+    /// exactly repeat runtime behaviour.
+    pub(crate) fn apply_to_page(&mut self, lsn: u64, body: &RedoBody) -> Result<(), EngineError> {
+        match body {
+            RedoBody::MtrEnd => Ok(()),
+            RedoBody::SetRoot { root, height } => {
+                self.root = *root;
+                self.height = *height;
+                Ok(())
+            }
+            RedoBody::PageInit { page_no, level } => {
+                self.next_page_no = self.next_page_no.max(page_no + 1);
+                if !self.pool.contains(*page_no) {
+                    self.make_room()?;
+                    match self.load_page(*page_no)? {
+                        LoadOutcome::Loaded(p) => self.pool.insert(p, false),
+                        LoadOutcome::Empty => {
+                            self.pool.insert(NodePage::new(*page_no, *level), false)
+                        }
+                    }
+                }
+                let level = *level;
+                let no = *page_no;
+                self.with_page_raw(no, lsn, move |p| {
+                    *p = NodePage::new(no, level);
+                })
+            }
+            RedoBody::Upsert { page_no, key, value } => {
+                let (key, value) = (*key, value.clone());
+                self.with_page(*page_no, lsn, move |p| {
+                    p.upsert(key, value);
+                })
+            }
+            RedoBody::Remove { page_no, key } => {
+                let key = *key;
+                self.with_page(*page_no, lsn, move |p| {
+                    p.remove(&key);
+                })
+            }
+            RedoBody::AppendEntries { page_no, entries } => {
+                let entries = entries.clone();
+                self.with_page(*page_no, lsn, move |p| {
+                    p.extend_high(entries);
+                })
+            }
+            RedoBody::TruncateHigh { page_no, pivot } => {
+                let pivot = *pivot;
+                self.with_page(*page_no, lsn, move |p| {
+                    p.drain_high(&pivot);
+                })
+            }
+            RedoBody::SetNextPtr { page_no, next } => {
+                let next = *next;
+                self.with_page(*page_no, lsn, move |p| {
+                    p.next = next;
+                })
+            }
+        }
+    }
+
+    /// Like [`Self::with_page`] but the page is already resident (PageInit).
+    fn with_page_raw<F: FnOnce(&mut NodePage)>(
+        &mut self,
+        page_no: u64,
+        lsn: u64,
+        f: F,
+    ) -> Result<(), EngineError> {
+        let p = self.pool.get_mut(page_no).expect("resident");
+        if p.lsn < lsn {
+            f(p);
+            p.lsn = lsn;
+            self.pool.mark_dirty(page_no);
+        }
+        Ok(())
+    }
+
+    // ----- commit & checkpoint ---------------------------------------------
+
+    /// Commit the current transaction (one MTR): log the boundary, make it
+    /// durable (group commit), and checkpoint if the redo budget is spent.
+    /// Public so callers composing raw `upsert_kv`/`delete_kv` sequences can
+    /// set their own transaction boundaries.
+    pub fn commit(&mut self) -> Result<(), EngineError> {
+        self.mtr_end()?;
+        self.stats.commits += 1;
+        self.fs.device().clock().advance(self.cfg.cpu_ns_per_op);
+        if self.cfg.fsync_on_commit {
+            self.log.flush()?;
+        }
+        if self.log.needs_checkpoint(self.cfg.ckpt_redo_bytes) {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Flush every dirty page and truncate the redo log.
+    pub fn checkpoint(&mut self) -> Result<(), EngineError> {
+        loop {
+            let dirty: Vec<u64> = self
+                .pool
+                .all_dirty()
+                .into_iter()
+                .filter(|&no| self.flushable(no))
+                .take(self.cfg.flush_batch)
+                .collect();
+            if dirty.is_empty() {
+                break;
+            }
+            self.flush_pages(&dirty)?;
+        }
+        let meta = CheckpointMeta {
+            ckpt_lsn: self.log.flushed_lsn() + 1,
+            root: if self.root == NO_PAGE { 0 } else { self.root },
+            height: self.height,
+            next_page_no: self.next_page_no,
+        };
+        // A height-0 tree stores root 0 in the header; `open` maps it back.
+        self.log.write_checkpoint(meta)?;
+        self.stats.checkpoints += 1;
+        Ok(())
+    }
+
+    /// Flush everything and fsync — a clean shutdown.
+    pub fn shutdown(&mut self) -> Result<(), EngineError> {
+        self.checkpoint()?;
+        self.fs.fsync(self.ts)?;
+        Ok(())
+    }
+
+    // ----- double-write repair ----------------------------------------------
+
+    /// Scan the double-write area; restore any page whose home copy is torn
+    /// or missing. Intact home copies are never overwritten (they may be
+    /// newer than the DWB image).
+    fn repair_from_dwb(&mut self) -> Result<u64, EngineError> {
+        let dps = self.fs.page_size();
+        let mut repaired = 0;
+        for slot in 0..self.cfg.flush_batch as u64 {
+            let mut img = vec![0u8; self.cfg.page_bytes];
+            let mut ok = true;
+            for j in 0..self.ppd {
+                let off = (j as usize) * dps;
+                if self.fs.read_page(self.dwb, slot * self.ppd + j, &mut img[off..off + dps]).is_err() {
+                    ok = false;
+                    break;
+                }
+            }
+            if !ok {
+                continue;
+            }
+            let Ok(copy) = NodePage::decode(&img) else {
+                continue; // torn or empty DWB slot: ignore
+            };
+            let home_ok = matches!(self.load_page(copy.page_no), Ok(LoadOutcome::Loaded(_)));
+            if !home_ok {
+                self.write_image(self.ts, self.ts_offset(copy.page_no), &img)?;
+                repaired += 1;
+            }
+        }
+        if repaired > 0 {
+            self.fs.fsync(self.ts)?;
+        }
+        Ok(repaired)
+    }
+}

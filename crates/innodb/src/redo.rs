@@ -1,0 +1,558 @@
+//! Write-ahead redo log on a dedicated log device.
+//!
+//! The paper's testbed puts the MySQL redo log on a separate conventional
+//! SSD (a Samsung PM853T); here it lives on a [`SimpleSsd`]. Records are
+//! *physiological*: each describes a deterministic change to one or two
+//! pages and is replayed through the same apply path the runtime uses,
+//! gated by the per-page LSN. Note that redo protects committed work; the
+//! double-write buffer (or SHARE) protects page *integrity* — the two
+//! mechanisms are orthogonal, which is exactly the paper's §2 argument.
+
+use crate::error::EngineError;
+use crate::key::Key;
+use share_core::{crc32c, BlockDevice, DeviceStats, Lpn, SimpleSsd};
+
+const LOG_MAGIC: u32 = 0x5244_4F4C; // "RDOL"
+const HDR_MAGIC: u32 = 0x5244_4844; // "RDHD"
+
+/// One physiological redo operation. Every variant changes exactly **one**
+/// page, so replay can gate on that page's LSN; multi-page structure
+/// changes (splits) are sequences of these, grouped into a
+/// mini-transaction terminated by [`RedoBody::MtrEnd`] — recovery discards
+/// a trailing incomplete group, giving structural all-or-nothing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RedoBody {
+    /// Create `page_no` as an empty node at `level`.
+    PageInit { page_no: u64, level: u16 },
+    /// Insert or replace `key` in `page_no`.
+    Upsert { page_no: u64, key: Key, value: Vec<u8> },
+    /// Remove `key` from `page_no`.
+    Remove { page_no: u64, key: Key },
+    /// Append pre-sorted entries, all greater than the page's current max
+    /// (split destination; large splits are chunked across records).
+    AppendEntries { page_no: u64, entries: Vec<(Key, Vec<u8>)> },
+    /// Drop all entries with key >= `pivot` (split source).
+    TruncateHigh { page_no: u64, pivot: Key },
+    /// Set the leaf-chain next pointer.
+    SetNextPtr { page_no: u64, next: u64 },
+    /// Install a new tree root.
+    SetRoot { root: u64, height: u16 },
+    /// Mini-transaction boundary marker.
+    MtrEnd,
+}
+
+impl RedoBody {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            RedoBody::PageInit { page_no, level } => {
+                out.push(1);
+                out.extend_from_slice(&page_no.to_le_bytes());
+                out.extend_from_slice(&level.to_le_bytes());
+            }
+            RedoBody::Upsert { page_no, key, value } => {
+                out.push(2);
+                out.extend_from_slice(&page_no.to_le_bytes());
+                out.extend_from_slice(&key.0);
+                out.extend_from_slice(&(value.len() as u16).to_le_bytes());
+                out.extend_from_slice(value);
+            }
+            RedoBody::Remove { page_no, key } => {
+                out.push(3);
+                out.extend_from_slice(&page_no.to_le_bytes());
+                out.extend_from_slice(&key.0);
+            }
+            RedoBody::AppendEntries { page_no, entries } => {
+                out.push(4);
+                out.extend_from_slice(&page_no.to_le_bytes());
+                out.extend_from_slice(&(entries.len() as u16).to_le_bytes());
+                for (k, v) in entries {
+                    out.extend_from_slice(&k.0);
+                    out.extend_from_slice(&(v.len() as u16).to_le_bytes());
+                    out.extend_from_slice(v);
+                }
+            }
+            RedoBody::TruncateHigh { page_no, pivot } => {
+                out.push(5);
+                out.extend_from_slice(&page_no.to_le_bytes());
+                out.extend_from_slice(&pivot.0);
+            }
+            RedoBody::SetNextPtr { page_no, next } => {
+                out.push(6);
+                out.extend_from_slice(&page_no.to_le_bytes());
+                out.extend_from_slice(&next.to_le_bytes());
+            }
+            RedoBody::SetRoot { root, height } => {
+                out.push(7);
+                out.extend_from_slice(&root.to_le_bytes());
+                out.extend_from_slice(&height.to_le_bytes());
+            }
+            RedoBody::MtrEnd => out.push(8),
+        }
+    }
+
+    fn decode(buf: &[u8]) -> Option<(RedoBody, usize)> {
+        let tag = *buf.first()?;
+        let u64_at = |o: usize| Some(u64::from_le_bytes(buf.get(o..o + 8)?.try_into().ok()?));
+        let u16_at = |o: usize| Some(u16::from_le_bytes(buf.get(o..o + 2)?.try_into().ok()?));
+        let key_at = |o: usize| Some(Key(buf.get(o..o + 24)?.try_into().ok()?));
+        match tag {
+            1 => Some((RedoBody::PageInit { page_no: u64_at(1)?, level: u16_at(9)? }, 11)),
+            2 => {
+                let page_no = u64_at(1)?;
+                let key = key_at(9)?;
+                let vlen = u16_at(33)? as usize;
+                let value = buf.get(35..35 + vlen)?.to_vec();
+                Some((RedoBody::Upsert { page_no, key, value }, 35 + vlen))
+            }
+            3 => Some((RedoBody::Remove { page_no: u64_at(1)?, key: key_at(9)? }, 33)),
+            4 => {
+                let page_no = u64_at(1)?;
+                let count = u16_at(9)? as usize;
+                let mut off = 11;
+                let mut entries = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let key = key_at(off)?;
+                    let vlen = u16_at(off + 24)? as usize;
+                    let value = buf.get(off + 26..off + 26 + vlen)?.to_vec();
+                    entries.push((key, value));
+                    off += 26 + vlen;
+                }
+                Some((RedoBody::AppendEntries { page_no, entries }, off))
+            }
+            5 => Some((RedoBody::TruncateHigh { page_no: u64_at(1)?, pivot: key_at(9)? }, 33)),
+            6 => Some((RedoBody::SetNextPtr { page_no: u64_at(1)?, next: u64_at(9)? }, 17)),
+            7 => Some((RedoBody::SetRoot { root: u64_at(1)?, height: u16_at(9)? }, 11)),
+            8 => Some((RedoBody::MtrEnd, 1)),
+            _ => None,
+        }
+    }
+
+    /// Group a flat record stream into complete mini-transactions,
+    /// discarding a trailing group that lost its `MtrEnd` to the crash.
+    pub fn group_mtrs(records: Vec<RedoRecord>) -> Vec<Vec<RedoRecord>> {
+        let mut groups = Vec::new();
+        let mut cur = Vec::new();
+        for r in records {
+            if matches!(r.body, RedoBody::MtrEnd) {
+                groups.push(std::mem::take(&mut cur));
+            } else {
+                cur.push(r);
+            }
+        }
+        // `cur` (incomplete trailing MTR) is intentionally dropped.
+        groups
+    }
+}
+
+/// A sequenced redo record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RedoRecord {
+    /// Log sequence number (strictly increasing).
+    pub lsn: u64,
+    /// The page change.
+    pub body: RedoBody,
+}
+
+/// Engine metadata persisted in the log header at each checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CheckpointMeta {
+    /// Records with lsn < this are reflected in flushed pages.
+    pub ckpt_lsn: u64,
+    /// Tree root page.
+    pub root: u64,
+    /// Tree height (0 = empty tree).
+    pub height: u16,
+    /// Next page number to allocate.
+    pub next_page_no: u64,
+}
+
+/// The redo log: byte-packed records on a page-granular log device.
+#[derive(Debug)]
+pub struct RedoLog {
+    dev: SimpleSsd,
+    page_size: usize,
+    /// Next log page slot to write (page 0 is the header).
+    cur_page: u64,
+    buf: Vec<u8>,
+    next_lsn: u64,
+    flushed_lsn: u64,
+    bytes_since_ckpt: u64,
+}
+
+/// Page payload layout: magic(4) crc(4) used(2) pad(6) payload.
+const PAGE_HDR: usize = 16;
+
+impl RedoLog {
+    /// A fresh log on `dev`.
+    pub fn format(dev: SimpleSsd) -> Result<Self, EngineError> {
+        let page_size = dev.page_size();
+        let mut log = Self {
+            dev,
+            page_size,
+            cur_page: 1,
+            buf: Vec::new(),
+            next_lsn: 1,
+            flushed_lsn: 0,
+            bytes_since_ckpt: 0,
+        };
+        log.write_checkpoint(CheckpointMeta::default())?;
+        Ok(log)
+    }
+
+    /// Reopen after a crash: read the checkpoint header and scan intact
+    /// record pages. Returns the metadata and every record with
+    /// `lsn >= ckpt_lsn`, in order.
+    pub fn recover(mut dev: SimpleSsd) -> Result<(Self, CheckpointMeta, Vec<RedoRecord>), EngineError> {
+        let page_size = dev.page_size();
+        let mut page = vec![0u8; page_size];
+        dev.read(Lpn(0), &mut page).map_err(EngineError::Device)?;
+        if u32::from_le_bytes(page[0..4].try_into().unwrap()) != HDR_MAGIC {
+            return Err(EngineError::RedoCorrupt("missing log header".into()));
+        }
+        let crc = u32::from_le_bytes(page[4..8].try_into().unwrap());
+        if crc32c(&page[8..48]) != crc {
+            return Err(EngineError::RedoCorrupt("log header checksum".into()));
+        }
+        let meta = CheckpointMeta {
+            ckpt_lsn: u64::from_le_bytes(page[8..16].try_into().unwrap()),
+            root: u64::from_le_bytes(page[16..24].try_into().unwrap()),
+            height: u16::from_le_bytes(page[24..26].try_into().unwrap()),
+            next_page_no: u64::from_le_bytes(page[32..40].try_into().unwrap()),
+        };
+
+        let mut records = Vec::new();
+        let mut last_lsn = 0u64;
+        let mut cur_page = 1u64;
+        'pages: for pno in 1..dev.capacity_pages() {
+            dev.read(Lpn(pno), &mut page).map_err(EngineError::Device)?;
+            if u32::from_le_bytes(page[0..4].try_into().unwrap()) != LOG_MAGIC {
+                break;
+            }
+            let crc = u32::from_le_bytes(page[4..8].try_into().unwrap());
+            let used = u16::from_le_bytes(page[8..10].try_into().unwrap()) as usize;
+            if used > page_size - PAGE_HDR || crc32c(&page[PAGE_HDR..PAGE_HDR + used]) != crc {
+                break;
+            }
+            let mut off = PAGE_HDR;
+            let mut page_records = Vec::new();
+            while off < PAGE_HDR + used {
+                let lsn = u64::from_le_bytes(page[off..off + 8].try_into().unwrap());
+                if lsn <= last_lsn {
+                    break 'pages; // stale page from before the checkpoint
+                }
+                let Some((body, len)) = RedoBody::decode(&page[off + 8..PAGE_HDR + used]) else {
+                    break 'pages;
+                };
+                page_records.push(RedoRecord { lsn, body });
+                last_lsn = lsn;
+                off += 8 + len;
+            }
+            records.extend(page_records);
+            cur_page = pno + 1;
+        }
+        records.retain(|r| r.lsn >= meta.ckpt_lsn);
+
+        let next_lsn = last_lsn.max(meta.ckpt_lsn).max(1) + 1;
+        let log = Self {
+            dev,
+            page_size,
+            cur_page,
+            buf: Vec::new(),
+            next_lsn,
+            flushed_lsn: next_lsn - 1,
+            bytes_since_ckpt: 0,
+        };
+        Ok((log, meta, records))
+    }
+
+    fn payload_cap(&self) -> usize {
+        self.page_size - PAGE_HDR
+    }
+
+    /// Reserve the next LSN.
+    pub fn next_lsn(&mut self) -> u64 {
+        let lsn = self.next_lsn;
+        self.next_lsn += 1;
+        lsn
+    }
+
+    /// Highest LSN guaranteed durable.
+    pub fn flushed_lsn(&self) -> u64 {
+        self.flushed_lsn
+    }
+
+    /// Bytes logged since the last checkpoint.
+    pub fn bytes_since_ckpt(&self) -> u64 {
+        self.bytes_since_ckpt
+    }
+
+    /// Whether the log is close to full and needs a checkpoint.
+    pub fn needs_checkpoint(&self, soft_limit_bytes: u64) -> bool {
+        self.bytes_since_ckpt >= soft_limit_bytes
+            || self.cur_page + 4 >= self.dev.capacity_pages()
+    }
+
+    /// Append a record (not yet durable).
+    pub fn append(&mut self, lsn: u64, body: &RedoBody) -> Result<(), EngineError> {
+        let mut rec = Vec::with_capacity(64);
+        rec.extend_from_slice(&lsn.to_le_bytes());
+        body.encode(&mut rec);
+        assert!(rec.len() <= self.payload_cap(), "record exceeds log page payload");
+        if self.buf.len() + rec.len() > self.payload_cap() {
+            self.write_page(true)?;
+        }
+        self.buf.extend_from_slice(&rec);
+        self.bytes_since_ckpt += rec.len() as u64;
+        Ok(())
+    }
+
+    fn write_page(&mut self, advance: bool) -> Result<(), EngineError> {
+        if self.cur_page >= self.dev.capacity_pages() {
+            return Err(EngineError::RedoCorrupt(
+                "log device full — checkpoint was not taken in time".into(),
+            ));
+        }
+        let mut page = vec![0u8; self.page_size];
+        page[0..4].copy_from_slice(&LOG_MAGIC.to_le_bytes());
+        page[8..10].copy_from_slice(&(self.buf.len() as u16).to_le_bytes());
+        page[PAGE_HDR..PAGE_HDR + self.buf.len()].copy_from_slice(&self.buf);
+        let crc = crc32c(&page[PAGE_HDR..PAGE_HDR + self.buf.len()]);
+        page[4..8].copy_from_slice(&crc.to_le_bytes());
+        self.dev.write(Lpn(self.cur_page), &page).map_err(EngineError::Device)?;
+        if advance {
+            self.cur_page += 1;
+            self.buf.clear();
+        }
+        Ok(())
+    }
+
+    /// Make every appended record durable (group commit).
+    pub fn flush(&mut self) -> Result<(), EngineError> {
+        if self.flushed_lsn + 1 == self.next_lsn && self.buf.is_empty() {
+            return Ok(()); // nothing new
+        }
+        if !self.buf.is_empty() {
+            // Partial page: rewritten in place until it fills.
+            let full = self.buf.len() >= self.payload_cap();
+            self.write_page(full)?;
+        }
+        self.dev.flush().map_err(EngineError::Device)?;
+        self.flushed_lsn = self.next_lsn - 1;
+        Ok(())
+    }
+
+    /// Ensure records up to `lsn` are durable (the WAL rule, checked before
+    /// any page flush).
+    pub fn ensure_flushed(&mut self, lsn: u64) -> Result<(), EngineError> {
+        if lsn > self.flushed_lsn {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Persist a checkpoint header and logically truncate the log.
+    pub fn write_checkpoint(&mut self, meta: CheckpointMeta) -> Result<(), EngineError> {
+        // Any straggling records must be durable before the header claims
+        // the checkpoint LSN.
+        self.flush()?;
+        let mut page = vec![0u8; self.page_size];
+        page[0..4].copy_from_slice(&HDR_MAGIC.to_le_bytes());
+        page[8..16].copy_from_slice(&meta.ckpt_lsn.to_le_bytes());
+        page[16..24].copy_from_slice(&meta.root.to_le_bytes());
+        page[24..26].copy_from_slice(&meta.height.to_le_bytes());
+        page[32..40].copy_from_slice(&meta.next_page_no.to_le_bytes());
+        let crc = crc32c(&page[8..48]);
+        page[4..8].copy_from_slice(&crc.to_le_bytes());
+        self.dev.write(Lpn(0), &page).map_err(EngineError::Device)?;
+        self.dev.flush().map_err(EngineError::Device)?;
+        self.cur_page = 1;
+        self.buf.clear();
+        self.bytes_since_ckpt = 0;
+        Ok(())
+    }
+
+    /// Log-device statistics.
+    pub fn device_stats(&self) -> DeviceStats {
+        self.dev.stats()
+    }
+
+    /// Inject a device error (tests).
+    pub fn device_mut(&mut self) -> &mut SimpleSsd {
+        &mut self.dev
+    }
+
+    /// Take the device out (crash-recovery tests).
+    pub fn into_device(self) -> SimpleSsd {
+        self.dev
+    }
+}
+
+/// Helper: a standard log device (64 MiB, 4 KiB pages) on `clock`.
+pub fn standard_log_device(clock: nand_sim::SimClock) -> SimpleSsd {
+    SimpleSsd::new(4096, (64 << 20) / 4096, clock)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nand_sim::SimClock;
+
+    fn fresh() -> RedoLog {
+        RedoLog::format(SimpleSsd::new(4096, 1024, SimClock::new())).unwrap()
+    }
+
+    fn upsert(page_no: u64, id: u64, fill: u8, len: usize) -> RedoBody {
+        RedoBody::Upsert { page_no, key: Key::node(id), value: vec![fill; len] }
+    }
+
+    #[test]
+    fn bodies_encode_decode_round_trip() {
+        let bodies = vec![
+            RedoBody::PageInit { page_no: 3, level: 2 },
+            upsert(1, 9, 0xAB, 40),
+            RedoBody::Remove { page_no: 2, key: Key::link(1, 2, 3) },
+            RedoBody::AppendEntries {
+                page_no: 4,
+                entries: vec![(Key::node(1), vec![1; 3]), (Key::node(2), vec![2; 9])],
+            },
+            RedoBody::TruncateHigh { page_no: 4, pivot: Key::count(7, 1) },
+            RedoBody::SetNextPtr { page_no: 4, next: 5 },
+            RedoBody::SetRoot { root: 11, height: 3 },
+            RedoBody::MtrEnd,
+        ];
+        for b in bodies {
+            let mut buf = Vec::new();
+            b.encode(&mut buf);
+            let (d, len) = RedoBody::decode(&buf).unwrap();
+            assert_eq!(d, b);
+            assert_eq!(len, buf.len());
+        }
+    }
+
+    #[test]
+    fn append_flush_recover_round_trips() {
+        let mut log = fresh();
+        let mut expect = Vec::new();
+        for i in 0..100u64 {
+            let lsn = log.next_lsn();
+            let body = upsert(i % 7, i, i as u8, 32);
+            log.append(lsn, &body).unwrap();
+            expect.push(RedoRecord { lsn, body });
+        }
+        log.flush().unwrap();
+        let (_, meta, records) = RedoLog::recover(log.into_device()).unwrap();
+        assert_eq!(meta.ckpt_lsn, 0);
+        assert_eq!(records, expect);
+    }
+
+    #[test]
+    fn unflushed_records_are_lost() {
+        let mut log = fresh();
+        let lsn = log.next_lsn();
+        log.append(lsn, &upsert(0, 1, 1, 16)).unwrap();
+        // No flush.
+        let (_, _, records) = RedoLog::recover(log.into_device()).unwrap();
+        assert!(records.is_empty());
+    }
+
+    #[test]
+    fn checkpoint_truncates_old_records() {
+        let mut log = fresh();
+        for i in 0..50u64 {
+            let lsn = log.next_lsn();
+            log.append(lsn, &upsert(0, i, 0, 16)).unwrap();
+        }
+        log.flush().unwrap();
+        let ckpt = CheckpointMeta { ckpt_lsn: 51, root: 9, height: 2, next_page_no: 33 };
+        log.write_checkpoint(ckpt).unwrap();
+        // New records after the checkpoint.
+        let mut expect = Vec::new();
+        for i in 0..5u64 {
+            let lsn = log.next_lsn();
+            let body = upsert(1, i, 1, 16);
+            log.append(lsn, &body).unwrap();
+            expect.push(RedoRecord { lsn, body });
+        }
+        log.flush().unwrap();
+        let (_, meta, records) = RedoLog::recover(log.into_device()).unwrap();
+        assert_eq!(meta, ckpt);
+        assert_eq!(records, expect);
+    }
+
+    #[test]
+    fn recovery_right_after_checkpoint_replays_nothing() {
+        let mut log = fresh();
+        for i in 0..300u64 {
+            let lsn = log.next_lsn();
+            log.append(lsn, &upsert(0, i, 0, 64)).unwrap();
+        }
+        log.flush().unwrap();
+        log.write_checkpoint(CheckpointMeta { ckpt_lsn: 301, root: 1, height: 1, next_page_no: 2 })
+            .unwrap();
+        // Old pages 1..N still hold stale records with lsn < 301.
+        let (_, meta, records) = RedoLog::recover(log.into_device()).unwrap();
+        assert_eq!(meta.ckpt_lsn, 301);
+        assert!(records.is_empty(), "stale pre-checkpoint records must be filtered");
+    }
+
+    #[test]
+    fn group_commit_rewrites_partial_pages() {
+        let mut log = fresh();
+        let writes_before = log.device_stats().host_writes;
+        for _ in 0..3 {
+            let lsn = log.next_lsn();
+            log.append(lsn, &upsert(0, 1, 0, 16)).unwrap();
+            log.flush().unwrap();
+        }
+        // Three flushes of the same partial page: three page writes.
+        assert_eq!(log.device_stats().host_writes - writes_before, 3);
+        let (_, _, records) = RedoLog::recover(log.into_device()).unwrap();
+        assert_eq!(records.len(), 3);
+    }
+
+    #[test]
+    fn multi_page_streams_recover_in_order() {
+        let mut log = fresh();
+        let mut lsns = Vec::new();
+        for i in 0..2_000u64 {
+            let lsn = log.next_lsn();
+            log.append(lsn, &upsert(i, i, 0, 100)).unwrap();
+            lsns.push(lsn);
+        }
+        log.flush().unwrap();
+        let (_, _, records) = RedoLog::recover(log.into_device()).unwrap();
+        assert_eq!(records.len(), 2_000);
+        assert!(records.windows(2).all(|w| w[0].lsn < w[1].lsn));
+    }
+
+    #[test]
+    fn mtr_grouping_discards_incomplete_tail() {
+        let rec = |lsn, body| RedoRecord { lsn, body };
+        let records = vec![
+            rec(1, upsert(0, 1, 0, 4)),
+            rec(2, RedoBody::MtrEnd),
+            rec(3, upsert(0, 2, 0, 4)),
+            rec(4, upsert(1, 3, 0, 4)),
+            rec(5, RedoBody::MtrEnd),
+            rec(6, upsert(0, 4, 0, 4)), // crash before MtrEnd
+        ];
+        let groups = RedoBody::group_mtrs(records);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].len(), 1);
+        assert_eq!(groups[1].len(), 2);
+    }
+
+    #[test]
+    fn needs_checkpoint_by_bytes() {
+        let mut log = fresh();
+        assert!(!log.needs_checkpoint(1_000));
+        for i in 0..20u64 {
+            let lsn = log.next_lsn();
+            log.append(lsn, &upsert(0, i, 0, 64)).unwrap();
+        }
+        assert!(log.needs_checkpoint(1_000));
+        log.flush().unwrap();
+        log.write_checkpoint(CheckpointMeta::default()).unwrap();
+        assert!(!log.needs_checkpoint(1_000));
+    }
+}

@@ -1,0 +1,483 @@
+//! Clustered B+tree operations and the LinkBench-facing table API.
+//!
+//! Every mutation is expressed as single-page redo records applied through
+//! [`InnoDb::apply`]; splits are preemptive (a node is split *before* the
+//! insert that would overflow it), so no page ever exceeds its on-disk
+//! size, and the whole user operation forms one mini-transaction.
+
+use crate::engine::InnoDb;
+use crate::error::EngineError;
+use crate::key::Key;
+use crate::page::{NodePage, ENTRY_OVERHEAD, NO_PAGE};
+use crate::redo::RedoBody;
+use share_core::BlockDevice;
+
+/// Internal-node entry payload: an 8-byte child pointer.
+const CHILD_BYTES: usize = 8;
+/// Cap on AppendEntries record payload so records fit a 4 KiB log page.
+const SPLIT_CHUNK_BYTES: usize = 3 * 1024;
+
+impl<D: BlockDevice> InnoDb<D> {
+    /// Largest value the engine accepts (quarter page, like InnoDB's
+    /// in-page record limit).
+    pub fn max_value_bytes(&self) -> usize {
+        self.config().page_bytes / 4
+    }
+
+    fn descend_path(&mut self, key: &Key) -> Result<(u64, Vec<u64>), EngineError> {
+        debug_assert!(self.height > 0);
+        let mut path = Vec::with_capacity(self.height as usize);
+        let mut no = self.root;
+        for _ in 1..self.height {
+            self.ensure_resident(no)?;
+            let p = self.pool.get_mut(no).expect("resident");
+            debug_assert!(!p.is_leaf());
+            let idx = match p.find(key) {
+                Ok(i) => i,
+                Err(0) => 0,
+                Err(i) => i - 1,
+            };
+            let child = p.child_at(idx);
+            path.push(no);
+            no = child;
+        }
+        Ok((no, path))
+    }
+
+    /// Point lookup.
+    pub fn get(&mut self, key: &Key) -> Result<Option<Vec<u8>>, EngineError> {
+        if self.height == 0 {
+            return Ok(None);
+        }
+        let (leaf, _) = self.descend_path(key)?;
+        self.ensure_resident(leaf)?;
+        Ok(self.pool.get_mut(leaf).expect("resident").get(key).map(<[u8]>::to_vec))
+    }
+
+    /// Range scan over `[lo, hi)` via the leaf chain.
+    pub fn scan(&mut self, lo: &Key, hi: &Key) -> Result<Vec<(Key, Vec<u8>)>, EngineError> {
+        let mut out = Vec::new();
+        if self.height == 0 {
+            return Ok(out);
+        }
+        let (mut leaf, _) = self.descend_path(lo)?;
+        loop {
+            self.ensure_resident(leaf)?;
+            let p = self.pool.get_mut(leaf).expect("resident");
+            let start = match p.find(lo) {
+                Ok(i) | Err(i) => i,
+            };
+            let mut done = false;
+            for (k, v) in &p.entries[start..] {
+                if k >= hi {
+                    done = true;
+                    break;
+                }
+                out.push((*k, v.clone()));
+            }
+            let next = p.next;
+            if done || next == NO_PAGE {
+                break;
+            }
+            leaf = next;
+        }
+        Ok(out)
+    }
+
+    fn split(&mut self, node_no: u64, level: u16) -> Result<(Key, u64), EngineError> {
+        self.ensure_resident(node_no)?;
+        let (pivot, high, old_next) = {
+            let p = self.pool.get_mut(node_no).expect("resident");
+            debug_assert!(p.entries.len() >= 2, "splitting a node with <2 entries");
+            let mid = p.entries.len() / 2;
+            (p.entries[mid].0, p.entries[mid..].to_vec(), p.next)
+        };
+        let new_no = self.alloc_page_no()?;
+        self.apply(RedoBody::PageInit { page_no: new_no, level })?;
+        // Chunk the moved entries so each record fits a redo log page.
+        let mut chunk: Vec<(Key, Vec<u8>)> = Vec::new();
+        let mut chunk_bytes = 0usize;
+        for (k, v) in high {
+            let sz = ENTRY_OVERHEAD + v.len();
+            if chunk_bytes + sz > SPLIT_CHUNK_BYTES && !chunk.is_empty() {
+                self.apply(RedoBody::AppendEntries {
+                    page_no: new_no,
+                    entries: std::mem::take(&mut chunk),
+                })?;
+                chunk_bytes = 0;
+            }
+            chunk_bytes += sz;
+            chunk.push((k, v));
+        }
+        if !chunk.is_empty() {
+            self.apply(RedoBody::AppendEntries { page_no: new_no, entries: chunk })?;
+        }
+        self.apply(RedoBody::SetNextPtr { page_no: new_no, next: old_next })?;
+        self.apply(RedoBody::TruncateHigh { page_no: node_no, pivot })?;
+        if level == 0 {
+            self.apply(RedoBody::SetNextPtr { page_no: node_no, next: new_no })?;
+        }
+        Ok((pivot, new_no))
+    }
+
+    fn node_would_overflow(&mut self, page_no: u64, vlen: usize) -> Result<bool, EngineError> {
+        self.ensure_resident(page_no)?;
+        let page_bytes = self.config().page_bytes;
+        let p = self.pool.get_mut(page_no).expect("resident");
+        Ok(p.would_overflow(vlen, page_bytes) && p.entries.len() >= 2)
+    }
+
+    fn insert_rec(
+        &mut self,
+        node_no: u64,
+        level: u16,
+        key: Key,
+        value: Vec<u8>,
+    ) -> Result<Option<(Key, u64)>, EngineError> {
+        if level == 0 {
+            let mut promoted = None;
+            let mut target = node_no;
+            if self.node_would_overflow(node_no, value.len())? {
+                let (pivot, new_no) = self.split(node_no, 0)?;
+                if key >= pivot {
+                    target = new_no;
+                }
+                promoted = Some((pivot, new_no));
+            }
+            self.apply(RedoBody::Upsert { page_no: target, key, value })?;
+            return Ok(promoted);
+        }
+        let child = {
+            self.ensure_resident(node_no)?;
+            let p = self.pool.get_mut(node_no).expect("resident");
+            let idx = match p.find(&key) {
+                Ok(i) => i,
+                Err(0) => 0,
+                Err(i) => i - 1,
+            };
+            p.child_at(idx)
+        };
+        let Some((pk, pn)) = self.insert_rec(child, level - 1, key, value)? else {
+            return Ok(None);
+        };
+        let mut promoted = None;
+        let mut target = node_no;
+        if self.node_would_overflow(node_no, CHILD_BYTES)? {
+            let (pivot, new_no) = self.split(node_no, level)?;
+            if pk >= pivot {
+                target = new_no;
+            }
+            promoted = Some((pivot, new_no));
+        }
+        self.apply(RedoBody::Upsert {
+            page_no: target,
+            key: pk,
+            value: NodePage::child_value(pn),
+        })?;
+        Ok(promoted)
+    }
+
+    /// Insert or replace `key` (one step of the enclosing transaction; the
+    /// caller ends the MTR via commit).
+    pub fn upsert_kv(&mut self, key: Key, value: Vec<u8>) -> Result<(), EngineError> {
+        if value.len() > self.max_value_bytes() {
+            return Err(EngineError::RecordTooLarge {
+                bytes: value.len(),
+                max: self.max_value_bytes(),
+            });
+        }
+        if self.height == 0 {
+            let leaf = self.alloc_page_no()?;
+            self.apply(RedoBody::PageInit { page_no: leaf, level: 0 })?;
+            self.apply(RedoBody::SetRoot { root: leaf, height: 1 })?;
+        }
+        let root = self.root;
+        let height = self.height;
+        if let Some((pk, pn)) = self.insert_rec(root, height - 1, key, value)? {
+            let new_root = self.alloc_page_no()?;
+            self.apply(RedoBody::PageInit { page_no: new_root, level: height })?;
+            self.apply(RedoBody::Upsert {
+                page_no: new_root,
+                key: Key::MIN,
+                value: NodePage::child_value(root),
+            })?;
+            self.apply(RedoBody::Upsert {
+                page_no: new_root,
+                key: pk,
+                value: NodePage::child_value(pn),
+            })?;
+            self.apply(RedoBody::SetRoot { root: new_root, height: height + 1 })?;
+        }
+        Ok(())
+    }
+
+    /// Delete `key` if present (leaves may go sparse; like InnoDB, pages
+    /// are not eagerly merged).
+    pub fn delete_kv(&mut self, key: &Key) -> Result<bool, EngineError> {
+        if self.height == 0 {
+            return Ok(false);
+        }
+        let (leaf, _) = self.descend_path(key)?;
+        self.ensure_resident(leaf)?;
+        let present = self.pool.get_mut(leaf).expect("resident").get(key).is_some();
+        if present {
+            self.apply(RedoBody::Remove { page_no: leaf, key: *key })?;
+        }
+        Ok(present)
+    }
+
+    /// Number of entries reachable through the leaf chain (test helper).
+    pub fn count_entries(&mut self) -> Result<u64, EngineError> {
+        Ok(self.scan(&Key::MIN, &Key::MAX)?.len() as u64)
+    }
+
+    // ----- LinkBench table API ------------------------------------------------
+
+    /// Read a node row.
+    pub fn get_node(&mut self, id: u64) -> Result<Option<Vec<u8>>, EngineError> {
+        self.op_clock();
+        self.get(&Key::node(id))
+    }
+
+    /// Insert a node row.
+    pub fn add_node(&mut self, id: u64, payload: &[u8]) -> Result<(), EngineError> {
+        self.upsert_kv(Key::node(id), payload.to_vec())?;
+        self.commit()
+    }
+
+    /// Update a node row (upsert semantics, as LinkBench's driver uses).
+    pub fn update_node(&mut self, id: u64, payload: &[u8]) -> Result<(), EngineError> {
+        self.upsert_kv(Key::node(id), payload.to_vec())?;
+        self.commit()
+    }
+
+    /// Delete a node row.
+    pub fn delete_node(&mut self, id: u64) -> Result<bool, EngineError> {
+        let existed = self.delete_kv(&Key::node(id))?;
+        self.commit()?;
+        Ok(existed)
+    }
+
+    /// Insert a link and bump the (id1, type) count row.
+    pub fn add_link(&mut self, id1: u64, typ: u32, id2: u64, payload: &[u8]) -> Result<(), EngineError> {
+        let fresh = self.get(&Key::link(id1, typ, id2))?.is_none();
+        self.upsert_kv(Key::link(id1, typ, id2), payload.to_vec())?;
+        if fresh {
+            let n = self.read_count(id1, typ)? + 1;
+            self.upsert_kv(Key::count(id1, typ), n.to_le_bytes().to_vec())?;
+        }
+        self.commit()
+    }
+
+    /// Update a link payload (no count change).
+    pub fn update_link(&mut self, id1: u64, typ: u32, id2: u64, payload: &[u8]) -> Result<(), EngineError> {
+        self.upsert_kv(Key::link(id1, typ, id2), payload.to_vec())?;
+        self.commit()
+    }
+
+    /// Delete a link and decrement the count row.
+    pub fn delete_link(&mut self, id1: u64, typ: u32, id2: u64) -> Result<bool, EngineError> {
+        let existed = self.delete_kv(&Key::link(id1, typ, id2))?;
+        if existed {
+            let n = self.read_count(id1, typ)?.saturating_sub(1);
+            self.upsert_kv(Key::count(id1, typ), n.to_le_bytes().to_vec())?;
+        }
+        self.commit()?;
+        Ok(existed)
+    }
+
+    fn read_count(&mut self, id1: u64, typ: u32) -> Result<u64, EngineError> {
+        Ok(self
+            .get(&Key::count(id1, typ))?
+            .map(|v| u64::from_le_bytes(v.as_slice().try_into().unwrap_or([0; 8])))
+            .unwrap_or(0))
+    }
+
+    /// Read the (id1, type) link count.
+    pub fn count_link(&mut self, id1: u64, typ: u32) -> Result<u64, EngineError> {
+        self.op_clock();
+        self.read_count(id1, typ)
+    }
+
+    /// Range scan of a node's links of one type.
+    pub fn get_link_list(&mut self, id1: u64, typ: u32) -> Result<Vec<(u64, Vec<u8>)>, EngineError> {
+        self.op_clock();
+        let lo = Key::link_range_start(id1, typ);
+        let hi = Key::link_range_end(id1, typ);
+        let rows = self.scan(&lo, &hi)?;
+        Ok(rows
+            .into_iter()
+            .map(|(k, v)| (u64::from_be_bytes(k.0[13..21].try_into().expect("id2 field")), v))
+            .collect())
+    }
+
+    /// Point reads of specific links.
+    pub fn multiget_link(
+        &mut self,
+        id1: u64,
+        typ: u32,
+        id2s: &[u64],
+    ) -> Result<Vec<Option<Vec<u8>>>, EngineError> {
+        self.op_clock();
+        id2s.iter().map(|&id2| self.get(&Key::link(id1, typ, id2))).collect()
+    }
+
+    fn op_clock(&self) {
+        self.data_clock_advance(self.config().cpu_ns_per_op);
+    }
+
+    fn data_clock_advance(&self, ns: u64) {
+        self.clock().advance(ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{FlushMode, InnoDbConfig};
+    use crate::redo::standard_log_device;
+    use share_core::{Ftl, FtlConfig};
+
+    fn engine(mode: FlushMode) -> InnoDb<Ftl> {
+        let fcfg = FtlConfig::for_capacity_with(24 << 20, 0.3, 4096, 32, nand_sim::NandTiming::zero());
+        let dev = Ftl::new(fcfg);
+        let log = standard_log_device(dev.clock().clone());
+        let cfg = InnoDbConfig {
+            mode,
+            pool_pages: 64,
+            max_pages: 4096,
+            ckpt_redo_bytes: 1 << 20,
+            ..Default::default()
+        };
+        InnoDb::create(dev, log, cfg).unwrap()
+    }
+
+    #[test]
+    fn empty_tree_reads_nothing() {
+        let mut e = engine(FlushMode::DwbOn);
+        assert_eq!(e.get(&Key::node(1)).unwrap(), None);
+        assert!(e.scan(&Key::MIN, &Key::MAX).unwrap().is_empty());
+        assert!(!e.delete_kv(&Key::node(1)).unwrap());
+    }
+
+    #[test]
+    fn upsert_get_delete_cycle() {
+        let mut e = engine(FlushMode::DwbOn);
+        e.upsert_kv(Key::node(1), vec![7; 10]).unwrap();
+        e.commit().unwrap();
+        assert_eq!(e.get(&Key::node(1)).unwrap(), Some(vec![7; 10]));
+        e.upsert_kv(Key::node(1), vec![8; 4]).unwrap();
+        e.commit().unwrap();
+        assert_eq!(e.get(&Key::node(1)).unwrap(), Some(vec![8; 4]));
+        assert!(e.delete_kv(&Key::node(1)).unwrap());
+        e.commit().unwrap();
+        assert_eq!(e.get(&Key::node(1)).unwrap(), None);
+    }
+
+    #[test]
+    fn many_inserts_split_and_stay_sorted() {
+        let mut e = engine(FlushMode::DwbOn);
+        let n = 3_000u64;
+        // Insert in a shuffled-ish order to exercise splits everywhere.
+        for i in 0..n {
+            let id = (i * 7919) % n;
+            e.upsert_kv(Key::node(id), id.to_le_bytes().to_vec()).unwrap();
+            e.commit().unwrap();
+        }
+        assert!(e.height >= 2, "tree should have split (height {})", e.height);
+        for id in 0..n {
+            assert_eq!(
+                e.get(&Key::node(id)).unwrap(),
+                Some(id.to_le_bytes().to_vec()),
+                "id {id} lost"
+            );
+        }
+        let all = e.scan(&Key::MIN, &Key::MAX).unwrap();
+        assert_eq!(all.len() as u64, n);
+        assert!(all.windows(2).all(|w| w[0].0 < w[1].0), "scan out of order");
+    }
+
+    #[test]
+    fn range_scan_returns_exact_window() {
+        let mut e = engine(FlushMode::DwbOn);
+        for id2 in 0..100u64 {
+            e.upsert_kv(Key::link(5, 1, id2), vec![id2 as u8]).unwrap();
+        }
+        for id2 in 0..50u64 {
+            e.upsert_kv(Key::link(5, 2, id2), vec![0xEE]).unwrap();
+        }
+        e.upsert_kv(Key::link(6, 1, 0), vec![0xDD]).unwrap();
+        e.commit().unwrap();
+        let rows = e.scan(&Key::link_range_start(5, 1), &Key::link_range_end(5, 1)).unwrap();
+        assert_eq!(rows.len(), 100);
+        assert!(rows.iter().all(|(k, _)| k.table_tag() == 2));
+    }
+
+    #[test]
+    fn linkbench_ops_maintain_counts() {
+        let mut e = engine(FlushMode::Share);
+        e.add_node(1, b"alice").unwrap();
+        e.add_node(2, b"bob").unwrap();
+        e.add_link(1, 0, 2, b"follows").unwrap();
+        e.add_link(1, 0, 3, b"follows").unwrap();
+        e.add_link(1, 0, 2, b"follows-again").unwrap(); // duplicate: no count bump
+        assert_eq!(e.count_link(1, 0).unwrap(), 2);
+        let list = e.get_link_list(1, 0).unwrap();
+        assert_eq!(list.len(), 2);
+        assert_eq!(list[0].0, 2);
+        assert_eq!(list[0].1, b"follows-again".to_vec());
+        assert!(e.delete_link(1, 0, 2).unwrap());
+        assert!(!e.delete_link(1, 0, 2).unwrap());
+        assert_eq!(e.count_link(1, 0).unwrap(), 1);
+        let got = e.multiget_link(1, 0, &[2, 3]).unwrap();
+        assert_eq!(got[0], None);
+        assert_eq!(got[1], Some(b"follows".to_vec()));
+    }
+
+    #[test]
+    fn oversized_values_rejected() {
+        let mut e = engine(FlushMode::DwbOn);
+        let too_big = vec![0u8; e.max_value_bytes() + 1];
+        assert!(matches!(
+            e.upsert_kv(Key::node(1), too_big),
+            Err(EngineError::RecordTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn works_with_small_pool_under_pressure() {
+        let fcfg = FtlConfig::for_capacity_with(24 << 20, 0.3, 4096, 32, nand_sim::NandTiming::zero());
+        let dev = Ftl::new(fcfg);
+        let log = standard_log_device(dev.clock().clone());
+        let cfg = InnoDbConfig {
+            mode: FlushMode::DwbOn,
+            pool_pages: 10, // pathologically small
+            max_pages: 4096,
+            flush_batch: 4,
+            ..Default::default()
+        };
+        let mut e = InnoDb::create(dev, log, cfg).unwrap();
+        for i in 0..2_000u64 {
+            e.upsert_kv(Key::node(i), vec![(i % 251) as u8; 64]).unwrap();
+            e.commit().unwrap();
+        }
+        for i in (0..2_000u64).step_by(97) {
+            assert_eq!(e.get(&Key::node(i)).unwrap(), Some(vec![(i % 251) as u8; 64]));
+        }
+        assert!(e.pool_stats().evictions > 0);
+        assert!(e.stats().flush_batches > 0);
+    }
+
+    #[test]
+    fn payload_spread_forces_multi_chunk_splits() {
+        let mut e = engine(FlushMode::DwbOn);
+        // Large values (~900 B) make split AppendEntries chunk.
+        for i in 0..200u64 {
+            e.upsert_kv(Key::node(i), vec![(i % 251) as u8; 900]).unwrap();
+            e.commit().unwrap();
+        }
+        for i in 0..200u64 {
+            assert_eq!(e.get(&Key::node(i)).unwrap().unwrap().len(), 900);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests: the engine's clustered B+tree against a `BTreeMap`
+//! model, across all three flush modes, with tiny pools so eviction and
+//! the DWB/SHARE protocols run constantly.
+
+use mini_innodb::{standard_log_device, FlushMode, InnoDb, InnoDbConfig, Key};
+use proptest::prelude::*;
+use share_core::{Ftl, FtlConfig};
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Upsert { id: u64, len: usize, fill: u8 },
+    Delete { id: u64 },
+    Scan { lo: u64, hi: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (0u64..500, 1usize..300, any::<u8>())
+            .prop_map(|(id, len, fill)| Op::Upsert { id, len, fill }),
+        2 => (0u64..500).prop_map(|id| Op::Delete { id }),
+        1 => (0u64..500, 0u64..500).prop_map(|(a, b)| Op::Scan { lo: a.min(b), hi: a.max(b) }),
+    ]
+}
+
+fn engine(mode: FlushMode) -> InnoDb<Ftl> {
+    let fcfg =
+        FtlConfig::for_capacity_with(16 << 20, 0.4, 4096, 16, nand_sim::NandTiming::zero());
+    let dev = Ftl::new(fcfg);
+    let log = standard_log_device(share_core::BlockDevice::clock(&dev).clone());
+    let cfg = InnoDbConfig {
+        mode,
+        pool_pages: 12,
+        flush_batch: 4,
+        max_pages: 2_048,
+        ckpt_redo_bytes: 128 << 10,
+        ..Default::default()
+    };
+    InnoDb::create(dev, log, cfg).unwrap()
+}
+
+fn check_model(db: &mut InnoDb<Ftl>, model: &BTreeMap<u64, Vec<u8>>) {
+    for (&id, want) in model {
+        assert_eq!(db.get(&Key::node(id)).unwrap().as_ref(), Some(want), "id {id}");
+    }
+    let all = db.scan(&Key::MIN, &Key::MAX).unwrap();
+    assert_eq!(all.len(), model.len(), "row count diverged");
+    assert!(all.windows(2).all(|w| w[0].0 < w[1].0), "scan out of order");
+}
+
+fn run_case(mode: FlushMode, ops: &[Op]) {
+    let mut db = engine(mode);
+    let mut model: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+    for op in ops {
+        match op {
+            Op::Upsert { id, len, fill } => {
+                let v = vec![*fill; *len];
+                db.upsert_kv(Key::node(*id), v.clone()).unwrap();
+                db.commit().unwrap();
+                model.insert(*id, v);
+            }
+            Op::Delete { id } => {
+                let existed = db.delete_kv(&Key::node(*id)).unwrap();
+                db.commit().unwrap();
+                assert_eq!(existed, model.remove(id).is_some(), "delete presence diverged");
+            }
+            Op::Scan { lo, hi } => {
+                let got = db.scan(&Key::node(*lo), &Key::node(*hi)).unwrap();
+                let want: Vec<u64> = model.range(*lo..*hi).map(|(&k, _)| k).collect();
+                let got_ids: Vec<u64> = got
+                    .iter()
+                    .map(|(k, _)| u64::from_be_bytes(k.0[1..9].try_into().unwrap()))
+                    .collect();
+                assert_eq!(got_ids, want, "range scan diverged");
+            }
+        }
+    }
+    check_model(&mut db, &model);
+    // Clean shutdown + reopen must preserve everything.
+    db.shutdown().unwrap();
+    let (data, log) = db.into_devices();
+    let cfg = InnoDbConfig {
+        mode,
+        pool_pages: 12,
+        flush_batch: 4,
+        max_pages: 2_048,
+        ckpt_redo_bytes: 128 << 10,
+        ..Default::default()
+    };
+    let mut db2 = InnoDb::open(data, log, cfg).unwrap();
+    check_model(&mut db2, &model);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn dwb_on_matches_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        run_case(FlushMode::DwbOn, &ops);
+    }
+
+    #[test]
+    fn share_matches_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        run_case(FlushMode::Share, &ops);
+    }
+
+    #[test]
+    fn dwb_off_matches_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        run_case(FlushMode::DwbOff, &ops);
+    }
+}

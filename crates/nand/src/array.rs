@@ -1,0 +1,466 @@
+//! The NAND array itself: page storage, program/erase constraints, timing.
+
+use crate::clock::SimClock;
+use crate::error::NandError;
+use crate::fault::{FaultHandle, FaultMode};
+use crate::geometry::{BlockId, NandGeometry, NandTiming, Ppn};
+use crate::stats::NandStats;
+use crate::Result;
+
+/// Lifecycle state of one physical page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageState {
+    /// Erased; reads return the erased pattern (0xFF).
+    Free,
+    /// Holds programmed data.
+    Programmed,
+    /// A program was interrupted by power loss; contents are a torn mix.
+    Torn,
+}
+
+/// Byte value an erased NAND page reads as.
+const ERASED_BYTE: u8 = 0xFF;
+
+/// A simulated NAND flash array.
+///
+/// Content is stored per page (`None` = erased) so upper layers can verify
+/// data integrity end to end, including after injected crashes. All three
+/// primitives advance the shared [`SimClock`] by the configured
+/// [`NandTiming`].
+#[derive(Debug)]
+pub struct NandArray {
+    geometry: NandGeometry,
+    timing: NandTiming,
+    clock: SimClock,
+    fault: FaultHandle,
+    pages: Vec<Option<Box<[u8]>>>,
+    torn: Vec<bool>,
+    /// Next programmable in-block page index, per block.
+    next_page: Vec<u32>,
+    erase_counts: Vec<u32>,
+    stats: NandStats,
+}
+
+impl NandArray {
+    /// Create an erased array with the given geometry and default timing.
+    pub fn new(geometry: NandGeometry) -> Self {
+        Self::with_timing(geometry, NandTiming::default(), SimClock::new())
+    }
+
+    /// Create an erased array with explicit timing and a shared clock.
+    pub fn with_timing(geometry: NandGeometry, timing: NandTiming, clock: SimClock) -> Self {
+        let total = geometry.total_pages() as usize;
+        Self {
+            geometry,
+            timing,
+            clock,
+            fault: FaultHandle::new(),
+            pages: vec![None; total],
+            torn: vec![false; total],
+            next_page: vec![0; geometry.blocks as usize],
+            erase_counts: vec![0; geometry.blocks as usize],
+            stats: NandStats::default(),
+        }
+    }
+
+    /// The array's geometry.
+    pub fn geometry(&self) -> NandGeometry {
+        self.geometry
+    }
+
+    /// The timing model in force.
+    pub fn timing(&self) -> NandTiming {
+        self.timing
+    }
+
+    /// Shared simulated clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Fault-injection handle for this array.
+    pub fn fault_handle(&self) -> FaultHandle {
+        self.fault.clone()
+    }
+
+    /// Cumulative operation counters.
+    pub fn stats(&self) -> NandStats {
+        self.stats
+    }
+
+    /// Erase count of `block` (wear indicator).
+    pub fn erase_count(&self, block: BlockId) -> u32 {
+        self.erase_counts[block.0 as usize]
+    }
+
+    /// Current state of a physical page.
+    pub fn page_state(&self, ppn: Ppn) -> PageState {
+        let i = ppn.0 as usize;
+        if self.torn[i] {
+            PageState::Torn
+        } else if self.pages[i].is_some() {
+            PageState::Programmed
+        } else {
+            PageState::Free
+        }
+    }
+
+    /// Next programmable in-block index of `block` (== pages_per_block when full).
+    pub fn write_frontier(&self, block: BlockId) -> u32 {
+        self.next_page[block.0 as usize]
+    }
+
+    fn check_up(&self) -> Result<()> {
+        if self.fault.is_down() {
+            Err(NandError::PowerLoss)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn check_ppn(&self, ppn: Ppn) -> Result<()> {
+        if ppn.0 >= self.geometry.total_pages() {
+            return Err(NandError::OutOfRange {
+                what: "ppn",
+                index: ppn.0 as u64,
+                limit: self.geometry.total_pages() as u64,
+            });
+        }
+        Ok(())
+    }
+
+    /// Read one page into `buf`. Erased pages read as 0xFF.
+    pub fn read(&mut self, ppn: Ppn, buf: &mut [u8]) -> Result<()> {
+        self.check_up()?;
+        self.check_ppn(ppn)?;
+        if buf.len() != self.geometry.page_size {
+            return Err(NandError::BadBufferLength { got: buf.len(), want: self.geometry.page_size });
+        }
+        self.clock.advance(self.timing.read_ns + self.timing.xfer_ns(buf.len()));
+        self.stats.page_reads += 1;
+        match &self.pages[ppn.0 as usize] {
+            Some(data) => buf.copy_from_slice(data),
+            None => buf.fill(ERASED_BYTE),
+        }
+        Ok(())
+    }
+
+    /// Program one page. Enforces erase-before-program and in-order
+    /// programming within the block. An armed fault can tear this program.
+    pub fn program(&mut self, ppn: Ppn, data: &[u8]) -> Result<()> {
+        self.check_up()?;
+        self.check_ppn(ppn)?;
+        if data.len() != self.geometry.page_size {
+            return Err(NandError::BadBufferLength { got: data.len(), want: self.geometry.page_size });
+        }
+        let idx = ppn.0 as usize;
+        if self.pages[idx].is_some() || self.torn[idx] {
+            return Err(NandError::ProgramOnDirtyPage(ppn));
+        }
+        let block = self.geometry.block_of(ppn);
+        let in_block = self.geometry.page_in_block(ppn);
+        let frontier = self.next_page[block.0 as usize];
+        if in_block != frontier {
+            return Err(NandError::OutOfOrderProgram { ppn, expected_index: frontier });
+        }
+
+        self.clock.advance(self.timing.program_ns + self.timing.xfer_ns(data.len()));
+
+        if let Some(mode) = self.fault.on_program() {
+            match mode {
+                FaultMode::TornHalf => {
+                    let mut torn = vec![ERASED_BYTE; data.len()];
+                    let cut = data.len() / 2;
+                    torn[..cut].copy_from_slice(&data[..cut]);
+                    self.pages[idx] = Some(torn.into_boxed_slice());
+                    self.torn[idx] = true;
+                    self.next_page[block.0 as usize] = in_block + 1;
+                    self.stats.page_programs += 1;
+                    self.stats.torn_programs += 1;
+                }
+                FaultMode::DroppedWrite => {
+                    // Page stays erased; frontier does not advance, matching
+                    // a program that never reached the cells.
+                }
+                FaultMode::AfterProgram => {
+                    self.pages[idx] = Some(data.to_vec().into_boxed_slice());
+                    self.next_page[block.0 as usize] = in_block + 1;
+                    self.stats.page_programs += 1;
+                }
+            }
+            return Err(NandError::PowerLoss);
+        }
+
+        self.pages[idx] = Some(data.to_vec().into_boxed_slice());
+        self.next_page[block.0 as usize] = in_block + 1;
+        self.stats.page_programs += 1;
+        Ok(())
+    }
+
+    /// Erase a whole block, freeing all its pages.
+    pub fn erase(&mut self, block: BlockId) -> Result<()> {
+        self.check_up()?;
+        if block.0 >= self.geometry.blocks {
+            return Err(NandError::OutOfRange {
+                what: "block",
+                index: block.0 as u64,
+                limit: self.geometry.blocks as u64,
+            });
+        }
+        self.clock.advance(self.timing.erase_ns);
+        let start = self.geometry.first_ppn(block).0 as usize;
+        let end = start + self.geometry.pages_per_block as usize;
+        for i in start..end {
+            self.pages[i] = None;
+            self.torn[i] = false;
+        }
+        self.next_page[block.0 as usize] = 0;
+        self.erase_counts[block.0 as usize] += 1;
+        self.stats.block_erases += 1;
+        Ok(())
+    }
+
+    /// Bring the device back up after a power-loss fault. Contents (torn
+    /// pages included) survive, as they do on real NAND.
+    pub fn power_cycle(&mut self) {
+        self.fault.clear_down();
+    }
+
+    /// Whether the device is down due to a fired fault.
+    pub fn is_down(&self) -> bool {
+        self.fault.is_down()
+    }
+
+    /// Raw content of a programmed (or torn) page, without timing or
+    /// counters — used by image persistence.
+    pub(crate) fn raw_page(&self, ppn: Ppn) -> Option<&[u8]> {
+        self.pages[ppn.0 as usize].as_deref()
+    }
+
+    /// Rebuild an array from persisted parts (image loading). Validates
+    /// structural consistency; returns a message on mismatch.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        geometry: NandGeometry,
+        timing: NandTiming,
+        clock: SimClock,
+        pages: Vec<Option<Box<[u8]>>>,
+        torn: Vec<bool>,
+        next_page: Vec<u32>,
+        erase_counts: Vec<u32>,
+        stats: NandStats,
+    ) -> std::result::Result<Self, &'static str> {
+        let total = geometry.total_pages() as usize;
+        if pages.len() != total || torn.len() != total {
+            return Err("page vectors do not match geometry");
+        }
+        if next_page.len() != geometry.blocks as usize
+            || erase_counts.len() != geometry.blocks as usize
+        {
+            return Err("block vectors do not match geometry");
+        }
+        for (i, p) in pages.iter().enumerate() {
+            if let Some(content) = p {
+                if content.len() != geometry.page_size {
+                    return Err("page content length mismatch");
+                }
+                let _ = i;
+            }
+        }
+        Ok(Self {
+            geometry,
+            timing,
+            clock,
+            fault: FaultHandle::new(),
+            pages,
+            torn,
+            next_page,
+            erase_counts,
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> NandArray {
+        NandArray::with_timing(NandGeometry::new(512, 4, 8), NandTiming::default(), SimClock::new())
+    }
+
+    fn page(b: u8, len: usize) -> Vec<u8> {
+        vec![b; len]
+    }
+
+    #[test]
+    fn program_then_read_round_trips() {
+        let mut a = small();
+        let data = page(0xAB, 512);
+        a.program(Ppn(0), &data).unwrap();
+        let mut buf = vec![0u8; 512];
+        a.read(Ppn(0), &mut buf).unwrap();
+        assert_eq!(buf, data);
+        assert_eq!(a.page_state(Ppn(0)), PageState::Programmed);
+    }
+
+    #[test]
+    fn erased_pages_read_as_ff() {
+        let mut a = small();
+        let mut buf = vec![0u8; 512];
+        a.read(Ppn(3), &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0xFF));
+        assert_eq!(a.page_state(Ppn(3)), PageState::Free);
+    }
+
+    #[test]
+    fn rejects_program_on_programmed_page() {
+        let mut a = small();
+        a.program(Ppn(0), &page(1, 512)).unwrap();
+        assert_eq!(
+            a.program(Ppn(0), &page(2, 512)),
+            Err(NandError::ProgramOnDirtyPage(Ppn(0)))
+        );
+    }
+
+    #[test]
+    fn enforces_in_order_programming() {
+        let mut a = small();
+        // Block 0 pages are PPN 0..4; programming PPN 2 first is illegal.
+        assert_eq!(
+            a.program(Ppn(2), &page(1, 512)),
+            Err(NandError::OutOfOrderProgram { ppn: Ppn(2), expected_index: 0 })
+        );
+        a.program(Ppn(0), &page(1, 512)).unwrap();
+        a.program(Ppn(1), &page(1, 512)).unwrap();
+        a.program(Ppn(2), &page(1, 512)).unwrap();
+    }
+
+    #[test]
+    fn erase_frees_whole_block_and_counts_wear() {
+        let mut a = small();
+        for i in 0..4 {
+            a.program(Ppn(i), &page(i as u8, 512)).unwrap();
+        }
+        a.erase(BlockId(0)).unwrap();
+        for i in 0..4 {
+            assert_eq!(a.page_state(Ppn(i)), PageState::Free);
+        }
+        assert_eq!(a.erase_count(BlockId(0)), 1);
+        assert_eq!(a.write_frontier(BlockId(0)), 0);
+        // Re-program is legal after erase.
+        a.program(Ppn(0), &page(9, 512)).unwrap();
+    }
+
+    #[test]
+    fn buffer_length_is_validated() {
+        let mut a = small();
+        assert!(matches!(
+            a.program(Ppn(0), &page(0, 100)),
+            Err(NandError::BadBufferLength { got: 100, want: 512 })
+        ));
+        let mut buf = vec![0u8; 100];
+        assert!(matches!(
+            a.read(Ppn(0), &mut buf),
+            Err(NandError::BadBufferLength { got: 100, want: 512 })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_addresses_rejected() {
+        let mut a = small();
+        let total = a.geometry().total_pages();
+        assert!(matches!(a.program(Ppn(total), &page(0, 512)), Err(NandError::OutOfRange { .. })));
+        assert!(matches!(a.erase(BlockId(8)), Err(NandError::OutOfRange { .. })));
+    }
+
+    #[test]
+    fn clock_advances_per_operation() {
+        let mut a = small();
+        let t = a.timing();
+        let c = a.clock().clone();
+        a.program(Ppn(0), &page(0, 512)).unwrap();
+        assert_eq!(c.now_ns(), t.program_ns + t.xfer_ns(512));
+        let before = c.now_ns();
+        let mut buf = vec![0u8; 512];
+        a.read(Ppn(0), &mut buf).unwrap();
+        assert_eq!(c.now_ns() - before, t.read_ns + t.xfer_ns(512));
+        let before = c.now_ns();
+        a.erase(BlockId(1)).unwrap();
+        assert_eq!(c.now_ns() - before, t.erase_ns);
+    }
+
+    #[test]
+    fn torn_fault_leaves_half_written_page_and_downs_device() {
+        let mut a = small();
+        let h = a.fault_handle();
+        h.arm_after_programs(2, FaultMode::TornHalf);
+        a.program(Ppn(0), &page(0x11, 512)).unwrap();
+        let err = a.program(Ppn(1), &page(0x22, 512)).unwrap_err();
+        assert_eq!(err, NandError::PowerLoss);
+        assert!(a.is_down());
+        // All ops fail while down.
+        let mut buf = vec![0u8; 512];
+        assert_eq!(a.read(Ppn(0), &mut buf), Err(NandError::PowerLoss));
+        assert_eq!(a.erase(BlockId(1)), Err(NandError::PowerLoss));
+
+        a.power_cycle();
+        assert_eq!(a.page_state(Ppn(1)), PageState::Torn);
+        a.read(Ppn(1), &mut buf).unwrap();
+        assert!(buf[..256].iter().all(|&b| b == 0x22));
+        assert!(buf[256..].iter().all(|&b| b == 0xFF));
+        assert_eq!(a.stats().torn_programs, 1);
+    }
+
+    #[test]
+    fn dropped_write_fault_leaves_page_erased() {
+        let mut a = small();
+        let h = a.fault_handle();
+        h.arm_after_programs(1, FaultMode::DroppedWrite);
+        assert_eq!(a.program(Ppn(0), &page(0x33, 512)), Err(NandError::PowerLoss));
+        a.power_cycle();
+        assert_eq!(a.page_state(Ppn(0)), PageState::Free);
+        // Frontier did not advance, so the page can be programmed again.
+        a.program(Ppn(0), &page(0x44, 512)).unwrap();
+    }
+
+    #[test]
+    fn after_program_fault_persists_data_then_downs() {
+        let mut a = small();
+        let h = a.fault_handle();
+        h.arm_after_programs(1, FaultMode::AfterProgram);
+        assert_eq!(a.program(Ppn(0), &page(0x55, 512)), Err(NandError::PowerLoss));
+        a.power_cycle();
+        assert_eq!(a.page_state(Ppn(0)), PageState::Programmed);
+        let mut buf = vec![0u8; 512];
+        a.read(Ppn(0), &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0x55));
+    }
+
+    #[test]
+    fn torn_page_cannot_be_reprogrammed_until_erase() {
+        let mut a = small();
+        let h = a.fault_handle();
+        h.arm_after_programs(1, FaultMode::TornHalf);
+        let _ = a.program(Ppn(0), &page(0x66, 512));
+        a.power_cycle();
+        assert_eq!(a.program(Ppn(0), &page(0x77, 512)), Err(NandError::ProgramOnDirtyPage(Ppn(0))));
+        a.erase(BlockId(0)).unwrap();
+        a.program(Ppn(0), &page(0x77, 512)).unwrap();
+        assert_eq!(a.page_state(Ppn(0)), PageState::Programmed);
+    }
+
+    #[test]
+    fn stats_count_operations() {
+        let mut a = small();
+        a.program(Ppn(0), &page(1, 512)).unwrap();
+        a.program(Ppn(1), &page(2, 512)).unwrap();
+        let mut buf = vec![0u8; 512];
+        a.read(Ppn(0), &mut buf).unwrap();
+        a.erase(BlockId(1)).unwrap();
+        let s = a.stats();
+        assert_eq!(s.page_programs, 2);
+        assert_eq!(s.page_reads, 1);
+        assert_eq!(s.block_erases, 1);
+    }
+}

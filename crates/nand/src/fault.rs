@@ -1,0 +1,142 @@
+//! Power-loss fault injection.
+//!
+//! The torn-page problem motivating the paper (Section 2) arises when power
+//! fails *during* a page program: the medium holds a mix of old and new
+//! bits. A [`FaultHandle`] arms a countdown over NAND programs; when it
+//! reaches zero, the in-flight program is torn (a prefix of the new data is
+//! written, the rest remains erased) and the device goes down until
+//! [`crate::NandArray::power_cycle`] is called — exactly what a crash test
+//! needs to exercise recovery paths.
+
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::Arc;
+
+/// What the injected fault does to the in-flight program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultMode {
+    /// Half the page gets the new content, the rest stays erased (0xFF).
+    #[default]
+    TornHalf,
+    /// The program is lost entirely (page remains erased).
+    DroppedWrite,
+    /// The program completes, *then* power fails (clean crash boundary).
+    AfterProgram,
+}
+
+#[derive(Debug, Default)]
+struct FaultState {
+    /// Programs remaining before the fault fires; negative = disarmed.
+    countdown: AtomicI64,
+    /// Device is down after a fault until power-cycled.
+    down: AtomicBool,
+    /// Number of faults fired over the device lifetime.
+    fired: AtomicI64,
+}
+
+/// Shared handle controlling power-loss injection on one [`crate::NandArray`].
+///
+/// Cloning the handle shares state, so a test can keep a handle while the
+/// device is owned by an FTL deep inside an engine stack.
+#[derive(Debug, Clone, Default)]
+pub struct FaultHandle {
+    state: Arc<FaultState>,
+    mode_torn: Arc<AtomicI64>, // encodes FaultMode as i64 for atomic swap
+}
+
+impl FaultHandle {
+    /// A disarmed handle.
+    pub fn new() -> Self {
+        let h = Self::default();
+        h.state.countdown.store(-1, Ordering::Relaxed);
+        h
+    }
+
+    /// Arm the fault to fire on the `n`-th *subsequent* NAND program
+    /// (1 = the very next program).
+    pub fn arm_after_programs(&self, n: u64, mode: FaultMode) {
+        assert!(n >= 1, "countdown must be at least 1");
+        self.mode_torn.store(mode as i64, Ordering::Relaxed);
+        self.state.countdown.store(n as i64, Ordering::Relaxed);
+    }
+
+    /// Disarm any pending fault (does not bring a downed device back up).
+    pub fn disarm(&self) {
+        self.state.countdown.store(-1, Ordering::Relaxed);
+    }
+
+    /// Whether the device is currently down due to a fired fault.
+    pub fn is_down(&self) -> bool {
+        self.state.down.load(Ordering::Relaxed)
+    }
+
+    /// How many faults have fired on this device.
+    pub fn faults_fired(&self) -> u64 {
+        self.state.fired.load(Ordering::Relaxed) as u64
+    }
+
+    /// Called by the device on each program/write. Returns `Some(mode)`
+    /// when the fault fires on this operation. Public so that other device
+    /// models (e.g. a conventional SSD) can share the injection mechanism.
+    pub fn on_program(&self) -> Option<FaultMode> {
+        let prev = self.state.countdown.load(Ordering::Relaxed);
+        if prev < 0 {
+            return None;
+        }
+        let now = self.state.countdown.fetch_sub(1, Ordering::Relaxed) - 1;
+        if now == 0 {
+            self.state.down.store(true, Ordering::Relaxed);
+            self.state.fired.fetch_add(1, Ordering::Relaxed);
+            self.state.countdown.store(-1, Ordering::Relaxed);
+            let mode = match self.mode_torn.load(Ordering::Relaxed) {
+                0 => FaultMode::TornHalf,
+                1 => FaultMode::DroppedWrite,
+                _ => FaultMode::AfterProgram,
+            };
+            Some(mode)
+        } else {
+            None
+        }
+    }
+
+    /// Called by the device on power-cycle.
+    pub fn clear_down(&self) {
+        self.state.down.store(false, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn countdown_fires_exactly_once() {
+        let h = FaultHandle::new();
+        h.arm_after_programs(3, FaultMode::TornHalf);
+        assert_eq!(h.on_program(), None);
+        assert_eq!(h.on_program(), None);
+        assert_eq!(h.on_program(), Some(FaultMode::TornHalf));
+        assert!(h.is_down());
+        assert_eq!(h.on_program(), None); // disarmed after firing
+        assert_eq!(h.faults_fired(), 1);
+    }
+
+    #[test]
+    fn disarm_prevents_firing() {
+        let h = FaultHandle::new();
+        h.arm_after_programs(1, FaultMode::DroppedWrite);
+        h.disarm();
+        assert_eq!(h.on_program(), None);
+        assert!(!h.is_down());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let h = FaultHandle::new();
+        let h2 = h.clone();
+        h.arm_after_programs(1, FaultMode::AfterProgram);
+        assert_eq!(h2.on_program(), Some(FaultMode::AfterProgram));
+        assert!(h.is_down());
+        h2.clear_down();
+        assert!(!h.is_down());
+    }
+}

@@ -1,0 +1,188 @@
+//! NAND image persistence: save/load the whole flash state to a byte
+//! stream, so simulated devices survive process restarts (used by the
+//! `sharectl` tool and by long-running experiment pipelines).
+//!
+//! Format (little-endian):
+//!
+//! ```text
+//! magic "NSIM" | version u32 | page_size u64 | pages_per_block u32 |
+//! blocks u32 | clock_ns u64 | stats (4 x u64) |
+//! per block: erase_count u32, frontier u32 |
+//! per page:  state u8 (0 free, 1 programmed, 2 torn) [+ content]
+//! ```
+
+use crate::array::{NandArray, PageState};
+use crate::clock::SimClock;
+use crate::geometry::{BlockId, NandGeometry, NandTiming, Ppn};
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"NSIM";
+const VERSION: u32 = 1;
+
+fn put_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn put_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn get_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn get_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+impl NandArray {
+    /// Serialize the full flash state (geometry, wear, frontiers, page
+    /// contents, clock, counters) into `w`.
+    pub fn save_image(&self, w: &mut impl Write) -> io::Result<()> {
+        let g = self.geometry();
+        w.write_all(MAGIC)?;
+        put_u32(w, VERSION)?;
+        put_u64(w, g.page_size as u64)?;
+        put_u32(w, g.pages_per_block)?;
+        put_u32(w, g.blocks)?;
+        put_u64(w, self.clock().now_ns())?;
+        let s = self.stats();
+        put_u64(w, s.page_reads)?;
+        put_u64(w, s.page_programs)?;
+        put_u64(w, s.block_erases)?;
+        put_u64(w, s.torn_programs)?;
+        for b in 0..g.blocks {
+            put_u32(w, self.erase_count(BlockId(b)))?;
+            put_u32(w, self.write_frontier(BlockId(b)))?;
+        }
+        for p in 0..g.total_pages() {
+            let ppn = Ppn(p);
+            match self.page_state(ppn) {
+                PageState::Free => w.write_all(&[0u8])?,
+                state => {
+                    w.write_all(&[if state == PageState::Torn { 2u8 } else { 1 }])?;
+                    w.write_all(self.raw_page(ppn).expect("programmed page has content"))?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Reconstruct an array from [`NandArray::save_image`] output. The
+    /// timing model is supplied by the caller (it is configuration, not
+    /// state).
+    pub fn load_image(r: &mut impl Read, timing: NandTiming) -> io::Result<NandArray> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(bad("not a NAND image"));
+        }
+        if get_u32(r)? != VERSION {
+            return Err(bad("unsupported NAND image version"));
+        }
+        let page_size = get_u64(r)? as usize;
+        let pages_per_block = get_u32(r)?;
+        let blocks = get_u32(r)?;
+        if !page_size.is_power_of_two() || pages_per_block == 0 || blocks == 0 {
+            return Err(bad("corrupt geometry"));
+        }
+        let geometry = NandGeometry::new(page_size, pages_per_block, blocks);
+        let clock = SimClock::new();
+        clock.advance(get_u64(r)?);
+        let stats = crate::stats::NandStats {
+            page_reads: get_u64(r)?,
+            page_programs: get_u64(r)?,
+            block_erases: get_u64(r)?,
+            torn_programs: get_u64(r)?,
+        };
+        let mut erase_counts = Vec::with_capacity(blocks as usize);
+        let mut frontiers = Vec::with_capacity(blocks as usize);
+        for _ in 0..blocks {
+            erase_counts.push(get_u32(r)?);
+            frontiers.push(get_u32(r)?);
+        }
+        let mut pages = Vec::with_capacity(geometry.total_pages() as usize);
+        let mut torn = Vec::with_capacity(geometry.total_pages() as usize);
+        let mut tag = [0u8; 1];
+        for _ in 0..geometry.total_pages() {
+            r.read_exact(&mut tag)?;
+            match tag[0] {
+                0 => {
+                    pages.push(None);
+                    torn.push(false);
+                }
+                t @ (1 | 2) => {
+                    let mut content = vec![0u8; page_size];
+                    r.read_exact(&mut content)?;
+                    pages.push(Some(content.into_boxed_slice()));
+                    torn.push(t == 2);
+                }
+                _ => return Err(bad("corrupt page tag")),
+            }
+        }
+        NandArray::from_parts(geometry, timing, clock, pages, torn, frontiers, erase_counts, stats)
+            .map_err(bad)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultMode;
+
+    fn build() -> NandArray {
+        let mut nand = NandArray::new(NandGeometry::new(512, 4, 6));
+        for i in 0..7u32 {
+            nand.program(Ppn(i), &vec![i as u8; 512]).unwrap();
+        }
+        nand.erase(BlockId(0)).unwrap();
+        nand.program(Ppn(0), &vec![0xEE; 512]).unwrap();
+        // Leave one torn page behind.
+        nand.fault_handle().arm_after_programs(1, FaultMode::TornHalf);
+        let _ = nand.program(Ppn(1), &vec![0xDD; 512]);
+        nand.power_cycle();
+        nand
+    }
+
+    #[test]
+    fn image_round_trips_everything() {
+        let nand = build();
+        let mut buf = Vec::new();
+        nand.save_image(&mut buf).unwrap();
+        let mut loaded = NandArray::load_image(&mut buf.as_slice(), NandTiming::default()).unwrap();
+        assert_eq!(loaded.geometry(), nand.geometry());
+        assert_eq!(loaded.stats(), nand.stats());
+        assert_eq!(loaded.clock().now_ns(), nand.clock().now_ns());
+        for b in 0..6 {
+            assert_eq!(loaded.erase_count(BlockId(b)), nand.erase_count(BlockId(b)));
+            assert_eq!(loaded.write_frontier(BlockId(b)), nand.write_frontier(BlockId(b)));
+        }
+        for p in 0..24u32 {
+            assert_eq!(loaded.page_state(Ppn(p)), nand.page_state(Ppn(p)), "page {p}");
+        }
+        let mut got = vec![0u8; 512];
+        loaded.read(Ppn(0), &mut got).unwrap();
+        assert!(got.iter().all(|&b| b == 0xEE));
+        // Programming constraints still enforced after a load.
+        assert!(loaded.program(Ppn(0), &vec![1; 512]).is_err());
+    }
+
+    #[test]
+    fn truncated_and_corrupt_images_are_rejected() {
+        let nand = build();
+        let mut buf = Vec::new();
+        nand.save_image(&mut buf).unwrap();
+        assert!(NandArray::load_image(&mut &buf[..buf.len() / 2], NandTiming::default()).is_err());
+        let mut junk = buf.clone();
+        junk[0] = b'X';
+        assert!(NandArray::load_image(&mut junk.as_slice(), NandTiming::default()).is_err());
+    }
+}

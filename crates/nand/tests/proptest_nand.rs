@@ -1,0 +1,99 @@
+//! Property tests: NAND constraint enforcement under random op sequences.
+
+use nand_sim::{BlockId, NandArray, NandError, NandGeometry, NandTiming, PageState, Ppn, SimClock};
+use proptest::prelude::*;
+
+const BLOCKS: u32 = 6;
+const PPB: u32 = 4;
+const PS: usize = 512;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Program { ppn: u32, fill: u8 },
+    Read { ppn: u32 },
+    Erase { block: u32 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let total = BLOCKS * PPB;
+    prop_oneof![
+        4 => (0..total, any::<u8>()).prop_map(|(ppn, fill)| Op::Program { ppn, fill }),
+        3 => (0..total).prop_map(|ppn| Op::Read { ppn }),
+        1 => (0..BLOCKS).prop_map(|block| Op::Erase { block }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The array enforces NAND physics and never loses or invents data:
+    /// a shadow model tracking per-page contents and per-block frontiers
+    /// predicts the outcome of every op exactly.
+    #[test]
+    fn nand_matches_shadow_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let g = NandGeometry::new(PS, PPB, BLOCKS);
+        let mut nand = NandArray::with_timing(g, NandTiming::zero(), SimClock::new());
+        let mut content: Vec<Option<u8>> = vec![None; (BLOCKS * PPB) as usize];
+        let mut frontier = vec![0u32; BLOCKS as usize];
+
+        for op in &ops {
+            match *op {
+                Op::Program { ppn, fill } => {
+                    let b = (ppn / PPB) as usize;
+                    let idx = ppn % PPB;
+                    let r = nand.program(Ppn(ppn), &vec![fill; PS]);
+                    if content[ppn as usize].is_some() {
+                        prop_assert_eq!(r, Err(NandError::ProgramOnDirtyPage(Ppn(ppn))));
+                    } else if idx != frontier[b] {
+                        prop_assert_eq!(
+                            r,
+                            Err(NandError::OutOfOrderProgram { ppn: Ppn(ppn), expected_index: frontier[b] })
+                        );
+                    } else {
+                        prop_assert!(r.is_ok());
+                        content[ppn as usize] = Some(fill);
+                        frontier[b] = idx + 1;
+                    }
+                }
+                Op::Read { ppn } => {
+                    let mut buf = vec![0u8; PS];
+                    nand.read(Ppn(ppn), &mut buf).unwrap();
+                    let want = content[ppn as usize].unwrap_or(0xFF);
+                    prop_assert!(buf.iter().all(|&x| x == want), "ppn {} diverged", ppn);
+                }
+                Op::Erase { block } => {
+                    nand.erase(BlockId(block)).unwrap();
+                    for i in 0..PPB {
+                        content[(block * PPB + i) as usize] = None;
+                    }
+                    frontier[block as usize] = 0;
+                }
+            }
+        }
+        // Page states agree with the model.
+        for ppn in 0..BLOCKS * PPB {
+            let want = if content[ppn as usize].is_some() {
+                PageState::Programmed
+            } else {
+                PageState::Free
+            };
+            prop_assert_eq!(nand.page_state(Ppn(ppn)), want);
+        }
+    }
+
+    /// Erase counts only ever grow, and exactly by the erases issued.
+    #[test]
+    fn wear_accounting_is_exact(erases in proptest::collection::vec(0..BLOCKS, 0..40)) {
+        let g = NandGeometry::new(PS, PPB, BLOCKS);
+        let mut nand = NandArray::with_timing(g, NandTiming::zero(), SimClock::new());
+        let mut model = vec![0u32; BLOCKS as usize];
+        for &b in &erases {
+            nand.erase(BlockId(b)).unwrap();
+            model[b as usize] += 1;
+        }
+        for b in 0..BLOCKS {
+            prop_assert_eq!(nand.erase_count(BlockId(b)), model[b as usize]);
+        }
+        prop_assert_eq!(nand.stats().block_erases, erases.len() as u64);
+    }
+}

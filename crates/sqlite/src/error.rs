@@ -1,0 +1,76 @@
+//! Error type for the mini-SQLite pager.
+
+use share_core::FtlError;
+use share_vfs::VfsError;
+use std::fmt;
+
+/// Errors surfaced by [`crate::MiniSqlite`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SqliteError {
+    /// File-system / device failure.
+    Vfs(VfsError),
+    /// The expected database files are missing.
+    NotADatabase,
+    /// No free page can hold the record.
+    DatabaseFull,
+    /// Record exceeds the per-page limit.
+    RecordTooLarge { bytes: usize, max: usize },
+    /// A SHARE-mode transaction dirtied more pages than one atomic batch.
+    TxnTooLarge { pages: usize, max: usize },
+    /// A page failed its checksum with no journal to repair it (only
+    /// reachable in `Off` mode after a crash).
+    TornPage { page_no: u64 },
+}
+
+impl fmt::Display for SqliteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqliteError::Vfs(e) => write!(f, "vfs: {e}"),
+            SqliteError::NotADatabase => write!(f, "not a mini-sqlite database"),
+            SqliteError::DatabaseFull => write!(f, "database full"),
+            SqliteError::RecordTooLarge { bytes, max } => {
+                write!(f, "record of {bytes} B exceeds limit {max} B")
+            }
+            SqliteError::TxnTooLarge { pages, max } => {
+                write!(f, "transaction dirtied {pages} pages; SHARE batch limit is {max}")
+            }
+            SqliteError::TornPage { page_no } => {
+                write!(f, "page {page_no} is torn and unrecoverable")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SqliteError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SqliteError::Vfs(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<VfsError> for SqliteError {
+    fn from(e: VfsError) -> Self {
+        SqliteError::Vfs(e)
+    }
+}
+
+impl From<FtlError> for SqliteError {
+    fn from(e: FtlError) -> Self {
+        SqliteError::Vfs(VfsError::Device(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversion_and_display() {
+        let e: SqliteError = VfsError::NotFound("main.db".into()).into();
+        assert!(e.to_string().contains("main.db"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(SqliteError::TxnTooLarge { pages: 300, max: 254 }.to_string().contains("254"));
+    }
+}

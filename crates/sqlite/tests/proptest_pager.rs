@@ -1,0 +1,97 @@
+//! Property tests: the mini-SQLite pager against a `BTreeMap` model with
+//! interleaved transactions, rollbacks and reopen cycles, in all modes.
+
+use mini_sqlite::{JournalMode, MiniSqlite, SqliteConfig};
+use proptest::prelude::*;
+use share_core::{Ftl, FtlConfig};
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put { key: u64, len: usize, fill: u8 },
+    Delete { key: u64 },
+    Commit,
+    Rollback,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => (0u64..200, 1usize..400, any::<u8>())
+            .prop_map(|(key, len, fill)| Op::Put { key, len, fill }),
+        2 => (0u64..200).prop_map(|key| Op::Delete { key }),
+        2 => Just(Op::Commit),
+        1 => Just(Op::Rollback),
+    ]
+}
+
+fn pager(mode: JournalMode) -> MiniSqlite<Ftl> {
+    let fcfg = FtlConfig::for_capacity_with(24 << 20, 0.3, 4096, 32, nand_sim::NandTiming::zero());
+    MiniSqlite::create(Ftl::new(fcfg), SqliteConfig { mode, ..Default::default() }).unwrap()
+}
+
+fn run_case(mode: JournalMode, ops: &[Op]) {
+    let mut db = pager(mode);
+    let mut committed: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+    let mut live: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+    for op in ops {
+        match op {
+            Op::Put { key, len, fill } => {
+                let v = vec![*fill; *len];
+                db.put(*key, &v).unwrap();
+                live.insert(*key, v);
+            }
+            Op::Delete { key } => {
+                let existed = db.delete(*key).unwrap();
+                assert_eq!(existed, live.remove(key).is_some(), "delete presence diverged");
+            }
+            Op::Commit => {
+                db.commit().unwrap();
+                committed = live.clone();
+            }
+            Op::Rollback => {
+                db.rollback();
+                live = committed.clone();
+            }
+        }
+        // Live view always matches the model.
+        for (k, want) in &live {
+            assert_eq!(db.get(*k).unwrap().as_ref(), Some(want), "live get({k}) diverged");
+        }
+        assert_eq!(db.key_count(), live.len());
+    }
+    db.commit().unwrap();
+    committed = live.clone();
+
+    // Reopen: only the committed state exists.
+    let dev = db.into_device();
+    let mut db2 =
+        MiniSqlite::open(dev, SqliteConfig { mode, ..Default::default() }).unwrap();
+    assert_eq!(db2.key_count(), committed.len());
+    for (k, want) in &committed {
+        assert_eq!(db2.get(*k).unwrap().as_ref(), Some(want), "reopen get({k}) diverged");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn rollback_mode_matches_model(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+        run_case(JournalMode::Rollback, &ops);
+    }
+
+    #[test]
+    fn wal_mode_matches_model(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+        run_case(JournalMode::Wal, &ops);
+    }
+
+    #[test]
+    fn share_mode_matches_model(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+        run_case(JournalMode::Share, &ops);
+    }
+
+    #[test]
+    fn off_mode_matches_model(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+        run_case(JournalMode::Off, &ops);
+    }
+}

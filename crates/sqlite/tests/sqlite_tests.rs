@@ -1,0 +1,224 @@
+//! Tests for the mini-SQLite pager: all four journal modes, crash sweeps,
+//! and the write-cost ordering the paper predicts.
+
+use mini_sqlite::{JournalMode, MiniSqlite, SqliteConfig, SqliteError};
+use nand_sim::{FaultMode, NandTiming};
+use share_core::{Ftl, FtlConfig};
+
+fn ftl_cfg() -> FtlConfig {
+    FtlConfig::for_capacity_with(24 << 20, 0.3, 4096, 32, NandTiming::zero())
+}
+
+fn pager(mode: JournalMode) -> MiniSqlite<Ftl> {
+    MiniSqlite::create(Ftl::new(ftl_cfg()), SqliteConfig { mode, ..Default::default() }).unwrap()
+}
+
+fn cfg(mode: JournalMode) -> SqliteConfig {
+    SqliteConfig { mode, ..Default::default() }
+}
+
+const ALL_MODES: [JournalMode; 4] =
+    [JournalMode::Rollback, JournalMode::Wal, JournalMode::Off, JournalMode::Share];
+
+fn val(key: u64, version: u64) -> Vec<u8> {
+    let mut v = vec![0u8; 120];
+    v[..8].copy_from_slice(&key.to_le_bytes());
+    v[8..16].copy_from_slice(&version.to_le_bytes());
+    v
+}
+
+#[test]
+fn put_get_delete_cycle_all_modes() {
+    for mode in ALL_MODES {
+        let mut db = pager(mode);
+        for k in 0..300u64 {
+            db.put(k, &val(k, 1)).unwrap();
+        }
+        db.commit().unwrap();
+        for k in 0..300u64 {
+            assert_eq!(db.get(k).unwrap(), Some(val(k, 1)), "{mode:?} key {k}");
+        }
+        for k in (0..300u64).step_by(3) {
+            assert!(db.delete(k).unwrap());
+        }
+        db.commit().unwrap();
+        assert_eq!(db.key_count(), 200);
+        assert_eq!(db.get(0).unwrap(), None);
+        assert_eq!(db.get(1).unwrap(), Some(val(1, 1)));
+    }
+}
+
+#[test]
+fn reopen_preserves_committed_state_all_modes() {
+    for mode in ALL_MODES {
+        let mut db = pager(mode);
+        for k in 0..200u64 {
+            db.put(k, &val(k, 1)).unwrap();
+        }
+        db.commit().unwrap();
+        for k in 0..100u64 {
+            db.put(k, &val(k, 2)).unwrap();
+        }
+        db.commit().unwrap();
+        let dev = db.into_device();
+        let mut db2 = MiniSqlite::open(dev, cfg(mode)).unwrap();
+        for k in 0..100u64 {
+            assert_eq!(db2.get(k).unwrap(), Some(val(k, 2)), "{mode:?} key {k}");
+        }
+        for k in 100..200u64 {
+            assert_eq!(db2.get(k).unwrap(), Some(val(k, 1)), "{mode:?} key {k}");
+        }
+        assert_eq!(db2.key_count(), 200);
+    }
+}
+
+#[test]
+fn in_memory_rollback_restores_pre_txn_state() {
+    for mode in ALL_MODES {
+        let mut db = pager(mode);
+        db.put(1, &val(1, 1)).unwrap();
+        db.commit().unwrap();
+        db.put(1, &val(1, 2)).unwrap();
+        db.put(2, &val(2, 1)).unwrap();
+        db.delete(1).unwrap();
+        db.rollback();
+        assert_eq!(db.get(1).unwrap(), Some(val(1, 1)), "{mode:?}");
+        assert_eq!(db.get(2).unwrap(), None, "{mode:?}");
+    }
+}
+
+#[test]
+fn grown_records_relocate_across_pages() {
+    let mut db = pager(JournalMode::Share);
+    db.put(7, &[1u8; 50]).unwrap();
+    db.commit().unwrap();
+    // Fill the page so the grown record cannot stay.
+    for k in 100..130u64 {
+        db.put(k, &[0u8; 120]).unwrap();
+    }
+    db.commit().unwrap();
+    db.put(7, &[2u8; 900]).unwrap();
+    db.commit().unwrap();
+    assert_eq!(db.get(7).unwrap(), Some(vec![2u8; 900]));
+    let dev = db.into_device();
+    let mut db2 = MiniSqlite::open(dev, cfg(JournalMode::Share)).unwrap();
+    assert_eq!(db2.get(7).unwrap(), Some(vec![2u8; 900]));
+}
+
+/// Run a crash campaign: load, then update under an armed fault; recover
+/// and return the recovered pager (None if recovery legitimately found a
+/// torn page, only allowed for `Off`).
+fn crash_cycle(mode: JournalMode, crash_at: u64) -> Option<MiniSqlite<Ftl>> {
+    let mut db = pager(mode);
+    for k in 0..200u64 {
+        db.put(k, &val(k, 1)).unwrap();
+    }
+    db.commit().unwrap();
+    db.fs_mut().device_mut().fault_handle().arm_after_programs(crash_at, FaultMode::TornHalf);
+    'outer: for version in 2..60u64 {
+        for k in 0..200u64 {
+            if db.put(k, &val(k, version)).is_err() {
+                break 'outer;
+            }
+            if k % 20 == 19 && db.commit().is_err() {
+                break 'outer;
+            }
+        }
+    }
+    db.fs_mut().device_mut().fault_handle().disarm();
+    let nand = db.into_device().into_nand();
+    let dev = Ftl::open(ftl_cfg(), nand).unwrap();
+    match MiniSqlite::open(dev, cfg(mode)) {
+        Ok(db2) => Some(db2),
+        Err(SqliteError::TornPage { .. }) if mode == JournalMode::Off => None,
+        Err(e) => panic!("{mode:?} crash {crash_at}: unexpected recovery error {e}"),
+    }
+}
+
+#[test]
+fn crash_recovery_yields_consistent_versions_in_safe_modes() {
+    for mode in [JournalMode::Rollback, JournalMode::Wal, JournalMode::Share] {
+        for crash_at in [120u64, 400, 900, 1700] {
+            let mut db2 = crash_cycle(mode, crash_at).expect("safe modes always recover");
+            for k in 0..200u64 {
+                let v = db2.get(k).unwrap().unwrap_or_else(|| {
+                    panic!("{mode:?} crash {crash_at}: key {k} lost")
+                });
+                assert_eq!(&v[..8], &k.to_le_bytes(), "{mode:?}: key {k} holds foreign data");
+                let ver = u64::from_le_bytes(v[8..16].try_into().unwrap());
+                assert!(ver >= 1, "{mode:?}: impossible version");
+            }
+        }
+    }
+}
+
+#[test]
+fn rollback_journal_rolls_back_interrupted_commits() {
+    // Find a crash point that lands inside the in-place phase of a commit:
+    // recovery must detect the hot journal and roll back.
+    let mut saw_recovered_rollback = false;
+    for crash_at in (50..1500u64).step_by(37) {
+        if let Some(db2) = crash_cycle(JournalMode::Rollback, crash_at) {
+            if db2.stats().recovered_rollbacks > 0 {
+                saw_recovered_rollback = true;
+                break;
+            }
+        }
+    }
+    assert!(saw_recovered_rollback, "expected at least one hot-journal rollback");
+}
+
+#[test]
+fn share_txn_larger_than_batch_limit_is_rejected() {
+    let mut db = MiniSqlite::create(
+        Ftl::new(ftl_cfg()),
+        SqliteConfig { mode: JournalMode::Share, max_pages: 1_600, ..Default::default() },
+    )
+    .unwrap();
+    // Dirty more pages than one atomic share batch can carry.
+    for k in 0..12_000u64 {
+        db.put(k, &[1u8; 120]).unwrap();
+    }
+    assert!(matches!(db.commit(), Err(SqliteError::TxnTooLarge { .. })));
+}
+
+#[test]
+fn write_costs_order_as_the_paper_predicts() {
+    // Per committed page: rollback ~2 writes + journal header, WAL ~2
+    // (frame now, checkpoint later), SHARE ~1, OFF ~1.
+    let cost = |mode| {
+        let mut db = pager(mode);
+        for k in 0..400u64 {
+            db.put(k, &val(k, 1)).unwrap();
+        }
+        db.commit().unwrap();
+        let w0 = db.device_stats().host_writes;
+        for round in 2..8u64 {
+            for k in 0..400u64 {
+                db.put(k, &val(k, round)).unwrap();
+                if k % 10 == 9 {
+                    db.commit().unwrap();
+                }
+            }
+        }
+        db.commit().unwrap();
+        if mode == JournalMode::Wal {
+            db.checkpoint_wal().unwrap(); // pay the deferred cost
+        }
+        db.device_stats().host_writes - w0
+    };
+    let rollback = cost(JournalMode::Rollback);
+    let wal = cost(JournalMode::Wal);
+    let off = cost(JournalMode::Off);
+    let share = cost(JournalMode::Share);
+    assert!(
+        rollback as f64 > 1.7 * share as f64,
+        "rollback ({rollback}) should cost ~2x SHARE ({share})"
+    );
+    assert!(wal as f64 > 1.2 * share as f64, "wal ({wal}) should cost more than SHARE ({share})");
+    let off_ratio = share as f64 / off as f64;
+    assert!(
+        (0.8..1.35).contains(&off_ratio),
+        "SHARE ({share}) should cost about the same as OFF ({off})"
+    );
+}

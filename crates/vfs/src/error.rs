@@ -1,0 +1,79 @@
+//! Error type for file-system operations.
+
+use share_core::FtlError;
+use std::fmt;
+
+/// Errors surfaced by the [`crate::Vfs`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VfsError {
+    /// Underlying device failure.
+    Device(FtlError),
+    /// No file with this name / id.
+    NotFound(String),
+    /// A file with this name already exists.
+    Exists(String),
+    /// No contiguous LPN range of the requested size is free.
+    NoSpace { requested_pages: u64 },
+    /// Read/write beyond the file's allocated size.
+    OutOfBounds { file: u32, page: u64, allocated: u64 },
+    /// The serialized file table exceeds the metadata area.
+    MetadataOverflow { need_bytes: usize, have_bytes: usize },
+    /// The on-disk metadata is unreadable (fresh or corrupt device).
+    MetadataCorrupt(String),
+    /// Buffer length does not match the page size.
+    BadBufferLength { got: usize, want: usize },
+    /// File name too long or otherwise invalid.
+    BadName(String),
+}
+
+impl fmt::Display for VfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VfsError::Device(e) => write!(f, "device: {e}"),
+            VfsError::NotFound(n) => write!(f, "no such file: {n}"),
+            VfsError::Exists(n) => write!(f, "file exists: {n}"),
+            VfsError::NoSpace { requested_pages } => {
+                write!(f, "no space for {requested_pages} pages")
+            }
+            VfsError::OutOfBounds { file, page, allocated } => {
+                write!(f, "file {file}: page {page} beyond allocation {allocated}")
+            }
+            VfsError::MetadataOverflow { need_bytes, have_bytes } => {
+                write!(f, "file table needs {need_bytes} B, metadata area holds {have_bytes} B")
+            }
+            VfsError::MetadataCorrupt(msg) => write!(f, "metadata corrupt: {msg}"),
+            VfsError::BadBufferLength { got, want } => {
+                write!(f, "buffer length {got} does not match page size {want}")
+            }
+            VfsError::BadName(n) => write!(f, "invalid file name: {n}"),
+        }
+    }
+}
+
+impl std::error::Error for VfsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VfsError::Device(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FtlError> for VfsError {
+    fn from(e: FtlError) -> Self {
+        VfsError::Device(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversion_and_display() {
+        let e: VfsError = FtlError::DeviceFull.into();
+        assert!(e.to_string().contains("device"));
+        assert!(VfsError::NotFound("x.db".into()).to_string().contains("x.db"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

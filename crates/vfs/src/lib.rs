@@ -1,0 +1,36 @@
+//! # share-vfs — a minimal extent file system with SHARE ioctl passthrough
+//!
+//! The paper's prototype reaches the SSD's vendor-unique SHARE command
+//! through an `ioctl` so that applications working *through a file system*
+//! (MySQL data files, Couchbase database files) can use it. This crate
+//! plays that role: a page-granular, `O_DIRECT`-style extent file system
+//! over any [`share_core::BlockDevice`], with
+//!
+//! * `fallocate`-style preallocation (used by zero-copy compaction),
+//! * fsync = metadata persistence + ordered-journal traffic + device flush,
+//! * [`Vfs::ioctl_share`] translating file offsets to LPNs and forwarding
+//!   one atomic SHARE batch to the device.
+//!
+//! ```
+//! use share_core::{Ftl, FtlConfig};
+//! use share_vfs::{Vfs, VfsOptions};
+//!
+//! let dev = Ftl::new(FtlConfig::for_capacity(16 << 20, 0.2));
+//! let mut fs = Vfs::format(dev, VfsOptions::default()).unwrap();
+//! let f = fs.create("db.couch").unwrap();
+//! let page = vec![7u8; fs.page_size()];
+//! fs.write_page(f, 0, &page).unwrap();
+//! fs.fsync(f).unwrap();
+//! assert_eq!(fs.len_pages(f).unwrap(), 1);
+//! ```
+
+mod alloc;
+mod error;
+mod vfs;
+
+pub use alloc::{Extent, ExtentAllocator};
+pub use error::VfsError;
+pub use vfs::{FileId, Vfs, VfsOptions, VfsStats};
+
+/// Result alias for file-system operations.
+pub type Result<T> = std::result::Result<T, VfsError>;

@@ -1,0 +1,611 @@
+//! The file system itself: file table, page I/O, fsync, ioctl-SHARE.
+
+use crate::alloc::{Extent, ExtentAllocator};
+use crate::error::VfsError;
+use share_core::{crc32c, BlockDevice, Lpn, SharePair};
+
+const META_MAGIC: u32 = 0x4653_4D44; // "FSMD"
+const MAX_NAME: usize = 64;
+
+/// Handle to an open file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FileId(pub u32);
+
+/// Tunables of a [`Vfs`] instance.
+#[derive(Debug, Clone)]
+pub struct VfsOptions {
+    /// Pages per metadata snapshot slot (two slots are reserved).
+    pub meta_slot_pages: u64,
+    /// Pages in the ordered-mode journal ring.
+    pub journal_ring_pages: u64,
+    /// Journal pages charged per fsync that found dirty data (models the
+    /// ext4 ordered-mode commit record + descriptor). 0 disables.
+    pub journal_pages_per_commit: u64,
+    /// Allocation granularity: files grow by this many pages at once.
+    pub extent_chunk_pages: u64,
+}
+
+impl Default for VfsOptions {
+    fn default() -> Self {
+        Self {
+            meta_slot_pages: 8,
+            journal_ring_pages: 16,
+            journal_pages_per_commit: 0,
+            extent_chunk_pages: 256,
+        }
+    }
+}
+
+/// File-system level write accounting (all of it also shows up in the
+/// device's `host_writes`; these counters attribute the metadata share).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VfsStats {
+    /// Metadata snapshots written.
+    pub snapshots: u64,
+    /// Pages written by metadata snapshots.
+    pub snapshot_pages: u64,
+    /// Journal commits charged.
+    pub journal_commits: u64,
+    /// Pages written by journal commits.
+    pub journal_pages: u64,
+}
+
+#[derive(Debug, Clone)]
+struct FileInner {
+    id: u32,
+    name: String,
+    len_pages: u64,
+    extents: Vec<Extent>,
+}
+
+impl FileInner {
+    fn allocated_pages(&self) -> u64 {
+        self.extents.iter().map(|e| e.len).sum()
+    }
+}
+
+/// A minimal extent-based file system over any [`BlockDevice`].
+///
+/// Plays the role of ext4 in the paper's prototype: page-granular file I/O
+/// with `O_DIRECT` semantics (no page cache), fsync mapping to a device
+/// flush plus ordered-mode journal traffic, and an **ioctl passthrough**
+/// for the SHARE command — [`Vfs::ioctl_share`] translates file offsets to
+/// LPNs and forwards one atomic batch to the device, exactly how the
+/// paper's user-level library reaches the SSD through the file system.
+#[derive(Debug)]
+pub struct Vfs<D: BlockDevice> {
+    dev: D,
+    opts: VfsOptions,
+    files: std::collections::HashMap<u32, FileInner>,
+    names: std::collections::HashMap<String, u32>,
+    alloc: ExtentAllocator,
+    next_id: u32,
+    generation: u64,
+    meta_dirty: bool,
+    data_dirty: bool,
+    journal_cursor: u64,
+    stats: VfsStats,
+}
+
+impl<D: BlockDevice> Vfs<D> {
+    fn meta_pages(opts: &VfsOptions) -> u64 {
+        2 * opts.meta_slot_pages + opts.journal_ring_pages
+    }
+
+    /// First LPN available to file data.
+    pub fn data_start(&self) -> u64 {
+        Self::meta_pages(&self.opts)
+    }
+
+    /// Format `dev` with an empty file table.
+    pub fn format(dev: D, opts: VfsOptions) -> Result<Self, VfsError> {
+        let data_start = Self::meta_pages(&opts);
+        assert!(
+            dev.capacity_pages() > data_start + opts.extent_chunk_pages,
+            "device too small for this metadata layout"
+        );
+        let alloc = ExtentAllocator::new(data_start, dev.capacity_pages());
+        let mut vfs = Self {
+            dev,
+            opts,
+            files: Default::default(),
+            names: Default::default(),
+            alloc,
+            next_id: 1,
+            generation: 0,
+            meta_dirty: true,
+            data_dirty: false,
+            journal_cursor: 0,
+            stats: VfsStats::default(),
+        };
+        vfs.write_snapshot()?;
+        vfs.dev.flush()?;
+        Ok(vfs)
+    }
+
+    /// Mount an existing file system from `dev`.
+    pub fn open(dev: D, opts: VfsOptions) -> Result<Self, VfsError> {
+        let data_start = Self::meta_pages(&opts);
+        let mut vfs = Self {
+            dev,
+            opts,
+            files: Default::default(),
+            names: Default::default(),
+            alloc: ExtentAllocator::new(0, 0),
+            next_id: 1,
+            generation: 0,
+            meta_dirty: false,
+            data_dirty: false,
+            journal_cursor: 0,
+            stats: VfsStats::default(),
+        };
+        let best = [0u64, 1]
+            .into_iter()
+            .filter_map(|slot| vfs.read_snapshot(slot).ok().flatten())
+            .max_by_key(|(generation, _)| *generation);
+        let Some((generation, files)) = best else {
+            return Err(VfsError::MetadataCorrupt("no valid metadata snapshot".into()));
+        };
+        vfs.generation = generation;
+        let mut used = Vec::new();
+        for f in files {
+            used.extend(f.extents.iter().copied());
+            vfs.next_id = vfs.next_id.max(f.id + 1);
+            vfs.names.insert(f.name.clone(), f.id);
+            vfs.files.insert(f.id, f);
+        }
+        vfs.alloc = ExtentAllocator::rebuild(data_start, vfs.dev.capacity_pages(), used);
+        Ok(vfs)
+    }
+
+    /// Page size of the underlying device.
+    pub fn page_size(&self) -> usize {
+        self.dev.page_size()
+    }
+
+    /// Immutable access to the device (stats, clock).
+    pub fn device(&self) -> &D {
+        &self.dev
+    }
+
+    /// Mutable access to the device (tests and raw experiments).
+    pub fn device_mut(&mut self) -> &mut D {
+        &mut self.dev
+    }
+
+    /// Unmount, returning the device.
+    pub fn into_device(self) -> D {
+        self.dev
+    }
+
+    /// File-system write accounting.
+    pub fn stats(&self) -> VfsStats {
+        self.stats
+    }
+
+    // ----- file table -------------------------------------------------
+
+    /// Create an empty file.
+    pub fn create(&mut self, name: &str) -> Result<FileId, VfsError> {
+        if name.is_empty() || name.len() > MAX_NAME {
+            return Err(VfsError::BadName(name.into()));
+        }
+        if self.names.contains_key(name) {
+            return Err(VfsError::Exists(name.into()));
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.files.insert(
+            id,
+            FileInner { id, name: name.into(), len_pages: 0, extents: Vec::new() },
+        );
+        self.names.insert(name.into(), id);
+        self.meta_dirty = true;
+        Ok(FileId(id))
+    }
+
+    /// Look up an existing file by name.
+    pub fn lookup(&self, name: &str) -> Option<FileId> {
+        self.names.get(name).copied().map(FileId)
+    }
+
+    /// Names of all files, sorted.
+    pub fn list(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.names.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Delete a file, TRIMming and releasing its pages.
+    pub fn delete(&mut self, name: &str) -> Result<(), VfsError> {
+        let id = self.names.remove(name).ok_or_else(|| VfsError::NotFound(name.into()))?;
+        let file = self.files.remove(&id).expect("name table out of sync");
+        for e in file.extents {
+            self.dev.trim(Lpn(e.start), e.len)?;
+            self.alloc.release(e);
+        }
+        self.meta_dirty = true;
+        Ok(())
+    }
+
+    /// Rename a file (used by compaction to swap the new database in).
+    pub fn rename(&mut self, from: &str, to: &str) -> Result<(), VfsError> {
+        if self.names.contains_key(to) {
+            return Err(VfsError::Exists(to.into()));
+        }
+        let id = self.names.remove(from).ok_or_else(|| VfsError::NotFound(from.into()))?;
+        self.names.insert(to.into(), id);
+        self.files.get_mut(&id).expect("name table out of sync").name = to.into();
+        self.meta_dirty = true;
+        Ok(())
+    }
+
+    fn file(&self, f: FileId) -> Result<&FileInner, VfsError> {
+        self.files.get(&f.0).ok_or_else(|| VfsError::NotFound(format!("fd {}", f.0)))
+    }
+
+    /// Logical length in pages.
+    pub fn len_pages(&self, f: FileId) -> Result<u64, VfsError> {
+        Ok(self.file(f)?.len_pages)
+    }
+
+    /// Allocated capacity in pages (>= length).
+    pub fn allocated_pages(&self, f: FileId) -> Result<u64, VfsError> {
+        Ok(self.file(f)?.allocated_pages())
+    }
+
+    /// Ensure at least `pages` pages are allocated (the paper's
+    /// `fallocate()` used by SHARE-based compaction).
+    pub fn fallocate(&mut self, f: FileId, pages: u64) -> Result<(), VfsError> {
+        let (allocated, chunk) = {
+            let file = self.file(f)?;
+            (file.allocated_pages(), self.opts.extent_chunk_pages)
+        };
+        if pages <= allocated {
+            return Ok(());
+        }
+        let mut need = pages - allocated;
+        let mut grabbed = Vec::new();
+        while need > 0 {
+            let ask = need.max(chunk).min(self.alloc.largest_free());
+            if ask == 0 {
+                // Roll back partial allocation before reporting failure.
+                for e in grabbed {
+                    self.alloc.release(e);
+                }
+                return Err(VfsError::NoSpace { requested_pages: need });
+            }
+            let e = self.alloc.alloc(ask)?;
+            need = need.saturating_sub(e.len);
+            grabbed.push(e);
+        }
+        let file = self.files.get_mut(&f.0).expect("checked above");
+        file.extents.extend(grabbed);
+        self.meta_dirty = true;
+        Ok(())
+    }
+
+    /// Truncate the logical length (allocation is kept).
+    pub fn truncate(&mut self, f: FileId, len_pages: u64) -> Result<(), VfsError> {
+        let file = self.files.get_mut(&f.0).ok_or_else(|| VfsError::NotFound(format!("fd {}", f.0)))?;
+        file.len_pages = len_pages.min(file.allocated_pages());
+        self.meta_dirty = true;
+        Ok(())
+    }
+
+    /// Resolve a file page index to the device LPN backing it.
+    pub fn lpn_of(&self, f: FileId, page: u64) -> Result<Lpn, VfsError> {
+        let file = self.file(f)?;
+        let mut remaining = page;
+        for e in &file.extents {
+            if remaining < e.len {
+                return Ok(Lpn(e.start + remaining));
+            }
+            remaining -= e.len;
+        }
+        Err(VfsError::OutOfBounds { file: f.0, page, allocated: file.allocated_pages() })
+    }
+
+    // ----- page I/O -----------------------------------------------------
+
+    /// Write one page at index `page`, growing the file as needed
+    /// (`O_DIRECT`-style: page-aligned, no cache).
+    pub fn write_page(&mut self, f: FileId, page: u64, data: &[u8]) -> Result<(), VfsError> {
+        if data.len() != self.dev.page_size() {
+            return Err(VfsError::BadBufferLength { got: data.len(), want: self.dev.page_size() });
+        }
+        if self.file(f)?.allocated_pages() <= page {
+            self.fallocate(f, page + 1)?;
+        }
+        let lpn = self.lpn_of(f, page)?;
+        self.dev.write(lpn, data)?;
+        let file = self.files.get_mut(&f.0).expect("checked above");
+        file.len_pages = file.len_pages.max(page + 1);
+        self.data_dirty = true;
+        Ok(())
+    }
+
+    /// Read one page. Pages past the allocation fail; allocated-but-unwritten
+    /// pages read as zeros.
+    pub fn read_page(&mut self, f: FileId, page: u64, buf: &mut [u8]) -> Result<(), VfsError> {
+        if buf.len() != self.dev.page_size() {
+            return Err(VfsError::BadBufferLength { got: buf.len(), want: self.dev.page_size() });
+        }
+        let lpn = self.lpn_of(f, page)?;
+        self.dev.read(lpn, buf)?;
+        Ok(())
+    }
+
+    /// Clone `src` into a new file `dst_name` without copying data: the
+    /// clone's pages are SHARE-remapped onto the source's physical pages
+    /// (the paper's "file copy almost without copying data"). The clone is
+    /// copy-on-write at the FTL level — later writes to either file land
+    /// on fresh physical pages. Requires a SHARE-capable device.
+    pub fn clone_file(&mut self, src_name: &str, dst_name: &str) -> Result<FileId, VfsError> {
+        let src =
+            self.lookup(src_name).ok_or_else(|| VfsError::NotFound(src_name.into()))?;
+        let len = self.len_pages(src)?;
+        let dst = self.create(dst_name)?;
+        if len == 0 {
+            return Ok(dst);
+        }
+        self.fallocate(dst, len)?;
+        let pairs: Vec<(u64, u64)> = (0..len).map(|i| (i, i)).collect();
+        match self.ioctl_share_pairs(dst, src, &pairs) {
+            Ok(()) => Ok(dst),
+            Err(e) => {
+                // Roll the half-made clone back before reporting.
+                let _ = self.delete(dst_name);
+                Err(e)
+            }
+        }
+    }
+
+    /// TRIM a page range of a file (used by recovery truncation: stale
+    /// blocks past a recovered tail must not masquerade as fresh data).
+    pub fn trim_range(&mut self, f: FileId, from_page: u64, to_page: u64) -> Result<(), VfsError> {
+        for p in from_page..to_page {
+            let lpn = self.lpn_of(f, p)?;
+            self.dev.trim(lpn, 1)?;
+        }
+        Ok(())
+    }
+
+    /// fsync: persist metadata if dirty, charge ordered-journal traffic,
+    /// then flush the device.
+    pub fn fsync(&mut self, _f: FileId) -> Result<(), VfsError> {
+        if self.meta_dirty {
+            self.write_snapshot()?;
+        }
+        if self.opts.journal_pages_per_commit > 0 && self.data_dirty {
+            self.write_journal_commit()?;
+        }
+        self.data_dirty = false;
+        self.dev.flush()?;
+        Ok(())
+    }
+
+    // ----- SHARE ioctl ---------------------------------------------------
+
+    /// Whether the mounted device supports SHARE.
+    pub fn supports_share(&self) -> bool {
+        self.dev.supports_share()
+    }
+
+    /// Largest atomic SHARE batch of the device.
+    pub fn share_batch_limit(&self) -> usize {
+        self.dev.share_batch_limit()
+    }
+
+    /// Whether the device supports atomic multi-page writes.
+    pub fn supports_atomic_write(&self) -> bool {
+        self.dev.write_atomic_limit() > 0
+    }
+
+    /// Largest atomic-write batch of the device (pages).
+    pub fn atomic_write_limit(&self) -> usize {
+        self.dev.write_atomic_limit()
+    }
+
+    /// Write several pages of one file atomically (all-or-nothing across
+    /// power loss) — the §6.1 related-work primitive.
+    pub fn write_pages_atomic(
+        &mut self,
+        f: FileId,
+        pages: &[(u64, &[u8])],
+    ) -> Result<(), VfsError> {
+        let ps = self.dev.page_size();
+        let mut max_page = 0;
+        for (p, data) in pages {
+            if data.len() != ps {
+                return Err(VfsError::BadBufferLength { got: data.len(), want: ps });
+            }
+            max_page = max_page.max(p + 1);
+        }
+        if self.files.get(&f.0).map(|x| x.allocated_pages()).unwrap_or(0) < max_page {
+            self.fallocate(f, max_page)?;
+        }
+        let mut batch = Vec::with_capacity(pages.len());
+        for (p, data) in pages {
+            batch.push((self.lpn_of(f, *p)?, *data));
+        }
+        self.dev.write_atomic(&batch)?;
+        let file = self.files.get_mut(&f.0).expect("resolved above");
+        file.len_pages = file.len_pages.max(max_page);
+        self.data_dirty = true;
+        Ok(())
+    }
+
+    /// One atomic SHARE batch: remap `npages` pages of `dst` starting at
+    /// `dst_page` onto the physical pages of `src` starting at `src_page`.
+    /// Fails without side effects if the batch exceeds the device limit.
+    pub fn ioctl_share(
+        &mut self,
+        dst: FileId,
+        dst_page: u64,
+        src: FileId,
+        src_page: u64,
+        npages: u64,
+    ) -> Result<(), VfsError> {
+        let mut pairs = Vec::with_capacity(npages as usize);
+        for i in 0..npages {
+            pairs.push(SharePair::new(self.lpn_of(dst, dst_page + i)?, self.lpn_of(src, src_page + i)?));
+        }
+        // The destination range now logically holds data.
+        self.dev.share(&pairs)?;
+        let file = self.files.get_mut(&dst.0).expect("resolved above");
+        file.len_pages = file.len_pages.max(dst_page + npages);
+        Ok(())
+    }
+
+    /// Arbitrary pairs of (dst page, src page) across two files, chunked
+    /// into device-sized atomic batches (used by zero-copy compaction,
+    /// where per-batch atomicity suffices).
+    pub fn ioctl_share_pairs(
+        &mut self,
+        dst: FileId,
+        src: FileId,
+        pairs: &[(u64, u64)],
+    ) -> Result<(), VfsError> {
+        let limit = self.dev.share_batch_limit().max(1);
+        let mut max_dst = 0;
+        let mut batch = Vec::with_capacity(limit);
+        for chunk in pairs.chunks(limit) {
+            batch.clear();
+            for &(d, s) in chunk {
+                batch.push(SharePair::new(self.lpn_of(dst, d)?, self.lpn_of(src, s)?));
+                max_dst = max_dst.max(d + 1);
+            }
+            self.dev.share(&batch)?;
+        }
+        let file = self.files.get_mut(&dst.0).expect("resolved above");
+        file.len_pages = file.len_pages.max(max_dst);
+        Ok(())
+    }
+
+    // ----- metadata persistence -------------------------------------------
+
+    fn encode_files(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        let mut ids: Vec<&FileInner> = self.files.values().collect();
+        ids.sort_by_key(|f| f.id);
+        buf.extend_from_slice(&(ids.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&self.next_id.to_le_bytes());
+        for f in ids {
+            buf.extend_from_slice(&f.id.to_le_bytes());
+            buf.push(f.name.len() as u8);
+            buf.extend_from_slice(f.name.as_bytes());
+            buf.extend_from_slice(&f.len_pages.to_le_bytes());
+            buf.extend_from_slice(&(f.extents.len() as u32).to_le_bytes());
+            for e in &f.extents {
+                buf.extend_from_slice(&e.start.to_le_bytes());
+                buf.extend_from_slice(&e.len.to_le_bytes());
+            }
+        }
+        buf
+    }
+
+    fn decode_files(payload: &[u8]) -> Result<(u32, Vec<FileInner>), VfsError> {
+        let corrupt = |m: &str| VfsError::MetadataCorrupt(m.into());
+        let mut off = 0usize;
+        let take = |off: &mut usize, n: usize| -> Result<&[u8], VfsError> {
+            let s = payload.get(*off..*off + n).ok_or_else(|| corrupt("truncated"))?;
+            *off += n;
+            Ok(s)
+        };
+        let count = u32::from_le_bytes(take(&mut off, 4)?.try_into().unwrap());
+        let next_id = u32::from_le_bytes(take(&mut off, 4)?.try_into().unwrap());
+        let mut files = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let id = u32::from_le_bytes(take(&mut off, 4)?.try_into().unwrap());
+            let name_len = take(&mut off, 1)?[0] as usize;
+            let name = String::from_utf8(take(&mut off, name_len)?.to_vec())
+                .map_err(|_| corrupt("bad name"))?;
+            let len_pages = u64::from_le_bytes(take(&mut off, 8)?.try_into().unwrap());
+            let n_ext = u32::from_le_bytes(take(&mut off, 4)?.try_into().unwrap());
+            let mut extents = Vec::with_capacity(n_ext as usize);
+            for _ in 0..n_ext {
+                let start = u64::from_le_bytes(take(&mut off, 8)?.try_into().unwrap());
+                let len = u64::from_le_bytes(take(&mut off, 8)?.try_into().unwrap());
+                extents.push(Extent { start, len });
+            }
+            files.push(FileInner { id, name, len_pages, extents });
+        }
+        Ok((next_id, files))
+    }
+
+    fn write_snapshot(&mut self) -> Result<(), VfsError> {
+        let payload = self.encode_files();
+        let ps = self.dev.page_size();
+        let slot_bytes = (self.opts.meta_slot_pages as usize) * ps;
+        if 32 + payload.len() > slot_bytes {
+            return Err(VfsError::MetadataOverflow {
+                need_bytes: 32 + payload.len(),
+                have_bytes: slot_bytes,
+            });
+        }
+        self.generation += 1;
+        let slot = self.generation % 2;
+        let base = slot * self.opts.meta_slot_pages;
+        let pages = (32 + payload.len()).div_ceil(ps) as u64;
+        let mut image = vec![0u8; (pages as usize) * ps];
+        image[0..4].copy_from_slice(&META_MAGIC.to_le_bytes());
+        image[4..12].copy_from_slice(&self.generation.to_le_bytes());
+        image[12..16].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+        image[16..20].copy_from_slice(&crc32c(&payload).to_le_bytes());
+        image[32..32 + payload.len()].copy_from_slice(&payload);
+        for p in 0..pages {
+            let s = (p as usize) * ps;
+            self.dev.write(Lpn(base + p), &image[s..s + ps])?;
+        }
+        self.meta_dirty = false;
+        self.stats.snapshots += 1;
+        self.stats.snapshot_pages += pages;
+        Ok(())
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn read_snapshot(&mut self, slot: u64) -> Result<Option<(u64, Vec<FileInner>)>, VfsError> {
+        let ps = self.dev.page_size();
+        let base = slot * self.opts.meta_slot_pages;
+        let mut page = vec![0u8; ps];
+        self.dev.read(Lpn(base), &mut page)?;
+        if u32::from_le_bytes(page[0..4].try_into().unwrap()) != META_MAGIC {
+            return Ok(None);
+        }
+        let generation = u64::from_le_bytes(page[4..12].try_into().unwrap());
+        let len = u32::from_le_bytes(page[12..16].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(page[16..20].try_into().unwrap());
+        if 32 + len > (self.opts.meta_slot_pages as usize) * ps {
+            return Ok(None);
+        }
+        let pages = (32 + len).div_ceil(ps) as u64;
+        let mut image = vec![0u8; (pages as usize) * ps];
+        image[..ps].copy_from_slice(&page);
+        for p in 1..pages {
+            let s = (p as usize) * ps;
+            self.dev.read(Lpn(base + p), &mut image[s..s + ps])?;
+        }
+        let payload = &image[32..32 + len];
+        if crc32c(payload) != crc {
+            return Ok(None);
+        }
+        let (next_id, files) = Self::decode_files(payload)?;
+        let _ = next_id; // next_id is also derivable; kept for format stability
+        Ok(Some((generation, files)))
+    }
+
+    fn write_journal_commit(&mut self) -> Result<(), VfsError> {
+        let ps = self.dev.page_size();
+        let ring_base = 2 * self.opts.meta_slot_pages;
+        let page = vec![0xEEu8; ps];
+        for _ in 0..self.opts.journal_pages_per_commit {
+            let lpn = ring_base + (self.journal_cursor % self.opts.journal_ring_pages);
+            self.journal_cursor += 1;
+            self.dev.write(Lpn(lpn), &page)?;
+            self.stats.journal_pages += 1;
+        }
+        self.stats.journal_commits += 1;
+        Ok(())
+    }
+}

@@ -1,0 +1,158 @@
+//! Property tests: the file system against a shadow model of files.
+
+use proptest::prelude::*;
+use share_core::{Ftl, FtlConfig};
+use share_vfs::{Vfs, VfsOptions};
+use std::collections::HashMap;
+
+const FILES: u64 = 4;
+const MAX_PAGE: u64 = 40;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write { file: u64, page: u64, fill: u8 },
+    Read { file: u64, page: u64 },
+    Fsync { file: u64 },
+    Delete { file: u64 },
+    ShareRange { dst: u64, src: u64, page: u64, n: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (0..FILES, 0..MAX_PAGE, any::<u8>())
+            .prop_map(|(file, page, fill)| Op::Write { file, page, fill }),
+        3 => (0..FILES, 0..MAX_PAGE).prop_map(|(file, page)| Op::Read { file, page }),
+        1 => (0..FILES).prop_map(|file| Op::Fsync { file }),
+        1 => (0..FILES).prop_map(|file| Op::Delete { file }),
+        1 => (0..FILES, 0..FILES, 0..MAX_PAGE - 4, 1u64..4)
+            .prop_map(|(dst, src, page, n)| Op::ShareRange { dst, src, page, n }),
+    ]
+}
+
+fn fs() -> Vfs<Ftl> {
+    let cfg = FtlConfig::for_capacity_with(8 << 20, 0.4, 4096, 16, nand_sim::NandTiming::zero());
+    Vfs::format(Ftl::new(cfg), VfsOptions { extent_chunk_pages: 8, ..Default::default() }).unwrap()
+}
+
+fn name(i: u64) -> String {
+    format!("file-{i}")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// File contents always match a shadow model, including across share
+    /// remaps between files, deletes and re-creates.
+    #[test]
+    fn files_match_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let mut fs = fs();
+        // model[file][page] = fill byte written (files implicitly created).
+        let mut model: HashMap<u64, HashMap<u64, u8>> = HashMap::new();
+        let ensure = |fs: &mut Vfs<Ftl>, i: u64| match fs.lookup(&name(i)) {
+            Some(f) => f,
+            None => fs.create(&name(i)).unwrap(),
+        };
+        for op in &ops {
+            match *op {
+                Op::Write { file, page, fill } => {
+                    let f = ensure(&mut fs, file);
+                    fs.write_page(f, page, &vec![fill; 4096]).unwrap();
+                    model.entry(file).or_default().insert(page, fill);
+                }
+                Op::Read { file, page } => {
+                    let Some(f) = fs.lookup(&name(file)) else { continue };
+                    let mut buf = vec![0u8; 4096];
+                    if fs.read_page(f, page, &mut buf).is_ok() {
+                        let want = model
+                            .get(&file)
+                            .and_then(|m| m.get(&page))
+                            .copied()
+                            .unwrap_or(0);
+                        prop_assert!(buf.iter().all(|&b| b == want),
+                            "file {} page {} diverged", file, page);
+                    }
+                }
+                Op::Fsync { file } => {
+                    if let Some(f) = fs.lookup(&name(file)) {
+                        fs.fsync(f).unwrap();
+                    }
+                }
+                Op::Delete { file } => {
+                    if fs.lookup(&name(file)).is_some() {
+                        fs.delete(&name(file)).unwrap();
+                        model.remove(&file);
+                    }
+                }
+                Op::ShareRange { dst, src, page, n } => {
+                    if dst == src {
+                        continue;
+                    }
+                    let (Some(df), Some(sf)) = (fs.lookup(&name(dst)), fs.lookup(&name(src)))
+                    else { continue };
+                    // Source pages must be written (mapped) for share.
+                    let src_ok = (0..n).all(|i| {
+                        model.get(&src).map(|m| m.contains_key(&(page + i))).unwrap_or(false)
+                    });
+                    if !src_ok {
+                        continue;
+                    }
+                    if fs.allocated_pages(df).unwrap() < page + n {
+                        fs.fallocate(df, page + n).unwrap();
+                    }
+                    fs.ioctl_share(df, page, sf, page, n).unwrap();
+                    for i in 0..n {
+                        let v = model[&src][&(page + i)];
+                        model.entry(dst).or_default().insert(page + i, v);
+                    }
+                }
+            }
+        }
+        // Final verification of every modelled page.
+        for (&file, pages) in &model {
+            let f = fs.lookup(&name(file)).unwrap();
+            let mut buf = vec![0u8; 4096];
+            for (&page, &want) in pages {
+                fs.read_page(f, page, &mut buf).unwrap();
+                prop_assert!(buf.iter().all(|&b| b == want),
+                    "final: file {} page {} diverged", file, page);
+            }
+        }
+        fs.device().check_invariants();
+    }
+
+    /// fsync + remount preserves the model exactly.
+    #[test]
+    fn remount_is_lossless(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let cfg = FtlConfig::for_capacity_with(8 << 20, 0.4, 4096, 16, nand_sim::NandTiming::zero());
+        let mut fs = Vfs::format(Ftl::new(cfg.clone()),
+            VfsOptions { extent_chunk_pages: 8, ..Default::default() }).unwrap();
+        let mut model: HashMap<u64, HashMap<u64, u8>> = HashMap::new();
+        for op in &ops {
+            if let Op::Write { file, page, fill } = *op {
+                let f = match fs.lookup(&name(file)) {
+                    Some(f) => f,
+                    None => fs.create(&name(file)).unwrap(),
+                };
+                fs.write_page(f, page, &vec![fill; 4096]).unwrap();
+                model.entry(file).or_default().insert(page, fill);
+            }
+        }
+        for i in 0..FILES {
+            if let Some(f) = fs.lookup(&name(i)) {
+                fs.fsync(f).unwrap();
+            }
+        }
+        let nand = fs.into_device().into_nand();
+        let dev = Ftl::open(cfg, nand).unwrap();
+        let mut fs2 = Vfs::open(dev, VfsOptions { extent_chunk_pages: 8, ..Default::default() }).unwrap();
+        for (&file, pages) in &model {
+            let f = fs2.lookup(&name(file)).unwrap();
+            let mut buf = vec![0u8; 4096];
+            for (&page, &want) in pages {
+                fs2.read_page(f, page, &mut buf).unwrap();
+                prop_assert!(buf.iter().all(|&b| b == want),
+                    "after remount: file {} page {} diverged", file, page);
+            }
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! Integration tests for the VFS over both device types (SHARE FTL and a
+//! conventional SSD), including crash/remount behaviour.
+
+use share_core::{BlockDevice, Ftl, FtlConfig, FtlError, SimpleSsd};
+use share_vfs::{Vfs, VfsError, VfsOptions};
+
+fn ftl_fs() -> Vfs<Ftl> {
+    let cfg = FtlConfig::for_capacity_with(8 << 20, 0.3, 4096, 16, nand_sim::NandTiming::zero());
+    Vfs::format(Ftl::new(cfg), VfsOptions::default()).unwrap()
+}
+
+fn page(fs: &Vfs<impl BlockDevice>, b: u8) -> Vec<u8> {
+    vec![b; fs.page_size()]
+}
+
+fn read_byte(fs: &mut Vfs<impl BlockDevice>, f: share_vfs::FileId, p: u64) -> u8 {
+    let mut buf = vec![0u8; fs.page_size()];
+    fs.read_page(f, p, &mut buf).unwrap();
+    assert!(buf.iter().all(|&x| x == buf[0]));
+    buf[0]
+}
+
+#[test]
+fn create_write_read_cycle() {
+    let mut fs = ftl_fs();
+    let f = fs.create("a.db").unwrap();
+    fs.write_page(f, 0, &page(&fs, 1)).unwrap();
+    fs.write_page(f, 5, &page(&fs, 6)).unwrap();
+    assert_eq!(read_byte(&mut fs, f, 0), 1);
+    assert_eq!(read_byte(&mut fs, f, 5), 6);
+    assert_eq!(read_byte(&mut fs, f, 3), 0); // allocated hole reads zero
+    assert_eq!(fs.len_pages(f).unwrap(), 6);
+}
+
+#[test]
+fn duplicate_create_rejected() {
+    let mut fs = ftl_fs();
+    fs.create("a").unwrap();
+    assert_eq!(fs.create("a"), Err(VfsError::Exists("a".into())));
+}
+
+#[test]
+fn lookup_list_delete() {
+    let mut fs = ftl_fs();
+    let f = fs.create("x").unwrap();
+    fs.create("y").unwrap();
+    assert_eq!(fs.lookup("x"), Some(f));
+    assert_eq!(fs.list(), vec!["x".to_string(), "y".to_string()]);
+    fs.delete("x").unwrap();
+    assert_eq!(fs.lookup("x"), None);
+    assert!(matches!(fs.delete("x"), Err(VfsError::NotFound(_))));
+}
+
+#[test]
+fn delete_frees_space_for_reuse() {
+    let mut fs = ftl_fs();
+    let f = fs.create("big").unwrap();
+    let total = fs.device().capacity_pages();
+    // Fill most of the data area.
+    fs.fallocate(f, total - fs.data_start() - 300).unwrap();
+    assert!(matches!(
+        fs.fallocate(f, total), // more than the device holds
+        Err(VfsError::NoSpace { .. })
+    ));
+    fs.delete("big").unwrap();
+    let g = fs.create("next").unwrap();
+    fs.fallocate(g, 1000).unwrap();
+}
+
+#[test]
+fn rename_moves_the_name_only() {
+    let mut fs = ftl_fs();
+    let f = fs.create("old").unwrap();
+    fs.write_page(f, 0, &page(&fs, 9)).unwrap();
+    fs.rename("old", "new").unwrap();
+    assert_eq!(fs.lookup("new"), Some(f));
+    assert_eq!(fs.lookup("old"), None);
+    assert_eq!(read_byte(&mut fs, f, 0), 9);
+    assert!(matches!(fs.rename("missing", "z"), Err(VfsError::NotFound(_))));
+}
+
+#[test]
+fn files_grow_across_multiple_extents() {
+    let cfg = FtlConfig::for_capacity_with(8 << 20, 0.3, 4096, 16, nand_sim::NandTiming::zero());
+    let opts = VfsOptions { extent_chunk_pages: 4, ..Default::default() };
+    let mut fs = Vfs::format(Ftl::new(cfg), opts).unwrap();
+    let f = fs.create("grow").unwrap();
+    let g = fs.create("interleave").unwrap();
+    // Interleaved growth forces non-contiguous extents.
+    for i in 0..20u64 {
+        fs.write_page(f, i, &page(&fs, i as u8)).unwrap();
+        fs.write_page(g, i, &page(&fs, (100 + i) as u8)).unwrap();
+    }
+    for i in 0..20u64 {
+        assert_eq!(read_byte(&mut fs, f, i), i as u8);
+        assert_eq!(read_byte(&mut fs, g, i), (100 + i) as u8);
+    }
+}
+
+#[test]
+fn fsync_then_remount_preserves_everything() {
+    let cfg = FtlConfig::for_capacity_with(8 << 20, 0.3, 4096, 16, nand_sim::NandTiming::zero());
+    let mut fs = Vfs::format(Ftl::new(cfg.clone()), VfsOptions::default()).unwrap();
+    let f = fs.create("persist.db").unwrap();
+    for i in 0..10u64 {
+        fs.write_page(f, i, &page(&fs, (i + 1) as u8)).unwrap();
+    }
+    fs.fsync(f).unwrap();
+    let nand = fs.into_device().into_nand();
+    let dev = Ftl::open(cfg, nand).unwrap();
+    let mut fs2 = Vfs::open(dev, VfsOptions::default()).unwrap();
+    let f2 = fs2.lookup("persist.db").unwrap();
+    for i in 0..10u64 {
+        assert_eq!(read_byte(&mut fs2, f2, i), (i + 1) as u8);
+    }
+    assert_eq!(fs2.len_pages(f2).unwrap(), 10);
+}
+
+#[test]
+fn crash_after_fsync_preserves_file_table() {
+    let cfg = FtlConfig::for_capacity_with(8 << 20, 0.3, 4096, 16, nand_sim::NandTiming::zero());
+    let mut fs = Vfs::format(Ftl::new(cfg.clone()), VfsOptions::default()).unwrap();
+    let f = fs.create("a").unwrap();
+    fs.write_page(f, 0, &page(&fs, 3)).unwrap();
+    fs.fsync(f).unwrap();
+    // Crash on a later, unsynced write.
+    fs.device_mut().fault_handle().arm_after_programs(1, nand_sim::FaultMode::TornHalf);
+    let _ = fs.write_page(f, 1, &page(&fs, 4));
+    let nand = fs.into_device().into_nand();
+    let dev = Ftl::open(cfg, nand).unwrap();
+    let mut fs2 = Vfs::open(dev, VfsOptions::default()).unwrap();
+    let f2 = fs2.lookup("a").unwrap();
+    assert_eq!(read_byte(&mut fs2, f2, 0), 3);
+}
+
+#[test]
+fn ioctl_share_remaps_across_files() {
+    let mut fs = ftl_fs();
+    let a = fs.create("a").unwrap();
+    let b = fs.create("b").unwrap();
+    for i in 0..4u64 {
+        fs.write_page(a, i, &page(&fs, 0x10 + i as u8)).unwrap();
+        fs.write_page(b, i, &page(&fs, 0x20 + i as u8)).unwrap();
+    }
+    fs.fsync(a).unwrap();
+    // a[0..4] := b[0..4] without copying.
+    let w_before = fs.device().stats().host_writes;
+    fs.ioctl_share(a, 0, b, 0, 4).unwrap();
+    assert_eq!(fs.device().stats().host_writes, w_before);
+    for i in 0..4u64 {
+        assert_eq!(read_byte(&mut fs, a, i), 0x20 + i as u8);
+    }
+    assert_eq!(fs.device().stats().share_commands, 1);
+    assert_eq!(fs.device().stats().shared_pages, 4);
+}
+
+#[test]
+fn ioctl_share_pairs_chunks_large_sets() {
+    let mut fs = ftl_fs();
+    let a = fs.create("a").unwrap();
+    let b = fs.create("b").unwrap();
+    let n = fs.share_batch_limit() as u64 + 10; // forces two batches
+    fs.fallocate(a, n).unwrap();
+    for i in 0..n {
+        fs.write_page(b, i, &page(&fs, (i % 251) as u8)).unwrap();
+    }
+    let pairs: Vec<(u64, u64)> = (0..n).map(|i| (i, i)).collect();
+    fs.ioctl_share_pairs(a, b, &pairs).unwrap();
+    assert_eq!(fs.device().stats().share_commands, 2);
+    for i in (0..n).step_by(37) {
+        assert_eq!(read_byte(&mut fs, a, i), (i % 251) as u8);
+    }
+    assert_eq!(fs.len_pages(a).unwrap(), n);
+}
+
+#[test]
+fn share_on_conventional_ssd_reports_unsupported() {
+    let dev = SimpleSsd::new(4096, 4096, nand_sim::SimClock::new());
+    let mut fs = Vfs::format(dev, VfsOptions::default()).unwrap();
+    assert!(!fs.supports_share());
+    let a = fs.create("a").unwrap();
+    let b = fs.create("b").unwrap();
+    fs.write_page(b, 0, &page(&fs, 1)).unwrap();
+    fs.fallocate(a, 1).unwrap();
+    assert_eq!(
+        fs.ioctl_share(a, 0, b, 0, 1),
+        Err(VfsError::Device(FtlError::Unsupported("share")))
+    );
+}
+
+#[test]
+fn journal_traffic_is_charged_when_enabled() {
+    let cfg = FtlConfig::for_capacity_with(8 << 20, 0.3, 4096, 16, nand_sim::NandTiming::zero());
+    let opts = VfsOptions { journal_pages_per_commit: 2, ..Default::default() };
+    let mut fs = Vfs::format(Ftl::new(cfg), opts).unwrap();
+    let f = fs.create("a").unwrap();
+    fs.write_page(f, 0, &page(&fs, 1)).unwrap();
+    fs.fsync(f).unwrap();
+    assert_eq!(fs.stats().journal_commits, 1);
+    assert_eq!(fs.stats().journal_pages, 2);
+    // fsync with no new data writes no journal.
+    fs.fsync(f).unwrap();
+    assert_eq!(fs.stats().journal_commits, 1);
+}
+
+#[test]
+fn clone_file_is_zero_copy_and_cow() {
+    let mut fs = ftl_fs();
+    let src = fs.create("src").unwrap();
+    for i in 0..20u64 {
+        fs.write_page(src, i, &page(&fs, (i % 251) as u8)).unwrap();
+    }
+    fs.fsync(src).unwrap();
+    let writes_before = fs.device().stats().host_writes;
+    let dst = fs.clone_file("src", "dst").unwrap();
+    assert_eq!(fs.device().stats().host_writes, writes_before, "clone must copy nothing");
+    for i in 0..20u64 {
+        assert_eq!(read_byte(&mut fs, dst, i), (i % 251) as u8);
+    }
+    // Copy-on-write: diverge the source, clone unaffected.
+    fs.write_page(src, 3, &page(&fs, 0xEE)).unwrap();
+    assert_eq!(read_byte(&mut fs, dst, 3), 3);
+    assert_eq!(read_byte(&mut fs, src, 3), 0xEE);
+    // And vice versa.
+    fs.write_page(dst, 4, &page(&fs, 0xDD)).unwrap();
+    assert_eq!(read_byte(&mut fs, src, 4), 4);
+}
+
+#[test]
+fn clone_file_requires_share_support() {
+    let dev = SimpleSsd::new(4096, 4096, nand_sim::SimClock::new());
+    let mut fs = Vfs::format(dev, VfsOptions::default()).unwrap();
+    let f = fs.create("src").unwrap();
+    fs.write_page(f, 0, &page(&fs, 1)).unwrap();
+    assert!(matches!(
+        fs.clone_file("src", "dst"),
+        Err(VfsError::Device(FtlError::Unsupported("share")))
+    ));
+    // The failed clone must not leave a half-made file behind.
+    assert!(fs.lookup("dst").is_none());
+}
+
+#[test]
+fn clone_of_empty_file_is_empty() {
+    let mut fs = ftl_fs();
+    fs.create("empty").unwrap();
+    let dst = fs.clone_file("empty", "empty2").unwrap();
+    assert_eq!(fs.len_pages(dst).unwrap(), 0);
+}
+
+#[test]
+fn out_of_bounds_read_is_detected() {
+    let mut fs = ftl_fs();
+    let f = fs.create("a").unwrap();
+    fs.write_page(f, 0, &page(&fs, 1)).unwrap();
+    let mut buf = vec![0u8; fs.page_size()];
+    let allocated = fs.allocated_pages(f).unwrap();
+    assert!(matches!(
+        fs.read_page(f, allocated, &mut buf),
+        Err(VfsError::OutOfBounds { .. })
+    ));
+}
+
+#[test]
+fn truncate_shrinks_logical_length_only() {
+    let mut fs = ftl_fs();
+    let f = fs.create("a").unwrap();
+    for i in 0..8u64 {
+        fs.write_page(f, i, &page(&fs, i as u8)).unwrap();
+    }
+    let allocated = fs.allocated_pages(f).unwrap();
+    fs.truncate(f, 2).unwrap();
+    assert_eq!(fs.len_pages(f).unwrap(), 2);
+    assert_eq!(fs.allocated_pages(f).unwrap(), allocated);
+    // Content past the logical length is still readable (allocation kept).
+    assert_eq!(read_byte(&mut fs, f, 5), 5);
+}

@@ -1,0 +1,138 @@
+//! Per-operation latency recording and percentile summaries.
+//!
+//! Regenerates the paper's Table 1: mean / P25 / P50 / P75 / P99 / max
+//! latency per transaction type.
+
+use std::collections::BTreeMap;
+
+/// Summary statistics of one operation type.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Mean latency (ns).
+    pub mean_ns: f64,
+    /// 25th percentile (ns).
+    pub p25_ns: u64,
+    /// Median (ns).
+    pub p50_ns: u64,
+    /// 75th percentile (ns).
+    pub p75_ns: u64,
+    /// 99th percentile (ns).
+    pub p99_ns: u64,
+    /// Maximum (ns).
+    pub max_ns: u64,
+}
+
+impl LatencySummary {
+    /// Convert a field from ns to milliseconds.
+    pub fn ms(ns: u64) -> f64 {
+        ns as f64 / 1e6
+    }
+}
+
+/// Collects latency samples keyed by operation name.
+#[derive(Debug, Default)]
+pub struct LatencyRecorder {
+    samples: BTreeMap<&'static str, Vec<u64>>,
+}
+
+impl LatencyRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample (simulated ns) under `op`.
+    pub fn record(&mut self, op: &'static str, ns: u64) {
+        self.samples.entry(op).or_default().push(ns);
+    }
+
+    /// Total samples across all ops.
+    pub fn total_count(&self) -> u64 {
+        self.samples.values().map(|v| v.len() as u64).sum()
+    }
+
+    /// Operation names seen, in sorted order.
+    pub fn ops(&self) -> Vec<&'static str> {
+        self.samples.keys().copied().collect()
+    }
+
+    /// Summarize one operation, if any samples were recorded.
+    pub fn summary(&self, op: &str) -> Option<LatencySummary> {
+        let v = self.samples.get(op)?;
+        if v.is_empty() {
+            return None;
+        }
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        let pct = |p: f64| -> u64 {
+            // Nearest-rank percentile.
+            let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+            sorted[rank.clamp(1, sorted.len()) - 1]
+        };
+        let sum: u128 = sorted.iter().map(|&x| x as u128).sum();
+        Some(LatencySummary {
+            count: sorted.len() as u64,
+            mean_ns: sum as f64 / sorted.len() as f64,
+            p25_ns: pct(25.0),
+            p50_ns: pct(50.0),
+            p75_ns: pct(75.0),
+            p99_ns: pct(99.0),
+            max_ns: *sorted.last().expect("non-empty"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_recorder_has_no_summaries() {
+        let r = LatencyRecorder::new();
+        assert!(r.summary("x").is_none());
+        assert_eq!(r.total_count(), 0);
+    }
+
+    #[test]
+    fn percentiles_on_known_distribution() {
+        let mut r = LatencyRecorder::new();
+        for i in 1..=100u64 {
+            r.record("op", i * 1000);
+        }
+        let s = r.summary("op").unwrap();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p25_ns, 25_000);
+        assert_eq!(s.p50_ns, 50_000);
+        assert_eq!(s.p75_ns, 75_000);
+        assert_eq!(s.p99_ns, 99_000);
+        assert_eq!(s.max_ns, 100_000);
+        assert!((s.mean_ns - 50_500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_sample_summary() {
+        let mut r = LatencyRecorder::new();
+        r.record("one", 42);
+        let s = r.summary("one").unwrap();
+        assert_eq!(s.p25_ns, 42);
+        assert_eq!(s.p99_ns, 42);
+        assert_eq!(s.max_ns, 42);
+    }
+
+    #[test]
+    fn ops_are_sorted_and_counted() {
+        let mut r = LatencyRecorder::new();
+        r.record("b", 1);
+        r.record("a", 2);
+        r.record("a", 3);
+        assert_eq!(r.ops(), vec!["a", "b"]);
+        assert_eq!(r.total_count(), 3);
+    }
+
+    #[test]
+    fn ms_conversion() {
+        assert!((LatencySummary::ms(1_500_000) - 1.5).abs() < 1e-12);
+    }
+}

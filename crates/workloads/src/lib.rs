@@ -1,0 +1,30 @@
+//! # share-workloads — benchmark generators and latency statistics
+//!
+//! Deterministic re-implementations of the three workloads the paper's
+//! evaluation uses, plus percentile latency recording:
+//!
+//! * [`LinkBench`] — Facebook social-graph mix (10 op types, ~31 % writes)
+//!   driven against MySQL/InnoDB in §5.3.1,
+//! * [`Ycsb`] — YCSB workloads A and F driven against Couchbase in §5.3.2,
+//! * [`Pgbench`] — TPC-B-like stream for the PostgreSQL
+//!   `full_page_writes` side experiment,
+//! * [`LatencyRecorder`] — per-op mean/P25/P50/P75/P99/max (Table 1),
+//! * [`TraceGen`] — block-level I/O traces (synthetic or parsed from a
+//!   simple text format) for driving the FTL directly.
+//!
+//! All generators are seeded and fully deterministic, so every figure in
+//! EXPERIMENTS.md is reproducible bit-for-bit.
+
+mod latency;
+mod linkbench;
+mod pgbench;
+mod trace;
+mod ycsb;
+mod zipf;
+
+pub use latency::{LatencyRecorder, LatencySummary};
+pub use linkbench::{LinkBench, LinkBenchConfig, LinkOp, LinkOpType};
+pub use pgbench::{Pgbench, PgbenchConfig, PgbenchTxn};
+pub use trace::{encode_trace, parse_trace, AccessPattern, TraceConfig, TraceGen, TraceOp};
+pub use ycsb::{Ycsb, YcsbConfig, YcsbOp, YcsbWorkload};
+pub use zipf::{fnv1a, ScrambledZipfian, Zipfian};

@@ -1,0 +1,274 @@
+//! LinkBench-like social-graph workload generator.
+//!
+//! Reproduces the operation mix of Facebook's LinkBench benchmark
+//! (Armstrong et al., SIGMOD 2013), which the paper uses against
+//! MySQL/InnoDB: ten operation types, roughly 69 % reads / 31 % writes,
+//! with Zipfian access over node ids (caching upstream strips locality,
+//! but the id popularity skew remains).
+
+use crate::zipf::Zipfian;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The ten LinkBench transaction types (Table 1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LinkOpType {
+    /// Point read of a node row.
+    GetNode,
+    /// Count links of (id1, link_type).
+    CountLink,
+    /// Fetch a specific set of links.
+    MultigetLink,
+    /// Range scan of a node's links.
+    GetLinkList,
+    /// Insert a node row.
+    AddNode,
+    /// Update a node row's payload.
+    UpdateNode,
+    /// Delete a node row.
+    DeleteNode,
+    /// Insert a link row (and bump the count row).
+    AddLink,
+    /// Delete a link row.
+    DeleteLink,
+    /// Update a link row's payload.
+    UpdateLink,
+}
+
+impl LinkOpType {
+    /// All types, read ops first (the order of the paper's Table 1).
+    pub const ALL: [LinkOpType; 10] = [
+        LinkOpType::GetNode,
+        LinkOpType::CountLink,
+        LinkOpType::MultigetLink,
+        LinkOpType::GetLinkList,
+        LinkOpType::AddNode,
+        LinkOpType::UpdateNode,
+        LinkOpType::DeleteNode,
+        LinkOpType::AddLink,
+        LinkOpType::DeleteLink,
+        LinkOpType::UpdateLink,
+    ];
+
+    /// Display name matching the paper's Table 1.
+    pub fn name(self) -> &'static str {
+        match self {
+            LinkOpType::GetNode => "Get_Node",
+            LinkOpType::CountLink => "Count_Link",
+            LinkOpType::MultigetLink => "Multiget_Link",
+            LinkOpType::GetLinkList => "Get_Link_List",
+            LinkOpType::AddNode => "Add_Node",
+            LinkOpType::UpdateNode => "Update_Node",
+            LinkOpType::DeleteNode => "Delete_Node",
+            LinkOpType::AddLink => "Add_Link",
+            LinkOpType::DeleteLink => "Delete_Link",
+            LinkOpType::UpdateLink => "Update_Link",
+        }
+    }
+
+    /// Whether the op mutates the database.
+    pub fn is_write(self) -> bool {
+        !matches!(
+            self,
+            LinkOpType::GetNode
+                | LinkOpType::CountLink
+                | LinkOpType::MultigetLink
+                | LinkOpType::GetLinkList
+        )
+    }
+
+    /// Default LinkBench mix in percent (sums to 100; ~31 % writes).
+    pub fn default_mix(self) -> f64 {
+        match self {
+            LinkOpType::GetNode => 12.9,
+            LinkOpType::CountLink => 4.9,
+            LinkOpType::MultigetLink => 0.5,
+            LinkOpType::GetLinkList => 50.7,
+            LinkOpType::AddNode => 2.6,
+            LinkOpType::UpdateNode => 7.4,
+            LinkOpType::DeleteNode => 1.0,
+            LinkOpType::AddLink => 9.0,
+            LinkOpType::DeleteLink => 3.0,
+            LinkOpType::UpdateLink => 8.0,
+        }
+    }
+}
+
+/// One generated operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkOp {
+    /// Transaction type.
+    pub op: LinkOpType,
+    /// Primary node id.
+    pub id1: u64,
+    /// Secondary node id (link ops).
+    pub id2: u64,
+    /// Link type id.
+    pub link_type: u32,
+    /// Payload bytes for insert/update ops.
+    pub payload: usize,
+}
+
+/// Configuration of the generator.
+#[derive(Debug, Clone)]
+pub struct LinkBenchConfig {
+    /// Initial number of nodes in the graph.
+    pub initial_nodes: u64,
+    /// Distinct link types.
+    pub link_types: u32,
+    /// Mean payload size in bytes for nodes/links.
+    pub payload_mean: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LinkBenchConfig {
+    fn default() -> Self {
+        Self { initial_nodes: 100_000, link_types: 4, payload_mean: 96, seed: 42 }
+    }
+}
+
+/// Deterministic LinkBench operation stream.
+#[derive(Debug)]
+pub struct LinkBench {
+    rng: StdRng,
+    zipf: Zipfian,
+    next_node: u64,
+    cdf: [(LinkOpType, f64); 10],
+    payload_mean: usize,
+    link_types: u32,
+}
+
+impl LinkBench {
+    /// A generator over `cfg.initial_nodes` nodes.
+    pub fn new(cfg: &LinkBenchConfig) -> Self {
+        assert!(cfg.initial_nodes > 1);
+        let mut acc = 0.0;
+        let cdf = LinkOpType::ALL.map(|t| {
+            acc += t.default_mix();
+            (t, acc)
+        });
+        debug_assert!((acc - 100.0).abs() < 1e-6, "mix must sum to 100");
+        Self {
+            rng: StdRng::seed_from_u64(cfg.seed),
+            zipf: Zipfian::new(cfg.initial_nodes),
+            next_node: cfg.initial_nodes,
+            cdf,
+            payload_mean: cfg.payload_mean,
+            link_types: cfg.link_types,
+        }
+    }
+
+    /// Current number of node ids ever allocated.
+    pub fn node_count(&self) -> u64 {
+        self.next_node
+    }
+
+    fn pick_type(&mut self) -> LinkOpType {
+        let x: f64 = self.rng.random_range(0.0..100.0);
+        for (t, cum) in self.cdf {
+            if x < cum {
+                return t;
+            }
+        }
+        LinkOpType::UpdateLink
+    }
+
+    fn payload(&mut self) -> usize {
+        // Uniform in [mean/2, 3*mean/2): bounded, mean-preserving.
+        self.rng.random_range(self.payload_mean / 2..self.payload_mean * 3 / 2)
+    }
+
+    /// Generate the next operation.
+    pub fn next_op(&mut self) -> LinkOp {
+        let op = self.pick_type();
+        let id1 = self.zipf.next(&mut self.rng);
+        let id2 = self.zipf.next(&mut self.rng);
+        let link_type = self.rng.random_range(0..self.link_types);
+        let payload = self.payload();
+        let id1 = if op == LinkOpType::AddNode {
+            let id = self.next_node;
+            self.next_node += 1;
+            self.zipf.grow(self.next_node);
+            id
+        } else {
+            id1
+        };
+        LinkOp { op, id1, id2, link_type, payload }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn mix_matches_configuration() {
+        let mut lb = LinkBench::new(&LinkBenchConfig { initial_nodes: 10_000, ..Default::default() });
+        let n = 200_000;
+        let mut counts: HashMap<LinkOpType, u64> = HashMap::new();
+        for _ in 0..n {
+            *counts.entry(lb.next_op().op).or_default() += 1;
+        }
+        for t in LinkOpType::ALL {
+            let got = *counts.get(&t).unwrap_or(&0) as f64 / n as f64 * 100.0;
+            let want = t.default_mix();
+            assert!(
+                (got - want).abs() < want * 0.2 + 0.3,
+                "{}: got {got:.2}%, want {want}%",
+                t.name()
+            );
+        }
+        let writes: u64 = counts.iter().filter(|(t, _)| t.is_write()).map(|(_, c)| c).sum();
+        let write_pct = writes as f64 / n as f64 * 100.0;
+        assert!((write_pct - 31.0).abs() < 2.0, "write share {write_pct:.1}% should be ~31%");
+    }
+
+    #[test]
+    fn add_node_allocates_fresh_ids() {
+        let mut lb = LinkBench::new(&LinkBenchConfig { initial_nodes: 100, ..Default::default() });
+        let mut seen = std::collections::HashSet::new();
+        let mut adds = 0;
+        for _ in 0..5_000 {
+            let op = lb.next_op();
+            if op.op == LinkOpType::AddNode {
+                assert!(op.id1 >= 100, "AddNode must mint a new id");
+                assert!(seen.insert(op.id1), "duplicate node id {}", op.id1);
+                adds += 1;
+            }
+        }
+        assert!(adds > 0);
+        assert_eq!(lb.node_count(), 100 + adds);
+    }
+
+    #[test]
+    fn deterministic_with_same_seed() {
+        let cfg = LinkBenchConfig { initial_nodes: 1000, seed: 7, ..Default::default() };
+        let mut a = LinkBench::new(&cfg);
+        let mut b = LinkBench::new(&cfg);
+        for _ in 0..500 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+    }
+
+    #[test]
+    fn ids_respect_domain_and_skew() {
+        let mut lb = LinkBench::new(&LinkBenchConfig { initial_nodes: 1000, ..Default::default() });
+        for _ in 0..10_000 {
+            let op = lb.next_op();
+            assert!(op.id1 < lb.node_count());
+            assert!(op.id2 < lb.node_count());
+            assert!(op.link_type < 4);
+            assert!(op.payload >= 48 && op.payload < 144);
+        }
+    }
+
+    #[test]
+    fn names_match_paper_table() {
+        assert_eq!(LinkOpType::GetLinkList.name(), "Get_Link_List");
+        assert_eq!(LinkOpType::AddNode.name(), "Add_Node");
+        assert!(LinkOpType::AddLink.is_write());
+        assert!(!LinkOpType::CountLink.is_write());
+    }
+}

@@ -1,0 +1,136 @@
+//! pgbench-like TPC-B transaction stream.
+//!
+//! The paper's §5.3.1 side experiment measures PostgreSQL's
+//! `full_page_writes` overhead with pgbench. One transaction updates a
+//! random account, its teller and branch, and appends a history row.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One TPC-B style transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PgbenchTxn {
+    /// Account id (the large table).
+    pub aid: u64,
+    /// Teller id.
+    pub tid: u64,
+    /// Branch id.
+    pub bid: u64,
+    /// Balance delta applied to all three rows.
+    pub delta: i64,
+}
+
+/// Scale configuration, mirroring pgbench's `-s` factor.
+#[derive(Debug, Clone)]
+pub struct PgbenchConfig {
+    /// Scale factor: 100k accounts, 10 tellers, 1 branch per unit.
+    pub scale: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PgbenchConfig {
+    fn default() -> Self {
+        Self { scale: 10, seed: 42 }
+    }
+}
+
+impl PgbenchConfig {
+    /// Accounts in the database.
+    pub fn accounts(&self) -> u64 {
+        self.scale * 100_000
+    }
+
+    /// Tellers in the database.
+    pub fn tellers(&self) -> u64 {
+        self.scale * 10
+    }
+
+    /// Branches in the database.
+    pub fn branches(&self) -> u64 {
+        self.scale
+    }
+}
+
+/// Deterministic transaction stream.
+#[derive(Debug)]
+pub struct Pgbench {
+    rng: StdRng,
+    accounts: u64,
+    tellers: u64,
+    branches: u64,
+}
+
+impl Pgbench {
+    /// A stream per `cfg`.
+    pub fn new(cfg: &PgbenchConfig) -> Self {
+        assert!(cfg.scale > 0);
+        Self {
+            rng: StdRng::seed_from_u64(cfg.seed),
+            accounts: cfg.accounts(),
+            tellers: cfg.tellers(),
+            branches: cfg.branches(),
+        }
+    }
+
+    /// Generate the next transaction (uniform key choice, as pgbench).
+    pub fn next_txn(&mut self) -> PgbenchTxn {
+        PgbenchTxn {
+            aid: self.rng.random_range(0..self.accounts),
+            tid: self.rng.random_range(0..self.tellers),
+            bid: self.rng.random_range(0..self.branches),
+            delta: self.rng.random_range(-5000..=5000),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_stay_in_range() {
+        let cfg = PgbenchConfig { scale: 2, seed: 1 };
+        let mut p = Pgbench::new(&cfg);
+        for _ in 0..10_000 {
+            let t = p.next_txn();
+            assert!(t.aid < 200_000);
+            assert!(t.tid < 20);
+            assert!(t.bid < 2);
+            assert!((-5000..=5000).contains(&t.delta));
+        }
+    }
+
+    #[test]
+    fn scale_drives_table_sizes() {
+        let cfg = PgbenchConfig { scale: 3, seed: 0 };
+        assert_eq!(cfg.accounts(), 300_000);
+        assert_eq!(cfg.tellers(), 30);
+        assert_eq!(cfg.branches(), 3);
+    }
+
+    #[test]
+    fn deterministic_with_same_seed() {
+        let cfg = PgbenchConfig::default();
+        let mut a = Pgbench::new(&cfg);
+        let mut b = Pgbench::new(&cfg);
+        for _ in 0..100 {
+            assert_eq!(a.next_txn(), b.next_txn());
+        }
+    }
+
+    #[test]
+    fn accounts_are_roughly_uniform() {
+        let cfg = PgbenchConfig { scale: 1, seed: 5 };
+        let mut p = Pgbench::new(&cfg);
+        let n = 100_000;
+        let mut low_half = 0;
+        for _ in 0..n {
+            if p.next_txn().aid < 50_000 {
+                low_half += 1;
+            }
+        }
+        let share = low_half as f64 / n as f64;
+        assert!((share - 0.5).abs() < 0.02, "uniformity violated: {share}");
+    }
+}

@@ -1,0 +1,288 @@
+//! Block-level I/O traces: synthetic generators and a plain-text format.
+//!
+//! Database-level experiments exercise the FTL through engines; this
+//! module drives it directly, the way FTL papers evaluate with block
+//! traces. Traces can be generated synthetically (sequential / uniform /
+//! Zipfian / mixed) or parsed from a simple text format, one op per line:
+//!
+//! ```text
+//! W 4096        # write LPN 4096
+//! R 17          # read LPN 17
+//! T 100 16      # trim 16 pages starting at LPN 100
+//! F             # flush
+//! ```
+
+use crate::zipf::Zipfian;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One block-level operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceOp {
+    /// Write one page.
+    Write { lpn: u64 },
+    /// Read one page.
+    Read { lpn: u64 },
+    /// Trim a page range.
+    Trim { lpn: u64, len: u64 },
+    /// Flush (fsync).
+    Flush,
+}
+
+impl TraceOp {
+    /// Encode as one text line.
+    pub fn encode(&self) -> String {
+        match self {
+            TraceOp::Write { lpn } => format!("W {lpn}"),
+            TraceOp::Read { lpn } => format!("R {lpn}"),
+            TraceOp::Trim { lpn, len } => format!("T {lpn} {len}"),
+            TraceOp::Flush => "F".to_string(),
+        }
+    }
+
+    /// Parse one text line (comments after `#` ignored).
+    pub fn parse(line: &str) -> Option<TraceOp> {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            return None;
+        }
+        let mut it = line.split_whitespace();
+        let op = match (it.next()?, it.next(), it.next()) {
+            ("W", Some(l), None) => TraceOp::Write { lpn: l.parse().ok()? },
+            ("R", Some(l), None) => TraceOp::Read { lpn: l.parse().ok()? },
+            ("T", Some(l), Some(n)) => {
+                TraceOp::Trim { lpn: l.parse().ok()?, len: n.parse().ok()? }
+            }
+            ("F", None, None) => TraceOp::Flush,
+            _ => return None,
+        };
+        Some(op)
+    }
+}
+
+/// Spatial access pattern of a synthetic trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AccessPattern {
+    /// Strictly increasing LPNs, wrapping at the end.
+    Sequential,
+    /// Uniform random LPNs.
+    Uniform,
+    /// Zipfian-skewed LPNs (hot set).
+    Zipfian {
+        /// Skew parameter in (0, 1); YCSB default 0.99.
+        theta: f64,
+    },
+    /// `seq_fraction` of ops sequential, the rest uniform.
+    Mixed {
+        /// Fraction of sequential operations (0..=1).
+        seq_fraction: f64,
+    },
+}
+
+/// Synthetic trace parameters.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Spatial pattern.
+    pub pattern: AccessPattern,
+    /// Logical address space in pages.
+    pub logical_pages: u64,
+    /// Operations to generate.
+    pub ops: u64,
+    /// Fraction of writes (the rest are reads).
+    pub write_fraction: f64,
+    /// A trim of ~16 pages every N ops (0 = never).
+    pub trim_every: u64,
+    /// A flush every N ops (0 = never).
+    pub flush_every: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self {
+            pattern: AccessPattern::Uniform,
+            logical_pages: 16_384,
+            ops: 100_000,
+            write_fraction: 0.7,
+            trim_every: 0,
+            flush_every: 64,
+            seed: 42,
+        }
+    }
+}
+
+/// Deterministic synthetic trace generator.
+#[derive(Debug)]
+pub struct TraceGen {
+    cfg: TraceConfig,
+    rng: StdRng,
+    zipf: Option<Zipfian>,
+    cursor: u64,
+    emitted: u64,
+}
+
+impl TraceGen {
+    /// A generator per `cfg`.
+    pub fn new(cfg: TraceConfig) -> Self {
+        assert!(cfg.logical_pages > 0);
+        assert!((0.0..=1.0).contains(&cfg.write_fraction));
+        let zipf = match cfg.pattern {
+            AccessPattern::Zipfian { theta } => Some(Zipfian::with_theta(cfg.logical_pages, theta)),
+            _ => None,
+        };
+        Self { rng: StdRng::seed_from_u64(cfg.seed), zipf, cursor: 0, emitted: 0, cfg }
+    }
+
+    fn next_lpn(&mut self) -> u64 {
+        match self.cfg.pattern {
+            AccessPattern::Sequential => {
+                let l = self.cursor;
+                self.cursor = (self.cursor + 1) % self.cfg.logical_pages;
+                l
+            }
+            AccessPattern::Uniform => self.rng.random_range(0..self.cfg.logical_pages),
+            AccessPattern::Zipfian { .. } => {
+                self.zipf.as_ref().expect("zipf built in new").next(&mut self.rng)
+            }
+            AccessPattern::Mixed { seq_fraction } => {
+                if self.rng.random_bool(seq_fraction) {
+                    let l = self.cursor;
+                    self.cursor = (self.cursor + 1) % self.cfg.logical_pages;
+                    l
+                } else {
+                    self.rng.random_range(0..self.cfg.logical_pages)
+                }
+            }
+        }
+    }
+}
+
+impl Iterator for TraceGen {
+    type Item = TraceOp;
+
+    fn next(&mut self) -> Option<TraceOp> {
+        if self.emitted >= self.cfg.ops {
+            return None;
+        }
+        self.emitted += 1;
+        if self.cfg.flush_every > 0 && self.emitted.is_multiple_of(self.cfg.flush_every) {
+            return Some(TraceOp::Flush);
+        }
+        if self.cfg.trim_every > 0 && self.emitted.is_multiple_of(self.cfg.trim_every) {
+            let len = 16.min(self.cfg.logical_pages);
+            let lpn = self.rng.random_range(0..=self.cfg.logical_pages - len);
+            return Some(TraceOp::Trim { lpn, len });
+        }
+        let lpn = self.next_lpn();
+        if self.rng.random_bool(self.cfg.write_fraction) {
+            Some(TraceOp::Write { lpn })
+        } else {
+            Some(TraceOp::Read { lpn })
+        }
+    }
+}
+
+/// Encode a trace into the text format.
+pub fn encode_trace<'a>(ops: impl IntoIterator<Item = &'a TraceOp>) -> String {
+    let mut out = String::new();
+    for op in ops {
+        out.push_str(&op.encode());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse a text trace (skipping blank/comment/bad lines).
+pub fn parse_trace(text: &str) -> Vec<TraceOp> {
+    text.lines().filter_map(TraceOp::parse).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_round_trip() {
+        let ops = vec![
+            TraceOp::Write { lpn: 4096 },
+            TraceOp::Read { lpn: 17 },
+            TraceOp::Trim { lpn: 100, len: 16 },
+            TraceOp::Flush,
+        ];
+        let text = encode_trace(&ops);
+        assert_eq!(parse_trace(&text), ops);
+    }
+
+    #[test]
+    fn parser_skips_junk_and_comments() {
+        let text = "W 1 # hot page\n\n# header\nbogus line\nR 2\nT 3\n";
+        assert_eq!(parse_trace(text), vec![TraceOp::Write { lpn: 1 }, TraceOp::Read { lpn: 2 }]);
+    }
+
+    #[test]
+    fn sequential_pattern_wraps() {
+        let cfg = TraceConfig {
+            pattern: AccessPattern::Sequential,
+            logical_pages: 4,
+            ops: 10,
+            write_fraction: 1.0,
+            flush_every: 0,
+            ..Default::default()
+        };
+        let lpns: Vec<u64> = TraceGen::new(cfg)
+            .filter_map(|op| match op {
+                TraceOp::Write { lpn } => Some(lpn),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lpns, vec![0, 1, 2, 3, 0, 1, 2, 3, 0, 1]);
+    }
+
+    #[test]
+    fn write_fraction_is_respected() {
+        let cfg = TraceConfig { write_fraction: 0.3, ops: 50_000, flush_every: 0, ..Default::default() };
+        let writes = TraceGen::new(cfg)
+            .filter(|op| matches!(op, TraceOp::Write { .. }))
+            .count();
+        let share = writes as f64 / 50_000.0;
+        assert!((share - 0.3).abs() < 0.02, "write share {share}");
+    }
+
+    #[test]
+    fn zipfian_pattern_is_skewed() {
+        let cfg = TraceConfig {
+            pattern: AccessPattern::Zipfian { theta: 0.99 },
+            logical_pages: 10_000,
+            ops: 50_000,
+            write_fraction: 1.0,
+            flush_every: 0,
+            ..Default::default()
+        };
+        let mut low = 0usize;
+        for op in TraceGen::new(cfg) {
+            if let TraceOp::Write { lpn } = op {
+                if lpn < 100 {
+                    low += 1;
+                }
+            }
+        }
+        assert!(low as f64 / 50_000.0 > 0.2, "Zipf head too cold: {low}");
+    }
+
+    #[test]
+    fn flush_and_trim_cadence() {
+        let cfg = TraceConfig { flush_every: 10, trim_every: 7, ops: 1_000, ..Default::default() };
+        let ops: Vec<TraceOp> = TraceGen::new(cfg).collect();
+        assert_eq!(ops.iter().filter(|o| matches!(o, TraceOp::Flush)).count(), 100);
+        assert!(ops.iter().filter(|o| matches!(o, TraceOp::Trim { .. })).count() > 100);
+    }
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let cfg = TraceConfig { ops: 500, ..Default::default() };
+        let a: Vec<TraceOp> = TraceGen::new(cfg.clone()).collect();
+        let b: Vec<TraceOp> = TraceGen::new(cfg).collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,316 @@
+//! YCSB core workloads A and F (Cooper et al., SoCC 2010).
+//!
+//! The paper evaluates Couchbase with the two write-heavy YCSB workloads:
+//! **A** (50 % read / 50 % update) and **F** (100 % read-modify-write),
+//! Zipfian key choice over a fixed record set.
+
+use crate::zipf::{ScrambledZipfian, Zipfian};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A YCSB operation against a key-value store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum YcsbOp {
+    /// Point read.
+    Read { key: u64 },
+    /// Blind overwrite of the whole record.
+    Update { key: u64 },
+    /// Read, then write back (workload F).
+    ReadModifyWrite { key: u64 },
+    /// Insert a fresh record (workloads D and E).
+    Insert { key: u64 },
+    /// Short range scan (workload E).
+    Scan { key: u64, len: u64 },
+}
+
+impl YcsbOp {
+    /// The (first) key touched.
+    pub fn key(self) -> u64 {
+        match self {
+            YcsbOp::Read { key }
+            | YcsbOp::Update { key }
+            | YcsbOp::ReadModifyWrite { key }
+            | YcsbOp::Insert { key }
+            | YcsbOp::Scan { key, .. } => key,
+        }
+    }
+
+    /// Whether the op writes.
+    pub fn is_write(self) -> bool {
+        matches!(
+            self,
+            YcsbOp::Update { .. } | YcsbOp::ReadModifyWrite { .. } | YcsbOp::Insert { .. }
+        )
+    }
+}
+
+/// The six core YCSB workloads. The paper evaluates the two write-heavy
+/// ones (A and F); the rest are provided for completeness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum YcsbWorkload {
+    /// 50 % read, 50 % update.
+    A,
+    /// 95 % read, 5 % update.
+    B,
+    /// 100 % read.
+    C,
+    /// Read latest: 95 % read skewed to recent inserts, 5 % insert.
+    D,
+    /// Short ranges: 95 % scan, 5 % insert.
+    E,
+    /// 100 % read-modify-write.
+    F,
+}
+
+impl YcsbWorkload {
+    /// Display name ("workload-A" .. "workload-F").
+    pub fn name(self) -> &'static str {
+        match self {
+            YcsbWorkload::A => "workload-A",
+            YcsbWorkload::B => "workload-B",
+            YcsbWorkload::C => "workload-C",
+            YcsbWorkload::D => "workload-D",
+            YcsbWorkload::E => "workload-E",
+            YcsbWorkload::F => "workload-F",
+        }
+    }
+
+    /// Whether the workload issues any writes.
+    pub fn has_writes(self) -> bool {
+        !matches!(self, YcsbWorkload::C)
+    }
+}
+
+/// Configuration of the YCSB stream.
+#[derive(Debug, Clone)]
+pub struct YcsbConfig {
+    /// Which workload to run.
+    pub workload: YcsbWorkload,
+    /// Number of records in the database.
+    pub record_count: u64,
+    /// Record (document) size in bytes — 4 KB in the paper.
+    pub record_size: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for YcsbConfig {
+    fn default() -> Self {
+        Self { workload: YcsbWorkload::F, record_count: 250_000, record_size: 4096, seed: 42 }
+    }
+}
+
+/// Deterministic YCSB operation stream.
+#[derive(Debug)]
+pub struct Ycsb {
+    rng: StdRng,
+    zipf: ScrambledZipfian,
+    /// Unscrambled rank distribution for "read latest" (workload D): rank
+    /// 0 maps to the newest key.
+    latest: Zipfian,
+    workload: YcsbWorkload,
+    /// Next fresh key for inserts (workloads D and E).
+    next_insert: u64,
+}
+
+impl Ycsb {
+    /// A stream per `cfg`.
+    pub fn new(cfg: &YcsbConfig) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(cfg.seed),
+            zipf: ScrambledZipfian::new(cfg.record_count),
+            latest: Zipfian::new(cfg.record_count),
+            workload: cfg.workload,
+            next_insert: cfg.record_count,
+        }
+    }
+
+    /// Keys inserted beyond the initial load so far.
+    pub fn inserted(&self) -> u64 {
+        self.next_insert
+    }
+
+    fn insert(&mut self) -> YcsbOp {
+        let key = self.next_insert;
+        self.next_insert += 1;
+        YcsbOp::Insert { key }
+    }
+
+    /// A key skewed toward the most recent inserts ("read latest").
+    fn latest_key(&mut self) -> u64 {
+        let back = self.latest.next(&mut self.rng) % self.next_insert;
+        self.next_insert - 1 - back
+    }
+
+    /// Generate the next operation.
+    pub fn next_op(&mut self) -> YcsbOp {
+        match self.workload {
+            YcsbWorkload::F => YcsbOp::ReadModifyWrite { key: self.zipf.next(&mut self.rng) },
+            YcsbWorkload::A => {
+                let key = self.zipf.next(&mut self.rng);
+                if self.rng.random_bool(0.5) {
+                    YcsbOp::Read { key }
+                } else {
+                    YcsbOp::Update { key }
+                }
+            }
+            YcsbWorkload::B => {
+                let key = self.zipf.next(&mut self.rng);
+                if self.rng.random_bool(0.95) {
+                    YcsbOp::Read { key }
+                } else {
+                    YcsbOp::Update { key }
+                }
+            }
+            YcsbWorkload::C => YcsbOp::Read { key: self.zipf.next(&mut self.rng) },
+            YcsbWorkload::D => {
+                if self.rng.random_bool(0.95) {
+                    YcsbOp::Read { key: self.latest_key() }
+                } else {
+                    self.insert()
+                }
+            }
+            YcsbWorkload::E => {
+                if self.rng.random_bool(0.95) {
+                    YcsbOp::Scan {
+                        key: self.zipf.next(&mut self.rng),
+                        len: self.rng.random_range(1..100),
+                    }
+                } else {
+                    self.insert()
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_f_is_all_rmw() {
+        let mut y = Ycsb::new(&YcsbConfig { record_count: 1000, ..Default::default() });
+        for _ in 0..1000 {
+            let op = y.next_op();
+            assert!(matches!(op, YcsbOp::ReadModifyWrite { .. }));
+            assert!(op.is_write());
+            assert!(op.key() < 1000);
+        }
+    }
+
+    #[test]
+    fn workload_a_is_half_reads() {
+        let mut y = Ycsb::new(&YcsbConfig {
+            workload: YcsbWorkload::A,
+            record_count: 1000,
+            ..Default::default()
+        });
+        let n = 100_000;
+        let writes = (0..n).filter(|_| y.next_op().is_write()).count();
+        let share = writes as f64 / n as f64;
+        assert!((share - 0.5).abs() < 0.02, "write share {share}");
+    }
+
+    #[test]
+    fn keys_are_skewed_but_spread() {
+        let mut y = Ycsb::new(&YcsbConfig { record_count: 10_000, ..Default::default() });
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..50_000 {
+            *counts.entry(y.next_op().key()).or_insert(0u64) += 1;
+        }
+        let max = counts.values().max().copied().unwrap();
+        // Hot key exists (Zipf) but the distinct key set is broad (scramble).
+        assert!(max > 50, "hottest key only {max} hits; expected strong skew");
+        assert!(counts.len() > 2_000, "only {} distinct keys", counts.len());
+    }
+
+    #[test]
+    fn deterministic_with_same_seed() {
+        let cfg = YcsbConfig { record_count: 500, seed: 9, ..Default::default() };
+        let mut a = Ycsb::new(&cfg);
+        let mut b = Ycsb::new(&cfg);
+        for _ in 0..200 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(YcsbWorkload::A.name(), "workload-A");
+        assert_eq!(YcsbWorkload::F.name(), "workload-F");
+        assert_eq!(YcsbWorkload::E.name(), "workload-E");
+        assert!(!YcsbWorkload::C.has_writes());
+        assert!(YcsbWorkload::D.has_writes());
+    }
+
+    #[test]
+    fn workload_b_is_mostly_reads() {
+        let mut y = Ycsb::new(&YcsbConfig {
+            workload: YcsbWorkload::B,
+            record_count: 1000,
+            ..Default::default()
+        });
+        let n = 100_000;
+        let writes = (0..n).filter(|_| y.next_op().is_write()).count();
+        let share = writes as f64 / n as f64;
+        assert!((share - 0.05).abs() < 0.01, "write share {share}");
+    }
+
+    #[test]
+    fn workload_c_never_writes() {
+        let mut y = Ycsb::new(&YcsbConfig {
+            workload: YcsbWorkload::C,
+            record_count: 1000,
+            ..Default::default()
+        });
+        assert!((0..10_000).all(|_| !y.next_op().is_write()));
+    }
+
+    #[test]
+    fn workload_d_inserts_fresh_keys_and_reads_recent() {
+        let mut y = Ycsb::new(&YcsbConfig {
+            workload: YcsbWorkload::D,
+            record_count: 1000,
+            ..Default::default()
+        });
+        let mut inserts = 0u64;
+        let mut recent_reads = 0u64;
+        let mut reads = 0u64;
+        for _ in 0..50_000 {
+            match y.next_op() {
+                YcsbOp::Insert { key } => {
+                    assert_eq!(key, 1000 + inserts, "inserts must mint sequential fresh keys");
+                    inserts += 1;
+                }
+                YcsbOp::Read { key } => {
+                    reads += 1;
+                    if key + 100 >= y.inserted() {
+                        recent_reads += 1;
+                    }
+                }
+                other => panic!("unexpected op {other:?}"),
+            }
+        }
+        assert!(inserts > 1_500);
+        // "Read latest": a large share of reads lands near the insert frontier.
+        assert!(recent_reads as f64 / reads as f64 > 0.3);
+    }
+
+    #[test]
+    fn workload_e_scans_short_ranges() {
+        let mut y = Ycsb::new(&YcsbConfig {
+            workload: YcsbWorkload::E,
+            record_count: 1000,
+            ..Default::default()
+        });
+        let mut scans = 0;
+        for _ in 0..10_000 {
+            if let YcsbOp::Scan { len, .. } = y.next_op() {
+                assert!((1..100).contains(&len));
+                scans += 1;
+            }
+        }
+        assert!(scans > 9_000);
+    }
+}

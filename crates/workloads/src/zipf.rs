@@ -1,0 +1,193 @@
+//! Zipfian key-choice generators (YCSB-style).
+//!
+//! The classic Gray et al. rejection-free Zipfian generator, plus the
+//! scrambled variant YCSB uses so that popular keys are spread over the
+//! keyspace instead of clustering at low ids.
+
+use rand::Rng;
+
+const THETA_DEFAULT: f64 = 0.99;
+
+/// Zipfian generator over `[0, n)` with skew `theta`.
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zeta_n: f64,
+    eta: f64,
+    zeta2: f64,
+}
+
+impl Zipfian {
+    /// A generator over `[0, n)` with the YCSB default skew (0.99).
+    pub fn new(n: u64) -> Self {
+        Self::with_theta(n, THETA_DEFAULT)
+    }
+
+    /// A generator with explicit skew; `theta` in (0, 1).
+    pub fn with_theta(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "domain must be non-empty");
+        assert!(theta > 0.0 && theta < 1.0, "theta must be in (0, 1)");
+        let zeta_n = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zeta_n);
+        Self { n, theta, alpha, zeta_n, eta, zeta2 }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Direct sum; domains here are ≤ a few million and construction is
+        // one-off per experiment.
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+
+    /// Domain size.
+    pub fn domain(&self) -> u64 {
+        self.n
+    }
+
+    /// Next Zipf-distributed value in `[0, n)`; rank 0 is the most popular.
+    pub fn next<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.random();
+        let uz = u * self.zeta_n;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        ((self.n as f64) * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64
+    }
+
+    /// Grow the domain (e.g. after inserts), keeping the zeta sum exact.
+    pub fn grow(&mut self, new_n: u64) {
+        assert!(new_n >= self.n);
+        if new_n == self.n {
+            return;
+        }
+        for i in self.n + 1..=new_n {
+            self.zeta_n += 1.0 / (i as f64).powf(self.theta);
+        }
+        self.n = new_n;
+        self.eta = (1.0 - (2.0 / self.n as f64).powf(1.0 - self.theta))
+            / (1.0 - self.zeta2 / self.zeta_n);
+    }
+}
+
+/// FNV-1a 64-bit hash, used to scramble Zipfian ranks over the keyspace.
+#[inline]
+pub fn fnv1a(mut x: u64) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for _ in 0..8 {
+        h ^= x & 0xFF;
+        h = h.wrapping_mul(0x1_0000_01B3);
+        x >>= 8;
+    }
+    h
+}
+
+/// Scrambled Zipfian: popular items are hashed across `[0, n)`.
+#[derive(Debug, Clone)]
+pub struct ScrambledZipfian {
+    inner: Zipfian,
+}
+
+impl ScrambledZipfian {
+    /// A scrambled generator over `[0, n)`.
+    pub fn new(n: u64) -> Self {
+        Self { inner: Zipfian::new(n) }
+    }
+
+    /// Domain size.
+    pub fn domain(&self) -> u64 {
+        self.inner.domain()
+    }
+
+    /// Next key in `[0, n)`.
+    pub fn next<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        fnv1a(self.inner.next(rng)) % self.inner.domain()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn values_stay_in_domain() {
+        let z = Zipfian::new(1000);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(z.next(&mut rng) < 1000);
+        }
+        let s = ScrambledZipfian::new(1000);
+        for _ in 0..10_000 {
+            assert!(s.next(&mut rng) < 1000);
+        }
+    }
+
+    #[test]
+    fn zipfian_is_skewed_toward_low_ranks() {
+        let z = Zipfian::new(10_000);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut top10 = 0u64;
+        let total = 100_000;
+        for _ in 0..total {
+            if z.next(&mut rng) < 10 {
+                top10 += 1;
+            }
+        }
+        // With theta 0.99 over 10k items, the top-10 ranks draw a large
+        // share (analytically ~28 %); uniform would give 0.1 %.
+        let share = top10 as f64 / total as f64;
+        assert!(share > 0.15, "top-10 share {share} too small for Zipf");
+    }
+
+    #[test]
+    fn scrambling_spreads_the_hot_keys() {
+        let s = ScrambledZipfian::new(10_000);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut low = 0u64;
+        let total = 100_000;
+        for _ in 0..total {
+            if s.next(&mut rng) < 10 {
+                low += 1;
+            }
+        }
+        // After scrambling, ids < 10 are no longer special.
+        let share = low as f64 / total as f64;
+        assert!(share < 0.05, "scrambled share {share} still clustered");
+    }
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let z = Zipfian::new(500);
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert_eq!(z.next(&mut a), z.next(&mut b));
+        }
+    }
+
+    #[test]
+    fn grow_extends_domain() {
+        let mut z = Zipfian::new(100);
+        z.grow(200);
+        assert_eq!(z.domain(), 200);
+        let fresh = Zipfian::new(200);
+        assert!((z.zeta_n - fresh.zeta_n).abs() < 1e-9, "incremental zeta must match");
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(z.next(&mut rng) < 200);
+        }
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        assert_eq!(fnv1a(0), fnv1a(0));
+        assert_ne!(fnv1a(1), fnv1a(2));
+    }
+}

@@ -1,0 +1,101 @@
+//! Power-loss injection through the full stack: NAND → FTL → file system →
+//! storage engine, demonstrating why the double write (or SHARE) exists.
+//!
+//! The demo crashes a database mid-flush on a conventional SSD without a
+//! double-write buffer (torn page, unrecoverable), then repeats the crash
+//! on the SHARE device, where the remap is atomic and recovery succeeds.
+//!
+//! Run with: `cargo run --example crash_recovery`
+
+use mini_innodb::{standard_log_device, EngineError, FlushMode, InnoDb, InnoDbConfig};
+use nand_sim::{FaultMode, SimClock};
+use share_core::{Ftl, FtlConfig, SimpleSsd};
+
+const ROWS: u64 = 400;
+
+fn engine_cfg(mode: FlushMode) -> InnoDbConfig {
+    InnoDbConfig {
+        mode,
+        pool_pages: 16, // tiny pool: every round rewrites pages on disk
+        flush_batch: 8,
+        max_pages: 2_048,
+        ..Default::default()
+    }
+}
+
+fn load<D: share_core::BlockDevice>(db: &mut InnoDb<D>) -> Result<(), EngineError> {
+    for i in 0..ROWS {
+        db.update_node(i, &[1u8; 512])?;
+    }
+    db.checkpoint()
+}
+
+fn churn<D: share_core::BlockDevice>(db: &mut InnoDb<D>) -> Result<(), EngineError> {
+    for round in 0..50u64 {
+        for i in 0..ROWS {
+            db.update_node(i, &[(round + 2) as u8; 512])?;
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    // --- act 1: conventional SSD, no double-write buffer -------------------
+    println!("act 1: DWB-Off on a conventional SSD, power loss mid-flush");
+    let mut torn_found = false;
+    for crash_at in (5..200u64).step_by(3) {
+        let clock = SimClock::new();
+        let dev = SimpleSsd::new(4096, 8192, clock.clone());
+        let log = standard_log_device(clock);
+        let mut db = InnoDb::create(dev, log, engine_cfg(FlushMode::DwbOff)).unwrap();
+        load(&mut db).unwrap();
+        db.fs_mut().device_mut().fault_handle().arm_after_programs(crash_at, FaultMode::TornHalf);
+        let _ = churn(&mut db); // dies at the injected power loss
+        db.fs_mut().device_mut().fault_handle().disarm();
+        let (mut data, log) = db.into_devices();
+        data.power_cycle();
+        match InnoDb::open(data, log, engine_cfg(FlushMode::DwbOff)) {
+            Ok(mut db2) => {
+                for i in 0..ROWS {
+                    if let Err(EngineError::TornPage { page_no }) = db2.get_node(i) {
+                        println!("  crash after write #{crash_at}: page {page_no} is TORN — half old, half new, no copy to repair it");
+                        torn_found = true;
+                        break;
+                    }
+                }
+            }
+            Err(EngineError::TornPage { page_no }) => {
+                println!("  crash after write #{crash_at}: recovery itself hit torn page {page_no}");
+                torn_found = true;
+            }
+            Err(_) => {}
+        }
+        if torn_found {
+            break;
+        }
+    }
+    assert!(torn_found, "expected to demonstrate a torn page");
+
+    // --- act 2: the SHARE device ------------------------------------------
+    println!("\nact 2: SHARE mode on the remapping FTL, same crash campaign");
+    let ftl_cfg = || FtlConfig::for_capacity(24 << 20, 0.3);
+    for crash_at in (50..2_000u64).step_by(333) {
+        let dev = Ftl::new(ftl_cfg());
+        let log = standard_log_device(share_core::BlockDevice::clock(&dev).clone());
+        let mut db = InnoDb::create(dev, log, engine_cfg(FlushMode::Share)).unwrap();
+        load(&mut db).unwrap();
+        db.fs_mut().device_mut().fault_handle().arm_after_programs(crash_at, FaultMode::TornHalf);
+        let _ = churn(&mut db);
+        db.fs_mut().device_mut().fault_handle().disarm();
+        let (data, log) = db.into_devices();
+        let data = Ftl::open(ftl_cfg(), data.into_nand()).expect("device recovery");
+        let mut db2 =
+            InnoDb::open(data, log, engine_cfg(FlushMode::Share)).expect("engine recovery");
+        for i in 0..ROWS {
+            let v = db2.get_node(i).expect("no torn pages").expect("row exists");
+            assert!(v.iter().all(|&b| b == v[0]), "content must be one intact version");
+        }
+        println!("  crash after program #{crash_at}: recovered, all {ROWS} rows intact");
+    }
+    println!("\nSHARE gives the write savings of DWB-Off with the safety of DWB-On.");
+}

@@ -1,0 +1,39 @@
+//! # share-repro — the SHARE paper reproduction, in one crate
+//!
+//! Facade over the workspace implementing *"SHARE Interface in Flash
+//! Storage for Relational and NoSQL Databases"* (SIGMOD 2016). Each module
+//! re-exports one crate of the stack, bottom-up:
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`nand`] | `nand-sim` | NAND flash array simulator (the medium) |
+//! | [`core`] | `share-core` | the SHARE FTL — the paper's contribution |
+//! | [`vfs`] | `share-vfs` | extent file system with the SHARE ioctl |
+//! | [`innodb`] | `mini-innodb` | InnoDB-style engine (double-write vs SHARE) |
+//! | [`couch`] | `mini-couch` | couchstore-style engine (wandering tree vs SHARE) |
+//! | [`pg`] | `mini-pg` | PostgreSQL-style WAL engine (full_page_writes) |
+//! | [`sqlite`] | `mini-sqlite` | SQLite-style pager (the paper's future work) |
+//! | [`workloads`] | `share-workloads` | LinkBench / YCSB / pgbench / block traces |
+//!
+//! The experiment harness reproducing every table and figure lives in the
+//! `share-bench` crate; see `EXPERIMENTS.md` at the repository root for
+//! the paper-vs-measured record, and `examples/` for runnable tours.
+//!
+//! ```
+//! use share_repro::core::{BlockDevice, Ftl, FtlConfig, Lpn, SharePair};
+//!
+//! let mut dev = Ftl::new(FtlConfig::for_capacity(16 << 20, 0.2));
+//! let page = vec![1u8; dev.page_size()];
+//! dev.write(Lpn(500), &page).unwrap();
+//! dev.share(&[SharePair::new(Lpn(0), Lpn(500))]).unwrap();
+//! assert_eq!(dev.refcount_of(Lpn(0)), 2); // two LPNs, one physical page
+//! ```
+
+pub use mini_couch as couch;
+pub use mini_innodb as innodb;
+pub use mini_pg as pg;
+pub use mini_sqlite as sqlite;
+pub use nand_sim as nand;
+pub use share_core as core;
+pub use share_vfs as vfs;
+pub use share_workloads as workloads;

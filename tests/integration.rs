@@ -1,0 +1,175 @@
+//! Workspace-level integration tests: the whole stack wired together
+//! through the facade crate's re-exports.
+
+use share_repro::core::{BlockDevice, Ftl, FtlConfig, Lpn, SharePair};
+use share_repro::couch::{CouchConfig, CouchMode, CouchStore};
+use share_repro::innodb::{standard_log_device, FlushMode, InnoDb, InnoDbConfig};
+use share_repro::nand::NandTiming;
+use share_repro::pg::{FpwMode, MiniPg, PgConfig};
+use share_repro::vfs::{Vfs, VfsOptions};
+use share_repro::workloads::{LinkBench, LinkBenchConfig, Ycsb, YcsbConfig, YcsbWorkload};
+
+fn ftl(mb: u64) -> Ftl {
+    Ftl::new(FtlConfig::for_capacity_with(mb << 20, 0.3, 4096, 64, NandTiming::zero()))
+}
+
+#[test]
+fn facade_reexports_wire_together() {
+    let mut dev = ftl(8);
+    let page = vec![9u8; dev.page_size()];
+    dev.write(Lpn(1), &page).unwrap();
+    dev.share(&[SharePair::new(Lpn(0), Lpn(1))]).unwrap();
+    let mut buf = vec![0u8; dev.page_size()];
+    dev.read(Lpn(0), &mut buf).unwrap();
+    assert_eq!(buf, page);
+}
+
+#[test]
+fn linkbench_stream_drives_innodb_end_to_end() {
+    let dev = ftl(32);
+    let log = standard_log_device(dev.clock().clone());
+    let cfg = InnoDbConfig {
+        mode: FlushMode::Share,
+        pool_pages: 128,
+        max_pages: 6_000,
+        ..Default::default()
+    };
+    let mut db = InnoDb::create(dev, log, cfg).unwrap();
+    for id in 0..500u64 {
+        db.add_node(id, b"node").unwrap();
+    }
+    let mut lb = LinkBench::new(&LinkBenchConfig { initial_nodes: 500, ..Default::default() });
+    for _ in 0..2_000 {
+        let op = lb.next_op();
+        use share_repro::workloads::LinkOpType::*;
+        match op.op {
+            GetNode => {
+                db.get_node(op.id1).unwrap();
+            }
+            CountLink => {
+                db.count_link(op.id1, op.link_type).unwrap();
+            }
+            MultigetLink => {
+                db.multiget_link(op.id1, op.link_type, &[op.id2]).unwrap();
+            }
+            GetLinkList => {
+                db.get_link_list(op.id1, op.link_type).unwrap();
+            }
+            AddNode => db.add_node(op.id1, b"n").unwrap(),
+            UpdateNode => db.update_node(op.id1, b"n2").unwrap(),
+            DeleteNode => {
+                db.delete_node(op.id1).unwrap();
+            }
+            AddLink => db.add_link(op.id1, op.link_type, op.id2, b"l").unwrap(),
+            DeleteLink => {
+                db.delete_link(op.id1, op.link_type, op.id2).unwrap();
+            }
+            UpdateLink => db.update_link(op.id1, op.link_type, op.id2, b"l2").unwrap(),
+        }
+    }
+    db.checkpoint().unwrap();
+    assert!(db.data_device_stats().host_writes > 0);
+    assert!(db.data_device_stats().share_commands > 0, "SHARE mode must issue shares");
+}
+
+#[test]
+fn ycsb_stream_drives_couch_end_to_end() {
+    let fs = Vfs::format(ftl(64), VfsOptions::default()).unwrap();
+    let mut store = CouchStore::create(
+        fs,
+        "it.couch",
+        CouchConfig { mode: CouchMode::Share, batch_size: 8, node_max_entries: 16, ..Default::default() },
+    )
+    .unwrap();
+    for key in 0..1_000u64 {
+        store.save(key, &vec![1u8; 1_000]).unwrap();
+    }
+    store.commit().unwrap();
+    let mut gen = Ycsb::new(&YcsbConfig {
+        workload: YcsbWorkload::F,
+        record_count: 1_000,
+        record_size: 1_000,
+        seed: 1,
+    });
+    for _ in 0..2_000 {
+        let op = gen.next_op();
+        let _ = store.get(op.key()).unwrap();
+        store.save(op.key(), &vec![2u8; 1_000]).unwrap();
+    }
+    store.commit().unwrap();
+    assert!(store.stats().share_remaps > 0);
+    let report = store.compact().unwrap();
+    assert!(report.zero_copy);
+    assert_eq!(store.doc_count(), 1_000);
+}
+
+#[test]
+fn pg_runs_on_the_share_device() {
+    let mut pg = MiniPg::create(
+        ftl(96),
+        PgConfig { mode: FpwMode::Share, checkpoint_txns: 200, ..Default::default() },
+    )
+    .unwrap();
+    for i in 0..500u64 {
+        pg.run_txn(i * 13 % 100_000, i % 10, 0, 5).unwrap();
+    }
+    assert_eq!(pg.stats().txns, 500);
+    assert!(pg.device_stats().share_commands > 0);
+}
+
+#[test]
+fn two_engines_share_one_timeline() {
+    // The paper's testbed: one experiment, several devices, one clock.
+    let data = ftl(32);
+    let clock = data.clock().clone();
+    let log = standard_log_device(clock.clone());
+    let mut db = InnoDb::create(
+        data,
+        log,
+        InnoDbConfig { pool_pages: 64, max_pages: 2_000, ..Default::default() },
+    )
+    .unwrap();
+    let t0 = clock.now_ns();
+    for i in 0..100u64 {
+        db.add_node(i, b"x").unwrap();
+    }
+    assert!(clock.now_ns() > t0, "engine activity must advance the shared clock");
+}
+
+#[test]
+fn full_crash_cycle_through_every_layer() {
+    let fcfg = FtlConfig::for_capacity_with(16 << 20, 0.3, 4096, 64, NandTiming::zero());
+    let fs = Vfs::format(Ftl::new(fcfg.clone()), VfsOptions::default()).unwrap();
+    let mut store = CouchStore::create(
+        fs,
+        "crash.couch",
+        CouchConfig { mode: CouchMode::Share, batch_size: 4, node_max_entries: 16, ..Default::default() },
+    )
+    .unwrap();
+    for key in 0..200u64 {
+        store.save(key, &vec![7u8; 500]).unwrap();
+    }
+    store.commit().unwrap();
+    // Crash mid-update-storm.
+    store
+        .fs_mut()
+        .device_mut()
+        .fault_handle()
+        .arm_after_programs(300, share_repro::nand::FaultMode::TornHalf);
+    'outer: for round in 0..50u64 {
+        for key in 0..200u64 {
+            if store.save(key, &vec![(round + 8) as u8; 500]).is_err() {
+                break 'outer;
+            }
+        }
+    }
+    // Recover every layer bottom-up: NAND -> FTL -> VFS -> engine.
+    let nand = store.into_fs().into_device().into_nand();
+    let dev = Ftl::open(fcfg, nand).unwrap();
+    let fs = Vfs::open(dev, VfsOptions::default()).unwrap();
+    let mut store = CouchStore::open(fs, "crash.couch", CouchConfig::default()).unwrap();
+    for key in 0..200u64 {
+        let doc = store.get(key).unwrap().expect("doc present");
+        assert!(doc.iter().all(|&b| b == doc[0]), "no torn documents");
+    }
+}
