@@ -1,9 +1,10 @@
-//! Criterion micro-benchmarks of the two storage engines' hot paths.
+//! Micro-benchmarks of the two storage engines' hot paths (in-repo timing
+//! harness; see `share_bench::timing`).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use mini_couch::{CouchConfig, CouchMode, CouchStore};
 use mini_innodb::{standard_log_device, FlushMode, InnoDb, InnoDbConfig};
 use nand_sim::NandTiming;
+use share_bench::timing::Group;
 use share_core::{BlockDevice, Ftl, FtlConfig};
 use share_vfs::{Vfs, VfsOptions};
 use std::hint::black_box;
@@ -16,70 +17,64 @@ fn innodb(mode: FlushMode) -> InnoDb<Ftl> {
     InnoDb::create(dev, log, cfg).unwrap()
 }
 
-fn bench_innodb(c: &mut Criterion) {
-    let mut g = c.benchmark_group("innodb");
-    g.sample_size(30);
-    g.throughput(Throughput::Elements(1));
+fn bench_innodb(g: &mut Group) {
+    g.sample_size(30).throughput_elements(1);
     for mode in [FlushMode::DwbOn, FlushMode::Share] {
-        g.bench_function(format!("update_node_{}", mode.label()), |b| {
-            let mut db = innodb(mode);
-            for i in 0..5_000u64 {
-                db.update_node(i, &[1u8; 64]).unwrap();
-            }
-            let mut i = 0u64;
-            b.iter(|| {
-                db.update_node(black_box(i % 5_000), &[2u8; 64]).unwrap();
-                i += 1;
-            });
+        let mut db = innodb(mode);
+        for i in 0..5_000u64 {
+            db.update_node(i, &[1u8; 64]).unwrap();
+        }
+        let mut i = 0u64;
+        g.bench_function(format!("update_node_{}", mode.label()), || {
+            db.update_node(black_box(i % 5_000), &[2u8; 64]).unwrap();
+            i += 1;
         });
     }
-    g.bench_function("get_node_cached", |b| {
+    {
         let mut db = innodb(FlushMode::Share);
         for i in 0..1_000u64 {
             db.update_node(i, &[1u8; 64]).unwrap();
         }
         let mut i = 0u64;
-        b.iter(|| {
+        g.bench_function("get_node_cached", || {
             black_box(db.get_node(i % 1_000).unwrap());
             i += 1;
         });
-    });
-    g.finish();
-}
-
-fn bench_couch(c: &mut Criterion) {
-    let mut g = c.benchmark_group("couch");
-    g.sample_size(10);
-    g.throughput(Throughput::Elements(1));
-    for mode in [CouchMode::Original, CouchMode::Share] {
-        g.bench_function(format!("save_{}", mode.label()), |b| {
-            b.iter_batched(
-                || {
-                    let fcfg =
-                        FtlConfig::for_capacity_with(64 << 20, 0.2, 4096, 128, NandTiming::zero());
-                    let fs = Vfs::format(Ftl::new(fcfg), VfsOptions::default()).unwrap();
-                    let mut s = CouchStore::create(
-                        fs,
-                        "bench.couch",
-                        CouchConfig { mode, batch_size: 1, node_max_entries: 22, ..Default::default() },
-                    )
-                    .unwrap();
-                    for k in 0..500u64 {
-                        s.save(k, &[1u8; 1000]).unwrap();
-                    }
-                    s
-                },
-                |mut s| {
-                    for k in 0..200u64 {
-                        s.save(k, black_box(&[2u8; 1000])).unwrap();
-                    }
-                },
-                BatchSize::LargeInput,
-            );
-        });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_innodb, bench_couch);
-criterion_main!(benches);
+fn bench_couch(g: &mut Group) {
+    g.sample_size(10).throughput_elements(200);
+    for mode in [CouchMode::Original, CouchMode::Share] {
+        g.bench_batched(
+            format!("save_{}", mode.label()),
+            || {
+                let fcfg =
+                    FtlConfig::for_capacity_with(64 << 20, 0.2, 4096, 128, NandTiming::zero());
+                let fs = Vfs::format(Ftl::new(fcfg), VfsOptions::default()).unwrap();
+                let mut s = CouchStore::create(
+                    fs,
+                    "bench.couch",
+                    CouchConfig { mode, batch_size: 1, node_max_entries: 22, ..Default::default() },
+                )
+                .unwrap();
+                for k in 0..500u64 {
+                    s.save(k, &[1u8; 1000]).unwrap();
+                }
+                s
+            },
+            |mut s| {
+                for k in 0..200u64 {
+                    s.save(k, black_box(&[2u8; 1000])).unwrap();
+                }
+            },
+        );
+    }
+}
+
+fn main() {
+    share_bench::timing::main_with(
+        "engine_ops",
+        &mut [("innodb", &mut bench_innodb), ("couch", &mut bench_couch)],
+    );
+}

@@ -1,12 +1,13 @@
-//! Criterion micro-benchmarks of the FTL primitives.
+//! Micro-benchmarks of the FTL primitives (in-repo timing harness; see
+//! `share_bench::timing`).
 //!
 //! These measure *implementation* cost (wall-clock per simulated command),
 //! not simulated latency — a sanity check that the simulator itself is
 //! fast enough to drive the full experiments, and a regression guard on
 //! the hot paths (mapping update, share batch, GC-pressured write).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use nand_sim::NandTiming;
+use share_bench::timing::Group;
 use share_core::{BlockDevice, Ftl, FtlConfig, Lpn, SharePair};
 use std::hint::black_box;
 
@@ -15,21 +16,19 @@ fn small_dev() -> Ftl {
     Ftl::new(cfg)
 }
 
-fn bench_write(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ftl");
-    g.sample_size(30);
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("write_4k", |b| {
+fn bench_write(g: &mut Group) {
+    g.sample_size(30).throughput_elements(1);
+    {
         let mut dev = small_dev();
         let img = vec![0xA5u8; dev.page_size()];
         let cap = dev.capacity_pages();
         let mut i = 0u64;
-        b.iter(|| {
+        g.bench_function("write_4k", || {
             dev.write(Lpn(i % cap), black_box(&img)).unwrap();
             i += 1;
         });
-    });
-    g.bench_function("read_4k_hit", |b| {
+    }
+    {
         let mut dev = small_dev();
         let img = vec![0x5Au8; dev.page_size()];
         for i in 0..1024u64 {
@@ -37,75 +36,70 @@ fn bench_write(c: &mut Criterion) {
         }
         let mut buf = vec![0u8; dev.page_size()];
         let mut i = 0u64;
-        b.iter(|| {
+        g.bench_function("read_4k_hit", || {
             dev.read(Lpn(i % 1024), &mut buf).unwrap();
             i += 1;
         });
-    });
-    g.bench_function("trim", |b| {
+    }
+    {
         let mut dev = small_dev();
         let img = vec![1u8; dev.page_size()];
         let cap = dev.capacity_pages();
         let mut i = 0u64;
-        b.iter(|| {
+        g.bench_function("trim", || {
             let l = i % cap;
             dev.write(Lpn(l), &img).unwrap();
             dev.trim(Lpn(l), 1).unwrap();
             i += 1;
         });
-    });
-    g.finish();
+    }
 }
 
-fn bench_share(c: &mut Criterion) {
-    let mut g = c.benchmark_group("share");
+fn bench_share(g: &mut Group) {
     g.sample_size(20);
     for batch in [1usize, 64, 254] {
-        g.throughput(Throughput::Elements(batch as u64));
-        g.bench_function(format!("batch_{batch}"), |b| {
-            b.iter_batched(
-                || {
-                    let mut dev = small_dev();
-                    let img = vec![7u8; dev.page_size()];
-                    for i in 0..batch as u64 {
-                        dev.write(Lpn(4096 + i), &img).unwrap();
-                    }
-                    let pairs: Vec<SharePair> =
-                        (0..batch as u64).map(|i| SharePair::new(Lpn(i), Lpn(4096 + i))).collect();
-                    (dev, pairs)
-                },
-                |(mut dev, pairs)| dev.share(black_box(&pairs)).unwrap(),
-                BatchSize::SmallInput,
-            );
-        });
-    }
-    g.finish();
-}
-
-fn bench_gc_pressure(c: &mut Criterion) {
-    let mut g = c.benchmark_group("gc");
-    g.sample_size(10);
-    g.bench_function("overwrite_churn_2x", |b| {
-        b.iter_batched(
+        g.throughput_elements(batch as u64);
+        g.bench_batched(
+            format!("batch_{batch}"),
             || {
-                let cfg = FtlConfig::for_capacity_with(8 << 20, 0.15, 4096, 64, NandTiming::zero());
-                Ftl::new(cfg)
-            },
-            |mut dev| {
-                let img = vec![3u8; dev.page_size()];
-                let cap = dev.capacity_pages();
-                for round in 0..2u64 {
-                    for i in 0..cap {
-                        dev.write(Lpn((i * 31 + round) % cap), &img).unwrap();
-                    }
+                let mut dev = small_dev();
+                let img = vec![7u8; dev.page_size()];
+                for i in 0..batch as u64 {
+                    dev.write(Lpn(4096 + i), &img).unwrap();
                 }
-                black_box(dev.stats().gc_events)
+                let pairs: Vec<SharePair> =
+                    (0..batch as u64).map(|i| SharePair::new(Lpn(i), Lpn(4096 + i))).collect();
+                (dev, pairs)
             },
-            BatchSize::SmallInput,
+            |(mut dev, pairs)| dev.share(black_box(&pairs)).unwrap(),
         );
-    });
-    g.finish();
+    }
 }
 
-criterion_group!(benches, bench_write, bench_share, bench_gc_pressure);
-criterion_main!(benches);
+fn bench_gc_pressure(g: &mut Group) {
+    g.sample_size(10).throughput_elements(0);
+    g.bench_batched(
+        "overwrite_churn_2x",
+        || {
+            let cfg = FtlConfig::for_capacity_with(8 << 20, 0.15, 4096, 64, NandTiming::zero());
+            Ftl::new(cfg)
+        },
+        |mut dev| {
+            let img = vec![3u8; dev.page_size()];
+            let cap = dev.capacity_pages();
+            for round in 0..2u64 {
+                for i in 0..cap {
+                    dev.write(Lpn((i * 31 + round) % cap), &img).unwrap();
+                }
+            }
+            black_box(dev.stats().gc_events)
+        },
+    );
+}
+
+fn main() {
+    share_bench::timing::main_with(
+        "ftl_ops",
+        &mut [("ftl", &mut bench_write), ("share", &mut bench_share), ("gc", &mut bench_gc_pressure)],
+    );
+}

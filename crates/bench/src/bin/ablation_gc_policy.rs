@@ -5,8 +5,7 @@
 //! ablation shows how much of that effect the victim policy itself is
 //! worth, under uniform and skewed overwrite churn.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use share_rng::{Rng, StdRng};
 use share_bench::{f, print_table};
 use share_core::{BlockDevice, Ftl, FtlConfig, GcPolicy, Lpn};
 use share_workloads::Zipfian;

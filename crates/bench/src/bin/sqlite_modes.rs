@@ -8,8 +8,7 @@
 
 use mini_sqlite::{JournalMode, MiniSqlite, SqliteConfig};
 use nand_sim::NandTiming;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use share_rng::{Rng, StdRng};
 use share_bench::{f, mb, print_table, scaled};
 use share_core::{Ftl, FtlConfig};
 

@@ -12,6 +12,7 @@ pub mod linkbench_driver;
 #[cfg(test)]
 mod tests;
 pub mod table;
+pub mod timing;
 pub mod ycsb_driver;
 
 pub use linkbench_driver::{run_linkbench, LinkBenchResult, LinkBenchRun};

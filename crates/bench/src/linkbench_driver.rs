@@ -2,8 +2,7 @@
 
 use mini_innodb::{standard_log_device, FlushMode, InnoDb, InnoDbConfig};
 use nand_sim::NandTiming;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use share_rng::{Rng, StdRng};
 use share_core::{BlockDevice, DeviceStats, Ftl, FtlConfig, GcPolicy, RevMapPolicy};
 use share_workloads::{LatencyRecorder, LinkBench, LinkBenchConfig, LinkOpType};
 

@@ -2,8 +2,7 @@
 
 use mini_couch::{CompactionReport, CouchConfig, CouchMode, CouchStore};
 use nand_sim::NandTiming;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use share_rng::{Rng, StdRng};
 use share_core::{DeviceStats, Ftl, FtlConfig};
 use share_vfs::{Vfs, VfsOptions};
 use share_workloads::{Ycsb, YcsbConfig, YcsbOp, YcsbWorkload};

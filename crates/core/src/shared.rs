@@ -11,8 +11,7 @@ use crate::error::FtlError;
 use crate::stats::DeviceStats;
 use crate::types::{Lpn, SharePair};
 use nand_sim::SimClock;
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// A cloneable, `Send + Sync` handle to a shared block device.
 #[derive(Debug)]
@@ -34,64 +33,71 @@ impl<D: BlockDevice> SharedDevice<D> {
         Self { inner: Arc::new(Mutex::new(device)), clock }
     }
 
+    /// Lock the device, ignoring poison: a panicking host thread models a
+    /// host crash, and crash-time device state is exactly what the
+    /// recovery tests want to observe (parking_lot behaved the same way).
+    fn lock(&self) -> MutexGuard<'_, D> {
+        self.inner.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
     /// Run `f` with exclusive access to the device (multi-command
     /// critical sections, statistics snapshots, fault injection).
     pub fn with<R>(&self, f: impl FnOnce(&mut D) -> R) -> R {
-        f(&mut self.inner.lock())
+        f(&mut self.lock())
     }
 
     /// Unwrap the device (fails if other handles are alive).
     pub fn try_into_inner(self) -> Result<D, Self> {
         let clock = self.clock.clone();
         Arc::try_unwrap(self.inner)
-            .map(Mutex::into_inner)
+            .map(|m| m.into_inner().unwrap_or_else(|poisoned| poisoned.into_inner()))
             .map_err(|inner| Self { inner, clock })
     }
 }
 
 impl<D: BlockDevice> BlockDevice for SharedDevice<D> {
     fn page_size(&self) -> usize {
-        self.inner.lock().page_size()
+        self.lock().page_size()
     }
 
     fn capacity_pages(&self) -> u64 {
-        self.inner.lock().capacity_pages()
+        self.lock().capacity_pages()
     }
 
     fn read(&mut self, lpn: Lpn, buf: &mut [u8]) -> Result<(), FtlError> {
-        self.inner.lock().read(lpn, buf)
+        self.lock().read(lpn, buf)
     }
 
     fn write(&mut self, lpn: Lpn, data: &[u8]) -> Result<(), FtlError> {
-        self.inner.lock().write(lpn, data)
+        self.lock().write(lpn, data)
     }
 
     fn flush(&mut self) -> Result<(), FtlError> {
-        self.inner.lock().flush()
+        self.lock().flush()
     }
 
     fn trim(&mut self, lpn: Lpn, len: u64) -> Result<(), FtlError> {
-        self.inner.lock().trim(lpn, len)
+        self.lock().trim(lpn, len)
     }
 
     fn share(&mut self, pairs: &[SharePair]) -> Result<(), FtlError> {
-        self.inner.lock().share(pairs)
+        self.lock().share(pairs)
     }
 
     fn write_atomic(&mut self, pages: &[(Lpn, &[u8])]) -> Result<(), FtlError> {
-        self.inner.lock().write_atomic(pages)
+        self.lock().write_atomic(pages)
     }
 
     fn write_atomic_limit(&self) -> usize {
-        self.inner.lock().write_atomic_limit()
+        self.lock().write_atomic_limit()
     }
 
     fn share_batch_limit(&self) -> usize {
-        self.inner.lock().share_batch_limit()
+        self.lock().share_batch_limit()
     }
 
     fn stats(&self) -> DeviceStats {
-        self.inner.lock().stats()
+        self.lock().stats()
     }
 
     fn clock(&self) -> &SimClock {

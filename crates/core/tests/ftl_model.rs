@@ -1,0 +1,110 @@
+//! Model tests: the FTL against a shadow model, via deterministic seeded
+//! op-sequence sweeps (no external property-testing framework; see
+//! `share_rng::sweep`).
+//!
+//! A `Vec<Option<u8>>` shadow tracks what every logical page should read.
+//! Seeded interleavings of write / overwrite / trim / share / flush —
+//! with GC running underneath — must never diverge from the model, and
+//! mapping invariants must hold at every step. Every case is a pure
+//! function of the suite name and case index, so a failure message names
+//! everything needed to reproduce it.
+
+mod ftl_ops;
+
+use ftl_ops::{gen_ops, run_crash_case, Op, LOGICAL_PAGES};
+use share_core::{BlockDevice, Ftl, FtlConfig, FtlError, Lpn, SharePair};
+use share_rng::{sweep, Rng};
+
+fn cfg() -> FtlConfig {
+    ftl_ops::cfg()
+}
+
+fn apply_model(model: &mut Vec<Option<u8>>, op: &Op) {
+    ftl_ops::apply_model(model, op)
+}
+
+fn apply_ftl(ftl: &mut Ftl, op: &Op) {
+    let ps = ftl.page_size();
+    match *op {
+        Op::Write { lpn, fill } => ftl.write(Lpn(lpn), &vec![fill; ps]).unwrap(),
+        Op::Trim { lpn } => ftl.trim(Lpn(lpn), 1).unwrap(),
+        Op::Share { dest, src } => {
+            match ftl.share(&[SharePair::new(Lpn(dest), Lpn(src))]) {
+                Ok(()) => {}
+                // Legitimate rejections leave state untouched; the model
+                // skips them the same way.
+                Err(FtlError::SrcUnmapped(_)) | Err(FtlError::InvalidBatch(_)) => {}
+                Err(e) => panic!("unexpected share failure: {e}"),
+            }
+        }
+        Op::Flush => ftl.flush().unwrap(),
+    }
+}
+
+/// Live reads always match the shadow model, under any op interleaving.
+#[test]
+fn reads_match_model() {
+    for (case, mut rng) in sweep("ftl/reads_match_model", 64) {
+        let ops = gen_ops(&mut rng, 1, 400);
+        let mut ftl = Ftl::new(cfg());
+        let mut model: Vec<Option<u8>> = vec![None; LOGICAL_PAGES as usize];
+        for op in &ops {
+            apply_ftl(&mut ftl, op);
+            apply_model(&mut model, op);
+        }
+        for lpn in 0..LOGICAL_PAGES {
+            let got = ftl_ops::read_fill(&mut ftl, lpn);
+            let want = model[lpn as usize].unwrap_or(0);
+            assert_eq!(got, want, "case {case}: lpn {lpn} diverged");
+        }
+        ftl.check_invariants();
+    }
+}
+
+/// Mapping invariants hold at every step, not just at the end.
+#[test]
+fn invariants_hold_throughout() {
+    for (_case, mut rng) in sweep("ftl/invariants_hold_throughout", 64) {
+        let ops = gen_ops(&mut rng, 1, 150);
+        let mut ftl = Ftl::new(cfg());
+        for op in &ops {
+            apply_ftl(&mut ftl, op);
+            ftl.check_invariants();
+        }
+    }
+}
+
+/// Flushed state survives clean reopen exactly.
+#[test]
+fn reopen_after_flush_is_lossless() {
+    for (case, mut rng) in sweep("ftl/reopen_after_flush_is_lossless", 64) {
+        let ops = gen_ops(&mut rng, 1, 300);
+        let c = cfg();
+        let mut ftl = Ftl::new(c.clone());
+        let mut model: Vec<Option<u8>> = vec![None; LOGICAL_PAGES as usize];
+        for op in &ops {
+            apply_ftl(&mut ftl, op);
+            apply_model(&mut model, op);
+        }
+        ftl.flush().unwrap();
+        let mut reopened = Ftl::open(c, ftl.into_nand()).unwrap();
+        for lpn in 0..LOGICAL_PAGES {
+            let got = ftl_ops::read_fill(&mut reopened, lpn);
+            let want = model[lpn as usize].unwrap_or(0);
+            assert_eq!(got, want, "case {case}: lpn {lpn} diverged after reopen");
+        }
+        reopened.check_invariants();
+    }
+}
+
+/// After a crash at an arbitrary NAND program, recovery yields for every
+/// page either a value that was at some point assigned to it, or zero —
+/// never a torn mix (uniformity is asserted inside `read_fill`).
+#[test]
+fn crash_recovery_yields_some_consistent_version() {
+    for (case, mut rng) in sweep("ftl/crash_recovery", 64) {
+        let ops = gen_ops(&mut rng, 20, 200);
+        let crash_at = rng.random_range(1u64..400);
+        run_crash_case(&ops, crash_at, &format!("case {case} (crash_at {crash_at})"));
+    }
+}

@@ -1,0 +1,141 @@
+//! Shared op model for the FTL integration suites: `ftl_model.rs` sweeps
+//! seeded sequences through it; `regression_pr1.rs` replays pinned ones.
+#![allow(dead_code)] // each test binary uses a different subset
+
+use share_core::{BlockDevice, Ftl, FtlConfig, FtlError, Lpn, SharePair};
+use share_rng::{Rng, StdRng};
+
+pub const LOGICAL_PAGES: u64 = 64; // small space so GC and sharing collide often
+
+pub fn cfg() -> FtlConfig {
+    FtlConfig::for_capacity_with(
+        LOGICAL_PAGES * 4096,
+        0.5,
+        4096,
+        16,
+        nand_sim::NandTiming::zero(),
+    )
+}
+
+#[derive(Debug, Clone)]
+pub enum Op {
+    Write { lpn: u64, fill: u8 },
+    Trim { lpn: u64 },
+    Share { dest: u64, src: u64 },
+    Flush,
+}
+
+/// Weighted op choice matching the retired proptest strategy (4:1:2:1).
+pub fn gen_op(rng: &mut StdRng) -> Op {
+    match rng.random_range(0..8u32) {
+        0..=3 => Op::Write { lpn: rng.random_range(0..LOGICAL_PAGES), fill: rng.random() },
+        4 => Op::Trim { lpn: rng.random_range(0..LOGICAL_PAGES) },
+        5..=6 => Op::Share {
+            dest: rng.random_range(0..LOGICAL_PAGES),
+            src: rng.random_range(0..LOGICAL_PAGES),
+        },
+        _ => Op::Flush,
+    }
+}
+
+pub fn gen_ops(rng: &mut StdRng, min: usize, max: usize) -> Vec<Op> {
+    let len = rng.random_range(min..max);
+    (0..len).map(|_| gen_op(rng)).collect()
+}
+
+/// Shadow model: expected content byte per LPN (pages are uniform-filled).
+/// `None` = unmapped (reads zero).
+pub fn apply_model(model: &mut Vec<Option<u8>>, op: &Op) {
+    match *op {
+        Op::Write { lpn, fill } => model[lpn as usize] = Some(fill),
+        Op::Trim { lpn } => model[lpn as usize] = None,
+        Op::Share { dest, src } => {
+            if dest != src && model[src as usize].is_some() {
+                model[dest as usize] = model[src as usize];
+            }
+        }
+        Op::Flush => {}
+    }
+}
+
+/// Read one page and assert it is uniform (no torn or mixed content).
+pub fn read_fill(ftl: &mut Ftl, lpn: u64) -> u8 {
+    let mut buf = vec![0u8; ftl.page_size()];
+    ftl.read(Lpn(lpn), &mut buf).unwrap();
+    assert!(
+        buf.iter().all(|&b| b == buf[0]),
+        "page {lpn} content is not uniform: torn or mixed data leaked"
+    );
+    buf[0]
+}
+
+/// One crash-recovery scenario: run `ops` with a torn-page power loss armed
+/// after `crash_at` NAND programs, then recover and check that every page
+/// reads a value it was at some point assigned (or zero) — never a torn mix.
+pub fn run_crash_case(ops: &[Op], crash_at: u64, ctx: &str) {
+    let c = cfg();
+    let mut ftl = Ftl::new(c.clone());
+    // Values ever assigned per lpn (writes and shares), plus zero.
+    let mut ever: Vec<Vec<u8>> = vec![vec![]; LOGICAL_PAGES as usize];
+    let mut model: Vec<Option<u8>> = vec![None; LOGICAL_PAGES as usize];
+
+    ftl.fault_handle().arm_after_programs(crash_at, nand_sim::FaultMode::TornHalf);
+    let mut crashed = false;
+    for op in ops {
+        let ps = ftl.page_size();
+        let r = match *op {
+            Op::Write { lpn, fill } => ftl.write(Lpn(lpn), &vec![fill; ps]).map_err(Some),
+            Op::Trim { lpn } => ftl.trim(Lpn(lpn), 1).map_err(Some),
+            Op::Share { dest, src } => match ftl.share(&[SharePair::new(Lpn(dest), Lpn(src))]) {
+                Ok(()) => Ok(()),
+                Err(FtlError::SrcUnmapped(_)) | Err(FtlError::InvalidBatch(_)) => Err(None),
+                Err(e) => Err(Some(e)),
+            },
+            Op::Flush => ftl.flush().map_err(Some),
+        };
+        match r {
+            Ok(()) => {
+                apply_model(&mut model, op);
+                if let Op::Write { lpn, fill } = *op {
+                    ever[lpn as usize].push(fill);
+                }
+                if let Op::Share { dest, src } = *op {
+                    if dest != src {
+                        if let Some(v) = model[src as usize] {
+                            ever[dest as usize].push(v);
+                        }
+                    }
+                }
+            }
+            Err(None) => {} // rejected share, no state change
+            Err(Some(_)) => {
+                // The crashed op may or may not have become durable (its
+                // data program and delta flush can precede the power
+                // loss within the same call): count it as possible.
+                match *op {
+                    Op::Write { lpn, fill } => ever[lpn as usize].push(fill),
+                    Op::Share { dest, src } if dest != src => {
+                        if let Some(v) = model[src as usize] {
+                            ever[dest as usize].push(v);
+                        }
+                    }
+                    _ => {}
+                }
+                crashed = true;
+                break;
+            }
+        }
+    }
+    ftl.fault_handle().disarm();
+    let nand = ftl.into_nand();
+    let mut rec = Ftl::open(c, nand).unwrap();
+    for lpn in 0..LOGICAL_PAGES {
+        let got = read_fill(&mut rec, lpn);
+        let ok = got == 0 || ever[lpn as usize].contains(&got);
+        assert!(
+            ok,
+            "{ctx}: lpn {lpn} reads {got} which was never assigned (crashed={crashed})"
+        );
+    }
+    rec.check_invariants();
+}

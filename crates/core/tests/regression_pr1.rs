@@ -1,0 +1,57 @@
+//! Pinned regression: the shrunk share/trim/crash-recovery failure that
+//! proptest found against the seed FTL (PR 1). The op sequence and crash
+//! point are preserved verbatim from the retired
+//! `proptest_ftl.proptest-regressions` file so the scenario stays covered
+//! forever, independent of any test-generation framework.
+
+mod ftl_ops;
+
+use ftl_ops::{run_crash_case, Op};
+
+/// Shorthand constructors keep the 133-op pinned sequence readable.
+#[allow(non_snake_case)]
+fn W(lpn: u64, fill: u8) -> Op {
+    Op::Write { lpn, fill }
+}
+#[allow(non_snake_case)]
+fn T(lpn: u64) -> Op {
+    Op::Trim { lpn }
+}
+#[allow(non_snake_case)]
+fn S(dest: u64, src: u64) -> Op {
+    Op::Share { dest, src }
+}
+
+/// The exact 133-op shrunk sequence, crash armed after NAND program 145.
+/// It interleaves share chains (30→20, 41→27→43, …), trims of shared
+/// sources, and flush-delimited epochs before the torn-page power loss.
+#[test]
+fn share_trim_crash_regression_pr1() {
+    use Op::Flush as F;
+    let ops = vec![
+        W(62, 213), W(26, 251), W(16, 255), W(5, 238), W(31, 162), W(1, 122),
+        W(35, 213), W(7, 201), W(21, 200), W(14, 105), W(8, 76), W(46, 23),
+        F, W(38, 70), W(28, 207), W(5, 98), W(32, 139), W(16, 100),
+        W(27, 148), W(57, 249), F, W(41, 155), W(51, 254), S(30, 41),
+        W(9, 209), W(40, 54), W(19, 85), F, W(32, 204), F,
+        W(62, 98), F, W(3, 116), S(20, 30), W(54, 170), W(20, 230),
+        F, W(4, 162), F, W(15, 90), F, W(42, 131),
+        S(27, 42), W(1, 3), F, W(3, 246), W(43, 155), S(43, 42),
+        W(52, 171), W(10, 81), W(6, 175), W(21, 12), T(42), F,
+        W(48, 182), W(60, 5), W(1, 70), W(11, 203), W(35, 86), F,
+        W(44, 187), W(41, 166), S(14, 1), W(21, 97), W(29, 99), W(50, 102),
+        W(32, 149), S(47, 51), W(40, 107), W(60, 32), F, W(47, 87),
+        W(27, 157), S(55, 7), W(29, 167), W(24, 49), F, W(33, 160),
+        S(25, 38), T(27), F, W(20, 231), W(53, 190), T(6),
+        F, W(27, 247), S(26, 53), W(57, 48), S(17, 35), W(53, 35),
+        F, W(60, 131), F, W(61, 105), S(24, 41), S(15, 32),
+        W(11, 48), S(16, 14), S(56, 30), S(30, 8), W(37, 14), S(26, 16),
+        W(62, 170), W(1, 58), W(59, 141), W(44, 75), W(48, 99), W(6, 41),
+        W(59, 123), W(7, 90), W(12, 6), S(0, 29), F, S(48, 42),
+        W(26, 169), S(47, 26), S(24, 13), W(43, 21), W(46, 169), S(3, 3),
+        T(34), W(41, 137), S(53, 1), S(61, 41), W(53, 48), W(33, 23),
+        W(28, 252), T(11), S(28, 24), W(16, 42), F, W(17, 221),
+        S(29, 54),
+    ];
+    run_crash_case(&ops, 145, "pinned regression share_trim_crash_regression_pr1");
+}

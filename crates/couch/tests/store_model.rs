@@ -1,9 +1,10 @@
-//! Property tests: the document store against a `BTreeMap` model, in both
-//! modes, with interleaved commits and compactions.
+//! Model tests: the document store against a `BTreeMap` model, in both
+//! modes, with interleaved commits and compactions. Deterministic seeded
+//! op-sequence sweeps (see `share_rng::sweep`).
 
 use mini_couch::{CouchConfig, CouchMode, CouchStore};
-use proptest::prelude::*;
 use share_core::{Ftl, FtlConfig};
+use share_rng::{sweep, Rng, StdRng};
 use share_vfs::{Vfs, VfsOptions};
 use std::collections::BTreeMap;
 
@@ -16,15 +17,24 @@ enum Op {
     Compact,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        6 => (0u64..100, 1usize..6000, any::<u8>())
-            .prop_map(|(key, len, fill)| Op::Save { key, len, fill }),
-        2 => (0u64..100).prop_map(|key| Op::Delete { key }),
-        3 => (0u64..100).prop_map(|key| Op::Get { key }),
-        1 => Just(Op::Commit),
-        1 => Just(Op::Compact),
-    ]
+/// Weighted op choice matching the retired proptest strategy (6:2:3:1:1).
+fn gen_op(rng: &mut StdRng) -> Op {
+    match rng.random_range(0..13u32) {
+        0..=5 => Op::Save {
+            key: rng.random_range(0u64..100),
+            len: rng.random_range(1usize..6000),
+            fill: rng.random(),
+        },
+        6..=7 => Op::Delete { key: rng.random_range(0u64..100) },
+        8..=10 => Op::Get { key: rng.random_range(0u64..100) },
+        11 => Op::Commit,
+        _ => Op::Compact,
+    }
+}
+
+fn gen_ops(rng: &mut StdRng, min: usize, max: usize) -> Vec<Op> {
+    let len = rng.random_range(min..max);
+    (0..len).map(|_| gen_op(rng)).collect()
 }
 
 fn store(mode: CouchMode, batch: usize) -> CouchStore<Ftl> {
@@ -77,22 +87,20 @@ fn run_case(mode: CouchMode, batch: usize, ops: &[Op]) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(20))]
-
-    #[test]
-    fn original_mode_matches_model(
-        ops in proptest::collection::vec(op_strategy(), 1..100),
-        batch in 1usize..10,
-    ) {
-        run_case(CouchMode::Original, batch, &ops);
+fn sweep_mode(suite: &str, mode: CouchMode) {
+    for (_case, mut rng) in sweep(suite, 20) {
+        let ops = gen_ops(&mut rng, 1, 100);
+        let batch = rng.random_range(1usize..10);
+        run_case(mode, batch, &ops);
     }
+}
 
-    #[test]
-    fn share_mode_matches_model(
-        ops in proptest::collection::vec(op_strategy(), 1..100),
-        batch in 1usize..10,
-    ) {
-        run_case(CouchMode::Share, batch, &ops);
-    }
+#[test]
+fn original_mode_matches_model() {
+    sweep_mode("couch/original_mode_matches_model", CouchMode::Original);
+}
+
+#[test]
+fn share_mode_matches_model() {
+    sweep_mode("couch/share_mode_matches_model", CouchMode::Share);
 }

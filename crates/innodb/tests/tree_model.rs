@@ -1,10 +1,11 @@
-//! Property tests: the engine's clustered B+tree against a `BTreeMap`
+//! Model tests: the engine's clustered B+tree against a `BTreeMap`
 //! model, across all three flush modes, with tiny pools so eviction and
-//! the DWB/SHARE protocols run constantly.
+//! the DWB/SHARE protocols run constantly. Deterministic seeded
+//! op-sequence sweeps (see `share_rng::sweep`).
 
 use mini_innodb::{standard_log_device, FlushMode, InnoDb, InnoDbConfig, Key};
-use proptest::prelude::*;
 use share_core::{Ftl, FtlConfig};
+use share_rng::{sweep, Rng, StdRng};
 use std::collections::BTreeMap;
 
 #[derive(Debug, Clone)]
@@ -14,13 +15,26 @@ enum Op {
     Scan { lo: u64, hi: u64 },
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        5 => (0u64..500, 1usize..300, any::<u8>())
-            .prop_map(|(id, len, fill)| Op::Upsert { id, len, fill }),
-        2 => (0u64..500).prop_map(|id| Op::Delete { id }),
-        1 => (0u64..500, 0u64..500).prop_map(|(a, b)| Op::Scan { lo: a.min(b), hi: a.max(b) }),
-    ]
+/// Weighted op choice matching the retired proptest strategy (5:2:1).
+fn gen_op(rng: &mut StdRng) -> Op {
+    match rng.random_range(0..8u32) {
+        0..=4 => Op::Upsert {
+            id: rng.random_range(0u64..500),
+            len: rng.random_range(1usize..300),
+            fill: rng.random(),
+        },
+        5..=6 => Op::Delete { id: rng.random_range(0u64..500) },
+        _ => {
+            let a = rng.random_range(0u64..500);
+            let b = rng.random_range(0u64..500);
+            Op::Scan { lo: a.min(b), hi: a.max(b) }
+        }
+    }
+}
+
+fn gen_ops(rng: &mut StdRng, min: usize, max: usize) -> Vec<Op> {
+    let len = rng.random_range(min..max);
+    (0..len).map(|_| gen_op(rng)).collect()
 }
 
 fn engine(mode: FlushMode) -> InnoDb<Ftl> {
@@ -91,21 +105,24 @@ fn run_case(mode: FlushMode, ops: &[Op]) {
     check_model(&mut db2, &model);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn dwb_on_matches_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
-        run_case(FlushMode::DwbOn, &ops);
+fn sweep_mode(suite: &str, mode: FlushMode) {
+    for (_case, mut rng) in sweep(suite, 24) {
+        let ops = gen_ops(&mut rng, 1, 120);
+        run_case(mode, &ops);
     }
+}
 
-    #[test]
-    fn share_matches_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
-        run_case(FlushMode::Share, &ops);
-    }
+#[test]
+fn dwb_on_matches_model() {
+    sweep_mode("innodb/dwb_on_matches_model", FlushMode::DwbOn);
+}
 
-    #[test]
-    fn dwb_off_matches_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
-        run_case(FlushMode::DwbOff, &ops);
-    }
+#[test]
+fn share_matches_model() {
+    sweep_mode("innodb/share_matches_model", FlushMode::Share);
+}
+
+#[test]
+fn dwb_off_matches_model() {
+    sweep_mode("innodb/dwb_off_matches_model", FlushMode::DwbOff);
 }

@@ -1,7 +1,8 @@
-//! Property tests: NAND constraint enforcement under random op sequences.
+//! Model tests: NAND constraint enforcement under deterministic seeded op
+//! sequences (see `share_rng::sweep`).
 
 use nand_sim::{BlockId, NandArray, NandError, NandGeometry, NandTiming, PageState, Ppn, SimClock};
-use proptest::prelude::*;
+use share_rng::{sweep, Rng, StdRng};
 
 const BLOCKS: u32 = 6;
 const PPB: u32 = 4;
@@ -14,23 +15,25 @@ enum Op {
     Erase { block: u32 },
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
+/// Weighted op choice matching the retired proptest strategy (4:3:1).
+fn gen_op(rng: &mut StdRng) -> Op {
     let total = BLOCKS * PPB;
-    prop_oneof![
-        4 => (0..total, any::<u8>()).prop_map(|(ppn, fill)| Op::Program { ppn, fill }),
-        3 => (0..total).prop_map(|ppn| Op::Read { ppn }),
-        1 => (0..BLOCKS).prop_map(|block| Op::Erase { block }),
-    ]
+    match rng.random_range(0..8u32) {
+        0..=3 => Op::Program { ppn: rng.random_range(0..total), fill: rng.random() },
+        4..=6 => Op::Read { ppn: rng.random_range(0..total) },
+        _ => Op::Erase { block: rng.random_range(0..BLOCKS) },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// The array enforces NAND physics and never loses or invents data:
+/// a shadow model tracking per-page contents and per-block frontiers
+/// predicts the outcome of every op exactly.
+#[test]
+fn nand_matches_shadow_model() {
+    for (case, mut rng) in sweep("nand/matches_shadow_model", 64) {
+        let len = rng.random_range(1usize..200);
+        let ops: Vec<Op> = (0..len).map(|_| gen_op(&mut rng)).collect();
 
-    /// The array enforces NAND physics and never loses or invents data:
-    /// a shadow model tracking per-page contents and per-block frontiers
-    /// predicts the outcome of every op exactly.
-    #[test]
-    fn nand_matches_shadow_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
         let g = NandGeometry::new(PS, PPB, BLOCKS);
         let mut nand = NandArray::with_timing(g, NandTiming::zero(), SimClock::new());
         let mut content: Vec<Option<u8>> = vec![None; (BLOCKS * PPB) as usize];
@@ -43,14 +46,22 @@ proptest! {
                     let idx = ppn % PPB;
                     let r = nand.program(Ppn(ppn), &vec![fill; PS]);
                     if content[ppn as usize].is_some() {
-                        prop_assert_eq!(r, Err(NandError::ProgramOnDirtyPage(Ppn(ppn))));
-                    } else if idx != frontier[b] {
-                        prop_assert_eq!(
+                        assert_eq!(
                             r,
-                            Err(NandError::OutOfOrderProgram { ppn: Ppn(ppn), expected_index: frontier[b] })
+                            Err(NandError::ProgramOnDirtyPage(Ppn(ppn))),
+                            "case {case}"
+                        );
+                    } else if idx != frontier[b] {
+                        assert_eq!(
+                            r,
+                            Err(NandError::OutOfOrderProgram {
+                                ppn: Ppn(ppn),
+                                expected_index: frontier[b]
+                            }),
+                            "case {case}"
                         );
                     } else {
-                        prop_assert!(r.is_ok());
+                        assert!(r.is_ok(), "case {case}: program rejected: {r:?}");
                         content[ppn as usize] = Some(fill);
                         frontier[b] = idx + 1;
                     }
@@ -59,7 +70,10 @@ proptest! {
                     let mut buf = vec![0u8; PS];
                     nand.read(Ppn(ppn), &mut buf).unwrap();
                     let want = content[ppn as usize].unwrap_or(0xFF);
-                    prop_assert!(buf.iter().all(|&x| x == want), "ppn {} diverged", ppn);
+                    assert!(
+                        buf.iter().all(|&x| x == want),
+                        "case {case}: ppn {ppn} diverged"
+                    );
                 }
                 Op::Erase { block } => {
                     nand.erase(BlockId(block)).unwrap();
@@ -77,13 +91,18 @@ proptest! {
             } else {
                 PageState::Free
             };
-            prop_assert_eq!(nand.page_state(Ppn(ppn)), want);
+            assert_eq!(nand.page_state(Ppn(ppn)), want, "case {case}: ppn {ppn}");
         }
     }
+}
 
-    /// Erase counts only ever grow, and exactly by the erases issued.
-    #[test]
-    fn wear_accounting_is_exact(erases in proptest::collection::vec(0..BLOCKS, 0..40)) {
+/// Erase counts only ever grow, and exactly by the erases issued.
+#[test]
+fn wear_accounting_is_exact() {
+    for (case, mut rng) in sweep("nand/wear_accounting_is_exact", 64) {
+        let n = rng.random_range(0usize..40);
+        let erases: Vec<u32> = (0..n).map(|_| rng.random_range(0..BLOCKS)).collect();
+
         let g = NandGeometry::new(PS, PPB, BLOCKS);
         let mut nand = NandArray::with_timing(g, NandTiming::zero(), SimClock::new());
         let mut model = vec![0u32; BLOCKS as usize];
@@ -92,8 +111,12 @@ proptest! {
             model[b as usize] += 1;
         }
         for b in 0..BLOCKS {
-            prop_assert_eq!(nand.erase_count(BlockId(b)), model[b as usize]);
+            assert_eq!(
+                nand.erase_count(BlockId(b)),
+                model[b as usize],
+                "case {case}: block {b}"
+            );
         }
-        prop_assert_eq!(nand.stats().block_erases, erases.len() as u64);
+        assert_eq!(nand.stats().block_erases, erases.len() as u64, "case {case}");
     }
 }

@@ -1,9 +1,10 @@
-//! Property tests: the mini-SQLite pager against a `BTreeMap` model with
+//! Model tests: the mini-SQLite pager against a `BTreeMap` model with
 //! interleaved transactions, rollbacks and reopen cycles, in all modes.
+//! Deterministic seeded op-sequence sweeps (see `share_rng::sweep`).
 
 use mini_sqlite::{JournalMode, MiniSqlite, SqliteConfig};
-use proptest::prelude::*;
 use share_core::{Ftl, FtlConfig};
+use share_rng::{sweep, Rng, StdRng};
 use std::collections::BTreeMap;
 
 #[derive(Debug, Clone)]
@@ -14,14 +15,23 @@ enum Op {
     Rollback,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        6 => (0u64..200, 1usize..400, any::<u8>())
-            .prop_map(|(key, len, fill)| Op::Put { key, len, fill }),
-        2 => (0u64..200).prop_map(|key| Op::Delete { key }),
-        2 => Just(Op::Commit),
-        1 => Just(Op::Rollback),
-    ]
+/// Weighted op choice matching the retired proptest strategy (6:2:2:1).
+fn gen_op(rng: &mut StdRng) -> Op {
+    match rng.random_range(0..11u32) {
+        0..=5 => Op::Put {
+            key: rng.random_range(0u64..200),
+            len: rng.random_range(1usize..400),
+            fill: rng.random(),
+        },
+        6..=7 => Op::Delete { key: rng.random_range(0u64..200) },
+        8..=9 => Op::Commit,
+        _ => Op::Rollback,
+    }
+}
+
+fn gen_ops(rng: &mut StdRng, min: usize, max: usize) -> Vec<Op> {
+    let len = rng.random_range(min..max);
+    (0..len).map(|_| gen_op(rng)).collect()
 }
 
 fn pager(mode: JournalMode) -> MiniSqlite<Ftl> {
@@ -72,26 +82,29 @@ fn run_case(mode: JournalMode, ops: &[Op]) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn rollback_mode_matches_model(ops in proptest::collection::vec(op_strategy(), 1..80)) {
-        run_case(JournalMode::Rollback, &ops);
+fn sweep_mode(suite: &str, mode: JournalMode) {
+    for (_case, mut rng) in sweep(suite, 16) {
+        let ops = gen_ops(&mut rng, 1, 80);
+        run_case(mode, &ops);
     }
+}
 
-    #[test]
-    fn wal_mode_matches_model(ops in proptest::collection::vec(op_strategy(), 1..80)) {
-        run_case(JournalMode::Wal, &ops);
-    }
+#[test]
+fn rollback_mode_matches_model() {
+    sweep_mode("sqlite/rollback_mode_matches_model", JournalMode::Rollback);
+}
 
-    #[test]
-    fn share_mode_matches_model(ops in proptest::collection::vec(op_strategy(), 1..80)) {
-        run_case(JournalMode::Share, &ops);
-    }
+#[test]
+fn wal_mode_matches_model() {
+    sweep_mode("sqlite/wal_mode_matches_model", JournalMode::Wal);
+}
 
-    #[test]
-    fn off_mode_matches_model(ops in proptest::collection::vec(op_strategy(), 1..80)) {
-        run_case(JournalMode::Off, &ops);
-    }
+#[test]
+fn share_mode_matches_model() {
+    sweep_mode("sqlite/share_mode_matches_model", JournalMode::Share);
+}
+
+#[test]
+fn off_mode_matches_model() {
+    sweep_mode("sqlite/off_mode_matches_model", JournalMode::Off);
 }

@@ -1,7 +1,8 @@
-//! Property tests: the file system against a shadow model of files.
+//! Model tests: the file system against a shadow model of files, via
+//! deterministic seeded op-sequence sweeps (see `share_rng::sweep`).
 
-use proptest::prelude::*;
 use share_core::{Ftl, FtlConfig};
+use share_rng::{sweep, Rng, StdRng};
 use share_vfs::{Vfs, VfsOptions};
 use std::collections::HashMap;
 
@@ -17,16 +18,32 @@ enum Op {
     ShareRange { dst: u64, src: u64, page: u64, n: u64 },
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        5 => (0..FILES, 0..MAX_PAGE, any::<u8>())
-            .prop_map(|(file, page, fill)| Op::Write { file, page, fill }),
-        3 => (0..FILES, 0..MAX_PAGE).prop_map(|(file, page)| Op::Read { file, page }),
-        1 => (0..FILES).prop_map(|file| Op::Fsync { file }),
-        1 => (0..FILES).prop_map(|file| Op::Delete { file }),
-        1 => (0..FILES, 0..FILES, 0..MAX_PAGE - 4, 1u64..4)
-            .prop_map(|(dst, src, page, n)| Op::ShareRange { dst, src, page, n }),
-    ]
+/// Weighted op choice matching the retired proptest strategy (5:3:1:1:1).
+fn gen_op(rng: &mut StdRng) -> Op {
+    match rng.random_range(0..11u32) {
+        0..=4 => Op::Write {
+            file: rng.random_range(0..FILES),
+            page: rng.random_range(0..MAX_PAGE),
+            fill: rng.random(),
+        },
+        5..=7 => Op::Read {
+            file: rng.random_range(0..FILES),
+            page: rng.random_range(0..MAX_PAGE),
+        },
+        8 => Op::Fsync { file: rng.random_range(0..FILES) },
+        9 => Op::Delete { file: rng.random_range(0..FILES) },
+        _ => Op::ShareRange {
+            dst: rng.random_range(0..FILES),
+            src: rng.random_range(0..FILES),
+            page: rng.random_range(0..MAX_PAGE - 4),
+            n: rng.random_range(1u64..4),
+        },
+    }
+}
+
+fn gen_ops(rng: &mut StdRng, min: usize, max: usize) -> Vec<Op> {
+    let len = rng.random_range(min..max);
+    (0..len).map(|_| gen_op(rng)).collect()
 }
 
 fn fs() -> Vfs<Ftl> {
@@ -38,13 +55,12 @@ fn name(i: u64) -> String {
     format!("file-{i}")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// File contents always match a shadow model, including across share
-    /// remaps between files, deletes and re-creates.
-    #[test]
-    fn files_match_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+/// File contents always match a shadow model, including across share
+/// remaps between files, deletes and re-creates.
+#[test]
+fn files_match_model() {
+    for (case, mut rng) in sweep("vfs/files_match_model", 48) {
+        let ops = gen_ops(&mut rng, 1, 200);
         let mut fs = fs();
         // model[file][page] = fill byte written (files implicitly created).
         let mut model: HashMap<u64, HashMap<u64, u8>> = HashMap::new();
@@ -68,8 +84,10 @@ proptest! {
                             .and_then(|m| m.get(&page))
                             .copied()
                             .unwrap_or(0);
-                        prop_assert!(buf.iter().all(|&b| b == want),
-                            "file {} page {} diverged", file, page);
+                        assert!(
+                            buf.iter().all(|&b| b == want),
+                            "case {case}: file {file} page {page} diverged"
+                        );
                     }
                 }
                 Op::Fsync { file } => {
@@ -88,7 +106,9 @@ proptest! {
                         continue;
                     }
                     let (Some(df), Some(sf)) = (fs.lookup(&name(dst)), fs.lookup(&name(src)))
-                    else { continue };
+                    else {
+                        continue;
+                    };
                     // Source pages must be written (mapped) for share.
                     let src_ok = (0..n).all(|i| {
                         model.get(&src).map(|m| m.contains_key(&(page + i))).unwrap_or(false)
@@ -113,19 +133,28 @@ proptest! {
             let mut buf = vec![0u8; 4096];
             for (&page, &want) in pages {
                 fs.read_page(f, page, &mut buf).unwrap();
-                prop_assert!(buf.iter().all(|&b| b == want),
-                    "final: file {} page {} diverged", file, page);
+                assert!(
+                    buf.iter().all(|&b| b == want),
+                    "case {case}: final: file {file} page {page} diverged"
+                );
             }
         }
         fs.device().check_invariants();
     }
+}
 
-    /// fsync + remount preserves the model exactly.
-    #[test]
-    fn remount_is_lossless(ops in proptest::collection::vec(op_strategy(), 1..120)) {
-        let cfg = FtlConfig::for_capacity_with(8 << 20, 0.4, 4096, 16, nand_sim::NandTiming::zero());
-        let mut fs = Vfs::format(Ftl::new(cfg.clone()),
-            VfsOptions { extent_chunk_pages: 8, ..Default::default() }).unwrap();
+/// fsync + remount preserves the model exactly.
+#[test]
+fn remount_is_lossless() {
+    for (case, mut rng) in sweep("vfs/remount_is_lossless", 48) {
+        let ops = gen_ops(&mut rng, 1, 120);
+        let cfg =
+            FtlConfig::for_capacity_with(8 << 20, 0.4, 4096, 16, nand_sim::NandTiming::zero());
+        let mut fs = Vfs::format(
+            Ftl::new(cfg.clone()),
+            VfsOptions { extent_chunk_pages: 8, ..Default::default() },
+        )
+        .unwrap();
         let mut model: HashMap<u64, HashMap<u64, u8>> = HashMap::new();
         for op in &ops {
             if let Op::Write { file, page, fill } = *op {
@@ -144,14 +173,17 @@ proptest! {
         }
         let nand = fs.into_device().into_nand();
         let dev = Ftl::open(cfg, nand).unwrap();
-        let mut fs2 = Vfs::open(dev, VfsOptions { extent_chunk_pages: 8, ..Default::default() }).unwrap();
+        let mut fs2 =
+            Vfs::open(dev, VfsOptions { extent_chunk_pages: 8, ..Default::default() }).unwrap();
         for (&file, pages) in &model {
             let f = fs2.lookup(&name(file)).unwrap();
             let mut buf = vec![0u8; 4096];
             for (&page, &want) in pages {
                 fs2.read_page(f, page, &mut buf).unwrap();
-                prop_assert!(buf.iter().all(|&b| b == want),
-                    "after remount: file {} page {} diverged", file, page);
+                assert!(
+                    buf.iter().all(|&b| b == want),
+                    "case {case}: after remount: file {file} page {page} diverged"
+                );
             }
         }
     }

@@ -7,8 +7,7 @@
 //! but the id popularity skew remains).
 
 use crate::zipf::Zipfian;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use share_rng::{Rng, StdRng};
 
 /// The ten LinkBench transaction types (Table 1 of the paper).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]

@@ -4,8 +4,7 @@
 //! `full_page_writes` overhead with pgbench. One transaction updates a
 //! random account, its teller and branch, and appends a history row.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use share_rng::{Rng, StdRng};
 
 /// One TPC-B style transaction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

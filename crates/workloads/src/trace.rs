@@ -13,8 +13,7 @@
 //! ```
 
 use crate::zipf::Zipfian;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use share_rng::{Rng, StdRng};
 
 /// One block-level operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

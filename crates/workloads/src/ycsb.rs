@@ -5,8 +5,7 @@
 //! Zipfian key choice over a fixed record set.
 
 use crate::zipf::{ScrambledZipfian, Zipfian};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use share_rng::{Rng, StdRng};
 
 /// A YCSB operation against a key-value store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -4,7 +4,7 @@
 //! scrambled variant YCSB uses so that popular keys are spread over the
 //! keyspace instead of clustering at low ids.
 
-use rand::Rng;
+use share_rng::Rng;
 
 const THETA_DEFAULT: f64 = 0.99;
 
@@ -113,8 +113,7 @@ impl ScrambledZipfian {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use share_rng::StdRng;
 
     #[test]
     fn values_stay_in_domain() {

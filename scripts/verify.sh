@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Tier-1 verification, fully offline. This is the gate every PR must pass:
+# a release build and the whole test suite, with cargo forbidden from
+# touching any registry or network. The offline_guard integration test
+# additionally fails if a non-path dependency sneaks into any manifest.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release --offline =="
+cargo build --release --offline
+
+echo "== cargo test -q --offline =="
+cargo test -q --offline
+
+echo "verify: OK"

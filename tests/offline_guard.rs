@@ -1,0 +1,137 @@
+//! Guard: the workspace must stay buildable with zero registry access.
+//!
+//! Walks every manifest (root + `crates/*/Cargo.toml`) and fails if any
+//! dependency section declares a non-path dependency — a registry version,
+//! a git URL, anything `cargo build --offline` could not resolve from this
+//! repo alone. `scripts/verify.sh` runs the whole suite offline, so a
+//! violation fails twice: once here with a precise message, once at
+//! resolution time.
+
+use std::path::{Path, PathBuf};
+
+fn manifests() -> Vec<PathBuf> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut out = vec![root.join("Cargo.toml")];
+    let crates = root.join("crates");
+    let mut entries: Vec<_> = std::fs::read_dir(&crates)
+        .expect("crates/ directory")
+        .map(|e| e.unwrap().path())
+        .collect();
+    entries.sort();
+    for dir in entries {
+        let m = dir.join("Cargo.toml");
+        if m.is_file() {
+            out.push(m);
+        }
+    }
+    out
+}
+
+/// Is this `[section]` header one that declares dependencies?
+fn is_dep_section(header: &str) -> bool {
+    let h = header.trim_matches(['[', ']']);
+    h == "workspace.dependencies"
+        || h.split('.').last().map_or(false, |tail| {
+            tail == "dependencies" || tail == "dev-dependencies" || tail == "build-dependencies"
+        })
+}
+
+/// A dependency line is offline-safe if it resolves inside the repo:
+/// `path = ...` directly, or `workspace = true` (the workspace table is
+/// itself checked for path-ness by this same walk).
+fn line_is_offline_safe(value: &str) -> bool {
+    (value.contains("path") && value.contains('=')) || value.contains("workspace = true")
+}
+
+#[test]
+fn no_registry_dependencies_anywhere() {
+    let mut violations = Vec::new();
+    for manifest in manifests() {
+        let text = std::fs::read_to_string(&manifest).unwrap();
+        let mut in_dep_section = false;
+        // `[dependencies.foo]`-style table: the section itself names the
+        // dependency; its body must contain a path/workspace key somewhere.
+        let mut dep_table: Option<(String, usize, bool)> = None; // (name, line, safe)
+        let close_table = |t: &mut Option<(String, usize, bool)>, v: &mut Vec<String>| {
+            if let Some((name, lineno, safe)) = t.take() {
+                if !safe {
+                    v.push(format!(
+                        "{}:{}: dependency table `{}` has no path/workspace key",
+                        manifest.display(),
+                        lineno,
+                        name
+                    ));
+                }
+            }
+        };
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line.starts_with('[') {
+                close_table(&mut dep_table, &mut violations);
+                in_dep_section = is_dep_section(line);
+                let inner = line.trim_matches(['[', ']']);
+                dep_table = inner
+                    .split_once("dependencies.")
+                    .map(|(_, name)| (name.to_string(), lineno + 1, false));
+                continue;
+            }
+            if let Some(t) = &mut dep_table {
+                if line_is_offline_safe(line) {
+                    t.2 = true;
+                }
+                continue;
+            }
+            if !in_dep_section {
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else { continue };
+            let key = key.trim();
+            // Dotted form `foo.workspace = true` / `foo.path = "..."`.
+            if key.ends_with(".workspace") || key.ends_with(".path") {
+                continue;
+            }
+            if !line_is_offline_safe(value) {
+                violations.push(format!(
+                    "{}:{}: `{}` is not a path dependency",
+                    manifest.display(),
+                    lineno + 1,
+                    line
+                ));
+            }
+        }
+        close_table(&mut dep_table, &mut violations);
+    }
+    assert!(
+        violations.is_empty(),
+        "registry/git dependencies are banned (offline build policy, see README):\n{}",
+        violations.join("\n")
+    );
+}
+
+#[test]
+fn workspace_dependency_table_is_all_paths() {
+    // The `[workspace.dependencies]` table is what `workspace = true`
+    // entries resolve through, so every entry there must carry a `path`.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(root.join("Cargo.toml")).unwrap();
+    let mut in_table = false;
+    for raw in text.lines() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            in_table = line == "[workspace.dependencies]";
+            continue;
+        }
+        if in_table {
+            assert!(
+                line.contains("path"),
+                "[workspace.dependencies] entry without a path: `{line}`"
+            );
+        }
+    }
+}
