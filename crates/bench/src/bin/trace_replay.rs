@@ -37,6 +37,9 @@ fn replay(pattern: AccessPattern, label: &str, ops: u64) -> Vec<String> {
             TraceOp::Write { lpn } => dev.write(Lpn(lpn), &img).unwrap(),
             TraceOp::Read { lpn } => dev.read(Lpn(lpn), &mut buf).unwrap(),
             TraceOp::Trim { lpn, len } => dev.trim(Lpn(lpn), len).unwrap(),
+            TraceOp::Share { dest, src, len } => {
+                dev.share(&share_core::SharePair::range(Lpn(dest), Lpn(src), len)).unwrap()
+            }
             TraceOp::Flush => dev.flush().unwrap(),
         }
     }

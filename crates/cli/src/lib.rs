@@ -56,7 +56,10 @@ fn usage() -> String {
      \x20 sharectl read   <img> <lpn>\n\
      \x20 sharectl share  <img> <dest-lpn> <src-lpn> [--len N]\n\
      \x20 sharectl trim   <img> <lpn> [--len N]\n\
-     \x20 sharectl replay <img> <trace-file>\n"
+     \x20 sharectl replay <img> <trace-file>\n\
+     \x20 sharectl crashsweep [--workload ftl|sqlite|innodb|all] [--trace <file>]\n\
+     \x20\x20\x20\x20 [--seed N] [--stride N] [--mode torn-half|dropped-write|after-program|all]\n\
+     \x20\x20\x20\x20 [--index N]   (with a single --mode: replay exactly one crash case)\n"
         .to_string()
 }
 
@@ -234,6 +237,9 @@ pub fn run(args: &[String]) -> Result<String> {
                     TraceOp::Write { lpn } => dev.write(Lpn(lpn), &page)?,
                     TraceOp::Read { lpn } => dev.read(Lpn(lpn), &mut buf)?,
                     TraceOp::Trim { lpn, len } => dev.trim(Lpn(lpn), len)?,
+                    TraceOp::Share { dest, src, len } => {
+                        dev.share(&SharePair::range(Lpn(dest), Lpn(src), len))?
+                    }
                     TraceOp::Flush => dev.flush()?,
                 }
             }
@@ -252,7 +258,112 @@ pub fn run(args: &[String]) -> Result<String> {
             .unwrap();
             save_device(img, dev)?;
         }
+        Some("crashsweep") => {
+            crashsweep_cmd(args, &mut out)?;
+        }
         _ => return Err(CliError(usage())),
     }
     Ok(out)
+}
+
+/// Power-loss recovery sweep (see `crates/crashsweep`). Builds fresh
+/// in-memory devices — no image file involved — and reports every oracle
+/// violation as a reproducible `(workload, mode, crash_index)` triple.
+/// With `--index` and a single `--mode` it replays exactly one case.
+fn crashsweep_cmd(args: &[String], out: &mut String) -> Result<()> {
+    use share_crashsweep::{
+        sweep, CrashWorkload, FtlMixedWorkload, FtlTraceWorkload, InnodbShareWorkload,
+        SqliteShareWorkload,
+    };
+
+    let which = flag_value(args, "--workload").unwrap_or("all");
+    let seed = flag_value(args, "--seed").map(|v| parse_u64(v, "seed")).transpose()?.unwrap_or(42);
+    let stride =
+        flag_value(args, "--stride").map(|v| parse_u64(v, "stride")).transpose()?.unwrap_or(3);
+    let mode_arg = flag_value(args, "--mode").unwrap_or("all");
+    let modes: Vec<nand_sim::FaultMode> = if mode_arg == "all" {
+        nand_sim::FaultMode::ALL.to_vec()
+    } else {
+        vec![nand_sim::FaultMode::from_label(mode_arg)
+            .ok_or_else(|| CliError(format!("bad --mode: {mode_arg}")))?]
+    };
+
+    let mut workloads: Vec<Box<dyn CrashWorkload>> = Vec::new();
+    if let Some(trace_file) = flag_value(args, "--trace") {
+        let text = fs::read_to_string(trace_file)?;
+        let ops = parse_trace(&text);
+        let label = Path::new(trace_file)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "trace".into());
+        let max_lpn = ops
+            .iter()
+            .map(|op| match *op {
+                TraceOp::Write { lpn } | TraceOp::Read { lpn } => lpn,
+                TraceOp::Trim { lpn, len } => lpn + len.saturating_sub(1),
+                TraceOp::Share { dest, src, len } => {
+                    dest.max(src) + len.saturating_sub(1)
+                }
+                TraceOp::Flush => 0,
+            })
+            .max()
+            .unwrap_or(0);
+        workloads.push(Box::new(FtlTraceWorkload::new(&label, &ops, (max_lpn + 1).max(16))));
+    } else {
+        match which {
+            "ftl" => workloads.push(Box::new(FtlMixedWorkload::new(seed, 300))),
+            "sqlite" => workloads.push(Box::new(SqliteShareWorkload::new(seed, 24, 10))),
+            "innodb" => workloads.push(Box::new(InnodbShareWorkload::new(seed, 40, 60))),
+            "all" => {
+                workloads.push(Box::new(FtlMixedWorkload::new(seed, 300)));
+                workloads.push(Box::new(SqliteShareWorkload::new(seed, 24, 10)));
+                workloads.push(Box::new(InnodbShareWorkload::new(seed, 40, 60)));
+            }
+            other => return Err(CliError(format!("bad --workload: {other}"))),
+        }
+    }
+
+    if let Some(index) = flag_value(args, "--index") {
+        // Single-case reproduction of a reported triple.
+        let index = parse_u64(index, "index")?;
+        let [mode] = modes[..] else {
+            return Err(CliError("--index needs a single --mode, not all".into()));
+        };
+        let [w] = &workloads[..] else {
+            return Err(CliError("--index needs a single --workload".into()));
+        };
+        return match w.run_case(mode, index) {
+            Ok(()) => {
+                writeln!(
+                    out,
+                    "PASS (workload={}, mode={}, crash_index={index})",
+                    w.name(),
+                    mode.label()
+                )
+                .unwrap();
+                Ok(())
+            }
+            Err(reason) => Err(CliError(format!(
+                "FAIL (workload={}, mode={}, crash_index={index}): {reason}",
+                w.name(),
+                mode.label()
+            ))),
+        };
+    }
+
+    let mut violations = 0usize;
+    for w in &workloads {
+        let report = sweep(w.as_ref(), &modes, stride);
+        writeln!(out, "{report}").unwrap();
+        for f in &report.failures {
+            writeln!(out, "  {f}").unwrap();
+        }
+        violations += report.failures.len();
+    }
+    if violations > 0 {
+        return Err(CliError(format!(
+            "{violations} crash case(s) violated the recovery oracle (triples above)"
+        )));
+    }
+    Ok(())
 }

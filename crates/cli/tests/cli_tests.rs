@@ -73,3 +73,37 @@ fn create_refuses_to_overwrite() {
     cmd(&["create", img, "16"]).unwrap();
     assert!(cmd(&["create", img, "16"]).unwrap_err().contains("exists"));
 }
+
+#[test]
+fn crashsweep_strided_ftl_sweep_is_clean() {
+    let out = cmd(&["crashsweep", "--workload", "ftl", "--stride", "40"]).unwrap();
+    assert!(out.contains("workload=ftl-mixed-s42-n300"), "{out}");
+    assert!(out.contains("violations=0"), "{out}");
+}
+
+#[test]
+fn crashsweep_replays_a_single_triple() {
+    let out = cmd(&[
+        "crashsweep", "--workload", "ftl", "--mode", "torn-half", "--index", "10",
+    ])
+    .unwrap();
+    assert!(out.contains("PASS (workload=ftl-mixed-s42-n300, mode=torn-half, crash_index=10)"), "{out}");
+}
+
+#[test]
+fn crashsweep_sweeps_a_trace_file() {
+    let dir = tmpdir();
+    let trace = dir.join("share.txt");
+    std::fs::write(&trace, "W 0\nW 1\nF\nS 8 0 2\nF\n").unwrap();
+    let out = cmd(&["crashsweep", "--trace", trace.to_str().unwrap(), "--stride", "1"]).unwrap();
+    assert!(out.contains("workload=ftl-trace-share"), "{out}");
+    assert!(out.contains("violations=0"), "{out}");
+}
+
+#[test]
+fn crashsweep_rejects_bad_arguments() {
+    assert!(cmd(&["crashsweep", "--workload", "bogus"]).unwrap_err().contains("bad --workload"));
+    assert!(cmd(&["crashsweep", "--mode", "half-torn"]).unwrap_err().contains("bad --mode"));
+    let e = cmd(&["crashsweep", "--workload", "ftl", "--index", "5"]).unwrap_err();
+    assert!(e.contains("single --mode"), "{e}");
+}

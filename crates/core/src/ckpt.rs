@@ -22,6 +22,8 @@ const COMMIT_MAGIC: u32 = 0x4343_4D54; // "CCMT"
 pub struct RecoveredCheckpoint {
     /// Slot the snapshot was read from (0 or 1).
     pub slot: u32,
+    /// Monotonic checkpoint generation (see [`write_checkpoint`]).
+    pub generation: u64,
     /// Delta sequence number from which the log continues.
     pub next_delta_seq: u64,
     /// The snapshotted L2P table.
@@ -52,12 +54,18 @@ pub fn checkpoint_pages(cfg: &FtlConfig) -> u32 {
 }
 
 /// Write a full snapshot into `slot`. `next_delta_seq` is the delta
-/// sequence number the log continues from after this checkpoint. Returns
-/// the number of meta pages programmed.
+/// sequence number the log continues from after this checkpoint;
+/// `generation` must strictly increase across checkpoints. The delta
+/// sequence alone cannot order the two slots: consecutive checkpoints
+/// with only RAM-buffered deltas between them (plain writes, no flush)
+/// carry the *same* `next_delta_seq`, and recovery picking the stale
+/// slot on that tie silently rolls back committed writes. Returns the
+/// number of meta pages programmed.
 pub fn write_checkpoint(
     cfg: &FtlConfig,
     nand: &mut NandArray,
     slot: u32,
+    generation: u64,
     next_delta_seq: u64,
     l2p: &[Ppn],
 ) -> Result<u64, FtlError> {
@@ -77,6 +85,7 @@ pub fn write_checkpoint(
     put_u64(&mut page, 4, next_delta_seq);
     put_u64(&mut page, 12, cfg.logical_pages);
     put_u32(&mut page, 20, table_crc);
+    put_u64(&mut page, 24, generation);
     nand.program(slot_ppn(cfg, slot, 0), &page)?;
 
     // Table pages.
@@ -93,6 +102,7 @@ pub fn write_checkpoint(
     put_u32(&mut page, 0, COMMIT_MAGIC);
     put_u64(&mut page, 4, next_delta_seq);
     put_u32(&mut page, 12, table_crc);
+    put_u64(&mut page, 16, generation);
     nand.program(slot_ppn(cfg, slot, 1 + table_pages), &page)?;
 
     Ok(table_pages as u64 + 2)
@@ -108,6 +118,7 @@ fn read_slot(cfg: &FtlConfig, nand: &mut NandArray, slot: u32) -> Option<Recover
     let seq = get_u64(&buf, 4);
     let count = get_u64(&buf, 12);
     let table_crc = get_u32(&buf, 20);
+    let generation = get_u64(&buf, 24);
     if count != cfg.logical_pages {
         return None;
     }
@@ -116,7 +127,11 @@ fn read_slot(cfg: &FtlConfig, nand: &mut NandArray, slot: u32) -> Option<Recover
 
     // Commit page first: cheap validity check before reading the table.
     nand.read(slot_ppn(cfg, slot, 1 + table_pages), &mut buf).ok()?;
-    if get_u32(&buf, 0) != COMMIT_MAGIC || get_u64(&buf, 4) != seq || get_u32(&buf, 12) != table_crc {
+    if get_u32(&buf, 0) != COMMIT_MAGIC
+        || get_u64(&buf, 4) != seq
+        || get_u32(&buf, 12) != table_crc
+        || get_u64(&buf, 16) != generation
+    {
         return None;
     }
 
@@ -133,15 +148,17 @@ fn read_slot(cfg: &FtlConfig, nand: &mut NandArray, slot: u32) -> Option<Recover
         .chunks_exact(4)
         .map(|c| Ppn(u32::from_le_bytes(c.try_into().unwrap())))
         .collect();
-    Some(RecoveredCheckpoint { slot, next_delta_seq: seq, l2p })
+    Some(RecoveredCheckpoint { slot, generation, next_delta_seq: seq, l2p })
 }
 
-/// Read the newest valid checkpoint, if any slot holds one.
+/// Read the newest valid checkpoint, if any slot holds one. Ordered by
+/// generation — delta sequence numbers tie across checkpoints that had
+/// no intervening log flush, so they cannot order the slots.
 pub fn read_latest(cfg: &FtlConfig, nand: &mut NandArray) -> Option<RecoveredCheckpoint> {
     let a = read_slot(cfg, nand, 0);
     let b = read_slot(cfg, nand, 1);
     match (a, b) {
-        (Some(a), Some(b)) => Some(if a.next_delta_seq >= b.next_delta_seq { a } else { b }),
+        (Some(a), Some(b)) => Some(if a.generation >= b.generation { a } else { b }),
         (Some(a), None) => Some(a),
         (None, Some(b)) => Some(b),
         (None, None) => None,
@@ -169,7 +186,7 @@ mod tests {
     fn write_then_read_round_trips() {
         let (cfg, mut nand) = setup();
         let l2p = sample_l2p(&cfg);
-        write_checkpoint(&cfg, &mut nand, 0, 42, &l2p).unwrap();
+        write_checkpoint(&cfg, &mut nand, 0, 1, 42, &l2p).unwrap();
         let r = read_latest(&cfg, &mut nand).unwrap();
         assert_eq!(r.slot, 0);
         assert_eq!(r.next_delta_seq, 42);
@@ -188,8 +205,8 @@ mod tests {
         let old = sample_l2p(&cfg);
         let mut new = old.clone();
         new[0] = Ppn(777);
-        write_checkpoint(&cfg, &mut nand, 0, 10, &old).unwrap();
-        write_checkpoint(&cfg, &mut nand, 1, 20, &new).unwrap();
+        write_checkpoint(&cfg, &mut nand, 0, 1, 10, &old).unwrap();
+        write_checkpoint(&cfg, &mut nand, 1, 2, 20, &new).unwrap();
         let r = read_latest(&cfg, &mut nand).unwrap();
         assert_eq!(r.slot, 1);
         assert_eq!(r.l2p[0], Ppn(777));
@@ -199,9 +216,9 @@ mod tests {
     fn slots_alternate_by_erasure() {
         let (cfg, mut nand) = setup();
         let l2p = sample_l2p(&cfg);
-        write_checkpoint(&cfg, &mut nand, 0, 10, &l2p).unwrap();
-        write_checkpoint(&cfg, &mut nand, 1, 20, &l2p).unwrap();
-        write_checkpoint(&cfg, &mut nand, 0, 30, &l2p).unwrap(); // reuse slot 0
+        write_checkpoint(&cfg, &mut nand, 0, 1, 10, &l2p).unwrap();
+        write_checkpoint(&cfg, &mut nand, 1, 2, 20, &l2p).unwrap();
+        write_checkpoint(&cfg, &mut nand, 0, 3, 30, &l2p).unwrap(); // reuse slot 0
         let r = read_latest(&cfg, &mut nand).unwrap();
         assert_eq!(r.next_delta_seq, 30);
         assert_eq!(r.slot, 0);
@@ -211,12 +228,12 @@ mod tests {
     fn crash_during_checkpoint_preserves_previous_snapshot() {
         let (cfg, mut nand) = setup();
         let old = sample_l2p(&cfg);
-        write_checkpoint(&cfg, &mut nand, 0, 10, &old).unwrap();
+        write_checkpoint(&cfg, &mut nand, 0, 1, 10, &old).unwrap();
         // Crash while writing slot 1, before its commit page lands.
         nand.fault_handle().arm_after_programs(2, nand_sim::FaultMode::TornHalf);
         let mut new = old.clone();
         new[1] = Ppn(555);
-        assert!(write_checkpoint(&cfg, &mut nand, 1, 20, &new).is_err());
+        assert!(write_checkpoint(&cfg, &mut nand, 1, 2, 20, &new).is_err());
         nand.power_cycle();
         let r = read_latest(&cfg, &mut nand).unwrap();
         assert_eq!(r.next_delta_seq, 10, "old snapshot must survive");
@@ -227,11 +244,11 @@ mod tests {
     fn corrupt_commit_page_invalidates_slot() {
         let (cfg, mut nand) = setup();
         let l2p = sample_l2p(&cfg);
-        write_checkpoint(&cfg, &mut nand, 0, 5, &l2p).unwrap();
+        write_checkpoint(&cfg, &mut nand, 0, 1, 5, &l2p).unwrap();
         // Fault exactly on the commit page of the second checkpoint.
         let pages = checkpoint_pages(&cfg);
         nand.fault_handle().arm_after_programs(pages as u64, nand_sim::FaultMode::DroppedWrite);
-        assert!(write_checkpoint(&cfg, &mut nand, 1, 6, &l2p).is_err());
+        assert!(write_checkpoint(&cfg, &mut nand, 1, 2, 6, &l2p).is_err());
         nand.power_cycle();
         let r = read_latest(&cfg, &mut nand).unwrap();
         assert_eq!(r.slot, 0);
@@ -242,7 +259,24 @@ mod tests {
     fn checkpoint_page_count_matches_layout() {
         let (cfg, mut nand) = setup();
         let l2p = sample_l2p(&cfg);
-        let written = write_checkpoint(&cfg, &mut nand, 0, 1, &l2p).unwrap();
+        let written = write_checkpoint(&cfg, &mut nand, 0, 1, 1, &l2p).unwrap();
         assert_eq!(written, checkpoint_pages(&cfg) as u64);
+    }
+
+    #[test]
+    fn generation_breaks_the_delta_seq_tie() {
+        // Two checkpoints with no log flush between them carry the same
+        // next_delta_seq; before generations, recovery could pick the
+        // stale slot and roll back committed writes.
+        let (cfg, mut nand) = setup();
+        let old = sample_l2p(&cfg);
+        let mut new = old.clone();
+        new[0] = Ppn(777);
+        write_checkpoint(&cfg, &mut nand, 0, 1, 10, &old).unwrap();
+        write_checkpoint(&cfg, &mut nand, 1, 2, 10, &new).unwrap();
+        let r = read_latest(&cfg, &mut nand).unwrap();
+        assert_eq!(r.slot, 1, "the higher generation must win the seq tie");
+        assert_eq!(r.generation, 2);
+        assert_eq!(r.l2p[0], Ppn(777));
     }
 }

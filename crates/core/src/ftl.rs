@@ -39,6 +39,27 @@ pub struct WearStats {
     pub mean_erases: f64,
 }
 
+impl WearStats {
+    /// Summarize a sequence of per-block erase counts. An empty pool
+    /// yields all-zero stats rather than `min == u32::MAX` and a NaN mean.
+    pub fn from_counts(counts: impl IntoIterator<Item = u32>) -> WearStats {
+        let mut min = u32::MAX;
+        let mut max = 0u32;
+        let mut sum = 0u64;
+        let mut n = 0u64;
+        for e in counts {
+            min = min.min(e);
+            max = max.max(e);
+            sum += e as u64;
+            n += 1;
+        }
+        if n == 0 {
+            return WearStats { min_erases: 0, max_erases: 0, mean_erases: 0.0 };
+        }
+        WearStats { min_erases: min, max_erases: max, mean_erases: sum as f64 / n as f64 }
+    }
+}
+
 /// A flash device exposing the SHARE interface.
 #[derive(Debug)]
 pub struct Ftl {
@@ -49,6 +70,8 @@ pub struct Ftl {
     pool: BlockPool,
     stats: DeviceStats,
     last_ckpt_slot: u32,
+    /// Generation the next checkpoint will carry (strictly increasing).
+    next_ckpt_gen: u64,
     page_buf: Vec<u8>,
 }
 
@@ -74,6 +97,7 @@ impl Ftl {
             pool,
             stats: DeviceStats::default(),
             last_ckpt_slot: 1,
+            next_ckpt_gen: 0,
             page_buf: vec![0u8; page_size],
         };
         ftl.checkpoint().expect("initial checkpoint on an erased device cannot fail");
@@ -87,11 +111,12 @@ impl Ftl {
     pub fn open(cfg: FtlConfig, mut nand: NandArray) -> Result<Self, FtlError> {
         cfg.validate();
         nand.power_cycle();
+        let nand_before = nand.stats();
 
         let recovered = ckpt::read_latest(&cfg, &mut nand);
-        let (next_seq0, base, slot) = match recovered {
-            Some(c) => (c.next_delta_seq, Some(c.l2p), c.slot),
-            None => (0, None, 1),
+        let (next_seq0, base, slot, gen) = match recovered {
+            Some(c) => (c.next_delta_seq, Some(c.l2p), c.slot, c.generation + 1),
+            None => (0, None, 1, 0),
         };
 
         let mut map = MappingTable::with_policy(cfg.geometry, cfg.logical_pages, cfg.revmap_capacity, cfg.revmap_policy);
@@ -130,9 +155,18 @@ impl Ftl {
             pool,
             stats: DeviceStats::default(),
             last_ckpt_slot: slot,
+            next_ckpt_gen: gen,
             page_buf: vec![0u8; page_size],
         };
         ftl.checkpoint()?;
+        // Account what recovery itself cost (checkpoint scan, delta
+        // replay, pool rebuild, and the closing checkpoint) so a reopened
+        // device is not indistinguishable from a fresh one and crash
+        // sweeps can bound recovery work.
+        let spent = ftl.nand.stats().delta_since(&nand_before);
+        ftl.stats.recoveries = 1;
+        ftl.stats.recovery_page_reads = spent.page_reads;
+        ftl.stats.recovery_page_writes = spent.page_programs;
         Ok(ftl)
     }
 
@@ -181,17 +215,8 @@ impl Ftl {
     /// Wear summary over the data pool: (min, max, mean) erase counts.
     /// A tight min/max spread indicates effective wear leveling.
     pub fn wear_stats(&self) -> WearStats {
-        let mut min = u32::MAX;
-        let mut max = 0u32;
-        let mut sum = 0u64;
         let n = self.pool.block_count();
-        for rel in 0..n {
-            let e = self.nand.erase_count(self.pool.abs(rel));
-            min = min.min(e);
-            max = max.max(e);
-            sum += e as u64;
-        }
-        WearStats { min_erases: min, max_erases: max, mean_erases: sum as f64 / n as f64 }
+        WearStats::from_counts((0..n).map(|rel| self.nand.erase_count(self.pool.abs(rel))))
     }
 
     /// Exhaustively check mapping invariants (test helper).
@@ -227,9 +252,11 @@ impl Ftl {
         let slot = 1 - self.last_ckpt_slot;
         let seq = self.log.next_seq();
         let l2p = self.map.l2p_raw().to_vec();
-        let pages = ckpt::write_checkpoint(&self.cfg, &mut self.nand, slot, seq, &l2p)?;
+        let gen = self.next_ckpt_gen;
+        let pages = ckpt::write_checkpoint(&self.cfg, &mut self.nand, slot, gen, seq, &l2p)?;
         self.log.reset(&mut self.nand)?;
         self.last_ckpt_slot = slot;
+        self.next_ckpt_gen = gen + 1;
         self.stats.checkpoints += 1;
         self.stats.meta_page_writes += pages;
         Ok(())
@@ -951,6 +978,46 @@ mod tests {
             (0..f.write_atomic_limit() as u64 + 1).map(|i| (Lpn(i), img.as_slice())).collect();
         assert!(matches!(f.write_atomic(&too_big), Err(FtlError::BatchTooLarge { .. })));
         assert_eq!(f.stats().host_writes, 0, "failed batches must not write");
+    }
+
+    #[test]
+    fn wear_stats_empty_pool_is_all_zero() {
+        // A zero-block pool must not report min == u32::MAX / mean == NaN.
+        let w = WearStats::from_counts(std::iter::empty::<u32>());
+        assert_eq!(w.min_erases, 0);
+        assert_eq!(w.max_erases, 0);
+        assert_eq!(w.mean_erases, 0.0);
+        assert!(!w.mean_erases.is_nan());
+    }
+
+    #[test]
+    fn wear_stats_from_counts_summarizes() {
+        let w = WearStats::from_counts([3u32, 1, 2]);
+        assert_eq!(w.min_erases, 1);
+        assert_eq!(w.max_erases, 3);
+        assert!((w.mean_erases - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn open_reports_recovery_cost_in_stats() {
+        let mut f = tiny();
+        for i in 0..40u64 {
+            f.write(Lpn(i), &pagev(i as u8, &f)).unwrap();
+        }
+        f.flush().unwrap();
+        let cfg = f.config().clone();
+        let rec = Ftl::open(cfg.clone(), f.into_nand()).unwrap();
+        let s = rec.stats();
+        assert_eq!(s.recoveries, 1);
+        assert!(s.recovery_page_reads > 0, "recovery must scan the image");
+        // Recovery programs exactly the fresh closing checkpoint: header +
+        // table pages + commit page.
+        let table_pages = (cfg.logical_pages * 4).div_ceil(cfg.geometry.page_size as u64);
+        assert_eq!(s.recovery_page_writes, table_pages + 2);
+        // A freshly formatted device, by contrast, has never recovered.
+        let fresh = tiny();
+        assert_eq!(fresh.stats().recoveries, 0);
+        assert_eq!(fresh.stats().recovery_page_writes, 0);
     }
 
     #[test]

@@ -35,6 +35,15 @@ pub struct DeviceStats {
     pub meta_page_writes: u64,
     /// Mapping-table checkpoints taken.
     pub checkpoints: u64,
+    /// Crash recoveries performed by [`crate::Ftl::open`] into this
+    /// device instance (1 for a reopened device, 0 for a fresh format).
+    pub recoveries: u64,
+    /// NAND pages read while recovering (checkpoint scan + delta-log
+    /// replay + block-state rebuild).
+    pub recovery_page_reads: u64,
+    /// NAND pages programmed while recovering (the fresh checkpoint that
+    /// closes recovery). Crash sweeps assert bounds on this.
+    pub recovery_page_writes: u64,
     /// Raw NAND counters (includes meta and GC traffic).
     pub nand: NandStats,
 }
@@ -65,6 +74,9 @@ impl DeviceStats {
             gc_erases: self.gc_erases - earlier.gc_erases,
             meta_page_writes: self.meta_page_writes - earlier.meta_page_writes,
             checkpoints: self.checkpoints - earlier.checkpoints,
+            recoveries: self.recoveries - earlier.recoveries,
+            recovery_page_reads: self.recovery_page_reads - earlier.recovery_page_reads,
+            recovery_page_writes: self.recovery_page_writes - earlier.recovery_page_writes,
             nand: self.nand.delta_since(&earlier.nand),
         }
     }

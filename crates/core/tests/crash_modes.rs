@@ -1,0 +1,177 @@
+//! Targeted fault-mode coverage at the FTL's two metadata write sites
+//! (PR 2, satellite of the crash-sweep harness).
+//!
+//! The broad sweep in `crates/crashsweep` hits these sites statistically;
+//! this file pins them down deterministically: every [`FaultMode`] is
+//! injected exactly at the delta-log page program (both the `share`
+//! atomic-batch path and the plain `flush` path) and at every program of
+//! a checkpoint (header, each table page, commit page), with
+//! mode-specific expectations for what recovery must show.
+
+use nand_sim::{FaultMode, NandTiming};
+use share_core::{BlockDevice, Ftl, FtlConfig, Lpn, SharePair};
+
+fn cfg() -> FtlConfig {
+    FtlConfig::for_capacity_with(1 << 20, 0.3, 4096, 16, NandTiming::zero())
+}
+
+fn table_pages(cfg: &FtlConfig) -> u64 {
+    (cfg.logical_pages * 4).div_ceil(cfg.geometry.page_size as u64)
+}
+
+fn write_fill(ftl: &mut Ftl, lpn: u64, fill: u8) {
+    let data = vec![fill; ftl.page_size()];
+    ftl.write(Lpn(lpn), &data).unwrap();
+}
+
+fn read_fill(ftl: &mut Ftl, lpn: u64) -> u8 {
+    let mut buf = vec![0u8; ftl.page_size()];
+    ftl.read(Lpn(lpn), &mut buf).unwrap();
+    assert!(buf.iter().all(|&b| b == buf[0]), "lpn {lpn} reads non-uniform content");
+    buf[0]
+}
+
+fn reopen(ftl: Ftl) -> Ftl {
+    let rec = Ftl::open(cfg(), ftl.into_nand()).expect("recovery must succeed");
+    assert_eq!(rec.stats().recoveries, 1);
+    rec
+}
+
+/// Crash exactly on the SHARE batch's single delta-log page program.
+/// Torn or dropped: the batch must roll back whole; after-program: the
+/// page landed, so the batch must be fully applied.
+#[test]
+fn share_batch_delta_page_crash_is_all_or_nothing() {
+    for mode in FaultMode::ALL {
+        let mut ftl = Ftl::new(cfg());
+        write_fill(&mut ftl, 0, 0xAA);
+        write_fill(&mut ftl, 1, 0xBB);
+        write_fill(&mut ftl, 2, 0xCC);
+        ftl.flush().unwrap();
+        let handle = ftl.fault_handle();
+        handle.arm_after_programs(1, mode); // share programs only the delta page
+        ftl.share(&[SharePair::new(Lpn(4), Lpn(0)), SharePair::new(Lpn(5), Lpn(1))])
+            .unwrap_err();
+        assert!(handle.is_down());
+        handle.disarm();
+
+        let mut rec = reopen(ftl);
+        let applied = rec.mapping_of(Lpn(4)).is_some();
+        match mode {
+            FaultMode::TornHalf | FaultMode::DroppedWrite => {
+                assert!(!applied, "{mode:?}: a lost delta page must undo the whole batch");
+                assert!(rec.mapping_of(Lpn(5)).is_none());
+            }
+            FaultMode::AfterProgram => {
+                assert!(applied, "{mode:?}: a landed delta page must commit the whole batch");
+                assert_eq!(read_fill(&mut rec, 4), 0xAA);
+                assert_eq!(read_fill(&mut rec, 5), 0xBB);
+            }
+        }
+        // The sources must be intact in every mode.
+        assert_eq!(read_fill(&mut rec, 0), 0xAA);
+        assert_eq!(read_fill(&mut rec, 1), 0xBB);
+        assert_eq!(read_fill(&mut rec, 2), 0xCC);
+    }
+}
+
+/// Crash exactly on the delta page a plain `flush` programs. The data
+/// page of the overwrite landed *before* the fault was armed, so only the
+/// mapping update is at risk: torn or dropped, the LPN must still read
+/// its old committed content; after-program, the new one.
+#[test]
+fn flush_delta_page_crash_keeps_committed_mapping() {
+    for mode in FaultMode::ALL {
+        let mut ftl = Ftl::new(cfg());
+        write_fill(&mut ftl, 7, 0x11);
+        ftl.flush().unwrap();
+        write_fill(&mut ftl, 7, 0x22); // data page programs here, delta buffered
+        let handle = ftl.fault_handle();
+        handle.arm_after_programs(1, mode); // next program: the flush's delta page
+        ftl.flush().unwrap_err();
+        assert!(handle.is_down());
+        handle.disarm();
+
+        let mut rec = reopen(ftl);
+        let got = read_fill(&mut rec, 7);
+        match mode {
+            FaultMode::TornHalf | FaultMode::DroppedWrite => {
+                assert_eq!(got, 0x11, "{mode:?}: lost delta page must keep the old mapping");
+            }
+            FaultMode::AfterProgram => {
+                assert_eq!(got, 0x22, "{mode:?}: landed delta page must expose the new write");
+            }
+        }
+    }
+}
+
+/// Crash at every program of a checkpoint (header, table pages, commit
+/// page) in every mode. The previous snapshot plus the delta log already
+/// cover everything committed, so recovery must always reproduce the
+/// pre-checkpoint state — whether or not the new snapshot completed.
+#[test]
+fn checkpoint_crash_at_every_page_preserves_committed_state() {
+    let ckpt_programs = table_pages(&cfg()) + 2;
+    for mode in FaultMode::ALL {
+        for k in 1..=ckpt_programs {
+            let mut ftl = Ftl::new(cfg());
+            write_fill(&mut ftl, 0, 0x42);
+            write_fill(&mut ftl, 9, 0x43);
+            ftl.flush().unwrap();
+            write_fill(&mut ftl, 3, 0x44); // buffered delta rides into the snapshot
+            let handle = ftl.fault_handle();
+            handle.arm_after_programs(k, mode);
+            ftl.checkpoint().unwrap_err();
+            assert!(handle.is_down(), "mode {mode:?} k {k}: checkpoint must hit the fault");
+            handle.disarm();
+
+            let mut rec = reopen(ftl);
+            assert_eq!(read_fill(&mut rec, 0), 0x42, "mode {mode:?} k {k}");
+            assert_eq!(read_fill(&mut rec, 9), 0x43, "mode {mode:?} k {k}");
+            // The un-flushed write is durable only if the crashed
+            // checkpoint's commit record landed. That happens for
+            // AfterProgram on the last program, and also for TornHalf
+            // there: the whole commit record sits in the intact first
+            // half of the torn page, and the table it validates was fully
+            // programmed before it — so the snapshot is genuinely
+            // complete. Only a dropped commit page leaves it invalid.
+            let survived = read_fill(&mut rec, 3);
+            if k == ckpt_programs && mode != FaultMode::DroppedWrite {
+                assert_eq!(survived, 0x44, "completed checkpoint must keep the buffered write");
+            } else {
+                assert_eq!(survived, 0, "mode {mode:?} k {k}: buffered write must roll back");
+                assert!(rec.mapping_of(Lpn(3)).is_none());
+            }
+        }
+    }
+}
+
+/// Regression (found by the crash sweep): two checkpoints with only
+/// RAM-buffered deltas between them carry the same `next_delta_seq`, and
+/// recovery used to pick between the slots by that sequence — a tie it
+/// could resolve to the *stale* snapshot, silently rolling back committed
+/// writes. Checkpoint generations now order the slots.
+#[test]
+fn back_to_back_checkpoints_recover_to_the_newer_snapshot() {
+    let mut ftl = Ftl::new(cfg());
+    // No flush between format's initial checkpoint and this one: the
+    // write's delta stays buffered, so both snapshots share a delta seq.
+    write_fill(&mut ftl, 12, 0x77);
+    ftl.checkpoint().unwrap();
+
+    let mut rec = reopen(ftl);
+    assert_eq!(
+        read_fill(&mut rec, 12),
+        0x77,
+        "recovery picked the stale checkpoint slot on a delta-seq tie"
+    );
+
+    // Same shape one level deeper: two explicit checkpoints in a row.
+    write_fill(&mut rec, 13, 0x78);
+    rec.checkpoint().unwrap();
+    write_fill(&mut rec, 14, 0x79);
+    rec.checkpoint().unwrap();
+    let mut rec2 = reopen(rec);
+    assert_eq!(read_fill(&mut rec2, 13), 0x78);
+    assert_eq!(read_fill(&mut rec2, 14), 0x79);
+}

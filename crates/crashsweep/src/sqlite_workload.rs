@@ -1,0 +1,190 @@
+//! Crash sweep through mini-SQLite's SHARE journal mode.
+//!
+//! The workload commits a serial sequence of update transactions over a
+//! fixed key set. In SHARE mode a transaction is the paper's §3.3 commit
+//! protocol: stage after-images beyond the database tail, fsync, then one
+//! `share` batch rebinds the home pages — so a returned `commit()` is
+//! durable, and a crashed commit must be all-or-nothing. The oracle:
+//! after `Ftl::open` + `MiniSqlite::open`, the database must equal the
+//! state after exactly `c` committed transactions, where `c` is the count
+//! of successful commits, or `c + 1` only when the crash hit the commit
+//! call itself (its share batch may have landed).
+
+use crate::CrashWorkload;
+use mini_sqlite::{JournalMode, MiniSqlite, SqliteConfig};
+use nand_sim::{FaultMode, NandTiming};
+use share_core::{BlockDevice, Ftl, FtlConfig};
+use share_rng::{Rng, StdRng};
+
+fn ftl_cfg() -> FtlConfig {
+    FtlConfig::for_capacity_with(8 << 20, 0.3, 4096, 32, NandTiming::zero())
+}
+
+fn sq_cfg() -> SqliteConfig {
+    // Small database + WAL areas so the whole image (plus the pager's
+    // fixed 512-page SHARE staging tail) fits the 2048-page device.
+    SqliteConfig { mode: JournalMode::Share, max_pages: 256, wal_checkpoint_frames: 8 }
+}
+
+fn val(key: u64, version: u64) -> Vec<u8> {
+    let mut v = vec![(key ^ version) as u8; 64];
+    v[..8].copy_from_slice(&key.to_le_bytes());
+    v[8..16].copy_from_slice(&version.to_le_bytes());
+    v
+}
+
+/// Serial update transactions against mini-SQLite in SHARE journal mode.
+#[derive(Debug, Clone)]
+pub struct SqliteShareWorkload {
+    seed: u64,
+    keys: u64,
+    /// Per transaction: the keys it updates (all to version = txn index + 1).
+    txns: Vec<Vec<u64>>,
+    /// `versions[n][k]` = version of key `k` after `n` committed txns.
+    versions: Vec<Vec<u64>>,
+}
+
+impl SqliteShareWorkload {
+    /// `n_txns` transactions of 1–3 key updates over `keys` keys.
+    pub fn new(seed: u64, keys: u64, n_txns: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut txns = Vec::with_capacity(n_txns);
+        let mut versions = vec![vec![0u64; keys as usize]];
+        for t in 0..n_txns {
+            let mut ks: Vec<u64> = Vec::new();
+            for _ in 0..rng.random_range(1..4usize) {
+                let k = rng.random_range(0..keys);
+                if !ks.contains(&k) {
+                    ks.push(k);
+                }
+            }
+            let mut next = versions.last().unwrap().clone();
+            for &k in &ks {
+                next[k as usize] = t as u64 + 1;
+            }
+            versions.push(next);
+            txns.push(ks);
+        }
+        Self { seed, keys, txns, versions }
+    }
+
+    /// Build the database and load the initial keys (fault disarmed).
+    fn setup(&self) -> Result<(MiniSqlite<Ftl>, nand_sim::FaultHandle), String> {
+        let dev = Ftl::new(ftl_cfg());
+        let handle = dev.fault_handle();
+        let mut db = MiniSqlite::create(dev, sq_cfg())
+            .map_err(|e| format!("setup: create failed: {e}"))?;
+        for k in 0..self.keys {
+            db.put(k, &val(k, 0)).map_err(|e| format!("setup: put failed: {e}"))?;
+        }
+        db.commit().map_err(|e| format!("setup: initial commit failed: {e}"))?;
+        Ok((db, handle))
+    }
+
+    fn state_matches(db: &mut MiniSqlite<Ftl>, keys: u64, versions: &[u64]) -> bool {
+        if db.key_count() != keys as usize {
+            return false;
+        }
+        for k in 0..keys {
+            match db.get(k) {
+                Ok(Some(v)) if v == val(k, versions[k as usize]) => {}
+                _ => return false,
+            }
+        }
+        true
+    }
+}
+
+impl CrashWorkload for SqliteShareWorkload {
+    fn name(&self) -> String {
+        format!("sqlite-share-s{}-k{}-t{}", self.seed, self.keys, self.txns.len())
+    }
+
+    fn crash_points(&self) -> u64 {
+        let (mut db, handle) = self.setup().expect("fault-free setup cannot fail");
+        let base = handle.programs_seen();
+        for (t, ks) in self.txns.iter().enumerate() {
+            for &k in ks {
+                db.put(k, &val(k, t as u64 + 1)).expect("fault-free put cannot fail");
+            }
+            db.commit().expect("fault-free commit cannot fail");
+        }
+        handle.programs_seen() - base
+    }
+
+    fn run_case(&self, mode: FaultMode, index: u64) -> Result<(), String> {
+        let (mut db, handle) = self.setup()?;
+        handle.arm_after_programs(index, mode);
+        let mut committed = 0usize;
+        let mut commit_crashed = false;
+        'txns: for (t, ks) in self.txns.iter().enumerate() {
+            for &k in ks {
+                if db.put(k, &val(k, t as u64 + 1)).is_err() {
+                    if !handle.is_down() {
+                        return Err(format!("txn {t}: put failed without a crash"));
+                    }
+                    break 'txns;
+                }
+            }
+            match db.commit() {
+                Ok(()) => committed = t + 1,
+                Err(_) => {
+                    if !handle.is_down() {
+                        return Err(format!("txn {t}: commit failed without a crash"));
+                    }
+                    commit_crashed = true;
+                    break 'txns;
+                }
+            }
+        }
+        handle.disarm();
+
+        let nand = db.into_device().into_nand();
+        let rec = Ftl::open(ftl_cfg(), nand)
+            .map_err(|e| format!("Ftl::open failed after crash: {e}"))?;
+        if rec.stats().recoveries != 1 {
+            return Err("reopened device does not report a recovery".into());
+        }
+        let mut db2 = MiniSqlite::open(rec, sq_cfg())
+            .map_err(|e| format!("MiniSqlite::open failed after recovery: {e}"))?;
+
+        if Self::state_matches(&mut db2, self.keys, &self.versions[committed]) {
+            return Ok(());
+        }
+        // A crash inside commit may have made that txn durable.
+        if commit_crashed
+            && Self::state_matches(&mut db2, self.keys, &self.versions[committed + 1])
+        {
+            return Ok(());
+        }
+        Err(format!(
+            "recovered database matches neither {committed} committed txns nor \
+             the in-flight one (commit_crashed={commit_crashed})"
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_deterministic_and_nonempty() {
+        let a = SqliteShareWorkload::new(5, 24, 10);
+        let b = SqliteShareWorkload::new(5, 24, 10);
+        assert_eq!(a.txns, b.txns);
+        assert_eq!(a.versions, b.versions);
+        let points = a.crash_points();
+        assert_eq!(points, b.crash_points());
+        assert!(points > 10, "10 SHARE commits should program > 10 pages, got {points}");
+    }
+
+    #[test]
+    fn one_case_of_each_mode_passes_the_oracle() {
+        let w = SqliteShareWorkload::new(2, 16, 6);
+        let mid = w.crash_points() / 2;
+        for mode in FaultMode::ALL {
+            w.run_case(mode, mid.max(1)).unwrap();
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Smoke tier of the crash-point sweep (PR 2 acceptance gate).
+//!
+//! Strided sweeps over the FTL-level mixed workload and both engine-level
+//! workloads, each crossed with all three fault modes. Together they must
+//! visit at least 200 distinct crash points with zero oracle violations,
+//! in seconds — this file runs inside plain `cargo test` and therefore
+//! inside `scripts/verify.sh`.
+//!
+//! The deep soak tier is the same sweep with stride 1 (exhaustive) and
+//! larger workloads; it is gated on the `SHARE_CRASH_POINTS` environment
+//! variable (see `deep_sweep_soak` below and ROADMAP.md).
+
+use nand_sim::FaultMode;
+use share_crashsweep::{
+    deep_point_cap, sweep, CrashWorkload, FtlMixedWorkload, InnodbShareWorkload,
+    SqliteShareWorkload,
+};
+
+/// Stride that visits about `target` points of a `total`-point space.
+fn stride_for(total: u64, target: u64) -> u64 {
+    (total / target).max(1)
+}
+
+fn run_smoke(workload: &dyn CrashWorkload, target_points: u64) -> u64 {
+    let total = workload.crash_points();
+    let report = sweep(workload, &FaultMode::ALL, stride_for(total, target_points));
+    println!("smoke: {report}");
+    report.assert_clean();
+    assert_eq!(report.cases_run, report.points_visited * 3);
+    report.points_visited
+}
+
+#[test]
+fn smoke_sweep_covers_200_points_across_the_stack() {
+    let mut visited = 0;
+    // FTL-level: mixed writes / trims / shares / atomic batches / checkpoints.
+    visited += run_smoke(&FtlMixedWorkload::new(42, 300), 180);
+    // Engine-level: mini-SQLite's SHARE journal commit protocol.
+    visited += run_smoke(&SqliteShareWorkload::new(7, 24, 10), 45);
+    // Engine-level: mini-InnoDB's DWB-via-SHARE flush/checkpoint path.
+    visited += run_smoke(&InnodbShareWorkload::new(9, 40, 60), 45);
+    assert!(
+        visited >= 200,
+        "smoke tier must visit at least 200 distinct crash points, got {visited}"
+    );
+}
+
+/// Deep soak: exhaustive (stride 1) sweeps, capped per workload by the
+/// `SHARE_CRASH_POINTS` environment variable. Unset → this test is a
+/// no-op so plain `cargo test` stays fast.
+///
+/// Example: `SHARE_CRASH_POINTS=5000 cargo test -p share-crashsweep
+/// --release -- deep_sweep_soak --nocapture`
+#[test]
+fn deep_sweep_soak() {
+    let Some(cap) = deep_point_cap() else { return };
+    let workloads: [Box<dyn CrashWorkload>; 3] = [
+        Box::new(FtlMixedWorkload::new(1009, 800)),
+        Box::new(SqliteShareWorkload::new(1013, 32, 25)),
+        Box::new(InnodbShareWorkload::new(1019, 48, 150)),
+    ];
+    for w in &workloads {
+        let total = w.crash_points();
+        let stride = stride_for(total, cap);
+        let report = sweep(w.as_ref(), &FaultMode::ALL, stride);
+        println!("deep: {report}");
+        report.assert_clean();
+    }
+}

@@ -12,15 +12,56 @@ use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Arc;
 
 /// What the injected fault does to the in-flight program.
+///
+/// The discriminants are explicit because the mode crosses the
+/// [`FaultHandle`]'s atomic as an `i64`; [`FaultMode::from_i64`] is the
+/// single decode point, so adding a mode without extending it is a
+/// compile/test error rather than a silent fallback to another mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[repr(i64)]
 pub enum FaultMode {
     /// Half the page gets the new content, the rest stays erased (0xFF).
     #[default]
-    TornHalf,
+    TornHalf = 0,
     /// The program is lost entirely (page remains erased).
-    DroppedWrite,
+    DroppedWrite = 1,
     /// The program completes, *then* power fails (clean crash boundary).
-    AfterProgram,
+    AfterProgram = 2,
+}
+
+impl FaultMode {
+    /// Every mode, for exhaustive crash sweeps.
+    pub const ALL: [FaultMode; 3] =
+        [FaultMode::TornHalf, FaultMode::DroppedWrite, FaultMode::AfterProgram];
+
+    /// The explicit discriminant (what [`FaultHandle`] stores atomically).
+    pub fn as_i64(self) -> i64 {
+        self as i64
+    }
+
+    /// Inverse of [`FaultMode::as_i64`]; `None` for unknown values.
+    pub fn from_i64(v: i64) -> Option<FaultMode> {
+        match v {
+            0 => Some(FaultMode::TornHalf),
+            1 => Some(FaultMode::DroppedWrite),
+            2 => Some(FaultMode::AfterProgram),
+            _ => None,
+        }
+    }
+
+    /// Stable lowercase name (CLI arguments, sweep reports).
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultMode::TornHalf => "torn-half",
+            FaultMode::DroppedWrite => "dropped-write",
+            FaultMode::AfterProgram => "after-program",
+        }
+    }
+
+    /// Inverse of [`FaultMode::label`].
+    pub fn from_label(s: &str) -> Option<FaultMode> {
+        FaultMode::ALL.into_iter().find(|m| m.label() == s)
+    }
 }
 
 #[derive(Debug, Default)]
@@ -31,6 +72,10 @@ struct FaultState {
     down: AtomicBool,
     /// Number of faults fired over the device lifetime.
     fired: AtomicI64,
+    /// Program *attempts* observed over the device lifetime (counted even
+    /// while disarmed, and even for programs the fault then drops). Crash
+    /// sweeps read this to enumerate the crash-point space of a workload.
+    seen: AtomicI64,
 }
 
 /// Shared handle controlling power-loss injection on one [`crate::NandArray`].
@@ -40,7 +85,7 @@ struct FaultState {
 #[derive(Debug, Clone, Default)]
 pub struct FaultHandle {
     state: Arc<FaultState>,
-    mode_torn: Arc<AtomicI64>, // encodes FaultMode as i64 for atomic swap
+    mode: Arc<AtomicI64>, // FaultMode discriminant (see FaultMode::as_i64)
 }
 
 impl FaultHandle {
@@ -55,7 +100,7 @@ impl FaultHandle {
     /// (1 = the very next program).
     pub fn arm_after_programs(&self, n: u64, mode: FaultMode) {
         assert!(n >= 1, "countdown must be at least 1");
-        self.mode_torn.store(mode as i64, Ordering::Relaxed);
+        self.mode.store(mode.as_i64(), Ordering::Relaxed);
         self.state.countdown.store(n as i64, Ordering::Relaxed);
     }
 
@@ -74,10 +119,20 @@ impl FaultHandle {
         self.state.fired.load(Ordering::Relaxed) as u64
     }
 
+    /// Program attempts observed since this handle's device was created,
+    /// armed or not. A crash sweep measures a fault-free run's delta of
+    /// this counter to enumerate every possible crash point; unlike
+    /// `NandStats::page_programs` it also counts attempts a
+    /// [`FaultMode::DroppedWrite`] fault swallowed.
+    pub fn programs_seen(&self) -> u64 {
+        self.state.seen.load(Ordering::Relaxed) as u64
+    }
+
     /// Called by the device on each program/write. Returns `Some(mode)`
     /// when the fault fires on this operation. Public so that other device
     /// models (e.g. a conventional SSD) can share the injection mechanism.
     pub fn on_program(&self) -> Option<FaultMode> {
+        self.state.seen.fetch_add(1, Ordering::Relaxed);
         let prev = self.state.countdown.load(Ordering::Relaxed);
         if prev < 0 {
             return None;
@@ -87,12 +142,8 @@ impl FaultHandle {
             self.state.down.store(true, Ordering::Relaxed);
             self.state.fired.fetch_add(1, Ordering::Relaxed);
             self.state.countdown.store(-1, Ordering::Relaxed);
-            let mode = match self.mode_torn.load(Ordering::Relaxed) {
-                0 => FaultMode::TornHalf,
-                1 => FaultMode::DroppedWrite,
-                _ => FaultMode::AfterProgram,
-            };
-            Some(mode)
+            let raw = self.mode.load(Ordering::Relaxed);
+            Some(FaultMode::from_i64(raw).expect("armed FaultMode discriminant out of range"))
         } else {
             None
         }
@@ -127,6 +178,41 @@ mod tests {
         h.disarm();
         assert_eq!(h.on_program(), None);
         assert!(!h.is_down());
+    }
+
+    #[test]
+    fn mode_discriminants_roundtrip() {
+        for mode in FaultMode::ALL {
+            assert_eq!(FaultMode::from_i64(mode.as_i64()), Some(mode));
+            assert_eq!(FaultMode::from_label(mode.label()), Some(mode));
+        }
+        // Unknown encodings must be rejected, not folded into a real mode.
+        assert_eq!(FaultMode::from_i64(FaultMode::ALL.len() as i64), None);
+        assert_eq!(FaultMode::from_i64(-1), None);
+        assert_eq!(FaultMode::from_label("nonsense"), None);
+    }
+
+    #[test]
+    fn armed_mode_survives_the_atomic_roundtrip() {
+        for mode in FaultMode::ALL {
+            let h = FaultHandle::new();
+            h.arm_after_programs(1, mode);
+            assert_eq!(h.on_program(), Some(mode));
+            h.clear_down();
+        }
+    }
+
+    #[test]
+    fn programs_seen_counts_every_attempt() {
+        let h = FaultHandle::new();
+        assert_eq!(h.programs_seen(), 0);
+        h.on_program(); // disarmed attempts still count
+        h.on_program();
+        h.arm_after_programs(2, FaultMode::DroppedWrite);
+        h.on_program();
+        h.on_program(); // fires (and would be dropped by the device)
+        assert!(h.is_down());
+        assert_eq!(h.programs_seen(), 4);
     }
 
     #[test]

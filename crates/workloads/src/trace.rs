@@ -9,6 +9,7 @@
 //! W 4096        # write LPN 4096
 //! R 17          # read LPN 17
 //! T 100 16      # trim 16 pages starting at LPN 100
+//! S 100 0 4     # SHARE-remap 4 pages: LPNs 100.. onto LPNs 0..
 //! F             # flush
 //! ```
 
@@ -24,6 +25,8 @@ pub enum TraceOp {
     Read { lpn: u64 },
     /// Trim a page range.
     Trim { lpn: u64, len: u64 },
+    /// SHARE-remap a page range (`dest..dest+len` onto `src..src+len`).
+    Share { dest: u64, src: u64, len: u64 },
     /// Flush (fsync).
     Flush,
 }
@@ -35,6 +38,7 @@ impl TraceOp {
             TraceOp::Write { lpn } => format!("W {lpn}"),
             TraceOp::Read { lpn } => format!("R {lpn}"),
             TraceOp::Trim { lpn, len } => format!("T {lpn} {len}"),
+            TraceOp::Share { dest, src, len } => format!("S {dest} {src} {len}"),
             TraceOp::Flush => "F".to_string(),
         }
     }
@@ -46,13 +50,21 @@ impl TraceOp {
             return None;
         }
         let mut it = line.split_whitespace();
-        let op = match (it.next()?, it.next(), it.next()) {
-            ("W", Some(l), None) => TraceOp::Write { lpn: l.parse().ok()? },
-            ("R", Some(l), None) => TraceOp::Read { lpn: l.parse().ok()? },
-            ("T", Some(l), Some(n)) => {
+        let op = match (it.next()?, it.next(), it.next(), it.next()) {
+            ("W", Some(l), None, None) => TraceOp::Write { lpn: l.parse().ok()? },
+            ("R", Some(l), None, None) => TraceOp::Read { lpn: l.parse().ok()? },
+            ("T", Some(l), Some(n), None) => {
                 TraceOp::Trim { lpn: l.parse().ok()?, len: n.parse().ok()? }
             }
-            ("F", None, None) => TraceOp::Flush,
+            ("S", Some(d), Some(s), len) => TraceOp::Share {
+                dest: d.parse().ok()?,
+                src: s.parse().ok()?,
+                len: match len {
+                    Some(n) => n.parse().ok()?,
+                    None => 1,
+                },
+            },
+            ("F", None, None, None) => TraceOp::Flush,
             _ => return None,
         };
         Some(op)
@@ -207,10 +219,19 @@ mod tests {
             TraceOp::Write { lpn: 4096 },
             TraceOp::Read { lpn: 17 },
             TraceOp::Trim { lpn: 100, len: 16 },
+            TraceOp::Share { dest: 100, src: 0, len: 4 },
             TraceOp::Flush,
         ];
         let text = encode_trace(&ops);
         assert_eq!(parse_trace(&text), ops);
+    }
+
+    #[test]
+    fn share_len_defaults_to_one() {
+        assert_eq!(
+            TraceOp::parse("S 7 3"),
+            Some(TraceOp::Share { dest: 7, src: 3, len: 1 })
+        );
     }
 
     #[test]

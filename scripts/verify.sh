@@ -12,4 +12,13 @@ cargo build --release --offline
 echo "== cargo test -q --offline =="
 cargo test -q --offline
 
+# Crash-point smoke sweep: every NAND program boundary (stride 1) of an
+# FTL-level and two engine-level workloads, times three fault modes, must
+# recover cleanly. Any violation prints a reproducible
+# (workload, mode, crash_index) triple and fails this script. The deep
+# soak tier is the same sweep over larger workloads, gated on
+# SHARE_CRASH_POINTS (see ROADMAP.md).
+echo "== crash-point smoke sweep =="
+./target/release/sharectl crashsweep --workload all --stride 1
+
 echo "verify: OK"
