@@ -1,0 +1,141 @@
+//! Multi-channel smoke bench for `scripts/verify.sh` — a small, purely
+//! write-heavy device-level scenario that must scale with NAND channels.
+//!
+//! Sweeps channels in {1, 2, 4, 8}: each run streams batched writes (then a
+//! batched read-back) through the FTL and measures simulated time. The run
+//! fails (non-zero exit) unless the 8-channel device delivers at least 2x
+//! the 1-channel write throughput, and unless the scenario it records into
+//! `BENCH_share.json` re-reads as syntactically valid JSON with the
+//! expected shape. Wall time is a few seconds; sizes are fixed (not scaled
+//! by `SHARE_BENCH_SCALE`) so the assertion is deterministic.
+
+use nand_sim::NandTiming;
+use share_bench::{count, device_json, f, num, parse, print_table, record_scenario, Json};
+use share_core::{BlockDevice, DeviceStats, Ftl, FtlConfig, Lpn};
+
+/// Pages written per run (in batches of `BATCH`).
+const TOTAL_PAGES: u64 = 4096;
+const BATCH: usize = 256;
+const PAGE: usize = 4096;
+
+struct RunOut {
+    write_mb_s: f64,
+    read_mb_s: f64,
+    elapsed_secs: f64,
+    device: DeviceStats,
+}
+
+fn run(channels: u32) -> RunOut {
+    let cfg = FtlConfig::for_capacity_with(64 << 20, 0.25, PAGE, 128, NandTiming::default())
+        .with_parallelism(channels, 1);
+    let mut dev = Ftl::new(cfg);
+    let clock = dev.clock().clone();
+    let t0 = clock.now_ns();
+
+    let mut buf = vec![0u8; PAGE * BATCH];
+    for (i, b) in buf.iter_mut().enumerate() {
+        *b = (i * 31 + channels as usize) as u8;
+    }
+    for base in (0..TOTAL_PAGES).step_by(BATCH) {
+        let pages: Vec<(Lpn, &[u8])> = (0..BATCH as u64)
+            .map(|i| (Lpn(base + i), &buf[i as usize * PAGE..(i as usize + 1) * PAGE]))
+            .collect();
+        dev.write_batch(&pages).expect("write_batch");
+    }
+    let t_write = clock.now_ns();
+
+    let mut rbuf = vec![0u8; PAGE * BATCH];
+    for base in (0..TOTAL_PAGES).step_by(BATCH) {
+        let mut reqs: Vec<(Lpn, &mut [u8])> = rbuf
+            .chunks_mut(PAGE)
+            .enumerate()
+            .map(|(i, c)| (Lpn(base + i as u64), c))
+            .collect();
+        dev.read_batch(&mut reqs).expect("read_batch");
+    }
+    for (i, b) in rbuf.iter().enumerate() {
+        assert_eq!(*b, (i * 31 + channels as usize) as u8, "read-back mismatch");
+    }
+    let t_read = clock.now_ns();
+
+    let bytes = TOTAL_PAGES as f64 * PAGE as f64;
+    RunOut {
+        write_mb_s: bytes / (1 << 20) as f64 / ((t_write - t0) as f64 / 1e9),
+        read_mb_s: bytes / (1 << 20) as f64 / ((t_read - t_write) as f64 / 1e9),
+        elapsed_secs: (t_read - t0) as f64 / 1e9,
+        device: dev.stats(),
+    }
+}
+
+fn main() {
+    let wall = std::time::Instant::now();
+    let mut rows = Vec::new();
+    let mut runs = Vec::new();
+    let mut write1 = 0.0;
+    let mut write8 = 0.0;
+    for channels in [1u32, 2, 4, 8] {
+        let r = run(channels);
+        if channels == 1 {
+            write1 = r.write_mb_s;
+        }
+        if channels == 8 {
+            write8 = r.write_mb_s;
+        }
+        rows.push(vec![
+            channels.to_string(),
+            f(r.write_mb_s, 1),
+            f(r.read_mb_s, 1),
+            format!("{}x", f(r.write_mb_s / write1, 2)),
+        ]);
+        runs.push(Json::obj(vec![
+            ("channels", count(channels as u64)),
+            ("write_mb_per_sec", num(r.write_mb_s)),
+            ("read_mb_per_sec", num(r.read_mb_s)),
+            ("elapsed_secs", num(r.elapsed_secs)),
+            ("device", device_json(&r.device)),
+        ]));
+    }
+    print_table(
+        "Channel smoke: batched 16 MiB write + read-back vs NAND channels",
+        &["channels", "write MB/s", "read MB/s", "vs 1ch"],
+        &rows,
+    );
+
+    let path = record_scenario(
+        "channels_write_smoke",
+        Json::obj(vec![
+            ("total_pages", count(TOTAL_PAGES)),
+            ("batch_pages", count(BATCH as u64)),
+            ("wall_secs", num(wall.elapsed().as_secs_f64())),
+            ("runs", Json::Arr(runs)),
+        ]),
+    )
+    .expect("record BENCH_share.json");
+    println!("\nrecorded channels_write_smoke -> {}", path.display());
+
+    // ---- assertions: scaling + JSON sanity ---------------------------------
+    let speedup = write8 / write1;
+    if speedup < 2.0 {
+        eprintln!("FAIL: 8-channel write throughput is only {speedup:.2}x the 1-channel device (need >= 2x)");
+        std::process::exit(1);
+    }
+    let text = std::fs::read_to_string(&path).expect("re-read BENCH_share.json");
+    let doc = match parse(&text) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("FAIL: {} is not valid JSON: {e}", path.display());
+            std::process::exit(1);
+        }
+    };
+    let scen = doc.get("channels_write_smoke");
+    let runs_ok = matches!(
+        scen.and_then(|sc| sc.get("runs")),
+        Some(Json::Arr(items)) if items.len() == 4
+            && items.iter().all(|it| it.get("write_mb_per_sec").is_some())
+    );
+    if !runs_ok {
+        eprintln!("FAIL: channels_write_smoke scenario malformed in {}", path.display());
+        std::process::exit(1);
+    }
+    println!("bench_channels: OK ({speedup:.2}x write speedup at 8 channels)");
+}

@@ -5,7 +5,10 @@
 //! smaller gains than workload-F because half the ops are reads.
 
 use mini_couch::CouchMode;
-use share_bench::{f, mb, print_table, run_ycsb, scaled, YcsbRun};
+use share_bench::{
+    count, device_json, f, mb, num, print_table, record_scenario, run_ycsb, s, scale_from_env,
+    scaled, Json, YcsbRun,
+};
 use share_workloads::YcsbWorkload;
 
 fn main() {
@@ -43,5 +46,60 @@ fn main() {
         &["batch", "Orig OPS", "SHARE OPS", "speedup", "Orig MB", "SHARE MB"],
         &rows,
     );
-    println!("\nPaper shape: speedup 2.23x (batch 1) -> 1.61x (batch 256).");
+
+    // ---- NAND channel sweep at batch 64, SHARE mode ------------------------
+    // Multi-block documents (4 x 4 KiB): each save becomes one batched
+    // append, so channels can overlap the programs. Single-block docs are
+    // one program per save and cannot scale.
+    let wall = std::time::Instant::now();
+    let mut rows = Vec::new();
+    let mut runs = Vec::new();
+    let mut ops1 = 0.0;
+    for channels in [1u32, 2, 4, 8] {
+        let r = run_ycsb(&YcsbRun {
+            mode: CouchMode::Share,
+            workload: YcsbWorkload::A,
+            batch_size: 64,
+            records,
+            record_size: 4 * 4056,
+            ops,
+            channels,
+            ..Default::default()
+        });
+        if channels == 1 {
+            ops1 = r.ops_per_sec;
+        }
+        rows.push(vec![
+            channels.to_string(),
+            f(r.ops_per_sec, 0),
+            f(r.elapsed_secs, 2),
+            format!("{}x", f(r.ops_per_sec / ops1, 2)),
+        ]);
+        runs.push(Json::obj(vec![
+            ("channels", count(channels as u64)),
+            ("ops_per_sec", num(r.ops_per_sec)),
+            ("elapsed_secs", num(r.elapsed_secs)),
+            ("device", device_json(&r.device)),
+        ]));
+    }
+    print_table(
+        "Figure 8 (channels): YCSB-A ops/s vs NAND channels (SHARE, batch 64)",
+        &["channels", "OPS", "sim secs", "vs 1ch"],
+        &rows,
+    );
+    let path = record_scenario(
+        "fig8_ycsb_a_channels",
+        Json::obj(vec![
+            ("mode", s("Share")),
+            ("workload", s("A")),
+            ("batch_size", num(64.0)),
+            ("record_size", num(4.0 * 4056.0)),
+            ("scale", num(scale_from_env())),
+            ("wall_secs", num(wall.elapsed().as_secs_f64())),
+            ("runs", Json::Arr(runs)),
+        ]),
+    )
+    .expect("record BENCH_share.json");
+    println!("\nrecorded fig8_ycsb_a_channels -> {}", path.display());
+    println!("Paper shape: speedup 2.23x (batch 1) -> 1.61x (batch 256).");
 }

@@ -8,6 +8,7 @@
 //!
 //! Set `SHARE_BENCH_SCALE` (e.g. `0.2`) to shrink run sizes for smoke tests.
 
+pub mod json;
 pub mod linkbench_driver;
 #[cfg(test)]
 mod tests;
@@ -15,6 +16,7 @@ pub mod table;
 pub mod timing;
 pub mod ycsb_driver;
 
+pub use json::{bench_json_path, count, device_json, num, parse, record_scenario, s, Json};
 pub use linkbench_driver::{run_linkbench, LinkBenchResult, LinkBenchRun};
 pub use table::{f, mb, print_table, scale_from_env, scaled};
 pub use ycsb_driver::{loaded_store, run_compaction, run_ycsb, YcsbResult, YcsbRun};

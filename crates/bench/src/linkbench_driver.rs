@@ -34,6 +34,8 @@ pub struct LinkBenchRun {
     pub gc_policy: GcPolicy,
     /// InnoDB neighbor flushing (the paper turned it off).
     pub flush_neighbors: bool,
+    /// NAND channels of the data device (1 = the paper's serial device).
+    pub channels: u32,
 }
 
 impl Default for LinkBenchRun {
@@ -51,6 +53,7 @@ impl Default for LinkBenchRun {
             revmap_policy: RevMapPolicy::default(),
             gc_policy: GcPolicy::default(),
             flush_neighbors: false,
+            channels: 1,
         }
     }
 }
@@ -100,7 +103,8 @@ pub fn run_linkbench(run: &LinkBenchRun) -> LinkBenchResult {
     let logical_bytes = max_pages * run.page_bytes as u64
         + 80 * run.page_bytes as u64 // double-write area + slack
         + (6 << 20); // file-system metadata + journal
-    let mut fcfg = FtlConfig::for_capacity_with(logical_bytes, 0.18, 4096, 128, NandTiming::default());
+    let mut fcfg = FtlConfig::for_capacity_with(logical_bytes, 0.18, 4096, 128, NandTiming::default())
+        .with_parallelism(run.channels, 1);
     fcfg.revmap_capacity = run.revmap_capacity;
     fcfg.revmap_policy = run.revmap_policy;
     fcfg.gc_policy = run.gc_policy;

@@ -24,6 +24,8 @@ pub struct YcsbRun {
     pub ops: u64,
     /// Workload seed.
     pub seed: u64,
+    /// NAND channels of the device (1 = the paper's serial device).
+    pub channels: u32,
 }
 
 impl Default for YcsbRun {
@@ -36,6 +38,7 @@ impl Default for YcsbRun {
             record_size: 4056, // one 4 KiB block including the header
             ops: 10_000,
             seed: 42,
+            channels: 1,
         }
     }
 }
@@ -68,7 +71,8 @@ fn device_for(run: &YcsbRun) -> Ftl {
     // header per committed op, plus load-time index churn and slack.
     let worst_blocks = run.records * (blocks_per_doc + 5) + run.ops * (blocks_per_doc + 15) + 16_384;
     let logical_bytes = worst_blocks * 4096 + (8 << 20);
-    let fcfg = FtlConfig::for_capacity_with(logical_bytes, 0.15, 4096, 128, NandTiming::default());
+    let fcfg = FtlConfig::for_capacity_with(logical_bytes, 0.15, 4096, 128, NandTiming::default())
+        .with_parallelism(run.channels, 1);
     Ftl::new(fcfg)
 }
 

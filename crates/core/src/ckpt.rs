@@ -71,31 +71,39 @@ pub fn write_checkpoint(
 ) -> Result<u64, FtlError> {
     debug_assert_eq!(l2p.len() as u64, cfg.logical_pages);
     let page_size = cfg.geometry.page_size;
-    for b in 0..cfg.ckpt_slot_blocks() {
-        nand.erase(BlockId(cfg.ckpt_slot_start(slot).0 + b))?;
-    }
+    let slot_blocks: Vec<BlockId> =
+        (0..cfg.ckpt_slot_blocks()).map(|b| BlockId(cfg.ckpt_slot_start(slot).0 + b)).collect();
+    nand.erase_batch(&slot_blocks)?;
 
     let table = encode_table(l2p);
     let table_crc = crc32c(&table);
     let table_pages = table.len().div_ceil(page_size) as u32;
 
-    // Header page.
-    let mut page = vec![0u8; page_size];
-    put_u32(&mut page, 0, CKPT_MAGIC);
-    put_u64(&mut page, 4, next_delta_seq);
-    put_u64(&mut page, 12, cfg.logical_pages);
-    put_u32(&mut page, 20, table_crc);
-    put_u64(&mut page, 24, generation);
-    nand.program(slot_ppn(cfg, slot, 0), &page)?;
-
-    // Table pages.
+    // Header page, then the table, as one batched submission. Correctness
+    // never depends on their order: only the commit page (programmed
+    // strictly after, as its own submission) validates the snapshot, and
+    // a fault mid-batch stops the batch before it.
+    let mut pages = Vec::with_capacity(1 + table_pages as usize);
+    let mut header = vec![0u8; page_size];
+    put_u32(&mut header, 0, CKPT_MAGIC);
+    put_u64(&mut header, 4, next_delta_seq);
+    put_u64(&mut header, 12, cfg.logical_pages);
+    put_u32(&mut header, 20, table_crc);
+    put_u64(&mut header, 24, generation);
+    pages.push(header);
     for i in 0..table_pages {
         let mut page = vec![0u8; page_size];
         let start = i as usize * page_size;
         let end = (start + page_size).min(table.len());
         page[..end - start].copy_from_slice(&table[start..end]);
-        nand.program(slot_ppn(cfg, slot, 1 + i), &page)?;
+        pages.push(page);
     }
+    let programs: Vec<(nand_sim::Ppn, &[u8])> = pages
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (slot_ppn(cfg, slot, i as u32), p.as_slice()))
+        .collect();
+    nand.program_batch(&programs)?;
 
     // Commit page — programmed last; its presence validates the snapshot.
     let mut page = vec![0u8; page_size];

@@ -98,6 +98,14 @@ impl FtlConfig {
         cfg
     }
 
+    /// Spread the NAND over `channels` x `ways` independently-timed units
+    /// (blocks interleave across units; see [`NandGeometry::unit_of_block`]).
+    /// Capacity and layout are unchanged — only the timing parallelism.
+    pub fn with_parallelism(mut self, channels: u32, ways: u32) -> Self {
+        self.geometry = self.geometry.with_parallelism(channels, ways);
+        self
+    }
+
     /// Panic if the layout is internally inconsistent.
     pub fn validate(&self) {
         assert!(self.logical_pages > 0, "logical capacity must be positive");

@@ -39,6 +39,47 @@ pub trait BlockDevice {
         Err(FtlError::Unsupported("share"))
     }
 
+    /// Read a vector of pages as one submission. A device with internal
+    /// channel parallelism overrides this to dispatch the whole vector at
+    /// one submission time; the default is a per-page loop (serial timing,
+    /// identical semantics).
+    fn read_batch(&mut self, reqs: &mut [(Lpn, &mut [u8])]) -> Result<(), FtlError> {
+        for (lpn, buf) in reqs.iter_mut() {
+            self.read(*lpn, buf)?;
+        }
+        Ok(())
+    }
+
+    /// Write a vector of pages as one submission. **Not** atomic: on error
+    /// a prefix of the batch may be durable, exactly as with a per-page
+    /// loop — use [`BlockDevice::write_atomic`] for all-or-nothing
+    /// semantics. Default: per-page loop.
+    fn write_batch(&mut self, pages: &[(Lpn, &[u8])]) -> Result<(), FtlError> {
+        for (lpn, data) in pages {
+            self.write(*lpn, data)?;
+        }
+        Ok(())
+    }
+
+    /// SHARE an arbitrarily long pair list as one host command: the device
+    /// splits it into [`share_batch_limit`](Self::share_batch_limit)-sized
+    /// sub-batches, each of which remaps atomically. The paper's
+    /// `SHARE(from, to, length)` batched form. Default: chunked
+    /// [`share`](Self::share) calls (one command's overhead per chunk).
+    fn share_batch(&mut self, pairs: &[SharePair]) -> Result<(), FtlError> {
+        if pairs.is_empty() {
+            return Ok(());
+        }
+        let limit = self.share_batch_limit();
+        if limit == 0 {
+            return Err(FtlError::Unsupported("share"));
+        }
+        for chunk in pairs.chunks(limit) {
+            self.share(chunk)?;
+        }
+        Ok(())
+    }
+
     /// Write a batch of pages **atomically**: after a crash either every
     /// page reads its new content or none does. This is the related-work
     /// baseline the paper contrasts in §6.1 (Park et al. / FusionIO

@@ -23,7 +23,7 @@ use crate::pool::{BlockPool, WritePoint};
 use crate::stats::DeviceStats;
 use crate::types::{Lpn, Ppn, SharePair};
 use nand_sim::{FaultHandle, NandArray, SimClock};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 /// Checkpoint when fewer than this many log-ring pages remain.
 const CKPT_MIN_REMAINING_PAGES: u32 = 8;
@@ -72,7 +72,13 @@ pub struct Ftl {
     last_ckpt_slot: u32,
     /// Generation the next checkpoint will carry (strictly increasing).
     next_ckpt_gen: u64,
-    page_buf: Vec<u8>,
+    /// Scratch buffers reused across SHARE commands so the hot path does
+    /// not allocate for typical batch sizes (cleared, never shrunk).
+    share_dests: Vec<Lpn>,
+    share_srcs: Vec<Lpn>,
+    share_incs: Vec<(Ppn, u32)>,
+    share_src_ppns: Vec<Ppn>,
+    share_deltas: Vec<Delta>,
 }
 
 impl Ftl {
@@ -88,7 +94,6 @@ impl Ftl {
         let map = MappingTable::with_policy(cfg.geometry, cfg.logical_pages, cfg.revmap_capacity, cfg.revmap_policy);
         let log = DeltaLog::new(&cfg, 0);
         let pool = BlockPool::new(cfg.geometry, cfg.data_start(), cfg.data_blocks());
-        let page_size = cfg.geometry.page_size;
         let mut ftl = Self {
             cfg,
             nand,
@@ -98,7 +103,11 @@ impl Ftl {
             stats: DeviceStats::default(),
             last_ckpt_slot: 1,
             next_ckpt_gen: 0,
-            page_buf: vec![0u8; page_size],
+            share_dests: Vec::new(),
+            share_srcs: Vec::new(),
+            share_incs: Vec::new(),
+            share_src_ppns: Vec::new(),
+            share_deltas: Vec::new(),
         };
         ftl.checkpoint().expect("initial checkpoint on an erased device cannot fail");
         ftl
@@ -146,7 +155,6 @@ impl Ftl {
         pool.rebuild_from_nand(&nand);
 
         let log = DeltaLog::new(&cfg, next_seq);
-        let page_size = cfg.geometry.page_size;
         let mut ftl = Self {
             cfg,
             nand,
@@ -156,7 +164,11 @@ impl Ftl {
             stats: DeviceStats::default(),
             last_ckpt_slot: slot,
             next_ckpt_gen: gen,
-            page_buf: vec![0u8; page_size],
+            share_dests: Vec::new(),
+            share_srcs: Vec::new(),
+            share_incs: Vec::new(),
+            share_src_ppns: Vec::new(),
+            share_deltas: Vec::new(),
         };
         ftl.checkpoint()?;
         // Account what recovery itself cost (checkpoint scan, delta
@@ -269,7 +281,7 @@ impl Ftl {
         let ppb = self.cfg.geometry.pages_per_block;
         let mut best: Option<(u32, u32, u64)> = None;
         for rel in 0..self.pool.block_count() {
-            if !self.pool.victim_eligible(rel) {
+            if !self.pool.victim_eligible(rel, &self.nand) {
                 continue;
             }
             let valid = self.map.valid_pages(self.pool.abs(rel));
@@ -300,16 +312,26 @@ impl Ftl {
         let block = self.pool.abs(rel);
         let ppb = self.cfg.geometry.pages_per_block;
         if valid > 0 {
-            for idx in 0..ppb {
-                let ppn = self.cfg.geometry.ppn_at(block, idx);
-                if !self.map.is_live(ppn) {
-                    continue;
-                }
-                let mut buf = std::mem::take(&mut self.page_buf);
-                self.nand.read(ppn, &mut buf)?;
-                let dest = self.pool.alloc(&self.nand, WritePoint::Gc)?;
-                self.nand.program(dest, &buf)?;
-                self.page_buf = buf;
+            let live: Vec<Ppn> = (0..ppb)
+                .map(|idx| self.cfg.geometry.ppn_at(block, idx))
+                .filter(|&ppn| self.map.is_live(ppn))
+                .collect();
+            // All relocation reads go out as one batched submission (they
+            // come from one block, hence one unit, so this mostly amortizes
+            // the submission; the programs below batch across the GC lane).
+            let page_size = self.cfg.geometry.page_size;
+            let mut bufs = vec![vec![0u8; page_size]; live.len()];
+            let mut reads: Vec<(Ppn, &mut [u8])> =
+                live.iter().zip(bufs.iter_mut()).map(|(&p, b)| (p, b.as_mut_slice())).collect();
+            self.nand.read_batch(&mut reads)?;
+            let mut dests = Vec::with_capacity(live.len());
+            for _ in &live {
+                dests.push(self.pool.alloc(&self.nand, WritePoint::Gc)?);
+            }
+            let programs: Vec<(Ppn, &[u8])> =
+                dests.iter().zip(&bufs).map(|(&d, b)| (d, b.as_slice())).collect();
+            self.nand.program_batch(&programs)?;
+            for (&ppn, &dest) in live.iter().zip(&dests) {
                 for lpn in self.map.relocate(ppn, dest)? {
                     self.log.append(Delta { lpn, old: ppn, new: dest });
                 }
@@ -326,10 +348,17 @@ impl Ftl {
     }
 
     fn ensure_free(&mut self) -> Result<(), FtlError> {
-        if self.pool.free_count() > self.cfg.gc_low_water {
+        // One open user lane per channel can each pull a fresh block from
+        // the free list between two GC checks (a batched submission feeds
+        // every lane), so the watermarks shift up by the extra lanes. At
+        // one channel this is exactly the configured low/high pair.
+        let extra_lanes = self.cfg.geometry.channels as usize - 1;
+        let low = self.cfg.gc_low_water + extra_lanes;
+        let high = self.cfg.gc_high_water + extra_lanes;
+        if self.pool.free_count() > low {
             return Ok(());
         }
-        while self.pool.free_count() < self.cfg.gc_high_water {
+        while self.pool.free_count() < high {
             if !self.collect_once()? {
                 break;
             }
@@ -340,41 +369,50 @@ impl Ftl {
         Ok(())
     }
 
-    /// Validate a SHARE batch and resolve source PPNs (snapshot semantics).
-    fn validate_share(&self, pairs: &[SharePair]) -> Result<Vec<Ppn>, FtlError> {
+    /// Validate a SHARE batch and resolve source PPNs (snapshot semantics)
+    /// into the reused `share_src_ppns` scratch buffer. All bookkeeping
+    /// runs on reused scratch vectors (linear scans — SHARE batches are at
+    /// most `deltas_per_page` pairs), so the hot path allocates nothing
+    /// once the buffers have grown to the workload's batch size.
+    fn validate_share(&mut self, pairs: &[SharePair]) -> Result<(), FtlError> {
         let limit = self.cfg.deltas_per_page();
         if pairs.len() > limit {
             return Err(FtlError::BatchTooLarge { got: pairs.len(), max: limit });
         }
-        let mut dests = HashSet::with_capacity(pairs.len());
-        let mut srcs = HashSet::with_capacity(pairs.len());
-        let mut src_ppns = Vec::with_capacity(pairs.len());
+        self.share_dests.clear();
+        self.share_srcs.clear();
+        self.share_src_ppns.clear();
         for p in pairs {
             self.check_lpn(p.dest)?;
             self.check_lpn(p.src)?;
             if p.dest == p.src {
                 return Err(FtlError::InvalidBatch("destination equals source"));
             }
-            if !dests.insert(p.dest) {
+            if self.share_dests.contains(&p.dest) {
                 return Err(FtlError::InvalidBatch("duplicate destination LPN"));
             }
-            srcs.insert(p.src);
+            self.share_dests.push(p.dest);
+            self.share_srcs.push(p.src);
             let ppn = self.map.lookup(p.src);
             if !ppn.is_valid() {
                 return Err(FtlError::SrcUnmapped(p.src));
             }
-            src_ppns.push(ppn);
+            self.share_src_ppns.push(ppn);
         }
-        if pairs.iter().any(|p| srcs.contains(&p.dest)) {
+        if pairs.iter().any(|p| self.share_srcs.contains(&p.dest)) {
             return Err(FtlError::InvalidBatch("an LPN is both destination and source"));
         }
 
         // Reference-count overflow pre-check.
-        let mut incs: HashMap<Ppn, u32> = HashMap::new();
-        for &ppn in &src_ppns {
-            *incs.entry(ppn).or_default() += 1;
+        self.share_incs.clear();
+        for idx in 0..self.share_src_ppns.len() {
+            let ppn = self.share_src_ppns[idx];
+            match self.share_incs.iter_mut().find(|(p, _)| *p == ppn) {
+                Some((_, c)) => *c += 1,
+                None => self.share_incs.push((ppn, 1)),
+            }
         }
-        for (&ppn, &inc) in &incs {
+        for &(ppn, inc) in &self.share_incs {
             if self.map.refcount(ppn) as u32 + inc > u16::MAX as u32 {
                 return Err(FtlError::RefOverflow);
             }
@@ -385,14 +423,75 @@ impl Ftl {
         // ScanOnOverflow the command never fails on capacity.
         if self.map.policy() == crate::mapping::RevMapPolicy::Strict {
             let mut need = 0usize;
-            for (p, &ppn) in pairs.iter().zip(&src_ppns) {
+            for (p, &ppn) in pairs.iter().zip(&self.share_src_ppns) {
                 need += self.map.shared_slot_need(p.dest, ppn);
             }
             if need > self.map.revmap().free() {
                 return Err(FtlError::RevMapFull { capacity: self.map.revmap().capacity() });
             }
         }
-        Ok(src_ppns)
+        Ok(())
+    }
+
+    /// Apply a validated SHARE batch: remap every destination and commit
+    /// the whole batch's deltas in one atomically-programmed log page.
+    /// `validate_share` must have run (it fills `share_src_ppns`).
+    fn apply_share(&mut self, pairs: &[SharePair]) -> Result<(), FtlError> {
+        self.stats.shared_pages += pairs.len() as u64;
+        let src_ppns = std::mem::take(&mut self.share_src_ppns);
+        let mut deltas = std::mem::take(&mut self.share_deltas);
+        deltas.clear();
+        let mut res = Ok(());
+        for (p, &src_ppn) in pairs.iter().zip(&src_ppns) {
+            match self.map.map_shared(p.dest, src_ppn) {
+                Ok(old) => deltas.push(Delta { lpn: p.dest, old: old.old_ppn, new: src_ppn }),
+                Err(e) => {
+                    res = Err(e);
+                    break;
+                }
+            }
+        }
+        if res.is_ok() {
+            let before = self.log.pages_written;
+            res = self.log.flush_atomic_batch(&mut self.nand, &deltas);
+            self.stats.meta_page_writes += self.log.pages_written - before;
+        }
+        self.share_src_ppns = src_ppns;
+        self.share_deltas = deltas;
+        res?;
+        self.maybe_checkpoint()
+    }
+
+    /// Allocate and program as many of `pages`' leading entries as the
+    /// free pool allows, as ONE batched submission (programs on distinct
+    /// channel-ways overlap in simulated time). May program fewer pages
+    /// than requested when the pool runs dry mid-batch; the caller must
+    /// map what was programmed before running GC, so no programmed page
+    /// is ever unmapped while `ensure_free` can pick victims. Errors with
+    /// `DeviceFull` only when nothing at all could be allocated.
+    fn program_user_submission(&mut self, pages: &[(Lpn, &[u8])]) -> Result<Vec<Ppn>, FtlError> {
+        let mut dests = Vec::with_capacity(pages.len());
+        for _ in 0..pages.len() {
+            match self.pool.alloc(&self.nand, WritePoint::User) {
+                Ok(p) => dests.push(p),
+                Err(FtlError::DeviceFull) => break,
+                Err(e) => return Err(e),
+            }
+        }
+        if dests.is_empty() {
+            return Err(FtlError::DeviceFull);
+        }
+        let programs: Vec<(Ppn, &[u8])> =
+            dests.iter().zip(pages).map(|(&d, (_, data))| (d, *data)).collect();
+        self.nand.program_batch(&programs)?;
+        Ok(dests)
+    }
+
+    /// Pages per batched submission: enough depth to keep every unit busy
+    /// (8 per channel-way), and chunked so `ensure_free` gets a say between
+    /// submissions on long batches.
+    fn submit_chunk_pages(&self) -> usize {
+        (self.cfg.geometry.units() as usize * 8).max(1)
     }
 }
 
@@ -470,24 +569,103 @@ impl BlockDevice for Ftl {
         if pairs.is_empty() {
             return Ok(());
         }
-        let src_ppns = self.validate_share(pairs)?;
+        self.validate_share(pairs)?;
         self.nand.clock().advance(self.cfg.command_ns);
         self.stats.share_commands += 1;
-        self.stats.shared_pages += pairs.len() as u64;
+        self.apply_share(pairs)
+    }
 
-        let mut deltas = Vec::with_capacity(pairs.len());
-        for (p, &src_ppn) in pairs.iter().zip(&src_ppns) {
-            let old = self.map.map_shared(p.dest, src_ppn)?;
-            deltas.push(Delta { lpn: p.dest, old: old.old_ppn, new: src_ppn });
+    /// A large SHARE submission: one host command (one command overhead,
+    /// one `share_commands` tick) whose pairs are committed in
+    /// log-page-sized sub-batches. Each sub-batch is individually atomic;
+    /// a crash can land between sub-batches, exactly as if the host had
+    /// issued them as separate commands — minus the per-command overhead.
+    fn share_batch(&mut self, pairs: &[SharePair]) -> Result<(), FtlError> {
+        if pairs.is_empty() {
+            return Ok(());
         }
-        let before = self.log.pages_written;
-        self.log.flush_atomic_batch(&mut self.nand, &deltas)?;
-        self.stats.meta_page_writes += self.log.pages_written - before;
-        self.maybe_checkpoint()
+        let limit = self.share_batch_limit();
+        self.nand.clock().advance(self.cfg.command_ns);
+        self.stats.share_commands += 1;
+        for chunk in pairs.chunks(limit) {
+            self.validate_share(chunk)?;
+            self.apply_share(chunk)?;
+        }
+        Ok(())
     }
 
     fn share_batch_limit(&self) -> usize {
         self.cfg.deltas_per_page()
+    }
+
+    /// Batched read: mapped pages go to the NAND as one submission, so
+    /// reads on distinct channel-ways overlap in simulated time.
+    fn read_batch(&mut self, reqs: &mut [(Lpn, &mut [u8])]) -> Result<(), FtlError> {
+        let want = self.page_size();
+        for (lpn, buf) in reqs.iter() {
+            self.check_lpn(*lpn)?;
+            if buf.len() != want {
+                return Err(FtlError::BadBufferLength { got: buf.len(), want });
+            }
+        }
+        self.stats.host_reads += reqs.len() as u64;
+        self.stats.host_read_bytes += (reqs.len() * want) as u64;
+        let mut mapped: Vec<(Ppn, &mut [u8])> = Vec::with_capacity(reqs.len());
+        let mut zero_xfer = 0u64;
+        for (lpn, buf) in reqs.iter_mut() {
+            let ppn = self.map.lookup(*lpn);
+            if ppn.is_valid() {
+                mapped.push((ppn, &mut buf[..]));
+            } else {
+                buf.fill(0);
+                zero_xfer += self.cfg.timing.xfer_ns(want);
+            }
+        }
+        if !mapped.is_empty() {
+            self.nand.read_batch(&mut mapped)?;
+        }
+        if zero_xfer > 0 {
+            self.nand.clock().advance(zero_xfer);
+        }
+        Ok(())
+    }
+
+    /// Batched write: destinations are striped across channels by the
+    /// block pool and programmed as multi-page submissions, so the
+    /// programs overlap across channel-ways. Ordering and durability
+    /// semantics match the equivalent sequence of single writes.
+    fn write_batch(&mut self, pages: &[(Lpn, &[u8])]) -> Result<(), FtlError> {
+        let want = self.page_size();
+        for (lpn, data) in pages {
+            self.check_lpn(*lpn)?;
+            if data.len() != want {
+                return Err(FtlError::BadBufferLength { got: data.len(), want });
+            }
+        }
+        let submit = self.submit_chunk_pages();
+        for chunk in pages.chunks(submit) {
+            self.stats.host_writes += chunk.len() as u64;
+            self.stats.host_write_bytes += (chunk.len() * want) as u64;
+            self.ensure_free()?;
+            let mut done = 0;
+            while done < chunk.len() {
+                let dests = self.program_user_submission(&chunk[done..])?;
+                for ((lpn, _), &ppn) in chunk[done..].iter().zip(&dests) {
+                    let old = self.map.map_new_write(*lpn, ppn)?;
+                    self.log.append(Delta { lpn: *lpn, old: old.old_ppn, new: ppn });
+                    if self.log.buffer_full() {
+                        self.flush_log()?;
+                    }
+                }
+                done += dests.len();
+                if done < chunk.len() {
+                    // Mid-chunk pool exhaustion: everything programmed so
+                    // far is mapped, so GC can run safely.
+                    self.ensure_free()?;
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Atomic multi-page write (§6.1's related-work primitive): all data
@@ -513,15 +691,24 @@ impl BlockDevice for Ftl {
             }
         }
         self.nand.clock().advance(self.cfg.command_ns);
+        let submit = self.submit_chunk_pages();
         let mut deltas = Vec::with_capacity(pages.len());
-        for (lpn, data) in pages {
-            self.stats.host_writes += 1;
-            self.stats.host_write_bytes += data.len() as u64;
+        for chunk in pages.chunks(submit) {
+            self.stats.host_writes += chunk.len() as u64;
+            self.stats.host_write_bytes += (chunk.len() * self.page_size()) as u64;
             self.ensure_free()?;
-            let ppn = self.pool.alloc(&self.nand, WritePoint::User)?;
-            self.nand.program(ppn, data)?;
-            let old = self.map.map_new_write(*lpn, ppn)?;
-            deltas.push(Delta { lpn: *lpn, old: old.old_ppn, new: ppn });
+            let mut done = 0;
+            while done < chunk.len() {
+                let dests = self.program_user_submission(&chunk[done..])?;
+                for ((lpn, _), &ppn) in chunk[done..].iter().zip(&dests) {
+                    let old = self.map.map_new_write(*lpn, ppn)?;
+                    deltas.push(Delta { lpn: *lpn, old: old.old_ppn, new: ppn });
+                }
+                done += dests.len();
+                if done < chunk.len() {
+                    self.ensure_free()?;
+                }
+            }
         }
         let before = self.log.pages_written;
         self.log.flush_atomic_batch(&mut self.nand, &deltas)?;
@@ -1065,5 +1252,163 @@ mod tests {
             share_cost * 10 < write_cost,
             "share ({share_cost} ns) should be >10x cheaper than writes ({write_cost} ns)"
         );
+    }
+
+    fn tiny_channels(channels: u32) -> Ftl {
+        let cfg = FtlConfig::for_capacity_with(2 << 20, 0.5, 4096, 16, NandTiming::default())
+            .with_parallelism(channels, 1);
+        Ftl::new(cfg)
+    }
+
+    #[test]
+    fn write_batch_round_trips_and_matches_serial_stats() {
+        let mut f = tiny_channels(4);
+        let ps = f.page_size();
+        let pages: Vec<Vec<u8>> = (0..32u8).map(|i| vec![i; ps]).collect();
+        let batch: Vec<(Lpn, &[u8])> =
+            pages.iter().enumerate().map(|(i, p)| (Lpn(i as u64), p.as_slice())).collect();
+        f.write_batch(&batch).unwrap();
+        assert_eq!(f.stats().host_writes, 32);
+        let mut buf = vec![0u8; ps];
+        for i in 0..32u64 {
+            f.read(Lpn(i), &mut buf).unwrap();
+            assert!(buf.iter().all(|&b| b == i as u8), "lpn {i} diverged");
+        }
+        f.check_invariants();
+    }
+
+    #[test]
+    fn read_batch_mixes_mapped_and_unmapped() {
+        let mut f = tiny_channels(2);
+        let ps = f.page_size();
+        f.write(Lpn(1), &pagev(7, &f)).unwrap();
+        f.write(Lpn(3), &pagev(9, &f)).unwrap();
+        let mut bufs = vec![vec![0xAAu8; ps]; 4];
+        {
+            let mut reqs: Vec<(Lpn, &mut [u8])> = bufs
+                .iter_mut()
+                .enumerate()
+                .map(|(i, b)| (Lpn(i as u64), b.as_mut_slice()))
+                .collect();
+            f.read_batch(&mut reqs).unwrap();
+        }
+        assert!(bufs[0].iter().all(|&b| b == 0), "unmapped reads zero");
+        assert!(bufs[1].iter().all(|&b| b == 7));
+        assert!(bufs[2].iter().all(|&b| b == 0));
+        assert!(bufs[3].iter().all(|&b| b == 9));
+        assert_eq!(f.stats().host_reads, 4);
+    }
+
+    #[test]
+    fn write_batch_scales_with_channels() {
+        // The same 64-page batch must finish earlier on 8 channels than
+        // on 1 — the tentpole's end-to-end claim at device level.
+        let mut times = Vec::new();
+        for ch in [1u32, 8] {
+            let mut f = tiny_channels(ch);
+            let ps = f.page_size();
+            let pages: Vec<Vec<u8>> = (0..64u8).map(|i| vec![i; ps]).collect();
+            let batch: Vec<(Lpn, &[u8])> =
+                pages.iter().enumerate().map(|(i, p)| (Lpn(i as u64), p.as_slice())).collect();
+            let t0 = f.clock().now_ns();
+            f.write_batch(&batch).unwrap();
+            times.push(f.clock().now_ns() - t0);
+        }
+        assert!(
+            times[1] * 2 < times[0],
+            "8-channel batch ({} ns) should be >2x faster than 1-channel ({} ns)",
+            times[1],
+            times[0]
+        );
+    }
+
+    #[test]
+    fn one_channel_write_batch_matches_serial_writes_in_time() {
+        // On a single channel the batched path must cost exactly what the
+        // serial path costs — batching changes dispatch, not physics.
+        let mut serial = tiny_channels(1);
+        let ps = serial.page_size();
+        let pages: Vec<Vec<u8>> = (0..24u8).map(|i| vec![i; ps]).collect();
+        let t0 = serial.clock().now_ns();
+        for (i, p) in pages.iter().enumerate() {
+            serial.write(Lpn(i as u64), p).unwrap();
+        }
+        let serial_ns = serial.clock().now_ns() - t0;
+
+        let mut batched = tiny_channels(1);
+        let batch: Vec<(Lpn, &[u8])> =
+            pages.iter().enumerate().map(|(i, p)| (Lpn(i as u64), p.as_slice())).collect();
+        let t1 = batched.clock().now_ns();
+        batched.write_batch(&batch).unwrap();
+        let batched_ns = batched.clock().now_ns() - t1;
+        assert_eq!(serial_ns, batched_ns);
+    }
+
+    #[test]
+    fn share_batch_spans_multiple_log_pages_as_one_command() {
+        let cfg = FtlConfig::for_capacity_with(4 << 20, 0.5, 4096, 16, NandTiming::zero());
+        let mut f = Ftl::new(cfg);
+        let limit = f.share_batch_limit();
+        let n = limit as u64 + 10; // forces two log-page sub-batches
+        for i in 0..n {
+            f.write(Lpn(512 + i), &pagev((i % 251) as u8, &f)).unwrap();
+        }
+        let pairs: Vec<SharePair> =
+            (0..n).map(|i| SharePair::new(Lpn(i), Lpn(512 + i))).collect();
+        let cmds_before = f.stats().share_commands;
+        f.share_batch(&pairs).unwrap();
+        assert_eq!(f.stats().share_commands, cmds_before + 1, "one host command");
+        assert_eq!(f.stats().shared_pages, n);
+        let mut buf = vec![0u8; f.page_size()];
+        for i in 0..n {
+            f.read(Lpn(i), &mut buf).unwrap();
+            assert!(buf.iter().all(|&b| b == (i % 251) as u8), "pair {i} diverged");
+        }
+        f.check_invariants();
+    }
+
+    #[test]
+    fn share_validation_errors_are_unchanged_by_scratch_reuse() {
+        // Reusing scratch buffers across commands must not leak state
+        // from a failed validation into the next command.
+        let mut f = tiny();
+        f.write(Lpn(10), &pagev(1, &f)).unwrap();
+        assert!(matches!(
+            f.share(&[SharePair::new(Lpn(0), Lpn(99))]),
+            Err(FtlError::SrcUnmapped(_))
+        ));
+        assert!(matches!(
+            f.share(&[SharePair::new(Lpn(0), Lpn(10)), SharePair::new(Lpn(0), Lpn(10))]),
+            Err(FtlError::InvalidBatch("duplicate destination LPN"))
+        ));
+        // A valid command right after the failures still works.
+        f.share(&[SharePair::new(Lpn(0), Lpn(10))]).unwrap();
+        let mut buf = vec![0u8; f.page_size()];
+        f.read(Lpn(0), &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 1));
+        f.check_invariants();
+    }
+
+    #[test]
+    fn gc_survives_batched_writes_under_pressure() {
+        // Overwrite far more than the pool holds, in batches, across
+        // channels: GC must relocate correctly and never eat a page that
+        // a batch just programmed.
+        let mut f = tiny_channels(4);
+        let ps = f.page_size();
+        let span = 96u64; // < logical capacity, > data pool working set
+        for round in 0..12u8 {
+            let pages: Vec<Vec<u8>> = (0..span).map(|i| vec![round ^ (i as u8); ps]).collect();
+            let batch: Vec<(Lpn, &[u8])> =
+                pages.iter().enumerate().map(|(i, p)| (Lpn(i as u64), p.as_slice())).collect();
+            f.write_batch(&batch).unwrap();
+        }
+        let mut buf = vec![0u8; ps];
+        for i in 0..span {
+            f.read(Lpn(i), &mut buf).unwrap();
+            assert!(buf.iter().all(|&b| b == 11 ^ (i as u8)), "lpn {i} diverged after GC");
+        }
+        assert!(f.stats().gc_events > 0, "pressure must actually trigger GC");
+        f.check_invariants();
     }
 }

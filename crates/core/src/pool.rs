@@ -1,9 +1,12 @@
 //! Data-pool block management: free list, active write points, block states.
 //!
-//! The pool tracks which data blocks are free (erased), which two are open
-//! as write points (one for host writes, one for GC copyback — keeping hot
-//! host data and cold relocated data apart), and which are closed and thus
-//! eligible as GC victims.
+//! The pool tracks which data blocks are free (erased), which are open as
+//! write points, and which are closed and thus eligible as GC victims. Host
+//! writes feed one lane per channel, rotating round-robin, so consecutive
+//! host pages land on distinct channels and a batched submission can
+//! program them in parallel; GC copyback keeps a single lane (relocations
+//! come from one victim block, which lives on one channel anyway), which
+//! also keeps hot host data and cold relocated data apart.
 
 use crate::error::FtlError;
 use nand_sim::{BlockId, NandArray, NandGeometry, Ppn};
@@ -36,6 +39,13 @@ struct Open {
     next: u32,  // next in-block page
 }
 
+/// A write-point lane: one of the per-channel user lanes, or the GC lane.
+#[derive(Debug, Clone, Copy)]
+enum Lane {
+    User(usize),
+    Gc,
+}
+
 /// The data-pool allocator.
 #[derive(Debug)]
 pub struct BlockPool {
@@ -44,11 +54,19 @@ pub struct BlockPool {
     count: u32,
     state: Vec<BlockState>,
     free: Vec<u32>,
-    user: Option<Open>,
+    /// Host write points, one lane per channel; `alloc` rotates across them
+    /// so consecutive host pages stripe over channels.
+    user: Vec<Option<Open>>,
+    user_cursor: usize,
     gc: Option<Open>,
     /// Monotonic sequence assigned when a block is sealed (FIFO GC order).
     seal_seq: Vec<u64>,
     seal_counter: u64,
+    /// Allocation frontier per block: pages handed out by `alloc`, whether
+    /// or not they have been programmed yet. A block whose NAND program
+    /// frontier is behind this has in-flight batch pages and must not be
+    /// erased by GC.
+    alloc_next: Vec<u32>,
 }
 
 impl BlockPool {
@@ -60,10 +78,12 @@ impl BlockPool {
             count,
             state: vec![BlockState::Free; count as usize],
             free: (0..count).rev().collect(),
-            user: None,
+            user: vec![None; geometry.channels as usize],
+            user_cursor: 0,
             gc: None,
             seal_seq: vec![0; count as usize],
             seal_counter: 0,
+            alloc_next: vec![0; count as usize],
         }
     }
 
@@ -94,10 +114,24 @@ impl BlockPool {
         self.state[rel as usize]
     }
 
-    /// Pop the free block with the lowest erase count (simple wear leveling).
-    fn pop_free(&mut self, nand: &NandArray) -> Option<u32> {
+    /// Pop a free block, preferring `prefer_channel` so the requesting lane
+    /// stays channel-affine; within a channel (and on fallback) the lowest
+    /// erase count wins (simple wear leveling). With one channel this is
+    /// exactly the old global min-wear pop.
+    fn pop_free(&mut self, nand: &NandArray, prefer_channel: Option<u32>) -> Option<u32> {
         if self.free.is_empty() {
             return None;
+        }
+        if let Some(ch) = prefer_channel {
+            let on_channel = self
+                .free
+                .iter()
+                .enumerate()
+                .filter(|(_, &rel)| self.geometry.channel_of_block(self.abs(rel)) == ch)
+                .min_by_key(|(_, &rel)| nand.erase_count(self.abs(rel)));
+            if let Some((pos, _)) = on_channel {
+                return Some(self.free.swap_remove(pos));
+            }
         }
         let (pos, _) = self
             .free
@@ -107,52 +141,74 @@ impl BlockPool {
         Some(self.free.swap_remove(pos))
     }
 
-    fn open_mut(&mut self, wp: WritePoint) -> &mut Option<Open> {
-        match wp {
-            WritePoint::User => &mut self.user,
-            WritePoint::Gc => &mut self.gc,
+    fn open_mut(&mut self, lane: Lane) -> &mut Option<Open> {
+        match lane {
+            Lane::User(i) => &mut self.user[i],
+            Lane::Gc => &mut self.gc,
         }
     }
 
-    /// Allocate the next physical page for `wp`, opening a fresh block from
-    /// the free list when needed. Fails with `DeviceFull` when no block is
-    /// available.
-    pub fn alloc(&mut self, nand: &NandArray, wp: WritePoint) -> Result<Ppn, FtlError> {
+    fn alloc_in_lane(&mut self, nand: &NandArray, lane: Lane) -> Result<Ppn, FtlError> {
         let ppb = self.geometry.pages_per_block;
         // Close a full write point first.
-        if let Some(open) = *self.open_mut(wp) {
+        if let Some(open) = *self.open_mut(lane) {
             if open.next >= ppb {
                 self.state[open.block as usize] = BlockState::Closed;
                 self.seal_counter += 1;
                 self.seal_seq[open.block as usize] = self.seal_counter;
-                *self.open_mut(wp) = None;
+                *self.open_mut(lane) = None;
             }
         }
-        if self.open_mut(wp).is_none() {
-            let rel = self.pop_free(nand).ok_or(FtlError::DeviceFull)?;
-            self.state[rel as usize] = match wp {
-                WritePoint::User => BlockState::UserOpen,
-                WritePoint::Gc => BlockState::GcOpen,
+        if self.open_mut(lane).is_none() {
+            let prefer = match lane {
+                Lane::User(i) => Some(i as u32 % self.geometry.channels),
+                Lane::Gc => None,
             };
-            *self.open_mut(wp) = Some(Open { block: rel, next: 0 });
+            let rel = self.pop_free(nand, prefer).ok_or(FtlError::DeviceFull)?;
+            self.state[rel as usize] = match lane {
+                Lane::User(_) => BlockState::UserOpen,
+                Lane::Gc => BlockState::GcOpen,
+            };
+            *self.open_mut(lane) = Some(Open { block: rel, next: 0 });
         }
         let geometry = self.geometry;
         let start = self.start;
-        let open = self.open_mut(wp).as_mut().expect("opened above");
+        let open = self.open_mut(lane).as_mut().expect("opened above");
         let ppn = geometry.ppn_at(BlockId(start + open.block), open.next);
         open.next += 1;
+        let (block, next) = (open.block, open.next);
+        self.alloc_next[block as usize] = next;
         Ok(ppn)
     }
 
-    /// Whether `rel` may be chosen as a GC victim (closed, not a write point).
-    pub fn victim_eligible(&self, rel: u32) -> bool {
+    /// Allocate the next physical page for `wp`, opening a fresh block from
+    /// the free list when needed. Host allocations rotate round-robin over
+    /// the per-channel lanes. Fails with `DeviceFull` when no block is
+    /// available.
+    pub fn alloc(&mut self, nand: &NandArray, wp: WritePoint) -> Result<Ppn, FtlError> {
+        match wp {
+            WritePoint::User => {
+                let lane = self.user_cursor;
+                self.user_cursor = (self.user_cursor + 1) % self.user.len();
+                self.alloc_in_lane(nand, Lane::User(lane))
+            }
+            WritePoint::Gc => self.alloc_in_lane(nand, Lane::Gc),
+        }
+    }
+
+    /// Whether `rel` may be chosen as a GC victim: closed (not a write
+    /// point) and with no allocated-but-unprogrammed pages still in flight
+    /// from a batched submission.
+    pub fn victim_eligible(&self, rel: u32, nand: &NandArray) -> bool {
         self.state[rel as usize] == BlockState::Closed
+            && nand.write_frontier(self.abs(rel)) >= self.alloc_next[rel as usize]
     }
 
     /// Return an erased victim to the free list.
     pub fn release(&mut self, rel: u32) {
         debug_assert_eq!(self.state[rel as usize], BlockState::Closed);
         self.state[rel as usize] = BlockState::Free;
+        self.alloc_next[rel as usize] = 0;
         self.free.push(rel);
     }
 
@@ -161,11 +217,14 @@ impl BlockPool {
     /// firmware also refuses to append to a block left open across power
     /// loss.)
     pub fn rebuild_from_nand(&mut self, nand: &NandArray) {
-        self.user = None;
+        self.user = vec![None; self.geometry.channels as usize];
+        self.user_cursor = 0;
         self.gc = None;
         self.free.clear();
         for rel in 0..self.count {
-            if nand.write_frontier(self.abs(rel)) == 0 {
+            let frontier = nand.write_frontier(self.abs(rel));
+            self.alloc_next[rel as usize] = frontier;
+            if frontier == 0 {
                 self.state[rel as usize] = BlockState::Free;
                 self.free.push(rel);
             } else {
@@ -230,24 +289,47 @@ mod tests {
 
     #[test]
     fn full_blocks_become_victim_eligible() {
-        let (mut pool, nand) = setup();
+        let (mut pool, mut nand) = setup();
         for _ in 0..4 {
-            pool.alloc(&nand, WritePoint::User).unwrap();
+            let p = pool.alloc(&nand, WritePoint::User).unwrap();
+            nand.program(p, &[0u8; 512]).unwrap();
         }
         // Block not yet closed: closing happens lazily on the next alloc.
         pool.alloc(&nand, WritePoint::User).unwrap();
-        let closed: Vec<u32> = (0..8).filter(|&r| pool.victim_eligible(r)).collect();
+        let closed: Vec<u32> = (0..8).filter(|&r| pool.victim_eligible(r, &nand)).collect();
         assert_eq!(closed.len(), 1);
     }
 
     #[test]
-    fn release_returns_block_to_free_list() {
-        let (mut pool, nand) = setup();
-        for _ in 0..5 {
-            pool.alloc(&nand, WritePoint::User).unwrap();
+    fn unprogrammed_batch_pages_block_victim_eligibility() {
+        let (mut pool, mut nand) = setup();
+        // Fill a block with allocations but only program three of the four
+        // pages — the last allocation is still in flight.
+        let mut pages = Vec::new();
+        for _ in 0..4 {
+            pages.push(pool.alloc(&nand, WritePoint::User).unwrap());
         }
-        let victim = (0..8).find(|&r| pool.victim_eligible(r)).unwrap();
+        for p in &pages[..3] {
+            nand.program(*p, &[0u8; 512]).unwrap();
+        }
+        pool.alloc(&nand, WritePoint::User).unwrap(); // closes the full block
+        let rel = pool.rel(nand.geometry().block_of(pages[0])).unwrap();
+        assert_eq!(pool.state(rel), BlockState::Closed);
+        assert!(!pool.victim_eligible(rel, &nand), "in-flight page must pin the block");
+        nand.program(pages[3], &[0u8; 512]).unwrap();
+        assert!(pool.victim_eligible(rel, &nand));
+    }
+
+    #[test]
+    fn release_returns_block_to_free_list() {
+        let (mut pool, mut nand) = setup();
+        for _ in 0..5 {
+            let p = pool.alloc(&nand, WritePoint::User).unwrap();
+            nand.program(p, &[0u8; 512]).unwrap();
+        }
+        let victim = (0..8).find(|&r| pool.victim_eligible(r, &nand)).unwrap();
         let before = pool.free_count();
+        nand.erase(pool.abs(victim)).unwrap();
         pool.release(victim);
         assert_eq!(pool.free_count(), before + 1);
         assert_eq!(pool.state(victim), BlockState::Free);
@@ -274,6 +356,24 @@ mod tests {
         let rel = pool.rel(nand.geometry().block_of(p)).unwrap();
         assert_eq!(pool.state(rel), BlockState::Closed);
         assert_eq!(pool.free_count(), 7);
+    }
+
+    #[test]
+    fn user_allocations_stripe_across_channels() {
+        let g = NandGeometry::new(512, 4, 16).with_parallelism(4, 1);
+        let nand = NandArray::with_timing(g, NandTiming::zero(), SimClock::new());
+        let mut pool = BlockPool::new(g, BlockId(0), 16);
+        let ppns: Vec<Ppn> =
+            (0..4).map(|_| pool.alloc(&nand, WritePoint::User).unwrap()).collect();
+        let mut channels: Vec<u32> =
+            ppns.iter().map(|&p| g.channel_of_block(g.block_of(p))).collect();
+        channels.sort_unstable();
+        channels.dedup();
+        assert_eq!(channels.len(), 4, "4 consecutive host pages span 4 channels");
+        // The fifth allocation wraps back to the first lane's open block.
+        let p4 = pool.alloc(&nand, WritePoint::User).unwrap();
+        assert_eq!(g.block_of(p4), g.block_of(ppns[0]));
+        assert_eq!(p4.0, ppns[0].0 + 1);
     }
 
     #[test]

@@ -84,6 +84,18 @@ impl<D: BlockDevice> BlockDevice for SharedDevice<D> {
         self.lock().share(pairs)
     }
 
+    fn read_batch(&mut self, reqs: &mut [(Lpn, &mut [u8])]) -> Result<(), FtlError> {
+        self.lock().read_batch(reqs)
+    }
+
+    fn write_batch(&mut self, pages: &[(Lpn, &[u8])]) -> Result<(), FtlError> {
+        self.lock().write_batch(pages)
+    }
+
+    fn share_batch(&mut self, pairs: &[SharePair]) -> Result<(), FtlError> {
+        self.lock().share_batch(pairs)
+    }
+
     fn write_atomic(&mut self, pages: &[(Lpn, &[u8])]) -> Result<(), FtlError> {
         self.lock().write_atomic(pages)
     }

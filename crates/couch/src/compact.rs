@@ -58,14 +58,22 @@ impl<D: BlockDevice> CouchStore<D> {
             // Reserve space up front (the paper's fallocate) then remap.
             self.fs.fallocate(new_file, doc_blocks_moved.max(1))?;
             let bs = self.fs.page_size();
-            let mut buf = vec![0u8; bs];
+            // Read the document header blocks to learn each length —
+            // required by the share command, and the reason SHARE-based
+            // compaction is not infinitely fast (§5.3.2). Batched so the
+            // reads overlap across channels.
+            let mut head_bufs = vec![vec![0u8; bs]; entries.len()];
+            for (chunk_e, chunk_b) in entries.chunks(256).zip(head_bufs.chunks_mut(256)) {
+                let mut reqs: Vec<(u64, &mut [u8])> = chunk_e
+                    .iter()
+                    .zip(chunk_b.iter_mut())
+                    .map(|(e, b)| (e.ptr, b.as_mut_slice()))
+                    .collect();
+                self.fs.read_pages(self.file, &mut reqs)?;
+            }
             let mut pairs: Vec<(u64, u64)> = Vec::with_capacity(doc_blocks_moved as usize);
-            for e in &entries {
-                // Read the document header block to learn its length —
-                // required by the share command, and the reason SHARE-based
-                // compaction is not infinitely fast (§5.3.2).
-                self.fs.read_page(self.file, e.ptr, &mut buf)?;
-                let head = decode_doc_block(&buf)
+            for (e, buf) in entries.iter().zip(&head_bufs) {
+                let head = decode_doc_block(buf)
                     .ok_or_else(|| CouchError::Corrupt(format!("bad doc head at {}", e.ptr)))?;
                 debug_assert_eq!(head.nblocks, e.nblocks);
                 for i in 0..e.nblocks as u64 {
@@ -76,16 +84,32 @@ impl<D: BlockDevice> CouchStore<D> {
             }
             self.fs.ioctl_share_pairs(new_file, self.file, &pairs)?;
         } else {
-            // Copy every live document.
+            // Copy every live document, in batched read/write chunks.
             let bs = self.fs.page_size();
-            let mut buf = vec![0u8; bs];
+            let mut moves: Vec<(u64, u64)> = Vec::with_capacity(doc_blocks_moved as usize);
             for e in &entries {
                 for i in 0..e.nblocks as u64 {
-                    self.fs.read_page(self.file, e.ptr + i, &mut buf)?;
-                    self.fs.write_page(new_file, new_tail + i, &buf)?;
+                    moves.push((e.ptr + i, new_tail + i));
                 }
                 new_leaf_entries.push(NodeEntry { key: e.key, ptr: new_tail, ..*e });
                 new_tail += e.nblocks as u64;
+            }
+            let mut bufs = vec![vec![0u8; bs]; 128];
+            for chunk in moves.chunks(128) {
+                {
+                    let mut reqs: Vec<(u64, &mut [u8])> = chunk
+                        .iter()
+                        .zip(bufs.iter_mut())
+                        .map(|(&(src, _), b)| (src, b.as_mut_slice()))
+                        .collect();
+                    self.fs.read_pages(self.file, &mut reqs)?;
+                }
+                let batch: Vec<(u64, &[u8])> = chunk
+                    .iter()
+                    .zip(bufs.iter())
+                    .map(|(&(_, dst), b)| (dst, b.as_slice()))
+                    .collect();
+                self.fs.write_pages(new_file, &batch)?;
             }
         }
 

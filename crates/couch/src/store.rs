@@ -323,22 +323,34 @@ impl<D: BlockDevice> CouchStore<D> {
         self.next_rev += 1;
         let blocks = encode_doc(key, rev, payload, bs);
         let ptr = DocPtr { block: self.tail, nblocks: blocks.len() as u16, len: payload.len() as u32 };
-        for img in &blocks {
-            self.fs.write_page(self.file, self.tail, img)?;
-            self.tail += 1;
-        }
+        // One batched submission for all of the document's blocks.
+        let batch: Vec<(u64, &[u8])> = blocks
+            .iter()
+            .enumerate()
+            .map(|(i, img)| (self.tail + i as u64, img.as_slice()))
+            .collect();
+        self.fs.write_pages(self.file, &batch)?;
+        self.tail += blocks.len() as u64;
         self.stats.doc_blocks_appended += blocks.len() as u64;
         Ok(ptr)
     }
 
     pub(crate) fn read_doc(&mut self, ptr: DocPtr) -> Result<Vec<u8>, CouchError> {
         let bs = self.fs.page_size();
-        let mut buf = vec![0u8; bs];
+        let mut bufs = vec![vec![0u8; bs]; ptr.nblocks as usize];
+        {
+            let mut reqs: Vec<(u64, &mut [u8])> = bufs
+                .iter_mut()
+                .enumerate()
+                .map(|(i, b)| (ptr.block + i as u64, b.as_mut_slice()))
+                .collect();
+            self.fs.read_pages(self.file, &mut reqs)?;
+        }
         let mut payload = Vec::with_capacity(ptr.len as usize);
-        for i in 0..ptr.nblocks as u64 {
-            self.fs.read_page(self.file, ptr.block + i, &mut buf)?;
-            let d = decode_doc_block(&buf)
-                .ok_or_else(|| CouchError::Corrupt(format!("bad doc block at {}", ptr.block + i)))?;
+        for (i, buf) in bufs.iter().enumerate() {
+            let d = decode_doc_block(buf).ok_or_else(|| {
+                CouchError::Corrupt(format!("bad doc block at {}", ptr.block + i as u64))
+            })?;
             payload.extend_from_slice(&d.chunk);
         }
         payload.truncate(ptr.len as usize);

@@ -277,9 +277,14 @@ impl<D: BlockDevice> InnoDb<D> {
     fn load_page(&mut self, page_no: u64) -> Result<LoadOutcome, EngineError> {
         let dps = self.fs.page_size();
         let mut img = vec![0u8; self.cfg.page_bytes];
-        for j in 0..self.ppd {
-            let off = (j as usize) * dps;
-            self.fs.read_page(self.ts, self.ts_offset(page_no) + j, &mut img[off..off + dps])?;
+        {
+            let base = self.ts_offset(page_no);
+            let mut reqs: Vec<(u64, &mut [u8])> = img
+                .chunks_mut(dps)
+                .enumerate()
+                .map(|(j, chunk)| (base + j as u64, chunk))
+                .collect();
+            self.fs.read_pages(self.ts, &mut reqs)?;
         }
         match NodePage::decode(&img) {
             Ok(p) => {
@@ -301,10 +306,30 @@ impl<D: BlockDevice> InnoDb<D> {
 
     fn write_image(&mut self, file: FileId, first_page: u64, img: &[u8]) -> Result<(), EngineError> {
         let dps = self.fs.page_size();
-        for j in 0..self.ppd {
-            let off = (j as usize) * dps;
-            self.fs.write_page(file, first_page + j, &img[off..off + dps])?;
+        let batch: Vec<(u64, &[u8])> = img
+            .chunks(dps)
+            .enumerate()
+            .map(|(j, chunk)| (first_page + j as u64, chunk))
+            .collect();
+        self.fs.write_pages(file, &batch)?;
+        Ok(())
+    }
+
+    /// Write several engine-page images to `file` as ONE batched device
+    /// submission (device pages of all images overlap across channels).
+    fn write_images(
+        &mut self,
+        file: FileId,
+        placed: &[(u64, &Vec<u8>)],
+    ) -> Result<(), EngineError> {
+        let dps = self.fs.page_size();
+        let mut batch: Vec<(u64, &[u8])> = Vec::with_capacity(placed.len() * self.ppd as usize);
+        for (first_page, img) in placed {
+            for (j, chunk) in img.chunks(dps).enumerate() {
+                batch.push((first_page + j as u64, chunk));
+            }
         }
+        self.fs.write_pages(file, &batch)?;
         Ok(())
     }
 
@@ -406,9 +431,9 @@ impl<D: BlockDevice> InnoDb<D> {
 
         match self.cfg.mode {
             FlushMode::DwbOff => {
-                for (no, img) in &images {
-                    self.write_image(self.ts, self.ts_offset(*no), img)?;
-                }
+                let placed: Vec<(u64, &Vec<u8>)> =
+                    images.iter().map(|(no, img)| (self.ts_offset(*no), img)).collect();
+                self.write_images(self.ts, &placed)?;
                 self.fs.fsync(self.ts)?;
             }
             FlushMode::AtomicWrite => {
@@ -430,21 +455,30 @@ impl<D: BlockDevice> InnoDb<D> {
                 }
             }
             FlushMode::DwbOn => {
-                for (slot, (_, img)) in images.iter().enumerate() {
-                    self.write_image(self.dwb, slot as u64 * self.ppd, img)?;
-                    self.stats.dwb_pages_written += 1;
-                }
+                // The whole DWB pass is one batched submission; the fsync
+                // barrier between it and the home-location pass preserves
+                // the torn-page protection ordering.
+                let dwb_placed: Vec<(u64, &Vec<u8>)> = images
+                    .iter()
+                    .enumerate()
+                    .map(|(slot, (_, img))| (slot as u64 * self.ppd, img))
+                    .collect();
+                self.write_images(self.dwb, &dwb_placed)?;
+                self.stats.dwb_pages_written += images.len() as u64;
                 self.fs.fsync(self.dwb)?;
-                for (no, img) in &images {
-                    self.write_image(self.ts, self.ts_offset(*no), img)?;
-                }
+                let placed: Vec<(u64, &Vec<u8>)> =
+                    images.iter().map(|(no, img)| (self.ts_offset(*no), img)).collect();
+                self.write_images(self.ts, &placed)?;
                 self.fs.fsync(self.ts)?;
             }
             FlushMode::Share => {
-                for (slot, (_, img)) in images.iter().enumerate() {
-                    self.write_image(self.dwb, slot as u64 * self.ppd, img)?;
-                    self.stats.dwb_pages_written += 1;
-                }
+                let dwb_placed: Vec<(u64, &Vec<u8>)> = images
+                    .iter()
+                    .enumerate()
+                    .map(|(slot, (_, img))| (slot as u64 * self.ppd, img))
+                    .collect();
+                self.write_images(self.dwb, &dwb_placed)?;
+                self.stats.dwb_pages_written += images.len() as u64;
                 self.fs.fsync(self.dwb)?;
                 // Remap home locations onto the just-written DWB copies,
                 // never splitting one engine page across atomic batches.
@@ -470,9 +504,9 @@ impl<D: BlockDevice> InnoDb<D> {
                     // Reverse-map pressure: fall back to the classic second
                     // write for this batch (the engine keeps running).
                     self.stats.share_fallbacks += 1;
-                    for (no, img) in &images {
-                        self.write_image(self.ts, self.ts_offset(*no), img)?;
-                    }
+                    let placed: Vec<(u64, &Vec<u8>)> =
+                        images.iter().map(|(no, img)| (self.ts_offset(*no), img)).collect();
+                    self.write_images(self.ts, &placed)?;
                     self.fs.fsync(self.ts)?;
                 }
             }

@@ -24,9 +24,19 @@ const ERASED_BYTE: u8 = 0xFF;
 /// A simulated NAND flash array.
 ///
 /// Content is stored per page (`None` = erased) so upper layers can verify
-/// data integrity end to end, including after injected crashes. All three
-/// primitives advance the shared [`SimClock`] by the configured
-/// [`NandTiming`].
+/// data integrity end to end, including after injected crashes.
+///
+/// # Timing model
+///
+/// Each (channel, way) pair is an independently-busy *unit*; blocks are
+/// interleaved across units by block number. Every operation is dispatched
+/// to its unit at submission time `t0 = clock.now()`: it starts at
+/// `max(t0, busy_until[unit])`, occupies the unit for its service time, and
+/// the shared [`SimClock`] then jumps to the **max** completion time of the
+/// submission (`advance_to`). Single-op submissions therefore cost exactly
+/// their service time (identical to the pre-channel serial model), while a
+/// batch submission overlaps pages that land on different units and queues
+/// pages that share one.
 #[derive(Debug)]
 pub struct NandArray {
     geometry: NandGeometry,
@@ -39,6 +49,11 @@ pub struct NandArray {
     next_page: Vec<u32>,
     erase_counts: Vec<u32>,
     stats: NandStats,
+    /// Per-unit (channel x way) time at which the unit next becomes idle.
+    /// Invariant between submissions: `busy_until[u] <= clock.now()` for
+    /// every unit, because each submission advances the clock to its max
+    /// completion time.
+    busy_until: Vec<u64>,
 }
 
 impl NandArray {
@@ -60,6 +75,7 @@ impl NandArray {
             next_page: vec![0; geometry.blocks as usize],
             erase_counts: vec![0; geometry.blocks as usize],
             stats: NandStats::default(),
+            busy_until: vec![0; geometry.units() as usize],
         }
     }
 
@@ -129,42 +145,61 @@ impl NandArray {
         Ok(())
     }
 
-    /// Read one page into `buf`. Erased pages read as 0xFF.
-    pub fn read(&mut self, ppn: Ppn, buf: &mut [u8]) -> Result<()> {
-        self.check_up()?;
-        self.check_ppn(ppn)?;
-        if buf.len() != self.geometry.page_size {
-            return Err(NandError::BadBufferLength { got: buf.len(), want: self.geometry.page_size });
+    /// Reserve `unit` for `service_ns`, starting no earlier than submission
+    /// time `t0`, and return the completion time. The caller is responsible
+    /// for moving the shared clock to the submission's max completion time.
+    #[inline]
+    fn dispatch(&mut self, unit: usize, t0: u64, service_ns: u64) -> u64 {
+        let start = self.busy_until[unit].max(t0);
+        let end = start + service_ns;
+        self.busy_until[unit] = end;
+        end
+    }
+
+    /// One page read, dispatched at `t0`. Returns the completion time (or
+    /// `t0` when rejected before touching the unit) and the outcome.
+    fn read_one(&mut self, ppn: Ppn, buf: &mut [u8], t0: u64) -> (u64, Result<()>) {
+        if let Err(e) = self.check_ppn(ppn) {
+            return (t0, Err(e));
         }
-        self.clock.advance(self.timing.read_ns + self.timing.xfer_ns(buf.len()));
+        if buf.len() != self.geometry.page_size {
+            let e = NandError::BadBufferLength { got: buf.len(), want: self.geometry.page_size };
+            return (t0, Err(e));
+        }
+        let unit = self.geometry.unit_of(ppn) as usize;
+        let end = self.dispatch(unit, t0, self.timing.read_ns + self.timing.xfer_ns(buf.len()));
         self.stats.page_reads += 1;
         match &self.pages[ppn.0 as usize] {
             Some(data) => buf.copy_from_slice(data),
             None => buf.fill(ERASED_BYTE),
         }
-        Ok(())
+        (end, Ok(()))
     }
 
-    /// Program one page. Enforces erase-before-program and in-order
-    /// programming within the block. An armed fault can tear this program.
-    pub fn program(&mut self, ppn: Ppn, data: &[u8]) -> Result<()> {
-        self.check_up()?;
-        self.check_ppn(ppn)?;
+    /// One page program, dispatched at `t0`. Enforces erase-before-program
+    /// and in-order programming; runs the fault countdown exactly once per
+    /// dispatched attempt. Returns the completion time and the outcome.
+    fn program_one(&mut self, ppn: Ppn, data: &[u8], t0: u64) -> (u64, Result<()>) {
+        if let Err(e) = self.check_ppn(ppn) {
+            return (t0, Err(e));
+        }
         if data.len() != self.geometry.page_size {
-            return Err(NandError::BadBufferLength { got: data.len(), want: self.geometry.page_size });
+            let e = NandError::BadBufferLength { got: data.len(), want: self.geometry.page_size };
+            return (t0, Err(e));
         }
         let idx = ppn.0 as usize;
         if self.pages[idx].is_some() || self.torn[idx] {
-            return Err(NandError::ProgramOnDirtyPage(ppn));
+            return (t0, Err(NandError::ProgramOnDirtyPage(ppn)));
         }
         let block = self.geometry.block_of(ppn);
         let in_block = self.geometry.page_in_block(ppn);
         let frontier = self.next_page[block.0 as usize];
         if in_block != frontier {
-            return Err(NandError::OutOfOrderProgram { ppn, expected_index: frontier });
+            return (t0, Err(NandError::OutOfOrderProgram { ppn, expected_index: frontier }));
         }
 
-        self.clock.advance(self.timing.program_ns + self.timing.xfer_ns(data.len()));
+        let unit = self.geometry.unit_of(ppn) as usize;
+        let end = self.dispatch(unit, t0, self.timing.program_ns + self.timing.xfer_ns(data.len()));
 
         if let Some(mode) = self.fault.on_program() {
             match mode {
@@ -188,36 +223,127 @@ impl NandArray {
                     self.stats.page_programs += 1;
                 }
             }
-            return Err(NandError::PowerLoss);
+            return (end, Err(NandError::PowerLoss));
         }
 
         self.pages[idx] = Some(data.to_vec().into_boxed_slice());
         self.next_page[block.0 as usize] = in_block + 1;
         self.stats.page_programs += 1;
-        Ok(())
+        (end, Ok(()))
     }
 
-    /// Erase a whole block, freeing all its pages.
-    pub fn erase(&mut self, block: BlockId) -> Result<()> {
-        self.check_up()?;
+    /// One block erase, dispatched at `t0`.
+    fn erase_one(&mut self, block: BlockId, t0: u64) -> (u64, Result<()>) {
         if block.0 >= self.geometry.blocks {
-            return Err(NandError::OutOfRange {
+            let e = NandError::OutOfRange {
                 what: "block",
                 index: block.0 as u64,
                 limit: self.geometry.blocks as u64,
-            });
+            };
+            return (t0, Err(e));
         }
-        self.clock.advance(self.timing.erase_ns);
+        let unit = self.geometry.unit_of_block(block) as usize;
+        let end = self.dispatch(unit, t0, self.timing.erase_ns);
         let start = self.geometry.first_ppn(block).0 as usize;
-        let end = start + self.geometry.pages_per_block as usize;
-        for i in start..end {
+        let last = start + self.geometry.pages_per_block as usize;
+        for i in start..last {
             self.pages[i] = None;
             self.torn[i] = false;
         }
         self.next_page[block.0 as usize] = 0;
         self.erase_counts[block.0 as usize] += 1;
         self.stats.block_erases += 1;
-        Ok(())
+        (end, Ok(()))
+    }
+
+    /// Read one page into `buf`. Erased pages read as 0xFF.
+    pub fn read(&mut self, ppn: Ppn, buf: &mut [u8]) -> Result<()> {
+        self.check_up()?;
+        let t0 = self.clock.now_ns();
+        let (end, res) = self.read_one(ppn, buf, t0);
+        self.clock.advance_to(end);
+        res
+    }
+
+    /// Read a vector of pages as one submission. All reads are dispatched
+    /// at the same submission time, so pages on different channels overlap
+    /// in simulated time while same-unit pages queue behind each other.
+    pub fn read_batch(&mut self, reqs: &mut [(Ppn, &mut [u8])]) -> Result<()> {
+        self.check_up()?;
+        let t0 = self.clock.now_ns();
+        let mut max_end = t0;
+        let mut res = Ok(());
+        for (ppn, buf) in reqs.iter_mut() {
+            let (end, r) = self.read_one(*ppn, buf, t0);
+            max_end = max_end.max(end);
+            if r.is_err() {
+                res = r;
+                break;
+            }
+        }
+        self.clock.advance_to(max_end);
+        res
+    }
+
+    /// Program one page. Enforces erase-before-program and in-order
+    /// programming within the block. An armed fault can tear this program.
+    pub fn program(&mut self, ppn: Ppn, data: &[u8]) -> Result<()> {
+        self.check_up()?;
+        let t0 = self.clock.now_ns();
+        let (end, res) = self.program_one(ppn, data, t0);
+        self.clock.advance_to(end);
+        res
+    }
+
+    /// Program a vector of pages as one submission, dispatched
+    /// channel-parallel. Pages are *attempted strictly in slice order* — the
+    /// fault countdown ticks once per attempt and a fired fault (or any
+    /// constraint violation) stops the batch before later pages touch the
+    /// cells — so the medium state after a crash is identical to the state a
+    /// per-page loop would have left. Only the timing differs: the clock
+    /// moves once, to the max completion time across units.
+    pub fn program_batch(&mut self, reqs: &[(Ppn, &[u8])]) -> Result<()> {
+        self.check_up()?;
+        let t0 = self.clock.now_ns();
+        let mut max_end = t0;
+        let mut res = Ok(());
+        for (ppn, data) in reqs {
+            let (end, r) = self.program_one(*ppn, data, t0);
+            max_end = max_end.max(end);
+            if r.is_err() {
+                res = r;
+                break;
+            }
+        }
+        self.clock.advance_to(max_end);
+        res
+    }
+
+    /// Erase a whole block, freeing all its pages.
+    pub fn erase(&mut self, block: BlockId) -> Result<()> {
+        self.check_up()?;
+        let t0 = self.clock.now_ns();
+        let (end, res) = self.erase_one(block, t0);
+        self.clock.advance_to(end);
+        res
+    }
+
+    /// Erase a vector of blocks as one submission, channel-parallel.
+    pub fn erase_batch(&mut self, blocks: &[BlockId]) -> Result<()> {
+        self.check_up()?;
+        let t0 = self.clock.now_ns();
+        let mut max_end = t0;
+        let mut res = Ok(());
+        for &block in blocks {
+            let (end, r) = self.erase_one(block, t0);
+            max_end = max_end.max(end);
+            if r.is_err() {
+                res = r;
+                break;
+            }
+        }
+        self.clock.advance_to(max_end);
+        res
     }
 
     /// Bring the device back up after a power-loss fault. Contents (torn
@@ -277,6 +403,7 @@ impl NandArray {
             next_page,
             erase_counts,
             stats,
+            busy_until: vec![0; geometry.units() as usize],
         })
     }
 }
@@ -448,6 +575,123 @@ mod tests {
         a.erase(BlockId(0)).unwrap();
         a.program(Ppn(0), &page(0x77, 512)).unwrap();
         assert_eq!(a.page_state(Ppn(0)), PageState::Programmed);
+    }
+
+    /// 4 channels x 1 way over 8 blocks of 4 pages: blocks 0..4 land on
+    /// distinct units, blocks b and b+4 share one.
+    fn four_channel() -> NandArray {
+        let g = NandGeometry::new(512, 4, 8).with_parallelism(4, 1);
+        NandArray::with_timing(g, NandTiming::default(), SimClock::new())
+    }
+
+    #[test]
+    fn batch_programs_on_distinct_channels_overlap() {
+        let mut a = four_channel();
+        let t = a.timing();
+        let data = page(0xAA, 512);
+        // First page of blocks 0..4 — four distinct units, one submission.
+        let reqs: Vec<(Ppn, &[u8])> = (0..4).map(|b| (Ppn(b * 4), data.as_slice())).collect();
+        a.program_batch(&reqs).unwrap();
+        assert_eq!(a.clock().now_ns(), t.program_ns + t.xfer_ns(512));
+        assert_eq!(a.stats().page_programs, 4);
+    }
+
+    #[test]
+    fn batch_programs_on_same_unit_queue() {
+        let mut a = four_channel();
+        let t = a.timing();
+        let data = page(0xBB, 512);
+        // Two in-order pages of block 0 — same unit, so they serialize.
+        let reqs: Vec<(Ppn, &[u8])> = vec![(Ppn(0), &data), (Ppn(1), &data)];
+        a.program_batch(&reqs).unwrap();
+        assert_eq!(a.clock().now_ns(), 2 * (t.program_ns + t.xfer_ns(512)));
+    }
+
+    #[test]
+    fn mixed_batch_costs_max_per_unit_queue() {
+        let mut a = four_channel();
+        let t = a.timing();
+        let data = page(0xCC, 512);
+        // Blocks 0 and 4 share unit 0 (2 queued programs); block 1 is alone.
+        let reqs: Vec<(Ppn, &[u8])> =
+            vec![(Ppn(0), &data), (Ppn(16), &data), (Ppn(4), &data)];
+        a.program_batch(&reqs).unwrap();
+        assert_eq!(a.clock().now_ns(), 2 * (t.program_ns + t.xfer_ns(512)));
+    }
+
+    #[test]
+    fn single_ops_never_overlap_even_across_channels() {
+        // Without a batch submission there is no queue depth: each command
+        // is submitted after the previous one completed.
+        let mut a = four_channel();
+        let t = a.timing();
+        let data = page(0xDD, 512);
+        a.program(Ppn(0), &data).unwrap();
+        a.program(Ppn(4), &data).unwrap();
+        assert_eq!(a.clock().now_ns(), 2 * (t.program_ns + t.xfer_ns(512)));
+    }
+
+    #[test]
+    fn batch_reads_overlap_across_channels() {
+        let mut a = four_channel();
+        let t = a.timing();
+        let data = page(0x5A, 512);
+        let reqs: Vec<(Ppn, &[u8])> = (0..4).map(|b| (Ppn(b * 4), data.as_slice())).collect();
+        a.program_batch(&reqs).unwrap();
+        let before = a.clock().now_ns();
+        let mut bufs = vec![vec![0u8; 512]; 4];
+        let mut rreqs: Vec<(Ppn, &mut [u8])> = bufs
+            .iter_mut()
+            .enumerate()
+            .map(|(i, b)| (Ppn(i as u32 * 4), b.as_mut_slice()))
+            .collect();
+        a.read_batch(&mut rreqs).unwrap();
+        assert_eq!(a.clock().now_ns() - before, t.read_ns + t.xfer_ns(512));
+        for b in &bufs {
+            assert_eq!(b, &data);
+        }
+    }
+
+    #[test]
+    fn erase_batch_overlaps_across_channels() {
+        let mut a = four_channel();
+        let t = a.timing();
+        let before = a.clock().now_ns();
+        a.erase_batch(&[BlockId(0), BlockId(1), BlockId(2), BlockId(3)]).unwrap();
+        assert_eq!(a.clock().now_ns() - before, t.erase_ns);
+        assert_eq!(a.stats().block_erases, 4);
+    }
+
+    #[test]
+    fn batch_fault_stops_in_submission_order() {
+        let mut a = four_channel();
+        let h = a.fault_handle();
+        h.arm_after_programs(2, FaultMode::DroppedWrite);
+        let data = page(0x77, 512);
+        let reqs: Vec<(Ppn, &[u8])> = (0..4).map(|b| (Ppn(b * 4), data.as_slice())).collect();
+        assert_eq!(a.program_batch(&reqs), Err(NandError::PowerLoss));
+        assert!(a.is_down());
+        assert_eq!(h.programs_seen(), 2);
+        a.power_cycle();
+        // Exactly the pages before the crash point landed; the dropped page
+        // and everything after it stayed erased — same medium state a
+        // per-page loop would leave.
+        assert_eq!(a.page_state(Ppn(0)), PageState::Programmed);
+        assert_eq!(a.page_state(Ppn(4)), PageState::Free);
+        assert_eq!(a.page_state(Ppn(8)), PageState::Free);
+        assert_eq!(a.page_state(Ppn(12)), PageState::Free);
+    }
+
+    #[test]
+    fn batch_timing_matches_serial_on_one_channel() {
+        // On the default 1x1 geometry a batch costs exactly the serial sum,
+        // so nothing about the pre-channel timing changes.
+        let mut a = small();
+        let t = a.timing();
+        let data = page(0x42, 512);
+        let reqs: Vec<(Ppn, &[u8])> = (0..4).map(|i| (Ppn(i), data.as_slice())).collect();
+        a.program_batch(&reqs).unwrap();
+        assert_eq!(a.clock().now_ns(), 4 * (t.program_ns + t.xfer_ns(512)));
     }
 
     #[test]

@@ -42,6 +42,18 @@ impl SimClock {
         self.ns.fetch_add(ns, Ordering::Relaxed) + ns
     }
 
+    /// Move the clock forward to `ns` if it is currently earlier; never
+    /// moves it backward. Returns the (possibly unchanged) current time.
+    ///
+    /// This is how multi-channel completion works: a batch submission
+    /// computes each page's completion time on its unit and the clock jumps
+    /// to the *max* completion time, so overlapping operations on different
+    /// channels cost only the slowest one.
+    #[inline]
+    pub fn advance_to(&self, ns: u64) -> u64 {
+        self.ns.fetch_max(ns, Ordering::Relaxed).max(ns)
+    }
+
     /// Two handles are *linked* if they advance the same underlying clock.
     pub fn is_linked_to(&self, other: &SimClock) -> bool {
         Arc::ptr_eq(&self.ns, &other.ns)
@@ -71,6 +83,16 @@ mod tests {
         assert_eq!(a.now_ns(), 101);
         assert!(a.is_linked_to(&b));
         assert!(!a.is_linked_to(&SimClock::new()));
+    }
+
+    #[test]
+    fn advance_to_is_monotonic() {
+        let c = SimClock::new();
+        assert_eq!(c.advance_to(100), 100);
+        // Moving to an earlier time is a no-op.
+        assert_eq!(c.advance_to(40), 100);
+        assert_eq!(c.now_ns(), 100);
+        assert_eq!(c.advance_to(250), 250);
     }
 
     #[test]

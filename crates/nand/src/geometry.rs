@@ -46,15 +46,56 @@ pub struct NandGeometry {
     pub pages_per_block: u32,
     /// Total number of erase blocks in the array.
     pub blocks: u32,
+    /// Independent channels. Operations on different channels overlap in
+    /// simulated time; the OpenSSD prototype has 8.
+    pub channels: u32,
+    /// Ways (dies) per channel. Each (channel, way) pair is one
+    /// independently-busy unit.
+    pub ways: u32,
 }
 
 impl NandGeometry {
     /// Geometry scaled for fast simulation: 4 KiB pages, 128-page (512 KiB)
-    /// blocks. Capacity is chosen by the caller via `blocks`.
+    /// blocks. Capacity is chosen by the caller via `blocks`. Single
+    /// channel/way; use [`with_parallelism`](Self::with_parallelism) for a
+    /// multi-channel device.
     pub fn new(page_size: usize, pages_per_block: u32, blocks: u32) -> Self {
         assert!(page_size.is_power_of_two(), "page size must be a power of two");
         assert!(pages_per_block > 0 && blocks > 0);
-        Self { page_size, pages_per_block, blocks }
+        Self { page_size, pages_per_block, blocks, channels: 1, ways: 1 }
+    }
+
+    /// The same geometry with `channels` x `ways` independent units. Blocks
+    /// are interleaved across units by block number (`block % units`).
+    pub fn with_parallelism(mut self, channels: u32, ways: u32) -> Self {
+        assert!(channels > 0 && ways > 0, "channels and ways must be >= 1");
+        self.channels = channels;
+        self.ways = ways;
+        self
+    }
+
+    /// Number of independently-busy units (channels x ways).
+    #[inline]
+    pub fn units(&self) -> u32 {
+        self.channels * self.ways
+    }
+
+    /// The unit (channel, way) pair serving `block`, as a flat index.
+    #[inline]
+    pub fn unit_of_block(&self, block: BlockId) -> u32 {
+        block.0 % self.units()
+    }
+
+    /// The channel serving `block`.
+    #[inline]
+    pub fn channel_of_block(&self, block: BlockId) -> u32 {
+        block.0 % self.channels
+    }
+
+    /// The unit serving the block that contains `ppn`.
+    #[inline]
+    pub fn unit_of(&self, ppn: Ppn) -> u32 {
+        self.unit_of_block(self.block_of(ppn))
     }
 
     /// A small default geometry (64 MiB) suitable for unit tests.
@@ -176,6 +217,42 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn geometry_rejects_odd_page_size() {
         NandGeometry::new(5000, 128, 16);
+    }
+
+    #[test]
+    fn default_geometry_is_single_channel() {
+        let g = NandGeometry::new(4096, 128, 16);
+        assert_eq!((g.channels, g.ways), (1, 1));
+        assert_eq!(g.units(), 1);
+        for b in 0..16 {
+            assert_eq!(g.unit_of_block(BlockId(b)), 0);
+            assert_eq!(g.channel_of_block(BlockId(b)), 0);
+        }
+    }
+
+    #[test]
+    fn parallelism_interleaves_blocks_across_units() {
+        let g = NandGeometry::new(4096, 128, 64).with_parallelism(4, 2);
+        assert_eq!(g.units(), 8);
+        assert_eq!(g.unit_of_block(BlockId(0)), 0);
+        assert_eq!(g.unit_of_block(BlockId(7)), 7);
+        assert_eq!(g.unit_of_block(BlockId(8)), 0);
+        assert_eq!(g.channel_of_block(BlockId(5)), 1);
+        assert_eq!(g.channel_of_block(BlockId(6)), 2);
+        // Consecutive blocks land on distinct units up to the unit count.
+        let units: Vec<u32> = (0..8).map(|b| g.unit_of_block(BlockId(b))).collect();
+        let mut sorted = units.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 8);
+        // PPNs inherit their block's unit.
+        assert_eq!(g.unit_of(g.ppn_at(BlockId(9), 17)), g.unit_of_block(BlockId(9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "channels and ways")]
+    fn parallelism_rejects_zero_channels() {
+        let _ = NandGeometry::new(4096, 128, 16).with_parallelism(0, 1);
     }
 
     #[test]

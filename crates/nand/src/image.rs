@@ -6,10 +6,13 @@
 //!
 //! ```text
 //! magic "NSIM" | version u32 | page_size u64 | pages_per_block u32 |
-//! blocks u32 | clock_ns u64 | stats (4 x u64) |
+//! blocks u32 | channels u32 | ways u32 (v2+) | clock_ns u64 |
+//! stats (4 x u64) |
 //! per block: erase_count u32, frontier u32 |
 //! per page:  state u8 (0 free, 1 programmed, 2 torn) [+ content]
 //! ```
+//!
+//! Version 1 images (pre-channel) load as a 1-channel, 1-way device.
 
 use crate::array::{NandArray, PageState};
 use crate::clock::SimClock;
@@ -17,7 +20,7 @@ use crate::geometry::{BlockId, NandGeometry, NandTiming, Ppn};
 use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 4] = b"NSIM";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 
 fn put_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
@@ -53,6 +56,8 @@ impl NandArray {
         put_u64(w, g.page_size as u64)?;
         put_u32(w, g.pages_per_block)?;
         put_u32(w, g.blocks)?;
+        put_u32(w, g.channels)?;
+        put_u32(w, g.ways)?;
         put_u64(w, self.clock().now_ns())?;
         let s = self.stats();
         put_u64(w, s.page_reads)?;
@@ -85,16 +90,22 @@ impl NandArray {
         if &magic != MAGIC {
             return Err(bad("not a NAND image"));
         }
-        if get_u32(r)? != VERSION {
+        let version = get_u32(r)?;
+        if version != 1 && version != VERSION {
             return Err(bad("unsupported NAND image version"));
         }
         let page_size = get_u64(r)? as usize;
         let pages_per_block = get_u32(r)?;
         let blocks = get_u32(r)?;
+        let (channels, ways) = if version >= 2 { (get_u32(r)?, get_u32(r)?) } else { (1, 1) };
         if !page_size.is_power_of_two() || pages_per_block == 0 || blocks == 0 {
             return Err(bad("corrupt geometry"));
         }
-        let geometry = NandGeometry::new(page_size, pages_per_block, blocks);
+        if channels == 0 || ways == 0 {
+            return Err(bad("corrupt parallelism"));
+        }
+        let geometry = NandGeometry::new(page_size, pages_per_block, blocks)
+            .with_parallelism(channels, ways);
         let clock = SimClock::new();
         clock.advance(get_u64(r)?);
         let stats = crate::stats::NandStats {
@@ -173,6 +184,18 @@ mod tests {
         assert!(got.iter().all(|&b| b == 0xEE));
         // Programming constraints still enforced after a load.
         assert!(loaded.program(Ppn(0), &vec![1; 512]).is_err());
+    }
+
+    #[test]
+    fn image_round_trips_parallel_geometry() {
+        let g = NandGeometry::new(512, 4, 8).with_parallelism(4, 2);
+        let mut nand = NandArray::with_timing(g, NandTiming::default(), SimClock::new());
+        nand.program(Ppn(0), &vec![0x11; 512]).unwrap();
+        let mut buf = Vec::new();
+        nand.save_image(&mut buf).unwrap();
+        let loaded = NandArray::load_image(&mut buf.as_slice(), NandTiming::default()).unwrap();
+        assert_eq!(loaded.geometry(), g);
+        assert_eq!(loaded.geometry().units(), 8);
     }
 
     #[test]

@@ -276,9 +276,13 @@ impl<D: BlockDevice> MiniPg<D> {
         let bs = self.fs.page_size();
         let dpp = (bytes / bs) as u64;
         let mut img = vec![0u8; bytes];
-        for j in 0..dpp {
-            let s = (j as usize) * bs;
-            self.fs.read_page(self.data, page_no * dpp + j, &mut img[s..s + bs])?;
+        {
+            let mut reqs: Vec<(u64, &mut [u8])> = img
+                .chunks_mut(bs)
+                .enumerate()
+                .map(|(j, chunk)| (page_no * dpp + j as u64, chunk))
+                .collect();
+            self.fs.read_pages(self.data, &mut reqs)?;
         }
         if self.cfg.data_checksums && !Self::checksum_ok(&img) {
             // A torn heap page. With FPW (or SHARE) the caller never sees
@@ -490,15 +494,21 @@ impl<D: BlockDevice> MiniPg<D> {
             batch.extend_from_slice(chunk);
             if use_share {
                 // Journal once, remap home locations (InnoDB-style SHARE
-                // protocol applied to PostgreSQL checkpointing).
-                for (slot, &page_no) in batch.iter().enumerate() {
+                // protocol applied to PostgreSQL checkpointing). The whole
+                // journal pass is one batched submission.
+                let mut images: Vec<Vec<u8>> = Vec::with_capacity(batch.len());
+                for &page_no in batch.iter() {
                     let mut img = self.pages.get(&page_no).expect("dirty page resident").clone();
                     Self::stamp_checksum(&mut img);
-                    for j in 0..dpp {
-                        let s = (j as usize) * bs;
-                        self.fs.write_page(self.journal, slot as u64 * dpp + j, &img[s..s + bs])?;
+                    images.push(img);
+                }
+                let mut writes: Vec<(u64, &[u8])> = Vec::with_capacity(batch.len() * dpp as usize);
+                for (slot, img) in images.iter().enumerate() {
+                    for (j, chunk) in img.chunks(bs).enumerate() {
+                        writes.push((slot as u64 * dpp + j as u64, chunk));
                     }
                 }
+                self.fs.write_pages(self.journal, &writes)?;
                 self.fs.fsync(self.journal)?;
                 let mut pairs = Vec::new();
                 for (slot, &page_no) in batch.iter().enumerate() {
@@ -515,14 +525,19 @@ impl<D: BlockDevice> MiniPg<D> {
                     self.fs.ioctl_share_pairs(self.data, self.journal, &tmp)?;
                 }
             } else {
-                for &page_no in &batch {
+                let mut images: Vec<Vec<u8>> = Vec::with_capacity(batch.len());
+                for &page_no in batch.iter() {
                     let mut img = self.pages.get(&page_no).expect("dirty page resident").clone();
                     Self::stamp_checksum(&mut img);
-                    for j in 0..dpp {
-                        let s = (j as usize) * bs;
-                        self.fs.write_page(self.data, page_no * dpp + j, &img[s..s + bs])?;
+                    images.push(img);
+                }
+                let mut writes: Vec<(u64, &[u8])> = Vec::with_capacity(batch.len() * dpp as usize);
+                for (&page_no, img) in batch.iter().zip(&images) {
+                    for (j, chunk) in img.chunks(bs).enumerate() {
+                        writes.push((page_no * dpp + j as u64, chunk));
                     }
                 }
+                self.fs.write_pages(self.data, &writes)?;
                 self.fs.fsync(self.data)?;
             }
             self.stats.pages_flushed += batch.len() as u64;

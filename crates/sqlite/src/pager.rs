@@ -328,9 +328,15 @@ impl<D: BlockDevice> MiniSqlite<D> {
         }
     }
 
-    fn write_db_page(&mut self, page_no: u64, img: &[u8]) -> Result<(), SqliteError> {
-        self.fs.write_page(self.db, page_no, img)?;
-        self.stats.db_page_writes += 1;
+    /// Write the current cache images of `pages` to the database file as
+    /// one batched device submission.
+    fn write_db_pages(&mut self, pages: &[u64]) -> Result<(), SqliteError> {
+        let images: Vec<(u64, Vec<u8>)> =
+            pages.iter().map(|&p| (p, self.encode_page(p))).collect();
+        let batch: Vec<(u64, &[u8])> =
+            images.iter().map(|(p, img)| (*p, img.as_slice())).collect();
+        self.fs.write_pages(self.db, &batch)?;
+        self.stats.db_page_writes += pages.len() as u64;
         Ok(())
     }
 
@@ -355,25 +361,26 @@ impl<D: BlockDevice> MiniSqlite<D> {
         dirty: &[u64],
         before: &HashMap<u64, Option<RecordPage>>,
     ) -> Result<(), SqliteError> {
-        // 1. Journal the before-images (header written after the images so
-        //    a torn header invalidates the journal, never half-validates it).
-        for (i, &p) in dirty.iter().enumerate() {
-            let img = match &before[&p] {
+        // 1. Journal the before-images as one batched submission (header
+        //    written after the images so a torn header invalidates the
+        //    journal, never half-validates it).
+        let images: Vec<Vec<u8>> = dirty
+            .iter()
+            .map(|p| match &before[p] {
                 Some(pg) => pg.encode(self.page_bytes()),
                 None => vec![0u8; self.page_bytes()],
-            };
-            self.fs.write_page(self.journal, 1 + i as u64, &img)?;
-            self.stats.journal_pages += 1;
-        }
+            })
+            .collect();
+        let batch: Vec<(u64, &[u8])> =
+            images.iter().enumerate().map(|(i, img)| (1 + i as u64, img.as_slice())).collect();
+        self.fs.write_pages(self.journal, &batch)?;
+        self.stats.journal_pages += dirty.len() as u64;
         let header = self.journal_header(dirty);
         self.fs.write_page(self.journal, 0, &header)?;
         self.stats.journal_pages += 1;
         self.fs.fsync(self.journal)?;
-        // 2. In-place page writes.
-        for &p in dirty {
-            let img = self.encode_page(p);
-            self.write_db_page(p, &img)?;
-        }
+        // 2. In-place page writes, batched.
+        self.write_db_pages(dirty)?;
         self.fs.fsync(self.db)?;
         // 3. Invalidate the journal — the commit point.
         let zero = vec![0u8; self.page_bytes()];
@@ -397,12 +404,20 @@ impl<D: BlockDevice> MiniSqlite<D> {
         for i in 0..count {
             page_nos.push(u64::from_le_bytes(h[16 + i * 8..24 + i * 8].try_into().unwrap()));
         }
-        // Restore before-images.
-        let mut img = vec![0u8; self.page_bytes()];
-        for (i, &p) in page_nos.iter().enumerate() {
-            self.fs.read_page(self.journal, 1 + i as u64, &mut img)?;
-            self.fs.write_page(self.db, p, &img)?;
+        // Restore before-images: batch-read the journal, batch-write home.
+        let ps = self.page_bytes();
+        let mut images = vec![vec![0u8; ps]; page_nos.len()];
+        {
+            let mut reqs: Vec<(u64, &mut [u8])> = images
+                .iter_mut()
+                .enumerate()
+                .map(|(i, img)| (1 + i as u64, img.as_mut_slice()))
+                .collect();
+            self.fs.read_pages(self.journal, &mut reqs)?;
         }
+        let batch: Vec<(u64, &[u8])> =
+            page_nos.iter().zip(&images).map(|(&p, img)| (p, img.as_slice())).collect();
+        self.fs.write_pages(self.db, &batch)?;
         self.fs.fsync(self.db)?;
         let zero = vec![0u8; self.page_bytes()];
         self.fs.write_page(self.journal, 0, &zero)?;
@@ -414,9 +429,17 @@ impl<D: BlockDevice> MiniSqlite<D> {
     // --- write-ahead log -------------------------------------------------------
 
     fn commit_wal(&mut self, dirty: &[u64]) -> Result<(), SqliteError> {
+        // All data frames of the transaction as one batched submission;
+        // the commit frame is written strictly after, so a crash mid-batch
+        // leaves an uncommitted (ignored) WAL tail exactly as before.
+        let images: Vec<Vec<u8>> = dirty.iter().map(|&p| self.encode_page(p)).collect();
+        let batch: Vec<(u64, &[u8])> = images
+            .iter()
+            .enumerate()
+            .map(|(i, img)| (self.wal_tail + i as u64, img.as_slice()))
+            .collect();
+        self.fs.write_pages(self.wal, &batch)?;
         for &p in dirty {
-            let img = self.encode_page(p);
-            self.fs.write_page(self.wal, self.wal_tail, &img)?;
             self.wal_index.insert(p, self.wal_tail);
             self.wal_tail += 1;
             self.stats.wal_frames += 1;
@@ -438,10 +461,7 @@ impl<D: BlockDevice> MiniSqlite<D> {
     /// Copy the latest WAL versions into the database and reset the WAL.
     pub fn checkpoint_wal(&mut self) -> Result<(), SqliteError> {
         let pages: Vec<u64> = self.wal_index.keys().copied().collect();
-        for p in pages {
-            let img = self.encode_page(p);
-            self.write_db_page(p, &img)?;
-        }
+        self.write_db_pages(&pages)?;
         self.fs.fsync(self.db)?;
         // Reset: zero the first frame so recovery sees an empty log.
         let zero = vec![0u8; self.page_bytes()];
@@ -504,10 +524,7 @@ impl<D: BlockDevice> MiniSqlite<D> {
     // --- unsafe off mode ----------------------------------------------------------
 
     fn commit_off(&mut self, dirty: &[u64]) -> Result<(), SqliteError> {
-        for &p in dirty {
-            let img = self.encode_page(p);
-            self.write_db_page(p, &img)?;
-        }
+        self.write_db_pages(dirty)?;
         self.fs.fsync(self.db)?;
         Ok(())
     }
@@ -519,12 +536,16 @@ impl<D: BlockDevice> MiniSqlite<D> {
         if dirty.len() > limit {
             return Err(SqliteError::TxnTooLarge { pages: dirty.len(), max: limit });
         }
-        // Stage the after-images past the data area, then remap atomically.
+        // Stage the after-images past the data area as one batched
+        // submission, then remap atomically.
         let staging_base = self.cfg.max_pages;
-        for (i, &p) in dirty.iter().enumerate() {
-            let img = self.encode_page(p);
-            self.fs.write_page(self.db, staging_base + i as u64, &img)?;
-        }
+        let images: Vec<Vec<u8>> = dirty.iter().map(|&p| self.encode_page(p)).collect();
+        let batch: Vec<(u64, &[u8])> = images
+            .iter()
+            .enumerate()
+            .map(|(i, img)| (staging_base + i as u64, img.as_slice()))
+            .collect();
+        self.fs.write_pages(self.db, &batch)?;
         self.fs.fsync(self.db)?;
         let pairs: Vec<(u64, u64)> =
             dirty.iter().enumerate().map(|(i, &p)| (p, staging_base + i as u64)).collect();

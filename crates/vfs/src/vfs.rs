@@ -336,6 +336,57 @@ impl<D: BlockDevice> Vfs<D> {
         Ok(())
     }
 
+    /// Write several pages of one file as one batched device submission
+    /// (programs on distinct channel-ways overlap in simulated time).
+    /// Ordinary-write durability semantics — NOT atomic across power loss;
+    /// use [`Vfs::write_pages_atomic`] for that.
+    pub fn write_pages(&mut self, f: FileId, pages: &[(u64, &[u8])]) -> Result<(), VfsError> {
+        let ps = self.dev.page_size();
+        let mut max_page = 0;
+        for (p, data) in pages {
+            if data.len() != ps {
+                return Err(VfsError::BadBufferLength { got: data.len(), want: ps });
+            }
+            max_page = max_page.max(p + 1);
+        }
+        if pages.is_empty() {
+            return Ok(());
+        }
+        if self.files.get(&f.0).map(|x| x.allocated_pages()).unwrap_or(0) < max_page {
+            self.fallocate(f, max_page)?;
+        }
+        let mut batch = Vec::with_capacity(pages.len());
+        for (p, data) in pages {
+            batch.push((self.lpn_of(f, *p)?, *data));
+        }
+        self.dev.write_batch(&batch)?;
+        let file = self.files.get_mut(&f.0).expect("resolved above");
+        file.len_pages = file.len_pages.max(max_page);
+        self.data_dirty = true;
+        Ok(())
+    }
+
+    /// Read several pages of one file as one batched device submission.
+    pub fn read_pages(
+        &mut self,
+        f: FileId,
+        reqs: &mut [(u64, &mut [u8])],
+    ) -> Result<(), VfsError> {
+        let ps = self.dev.page_size();
+        for (_, buf) in reqs.iter() {
+            if buf.len() != ps {
+                return Err(VfsError::BadBufferLength { got: buf.len(), want: ps });
+            }
+        }
+        let mut batch: Vec<(Lpn, &mut [u8])> = Vec::with_capacity(reqs.len());
+        for (p, buf) in reqs.iter_mut() {
+            let lpn = self.lpn_of(f, *p)?;
+            batch.push((lpn, &mut buf[..]));
+        }
+        self.dev.read_batch(&mut batch)?;
+        Ok(())
+    }
+
     /// Clone `src` into a new file `dst_name` without copying data: the
     /// clone's pages are SHARE-remapped onto the source's physical pages
     /// (the paper's "file copy almost without copying data"). The clone is
@@ -467,17 +518,15 @@ impl<D: BlockDevice> Vfs<D> {
         src: FileId,
         pairs: &[(u64, u64)],
     ) -> Result<(), VfsError> {
-        let limit = self.dev.share_batch_limit().max(1);
         let mut max_dst = 0;
-        let mut batch = Vec::with_capacity(limit);
-        for chunk in pairs.chunks(limit) {
-            batch.clear();
-            for &(d, s) in chunk {
-                batch.push(SharePair::new(self.lpn_of(dst, d)?, self.lpn_of(src, s)?));
-                max_dst = max_dst.max(d + 1);
-            }
-            self.dev.share(&batch)?;
+        let mut batch = Vec::with_capacity(pairs.len());
+        for &(d, s) in pairs {
+            batch.push(SharePair::new(self.lpn_of(dst, d)?, self.lpn_of(src, s)?));
+            max_dst = max_dst.max(d + 1);
         }
+        // One device command; the device commits it in log-page-sized
+        // atomic sub-batches (per-batch atomicity suffices here).
+        self.dev.share_batch(&batch)?;
         let file = self.files.get_mut(&dst.0).expect("resolved above");
         file.len_pages = file.len_pages.max(max_dst);
         Ok(())
@@ -554,10 +603,13 @@ impl<D: BlockDevice> Vfs<D> {
         image[12..16].copy_from_slice(&(payload.len() as u32).to_le_bytes());
         image[16..20].copy_from_slice(&crc32c(&payload).to_le_bytes());
         image[32..32 + payload.len()].copy_from_slice(&payload);
-        for p in 0..pages {
-            let s = (p as usize) * ps;
-            self.dev.write(Lpn(base + p), &image[s..s + ps])?;
-        }
+        let batch: Vec<(Lpn, &[u8])> = (0..pages)
+            .map(|p| {
+                let s = (p as usize) * ps;
+                (Lpn(base + p), &image[s..s + ps])
+            })
+            .collect();
+        self.dev.write_batch(&batch)?;
         self.meta_dirty = false;
         self.stats.snapshots += 1;
         self.stats.snapshot_pages += pages;

@@ -159,14 +159,17 @@ fn ioctl_share_pairs_chunks_large_sets() {
     let mut fs = ftl_fs();
     let a = fs.create("a").unwrap();
     let b = fs.create("b").unwrap();
-    let n = fs.share_batch_limit() as u64 + 10; // forces two batches
+    let n = fs.share_batch_limit() as u64 + 10; // spans two atomic sub-batches
     fs.fallocate(a, n).unwrap();
     for i in 0..n {
         fs.write_page(b, i, &page(&fs, (i % 251) as u8)).unwrap();
     }
     let pairs: Vec<(u64, u64)> = (0..n).map(|i| (i, i)).collect();
     fs.ioctl_share_pairs(a, b, &pairs).unwrap();
-    assert_eq!(fs.device().stats().share_commands, 2);
+    // One host command even though the device commits it as two
+    // log-page-sized atomic sub-batches.
+    assert_eq!(fs.device().stats().share_commands, 1);
+    assert_eq!(fs.device().stats().shared_pages, n);
     for i in (0..n).step_by(37) {
         assert_eq!(read_byte(&mut fs, a, i), (i % 251) as u8);
     }

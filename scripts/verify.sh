@@ -21,4 +21,12 @@ cargo test -q --offline
 echo "== crash-point smoke sweep =="
 ./target/release/sharectl crashsweep --workload all --stride 1
 
+# Bench smoke tier: a small multi-channel scenario (release binaries,
+# seconds of wall time). bench_channels exits non-zero unless the
+# 8-channel device at least doubles 1-channel batched write throughput
+# and the scenario it records into BENCH_share.json re-reads as valid
+# JSON with the expected shape.
+echo "== bench smoke (multi-channel + BENCH_share.json sanity) =="
+./target/release/bench_channels
+
 echo "verify: OK"
