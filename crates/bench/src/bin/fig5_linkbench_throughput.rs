@@ -7,8 +7,8 @@
 
 use mini_innodb::FlushMode;
 use share_bench::{
-    count, device_json, f, num, print_table, record_scenario, run_linkbench, s, scale_from_env,
-    scaled, Json, LinkBenchRun,
+    count, device_json, f, maybe_dump_metrics, num, print_table, record_scenario, run_linkbench,
+    s, scale_from_env, scaled, telemetry_from_env, Json, LinkBenchRun,
 };
 
 fn base() -> LinkBenchRun {
@@ -16,6 +16,7 @@ fn base() -> LinkBenchRun {
         nodes: scaled(20_000, 2_000),
         warmup_txns: scaled(40_000, 500),
         txns: scaled(20_000, 1_000),
+        telemetry: telemetry_from_env(),
         ..Default::default()
     }
 }
@@ -27,6 +28,11 @@ fn main() {
         let mut tps = Vec::new();
         for mode in [FlushMode::DwbOn, FlushMode::Share, FlushMode::DwbOff] {
             let r = run_linkbench(&LinkBenchRun { mode, page_bytes, ..base() });
+            // SHARE_METRICS=1: dump the per-stream/per-op breakdown of the
+            // 4 KiB runs (the paper's Figure 6 view of this experiment).
+            if page_bytes == 4096 {
+                maybe_dump_metrics(&format!("fig5a_{mode:?}"), r.telemetry.as_ref());
+            }
             tps.push(r.tps);
         }
         rows.push(vec![

@@ -6,8 +6,8 @@
 
 use mini_couch::CouchMode;
 use share_bench::{
-    count, device_json, f, mb, num, print_table, record_scenario, run_ycsb, s, scale_from_env,
-    scaled, Json, YcsbRun,
+    count, device_json, f, maybe_dump_metrics, mb, num, print_table, record_scenario, run_ycsb,
+    s, scale_from_env, scaled, telemetry_from_env, Json, YcsbRun,
 };
 use share_workloads::YcsbWorkload;
 
@@ -22,6 +22,7 @@ fn main() {
             batch_size: batch,
             records,
             ops,
+            telemetry: telemetry_from_env(),
             ..Default::default()
         });
         let share = run_ycsb(&YcsbRun {
@@ -30,8 +31,15 @@ fn main() {
             batch_size: batch,
             records,
             ops,
+            telemetry: telemetry_from_env(),
             ..Default::default()
         });
+        // SHARE_METRICS=1: dump both modes' per-op/per-stream breakdowns at
+        // the batch-1 point (where the SHARE win is largest).
+        if batch == 1 {
+            maybe_dump_metrics("fig8_batch1_Original", orig.telemetry.as_ref());
+            maybe_dump_metrics("fig8_batch1_Share", share.telemetry.as_ref());
+        }
         rows.push(vec![
             batch.to_string(),
             f(orig.ops_per_sec, 0),

@@ -1,0 +1,105 @@
+//! Metrics smoke check (verify.sh tier): run a short mixed workload with
+//! full telemetry, dump both exporter formats, re-parse the JSON dump, and
+//! assert the telemetry op counters equal the DeviceStats counters — the
+//! two bookkeeping paths must agree exactly on an error-free workload.
+
+use share_bench::{dump_metrics, parse, run_ycsb, Json, YcsbRun};
+use share_core::{OpClass, Snapshot, TelemetryConfig};
+use share_workloads::YcsbWorkload;
+
+fn op_pages(doc: &Json, op: OpClass) -> u64 {
+    doc.get("ops")
+        .and_then(|ops| ops.get(op.name()))
+        .and_then(|o| o.get("pages"))
+        .and_then(|v| v.as_u64())
+        .unwrap_or_else(|| panic!("missing ops.{}.pages in JSON dump", op.name()))
+}
+
+fn op_count(doc: &Json, op: OpClass) -> u64 {
+    doc.get("ops")
+        .and_then(|ops| ops.get(op.name()))
+        .and_then(|o| o.get("ops"))
+        .and_then(|v| v.as_u64())
+        .unwrap_or_else(|| panic!("missing ops.{}.ops in JSON dump", op.name()))
+}
+
+fn check_counters(doc: &Json, snap: &Snapshot, d: &share_core::DeviceStats) {
+    use OpClass::*;
+    // Telemetry vs DeviceStats: every equality the FTL instrumentation
+    // promises (the workload is error-free, so pages == stats counters).
+    let cases: [(&str, u64, u64); 8] = [
+        ("host_reads", d.host_reads, snap.pages(Read) + snap.pages(ReadBatch)),
+        (
+            "host_writes",
+            d.host_writes,
+            snap.pages(Write) + snap.pages(WriteBatch) + snap.pages(WriteAtomic),
+        ),
+        ("flushes", d.flushes, snap.ops_count(Flush)),
+        ("share_commands", d.share_commands, snap.ops_count(Share) + snap.ops_count(ShareBatch)),
+        ("shared_pages", d.shared_pages, snap.pages(Share) + snap.pages(ShareBatch)),
+        ("gc_events", d.gc_events, snap.ops_count(Gc)),
+        ("copyback_pages", d.copyback_pages, snap.pages(Gc)),
+        ("meta_page_writes", d.meta_page_writes, snap.pages(LogFlush) + snap.pages(Checkpoint)),
+    ];
+    for (name, stat, tele) in cases {
+        assert_eq!(stat, tele, "DeviceStats.{name} disagrees with telemetry");
+    }
+    // And the re-parsed JSON dump agrees with the in-memory snapshot.
+    assert_eq!(op_pages(doc, Read) + op_pages(doc, ReadBatch), d.host_reads);
+    assert_eq!(
+        op_pages(doc, Write) + op_pages(doc, WriteBatch) + op_pages(doc, WriteAtomic),
+        d.host_writes
+    );
+    assert_eq!(op_count(doc, Flush), d.flushes);
+    assert_eq!(op_pages(doc, Share) + op_pages(doc, ShareBatch), d.shared_pages);
+    assert_eq!(op_pages(doc, Gc), d.copyback_pages);
+    assert_eq!(
+        doc.get("commands").and_then(|v| v.as_u64()),
+        Some(snap.commands),
+        "commands total diverged in JSON"
+    );
+}
+
+fn main() {
+    // Small but real: load + 2000 YCSB-A ops over the SHARE store exercises
+    // writes, batched appends, share batches, flushes, GC and checkpoints.
+    let r = run_ycsb(&YcsbRun {
+        mode: mini_couch::CouchMode::Share,
+        workload: YcsbWorkload::A,
+        batch_size: 8,
+        records: 2_000,
+        ops: 2_000,
+        telemetry: TelemetryConfig::full(),
+        ..Default::default()
+    });
+    let snap = r.telemetry.as_ref().expect("FTL device must expose telemetry");
+
+    // Dump both exporter formats where the caller asked (SHARE_METRICS_DIR).
+    let (prom_path, json_path) = dump_metrics("smoke", snap).expect("write metrics dumps");
+    let prom = std::fs::read_to_string(&prom_path).expect("read prom dump");
+    assert!(prom.contains("share_commands_total"), "prom dump missing totals");
+    assert!(prom.contains("share_op_latency_ns_bucket"), "prom dump missing histograms");
+    assert!(prom.contains(r#"share_stream_ops_total{stream="store""#), "prom dump missing streams");
+    let doc = parse(&std::fs::read_to_string(&json_path).expect("read json dump"))
+        .expect("re-parse JSON dump");
+
+    // The telemetry snapshot covers the whole run, so compare against the
+    // cumulative stats, not the measured-window delta.
+    check_counters(&doc, snap, &r.device_total);
+
+    // Histograms and the ring were on: the write path must have samples and
+    // retained events, in memory and in the dump.
+    assert!(!snap.op(OpClass::Write).hist.is_empty(), "no write latency samples");
+    assert!(!snap.events.is_empty(), "command ring retained nothing");
+    assert!(
+        matches!(doc.get("events"), Some(Json::Arr(v)) if !v.is_empty()),
+        "JSON dump lost the command events"
+    );
+    println!(
+        "metrics smoke OK: {} commands, {} streams, dumps at {} / {}",
+        snap.commands,
+        snap.streams.len(),
+        prom_path.display(),
+        json_path.display()
+    );
+}

@@ -3,7 +3,9 @@
 use mini_innodb::{standard_log_device, FlushMode, InnoDb, InnoDbConfig};
 use nand_sim::NandTiming;
 use share_rng::{Rng, StdRng};
-use share_core::{BlockDevice, DeviceStats, Ftl, FtlConfig, GcPolicy, RevMapPolicy};
+use share_core::{
+    BlockDevice, DeviceStats, Ftl, FtlConfig, GcPolicy, RevMapPolicy, Snapshot, TelemetryConfig,
+};
 use share_workloads::{LatencyRecorder, LinkBench, LinkBenchConfig, LinkOpType};
 
 /// Parameters of one LinkBench run.
@@ -36,6 +38,9 @@ pub struct LinkBenchRun {
     pub flush_neighbors: bool,
     /// NAND channels of the data device (1 = the paper's serial device).
     pub channels: u32,
+    /// Device telemetry collection (counters-only by default; latency
+    /// histograms and the command ring never perturb simulated results).
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for LinkBenchRun {
@@ -54,6 +59,7 @@ impl Default for LinkBenchRun {
             gc_policy: GcPolicy::default(),
             flush_neighbors: false,
             channels: 1,
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -77,6 +83,9 @@ pub struct LinkBenchResult {
     pub engine: mini_innodb::EngineStats,
     /// Final wear summary of the data device.
     pub wear: share_core::WearStats,
+    /// Device telemetry at the end of the run (whole run, not just the
+    /// measured window).
+    pub telemetry: Option<Snapshot>,
 }
 
 fn payload(rng: &mut StdRng, n: usize) -> Vec<u8> {
@@ -104,7 +113,8 @@ pub fn run_linkbench(run: &LinkBenchRun) -> LinkBenchResult {
         + 80 * run.page_bytes as u64 // double-write area + slack
         + (6 << 20); // file-system metadata + journal
     let mut fcfg = FtlConfig::for_capacity_with(logical_bytes, 0.18, 4096, 128, NandTiming::default())
-        .with_parallelism(run.channels, 1);
+        .with_parallelism(run.channels, 1)
+        .with_telemetry(run.telemetry);
     fcfg.revmap_capacity = run.revmap_capacity;
     fcfg.revmap_policy = run.revmap_policy;
     fcfg.gc_policy = run.gc_policy;
@@ -158,6 +168,7 @@ pub fn run_linkbench(run: &LinkBenchRun) -> LinkBenchResult {
     let elapsed = clock.now_ns() - t0;
     let device = db.data_device_stats().delta_since(&stats0);
     let wear = db.fs_mut().device().wear_stats();
+    let telemetry = db.fs_mut().device().telemetry_snapshot();
 
     LinkBenchResult {
         tps: run.txns as f64 / (elapsed as f64 / 1e9),
@@ -168,6 +179,7 @@ pub fn run_linkbench(run: &LinkBenchRun) -> LinkBenchResult {
         pool_pages,
         engine: db.stats(),
         wear,
+        telemetry,
     }
 }
 

@@ -1,0 +1,68 @@
+//! Optional metrics snapshots during bench runs.
+//!
+//! Set `SHARE_METRICS=1` to turn on full device telemetry (latency
+//! histograms + command ring) in the benches that support it and dump the
+//! end-of-run snapshot in both exporter formats next to `BENCH_share.json`
+//! (`METRICS_<scenario>.prom` / `.json`; directory overridable with
+//! `SHARE_METRICS_DIR`). Telemetry never advances the simulated clock, so
+//! the dumped numbers ride along without perturbing the bench results.
+
+use share_core::{Snapshot, TelemetryConfig};
+use std::path::PathBuf;
+
+/// Whether `SHARE_METRICS=1` asked for metrics dumps.
+pub fn metrics_enabled() -> bool {
+    std::env::var("SHARE_METRICS").map(|v| v == "1").unwrap_or(false)
+}
+
+/// The telemetry config benches should run with: everything on when
+/// `SHARE_METRICS=1`, counters-only (the bit-identical default) otherwise.
+pub fn telemetry_from_env() -> TelemetryConfig {
+    if metrics_enabled() {
+        TelemetryConfig::full()
+    } else {
+        TelemetryConfig::default()
+    }
+}
+
+/// Where metrics dumps go: `SHARE_METRICS_DIR`, else the workspace root
+/// (same place as `BENCH_share.json`).
+fn metrics_dir() -> PathBuf {
+    if let Ok(p) = std::env::var("SHARE_METRICS_DIR") {
+        return PathBuf::from(p);
+    }
+    let mut p = crate::json::bench_json_path();
+    p.pop();
+    p
+}
+
+/// Write `snap` as `METRICS_<scenario>.prom` and `.json`; returns the two
+/// paths written.
+pub fn dump_metrics(scenario: &str, snap: &Snapshot) -> std::io::Result<(PathBuf, PathBuf)> {
+    let dir = metrics_dir();
+    std::fs::create_dir_all(&dir)?;
+    let prom_path = dir.join(format!("METRICS_{scenario}.prom"));
+    let json_path = dir.join(format!("METRICS_{scenario}.json"));
+    std::fs::write(&prom_path, snap.to_prometheus())?;
+    let mut text = snap.to_json().render();
+    text.push('\n');
+    std::fs::write(&json_path, text)?;
+    Ok((prom_path, json_path))
+}
+
+/// If `SHARE_METRICS=1` and the run produced a snapshot, dump it and print
+/// where it went (drivers call this once per scenario).
+pub fn maybe_dump_metrics(scenario: &str, snap: Option<&Snapshot>) {
+    if !metrics_enabled() {
+        return;
+    }
+    match snap {
+        Some(snap) => match dump_metrics(scenario, snap) {
+            Ok((prom, json)) => {
+                println!("metrics: {} and {}", prom.display(), json.display())
+            }
+            Err(e) => eprintln!("metrics: failed to write {scenario}: {e}"),
+        },
+        None => eprintln!("metrics: device of {scenario} has no telemetry"),
+    }
+}

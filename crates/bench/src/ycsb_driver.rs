@@ -3,7 +3,7 @@
 use mini_couch::{CompactionReport, CouchConfig, CouchMode, CouchStore};
 use nand_sim::NandTiming;
 use share_rng::{Rng, StdRng};
-use share_core::{DeviceStats, Ftl, FtlConfig};
+use share_core::{BlockDevice, DeviceStats, Ftl, FtlConfig, Snapshot, TelemetryConfig};
 use share_vfs::{Vfs, VfsOptions};
 use share_workloads::{Ycsb, YcsbConfig, YcsbOp, YcsbWorkload};
 
@@ -26,6 +26,8 @@ pub struct YcsbRun {
     pub seed: u64,
     /// NAND channels of the device (1 = the paper's serial device).
     pub channels: u32,
+    /// Device telemetry collection (counters-only by default).
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for YcsbRun {
@@ -39,6 +41,7 @@ impl Default for YcsbRun {
             ops: 10_000,
             seed: 42,
             channels: 1,
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -54,8 +57,14 @@ pub struct YcsbResult {
     pub written_bytes: u64,
     /// Device traffic during the measured window.
     pub device: DeviceStats,
+    /// Cumulative device traffic for the whole run (load + measure) — the
+    /// window the telemetry snapshot covers.
+    pub device_total: DeviceStats,
     /// Engine counters for the whole run.
     pub couch: mini_couch::CouchStats,
+    /// Device telemetry at the end of the run (whole run, not just the
+    /// measured window).
+    pub telemetry: Option<Snapshot>,
 }
 
 fn doc_payload(rng: &mut StdRng, n: usize) -> Vec<u8> {
@@ -72,7 +81,8 @@ fn device_for(run: &YcsbRun) -> Ftl {
     let worst_blocks = run.records * (blocks_per_doc + 5) + run.ops * (blocks_per_doc + 15) + 16_384;
     let logical_bytes = worst_blocks * 4096 + (8 << 20);
     let fcfg = FtlConfig::for_capacity_with(logical_bytes, 0.15, 4096, 128, NandTiming::default())
-        .with_parallelism(run.channels, 1);
+        .with_parallelism(run.channels, 1)
+        .with_telemetry(run.telemetry);
     Ftl::new(fcfg)
 }
 
@@ -140,14 +150,18 @@ pub fn run_ycsb(run: &YcsbRun) -> YcsbResult {
     }
     store.commit().expect("final commit");
     let elapsed = clock.now_ns() - t0;
-    let device = store.device_stats().delta_since(&stats0);
+    let device_total = store.device_stats();
+    let device = device_total.delta_since(&stats0);
+    let telemetry = store.fs_mut().device().telemetry_snapshot();
 
     YcsbResult {
         ops_per_sec: run.ops as f64 / (elapsed as f64 / 1e9),
         elapsed_secs: elapsed as f64 / 1e9,
         written_bytes: device.host_write_bytes,
         device,
+        device_total,
         couch: store.stats(),
+        telemetry,
     }
 }
 

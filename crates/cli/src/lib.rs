@@ -10,12 +10,13 @@
 //! sharectl read   disk.nand 100
 //! sharectl replay disk.nand trace.txt # run a block trace (W/R/T/F lines)
 //! sharectl info   disk.nand
+//! sharectl metrics disk.nand --trace trace.txt  # telemetry snapshot
 //! ```
 //!
 //! All logic lives in [`run`], which returns the output text — `main` is a
 //! thin wrapper, so the whole tool is unit-testable.
 
-use share_core::{BlockDevice, Ftl, FtlConfig, Lpn, SharePair};
+use share_core::{BlockDevice, Ftl, FtlConfig, Lpn, SharePair, TelemetryConfig};
 use share_workloads::{parse_trace, TraceOp};
 use std::fmt::Write as _;
 use std::fs;
@@ -57,6 +58,9 @@ fn usage() -> String {
      \x20 sharectl share  <img> <dest-lpn> <src-lpn> [--len N]\n\
      \x20 sharectl trim   <img> <lpn> [--len N]\n\
      \x20 sharectl replay <img> <trace-file>\n\
+     \x20 sharectl metrics <img> [--trace <file>] [--format prom|json]\n\
+     \x20\x20\x20\x20 (telemetry snapshot; with --trace, replays first — observation only,\n\
+     \x20\x20\x20\x20 nothing is written back to the image)\n\
      \x20 sharectl crashsweep [--workload ftl|sqlite|innodb|all] [--trace <file>]\n\
      \x20\x20\x20\x20 [--seed N] [--stride N] [--mode torn-half|dropped-write|after-program|all]\n\
      \x20\x20\x20\x20 [--index N]   (with a single --mode: replay exactly one crash case)\n"
@@ -77,6 +81,10 @@ fn save_cfg(img: &str, cfg: &FtlConfig) -> Result<()> {
 }
 
 fn load_device(img: &str) -> Result<Ftl> {
+    load_device_with(img, TelemetryConfig::default())
+}
+
+fn load_device_with(img: &str, telemetry: TelemetryConfig) -> Result<Ftl> {
     let cfg_text = fs::read_to_string(cfg_path(img))
         .map_err(|_| CliError(format!("missing sidecar {} — not a sharectl image?", cfg_path(img))))?;
     let field = |name: &str| -> Result<u64> {
@@ -105,6 +113,7 @@ fn load_device(img: &str) -> Result<Ftl> {
     cfg.log_blocks = log_blocks;
     cfg.revmap_capacity = revmap_capacity;
     cfg.logical_pages = logical_pages;
+    cfg.telemetry = telemetry;
     Ftl::open(cfg, nand).map_err(Into::into)
 }
 
@@ -257,6 +266,40 @@ pub fn run(args: &[String]) -> Result<String> {
             )
             .unwrap();
             save_device(img, dev)?;
+        }
+        Some("metrics") => {
+            let img = args.get(1).ok_or_else(|| CliError(usage()))?;
+            let format = flag_value(args, "--format").unwrap_or("prom");
+            if format != "prom" && format != "json" {
+                return Err(CliError(format!("bad --format: {format} (want prom|json)")));
+            }
+            // Full telemetry (histograms + command ring) for this invocation
+            // only — the toggle never touches the image or its sidecar.
+            let mut dev = load_device_with(img, TelemetryConfig::full())?;
+            if let Some(trace_file) = flag_value(args, "--trace") {
+                let text = fs::read_to_string(trace_file)?;
+                let page = vec![0xCDu8; dev.page_size()];
+                let mut buf = vec![0u8; dev.page_size()];
+                for op in &parse_trace(&text) {
+                    match *op {
+                        TraceOp::Write { lpn } => dev.write(Lpn(lpn), &page)?,
+                        TraceOp::Read { lpn } => dev.read(Lpn(lpn), &mut buf)?,
+                        TraceOp::Trim { lpn, len } => dev.trim(Lpn(lpn), len)?,
+                        TraceOp::Share { dest, src, len } => {
+                            dev.share(&SharePair::range(Lpn(dest), Lpn(src), len))?
+                        }
+                        TraceOp::Flush => dev.flush()?,
+                    }
+                }
+            }
+            let snap = dev.telemetry_snapshot().expect("FTL always exposes telemetry");
+            if format == "json" {
+                out.push_str(&snap.to_json().render());
+                out.push('\n');
+            } else {
+                out.push_str(&snap.to_prometheus());
+            }
+            // Observation only: nothing is written back to the image.
         }
         Some("crashsweep") => {
             crashsweep_cmd(args, &mut out)?;

@@ -101,6 +101,57 @@ fn crashsweep_sweeps_a_trace_file() {
 }
 
 #[test]
+fn metrics_reports_a_replayed_trace_in_both_formats() {
+    let dir = tmpdir();
+    let img = dir.join("metrics.nand");
+    let img = img.to_str().unwrap();
+    cmd(&["create", img, "16"]).unwrap();
+
+    let trace = dir.join("mtrace.txt");
+    std::fs::write(&trace, "W 0\nW 1\nF\nS 8 0 2\nR 8\nT 1 1\n").unwrap();
+
+    let info_before = cmd(&["info", img]).unwrap();
+    let prom = cmd(&["metrics", img, "--trace", trace.to_str().unwrap()]).unwrap();
+    assert!(prom.contains("share_commands_total"), "{prom}");
+    assert!(prom.contains(r#"share_op_pages_total{op="write"} 2"#), "{prom}");
+    assert!(prom.contains(r#"share_op_pages_total{op="share"} 2"#), "{prom}");
+    assert!(prom.contains("share_op_latency_ns_bucket"), "histograms missing: {prom}");
+    // Opening the image is itself a recovery: it must show up as an op.
+    assert!(prom.contains(r#"share_op_ops_total{op="recovery"} 1"#), "{prom}");
+
+    let json = cmd(&[
+        "metrics", img, "--trace", trace.to_str().unwrap(), "--format", "json",
+    ])
+    .unwrap();
+    let doc = share_core::telemetry::json::parse(&json).expect("metrics JSON parses");
+    let pages = doc
+        .get("ops")
+        .and_then(|o| o.get("write"))
+        .and_then(|w| w.get("pages"))
+        .and_then(|v| v.as_u64());
+    assert_eq!(pages, Some(2), "{json}");
+
+    // Observation only: the replayed writes must not persist in the image.
+    let info_after = cmd(&["info", img]).unwrap();
+    assert_eq!(info_before, info_after, "metrics must not save the image");
+}
+
+#[test]
+fn metrics_works_without_a_trace_and_rejects_bad_formats() {
+    let dir = tmpdir();
+    let img = dir.join("metrics2.nand");
+    let img = img.to_str().unwrap();
+    cmd(&["create", img, "16"]).unwrap();
+
+    // No trace: the snapshot still reports the open-time recovery.
+    let prom = cmd(&["metrics", img]).unwrap();
+    assert!(prom.contains(r#"share_op_ops_total{op="recovery"} 1"#), "{prom}");
+
+    let e = cmd(&["metrics", img, "--format", "xml"]).unwrap_err();
+    assert!(e.contains("bad --format"), "{e}");
+}
+
+#[test]
 fn crashsweep_rejects_bad_arguments() {
     assert!(cmd(&["crashsweep", "--workload", "bogus"]).unwrap_err().contains("bad --workload"));
     assert!(cmd(&["crashsweep", "--mode", "half-torn"]).unwrap_err().contains("bad --mode"));

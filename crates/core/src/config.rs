@@ -15,6 +15,7 @@
 use crate::mapping::RevMapPolicy;
 use crate::util::div_ceil_u64;
 use nand_sim::{BlockId, NandGeometry, NandTiming};
+use share_telemetry::TelemetryConfig;
 
 /// Garbage-collection victim-selection policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -57,6 +58,10 @@ pub struct FtlConfig {
     /// Host-to-device command round-trip latency (share/trim/flush), ns.
     /// Models the ioctl/SATA path the paper batches SHARE pairs to amortize.
     pub command_ns: u64,
+    /// Telemetry collection settings. Counters are always on; latency
+    /// histograms and the command ring are opt-in. Telemetry only reads
+    /// the simulated clock, so no setting can change simulated results.
+    pub telemetry: TelemetryConfig,
 }
 
 impl FtlConfig {
@@ -91,6 +96,7 @@ impl FtlConfig {
             gc_low_water: 3,
             gc_high_water: 6,
             command_ns: 20_000,
+            telemetry: TelemetryConfig::default(),
         };
         let meta = 2 * cfg.ckpt_slot_blocks_for(logical_pages, page_size, pages_per_block) + log_blocks;
         cfg.geometry = NandGeometry::new(page_size, pages_per_block, meta + data_blocks);
@@ -103,6 +109,12 @@ impl FtlConfig {
     /// Capacity and layout are unchanged — only the timing parallelism.
     pub fn with_parallelism(mut self, channels: u32, ways: u32) -> Self {
         self.geometry = self.geometry.with_parallelism(channels, ways);
+        self
+    }
+
+    /// Set the telemetry collection level.
+    pub fn with_telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.telemetry = telemetry;
         self
     }
 

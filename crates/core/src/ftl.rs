@@ -23,6 +23,7 @@ use crate::pool::{BlockPool, WritePoint};
 use crate::stats::DeviceStats;
 use crate::types::{Lpn, Ppn, SharePair};
 use nand_sim::{FaultHandle, NandArray, SimClock};
+use share_telemetry::{OpClass, Snapshot, Telemetry};
 use std::collections::HashSet;
 
 /// Checkpoint when fewer than this many log-ring pages remain.
@@ -72,6 +73,9 @@ pub struct Ftl {
     last_ckpt_slot: u32,
     /// Generation the next checkpoint will carry (strictly increasing).
     next_ckpt_gen: u64,
+    /// Per-op-class observability (counters, optional histograms/ring).
+    /// Records clock *read-outs* only — never advances simulated time.
+    telemetry: Telemetry,
     /// Scratch buffers reused across SHARE commands so the hot path does
     /// not allocate for typical batch sizes (cleared, never shrunk).
     share_dests: Vec<Lpn>,
@@ -94,6 +98,7 @@ impl Ftl {
         let map = MappingTable::with_policy(cfg.geometry, cfg.logical_pages, cfg.revmap_capacity, cfg.revmap_policy);
         let log = DeltaLog::new(&cfg, 0);
         let pool = BlockPool::new(cfg.geometry, cfg.data_start(), cfg.data_blocks());
+        let telemetry = Telemetry::new(cfg.telemetry);
         let mut ftl = Self {
             cfg,
             nand,
@@ -103,6 +108,7 @@ impl Ftl {
             stats: DeviceStats::default(),
             last_ckpt_slot: 1,
             next_ckpt_gen: 0,
+            telemetry,
             share_dests: Vec::new(),
             share_srcs: Vec::new(),
             share_incs: Vec::new(),
@@ -121,6 +127,7 @@ impl Ftl {
         cfg.validate();
         nand.power_cycle();
         let nand_before = nand.stats();
+        let recovery_t0 = nand.now_ns();
 
         let recovered = ckpt::read_latest(&cfg, &mut nand);
         let (next_seq0, base, slot, gen) = match recovered {
@@ -155,6 +162,7 @@ impl Ftl {
         pool.rebuild_from_nand(&nand);
 
         let log = DeltaLog::new(&cfg, next_seq);
+        let telemetry = Telemetry::new(cfg.telemetry);
         let mut ftl = Self {
             cfg,
             nand,
@@ -164,6 +172,7 @@ impl Ftl {
             stats: DeviceStats::default(),
             last_ckpt_slot: slot,
             next_ckpt_gen: gen,
+            telemetry,
             share_dests: Vec::new(),
             share_srcs: Vec::new(),
             share_incs: Vec::new(),
@@ -179,6 +188,14 @@ impl Ftl {
         ftl.stats.recoveries = 1;
         ftl.stats.recovery_page_reads = spent.page_reads;
         ftl.stats.recovery_page_writes = spent.page_programs;
+        ftl.telemetry.record(
+            OpClass::Recovery,
+            0,
+            spent.page_reads + spent.page_programs,
+            recovery_t0,
+            ftl.nand.now_ns(),
+            true,
+        );
         Ok(ftl)
     }
 
@@ -245,8 +262,14 @@ impl Ftl {
 
     fn flush_log(&mut self) -> Result<(), FtlError> {
         let before = self.log.pages_written;
-        self.log.flush(&mut self.nand)?;
-        self.stats.meta_page_writes += self.log.pages_written - before;
+        let t0 = self.nand.now_ns();
+        let r = self.log.flush(&mut self.nand);
+        let pages = self.log.pages_written - before;
+        if pages > 0 || r.is_err() {
+            self.telemetry.record(OpClass::LogFlush, 0, pages, t0, self.nand.now_ns(), r.is_ok());
+        }
+        r?;
+        self.stats.meta_page_writes += pages;
         self.maybe_checkpoint()
     }
 
@@ -259,6 +282,14 @@ impl Ftl {
 
     /// Persist a base mapping snapshot and truncate the delta log.
     pub fn checkpoint(&mut self) -> Result<(), FtlError> {
+        let t0 = self.nand.now_ns();
+        let r = self.checkpoint_inner();
+        let pages = *r.as_ref().unwrap_or(&0);
+        self.telemetry.record(OpClass::Checkpoint, 0, pages, t0, self.nand.now_ns(), r.is_ok());
+        r.map(|_| ())
+    }
+
+    fn checkpoint_inner(&mut self) -> Result<u64, FtlError> {
         // RAM-buffered deltas are already reflected in the snapshot.
         self.log.clear_buffered();
         let slot = 1 - self.last_ckpt_slot;
@@ -271,7 +302,7 @@ impl Ftl {
         self.next_ckpt_gen = gen + 1;
         self.stats.checkpoints += 1;
         self.stats.meta_page_writes += pages;
-        Ok(())
+        Ok(pages)
     }
 
     /// Pick a GC victim per the configured policy: greedy (fewest valid
@@ -308,6 +339,22 @@ impl Ftl {
         let Some((rel, valid)) = self.pick_victim() else {
             return Ok(false);
         };
+        let t0 = self.nand.now_ns();
+        let copied_before = self.stats.copyback_pages;
+        let victim = self.pool.abs(rel);
+        let r = self.collect_victim(rel, valid);
+        self.telemetry.record(
+            OpClass::Gc,
+            victim.0 as u64,
+            self.stats.copyback_pages - copied_before,
+            t0,
+            self.nand.now_ns(),
+            r.is_ok(),
+        );
+        r.map(|()| true)
+    }
+
+    fn collect_victim(&mut self, rel: u32, valid: u32) -> Result<(), FtlError> {
         self.stats.gc_events += 1;
         let block = self.pool.abs(rel);
         let ppb = self.cfg.geometry.pages_per_block;
@@ -344,7 +391,7 @@ impl Ftl {
         self.nand.erase(block)?;
         self.stats.gc_erases += 1;
         self.pool.release(rel);
-        Ok(true)
+        Ok(())
     }
 
     fn ensure_free(&mut self) -> Result<(), FtlError> {
@@ -453,8 +500,11 @@ impl Ftl {
         }
         if res.is_ok() {
             let before = self.log.pages_written;
+            let t0 = self.nand.now_ns();
             res = self.log.flush_atomic_batch(&mut self.nand, &deltas);
-            self.stats.meta_page_writes += self.log.pages_written - before;
+            let pages = self.log.pages_written - before;
+            self.telemetry.record(OpClass::LogFlush, 0, pages, t0, self.nand.now_ns(), res.is_ok());
+            self.stats.meta_page_writes += pages;
         }
         self.share_src_ppns = src_ppns;
         self.share_deltas = deltas;
@@ -493,18 +543,14 @@ impl Ftl {
     fn submit_chunk_pages(&self) -> usize {
         (self.cfg.geometry.units() as usize * 8).max(1)
     }
-}
 
-impl BlockDevice for Ftl {
-    fn page_size(&self) -> usize {
-        self.cfg.geometry.page_size
+    /// Telemetry collected by this device (counters always; histograms and
+    /// the command ring per [`FtlConfig::telemetry`]).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
-    fn capacity_pages(&self) -> u64 {
-        self.cfg.logical_pages
-    }
-
-    fn read(&mut self, lpn: Lpn, buf: &mut [u8]) -> Result<(), FtlError> {
+    fn read_impl(&mut self, lpn: Lpn, buf: &mut [u8]) -> Result<(), FtlError> {
         self.check_lpn(lpn)?;
         if buf.len() != self.page_size() {
             return Err(FtlError::BadBufferLength { got: buf.len(), want: self.page_size() });
@@ -521,7 +567,7 @@ impl BlockDevice for Ftl {
         Ok(())
     }
 
-    fn write(&mut self, lpn: Lpn, data: &[u8]) -> Result<(), FtlError> {
+    fn write_impl(&mut self, lpn: Lpn, data: &[u8]) -> Result<(), FtlError> {
         self.check_lpn(lpn)?;
         if data.len() != self.page_size() {
             return Err(FtlError::BadBufferLength { got: data.len(), want: self.page_size() });
@@ -539,13 +585,7 @@ impl BlockDevice for Ftl {
         Ok(())
     }
 
-    fn flush(&mut self) -> Result<(), FtlError> {
-        self.stats.flushes += 1;
-        self.nand.clock().advance(self.cfg.command_ns);
-        self.flush_log()
-    }
-
-    fn trim(&mut self, lpn: Lpn, len: u64) -> Result<(), FtlError> {
+    fn trim_impl(&mut self, lpn: Lpn, len: u64) -> Result<(), FtlError> {
         self.nand.clock().advance(self.cfg.command_ns);
         for i in 0..len {
             let l = lpn.offset(i);
@@ -562,28 +602,14 @@ impl BlockDevice for Ftl {
         Ok(())
     }
 
-    /// The SHARE command (§3.2): remap every `pair.dest` onto the physical
-    /// page of `pair.src`, atomically for the whole batch. The command
-    /// returns after its deltas are durably logged (§4.2.2).
-    fn share(&mut self, pairs: &[SharePair]) -> Result<(), FtlError> {
-        if pairs.is_empty() {
-            return Ok(());
-        }
+    fn share_impl(&mut self, pairs: &[SharePair]) -> Result<(), FtlError> {
         self.validate_share(pairs)?;
         self.nand.clock().advance(self.cfg.command_ns);
         self.stats.share_commands += 1;
         self.apply_share(pairs)
     }
 
-    /// A large SHARE submission: one host command (one command overhead,
-    /// one `share_commands` tick) whose pairs are committed in
-    /// log-page-sized sub-batches. Each sub-batch is individually atomic;
-    /// a crash can land between sub-batches, exactly as if the host had
-    /// issued them as separate commands — minus the per-command overhead.
-    fn share_batch(&mut self, pairs: &[SharePair]) -> Result<(), FtlError> {
-        if pairs.is_empty() {
-            return Ok(());
-        }
+    fn share_batch_impl(&mut self, pairs: &[SharePair]) -> Result<(), FtlError> {
         let limit = self.share_batch_limit();
         self.nand.clock().advance(self.cfg.command_ns);
         self.stats.share_commands += 1;
@@ -594,13 +620,7 @@ impl BlockDevice for Ftl {
         Ok(())
     }
 
-    fn share_batch_limit(&self) -> usize {
-        self.cfg.deltas_per_page()
-    }
-
-    /// Batched read: mapped pages go to the NAND as one submission, so
-    /// reads on distinct channel-ways overlap in simulated time.
-    fn read_batch(&mut self, reqs: &mut [(Lpn, &mut [u8])]) -> Result<(), FtlError> {
+    fn read_batch_impl(&mut self, reqs: &mut [(Lpn, &mut [u8])]) -> Result<(), FtlError> {
         let want = self.page_size();
         for (lpn, buf) in reqs.iter() {
             self.check_lpn(*lpn)?;
@@ -630,11 +650,7 @@ impl BlockDevice for Ftl {
         Ok(())
     }
 
-    /// Batched write: destinations are striped across channels by the
-    /// block pool and programmed as multi-page submissions, so the
-    /// programs overlap across channel-ways. Ordering and durability
-    /// semantics match the equivalent sequence of single writes.
-    fn write_batch(&mut self, pages: &[(Lpn, &[u8])]) -> Result<(), FtlError> {
+    fn write_batch_impl(&mut self, pages: &[(Lpn, &[u8])]) -> Result<(), FtlError> {
         let want = self.page_size();
         for (lpn, data) in pages {
             self.check_lpn(*lpn)?;
@@ -668,14 +684,7 @@ impl BlockDevice for Ftl {
         Ok(())
     }
 
-    /// Atomic multi-page write (§6.1's related-work primitive): all data
-    /// pages are programmed out-of-place first, then every mapping delta
-    /// of the batch is committed in a single atomically-programmed log
-    /// page — the same mechanism that makes SHARE batches atomic.
-    fn write_atomic(&mut self, pages: &[(Lpn, &[u8])]) -> Result<(), FtlError> {
-        if pages.is_empty() {
-            return Ok(());
-        }
+    fn write_atomic_impl(&mut self, pages: &[(Lpn, &[u8])]) -> Result<(), FtlError> {
         let limit = self.cfg.deltas_per_page();
         if pages.len() > limit {
             return Err(FtlError::BatchTooLarge { got: pages.len(), max: limit });
@@ -711,9 +720,139 @@ impl BlockDevice for Ftl {
             }
         }
         let before = self.log.pages_written;
-        self.log.flush_atomic_batch(&mut self.nand, &deltas)?;
-        self.stats.meta_page_writes += self.log.pages_written - before;
+        let t0 = self.nand.now_ns();
+        let r = self.log.flush_atomic_batch(&mut self.nand, &deltas);
+        let meta_pages = self.log.pages_written - before;
+        self.telemetry.record(OpClass::LogFlush, 0, meta_pages, t0, self.nand.now_ns(), r.is_ok());
+        r?;
+        self.stats.meta_page_writes += meta_pages;
         self.maybe_checkpoint()
+    }
+}
+
+impl BlockDevice for Ftl {
+    fn page_size(&self) -> usize {
+        self.cfg.geometry.page_size
+    }
+
+    fn capacity_pages(&self) -> u64 {
+        self.cfg.logical_pages
+    }
+
+    fn read(&mut self, lpn: Lpn, buf: &mut [u8]) -> Result<(), FtlError> {
+        let t0 = self.nand.now_ns();
+        let r = self.read_impl(lpn, buf);
+        self.telemetry.record(OpClass::Read, lpn.0, 1, t0, self.nand.now_ns(), r.is_ok());
+        r
+    }
+
+    fn write(&mut self, lpn: Lpn, data: &[u8]) -> Result<(), FtlError> {
+        let t0 = self.nand.now_ns();
+        let r = self.write_impl(lpn, data);
+        self.telemetry.record(OpClass::Write, lpn.0, 1, t0, self.nand.now_ns(), r.is_ok());
+        r
+    }
+
+    fn flush(&mut self) -> Result<(), FtlError> {
+        let t0 = self.nand.now_ns();
+        self.stats.flushes += 1;
+        self.nand.clock().advance(self.cfg.command_ns);
+        let r = self.flush_log();
+        self.telemetry.record(OpClass::Flush, 0, 0, t0, self.nand.now_ns(), r.is_ok());
+        r
+    }
+
+    fn trim(&mut self, lpn: Lpn, len: u64) -> Result<(), FtlError> {
+        let t0 = self.nand.now_ns();
+        let r = self.trim_impl(lpn, len);
+        self.telemetry.record(OpClass::Trim, lpn.0, len, t0, self.nand.now_ns(), r.is_ok());
+        r
+    }
+
+    /// The SHARE command (§3.2): remap every `pair.dest` onto the physical
+    /// page of `pair.src`, atomically for the whole batch. The command
+    /// returns after its deltas are durably logged (§4.2.2).
+    fn share(&mut self, pairs: &[SharePair]) -> Result<(), FtlError> {
+        if pairs.is_empty() {
+            return Ok(());
+        }
+        let t0 = self.nand.now_ns();
+        let r = self.share_impl(pairs);
+        self.telemetry.record(
+            OpClass::Share,
+            pairs[0].dest.0,
+            pairs.len() as u64,
+            t0,
+            self.nand.now_ns(),
+            r.is_ok(),
+        );
+        r
+    }
+
+    /// A large SHARE submission: one host command (one command overhead,
+    /// one `share_commands` tick) whose pairs are committed in
+    /// log-page-sized sub-batches. Each sub-batch is individually atomic;
+    /// a crash can land between sub-batches, exactly as if the host had
+    /// issued them as separate commands — minus the per-command overhead.
+    fn share_batch(&mut self, pairs: &[SharePair]) -> Result<(), FtlError> {
+        if pairs.is_empty() {
+            return Ok(());
+        }
+        let t0 = self.nand.now_ns();
+        let r = self.share_batch_impl(pairs);
+        self.telemetry.record(
+            OpClass::ShareBatch,
+            pairs[0].dest.0,
+            pairs.len() as u64,
+            t0,
+            self.nand.now_ns(),
+            r.is_ok(),
+        );
+        r
+    }
+
+    fn share_batch_limit(&self) -> usize {
+        self.cfg.deltas_per_page()
+    }
+
+    /// Batched read: mapped pages go to the NAND as one submission, so
+    /// reads on distinct channel-ways overlap in simulated time.
+    fn read_batch(&mut self, reqs: &mut [(Lpn, &mut [u8])]) -> Result<(), FtlError> {
+        let t0 = self.nand.now_ns();
+        let first = reqs.first().map_or(0, |(lpn, _)| lpn.0);
+        let n = reqs.len() as u64;
+        let r = self.read_batch_impl(reqs);
+        self.telemetry.record(OpClass::ReadBatch, first, n, t0, self.nand.now_ns(), r.is_ok());
+        r
+    }
+
+    /// Batched write: destinations are striped across channels by the
+    /// block pool and programmed as multi-page submissions, so the
+    /// programs overlap across channel-ways. Ordering and durability
+    /// semantics match the equivalent sequence of single writes.
+    fn write_batch(&mut self, pages: &[(Lpn, &[u8])]) -> Result<(), FtlError> {
+        let t0 = self.nand.now_ns();
+        let first = pages.first().map_or(0, |(lpn, _)| lpn.0);
+        let n = pages.len() as u64;
+        let r = self.write_batch_impl(pages);
+        self.telemetry.record(OpClass::WriteBatch, first, n, t0, self.nand.now_ns(), r.is_ok());
+        r
+    }
+
+    /// Atomic multi-page write (§6.1's related-work primitive): all data
+    /// pages are programmed out-of-place first, then every mapping delta
+    /// of the batch is committed in a single atomically-programmed log
+    /// page — the same mechanism that makes SHARE batches atomic.
+    fn write_atomic(&mut self, pages: &[(Lpn, &[u8])]) -> Result<(), FtlError> {
+        if pages.is_empty() {
+            return Ok(());
+        }
+        let t0 = self.nand.now_ns();
+        let first = pages[0].0 .0;
+        let n = pages.len() as u64;
+        let r = self.write_atomic_impl(pages);
+        self.telemetry.record(OpClass::WriteAtomic, first, n, t0, self.nand.now_ns(), r.is_ok());
+        r
     }
 
     fn write_atomic_limit(&self) -> usize {
@@ -728,6 +867,18 @@ impl BlockDevice for Ftl {
 
     fn clock(&self) -> &SimClock {
         self.nand.clock()
+    }
+
+    fn stream_intern(&mut self, label: &str) -> u32 {
+        self.telemetry.intern(label)
+    }
+
+    fn set_stream(&mut self, stream: u32) {
+        self.telemetry.set_stream(stream)
+    }
+
+    fn telemetry_snapshot(&self) -> Option<Snapshot> {
+        Some(self.telemetry.snapshot())
     }
 }
 
@@ -1387,6 +1538,120 @@ mod tests {
         f.read(Lpn(0), &mut buf).unwrap();
         assert!(buf.iter().all(|&b| b == 1));
         f.check_invariants();
+    }
+
+    /// Drive a mixed, error-free workload through `f` exercising every
+    /// host op class plus GC/log/checkpoint traffic.
+    fn mixed_workload(f: &mut Ftl) {
+        let ps = f.page_size();
+        let logical = f.capacity_pages();
+        for round in 0..6u64 {
+            for i in 0..logical / 2 {
+                f.write(Lpn(i), &vec![((i + round) % 251) as u8; ps]).unwrap();
+            }
+        }
+        let pages: Vec<Vec<u8>> = (0..16u8).map(|i| vec![i; ps]).collect();
+        let batch: Vec<(Lpn, &[u8])> =
+            pages.iter().enumerate().map(|(i, p)| (Lpn(i as u64), p.as_slice())).collect();
+        f.write_batch(&batch).unwrap();
+        f.write_atomic(&batch[..8]).unwrap();
+        f.share(&[SharePair::new(Lpn(200), Lpn(0))]).unwrap();
+        f.share_batch(&SharePair::range(Lpn(210), Lpn(1), 4)).unwrap();
+        let mut buf = vec![0u8; ps];
+        f.read(Lpn(0), &mut buf).unwrap();
+        let mut bufs = vec![vec![0u8; ps]; 4];
+        let mut reqs: Vec<(Lpn, &mut [u8])> =
+            bufs.iter_mut().enumerate().map(|(i, b)| (Lpn(i as u64), b.as_mut_slice())).collect();
+        f.read_batch(&mut reqs).unwrap();
+        f.trim(Lpn(220), 3).unwrap();
+        f.flush().unwrap();
+    }
+
+    #[test]
+    fn telemetry_counters_match_device_stats() {
+        use share_telemetry::OpClass as Op;
+        let mut f = tiny();
+        mixed_workload(&mut f);
+        let s = f.stats();
+        let t = f.telemetry().snapshot();
+        assert!(s.gc_events > 0, "workload must trigger GC");
+        assert_eq!(s.host_reads, t.pages(Op::Read) + t.pages(Op::ReadBatch));
+        assert_eq!(
+            s.host_writes,
+            t.pages(Op::Write) + t.pages(Op::WriteBatch) + t.pages(Op::WriteAtomic)
+        );
+        assert_eq!(s.flushes, t.ops_count(Op::Flush));
+        assert_eq!(s.trims, t.pages(Op::Trim));
+        assert_eq!(s.share_commands, t.ops_count(Op::Share) + t.ops_count(Op::ShareBatch));
+        assert_eq!(s.shared_pages, t.pages(Op::Share) + t.pages(Op::ShareBatch));
+        assert_eq!(s.gc_events, t.ops_count(Op::Gc));
+        assert_eq!(s.copyback_pages, t.pages(Op::Gc));
+        assert_eq!(s.checkpoints, t.ops_count(Op::Checkpoint));
+        assert_eq!(s.meta_page_writes, t.pages(Op::LogFlush) + t.pages(Op::Checkpoint));
+    }
+
+    #[test]
+    fn full_telemetry_leaves_simulated_results_bit_identical() {
+        // Same workload, counters-only vs. everything on: the simulated
+        // clock and every DeviceStats counter must match exactly —
+        // telemetry reads the clock, never advances it.
+        let cfg = FtlConfig::for_capacity_with(1 << 20, 0.5, 4096, 16, NandTiming::default());
+        let mut plain = Ftl::new(cfg.clone());
+        let mut full =
+            Ftl::new(cfg.with_telemetry(share_telemetry::TelemetryConfig::full()));
+        mixed_workload(&mut plain);
+        mixed_workload(&mut full);
+        assert_eq!(plain.clock().now_ns(), full.clock().now_ns());
+        assert_eq!(plain.stats(), full.stats());
+        // And the full device actually collected the optional data.
+        let snap = full.telemetry().snapshot();
+        assert!(!snap.op(share_telemetry::OpClass::Write).hist.is_empty());
+        assert!(!snap.events.is_empty());
+        assert!(plain.telemetry().snapshot().events.is_empty());
+    }
+
+    #[test]
+    fn recovery_is_recorded_as_an_op() {
+        let mut f = tiny();
+        for i in 0..30u64 {
+            f.write(Lpn(i), &pagev(i as u8, &f)).unwrap();
+        }
+        f.flush().unwrap();
+        let cfg = f.config().clone();
+        let rec = Ftl::open(cfg, f.into_nand()).unwrap();
+        let t = rec.telemetry().snapshot();
+        use share_telemetry::OpClass as Op;
+        assert_eq!(t.ops_count(Op::Recovery), 1);
+        let s = rec.stats();
+        assert_eq!(t.pages(Op::Recovery), s.recovery_page_reads + s.recovery_page_writes);
+        // The closing checkpoint is visible both as a Checkpoint op and in
+        // DeviceStats.
+        assert_eq!(t.ops_count(Op::Checkpoint), s.checkpoints);
+        // A fresh format records its birth checkpoint but no recovery.
+        let fresh = tiny();
+        let tf = fresh.telemetry().snapshot();
+        assert_eq!(tf.ops_count(Op::Recovery), 0);
+        assert_eq!(tf.ops_count(Op::Checkpoint), 1);
+    }
+
+    #[test]
+    fn streams_attribute_host_and_ftl_traffic() {
+        let mut f = tiny();
+        let wal = f.stream_intern("wal");
+        f.set_stream(wal);
+        for i in 0..8u64 {
+            f.write(Lpn(i), &pagev(1, &f)).unwrap();
+        }
+        f.set_stream(0);
+        for i in 8..10u64 {
+            f.write(Lpn(i), &pagev(2, &f)).unwrap();
+        }
+        let t = f.telemetry().snapshot();
+        let by_label = |l: &str| t.streams.iter().find(|s| s.label == l).cloned().unwrap();
+        assert_eq!(by_label("wal").writes.pages, 8);
+        assert_eq!(by_label("host").writes.pages, 2);
+        // The birth checkpoint lands on the reserved ftl stream.
+        assert!(by_label("ftl").other.pages > 0);
     }
 
     #[test]

@@ -67,5 +67,10 @@ pub use stats::DeviceStats;
 pub use types::{Lpn, SharePair};
 pub use util::crc32c;
 
+/// Re-exported observability subsystem (see the `share-telemetry` crate):
+/// op-class counters, latency histograms, command ring, exporters.
+pub use share_telemetry as telemetry;
+pub use share_telemetry::{OpClass, Snapshot, Telemetry, TelemetryConfig};
+
 /// Result alias for device operations.
 pub type Result<T> = std::result::Result<T, FtlError>;

@@ -115,6 +115,18 @@ impl<D: BlockDevice> BlockDevice for SharedDevice<D> {
     fn clock(&self) -> &SimClock {
         &self.clock
     }
+
+    fn stream_intern(&mut self, label: &str) -> u32 {
+        self.lock().stream_intern(label)
+    }
+
+    fn set_stream(&mut self, stream: u32) {
+        self.lock().set_stream(stream)
+    }
+
+    fn telemetry_snapshot(&self) -> Option<share_telemetry::Snapshot> {
+        self.lock().telemetry_snapshot()
+    }
 }
 
 #[cfg(test)]

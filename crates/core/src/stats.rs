@@ -109,4 +109,41 @@ mod tests {
         assert_eq!(d.host_writes, 6);
         assert_eq!(d.gc_events, 2);
     }
+
+    #[test]
+    fn delta_since_covers_every_field() {
+        // Field-completeness guard: with every field (including the nested
+        // NAND counters) populated with a distinct value, subtracting zero
+        // must reproduce the value exactly. A newly added field that
+        // `delta_since` forgets to subtract would come back as its default
+        // here and fail the equality — loudly, at the moment the field is
+        // added rather than in some later measurement window.
+        let full = DeviceStats {
+            host_reads: 1,
+            host_writes: 2,
+            host_read_bytes: 3,
+            host_write_bytes: 4,
+            flushes: 5,
+            trims: 6,
+            share_commands: 7,
+            shared_pages: 8,
+            gc_events: 9,
+            copyback_pages: 10,
+            gc_erases: 11,
+            meta_page_writes: 12,
+            checkpoints: 13,
+            recoveries: 14,
+            recovery_page_reads: 15,
+            recovery_page_writes: 16,
+            nand: NandStats {
+                page_reads: 17,
+                page_programs: 18,
+                block_erases: 19,
+                torn_programs: 20,
+            },
+        };
+        assert_eq!(full.delta_since(&DeviceStats::default()), full);
+        // And the self-delta is all zeros.
+        assert_eq!(full.delta_since(&full), DeviceStats::default());
+    }
 }

@@ -94,6 +94,12 @@ impl NandArray {
         &self.clock
     }
 
+    /// Current simulated time (ns) — a read-out, never an advance. The
+    /// FTL brackets each command with this for telemetry timestamps.
+    pub fn now_ns(&self) -> u64 {
+        self.clock.now_ns()
+    }
+
     /// Fault-injection handle for this array.
     pub fn fault_handle(&self) -> FaultHandle {
         self.fault.clone()

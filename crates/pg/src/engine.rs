@@ -144,6 +144,15 @@ impl<D: BlockDevice> MiniPg<D> {
         (rows_per_page, accounts_pages, tellers_pages, branches_pages)
     }
 
+    /// Tag the four files with semantic telemetry streams (heap vs. WAL
+    /// vs. full-page journal vs. control) — no-op without telemetry.
+    fn label_streams(fs: &mut Vfs<D>, data: FileId, wal: FileId, journal: FileId, control: FileId) {
+        let _ = fs.set_stream_label(data, "pgdata");
+        let _ = fs.set_stream_label(wal, "pg_wal");
+        let _ = fs.set_stream_label(journal, "pg_journal");
+        let _ = fs.set_stream_label(control, "pg_control");
+    }
+
     /// Create and initialize the database (all balances zero).
     pub fn create(dev: D, cfg: PgConfig) -> Result<Self, VfsError> {
         assert_eq!(cfg.page_bytes % dev.page_size(), 0);
@@ -159,6 +168,7 @@ impl<D: BlockDevice> MiniPg<D> {
         fs.fallocate(wal, 4 << 10)?; // 16 MiB of 4 KiB WAL pages
         fs.fallocate(journal, 64 * dpp)?;
         fs.fallocate(control, 1)?;
+        Self::label_streams(&mut fs, data, wal, journal, control);
         fs.fsync(data)?;
         let mut pg = Self {
             cfg,
@@ -190,11 +200,12 @@ impl<D: BlockDevice> MiniPg<D> {
     /// Reopen after a crash: read the control file, lazily reload heap
     /// pages, and replay committed WAL transactions with LSN gating.
     pub fn open(dev: D, cfg: PgConfig) -> Result<Self, VfsError> {
-        let fs = Vfs::open(dev, VfsOptions::default())?;
+        let mut fs = Vfs::open(dev, VfsOptions::default())?;
         let data = fs.lookup("pgdata").expect("pgdata file");
         let wal = fs.lookup("pg_wal").expect("pg_wal file");
         let journal = fs.lookup("pg_journal").expect("pg_journal file");
         let control = fs.lookup("pg_control").expect("pg_control file");
+        Self::label_streams(&mut fs, data, wal, journal, control);
         let (rows_per_page, accounts_pages, tellers_pages, branches_pages) = Self::layout(&cfg);
         let history_page0 = accounts_pages + tellers_pages + branches_pages;
         let mut pg = Self {

@@ -1,0 +1,528 @@
+//! Device-level observability for the SHARE reproduction.
+//!
+//! The paper's evaluation is observational — Figure 6's host-write / GC /
+//! copyback breakdown and Table 1's per-transaction percentiles — so the
+//! FTL needs per-op-class telemetry beyond the raw `DeviceStats` counters.
+//! This crate provides:
+//!
+//! * per-op-class command counters (always on: three u64 adds per command),
+//! * log2-bucketed latency [`hist::Histogram`]s in simulated `SimClock`
+//!   nanoseconds (off by default; toggled by [`TelemetryConfig`]),
+//! * a bounded [`ring::CommandRing`] of recent commands for post-mortem
+//!   inspection (off by default),
+//! * per-stream traffic attribution (engines tag files with logical stream
+//!   labels; the FTL's own traffic lands on a reserved `ftl` stream),
+//! * exporters: Prometheus-style text ([`Snapshot::to_prometheus`]) and
+//!   JSON ([`Snapshot::to_json`]) built on the in-crate [`json`] module.
+//!
+//! Telemetry only ever *reads* the simulated clock — it never advances it —
+//! so enabling any of it cannot change simulated results: crash-sweep
+//! triples and bench numbers stay bit-identical.
+
+pub mod hist;
+pub mod json;
+pub mod percentile;
+pub mod prom;
+pub mod ring;
+
+pub use hist::{bucket_of, Histogram, HistogramSet};
+pub use json::Json;
+pub use percentile::{nearest_rank_index, percentile_sorted};
+pub use ring::{CommandEvent, CommandRing};
+
+/// Command classes recorded at the FTL boundary. Host-facing classes map
+/// 1:1 onto `BlockDevice` methods; `Gc`, `LogFlush`, `Checkpoint` and
+/// `Recovery` are the FTL's internal passes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    Read,
+    Write,
+    Trim,
+    Flush,
+    Share,
+    ReadBatch,
+    WriteBatch,
+    ShareBatch,
+    WriteAtomic,
+    Gc,
+    LogFlush,
+    Checkpoint,
+    Recovery,
+}
+
+/// Traffic direction of an op class, for per-stream breakdowns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    Read,
+    Write,
+    Other,
+}
+
+impl OpClass {
+    /// Every op class, in stable export order.
+    pub const ALL: [OpClass; 13] = [
+        OpClass::Read,
+        OpClass::Write,
+        OpClass::Trim,
+        OpClass::Flush,
+        OpClass::Share,
+        OpClass::ReadBatch,
+        OpClass::WriteBatch,
+        OpClass::ShareBatch,
+        OpClass::WriteAtomic,
+        OpClass::Gc,
+        OpClass::LogFlush,
+        OpClass::Checkpoint,
+        OpClass::Recovery,
+    ];
+
+    /// Dense index into per-op arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable export name (used as the Prometheus `op` label and JSON key).
+    pub fn name(self) -> &'static str {
+        match self {
+            OpClass::Read => "read",
+            OpClass::Write => "write",
+            OpClass::Trim => "trim",
+            OpClass::Flush => "flush",
+            OpClass::Share => "share",
+            OpClass::ReadBatch => "read_batch",
+            OpClass::WriteBatch => "write_batch",
+            OpClass::ShareBatch => "share_batch",
+            OpClass::WriteAtomic => "write_atomic",
+            OpClass::Gc => "gc",
+            OpClass::LogFlush => "log_flush",
+            OpClass::Checkpoint => "checkpoint",
+            OpClass::Recovery => "recovery",
+        }
+    }
+
+    /// FTL-internal classes are attributed to the reserved `ftl` stream
+    /// instead of whatever host stream happens to be current.
+    #[inline]
+    pub fn is_internal(self) -> bool {
+        matches!(
+            self,
+            OpClass::Gc | OpClass::LogFlush | OpClass::Checkpoint | OpClass::Recovery
+        )
+    }
+
+    /// Direction for per-stream read/write/other attribution.
+    #[inline]
+    pub fn direction(self) -> Direction {
+        match self {
+            OpClass::Read | OpClass::ReadBatch => Direction::Read,
+            OpClass::Write | OpClass::WriteBatch | OpClass::WriteAtomic => Direction::Write,
+            _ => Direction::Other,
+        }
+    }
+}
+
+/// What to collect beyond the always-on counters.
+///
+/// The default keeps everything optional off, so constructing a device with
+/// default telemetry adds only counter arithmetic to the command path and
+/// cannot perturb any measured simulated result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TelemetryConfig {
+    /// Record per-op-class latency histograms.
+    pub histograms: bool,
+    /// Retain this many recent command events (0 disables the ring).
+    pub ring_capacity: usize,
+}
+
+impl TelemetryConfig {
+    /// Everything on: histograms plus a 256-event command ring.
+    pub fn full() -> Self {
+        Self { histograms: true, ring_capacity: 256 }
+    }
+}
+
+/// Per-op-class command counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounters {
+    /// Commands observed (successful or not).
+    pub ops: u64,
+    /// Pages touched by successful commands.
+    pub pages: u64,
+    /// Commands that returned an error.
+    pub errors: u64,
+}
+
+impl OpCounters {
+    fn add(&mut self, pages: u64, ok: bool) {
+        self.ops += 1;
+        if ok {
+            self.pages += pages;
+        } else {
+            self.errors += 1;
+        }
+    }
+}
+
+/// Reserved stream id for host traffic with no finer attribution.
+pub const STREAM_HOST: u32 = 0;
+/// Reserved stream id for the FTL's internal traffic (GC, log, checkpoint).
+pub const STREAM_FTL: u32 = 1;
+
+const NUM_OPS: usize = OpClass::ALL.len();
+
+/// The telemetry state owned by one device (one `Ftl`).
+#[derive(Debug, Clone)]
+pub struct Telemetry {
+    cfg: TelemetryConfig,
+    commands: u64,
+    counters: [OpCounters; NUM_OPS],
+    hists: Vec<Histogram>,
+    streams: Vec<String>,
+    /// Per stream: counters split by [`Direction`] (read/write/other).
+    stream_counters: Vec<[OpCounters; 3]>,
+    current_stream: u32,
+    ring: CommandRing,
+}
+
+impl Telemetry {
+    /// Fresh telemetry with the reserved `host` and `ftl` streams interned.
+    pub fn new(cfg: TelemetryConfig) -> Self {
+        Self {
+            cfg,
+            commands: 0,
+            counters: [OpCounters::default(); NUM_OPS],
+            hists: vec![Histogram::new(); NUM_OPS],
+            streams: vec!["host".to_string(), "ftl".to_string()],
+            stream_counters: vec![[OpCounters::default(); 3]; 2],
+            current_stream: STREAM_HOST,
+            ring: CommandRing::new(cfg.ring_capacity),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> TelemetryConfig {
+        self.cfg
+    }
+
+    /// Intern a stream label, returning its id (stable for the device's
+    /// lifetime). Re-interning an existing label returns the same id.
+    pub fn intern(&mut self, label: &str) -> u32 {
+        if let Some(i) = self.streams.iter().position(|s| s == label) {
+            return i as u32;
+        }
+        self.streams.push(label.to_string());
+        self.stream_counters.push([OpCounters::default(); 3]);
+        (self.streams.len() - 1) as u32
+    }
+
+    /// Attribute subsequent host commands to `stream`. Unknown ids fall
+    /// back to [`STREAM_HOST`].
+    pub fn set_stream(&mut self, stream: u32) {
+        self.current_stream = if (stream as usize) < self.streams.len() {
+            stream
+        } else {
+            STREAM_HOST
+        };
+    }
+
+    /// The stream host commands are currently attributed to.
+    pub fn current_stream(&self) -> u32 {
+        self.current_stream
+    }
+
+    /// Record one completed command.
+    ///
+    /// `start_ns`/`end_ns` are simulated clock read-outs taken around the
+    /// command body; telemetry itself never advances the clock.
+    pub fn record(&mut self, op: OpClass, lpn: u64, pages: u64, start_ns: u64, end_ns: u64, ok: bool) {
+        self.commands += 1;
+        self.counters[op.index()].add(pages, ok);
+        let stream = if op.is_internal() { STREAM_FTL } else { self.current_stream };
+        self.stream_counters[stream as usize][op.direction() as usize].add(pages, ok);
+        if self.cfg.histograms {
+            self.hists[op.index()].record(end_ns.saturating_sub(start_ns));
+        }
+        if self.cfg.ring_capacity > 0 {
+            self.ring.push(CommandEvent {
+                seq: self.commands,
+                op,
+                stream,
+                lpn,
+                pages,
+                start_ns,
+                end_ns,
+                ok,
+            });
+        }
+    }
+
+    /// Counters for one op class.
+    pub fn counters(&self, op: OpClass) -> OpCounters {
+        self.counters[op.index()]
+    }
+
+    /// A point-in-time copy of everything collected so far.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            commands: self.commands,
+            ops: OpClass::ALL
+                .iter()
+                .map(|&op| OpSnapshot {
+                    op,
+                    counters: self.counters[op.index()],
+                    hist: self.hists[op.index()].clone(),
+                })
+                .collect(),
+            streams: self
+                .streams
+                .iter()
+                .zip(&self.stream_counters)
+                .map(|(label, dirs)| StreamSnapshot {
+                    label: label.clone(),
+                    reads: dirs[Direction::Read as usize],
+                    writes: dirs[Direction::Write as usize],
+                    other: dirs[Direction::Other as usize],
+                })
+                .collect(),
+            events: self.ring.events(),
+        }
+    }
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Self::new(TelemetryConfig::default())
+    }
+}
+
+/// One op class in a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpSnapshot {
+    /// The op class.
+    pub op: OpClass,
+    /// Its counters.
+    pub counters: OpCounters,
+    /// Its latency histogram (empty unless histograms were enabled).
+    pub hist: Histogram,
+}
+
+/// One stream in a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamSnapshot {
+    /// The interned label.
+    pub label: String,
+    /// Read-direction traffic.
+    pub reads: OpCounters,
+    /// Write-direction traffic.
+    pub writes: OpCounters,
+    /// Everything else (trim, flush, share, internal passes).
+    pub other: OpCounters,
+}
+
+/// A point-in-time copy of a device's telemetry, ready for export.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Total commands recorded.
+    pub commands: u64,
+    /// Per-op-class counters and histograms, in [`OpClass::ALL`] order.
+    pub ops: Vec<OpSnapshot>,
+    /// Per-stream traffic, in intern order (`host`, `ftl`, then engines').
+    pub streams: Vec<StreamSnapshot>,
+    /// Retained command events, oldest first.
+    pub events: Vec<CommandEvent>,
+}
+
+impl Snapshot {
+    /// The entry for one op class.
+    pub fn op(&self, op: OpClass) -> &OpSnapshot {
+        &self.ops[op.index()]
+    }
+
+    /// Pages touched by successful commands of `op`.
+    pub fn pages(&self, op: OpClass) -> u64 {
+        self.op(op).counters.pages
+    }
+
+    /// Commands observed of `op`.
+    pub fn ops_count(&self, op: OpClass) -> u64 {
+        self.op(op).counters.ops
+    }
+
+    /// Render as a JSON document.
+    pub fn to_json(&self) -> Json {
+        use json::{count, s};
+        let ops = Json::Obj(
+            self.ops
+                .iter()
+                .map(|o| {
+                    let mut fields = vec![
+                        ("ops".to_string(), count(o.counters.ops)),
+                        ("pages".to_string(), count(o.counters.pages)),
+                        ("errors".to_string(), count(o.counters.errors)),
+                    ];
+                    if !o.hist.is_empty() {
+                        fields.push(("latency_ns".to_string(), hist_json(&o.hist)));
+                    }
+                    (o.op.name().to_string(), Json::Obj(fields))
+                })
+                .collect(),
+        );
+        let streams = Json::Obj(
+            self.streams
+                .iter()
+                .map(|st| {
+                    (
+                        st.label.clone(),
+                        Json::obj(vec![
+                            ("reads", counters_json(&st.reads)),
+                            ("writes", counters_json(&st.writes)),
+                            ("other", counters_json(&st.other)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        let events = Json::Arr(
+            self.events
+                .iter()
+                .map(|e| {
+                    Json::obj(vec![
+                        ("seq", count(e.seq)),
+                        ("op", s(e.op.name())),
+                        ("stream", count(e.stream as u64)),
+                        ("lpn", count(e.lpn)),
+                        ("pages", count(e.pages)),
+                        ("start_ns", count(e.start_ns)),
+                        ("end_ns", count(e.end_ns)),
+                        ("ok", Json::Bool(e.ok)),
+                    ])
+                })
+                .collect(),
+        );
+        Json::obj(vec![
+            ("commands", count(self.commands)),
+            ("ops", ops),
+            ("streams", streams),
+            ("events", events),
+        ])
+    }
+
+    /// Render as Prometheus-style exposition text.
+    pub fn to_prometheus(&self) -> String {
+        prom::render(self)
+    }
+}
+
+fn counters_json(c: &OpCounters) -> Json {
+    use json::count;
+    Json::obj(vec![
+        ("ops", count(c.ops)),
+        ("pages", count(c.pages)),
+        ("errors", count(c.errors)),
+    ])
+}
+
+fn hist_json(h: &Histogram) -> Json {
+    use json::count;
+    Json::obj(vec![
+        ("count", count(h.count)),
+        ("sum", count(h.sum)),
+        ("min", count(h.min)),
+        ("max", count(h.max)),
+        ("p50", count(h.quantile(0.50))),
+        ("p95", count(h.quantile(0.95))),
+        ("p99", count(h.quantile(0.99))),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_counters_only() {
+        let cfg = TelemetryConfig::default();
+        assert!(!cfg.histograms);
+        assert_eq!(cfg.ring_capacity, 0);
+        let mut t = Telemetry::new(cfg);
+        t.record(OpClass::Write, 5, 3, 100, 200, true);
+        assert!(t.snapshot().op(OpClass::Write).hist.is_empty());
+        assert!(t.snapshot().events.is_empty());
+        assert_eq!(t.counters(OpClass::Write), OpCounters { ops: 1, pages: 3, errors: 0 });
+    }
+
+    #[test]
+    fn full_config_records_hist_and_ring() {
+        let mut t = Telemetry::new(TelemetryConfig::full());
+        t.record(OpClass::Read, 1, 1, 0, 50, true);
+        t.record(OpClass::Read, 2, 1, 50, 150, true);
+        let snap = t.snapshot();
+        let h = &snap.op(OpClass::Read).hist;
+        assert_eq!(h.count, 2);
+        assert_eq!(h.min, 50);
+        assert_eq!(h.max, 100);
+        assert_eq!(snap.events.len(), 2);
+        assert_eq!(snap.events[0].lpn, 1);
+        assert_eq!(snap.events[1].end_ns, 150);
+    }
+
+    #[test]
+    fn errors_counted_without_pages() {
+        let mut t = Telemetry::default();
+        t.record(OpClass::Write, 9, 4, 0, 0, false);
+        assert_eq!(t.counters(OpClass::Write), OpCounters { ops: 1, pages: 0, errors: 1 });
+    }
+
+    #[test]
+    fn streams_intern_and_attribute() {
+        let mut t = Telemetry::default();
+        let wal = t.intern("wal");
+        assert_eq!(t.intern("wal"), wal);
+        assert_ne!(wal, STREAM_HOST);
+        t.set_stream(wal);
+        t.record(OpClass::Write, 0, 2, 0, 0, true);
+        // Internal ops land on the ftl stream even while `wal` is current.
+        t.record(OpClass::Gc, 0, 8, 0, 0, true);
+        let snap = t.snapshot();
+        let by_label = |l: &str| snap.streams.iter().find(|s| s.label == l).unwrap();
+        assert_eq!(by_label("wal").writes.pages, 2);
+        assert_eq!(by_label("ftl").other.pages, 8);
+        assert_eq!(by_label("host").writes.pages, 0);
+    }
+
+    #[test]
+    fn unknown_stream_falls_back_to_host() {
+        let mut t = Telemetry::default();
+        t.set_stream(99);
+        t.record(OpClass::Read, 0, 1, 0, 0, true);
+        assert_eq!(t.snapshot().streams[STREAM_HOST as usize].reads.pages, 1);
+    }
+
+    #[test]
+    fn snapshot_json_is_parseable_and_complete() {
+        let mut t = Telemetry::new(TelemetryConfig::full());
+        t.intern("db");
+        t.record(OpClass::Write, 3, 1, 10, 30, true);
+        t.record(OpClass::Checkpoint, 0, 5, 30, 90, true);
+        let doc = t.snapshot().to_json();
+        let back = json::parse(&doc.render()).expect("snapshot json parses");
+        assert_eq!(back.get("commands").and_then(Json::as_u64), Some(2));
+        let ops = back.get("ops").expect("ops");
+        assert_eq!(
+            ops.get("write").and_then(|w| w.get("pages")).and_then(Json::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            ops.get("checkpoint").and_then(|c| c.get("latency_ns")).and_then(|l| l.get("max")).and_then(Json::as_u64),
+            Some(60)
+        );
+        // All 13 op classes and the interned stream are present.
+        if let Json::Obj(fields) = ops {
+            assert_eq!(fields.len(), OpClass::ALL.len());
+        } else {
+            panic!("ops must be an object");
+        }
+        assert!(back.get("streams").and_then(|s| s.get("db")).is_some());
+    }
+}

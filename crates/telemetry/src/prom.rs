@@ -1,0 +1,134 @@
+//! Prometheus-style text exposition of a telemetry [`Snapshot`].
+//!
+//! Output follows the exposition format conventions (HELP/TYPE comments,
+//! cumulative `_bucket{le=...}` histogram series) closely enough for a real
+//! scraper, while staying a plain deterministic string for tests.
+
+use crate::hist::{bucket_upper_bound, Histogram};
+use crate::{OpCounters, Snapshot};
+
+/// Render a snapshot as Prometheus exposition text.
+pub fn render(snap: &Snapshot) -> String {
+    let mut out = String::new();
+
+    out.push_str("# HELP share_commands_total Device commands observed.\n");
+    out.push_str("# TYPE share_commands_total counter\n");
+    out.push_str(&format!("share_commands_total {}\n", snap.commands));
+
+    out.push_str("# HELP share_op_ops_total Commands per op class.\n");
+    out.push_str("# TYPE share_op_ops_total counter\n");
+    for o in &snap.ops {
+        out.push_str(&format!("share_op_ops_total{{op=\"{}\"}} {}\n", o.op.name(), o.counters.ops));
+    }
+    out.push_str("# HELP share_op_pages_total Pages touched by successful commands per op class.\n");
+    out.push_str("# TYPE share_op_pages_total counter\n");
+    for o in &snap.ops {
+        out.push_str(&format!(
+            "share_op_pages_total{{op=\"{}\"}} {}\n",
+            o.op.name(),
+            o.counters.pages
+        ));
+    }
+    out.push_str("# HELP share_op_errors_total Failed commands per op class.\n");
+    out.push_str("# TYPE share_op_errors_total counter\n");
+    for o in &snap.ops {
+        out.push_str(&format!(
+            "share_op_errors_total{{op=\"{}\"}} {}\n",
+            o.op.name(),
+            o.counters.errors
+        ));
+    }
+
+    if snap.ops.iter().any(|o| !o.hist.is_empty()) {
+        out.push_str("# HELP share_op_latency_ns Simulated command latency per op class.\n");
+        out.push_str("# TYPE share_op_latency_ns histogram\n");
+        for o in &snap.ops {
+            if !o.hist.is_empty() {
+                render_hist(&mut out, o.op.name(), &o.hist);
+            }
+        }
+    }
+
+    out.push_str("# HELP share_stream_ops_total Commands per stream and direction.\n");
+    out.push_str("# TYPE share_stream_ops_total counter\n");
+    for st in &snap.streams {
+        for (dir, c) in stream_dirs(st) {
+            out.push_str(&format!(
+                "share_stream_ops_total{{stream=\"{}\",dir=\"{}\"}} {}\n",
+                st.label, dir, c.ops
+            ));
+        }
+    }
+    out.push_str("# HELP share_stream_pages_total Pages per stream and direction.\n");
+    out.push_str("# TYPE share_stream_pages_total counter\n");
+    for st in &snap.streams {
+        for (dir, c) in stream_dirs(st) {
+            out.push_str(&format!(
+                "share_stream_pages_total{{stream=\"{}\",dir=\"{}\"}} {}\n",
+                st.label, dir, c.pages
+            ));
+        }
+    }
+    out
+}
+
+fn stream_dirs(st: &crate::StreamSnapshot) -> [(&'static str, &OpCounters); 3] {
+    [("read", &st.reads), ("write", &st.writes), ("other", &st.other)]
+}
+
+fn render_hist(out: &mut String, op: &str, h: &Histogram) {
+    let mut cum = 0u64;
+    for (k, &n) in h.buckets.iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        cum += n;
+        out.push_str(&format!(
+            "share_op_latency_ns_bucket{{op=\"{op}\",le=\"{}\"}} {cum}\n",
+            bucket_upper_bound(k)
+        ));
+    }
+    out.push_str(&format!("share_op_latency_ns_bucket{{op=\"{op}\",le=\"+Inf\"}} {}\n", h.count));
+    out.push_str(&format!("share_op_latency_ns_sum{{op=\"{op}\"}} {}\n", h.sum));
+    out.push_str(&format!("share_op_latency_ns_count{{op=\"{op}\"}} {}\n", h.count));
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{OpClass, Telemetry, TelemetryConfig};
+
+    #[test]
+    fn renders_counters_and_histogram_series() {
+        let mut t = Telemetry::new(TelemetryConfig::full());
+        let wal = t.intern("wal");
+        t.set_stream(wal);
+        t.record(OpClass::Write, 0, 2, 0, 100, true);
+        t.record(OpClass::Write, 2, 2, 100, 500, true);
+        t.record(OpClass::Gc, 0, 16, 500, 900, true);
+        let text = t.snapshot().to_prometheus();
+
+        assert!(text.contains("share_commands_total 3\n"));
+        assert!(text.contains("share_op_ops_total{op=\"write\"} 2\n"));
+        assert!(text.contains("share_op_pages_total{op=\"gc\"} 16\n"));
+        assert!(text.contains("share_op_latency_ns_bucket{op=\"write\",le=\"+Inf\"} 2\n"));
+        assert!(text.contains("share_op_latency_ns_sum{op=\"write\"} 500\n"));
+        assert!(text.contains("share_stream_pages_total{stream=\"wal\",dir=\"write\"} 4\n"));
+        assert!(text.contains("share_stream_pages_total{stream=\"ftl\",dir=\"other\"} 16\n"));
+        // Cumulative bucket counts are non-decreasing.
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.starts_with("share_op_latency_ns_bucket{op=\"write\"")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last);
+            last = v;
+        }
+    }
+
+    #[test]
+    fn counters_only_snapshot_has_no_histogram_block() {
+        let mut t = Telemetry::default();
+        t.record(OpClass::Read, 0, 1, 0, 10, true);
+        let text = t.snapshot().to_prometheus();
+        assert!(!text.contains("share_op_latency_ns"));
+        assert!(text.contains("share_op_ops_total{op=\"read\"} 1\n"));
+    }
+}

@@ -85,6 +85,11 @@ pub struct Vfs<D: BlockDevice> {
     data_dirty: bool,
     journal_cursor: u64,
     stats: VfsStats,
+    /// Telemetry stream per file id (runtime-only, never persisted: stream
+    /// ids are an artifact of this device instance's intern table).
+    streams: std::collections::HashMap<u32, u32>,
+    fs_meta_stream: u32,
+    fs_journal_stream: u32,
 }
 
 impl<D: BlockDevice> Vfs<D> {
@@ -117,7 +122,11 @@ impl<D: BlockDevice> Vfs<D> {
             data_dirty: false,
             journal_cursor: 0,
             stats: VfsStats::default(),
+            streams: Default::default(),
+            fs_meta_stream: 0,
+            fs_journal_stream: 0,
         };
+        vfs.intern_fs_streams();
         vfs.write_snapshot()?;
         vfs.dev.flush()?;
         Ok(vfs)
@@ -138,7 +147,11 @@ impl<D: BlockDevice> Vfs<D> {
             data_dirty: false,
             journal_cursor: 0,
             stats: VfsStats::default(),
+            streams: Default::default(),
+            fs_meta_stream: 0,
+            fs_journal_stream: 0,
         };
+        vfs.intern_fs_streams();
         let best = [0u64, 1]
             .into_iter()
             .filter_map(|slot| vfs.read_snapshot(slot).ok().flatten())
@@ -152,6 +165,8 @@ impl<D: BlockDevice> Vfs<D> {
             used.extend(f.extents.iter().copied());
             vfs.next_id = vfs.next_id.max(f.id + 1);
             vfs.names.insert(f.name.clone(), f.id);
+            let stream = vfs.dev.stream_intern(&f.name);
+            vfs.streams.insert(f.id, stream);
             vfs.files.insert(f.id, f);
         }
         vfs.alloc = ExtentAllocator::rebuild(data_start, vfs.dev.capacity_pages(), used);
@@ -183,6 +198,29 @@ impl<D: BlockDevice> Vfs<D> {
         self.stats
     }
 
+    // ----- telemetry streams ----------------------------------------------
+
+    fn intern_fs_streams(&mut self) {
+        // No-op (both ids stay 0 = host) on devices without telemetry.
+        self.fs_meta_stream = self.dev.stream_intern("fs-meta");
+        self.fs_journal_stream = self.dev.stream_intern("fs-journal");
+    }
+
+    /// Telemetry stream the file's device traffic is attributed to.
+    fn stream_of(&self, id: u32) -> u32 {
+        self.streams.get(&id).copied().unwrap_or(0)
+    }
+
+    /// Re-label a file's telemetry stream (engines tag files semantically —
+    /// "wal", "journal", "doublewrite" — instead of by raw file name, so one
+    /// metrics snapshot yields the paper's Figure-6-style breakdown).
+    pub fn set_stream_label(&mut self, f: FileId, label: &str) -> Result<(), VfsError> {
+        self.file(f)?;
+        let stream = self.dev.stream_intern(label);
+        self.streams.insert(f.0, stream);
+        Ok(())
+    }
+
     // ----- file table -------------------------------------------------
 
     /// Create an empty file.
@@ -200,6 +238,8 @@ impl<D: BlockDevice> Vfs<D> {
             FileInner { id, name: name.into(), len_pages: 0, extents: Vec::new() },
         );
         self.names.insert(name.into(), id);
+        let stream = self.dev.stream_intern(name);
+        self.streams.insert(id, stream);
         self.meta_dirty = true;
         Ok(FileId(id))
     }
@@ -220,6 +260,8 @@ impl<D: BlockDevice> Vfs<D> {
     pub fn delete(&mut self, name: &str) -> Result<(), VfsError> {
         let id = self.names.remove(name).ok_or_else(|| VfsError::NotFound(name.into()))?;
         let file = self.files.remove(&id).expect("name table out of sync");
+        self.dev.set_stream(self.stream_of(id));
+        self.streams.remove(&id);
         for e in file.extents {
             self.dev.trim(Lpn(e.start), e.len)?;
             self.alloc.release(e);
@@ -236,6 +278,10 @@ impl<D: BlockDevice> Vfs<D> {
         let id = self.names.remove(from).ok_or_else(|| VfsError::NotFound(from.into()))?;
         self.names.insert(to.into(), id);
         self.files.get_mut(&id).expect("name table out of sync").name = to.into();
+        // The stream label follows the new name (compaction swaps a scratch
+        // file in as the live database; its traffic should read as such).
+        let stream = self.dev.stream_intern(to);
+        self.streams.insert(id, stream);
         self.meta_dirty = true;
         Ok(())
     }
@@ -318,6 +364,7 @@ impl<D: BlockDevice> Vfs<D> {
             self.fallocate(f, page + 1)?;
         }
         let lpn = self.lpn_of(f, page)?;
+        self.dev.set_stream(self.stream_of(f.0));
         self.dev.write(lpn, data)?;
         let file = self.files.get_mut(&f.0).expect("checked above");
         file.len_pages = file.len_pages.max(page + 1);
@@ -332,6 +379,7 @@ impl<D: BlockDevice> Vfs<D> {
             return Err(VfsError::BadBufferLength { got: buf.len(), want: self.dev.page_size() });
         }
         let lpn = self.lpn_of(f, page)?;
+        self.dev.set_stream(self.stream_of(f.0));
         self.dev.read(lpn, buf)?;
         Ok(())
     }
@@ -359,6 +407,7 @@ impl<D: BlockDevice> Vfs<D> {
         for (p, data) in pages {
             batch.push((self.lpn_of(f, *p)?, *data));
         }
+        self.dev.set_stream(self.stream_of(f.0));
         self.dev.write_batch(&batch)?;
         let file = self.files.get_mut(&f.0).expect("resolved above");
         file.len_pages = file.len_pages.max(max_page);
@@ -383,6 +432,7 @@ impl<D: BlockDevice> Vfs<D> {
             let lpn = self.lpn_of(f, *p)?;
             batch.push((lpn, &mut buf[..]));
         }
+        self.dev.set_stream(self.stream_of(f.0));
         self.dev.read_batch(&mut batch)?;
         Ok(())
     }
@@ -415,6 +465,7 @@ impl<D: BlockDevice> Vfs<D> {
     /// TRIM a page range of a file (used by recovery truncation: stale
     /// blocks past a recovered tail must not masquerade as fresh data).
     pub fn trim_range(&mut self, f: FileId, from_page: u64, to_page: u64) -> Result<(), VfsError> {
+        self.dev.set_stream(self.stream_of(f.0));
         for p in from_page..to_page {
             let lpn = self.lpn_of(f, p)?;
             self.dev.trim(lpn, 1)?;
@@ -424,7 +475,7 @@ impl<D: BlockDevice> Vfs<D> {
 
     /// fsync: persist metadata if dirty, charge ordered-journal traffic,
     /// then flush the device.
-    pub fn fsync(&mut self, _f: FileId) -> Result<(), VfsError> {
+    pub fn fsync(&mut self, f: FileId) -> Result<(), VfsError> {
         if self.meta_dirty {
             self.write_snapshot()?;
         }
@@ -432,6 +483,8 @@ impl<D: BlockDevice> Vfs<D> {
             self.write_journal_commit()?;
         }
         self.data_dirty = false;
+        // The flush is attributed to the file whose durability was asked for.
+        self.dev.set_stream(self.stream_of(f.0));
         self.dev.flush()?;
         Ok(())
     }
@@ -480,6 +533,7 @@ impl<D: BlockDevice> Vfs<D> {
         for (p, data) in pages {
             batch.push((self.lpn_of(f, *p)?, *data));
         }
+        self.dev.set_stream(self.stream_of(f.0));
         self.dev.write_atomic(&batch)?;
         let file = self.files.get_mut(&f.0).expect("resolved above");
         file.len_pages = file.len_pages.max(max_page);
@@ -503,6 +557,7 @@ impl<D: BlockDevice> Vfs<D> {
             pairs.push(SharePair::new(self.lpn_of(dst, dst_page + i)?, self.lpn_of(src, src_page + i)?));
         }
         // The destination range now logically holds data.
+        self.dev.set_stream(self.stream_of(dst.0));
         self.dev.share(&pairs)?;
         let file = self.files.get_mut(&dst.0).expect("resolved above");
         file.len_pages = file.len_pages.max(dst_page + npages);
@@ -526,6 +581,7 @@ impl<D: BlockDevice> Vfs<D> {
         }
         // One device command; the device commits it in log-page-sized
         // atomic sub-batches (per-batch atomicity suffices here).
+        self.dev.set_stream(self.stream_of(dst.0));
         self.dev.share_batch(&batch)?;
         let file = self.files.get_mut(&dst.0).expect("resolved above");
         file.len_pages = file.len_pages.max(max_dst);
@@ -609,6 +665,7 @@ impl<D: BlockDevice> Vfs<D> {
                 (Lpn(base + p), &image[s..s + ps])
             })
             .collect();
+        self.dev.set_stream(self.fs_meta_stream);
         self.dev.write_batch(&batch)?;
         self.meta_dirty = false;
         self.stats.snapshots += 1;
@@ -621,6 +678,7 @@ impl<D: BlockDevice> Vfs<D> {
         let ps = self.dev.page_size();
         let base = slot * self.opts.meta_slot_pages;
         let mut page = vec![0u8; ps];
+        self.dev.set_stream(self.fs_meta_stream);
         self.dev.read(Lpn(base), &mut page)?;
         if u32::from_le_bytes(page[0..4].try_into().unwrap()) != META_MAGIC {
             return Ok(None);
@@ -651,6 +709,7 @@ impl<D: BlockDevice> Vfs<D> {
         let ps = self.dev.page_size();
         let ring_base = 2 * self.opts.meta_slot_pages;
         let page = vec![0xEEu8; ps];
+        self.dev.set_stream(self.fs_journal_stream);
         for _ in 0..self.opts.journal_pages_per_commit {
             let lpn = ring_base + (self.journal_cursor % self.opts.journal_ring_pages);
             self.journal_cursor += 1;

@@ -278,3 +278,39 @@ fn truncate_shrinks_logical_length_only() {
     // Content past the logical length is still readable (allocation kept).
     assert_eq!(read_byte(&mut fs, f, 5), 5);
 }
+
+#[test]
+fn per_file_streams_attribute_device_traffic() {
+    let mut fs = ftl_fs();
+    let a = fs.create("a.db").unwrap();
+    let b = fs.create("b.log").unwrap();
+    fs.set_stream_label(b, "wal").unwrap();
+    for i in 0..4 {
+        fs.write_page(a, i, &page(&fs, 1)).unwrap();
+    }
+    for i in 0..7 {
+        fs.write_page(b, i, &page(&fs, 2)).unwrap();
+    }
+    fs.fsync(a).unwrap();
+    let snap = fs.device().telemetry_snapshot().expect("FTL has telemetry");
+    let by = |l: &str| snap.streams.iter().find(|s| s.label == l).cloned();
+    assert_eq!(by("a.db").unwrap().writes.pages, 4);
+    assert_eq!(by("wal").unwrap().writes.pages, 7);
+    // The raw file name of the re-labelled file carries no page traffic.
+    assert_eq!(by("b.log").map_or(0, |s| s.writes.pages), 0);
+    // Metadata snapshots (format + fsync) land on the fs-meta stream.
+    assert!(by("fs-meta").unwrap().writes.pages > 0);
+}
+
+#[test]
+fn streams_are_inert_on_plain_devices() {
+    // SimpleSsd has no telemetry: interning returns the default stream and
+    // everything still works.
+    let dev = SimpleSsd::new(4096, 4096, nand_sim::SimClock::new());
+    let mut fs = Vfs::format(dev, VfsOptions::default()).unwrap();
+    let f = fs.create("a").unwrap();
+    fs.set_stream_label(f, "anything").unwrap();
+    fs.write_page(f, 0, &page(&fs, 9)).unwrap();
+    assert!(fs.device().telemetry_snapshot().is_none());
+    assert_eq!(read_byte(&mut fs, f, 0), 9);
+}

@@ -2,7 +2,14 @@
 //!
 //! Regenerates the paper's Table 1: mean / P25 / P50 / P75 / P99 / max
 //! latency per transaction type.
+//!
+//! Percentile math is shared with the device-telemetry histograms
+//! (`share_telemetry::percentile_sorted` is the same nearest-rank rule the
+//! histogram quantile walk uses), and every sample is mirrored into a
+//! [`HistogramSet`] so exact summaries and bucketed estimates can be
+//! cross-checked against each other.
 
+use share_telemetry::{percentile_sorted, HistogramSet};
 use std::collections::BTreeMap;
 
 /// Summary statistics of one operation type.
@@ -35,6 +42,7 @@ impl LatencySummary {
 #[derive(Debug, Default)]
 pub struct LatencyRecorder {
     samples: BTreeMap<&'static str, Vec<u64>>,
+    hists: HistogramSet,
 }
 
 impl LatencyRecorder {
@@ -46,6 +54,13 @@ impl LatencyRecorder {
     /// Record one sample (simulated ns) under `op`.
     pub fn record(&mut self, op: &'static str, ns: u64) {
         self.samples.entry(op).or_default().push(ns);
+        self.hists.record(op, ns);
+    }
+
+    /// log2-bucketed mirror of every recorded sample, in the device
+    /// telemetry's histogram format (for export and cross-checking).
+    pub fn histograms(&self) -> &HistogramSet {
+        &self.hists
     }
 
     /// Total samples across all ops.
@@ -66,11 +81,8 @@ impl LatencyRecorder {
         }
         let mut sorted = v.clone();
         sorted.sort_unstable();
-        let pct = |p: f64| -> u64 {
-            // Nearest-rank percentile.
-            let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-            sorted[rank.clamp(1, sorted.len()) - 1]
-        };
+        // Nearest-rank percentile, same rule as the telemetry histograms.
+        let pct = |p: f64| -> u64 { percentile_sorted(&sorted, p) };
         let sum: u128 = sorted.iter().map(|&x| x as u128).sum();
         Some(LatencySummary {
             count: sorted.len() as u64,
@@ -134,5 +146,34 @@ mod tests {
     #[test]
     fn ms_conversion() {
         assert!((LatencySummary::ms(1_500_000) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_percentiles_agree_with_histogram_within_one_bucket() {
+        // The recorder keeps exact samples; its mirrored histogram only
+        // keeps log2 buckets. Both use the same nearest-rank rule, so each
+        // histogram estimate must land in the same log2 bucket as the
+        // exact nearest-rank sample.
+        use share_telemetry::bucket_of;
+        let mut r = LatencyRecorder::new();
+        // A skewed, multi-decade distribution (deterministic LCG).
+        let mut x = 0x2545_f491_4f6c_dd1du64;
+        for _ in 0..5000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            r.record("txn", (x >> 33) % 10_000_000 + 1);
+        }
+        let s = r.summary("txn").unwrap();
+        let h = r.histograms().get("txn").unwrap();
+        assert_eq!(h.count, s.count);
+        for (exact, q) in [(s.p25_ns, 0.25), (s.p50_ns, 0.50), (s.p75_ns, 0.75), (s.p99_ns, 0.99)]
+        {
+            let est = h.quantile(q);
+            assert_eq!(
+                bucket_of(est),
+                bucket_of(exact),
+                "q{q}: histogram estimate {est} strayed from exact {exact}"
+            );
+        }
+        assert_eq!(h.max, s.max_ns);
     }
 }

@@ -29,4 +29,14 @@ echo "== crash-point smoke sweep =="
 echo "== bench smoke (multi-channel + BENCH_share.json sanity) =="
 ./target/release/bench_channels
 
+# Metrics smoke tier: run a short YCSB workload with full telemetry, dump
+# both exporter formats (Prometheus text + JSON), re-parse the JSON dump,
+# and assert the telemetry op counters equal the DeviceStats counters —
+# the FTL's two bookkeeping paths must agree exactly. Dumps go to a temp
+# dir so the repo root stays clean.
+echo "== metrics smoke (telemetry vs DeviceStats) =="
+METRICS_TMP="$(mktemp -d)"
+trap 'rm -rf "$METRICS_TMP"' EXIT
+SHARE_METRICS_DIR="$METRICS_TMP" ./target/release/metrics_smoke
+
 echo "verify: OK"
