@@ -7,8 +7,9 @@
 
 use mini_innodb::FlushMode;
 use share_bench::{
-    count, device_json, f, maybe_dump_metrics, num, print_table, record_scenario, run_linkbench,
-    s, scale_from_env, scaled, telemetry_from_env, Json, LinkBenchRun,
+    count, device_json, f, maybe_dump_metrics, maybe_dump_trace, num, print_table,
+    record_scenario, run_linkbench, s, scale_from_env, scaled, telemetry_from_env, Json,
+    LinkBenchRun,
 };
 
 fn base() -> LinkBenchRun {
@@ -32,6 +33,9 @@ fn main() {
             // 4 KiB runs (the paper's Figure 6 view of this experiment).
             if page_bytes == 4096 {
                 maybe_dump_metrics(&format!("fig5a_{mode:?}"), r.telemetry.as_ref());
+                // SHARE_TRACE=1: the full txn->VFS->FTL->NAND span tree of
+                // the same runs as Chrome trace_event JSON.
+                maybe_dump_trace(&format!("fig5a_{mode:?}"), &r.tracer);
             }
             tps.push(r.tps);
         }

@@ -6,8 +6,8 @@
 
 use mini_couch::CouchMode;
 use share_bench::{
-    count, device_json, f, maybe_dump_metrics, mb, num, print_table, record_scenario, run_ycsb,
-    s, scale_from_env, scaled, telemetry_from_env, Json, YcsbRun,
+    count, device_json, f, maybe_dump_metrics, maybe_dump_trace, mb, num, print_table,
+    record_scenario, run_ycsb, s, scale_from_env, scaled, telemetry_from_env, Json, YcsbRun,
 };
 use share_workloads::YcsbWorkload;
 
@@ -39,6 +39,9 @@ fn main() {
         if batch == 1 {
             maybe_dump_metrics("fig8_batch1_Original", orig.telemetry.as_ref());
             maybe_dump_metrics("fig8_batch1_Share", share.telemetry.as_ref());
+            // SHARE_TRACE=1: span trees of the same runs as Chrome JSON.
+            maybe_dump_trace("fig8_batch1_Original", &orig.tracer);
+            maybe_dump_trace("fig8_batch1_Share", &share.tracer);
         }
         rows.push(vec![
             batch.to_string(),

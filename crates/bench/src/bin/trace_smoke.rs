@@ -1,0 +1,131 @@
+//! Trace smoke check (verify.sh tier): run a short YCSB workload twice —
+//! tracing off and tracing on — assert the simulation is bit-identical
+//! either way, export the span tree as Chrome `trace_event` JSON, re-parse
+//! it through the repo's own JSON layer, and check well-formedness:
+//! monotonic timestamps, non-negative durations, every event's pid/tid
+//! announced by a metadata record, and every parent reference resolvable.
+//! The wall-clock overhead of tracing is recorded into `BENCH_share.json`.
+
+use share_bench::{dump_trace, num, parse, record_scenario, run_ycsb, Json, YcsbResult, YcsbRun};
+use share_core::TelemetryConfig;
+use share_workloads::YcsbWorkload;
+use std::collections::HashSet;
+
+fn run(telemetry: TelemetryConfig) -> YcsbResult {
+    run_ycsb(&YcsbRun {
+        mode: mini_couch::CouchMode::Share,
+        workload: YcsbWorkload::A,
+        batch_size: 8,
+        records: 1_000,
+        ops: 1_000,
+        telemetry,
+        ..Default::default()
+    })
+}
+
+fn main() {
+    let wall = std::time::Instant::now();
+    let off = run(TelemetryConfig::default());
+    let wall_off = wall.elapsed().as_secs_f64();
+    let wall = std::time::Instant::now();
+    let on = run(TelemetryConfig::tracing());
+    let wall_on = wall.elapsed().as_secs_f64();
+
+    // Tracing must observe, never perturb: same simulated time, same
+    // device traffic, to the last counter.
+    assert_eq!(
+        off.elapsed_secs, on.elapsed_secs,
+        "tracing changed the simulated timeline"
+    );
+    assert_eq!(off.device_total, on.device_total, "tracing changed device traffic");
+    let spans = on.tracer.span_count();
+    assert!(spans > 0, "tracing was on but recorded no spans");
+    assert_eq!(off.tracer.span_count(), 0, "tracing-off run recorded spans");
+
+    // Export where the caller asked (SHARE_METRICS_DIR) and re-parse.
+    let path = dump_trace("smoke", &on.tracer)
+        .expect("write chrome trace")
+        .expect("tracer was enabled");
+    let text = std::fs::read_to_string(&path).expect("read chrome trace");
+    let doc = parse(&text).expect("chrome trace re-parses through telemetry::json");
+    let events =
+        doc.get("traceEvents").and_then(Json::as_array).expect("traceEvents array");
+    assert!(!events.is_empty(), "empty traceEvents");
+
+    let mut named: HashSet<(u64, u64)> = HashSet::new(); // (pid, tid) with thread_name
+    let mut procs: HashSet<u64> = HashSet::new(); // pid with process_name
+    let mut span_ids: HashSet<u64> = HashSet::new();
+    let mut parents: Vec<u64> = Vec::new();
+    let mut last_ts = f64::MIN;
+    let mut x_events = 0u64;
+    for ev in events {
+        let ph = ev.get("ph").and_then(Json::as_str).expect("event phase");
+        let pid = ev.get("pid").and_then(Json::as_u64).expect("event pid");
+        match ph {
+            "M" => {
+                let kind = ev.get("name").and_then(Json::as_str).expect("meta name");
+                match kind {
+                    "process_name" => {
+                        procs.insert(pid);
+                    }
+                    "thread_name" => {
+                        let tid = ev.get("tid").and_then(Json::as_u64).expect("meta tid");
+                        named.insert((pid, tid));
+                    }
+                    other => panic!("unexpected metadata record {other}"),
+                }
+            }
+            "X" => {
+                x_events += 1;
+                let tid = ev.get("tid").and_then(Json::as_u64).expect("X tid");
+                assert!(procs.contains(&pid), "pid {pid} has no process_name metadata");
+                assert!(
+                    named.contains(&(pid, tid)),
+                    "track pid={pid} tid={tid} has no thread_name metadata"
+                );
+                let ts = ev.get("ts").and_then(Json::as_f64).expect("X ts");
+                assert!(ts >= last_ts, "timestamps not monotonic: {ts} after {last_ts}");
+                last_ts = ts;
+                let dur = ev.get("dur").and_then(Json::as_f64).expect("X dur");
+                assert!(dur >= 0.0, "negative duration — unbalanced span");
+                let args = ev.get("args").expect("X args");
+                span_ids.insert(args.get("id").and_then(Json::as_u64).expect("span id"));
+                if let Some(p) = args.get("parent").and_then(Json::as_u64) {
+                    parents.push(p);
+                }
+            }
+            other => panic!("unexpected event phase {other}"),
+        }
+    }
+    assert_eq!(x_events, spans as u64, "exported X events != recorded spans");
+    for p in &parents {
+        assert!(span_ids.contains(p), "parent span {p} missing from the export");
+    }
+    // The three host layers and the NAND leaves must all be present.
+    for cat in ["engine", "vfs", "ftl", "nand"] {
+        assert!(
+            events.iter().any(|e| e.get("cat").and_then(Json::as_str) == Some(cat)),
+            "no {cat}-layer spans in the export"
+        );
+    }
+
+    let json_path = record_scenario(
+        "trace_smoke",
+        Json::obj(vec![
+            ("spans", num(spans as f64)),
+            ("events", num(events.len() as f64)),
+            ("sim_secs", num(on.elapsed_secs)),
+            ("wall_secs_trace_off", num(wall_off)),
+            ("wall_secs_trace_on", num(wall_on)),
+            ("overhead_ratio", num(wall_on / wall_off.max(1e-9))),
+        ]),
+    )
+    .expect("record BENCH_share.json");
+    println!(
+        "trace smoke OK: {spans} spans, {} events, trace at {}, overhead {:.2}x -> {}",
+        events.len(),
+        path.display(),
+        wall_on / wall_off.max(1e-9),
+        json_path.display()
+    );
+}

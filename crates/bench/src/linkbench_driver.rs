@@ -86,6 +86,9 @@ pub struct LinkBenchResult {
     /// Device telemetry at the end of the run (whole run, not just the
     /// measured window).
     pub telemetry: Option<Snapshot>,
+    /// Span tracer of the data device (a disabled no-op handle unless the
+    /// run's [`TelemetryConfig`] enabled tracing).
+    pub tracer: share_core::Tracer,
 }
 
 fn payload(rng: &mut StdRng, n: usize) -> Vec<u8> {
@@ -169,6 +172,7 @@ pub fn run_linkbench(run: &LinkBenchRun) -> LinkBenchResult {
     let device = db.data_device_stats().delta_since(&stats0);
     let wear = db.fs_mut().device().wear_stats();
     let telemetry = db.fs_mut().device().telemetry_snapshot();
+    let tracer = db.fs_mut().tracer().clone();
 
     LinkBenchResult {
         tps: run.txns as f64 / (elapsed as f64 / 1e9),
@@ -180,6 +184,7 @@ pub fn run_linkbench(run: &LinkBenchRun) -> LinkBenchResult {
         engine: db.stats(),
         wear,
         telemetry,
+        tracer,
     }
 }
 

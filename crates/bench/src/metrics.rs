@@ -7,7 +7,7 @@
 //! `SHARE_METRICS_DIR`). Telemetry never advances the simulated clock, so
 //! the dumped numbers ride along without perturbing the bench results.
 
-use share_core::{Snapshot, TelemetryConfig};
+use share_core::{Snapshot, TelemetryConfig, Tracer};
 use std::path::PathBuf;
 
 /// Whether `SHARE_METRICS=1` asked for metrics dumps.
@@ -15,14 +15,22 @@ pub fn metrics_enabled() -> bool {
     std::env::var("SHARE_METRICS").map(|v| v == "1").unwrap_or(false)
 }
 
+/// Whether `SHARE_TRACE=1` asked for causal span tracing (Chrome
+/// `trace_event` dumps next to the metrics files).
+pub fn trace_enabled() -> bool {
+    std::env::var("SHARE_TRACE").map(|v| v == "1").unwrap_or(false)
+}
+
 /// The telemetry config benches should run with: everything on when
-/// `SHARE_METRICS=1`, counters-only (the bit-identical default) otherwise.
+/// `SHARE_METRICS=1`, span tracing alone when `SHARE_TRACE=1`,
+/// counters-only (the bit-identical default) otherwise.
 pub fn telemetry_from_env() -> TelemetryConfig {
-    if metrics_enabled() {
-        TelemetryConfig::full()
-    } else {
-        TelemetryConfig::default()
+    let mut cfg =
+        if metrics_enabled() { TelemetryConfig::full() } else { TelemetryConfig::default() };
+    if trace_enabled() {
+        cfg.trace = true;
     }
+    cfg
 }
 
 /// Where metrics dumps go: `SHARE_METRICS_DIR`, else the workspace root
@@ -48,6 +56,31 @@ pub fn dump_metrics(scenario: &str, snap: &Snapshot) -> std::io::Result<(PathBuf
     text.push('\n');
     std::fs::write(&json_path, text)?;
     Ok((prom_path, json_path))
+}
+
+/// Write the tracer's span tree as Chrome `trace_event` JSON
+/// (`TRACE_<scenario>.json`); returns the path, or `None` if the tracer
+/// was disabled (no spans to export).
+pub fn dump_trace(scenario: &str, tracer: &Tracer) -> std::io::Result<Option<PathBuf>> {
+    let Some(json) = tracer.chrome_json() else { return Ok(None) };
+    let dir = metrics_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("TRACE_{scenario}.json"));
+    std::fs::write(&path, json.render())?;
+    Ok(Some(path))
+}
+
+/// If `SHARE_TRACE=1`, dump the scenario's Chrome trace and print where it
+/// went (drivers call this once per scenario, next to the metrics dump).
+pub fn maybe_dump_trace(scenario: &str, tracer: &Tracer) {
+    if !trace_enabled() {
+        return;
+    }
+    match dump_trace(scenario, tracer) {
+        Ok(Some(path)) => println!("trace: {}", path.display()),
+        Ok(None) => eprintln!("trace: device of {scenario} was built without tracing"),
+        Err(e) => eprintln!("trace: failed to write {scenario}: {e}"),
+    }
 }
 
 /// If `SHARE_METRICS=1` and the run produced a snapshot, dump it and print

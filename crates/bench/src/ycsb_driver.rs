@@ -3,7 +3,7 @@
 use mini_couch::{CompactionReport, CouchConfig, CouchMode, CouchStore};
 use nand_sim::NandTiming;
 use share_rng::{Rng, StdRng};
-use share_core::{BlockDevice, DeviceStats, Ftl, FtlConfig, Snapshot, TelemetryConfig};
+use share_core::{BlockDevice, DeviceStats, Ftl, FtlConfig, Snapshot, TelemetryConfig, Tracer};
 use share_vfs::{Vfs, VfsOptions};
 use share_workloads::{Ycsb, YcsbConfig, YcsbOp, YcsbWorkload};
 
@@ -65,6 +65,9 @@ pub struct YcsbResult {
     /// Device telemetry at the end of the run (whole run, not just the
     /// measured window).
     pub telemetry: Option<Snapshot>,
+    /// Span tracer of the device (a disabled no-op handle unless the run's
+    /// [`TelemetryConfig`] enabled tracing).
+    pub tracer: Tracer,
 }
 
 fn doc_payload(rng: &mut StdRng, n: usize) -> Vec<u8> {
@@ -153,6 +156,7 @@ pub fn run_ycsb(run: &YcsbRun) -> YcsbResult {
     let device_total = store.device_stats();
     let device = device_total.delta_since(&stats0);
     let telemetry = store.fs_mut().device().telemetry_snapshot();
+    let tracer = store.fs_mut().device().tracer();
 
     YcsbResult {
         ops_per_sec: run.ops as f64 / (elapsed as f64 / 1e9),
@@ -162,6 +166,7 @@ pub fn run_ycsb(run: &YcsbRun) -> YcsbResult {
         device_total,
         couch: store.stats(),
         telemetry,
+        tracer,
     }
 }
 

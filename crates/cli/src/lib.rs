@@ -17,7 +17,7 @@
 //! thin wrapper, so the whole tool is unit-testable.
 
 use share_core::{BlockDevice, Ftl, FtlConfig, Lpn, SharePair, TelemetryConfig};
-use share_workloads::{parse_trace, TraceOp};
+use share_workloads::{parse_trace, AccessPattern, TraceConfig, TraceGen, TraceOp};
 use std::fmt::Write as _;
 use std::fs;
 use std::path::Path;
@@ -61,6 +61,11 @@ fn usage() -> String {
      \x20 sharectl metrics <img> [--trace <file>] [--format prom|json]\n\
      \x20\x20\x20\x20 (telemetry snapshot; with --trace, replays first — observation only,\n\
      \x20\x20\x20\x20 nothing is written back to the image)\n\
+     \x20 sharectl trace  <img> [--workload sequential|uniform|zipfian|mixed]\n\
+     \x20\x20\x20\x20 [--ops N] [--seed N] [--out trace.json] [--tree N]\n\
+     \x20\x20\x20\x20 (run a traced workload: per-stream write-amplification table,\n\
+     \x20\x20\x20\x20 optional Chrome trace_event JSON and span-tree dump —\n\
+     \x20\x20\x20\x20 observation only, nothing is written back to the image)\n\
      \x20 sharectl crashsweep [--workload ftl|sqlite|innodb|all] [--trace <file>]\n\
      \x20\x20\x20\x20 [--seed N] [--stride N] [--mode torn-half|dropped-write|after-program|all]\n\
      \x20\x20\x20\x20 [--index N]   (with a single --mode: replay exactly one crash case)\n"
@@ -301,12 +306,134 @@ pub fn run(args: &[String]) -> Result<String> {
             }
             // Observation only: nothing is written back to the image.
         }
+        Some("trace") => {
+            trace_cmd(args, &mut out)?;
+        }
         Some("crashsweep") => {
             crashsweep_cmd(args, &mut out)?;
         }
         _ => return Err(CliError(usage())),
     }
     Ok(out)
+}
+
+/// Causal span tracing: run a synthetic workload against the image with
+/// tracing enabled, print the per-stream write-amplification ledger
+/// (a Figure-6-style breakdown), and optionally export the span tree as
+/// Chrome `trace_event` JSON (`--out`) or a text tree (`--tree N`).
+/// Observation only — nothing is written back to the image.
+fn trace_cmd(args: &[String], out: &mut String) -> Result<()> {
+    let img = args.get(1).ok_or_else(|| CliError(usage()))?;
+    let workload = flag_value(args, "--workload").unwrap_or("zipfian");
+    let ops = flag_value(args, "--ops").map(|v| parse_u64(v, "ops")).transpose()?.unwrap_or(2_000);
+    let seed = flag_value(args, "--seed").map(|v| parse_u64(v, "seed")).transpose()?.unwrap_or(42);
+    let pattern = match workload {
+        "sequential" => AccessPattern::Sequential,
+        "uniform" => AccessPattern::Uniform,
+        "zipfian" => AccessPattern::Zipfian { theta: 0.99 },
+        "mixed" => AccessPattern::Mixed { seq_fraction: 0.5 },
+        other => {
+            return Err(CliError(format!(
+                "bad --workload: {other} (want sequential|uniform|zipfian|mixed)"
+            )))
+        }
+    };
+    let mut dev = load_device_with(img, TelemetryConfig::full())?;
+    let logical = dev.config().logical_pages;
+    // Two host streams split by address: the low 3/4 reads as table/data
+    // traffic, the top 1/4 as journal traffic — enough structure for the
+    // blame ledger to attribute GC against distinct foreground streams.
+    let data = dev.stream_intern("data");
+    let journal = dev.stream_intern("journal");
+    let stream_of = |lpn: u64| if lpn * 4 >= logical * 3 { journal } else { data };
+    let gen = TraceGen::new(TraceConfig {
+        pattern,
+        logical_pages: logical,
+        ops,
+        write_fraction: 0.7,
+        trim_every: 97,
+        flush_every: 64,
+        seed,
+    });
+    let before = dev.stats();
+    let t0 = dev.clock().now_ns();
+    let page = vec![0xCDu8; dev.page_size()];
+    let mut buf = vec![0u8; dev.page_size()];
+    let mut replayed = 0u64;
+    for op in gen {
+        match op {
+            TraceOp::Write { lpn } => {
+                dev.set_stream(stream_of(lpn));
+                dev.write(Lpn(lpn), &page)?
+            }
+            TraceOp::Read { lpn } => {
+                dev.set_stream(stream_of(lpn));
+                dev.read(Lpn(lpn), &mut buf)?
+            }
+            TraceOp::Trim { lpn, len } => {
+                dev.set_stream(stream_of(lpn));
+                dev.trim(Lpn(lpn), len)?
+            }
+            TraceOp::Share { dest, src, len } => {
+                dev.share(&SharePair::range(Lpn(dest), Lpn(src), len))?
+            }
+            TraceOp::Flush => dev.flush()?,
+        }
+        replayed += 1;
+    }
+    let d = dev.stats().delta_since(&before);
+    let dt = dev.clock().now_ns() - t0;
+    let spans = dev.tracer().span_count();
+    writeln!(
+        out,
+        "traced {replayed} {workload} op(s) in {:.3} simulated s: {spans} spans recorded",
+        dt as f64 / 1e9
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "host writes {}  reads {}  WAF {:.3}  GC events {}  copybacks {}",
+        d.host_writes, d.host_reads, d.waf(), d.gc_events, d.copyback_pages
+    )
+    .unwrap();
+    let snap = dev.telemetry_snapshot().expect("FTL always exposes telemetry");
+    writeln!(out, "\nper-stream write-amplification ledger:").unwrap();
+    writeln!(
+        out,
+        "{:<14} {:>10} {:>10} {:>10} {:>10} {:>8}",
+        "stream", "fg_pages", "bg_gc", "bg_log", "bg_ckpt", "WA"
+    )
+    .unwrap();
+    for w in &snap.wa {
+        if w.fg_pages == 0 && w.bg_total() == 0 {
+            continue;
+        }
+        let wa = match w.wa_factor() {
+            Some(f) => format!("{f:.3}"),
+            None => "-".into(),
+        };
+        writeln!(
+            out,
+            "{:<14} {:>10} {:>10} {:>10} {:>10} {:>8}",
+            w.label, w.fg_pages, w.bg_gc, w.bg_log, w.bg_ckpt, wa
+        )
+        .unwrap();
+    }
+    if let Some(path) = flag_value(args, "--out") {
+        let json = dev.tracer().chrome_json().expect("tracing was enabled");
+        fs::write(path, json.render())?;
+        writeln!(out, "\nchrome trace written to {path} (load in chrome://tracing or Perfetto)")
+            .unwrap();
+    }
+    if let Some(n) = flag_value(args, "--tree") {
+        let n = parse_u64(n, "tree")? as usize;
+        writeln!(out, "\nspan tree (first {n} lines):").unwrap();
+        for line in dev.tracer().text_tree().lines().take(n) {
+            writeln!(out, "{line}").unwrap();
+        }
+    }
+    // Observation only: nothing is written back to the image.
+    Ok(())
 }
 
 /// Power-loss recovery sweep (see `crates/crashsweep`). Builds fresh

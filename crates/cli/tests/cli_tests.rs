@@ -158,3 +158,41 @@ fn crashsweep_rejects_bad_arguments() {
     let e = cmd(&["crashsweep", "--workload", "ftl", "--index", "5"]).unwrap_err();
     assert!(e.contains("single --mode"), "{e}");
 }
+
+#[test]
+fn trace_reports_wa_ledger_and_exports_chrome_json() {
+    let dir = tmpdir();
+    let img = dir.join("traced.nand");
+    let img = img.to_str().unwrap();
+    cmd(&["create", img, "16"]).unwrap();
+
+    let json_path = dir.join("trace.json");
+    let info_before = cmd(&["info", img]).unwrap();
+    let out = cmd(&[
+        "trace", img, "--workload", "zipfian", "--ops", "3000", "--seed", "7",
+        "--out", json_path.to_str().unwrap(), "--tree", "5",
+    ])
+    .unwrap();
+    assert!(out.contains("spans recorded"), "{out}");
+    assert!(out.contains("per-stream write-amplification ledger"), "{out}");
+    assert!(out.contains("data"), "data stream missing from WA table: {out}");
+    assert!(out.contains("span tree (first 5 lines)"), "{out}");
+
+    // The exported Chrome trace re-parses through the repo's own JSON parser.
+    let text = std::fs::read_to_string(&json_path).unwrap();
+    let doc = share_core::telemetry::json::parse(&text).expect("chrome trace parses");
+    let events = doc.get("traceEvents").and_then(|e| e.as_array()).expect("traceEvents array");
+    assert!(!events.is_empty(), "no trace events emitted");
+    assert!(
+        text.contains("stream:data") && text.contains("stream:journal"),
+        "stream tracks missing: first 400 bytes: {}",
+        &text[..text.len().min(400)]
+    );
+
+    // Observation only: the traced workload must not persist in the image.
+    let info_after = cmd(&["info", img]).unwrap();
+    assert_eq!(info_before, info_after, "trace must not save the image");
+
+    let e = cmd(&["trace", img, "--workload", "bogus"]).unwrap_err();
+    assert!(e.contains("bad --workload"), "{e}");
+}

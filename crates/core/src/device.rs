@@ -125,6 +125,13 @@ pub trait BlockDevice {
     fn telemetry_snapshot(&self) -> Option<share_telemetry::Snapshot> {
         None
     }
+
+    /// The causal span tracer of this device. Layers above (VFS, engines)
+    /// clone this handle to attach their spans to the same trace tree.
+    /// Devices without tracing return a disabled (no-op) handle.
+    fn tracer(&self) -> share_telemetry::Tracer {
+        share_telemetry::Tracer::disabled()
+    }
 }
 
 /// A conventional SSD without the SHARE extension.

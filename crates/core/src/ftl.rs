@@ -23,7 +23,10 @@ use crate::pool::{BlockPool, WritePoint};
 use crate::stats::DeviceStats;
 use crate::types::{Lpn, Ppn, SharePair};
 use nand_sim::{FaultHandle, NandArray, SimClock};
-use share_telemetry::{OpClass, Snapshot, Telemetry};
+use share_telemetry::{
+    apportion, BlameKind, Layer, OpClass, Snapshot, SpanId, Telemetry, Tracer, Track,
+    UnitUtilization, STREAM_FTL,
+};
 use std::collections::HashSet;
 
 /// Checkpoint when fewer than this many log-ring pages remain.
@@ -76,6 +79,22 @@ pub struct Ftl {
     /// Per-op-class observability (counters, optional histograms/ring).
     /// Records clock *read-outs* only — never advances simulated time.
     telemetry: Telemetry,
+    /// Causal span tracer (disabled unless `cfg.telemetry.trace`); the
+    /// NAND array holds a clone and attaches leaf events to it.
+    tracer: Tracer,
+    /// Stream of the host command currently executing, for attributing
+    /// internal passes it triggers (None outside any host command).
+    cmd_stream: Option<u32>,
+    /// True while GC runs: log flushes it triggers stay FTL-attributed.
+    in_gc: bool,
+    /// WA ledger, GC axis: per data-pool block (relative index), how many
+    /// pages each stream invalidated there. Settled into the telemetry
+    /// blame ledger when the block is collected; cleared on erase.
+    block_blame: Vec<Vec<u64>>,
+    /// WA ledger, log axis: buffered (not yet flushed) deltas per stream.
+    log_blame: Vec<u64>,
+    /// WA ledger, checkpoint axis: deltas per stream since last checkpoint.
+    ckpt_blame: Vec<u64>,
     /// Scratch buffers reused across SHARE commands so the hot path does
     /// not allocate for typical batch sizes (cleared, never shrunk).
     share_dests: Vec<Lpn>,
@@ -94,11 +113,14 @@ impl Ftl {
     }
 
     /// Format `nand` (assumed erased) under `cfg`.
-    pub fn format(cfg: FtlConfig, nand: NandArray) -> Self {
+    pub fn format(cfg: FtlConfig, mut nand: NandArray) -> Self {
         let map = MappingTable::with_policy(cfg.geometry, cfg.logical_pages, cfg.revmap_capacity, cfg.revmap_policy);
         let log = DeltaLog::new(&cfg, 0);
         let pool = BlockPool::new(cfg.geometry, cfg.data_start(), cfg.data_blocks());
         let telemetry = Telemetry::new(cfg.telemetry);
+        let tracer = if cfg.telemetry.trace { Tracer::enabled() } else { Tracer::disabled() };
+        nand.set_tracer(tracer.clone());
+        let data_blocks = cfg.data_blocks() as usize;
         let mut ftl = Self {
             cfg,
             nand,
@@ -109,6 +131,12 @@ impl Ftl {
             last_ckpt_slot: 1,
             next_ckpt_gen: 0,
             telemetry,
+            tracer,
+            cmd_stream: None,
+            in_gc: false,
+            block_blame: vec![Vec::new(); data_blocks],
+            log_blame: Vec::new(),
+            ckpt_blame: Vec::new(),
             share_dests: Vec::new(),
             share_srcs: Vec::new(),
             share_incs: Vec::new(),
@@ -163,6 +191,11 @@ impl Ftl {
 
         let log = DeltaLog::new(&cfg, next_seq);
         let telemetry = Telemetry::new(cfg.telemetry);
+        let tracer = if cfg.telemetry.trace { Tracer::enabled() } else { Tracer::disabled() };
+        nand.set_tracer(tracer.clone());
+        let recovery_span =
+            tracer.begin(Layer::Ftl, "recovery", Track::Stream(STREAM_FTL), recovery_t0);
+        let data_blocks = cfg.data_blocks() as usize;
         let mut ftl = Self {
             cfg,
             nand,
@@ -173,6 +206,12 @@ impl Ftl {
             last_ckpt_slot: slot,
             next_ckpt_gen: gen,
             telemetry,
+            tracer,
+            cmd_stream: None,
+            in_gc: false,
+            block_blame: vec![Vec::new(); data_blocks],
+            log_blame: Vec::new(),
+            ckpt_blame: Vec::new(),
             share_dests: Vec::new(),
             share_srcs: Vec::new(),
             share_incs: Vec::new(),
@@ -196,6 +235,7 @@ impl Ftl {
             ftl.nand.now_ns(),
             true,
         );
+        ftl.tracer.end(recovery_span, ftl.nand.now_ns(), spent.page_reads + spent.page_programs, true);
         Ok(ftl)
     }
 
@@ -260,17 +300,116 @@ impl Ftl {
         Ok(())
     }
 
+    /// Stream to attribute an internal pass to: the host command that
+    /// triggered it, unless GC is running (GC work stays FTL-attributed).
+    fn bg_attr(&self) -> Option<u32> {
+        if self.in_gc {
+            None
+        } else {
+            self.cmd_stream
+        }
+    }
+
+    /// Note a mapping delta created on behalf of `stream`: it weighs into
+    /// the blame apportionment of the next log flush and checkpoint.
+    fn note_delta(&mut self, stream: u32, n: u64) {
+        let idx = stream as usize;
+        if self.log_blame.len() <= idx {
+            self.log_blame.resize(idx + 1, 0);
+        }
+        if self.ckpt_blame.len() <= idx {
+            self.ckpt_blame.resize(idx + 1, 0);
+        }
+        self.log_blame[idx] += n;
+        self.ckpt_blame[idx] += n;
+    }
+
+    /// Note that `old`'s physical page died: the stream running the
+    /// current command turned a page in `old`'s block into garbage, so it
+    /// is blamed for a share of that block's eventual GC copyback.
+    fn note_invalidation(&mut self, old: &crate::mapping::Unmapped) {
+        if !old.died {
+            return;
+        }
+        let block = self.cfg.geometry.block_of(old.old_ppn);
+        let Some(rel) = self.pool.rel(block) else { return };
+        let stream = self.telemetry.current_stream() as usize;
+        let blame = &mut self.block_blame[rel as usize];
+        if blame.len() <= stream {
+            blame.resize(stream + 1, 0);
+        }
+        blame[stream] += 1;
+    }
+
+    /// Settle `pages` background programs into the WA ledger, apportioned
+    /// across per-stream `weights` (largest remainder, exact sum). With no
+    /// weights recorded the pages fall to the reserved `ftl` stream.
+    fn settle_blame(&mut self, kind: BlameKind, pages: u64, weights: &[u64]) {
+        if pages == 0 {
+            return;
+        }
+        if weights.iter().all(|&w| w == 0) {
+            self.telemetry.blame(STREAM_FTL, kind, pages);
+            return;
+        }
+        for (stream, share) in apportion(pages, weights).into_iter().enumerate() {
+            if share > 0 {
+                self.telemetry.blame(stream as u32, kind, share);
+            }
+        }
+    }
+
+    /// Settle a finished log flush: blame its pages and zero the weights
+    /// (the buffered deltas they tracked are now on flash).
+    fn settle_log_blame(&mut self, pages: u64) {
+        let mut w = std::mem::take(&mut self.log_blame);
+        self.settle_blame(BlameKind::LogFlush, pages, &w);
+        w.iter_mut().for_each(|x| *x = 0);
+        self.log_blame = w;
+    }
+
     fn flush_log(&mut self) -> Result<(), FtlError> {
         let before = self.log.pages_written;
         let t0 = self.nand.now_ns();
+        let span = self.begin_span("log_flush", STREAM_FTL, t0);
         let r = self.log.flush(&mut self.nand);
         let pages = self.log.pages_written - before;
+        self.tracer.end(span, self.nand.now_ns(), pages, r.is_ok());
         if pages > 0 || r.is_err() {
-            self.telemetry.record(OpClass::LogFlush, 0, pages, t0, self.nand.now_ns(), r.is_ok());
+            self.telemetry.record_as(
+                OpClass::LogFlush,
+                self.bg_attr(),
+                0,
+                pages,
+                t0,
+                self.nand.now_ns(),
+                r.is_ok(),
+            );
         }
         r?;
         self.stats.meta_page_writes += pages;
+        self.settle_log_blame(pages);
         self.maybe_checkpoint()
+    }
+
+    /// Open an FTL-layer span (no-op when tracing is off).
+    fn begin_span(&self, name: &str, stream: u32, start_ns: u64) -> SpanId {
+        self.tracer.begin(Layer::Ftl, name, Track::Stream(stream), start_ns)
+    }
+
+    /// Enter a host command: remember its stream (internal passes it
+    /// triggers inherit it) and open its span on the stream's track.
+    fn begin_command(&mut self, name: &str) -> (u64, SpanId) {
+        let t0 = self.nand.now_ns();
+        let stream = self.telemetry.current_stream();
+        self.cmd_stream = Some(stream);
+        (t0, self.begin_span(name, stream, t0))
+    }
+
+    /// Leave a host command, closing its span.
+    fn end_command(&mut self, span: SpanId, pages: u64, ok: bool) {
+        self.tracer.end(span, self.nand.now_ns(), pages, ok);
+        self.cmd_stream = None;
     }
 
     fn maybe_checkpoint(&mut self) -> Result<(), FtlError> {
@@ -283,15 +422,28 @@ impl Ftl {
     /// Persist a base mapping snapshot and truncate the delta log.
     pub fn checkpoint(&mut self) -> Result<(), FtlError> {
         let t0 = self.nand.now_ns();
+        let span = self.begin_span("checkpoint", STREAM_FTL, t0);
         let r = self.checkpoint_inner();
         let pages = *r.as_ref().unwrap_or(&0);
-        self.telemetry.record(OpClass::Checkpoint, 0, pages, t0, self.nand.now_ns(), r.is_ok());
+        self.tracer.end(span, self.nand.now_ns(), pages, r.is_ok());
+        self.telemetry.record_as(
+            OpClass::Checkpoint,
+            self.bg_attr(),
+            0,
+            pages,
+            t0,
+            self.nand.now_ns(),
+            r.is_ok(),
+        );
         r.map(|_| ())
     }
 
     fn checkpoint_inner(&mut self) -> Result<u64, FtlError> {
-        // RAM-buffered deltas are already reflected in the snapshot.
+        // RAM-buffered deltas are already reflected in the snapshot; their
+        // log pages will never be written, so the log blame weights reset
+        // too (the activity still weighs into this checkpoint's blame).
         self.log.clear_buffered();
+        self.log_blame.iter_mut().for_each(|x| *x = 0);
         let slot = 1 - self.last_ckpt_slot;
         let seq = self.log.next_seq();
         let l2p = self.map.l2p_raw().to_vec();
@@ -302,6 +454,10 @@ impl Ftl {
         self.next_ckpt_gen = gen + 1;
         self.stats.checkpoints += 1;
         self.stats.meta_page_writes += pages;
+        let mut w = std::mem::take(&mut self.ckpt_blame);
+        self.settle_blame(BlameKind::Checkpoint, pages, &w);
+        w.iter_mut().for_each(|x| *x = 0);
+        self.ckpt_blame = w;
         Ok(pages)
     }
 
@@ -342,11 +498,16 @@ impl Ftl {
         let t0 = self.nand.now_ns();
         let copied_before = self.stats.copyback_pages;
         let victim = self.pool.abs(rel);
+        let span = self.begin_span("gc", STREAM_FTL, t0);
+        self.in_gc = true;
         let r = self.collect_victim(rel, valid);
+        self.in_gc = false;
+        let copied = self.stats.copyback_pages - copied_before;
+        self.tracer.end(span, self.nand.now_ns(), copied, r.is_ok());
         self.telemetry.record(
             OpClass::Gc,
             victim.0 as u64,
-            self.stats.copyback_pages - copied_before,
+            copied,
             t0,
             self.nand.now_ns(),
             r.is_ok(),
@@ -381,9 +542,15 @@ impl Ftl {
             for (&ppn, &dest) in live.iter().zip(&dests) {
                 for lpn in self.map.relocate(ppn, dest)? {
                     self.log.append(Delta { lpn, old: ppn, new: dest });
+                    self.note_delta(STREAM_FTL, 1);
                 }
                 self.stats.copyback_pages += 1;
             }
+            // Blame the copybacks on the streams whose invalidations
+            // hollowed this block out (exact-sum apportionment).
+            let w = std::mem::take(&mut self.block_blame[rel as usize]);
+            self.settle_blame(BlameKind::Gc, live.len() as u64, &w);
+            self.block_blame[rel as usize] = w;
         }
         // The persisted mapping must stop referencing the victim before the
         // victim's data disappears.
@@ -391,6 +558,7 @@ impl Ftl {
         self.nand.erase(block)?;
         self.stats.gc_erases += 1;
         self.pool.release(rel);
+        self.block_blame[rel as usize].clear();
         Ok(())
     }
 
@@ -491,7 +659,10 @@ impl Ftl {
         let mut res = Ok(());
         for (p, &src_ppn) in pairs.iter().zip(&src_ppns) {
             match self.map.map_shared(p.dest, src_ppn) {
-                Ok(old) => deltas.push(Delta { lpn: p.dest, old: old.old_ppn, new: src_ppn }),
+                Ok(old) => {
+                    self.note_invalidation(&old);
+                    deltas.push(Delta { lpn: p.dest, old: old.old_ppn, new: src_ppn });
+                }
                 Err(e) => {
                     res = Err(e);
                     break;
@@ -501,10 +672,22 @@ impl Ftl {
         if res.is_ok() {
             let before = self.log.pages_written;
             let t0 = self.nand.now_ns();
+            self.note_delta(self.telemetry.current_stream(), deltas.len() as u64);
+            let span = self.begin_span("log_flush", STREAM_FTL, t0);
             res = self.log.flush_atomic_batch(&mut self.nand, &deltas);
             let pages = self.log.pages_written - before;
-            self.telemetry.record(OpClass::LogFlush, 0, pages, t0, self.nand.now_ns(), res.is_ok());
+            self.tracer.end(span, self.nand.now_ns(), pages, res.is_ok());
+            self.telemetry.record_as(
+                OpClass::LogFlush,
+                self.bg_attr(),
+                0,
+                pages,
+                t0,
+                self.nand.now_ns(),
+                res.is_ok(),
+            );
             self.stats.meta_page_writes += pages;
+            self.settle_log_blame(pages);
         }
         self.share_src_ppns = src_ppns;
         self.share_deltas = deltas;
@@ -578,7 +761,9 @@ impl Ftl {
         let ppn = self.pool.alloc(&self.nand, WritePoint::User)?;
         self.nand.program(ppn, data)?;
         let old = self.map.map_new_write(lpn, ppn)?;
+        self.note_invalidation(&old);
         self.log.append(Delta { lpn, old: old.old_ppn, new: ppn });
+        self.note_delta(self.telemetry.current_stream(), 1);
         if self.log.buffer_full() {
             self.flush_log()?;
         }
@@ -591,8 +776,10 @@ impl Ftl {
             let l = lpn.offset(i);
             self.check_lpn(l)?;
             let old = self.map.unmap(l);
+            self.note_invalidation(&old);
             if old.old_ppn.is_valid() {
                 self.log.append(Delta { lpn: l, old: old.old_ppn, new: Ppn::INVALID });
+                self.note_delta(self.telemetry.current_stream(), 1);
             }
             self.stats.trims += 1;
             if self.log.buffer_full() {
@@ -668,7 +855,9 @@ impl Ftl {
                 let dests = self.program_user_submission(&chunk[done..])?;
                 for ((lpn, _), &ppn) in chunk[done..].iter().zip(&dests) {
                     let old = self.map.map_new_write(*lpn, ppn)?;
+                    self.note_invalidation(&old);
                     self.log.append(Delta { lpn: *lpn, old: old.old_ppn, new: ppn });
+                    self.note_delta(self.telemetry.current_stream(), 1);
                     if self.log.buffer_full() {
                         self.flush_log()?;
                     }
@@ -711,6 +900,7 @@ impl Ftl {
                 let dests = self.program_user_submission(&chunk[done..])?;
                 for ((lpn, _), &ppn) in chunk[done..].iter().zip(&dests) {
                     let old = self.map.map_new_write(*lpn, ppn)?;
+                    self.note_invalidation(&old);
                     deltas.push(Delta { lpn: *lpn, old: old.old_ppn, new: ppn });
                 }
                 done += dests.len();
@@ -721,11 +911,23 @@ impl Ftl {
         }
         let before = self.log.pages_written;
         let t0 = self.nand.now_ns();
+        self.note_delta(self.telemetry.current_stream(), deltas.len() as u64);
+        let span = self.begin_span("log_flush", STREAM_FTL, t0);
         let r = self.log.flush_atomic_batch(&mut self.nand, &deltas);
         let meta_pages = self.log.pages_written - before;
-        self.telemetry.record(OpClass::LogFlush, 0, meta_pages, t0, self.nand.now_ns(), r.is_ok());
+        self.tracer.end(span, self.nand.now_ns(), meta_pages, r.is_ok());
+        self.telemetry.record_as(
+            OpClass::LogFlush,
+            self.bg_attr(),
+            0,
+            meta_pages,
+            t0,
+            self.nand.now_ns(),
+            r.is_ok(),
+        );
         r?;
         self.stats.meta_page_writes += meta_pages;
+        self.settle_log_blame(meta_pages);
         self.maybe_checkpoint()
     }
 }
@@ -740,31 +942,35 @@ impl BlockDevice for Ftl {
     }
 
     fn read(&mut self, lpn: Lpn, buf: &mut [u8]) -> Result<(), FtlError> {
-        let t0 = self.nand.now_ns();
+        let (t0, span) = self.begin_command("read");
         let r = self.read_impl(lpn, buf);
+        self.end_command(span, 1, r.is_ok());
         self.telemetry.record(OpClass::Read, lpn.0, 1, t0, self.nand.now_ns(), r.is_ok());
         r
     }
 
     fn write(&mut self, lpn: Lpn, data: &[u8]) -> Result<(), FtlError> {
-        let t0 = self.nand.now_ns();
+        let (t0, span) = self.begin_command("write");
         let r = self.write_impl(lpn, data);
+        self.end_command(span, 1, r.is_ok());
         self.telemetry.record(OpClass::Write, lpn.0, 1, t0, self.nand.now_ns(), r.is_ok());
         r
     }
 
     fn flush(&mut self) -> Result<(), FtlError> {
-        let t0 = self.nand.now_ns();
+        let (t0, span) = self.begin_command("flush");
         self.stats.flushes += 1;
         self.nand.clock().advance(self.cfg.command_ns);
         let r = self.flush_log();
+        self.end_command(span, 0, r.is_ok());
         self.telemetry.record(OpClass::Flush, 0, 0, t0, self.nand.now_ns(), r.is_ok());
         r
     }
 
     fn trim(&mut self, lpn: Lpn, len: u64) -> Result<(), FtlError> {
-        let t0 = self.nand.now_ns();
+        let (t0, span) = self.begin_command("trim");
         let r = self.trim_impl(lpn, len);
+        self.end_command(span, len, r.is_ok());
         self.telemetry.record(OpClass::Trim, lpn.0, len, t0, self.nand.now_ns(), r.is_ok());
         r
     }
@@ -776,8 +982,9 @@ impl BlockDevice for Ftl {
         if pairs.is_empty() {
             return Ok(());
         }
-        let t0 = self.nand.now_ns();
+        let (t0, span) = self.begin_command("share");
         let r = self.share_impl(pairs);
+        self.end_command(span, pairs.len() as u64, r.is_ok());
         self.telemetry.record(
             OpClass::Share,
             pairs[0].dest.0,
@@ -798,8 +1005,9 @@ impl BlockDevice for Ftl {
         if pairs.is_empty() {
             return Ok(());
         }
-        let t0 = self.nand.now_ns();
+        let (t0, span) = self.begin_command("share_batch");
         let r = self.share_batch_impl(pairs);
+        self.end_command(span, pairs.len() as u64, r.is_ok());
         self.telemetry.record(
             OpClass::ShareBatch,
             pairs[0].dest.0,
@@ -818,10 +1026,11 @@ impl BlockDevice for Ftl {
     /// Batched read: mapped pages go to the NAND as one submission, so
     /// reads on distinct channel-ways overlap in simulated time.
     fn read_batch(&mut self, reqs: &mut [(Lpn, &mut [u8])]) -> Result<(), FtlError> {
-        let t0 = self.nand.now_ns();
+        let (t0, span) = self.begin_command("read_batch");
         let first = reqs.first().map_or(0, |(lpn, _)| lpn.0);
         let n = reqs.len() as u64;
         let r = self.read_batch_impl(reqs);
+        self.end_command(span, n, r.is_ok());
         self.telemetry.record(OpClass::ReadBatch, first, n, t0, self.nand.now_ns(), r.is_ok());
         r
     }
@@ -831,10 +1040,11 @@ impl BlockDevice for Ftl {
     /// programs overlap across channel-ways. Ordering and durability
     /// semantics match the equivalent sequence of single writes.
     fn write_batch(&mut self, pages: &[(Lpn, &[u8])]) -> Result<(), FtlError> {
-        let t0 = self.nand.now_ns();
+        let (t0, span) = self.begin_command("write_batch");
         let first = pages.first().map_or(0, |(lpn, _)| lpn.0);
         let n = pages.len() as u64;
         let r = self.write_batch_impl(pages);
+        self.end_command(span, n, r.is_ok());
         self.telemetry.record(OpClass::WriteBatch, first, n, t0, self.nand.now_ns(), r.is_ok());
         r
     }
@@ -847,10 +1057,11 @@ impl BlockDevice for Ftl {
         if pages.is_empty() {
             return Ok(());
         }
-        let t0 = self.nand.now_ns();
+        let (t0, span) = self.begin_command("write_atomic");
         let first = pages[0].0 .0;
         let n = pages.len() as u64;
         let r = self.write_atomic_impl(pages);
+        self.end_command(span, n, r.is_ok());
         self.telemetry.record(OpClass::WriteAtomic, first, n, t0, self.nand.now_ns(), r.is_ok());
         r
     }
@@ -870,7 +1081,9 @@ impl BlockDevice for Ftl {
     }
 
     fn stream_intern(&mut self, label: &str) -> u32 {
-        self.telemetry.intern(label)
+        let id = self.telemetry.intern(label);
+        self.tracer.set_stream_label(id, label);
+        id
     }
 
     fn set_stream(&mut self, stream: u32) {
@@ -878,7 +1091,25 @@ impl BlockDevice for Ftl {
     }
 
     fn telemetry_snapshot(&self) -> Option<Snapshot> {
-        Some(self.telemetry.snapshot())
+        let mut snap = self.telemetry.snapshot();
+        let channels = self.cfg.geometry.channels;
+        snap.units = self
+            .nand
+            .busy_ns()
+            .iter()
+            .enumerate()
+            .map(|(unit, &busy_ns)| UnitUtilization {
+                channel: unit as u32 % channels,
+                way: unit as u32 / channels,
+                busy_ns,
+            })
+            .collect();
+        snap.now_ns = self.nand.now_ns();
+        Some(snap)
+    }
+
+    fn tracer(&self) -> Tracer {
+        self.tracer.clone()
     }
 }
 
@@ -1608,6 +1839,133 @@ mod tests {
         assert!(!snap.op(share_telemetry::OpClass::Write).hist.is_empty());
         assert!(!snap.events.is_empty());
         assert!(plain.telemetry().snapshot().events.is_empty());
+    }
+
+    #[test]
+    fn tracing_leaves_simulated_results_bit_identical() {
+        // The tracer only *reads* clock values around work that happens
+        // anyway, so a traced run must be indistinguishable from an
+        // untraced one in simulated time and every DeviceStats counter.
+        let cfg = FtlConfig::for_capacity_with(1 << 20, 0.5, 4096, 16, NandTiming::default());
+        let mut plain = Ftl::new(cfg.clone());
+        let mut traced =
+            Ftl::new(cfg.with_telemetry(share_telemetry::TelemetryConfig::tracing()));
+        mixed_workload(&mut plain);
+        mixed_workload(&mut traced);
+        assert_eq!(plain.clock().now_ns(), traced.clock().now_ns());
+        assert_eq!(plain.stats(), traced.stats());
+        assert!(!plain.tracer().is_enabled());
+        assert_eq!(plain.tracer().span_count(), 0);
+        assert!(traced.tracer().span_count() > 0, "traced run must collect spans");
+    }
+
+    #[test]
+    fn trace_spans_nest_ftl_over_nand_and_export() {
+        let cfg = FtlConfig::for_capacity_with(1 << 20, 0.5, 4096, 16, NandTiming::default())
+            .with_telemetry(share_telemetry::TelemetryConfig::tracing());
+        let mut f = Ftl::new(cfg);
+        let wal = f.stream_intern("wal");
+        f.set_stream(wal);
+        f.write(Lpn(3), &pagev(7, &f)).unwrap();
+        let spans = f.tracer().spans();
+        let write = spans
+            .iter()
+            .find(|s| s.name == "write" && s.layer == Layer::Ftl)
+            .expect("ftl write span");
+        assert_eq!(write.track, Track::Stream(wal));
+        let program = spans
+            .iter()
+            .find(|s| s.name == "program" && s.layer == Layer::Nand && s.parent == write.id)
+            .expect("NAND program leaf hangs off the FTL command span");
+        assert!(write.start_ns <= program.start_ns && program.end_ns <= write.end_ns);
+        // The export names the interned stream's track and re-parses.
+        let doc = f.tracer().chrome_json().expect("enabled tracer exports");
+        let text = doc.render();
+        assert!(text.contains("stream:wal"));
+        share_telemetry::json::parse(&text).expect("chrome trace re-parses");
+    }
+
+    #[test]
+    fn wa_ledger_sums_exactly_to_background_programs() {
+        let mut f = tiny();
+        let wal = f.stream_intern("wal");
+        f.set_stream(wal);
+        mixed_workload(&mut f);
+        let s = f.stats();
+        assert!(s.gc_events > 0, "workload must trigger GC");
+        let snap = f.telemetry_snapshot().unwrap();
+        let bg_gc: u64 = snap.wa.iter().map(|w| w.bg_gc).sum();
+        let bg_meta: u64 = snap.wa.iter().map(|w| w.bg_log + w.bg_ckpt).sum();
+        assert_eq!(bg_gc, s.copyback_pages, "GC blame must sum to copyback pages");
+        assert_eq!(bg_meta, s.meta_page_writes, "log+ckpt blame must sum to meta pages");
+        assert_eq!(f.telemetry().blamed_total(), s.copyback_pages + s.meta_page_writes);
+        // The busy workload ran under the `wal` stream, so the ledger must
+        // pin background work on it, not just the ftl fallback.
+        let wal_wa = snap.wa.iter().find(|w| w.label == "wal").unwrap();
+        assert!(wal_wa.bg_total() > 0, "foreground stream must carry blame");
+        assert!(wal_wa.wa_factor().unwrap() > 1.0);
+    }
+
+    #[test]
+    fn log_flush_inside_host_command_inherits_its_stream() {
+        // Satellite regression: a delta-log flush triggered mid-command
+        // (RAM buffer filled during a large write_batch) must surface in
+        // the command ring under the host command's stream, while GC's own
+        // flushes stay on the reserved ftl stream.
+        let cfg = FtlConfig::for_capacity_with(4 << 20, 0.5, 4096, 16, NandTiming::zero())
+            .with_telemetry(share_telemetry::TelemetryConfig::full());
+        let mut f = Ftl::new(cfg);
+        let dwb = f.stream_intern("doublewrite");
+        f.set_stream(dwb);
+        let ps = f.page_size();
+        let n = f.config().deltas_per_page() * 2 + 8; // forces buffered flushes
+        let pages: Vec<Vec<u8>> = (0..n).map(|i| vec![(i % 251) as u8; ps]).collect();
+        let batch: Vec<(Lpn, &[u8])> =
+            pages.iter().enumerate().map(|(i, p)| (Lpn(i as u64), p.as_slice())).collect();
+        f.write_batch(&batch).unwrap();
+        let events = f.telemetry().snapshot().events;
+        let flushes: Vec<_> =
+            events.iter().filter(|e| e.op == OpClass::LogFlush).collect();
+        assert!(!flushes.is_empty(), "batch must trigger a mid-command log flush");
+        assert!(
+            flushes.iter().all(|e| e.stream == dwb),
+            "mid-command log flushes must inherit the doublewrite stream"
+        );
+        // Now push the device into GC under the same stream: GC-triggered
+        // flushes must NOT inherit it.
+        let logical = f.capacity_pages();
+        for round in 0..6u64 {
+            for i in 0..logical / 2 {
+                f.write(Lpn(i), &vec![((i + round) % 251) as u8; ps]).unwrap();
+            }
+        }
+        assert!(f.stats().gc_events > 0);
+        let events = f.telemetry().snapshot().events;
+        let gc_flush = events
+            .iter()
+            .filter(|e| e.op == OpClass::LogFlush)
+            .any(|e| e.stream == STREAM_FTL);
+        assert!(gc_flush, "GC's log flushes stay on the ftl stream");
+    }
+
+    #[test]
+    fn unit_utilization_snapshot_tracks_channels() {
+        let cfg = FtlConfig::for_capacity_with(4 << 20, 0.5, 4096, 16, NandTiming::default())
+            .with_parallelism(4, 1);
+        let mut f = Ftl::new(cfg);
+        let ps = f.page_size();
+        let pages: Vec<Vec<u8>> = (0..64u8).map(|i| vec![i; ps]).collect();
+        let batch: Vec<(Lpn, &[u8])> =
+            pages.iter().enumerate().map(|(i, p)| (Lpn(i as u64), p.as_slice())).collect();
+        f.write_batch(&batch).unwrap();
+        let snap = f.telemetry_snapshot().unwrap();
+        assert_eq!(snap.units.len(), 4, "one utilization row per channel-way");
+        assert!(snap.now_ns > 0);
+        for u in &snap.units {
+            assert!(u.busy_ns > 0, "striped batch keeps every unit busy");
+            assert!(u.busy_ns <= snap.now_ns, "busy time cannot exceed wall time");
+        }
+        assert_eq!(snap.units.iter().map(|u| u.channel).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
     }
 
     #[test]

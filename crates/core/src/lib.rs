@@ -70,7 +70,9 @@ pub use util::crc32c;
 /// Re-exported observability subsystem (see the `share-telemetry` crate):
 /// op-class counters, latency histograms, command ring, exporters.
 pub use share_telemetry as telemetry;
-pub use share_telemetry::{OpClass, Snapshot, Telemetry, TelemetryConfig};
+pub use share_telemetry::{
+    Layer, OpClass, Snapshot, Span, SpanId, Telemetry, TelemetryConfig, Track, Tracer,
+};
 
 /// Result alias for device operations.
 pub type Result<T> = std::result::Result<T, FtlError>;

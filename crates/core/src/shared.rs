@@ -127,6 +127,10 @@ impl<D: BlockDevice> BlockDevice for SharedDevice<D> {
     fn telemetry_snapshot(&self) -> Option<share_telemetry::Snapshot> {
         self.lock().telemetry_snapshot()
     }
+
+    fn tracer(&self) -> share_telemetry::Tracer {
+        self.lock().tracer()
+    }
 }
 
 #[cfg(test)]

@@ -35,6 +35,13 @@ impl<D: BlockDevice> CouchStore<D> {
     /// Compact the database, replacing its file. Pending updates are
     /// committed first. Returns traffic/time accounting for the run.
     pub fn compact(&mut self) -> Result<CompactionReport, CouchError> {
+        let span = self.root_span("compaction");
+        let r = self.compact_inner();
+        self.end_span(span, r.is_ok());
+        r
+    }
+
+    fn compact_inner(&mut self) -> Result<CompactionReport, CouchError> {
         self.commit()?;
         let clock = self.fs.device().clock().clone();
         let stats0 = self.fs.device().stats();

@@ -17,6 +17,7 @@ use crate::format::{
 };
 use crate::CouchError;
 use share_core::BlockDevice;
+use share_telemetry::{Layer, SpanId, Track};
 use share_vfs::{FileId, Vfs};
 use std::collections::{BTreeMap, HashMap};
 
@@ -503,10 +504,26 @@ impl<D: BlockDevice> CouchStore<D> {
         Ok(())
     }
 
+    /// Open a root span on the engine track (no-op without tracing).
+    pub(crate) fn root_span(&self, name: &'static str) -> SpanId {
+        self.fs.tracer().begin(Layer::Engine, name, Track::Engine, self.fs.device().clock().now_ns())
+    }
+
+    pub(crate) fn end_span(&self, id: SpanId, ok: bool) {
+        self.fs.tracer().end(id, self.fs.device().clock().now_ns(), 0, ok);
+    }
+
     /// Commit: make everything since the last commit durable. In SHARE mode
     /// an update-only batch costs one fsync plus one share command; any
     /// pending tree changes take the wandering-tree path.
     pub fn commit(&mut self) -> Result<(), CouchError> {
+        let span = self.root_span("txn_commit");
+        let r = self.commit_inner();
+        self.end_span(span, r.is_ok());
+        r
+    }
+
+    fn commit_inner(&mut self) -> Result<(), CouchError> {
         if self.ops_since_commit == 0 && self.pending.is_empty() && self.pending_shares.is_empty() {
             return Ok(());
         }

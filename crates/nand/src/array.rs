@@ -6,6 +6,7 @@ use crate::fault::{FaultHandle, FaultMode};
 use crate::geometry::{BlockId, NandGeometry, NandTiming, Ppn};
 use crate::stats::NandStats;
 use crate::Result;
+use share_telemetry::{Layer, Track, Tracer};
 
 /// Lifecycle state of one physical page.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,6 +55,12 @@ pub struct NandArray {
     /// every unit, because each submission advances the clock to its max
     /// completion time.
     busy_until: Vec<u64>,
+    /// Cumulative service time per unit — busy/idle utilization counters.
+    /// Runtime-only (never persisted in images).
+    busy_ns: Vec<u64>,
+    /// Span tracer for per-unit leaf events (disabled by default; the FTL
+    /// hands its handle down when tracing is configured).
+    tracer: Tracer,
 }
 
 impl NandArray {
@@ -76,6 +83,8 @@ impl NandArray {
             erase_counts: vec![0; geometry.blocks as usize],
             stats: NandStats::default(),
             busy_until: vec![0; geometry.units() as usize],
+            busy_ns: vec![0; geometry.units() as usize],
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -103,6 +112,18 @@ impl NandArray {
     /// Fault-injection handle for this array.
     pub fn fault_handle(&self) -> FaultHandle {
         self.fault.clone()
+    }
+
+    /// Attach a span tracer: subsequent operations emit per-unit leaf
+    /// events carrying the dispatch-accurate start/end times.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Cumulative busy time per unit, indexed like `busy_until` (unit
+    /// `u` is channel `u % channels`, way `u / channels`).
+    pub fn busy_ns(&self) -> &[u64] {
+        &self.busy_ns
     }
 
     /// Cumulative operation counters.
@@ -159,7 +180,28 @@ impl NandArray {
         let start = self.busy_until[unit].max(t0);
         let end = start + service_ns;
         self.busy_until[unit] = end;
+        self.busy_ns[unit] += service_ns;
         end
+    }
+
+    /// Emit a per-unit leaf span for an operation that occupied `unit`
+    /// until `end` for `service_ns`. Reads times already computed by
+    /// [`Self::dispatch`] — never touches the clock.
+    fn trace_leaf(&self, name: &str, unit: usize, end: u64, service_ns: u64, pages: u64, ok: bool) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        let channel = unit as u32 % self.geometry.channels;
+        let way = unit as u32 / self.geometry.channels;
+        self.tracer.leaf(
+            Layer::Nand,
+            name,
+            Track::Unit { channel, way },
+            end - service_ns,
+            end,
+            pages,
+            ok,
+        );
     }
 
     /// One page read, dispatched at `t0`. Returns the completion time (or
@@ -173,7 +215,9 @@ impl NandArray {
             return (t0, Err(e));
         }
         let unit = self.geometry.unit_of(ppn) as usize;
-        let end = self.dispatch(unit, t0, self.timing.read_ns + self.timing.xfer_ns(buf.len()));
+        let service = self.timing.read_ns + self.timing.xfer_ns(buf.len());
+        let end = self.dispatch(unit, t0, service);
+        self.trace_leaf("read", unit, end, service, 1, true);
         self.stats.page_reads += 1;
         match &self.pages[ppn.0 as usize] {
             Some(data) => buf.copy_from_slice(data),
@@ -205,9 +249,11 @@ impl NandArray {
         }
 
         let unit = self.geometry.unit_of(ppn) as usize;
-        let end = self.dispatch(unit, t0, self.timing.program_ns + self.timing.xfer_ns(data.len()));
+        let service = self.timing.program_ns + self.timing.xfer_ns(data.len());
+        let end = self.dispatch(unit, t0, service);
 
         if let Some(mode) = self.fault.on_program() {
+            self.trace_leaf("program", unit, end, service, 1, false);
             match mode {
                 FaultMode::TornHalf => {
                     let mut torn = vec![ERASED_BYTE; data.len()];
@@ -235,6 +281,7 @@ impl NandArray {
         self.pages[idx] = Some(data.to_vec().into_boxed_slice());
         self.next_page[block.0 as usize] = in_block + 1;
         self.stats.page_programs += 1;
+        self.trace_leaf("program", unit, end, service, 1, true);
         (end, Ok(()))
     }
 
@@ -250,6 +297,7 @@ impl NandArray {
         }
         let unit = self.geometry.unit_of_block(block) as usize;
         let end = self.dispatch(unit, t0, self.timing.erase_ns);
+        self.trace_leaf("erase", unit, end, self.timing.erase_ns, 0, true);
         let start = self.geometry.first_ppn(block).0 as usize;
         let last = start + self.geometry.pages_per_block as usize;
         for i in start..last {
@@ -410,6 +458,8 @@ impl NandArray {
             erase_counts,
             stats,
             busy_until: vec![0; geometry.units() as usize],
+            busy_ns: vec![0; geometry.units() as usize],
+            tracer: Tracer::disabled(),
         })
     }
 }
@@ -698,6 +748,48 @@ mod tests {
         let reqs: Vec<(Ppn, &[u8])> = (0..4).map(|i| (Ppn(i), data.as_slice())).collect();
         a.program_batch(&reqs).unwrap();
         assert_eq!(a.clock().now_ns(), 4 * (t.program_ns + t.xfer_ns(512)));
+    }
+
+    #[test]
+    fn busy_counters_track_per_unit_service_time() {
+        let mut a = four_channel();
+        let t = a.timing();
+        let data = page(0xEE, 512);
+        // Blocks 0 and 4 share unit 0; block 1 is unit 1 — one submission.
+        let reqs: Vec<(Ppn, &[u8])> = vec![(Ppn(0), &data), (Ppn(16), &data), (Ppn(4), &data)];
+        a.program_batch(&reqs).unwrap();
+        let p = t.program_ns + t.xfer_ns(512);
+        assert_eq!(a.busy_ns()[0], 2 * p);
+        assert_eq!(a.busy_ns()[1], p);
+        assert_eq!(a.busy_ns()[2], 0);
+        a.erase(BlockId(2)).unwrap();
+        assert_eq!(a.busy_ns()[2], t.erase_ns);
+        // busy time never exceeds wall (sim) time per unit.
+        for &b in a.busy_ns() {
+            assert!(b <= a.now_ns());
+        }
+    }
+
+    #[test]
+    fn tracer_records_unit_accurate_leaf_windows() {
+        use share_telemetry::Track;
+        let mut a = four_channel();
+        let tr = Tracer::enabled();
+        a.set_tracer(tr.clone());
+        let t = a.timing();
+        let data = page(0x1F, 512);
+        // Same-unit queueing: the second program's window starts where the
+        // first ends, even though both were submitted at t0 = 0.
+        a.program_batch(&[(Ppn(0), &data), (Ppn(1), &data)]).unwrap();
+        let spans = tr.spans();
+        assert_eq!(spans.len(), 2);
+        let p = t.program_ns + t.xfer_ns(512);
+        assert_eq!((spans[0].start_ns, spans[0].end_ns), (0, p));
+        assert_eq!((spans[1].start_ns, spans[1].end_ns), (p, 2 * p));
+        assert_eq!(spans[0].track, Track::Unit { channel: 0, way: 0 });
+        assert_eq!(spans[0].name, "program");
+        // Tracing never advanced the clock beyond the timing model.
+        assert_eq!(a.now_ns(), 2 * p);
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! is idempotent and a trailing incomplete transaction is discarded.
 
 use share_core::{crc32c, BlockDevice};
+use share_telemetry::{Layer, SpanId, Track};
 use share_vfs::{FileId, Vfs, VfsError, VfsOptions};
 use std::collections::{HashMap, HashSet};
 
@@ -420,8 +421,24 @@ impl<D: BlockDevice> MiniPg<D> {
         Ok(())
     }
 
+    /// Open a root span on the engine track (no-op without tracing).
+    fn root_span(&self, name: &'static str) -> SpanId {
+        self.fs.tracer().begin(Layer::Engine, name, Track::Engine, self.fs.device().clock().now_ns())
+    }
+
+    fn end_span(&self, id: SpanId, ok: bool) {
+        self.fs.tracer().end(id, self.fs.device().clock().now_ns(), 0, ok);
+    }
+
     /// Execute one TPC-B transaction and commit it (WAL fsync).
     pub fn run_txn(&mut self, aid: u64, tid: u64, bid: u64, delta: i64) -> Result<(), VfsError> {
+        let span = self.root_span("txn_commit");
+        let r = self.run_txn_inner(aid, tid, bid, delta);
+        self.end_span(span, r.is_ok());
+        r
+    }
+
+    fn run_txn_inner(&mut self, aid: u64, tid: u64, bid: u64, delta: i64) -> Result<(), VfsError> {
         let (ap, ar) = self.page_of_account(aid);
         let (tp, tr) = self.page_of_teller(tid);
         let (bp, br) = self.page_of_branch(bid);
@@ -494,6 +511,13 @@ impl<D: BlockDevice> MiniPg<D> {
 
     /// Flush every dirty heap page, bump the generation, reset the WAL.
     pub fn checkpoint(&mut self) -> Result<(), VfsError> {
+        let span = self.root_span("checkpoint");
+        let r = self.checkpoint_inner();
+        self.end_span(span, r.is_ok());
+        r
+    }
+
+    fn checkpoint_inner(&mut self) -> Result<(), VfsError> {
         let dpp = (self.cfg.page_bytes / self.fs.page_size()) as u64;
         let bs = self.fs.page_size();
         let dirty: Vec<u64> = self.dirty.drain().collect();

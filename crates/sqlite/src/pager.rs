@@ -12,6 +12,7 @@
 use crate::page::RecordPage;
 use crate::SqliteError;
 use share_core::{crc32c, BlockDevice};
+use share_telemetry::{Layer, SpanId, Track};
 use share_vfs::{FileId, Vfs, VfsOptions};
 use std::collections::{BTreeMap, HashMap};
 
@@ -314,8 +315,24 @@ impl<D: BlockDevice> MiniSqlite<D> {
         }
     }
 
+    /// Open a root span on the engine track (no-op without tracing).
+    fn root_span(&self, name: &'static str) -> SpanId {
+        self.fs.tracer().begin(Layer::Engine, name, Track::Engine, self.fs.device().clock().now_ns())
+    }
+
+    fn end_span(&self, id: SpanId, ok: bool) {
+        self.fs.tracer().end(id, self.fs.device().clock().now_ns(), 0, ok);
+    }
+
     /// Commit the open transaction with the configured protocol.
     pub fn commit(&mut self) -> Result<(), SqliteError> {
+        let span = self.root_span("txn_commit");
+        let r = self.commit_inner();
+        self.end_span(span, r.is_ok());
+        r
+    }
+
+    fn commit_inner(&mut self) -> Result<(), SqliteError> {
         if self.txn_dirty.is_empty() {
             return Ok(());
         }
@@ -471,6 +488,13 @@ impl<D: BlockDevice> MiniSqlite<D> {
 
     /// Copy the latest WAL versions into the database and reset the WAL.
     pub fn checkpoint_wal(&mut self) -> Result<(), SqliteError> {
+        let span = self.root_span("checkpoint");
+        let r = self.checkpoint_wal_inner();
+        self.end_span(span, r.is_ok());
+        r
+    }
+
+    fn checkpoint_wal_inner(&mut self) -> Result<(), SqliteError> {
         let pages: Vec<u64> = self.wal_index.keys().copied().collect();
         self.write_db_pages(&pages)?;
         self.fs.fsync(self.db)?;

@@ -40,6 +40,30 @@ impl Json {
         }
     }
 
+    /// Numeric value as f64, if this is a finite number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) if x.is_finite() => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// String value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(sv) => Some(sv),
+            _ => None,
+        }
+    }
+
+    /// Array elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
     /// Render compactly (no insignificant whitespace).
     pub fn render(&self) -> String {
         let mut out = String::new();

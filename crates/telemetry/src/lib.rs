@@ -24,11 +24,13 @@ pub mod json;
 pub mod percentile;
 pub mod prom;
 pub mod ring;
+pub mod trace;
 
 pub use hist::{bucket_of, Histogram, HistogramSet};
 pub use json::Json;
 pub use percentile::{nearest_rank_index, percentile_sorted};
 pub use ring::{CommandEvent, CommandRing};
+pub use trace::{apportion, Layer, Span, SpanId, Track, Tracer, NO_PARENT};
 
 /// Command classes recorded at the FTL boundary. Host-facing classes map
 /// 1:1 onto `BlockDevice` methods; `Gc`, `LogFlush`, `Checkpoint` and
@@ -133,12 +135,47 @@ pub struct TelemetryConfig {
     pub histograms: bool,
     /// Retain this many recent command events (0 disables the ring).
     pub ring_capacity: usize,
+    /// Record causal spans ([`trace::Tracer`]) through every layer.
+    pub trace: bool,
 }
 
 impl TelemetryConfig {
-    /// Everything on: histograms plus a 256-event command ring.
+    /// Everything on: histograms, a 256-event command ring, and tracing.
     pub fn full() -> Self {
-        Self { histograms: true, ring_capacity: 256 }
+        Self { histograms: true, ring_capacity: 256, trace: true }
+    }
+
+    /// Counters plus span tracing (no histograms/ring).
+    pub fn tracing() -> Self {
+        Self { trace: true, ..Self::default() }
+    }
+}
+
+/// Why a background NAND program happened — the WA ledger's cause axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlameKind {
+    /// GC relocation (copyback) of a still-live page.
+    Gc,
+    /// Mapping-delta log flush.
+    LogFlush,
+    /// Checkpoint image write.
+    Checkpoint,
+}
+
+impl BlameKind {
+    /// Dense index into per-cause arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable export name (Prometheus `cause` label and JSON key).
+    pub fn name(self) -> &'static str {
+        match self {
+            BlameKind::Gc => "gc",
+            BlameKind::LogFlush => "log_flush",
+            BlameKind::Checkpoint => "checkpoint",
+        }
     }
 }
 
@@ -181,6 +218,8 @@ pub struct Telemetry {
     streams: Vec<String>,
     /// Per stream: counters split by [`Direction`] (read/write/other).
     stream_counters: Vec<[OpCounters; 3]>,
+    /// Per stream: background pages blamed on it, split by [`BlameKind`].
+    blamed_bg: Vec<[u64; 3]>,
     current_stream: u32,
     ring: CommandRing,
 }
@@ -195,6 +234,7 @@ impl Telemetry {
             hists: vec![Histogram::new(); NUM_OPS],
             streams: vec!["host".to_string(), "ftl".to_string()],
             stream_counters: vec![[OpCounters::default(); 3]; 2],
+            blamed_bg: vec![[0; 3]; 2],
             current_stream: STREAM_HOST,
             ring: CommandRing::new(cfg.ring_capacity),
         }
@@ -213,6 +253,7 @@ impl Telemetry {
         }
         self.streams.push(label.to_string());
         self.stream_counters.push([OpCounters::default(); 3]);
+        self.blamed_bg.push([0; 3]);
         (self.streams.len() - 1) as u32
     }
 
@@ -236,9 +277,32 @@ impl Telemetry {
     /// `start_ns`/`end_ns` are simulated clock read-outs taken around the
     /// command body; telemetry itself never advances the clock.
     pub fn record(&mut self, op: OpClass, lpn: u64, pages: u64, start_ns: u64, end_ns: u64, ok: bool) {
+        self.record_as(op, None, lpn, pages, start_ns, end_ns, ok);
+    }
+
+    /// Like [`Telemetry::record`], but with an explicit stream attribution.
+    ///
+    /// Used for internal passes that run *inside* a host command (a delta
+    /// log flush triggered mid-`write_batch`): the event inherits the
+    /// parent command's stream instead of the default `ftl` fallback.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_as(
+        &mut self,
+        op: OpClass,
+        stream_override: Option<u32>,
+        lpn: u64,
+        pages: u64,
+        start_ns: u64,
+        end_ns: u64,
+        ok: bool,
+    ) {
         self.commands += 1;
         self.counters[op.index()].add(pages, ok);
-        let stream = if op.is_internal() { STREAM_FTL } else { self.current_stream };
+        let stream = match stream_override {
+            Some(s) if (s as usize) < self.streams.len() => s,
+            _ if op.is_internal() => STREAM_FTL,
+            _ => self.current_stream,
+        };
         self.stream_counters[stream as usize][op.direction() as usize].add(pages, ok);
         if self.cfg.histograms {
             self.hists[op.index()].record(end_ns.saturating_sub(start_ns));
@@ -260,6 +324,23 @@ impl Telemetry {
     /// Counters for one op class.
     pub fn counters(&self, op: OpClass) -> OpCounters {
         self.counters[op.index()]
+    }
+
+    /// Blame `pages` background NAND programs of cause `kind` on `stream`
+    /// (WA ledger). Unknown stream ids fall back to [`STREAM_FTL`].
+    pub fn blame(&mut self, stream: u32, kind: BlameKind, pages: u64) {
+        let idx = if (stream as usize) < self.blamed_bg.len() {
+            stream as usize
+        } else {
+            STREAM_FTL as usize
+        };
+        self.blamed_bg[idx][kind.index()] += pages;
+    }
+
+    /// Total background pages blamed across all streams (ledger side of
+    /// the exact-sum invariant).
+    pub fn blamed_total(&self) -> u64 {
+        self.blamed_bg.iter().flat_map(|b| b.iter()).sum()
     }
 
     /// A point-in-time copy of everything collected so far.
@@ -285,6 +366,20 @@ impl Telemetry {
                     other: dirs[Direction::Other as usize],
                 })
                 .collect(),
+            wa: self
+                .streams
+                .iter()
+                .enumerate()
+                .map(|(i, label)| WaStreamSnapshot {
+                    label: label.clone(),
+                    fg_pages: self.stream_counters[i][Direction::Write as usize].pages,
+                    bg_gc: self.blamed_bg[i][BlameKind::Gc.index()],
+                    bg_log: self.blamed_bg[i][BlameKind::LogFlush.index()],
+                    bg_ckpt: self.blamed_bg[i][BlameKind::Checkpoint.index()],
+                })
+                .collect(),
+            units: Vec::new(),
+            now_ns: 0,
             events: self.ring.events(),
         }
     }
@@ -320,6 +415,52 @@ pub struct StreamSnapshot {
     pub other: OpCounters,
 }
 
+/// One stream's write-amplification ledger entry in a [`Snapshot`].
+///
+/// `fg_pages` are the stream's own (foreground) programmed pages;
+/// `bg_*` are background programs (GC copyback, delta-log flush,
+/// checkpoint) blamed back onto the stream by the FTL's blame rules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WaStreamSnapshot {
+    /// The interned label.
+    pub label: String,
+    /// Foreground pages programmed on behalf of this stream.
+    pub fg_pages: u64,
+    /// GC copyback pages blamed on this stream's invalidations.
+    pub bg_gc: u64,
+    /// Delta-log flush pages blamed on this stream's deltas.
+    pub bg_log: u64,
+    /// Checkpoint pages blamed on this stream's deltas.
+    pub bg_ckpt: u64,
+}
+
+impl WaStreamSnapshot {
+    /// All background pages blamed on this stream.
+    pub fn bg_total(&self) -> u64 {
+        self.bg_gc + self.bg_log + self.bg_ckpt
+    }
+
+    /// Write-amplification factor: (fg + blamed bg) / fg.
+    /// `None` when the stream wrote nothing in the foreground.
+    pub fn wa_factor(&self) -> Option<f64> {
+        if self.fg_pages == 0 {
+            return None;
+        }
+        Some((self.fg_pages + self.bg_total()) as f64 / self.fg_pages as f64)
+    }
+}
+
+/// One NAND unit's utilization in a [`Snapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnitUtilization {
+    /// Channel index.
+    pub channel: u32,
+    /// Way index within the channel.
+    pub way: u32,
+    /// Cumulative simulated time this unit spent servicing operations.
+    pub busy_ns: u64,
+}
+
 /// A point-in-time copy of a device's telemetry, ready for export.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Snapshot {
@@ -329,6 +470,14 @@ pub struct Snapshot {
     pub ops: Vec<OpSnapshot>,
     /// Per-stream traffic, in intern order (`host`, `ftl`, then engines').
     pub streams: Vec<StreamSnapshot>,
+    /// Per-stream write-amplification ledger, in intern order.
+    pub wa: Vec<WaStreamSnapshot>,
+    /// Per-NAND-unit busy time (filled in by the device, which owns the
+    /// array; empty for bare `Telemetry` snapshots).
+    pub units: Vec<UnitUtilization>,
+    /// Simulated clock at snapshot time (0 for bare `Telemetry`
+    /// snapshots); with `units`, yields busy/idle utilization.
+    pub now_ns: u64,
     /// Retained command events, oldest first.
     pub events: Vec<CommandEvent>,
 }
@@ -400,10 +549,41 @@ impl Snapshot {
                 })
                 .collect(),
         );
+        let wa = Json::Obj(
+            self.wa
+                .iter()
+                .map(|w| {
+                    let mut fields = vec![
+                        ("fg_pages".to_string(), count(w.fg_pages)),
+                        ("bg_gc".to_string(), count(w.bg_gc)),
+                        ("bg_log".to_string(), count(w.bg_log)),
+                        ("bg_ckpt".to_string(), count(w.bg_ckpt)),
+                    ];
+                    if let Some(f) = w.wa_factor() {
+                        fields.push(("wa_factor".to_string(), Json::Num(f)));
+                    }
+                    (w.label.clone(), Json::Obj(fields))
+                })
+                .collect(),
+        );
+        let units = Json::Obj(
+            self.units
+                .iter()
+                .map(|u| {
+                    (
+                        format!("ch{}:w{}", u.channel, u.way),
+                        Json::obj(vec![("busy_ns", count(u.busy_ns))]),
+                    )
+                })
+                .collect(),
+        );
         Json::obj(vec![
             ("commands", count(self.commands)),
+            ("now_ns", count(self.now_ns)),
             ("ops", ops),
             ("streams", streams),
+            ("wa", wa),
+            ("units", units),
             ("events", events),
         ])
     }
@@ -497,6 +677,53 @@ mod tests {
         t.set_stream(99);
         t.record(OpClass::Read, 0, 1, 0, 0, true);
         assert_eq!(t.snapshot().streams[STREAM_HOST as usize].reads.pages, 1);
+    }
+
+    #[test]
+    fn record_as_overrides_internal_stream_fallback() {
+        let mut t = Telemetry::new(TelemetryConfig::full());
+        let dwb = t.intern("doublewrite");
+        t.set_stream(dwb);
+        // A log flush inside a host command inherits the host's stream...
+        t.record_as(OpClass::LogFlush, Some(dwb), 0, 3, 0, 10, true);
+        // ...but a bare internal record still lands on `ftl`.
+        t.record(OpClass::LogFlush, 0, 2, 10, 20, true);
+        let snap = t.snapshot();
+        let by_label = |l: &str| snap.streams.iter().find(|s| s.label == l).unwrap();
+        assert_eq!(by_label("doublewrite").other.pages, 3);
+        assert_eq!(by_label("ftl").other.pages, 2);
+        assert_eq!(snap.events[0].stream, dwb);
+        assert_eq!(snap.events[1].stream, STREAM_FTL);
+        // An out-of-range override behaves like no override.
+        t.record_as(OpClass::Gc, Some(999), 0, 1, 20, 30, true);
+        assert_eq!(t.snapshot().streams[STREAM_FTL as usize].other.pages, 3);
+    }
+
+    #[test]
+    fn wa_ledger_accumulates_and_exports() {
+        let mut t = Telemetry::default();
+        let db = t.intern("db");
+        t.set_stream(db);
+        t.record(OpClass::Write, 0, 10, 0, 0, true);
+        t.blame(db, BlameKind::Gc, 4);
+        t.blame(db, BlameKind::LogFlush, 1);
+        t.blame(STREAM_FTL, BlameKind::Checkpoint, 2);
+        t.blame(12_345, BlameKind::Gc, 3); // unknown id → ftl fallback
+        assert_eq!(t.blamed_total(), 10);
+        let snap = t.snapshot();
+        let w = snap.wa.iter().find(|w| w.label == "db").unwrap();
+        assert_eq!((w.fg_pages, w.bg_gc, w.bg_log, w.bg_ckpt), (10, 4, 1, 0));
+        assert_eq!(w.bg_total(), 5);
+        assert_eq!(w.wa_factor(), Some(1.5));
+        let ftl = snap.wa.iter().find(|w| w.label == "ftl").unwrap();
+        assert_eq!((ftl.bg_gc, ftl.bg_ckpt), (3, 2));
+        assert_eq!(ftl.wa_factor(), None);
+        let doc = snap.to_json();
+        let back = json::parse(&doc.render()).expect("json parses");
+        assert_eq!(
+            back.get("wa").and_then(|w| w.get("db")).and_then(|d| d.get("bg_gc")).and_then(Json::as_u64),
+            Some(4)
+        );
     }
 
     #[test]

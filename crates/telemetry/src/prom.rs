@@ -69,6 +69,40 @@ pub fn render(snap: &Snapshot) -> String {
             ));
         }
     }
+
+    out.push_str("# HELP share_stream_bg_pages_total Background NAND programs blamed per stream and cause (WA ledger).\n");
+    out.push_str("# TYPE share_stream_bg_pages_total counter\n");
+    for w in &snap.wa {
+        for (cause, v) in [("gc", w.bg_gc), ("log_flush", w.bg_log), ("checkpoint", w.bg_ckpt)] {
+            out.push_str(&format!(
+                "share_stream_bg_pages_total{{stream=\"{}\",cause=\"{}\"}} {}\n",
+                w.label, cause, v
+            ));
+        }
+    }
+
+    if !snap.units.is_empty() {
+        out.push_str("# HELP share_unit_busy_ns_total Simulated busy time per NAND channel/way.\n");
+        out.push_str("# TYPE share_unit_busy_ns_total counter\n");
+        for u in &snap.units {
+            out.push_str(&format!(
+                "share_unit_busy_ns_total{{channel=\"{}\",way=\"{}\"}} {}\n",
+                u.channel, u.way, u.busy_ns
+            ));
+        }
+        if snap.now_ns > 0 {
+            out.push_str("# HELP share_unit_utilization Busy fraction of simulated time per NAND channel/way.\n");
+            out.push_str("# TYPE share_unit_utilization gauge\n");
+            for u in &snap.units {
+                out.push_str(&format!(
+                    "share_unit_utilization{{channel=\"{}\",way=\"{}\"}} {}\n",
+                    u.channel,
+                    u.way,
+                    u.busy_ns as f64 / snap.now_ns as f64
+                ));
+            }
+        }
+    }
     out
 }
 
@@ -121,6 +155,27 @@ mod tests {
             assert!(v >= last);
             last = v;
         }
+    }
+
+    #[test]
+    fn renders_wa_ledger_and_unit_utilization() {
+        use crate::{BlameKind, UnitUtilization};
+        let mut t = Telemetry::default();
+        let db = t.intern("db");
+        t.blame(db, BlameKind::Gc, 7);
+        t.blame(db, BlameKind::Checkpoint, 2);
+        let mut snap = t.snapshot();
+        snap.units = vec![
+            UnitUtilization { channel: 0, way: 0, busy_ns: 500 },
+            UnitUtilization { channel: 1, way: 0, busy_ns: 250 },
+        ];
+        snap.now_ns = 1_000;
+        let text = snap.to_prometheus();
+        assert!(text.contains("share_stream_bg_pages_total{stream=\"db\",cause=\"gc\"} 7\n"));
+        assert!(text.contains("share_stream_bg_pages_total{stream=\"db\",cause=\"checkpoint\"} 2\n"));
+        assert!(text.contains("share_stream_bg_pages_total{stream=\"db\",cause=\"log_flush\"} 0\n"));
+        assert!(text.contains("share_unit_busy_ns_total{channel=\"0\",way=\"0\"} 500\n"));
+        assert!(text.contains("share_unit_utilization{channel=\"1\",way=\"0\"} 0.25\n"));
     }
 
     #[test]

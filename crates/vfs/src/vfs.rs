@@ -3,6 +3,7 @@
 use crate::alloc::{Extent, ExtentAllocator};
 use crate::error::VfsError;
 use share_core::{crc32c, BlockDevice, Lpn, SharePair};
+use share_telemetry::{Layer, SpanId, Track, Tracer};
 
 const META_MAGIC: u32 = 0x4653_4D44; // "FSMD"
 const MAX_NAME: usize = 64;
@@ -90,6 +91,8 @@ pub struct Vfs<D: BlockDevice> {
     streams: std::collections::HashMap<u32, u32>,
     fs_meta_stream: u32,
     fs_journal_stream: u32,
+    /// Span tracer shared with the device (no-op unless tracing is on).
+    tracer: Tracer,
 }
 
 impl<D: BlockDevice> Vfs<D> {
@@ -110,6 +113,7 @@ impl<D: BlockDevice> Vfs<D> {
             "device too small for this metadata layout"
         );
         let alloc = ExtentAllocator::new(data_start, dev.capacity_pages());
+        let tracer = dev.tracer();
         let mut vfs = Self {
             dev,
             opts,
@@ -125,6 +129,7 @@ impl<D: BlockDevice> Vfs<D> {
             streams: Default::default(),
             fs_meta_stream: 0,
             fs_journal_stream: 0,
+            tracer,
         };
         vfs.intern_fs_streams();
         vfs.write_snapshot()?;
@@ -135,6 +140,7 @@ impl<D: BlockDevice> Vfs<D> {
     /// Mount an existing file system from `dev`.
     pub fn open(dev: D, opts: VfsOptions) -> Result<Self, VfsError> {
         let data_start = Self::meta_pages(&opts);
+        let tracer = dev.tracer();
         let mut vfs = Self {
             dev,
             opts,
@@ -150,6 +156,7 @@ impl<D: BlockDevice> Vfs<D> {
             streams: Default::default(),
             fs_meta_stream: 0,
             fs_journal_stream: 0,
+            tracer,
         };
         vfs.intern_fs_streams();
         let best = [0u64, 1]
@@ -196,6 +203,24 @@ impl<D: BlockDevice> Vfs<D> {
     /// File-system write accounting.
     pub fn stats(&self) -> VfsStats {
         self.stats
+    }
+
+    /// Span tracer shared with the device (a no-op handle when the device
+    /// was built without tracing). Engines use this to open root spans.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    // ----- tracing --------------------------------------------------------
+
+    /// Open a VFS-layer span at the current simulated time. No-op (returns
+    /// `SpanId::NONE`) unless the device was built with tracing enabled.
+    fn span_begin(&self, name: &'static str) -> SpanId {
+        self.tracer.begin(Layer::Vfs, name, Track::Vfs, self.dev.clock().now_ns())
+    }
+
+    fn span_end(&self, id: SpanId, pages: u64, ok: bool) {
+        self.tracer.end(id, self.dev.clock().now_ns(), pages, ok);
     }
 
     // ----- telemetry streams ----------------------------------------------
@@ -258,6 +283,13 @@ impl<D: BlockDevice> Vfs<D> {
 
     /// Delete a file, TRIMming and releasing its pages.
     pub fn delete(&mut self, name: &str) -> Result<(), VfsError> {
+        let span = self.span_begin("delete");
+        let r = self.delete_inner(name);
+        self.span_end(span, 0, r.is_ok());
+        r
+    }
+
+    fn delete_inner(&mut self, name: &str) -> Result<(), VfsError> {
         let id = self.names.remove(name).ok_or_else(|| VfsError::NotFound(name.into()))?;
         let file = self.files.remove(&id).expect("name table out of sync");
         self.dev.set_stream(self.stream_of(id));
@@ -272,6 +304,13 @@ impl<D: BlockDevice> Vfs<D> {
 
     /// Rename a file (used by compaction to swap the new database in).
     pub fn rename(&mut self, from: &str, to: &str) -> Result<(), VfsError> {
+        let span = self.span_begin("rename");
+        let r = self.rename_inner(from, to);
+        self.span_end(span, 0, r.is_ok());
+        r
+    }
+
+    fn rename_inner(&mut self, from: &str, to: &str) -> Result<(), VfsError> {
         if self.names.contains_key(to) {
             return Err(VfsError::Exists(to.into()));
         }
@@ -357,6 +396,13 @@ impl<D: BlockDevice> Vfs<D> {
     /// Write one page at index `page`, growing the file as needed
     /// (`O_DIRECT`-style: page-aligned, no cache).
     pub fn write_page(&mut self, f: FileId, page: u64, data: &[u8]) -> Result<(), VfsError> {
+        let span = self.span_begin("write_page");
+        let r = self.write_page_inner(f, page, data);
+        self.span_end(span, 1, r.is_ok());
+        r
+    }
+
+    fn write_page_inner(&mut self, f: FileId, page: u64, data: &[u8]) -> Result<(), VfsError> {
         if data.len() != self.dev.page_size() {
             return Err(VfsError::BadBufferLength { got: data.len(), want: self.dev.page_size() });
         }
@@ -375,6 +421,13 @@ impl<D: BlockDevice> Vfs<D> {
     /// Read one page. Pages past the allocation fail; allocated-but-unwritten
     /// pages read as zeros.
     pub fn read_page(&mut self, f: FileId, page: u64, buf: &mut [u8]) -> Result<(), VfsError> {
+        let span = self.span_begin("read_page");
+        let r = self.read_page_inner(f, page, buf);
+        self.span_end(span, 1, r.is_ok());
+        r
+    }
+
+    fn read_page_inner(&mut self, f: FileId, page: u64, buf: &mut [u8]) -> Result<(), VfsError> {
         if buf.len() != self.dev.page_size() {
             return Err(VfsError::BadBufferLength { got: buf.len(), want: self.dev.page_size() });
         }
@@ -389,6 +442,13 @@ impl<D: BlockDevice> Vfs<D> {
     /// Ordinary-write durability semantics — NOT atomic across power loss;
     /// use [`Vfs::write_pages_atomic`] for that.
     pub fn write_pages(&mut self, f: FileId, pages: &[(u64, &[u8])]) -> Result<(), VfsError> {
+        let span = self.span_begin("write_pages");
+        let r = self.write_pages_inner(f, pages);
+        self.span_end(span, pages.len() as u64, r.is_ok());
+        r
+    }
+
+    fn write_pages_inner(&mut self, f: FileId, pages: &[(u64, &[u8])]) -> Result<(), VfsError> {
         let ps = self.dev.page_size();
         let mut max_page = 0;
         for (p, data) in pages {
@@ -421,6 +481,18 @@ impl<D: BlockDevice> Vfs<D> {
         f: FileId,
         reqs: &mut [(u64, &mut [u8])],
     ) -> Result<(), VfsError> {
+        let span = self.span_begin("read_pages");
+        let pages = reqs.len() as u64;
+        let r = self.read_pages_inner(f, reqs);
+        self.span_end(span, pages, r.is_ok());
+        r
+    }
+
+    fn read_pages_inner(
+        &mut self,
+        f: FileId,
+        reqs: &mut [(u64, &mut [u8])],
+    ) -> Result<(), VfsError> {
         let ps = self.dev.page_size();
         for (_, buf) in reqs.iter() {
             if buf.len() != ps {
@@ -443,6 +515,13 @@ impl<D: BlockDevice> Vfs<D> {
     /// copy-on-write at the FTL level — later writes to either file land
     /// on fresh physical pages. Requires a SHARE-capable device.
     pub fn clone_file(&mut self, src_name: &str, dst_name: &str) -> Result<FileId, VfsError> {
+        let span = self.span_begin("clone_file");
+        let r = self.clone_file_inner(src_name, dst_name);
+        self.span_end(span, 0, r.is_ok());
+        r
+    }
+
+    fn clone_file_inner(&mut self, src_name: &str, dst_name: &str) -> Result<FileId, VfsError> {
         let src =
             self.lookup(src_name).ok_or_else(|| VfsError::NotFound(src_name.into()))?;
         let len = self.len_pages(src)?;
@@ -465,6 +544,13 @@ impl<D: BlockDevice> Vfs<D> {
     /// TRIM a page range of a file (used by recovery truncation: stale
     /// blocks past a recovered tail must not masquerade as fresh data).
     pub fn trim_range(&mut self, f: FileId, from_page: u64, to_page: u64) -> Result<(), VfsError> {
+        let span = self.span_begin("trim_range");
+        let r = self.trim_range_inner(f, from_page, to_page);
+        self.span_end(span, to_page.saturating_sub(from_page), r.is_ok());
+        r
+    }
+
+    fn trim_range_inner(&mut self, f: FileId, from_page: u64, to_page: u64) -> Result<(), VfsError> {
         self.dev.set_stream(self.stream_of(f.0));
         for p in from_page..to_page {
             let lpn = self.lpn_of(f, p)?;
@@ -476,6 +562,13 @@ impl<D: BlockDevice> Vfs<D> {
     /// fsync: persist metadata if dirty, charge ordered-journal traffic,
     /// then flush the device.
     pub fn fsync(&mut self, f: FileId) -> Result<(), VfsError> {
+        let span = self.span_begin("fsync");
+        let r = self.fsync_inner(f);
+        self.span_end(span, 0, r.is_ok());
+        r
+    }
+
+    fn fsync_inner(&mut self, f: FileId) -> Result<(), VfsError> {
         if self.meta_dirty {
             self.write_snapshot()?;
         }
@@ -518,6 +611,17 @@ impl<D: BlockDevice> Vfs<D> {
         f: FileId,
         pages: &[(u64, &[u8])],
     ) -> Result<(), VfsError> {
+        let span = self.span_begin("write_pages_atomic");
+        let r = self.write_pages_atomic_inner(f, pages);
+        self.span_end(span, pages.len() as u64, r.is_ok());
+        r
+    }
+
+    fn write_pages_atomic_inner(
+        &mut self,
+        f: FileId,
+        pages: &[(u64, &[u8])],
+    ) -> Result<(), VfsError> {
         let ps = self.dev.page_size();
         let mut max_page = 0;
         for (p, data) in pages {
@@ -552,6 +656,20 @@ impl<D: BlockDevice> Vfs<D> {
         src_page: u64,
         npages: u64,
     ) -> Result<(), VfsError> {
+        let span = self.span_begin("ioctl_share");
+        let r = self.ioctl_share_inner(dst, dst_page, src, src_page, npages);
+        self.span_end(span, npages, r.is_ok());
+        r
+    }
+
+    fn ioctl_share_inner(
+        &mut self,
+        dst: FileId,
+        dst_page: u64,
+        src: FileId,
+        src_page: u64,
+        npages: u64,
+    ) -> Result<(), VfsError> {
         let mut pairs = Vec::with_capacity(npages as usize);
         for i in 0..npages {
             pairs.push(SharePair::new(self.lpn_of(dst, dst_page + i)?, self.lpn_of(src, src_page + i)?));
@@ -568,6 +686,18 @@ impl<D: BlockDevice> Vfs<D> {
     /// into device-sized atomic batches (used by zero-copy compaction,
     /// where per-batch atomicity suffices).
     pub fn ioctl_share_pairs(
+        &mut self,
+        dst: FileId,
+        src: FileId,
+        pairs: &[(u64, u64)],
+    ) -> Result<(), VfsError> {
+        let span = self.span_begin("ioctl_share_pairs");
+        let r = self.ioctl_share_pairs_inner(dst, src, pairs);
+        self.span_end(span, pairs.len() as u64, r.is_ok());
+        r
+    }
+
+    fn ioctl_share_pairs_inner(
         &mut self,
         dst: FileId,
         src: FileId,

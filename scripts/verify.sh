@@ -39,4 +39,14 @@ METRICS_TMP="$(mktemp -d)"
 trap 'rm -rf "$METRICS_TMP"' EXIT
 SHARE_METRICS_DIR="$METRICS_TMP" ./target/release/metrics_smoke
 
+# Trace smoke tier: run a short YCSB workload with span tracing off and
+# on, assert the simulated results are bit-identical either way, export
+# the span tree as Chrome trace_event JSON, re-parse it through
+# telemetry::json, and check well-formedness (monotonic timestamps,
+# balanced spans, every pid/tid announced by metadata, every parent
+# resolvable, all four layers present). The tracing wall-clock overhead
+# is recorded into BENCH_share.json as the trace_smoke scenario.
+echo "== trace smoke (span tracer + Chrome export well-formedness) =="
+SHARE_METRICS_DIR="$METRICS_TMP" ./target/release/trace_smoke
+
 echo "verify: OK"
