@@ -73,6 +73,7 @@ fn main() {
     let mut runs = Vec::new();
     let mut write1 = 0.0;
     let mut write8 = 0.0;
+    let mut elapsed = Vec::new();
     for channels in [1u32, 2, 4, 8] {
         let r = run(channels);
         if channels == 1 {
@@ -81,6 +82,7 @@ fn main() {
         if channels == 8 {
             write8 = r.write_mb_s;
         }
+        elapsed.push((channels, r.elapsed_secs));
         rows.push(vec![
             channels.to_string(),
             f(r.write_mb_s, 1),
@@ -118,6 +120,21 @@ fn main() {
     if speedup < 2.0 {
         eprintln!("FAIL: 8-channel write throughput is only {speedup:.2}x the 1-channel device (need >= 2x)");
         std::process::exit(1);
+    }
+    // Every channel count must produce a distinct simulated elapsed time:
+    // two identical rows mean the device stopped scaling (the plateau the
+    // async submission path exists to break).
+    for i in 0..elapsed.len() {
+        for j in (i + 1)..elapsed.len() {
+            if elapsed[i].1 == elapsed[j].1 {
+                eprintln!(
+                    "FAIL: {}-channel and {}-channel runs took identical simulated time \
+                     ({:.6}s) — channel scaling has plateaued",
+                    elapsed[i].0, elapsed[j].0, elapsed[i].1
+                );
+                std::process::exit(1);
+            }
+        }
     }
     let text = std::fs::read_to_string(&path).expect("re-read BENCH_share.json");
     let doc = match parse(&text) {

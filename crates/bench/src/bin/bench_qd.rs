@@ -1,0 +1,210 @@
+//! Queue-depth smoke bench for `scripts/verify.sh` — latency-under-load
+//! vs submission-queue depth on a fixed multi-channel device.
+//!
+//! Sweeps queue depth in {1, 4, 16}: each run streams queued single-page
+//! writes (then queued read-backs) through the NVMe-style submission
+//! path with reap-on-full backpressure, and records the p50/p99
+//! submit→complete latency from the device telemetry histograms into
+//! `BENCH_share.json` (`qd_latency_smoke` scenario). The run fails
+//! (non-zero exit) unless deepening the queue from 1 to 16 at least
+//! doubles write throughput on the 4-channel device, unless p99
+//! latency-under-load grows monotonically with depth (deeper queues
+//! trade per-command latency for throughput — if it doesn't grow, the
+//! queue isn't actually overlapping commands), and unless the recorded
+//! scenario re-reads as valid JSON of the expected shape. Sizes are
+//! fixed (not scaled by `SHARE_BENCH_SCALE`) so the assertions are
+//! deterministic.
+
+use nand_sim::NandTiming;
+use share_bench::{count, device_json, f, num, parse, print_table, record_scenario, Json};
+use share_core::{
+    BlockDevice, DeviceStats, Ftl, FtlConfig, FtlError, Lpn, OpClass, QueuedCmd, Snapshot,
+    TelemetryConfig,
+};
+
+/// Pages written (and read back) per run.
+const TOTAL_PAGES: u64 = 2048;
+const PAGE: usize = 4096;
+const CHANNELS: u32 = 4;
+
+struct RunOut {
+    elapsed_secs: f64,
+    write_mb_s: f64,
+    write_p50_ns: u64,
+    write_p99_ns: u64,
+    read_p50_ns: u64,
+    read_p99_ns: u64,
+    max_inflight: u64,
+    submitted: u64,
+    device: DeviceStats,
+}
+
+fn fill_of(lpn: u64, qd: usize) -> u8 {
+    (lpn as usize * 31 + qd) as u8
+}
+
+/// Submit with reap-on-full backpressure; panics on any completed error.
+fn submit_bp(dev: &mut Ftl, cmd: QueuedCmd) {
+    loop {
+        match dev.submit(cmd.clone()) {
+            Ok(_) => return,
+            Err(FtlError::QueueFull { .. }) => {
+                for c in dev.reap() {
+                    c.result.expect("queued command");
+                }
+            }
+            Err(e) => panic!("submit failed: {e}"),
+        }
+    }
+}
+
+fn run(qd: usize) -> RunOut {
+    let cfg = FtlConfig::for_capacity_with(64 << 20, 0.25, PAGE, 128, NandTiming::default())
+        .with_parallelism(CHANNELS, 1)
+        .with_queue_depth(qd)
+        .with_telemetry(TelemetryConfig { histograms: true, ring_capacity: 0, trace: false });
+    let mut dev = Ftl::new(cfg);
+    let clock = dev.clock().clone();
+    let t0 = clock.now_ns();
+
+    for lpn in 0..TOTAL_PAGES {
+        submit_bp(&mut dev, QueuedCmd::Write {
+            lpn: Lpn(lpn),
+            data: vec![fill_of(lpn, qd); PAGE],
+        });
+    }
+    for c in dev.drain() {
+        c.result.expect("queued write");
+    }
+    let t_write = clock.now_ns();
+
+    for lpn in 0..TOTAL_PAGES {
+        submit_bp(&mut dev, QueuedCmd::Read { lpn: Lpn(lpn) });
+    }
+    for c in dev.drain() {
+        let page = c.result.expect("queued read").into_page().expect("read payload");
+        assert!(
+            page.iter().all(|&b| b == page[0]),
+            "torn read-back at queue depth {qd}"
+        );
+    }
+    let t_read = clock.now_ns();
+
+    let snap: Snapshot = dev.telemetry_snapshot().expect("histograms enabled");
+    let wh = &snap.op(OpClass::Write).hist;
+    let rh = &snap.op(OpClass::Read).hist;
+    let bytes = TOTAL_PAGES as f64 * PAGE as f64;
+    RunOut {
+        elapsed_secs: (t_read - t0) as f64 / 1e9,
+        write_mb_s: bytes / (1 << 20) as f64 / ((t_write - t0) as f64 / 1e9),
+        write_p50_ns: wh.quantile(0.50),
+        write_p99_ns: wh.quantile(0.99),
+        read_p50_ns: rh.quantile(0.50),
+        read_p99_ns: rh.quantile(0.99),
+        max_inflight: snap.queue.max_inflight,
+        submitted: snap.queue.submitted,
+        device: dev.stats(),
+    }
+}
+
+fn main() {
+    let wall = std::time::Instant::now();
+    let mut rows = Vec::new();
+    let mut runs = Vec::new();
+    let mut outs = Vec::new();
+    for qd in [1usize, 4, 16] {
+        let r = run(qd);
+        rows.push(vec![
+            qd.to_string(),
+            f(r.write_mb_s, 1),
+            f(r.write_p50_ns as f64 / 1e3, 0),
+            f(r.write_p99_ns as f64 / 1e3, 0),
+            f(r.read_p99_ns as f64 / 1e3, 0),
+            r.max_inflight.to_string(),
+        ]);
+        runs.push(Json::obj(vec![
+            ("queue_depth", count(qd as u64)),
+            ("channels", count(CHANNELS as u64)),
+            ("elapsed_secs", num(r.elapsed_secs)),
+            ("write_mb_per_sec", num(r.write_mb_s)),
+            ("write_p50_ns", count(r.write_p50_ns)),
+            ("write_p99_ns", count(r.write_p99_ns)),
+            ("read_p50_ns", count(r.read_p50_ns)),
+            ("read_p99_ns", count(r.read_p99_ns)),
+            ("max_inflight", count(r.max_inflight)),
+            ("submitted", count(r.submitted)),
+            ("device", device_json(&r.device)),
+        ]));
+        outs.push((qd, r));
+    }
+    print_table(
+        "QD smoke: queued 8 MiB write + read-back vs queue depth (4 channels)",
+        &["qd", "write MB/s", "w p50 us", "w p99 us", "r p99 us", "max inflight"],
+        &rows,
+    );
+
+    let path = record_scenario(
+        "qd_latency_smoke",
+        Json::obj(vec![
+            ("total_pages", count(TOTAL_PAGES)),
+            ("channels", count(CHANNELS as u64)),
+            ("wall_secs", num(wall.elapsed().as_secs_f64())),
+            ("runs", Json::Arr(runs)),
+        ]),
+    )
+    .expect("record BENCH_share.json");
+    println!("\nrecorded qd_latency_smoke -> {}", path.display());
+
+    // ---- assertions: throughput, latency shape, JSON sanity ----------------
+    let (qd1, qd16) = (&outs[0].1, &outs[2].1);
+    let speedup = qd16.write_mb_s / qd1.write_mb_s;
+    if speedup < 2.0 {
+        eprintln!(
+            "FAIL: qd=16 write throughput is only {speedup:.2}x qd=1 on {CHANNELS} channels (need >= 2x)"
+        );
+        std::process::exit(1);
+    }
+    for w in outs.windows(2) {
+        let ((qa, a), (qb, b)) = (&w[0], &w[1]);
+        if b.write_p99_ns <= a.write_p99_ns {
+            eprintln!(
+                "FAIL: write p99 did not grow from qd={qa} ({} ns) to qd={qb} ({} ns) — \
+                 the queue is not overlapping commands",
+                a.write_p99_ns, b.write_p99_ns
+            );
+            std::process::exit(1);
+        }
+    }
+    if qd1.max_inflight != 1 || qd16.max_inflight < 8 {
+        eprintln!(
+            "FAIL: max_inflight gauges implausible (qd1 -> {}, qd16 -> {})",
+            qd1.max_inflight, qd16.max_inflight
+        );
+        std::process::exit(1);
+    }
+    let text = std::fs::read_to_string(&path).expect("re-read BENCH_share.json");
+    let doc = match parse(&text) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("FAIL: {} is not valid JSON: {e}", path.display());
+            std::process::exit(1);
+        }
+    };
+    let scen = doc.get("qd_latency_smoke");
+    let runs_ok = matches!(
+        scen.and_then(|sc| sc.get("runs")),
+        Some(Json::Arr(items)) if items.len() == 3
+            && items.iter().all(|it| {
+                it.get("write_p99_ns").is_some() && it.get("write_p50_ns").is_some()
+            })
+    );
+    if !runs_ok {
+        eprintln!("FAIL: qd_latency_smoke scenario malformed in {}", path.display());
+        std::process::exit(1);
+    }
+    println!(
+        "bench_qd: OK ({speedup:.2}x write throughput at qd=16, p99 {} -> {} us)",
+        qd1.write_p99_ns / 1000,
+        qd16.write_p99_ns / 1000
+    );
+}

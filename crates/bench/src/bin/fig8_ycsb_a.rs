@@ -59,13 +59,19 @@ fn main() {
     );
 
     // ---- NAND channel sweep at batch 64, SHARE mode ------------------------
-    // Multi-block documents (4 x 4 KiB): each save becomes one batched
-    // append, so channels can overlap the programs. Single-block docs are
-    // one program per save and cannot scale.
+    // Multi-block documents (4 x 4 KiB) and 16 concurrent connections:
+    // every round issues its reads through `get_many` and its writes
+    // through `save_many`, so queued commands from independent
+    // connections overlap across channels. A run whose elapsed time
+    // exactly matches the previous channel count is flagged
+    // `saturated: true` in the JSON instead of silently emitting an
+    // indistinguishable duplicate row.
+    const CONNECTIONS: usize = 16;
     let wall = std::time::Instant::now();
     let mut rows = Vec::new();
     let mut runs = Vec::new();
     let mut ops1 = 0.0;
+    let mut prev_elapsed = f64::NAN;
     for channels in [1u32, 2, 4, 8] {
         let r = run_ycsb(&YcsbRun {
             mode: CouchMode::Share,
@@ -75,21 +81,26 @@ fn main() {
             record_size: 4 * 4056,
             ops,
             channels,
+            connections: CONNECTIONS,
             ..Default::default()
         });
         if channels == 1 {
             ops1 = r.ops_per_sec;
         }
+        let saturated = r.elapsed_secs == prev_elapsed;
+        prev_elapsed = r.elapsed_secs;
         rows.push(vec![
             channels.to_string(),
             f(r.ops_per_sec, 0),
             f(r.elapsed_secs, 2),
-            format!("{}x", f(r.ops_per_sec / ops1, 2)),
+            format!("{}x{}", f(r.ops_per_sec / ops1, 2), if saturated { " (sat)" } else { "" }),
         ]);
         runs.push(Json::obj(vec![
             ("channels", count(channels as u64)),
+            ("connections", count(CONNECTIONS as u64)),
             ("ops_per_sec", num(r.ops_per_sec)),
             ("elapsed_secs", num(r.elapsed_secs)),
+            ("saturated", Json::Bool(saturated)),
             ("device", device_json(&r.device)),
         ]));
     }

@@ -6,7 +6,7 @@ use share_rng::{Rng, StdRng};
 use share_core::{
     BlockDevice, DeviceStats, Ftl, FtlConfig, GcPolicy, RevMapPolicy, Snapshot, TelemetryConfig,
 };
-use share_workloads::{LatencyRecorder, LinkBench, LinkBenchConfig, LinkOpType};
+use share_workloads::{LatencyRecorder, LinkBench, LinkBenchConfig, LinkOp, LinkOpType};
 
 /// Parameters of one LinkBench run.
 #[derive(Debug, Clone)]
@@ -38,6 +38,11 @@ pub struct LinkBenchRun {
     pub flush_neighbors: bool,
     /// NAND channels of the data device (1 = the paper's serial device).
     pub channels: u32,
+    /// Concurrent client connections (the paper ran 16 LinkBench clients;
+    /// 1 = the original serial driver). With C > 1 each round batches C
+    /// transactions: their B+tree pages are prefetched with one batched
+    /// read per tree level and their commits share one group fsync.
+    pub connections: usize,
     /// Device telemetry collection (counters-only by default; latency
     /// histograms and the command ring never perturb simulated results).
     pub telemetry: TelemetryConfig,
@@ -59,6 +64,7 @@ impl Default for LinkBenchRun {
             gc_policy: GcPolicy::default(),
             flush_neighbors: false,
             channels: 1,
+            connections: 1,
             telemetry: TelemetryConfig::default(),
         }
     }
@@ -157,16 +163,23 @@ pub fn run_linkbench(run: &LinkBenchRun) -> LinkBenchResult {
         seed: run.seed,
     });
     let mut latency = LatencyRecorder::new();
-    for _ in 0..run.warmup_txns {
-        apply_op(&mut db, &mut lb, &mut rng, None);
+    let conns = run.connections.max(1);
+    let mut warmup_left = run.warmup_txns;
+    while warmup_left > 0 {
+        let round = conns.min(warmup_left as usize);
+        apply_round(&mut db, &mut lb, &mut rng, round, None);
+        warmup_left -= round as u64;
     }
 
     // ---- measured window ---------------------------------------------------
     let clock = db.clock();
     let stats0 = db.data_device_stats();
     let t0 = clock.now_ns();
-    for _ in 0..run.txns {
-        apply_op(&mut db, &mut lb, &mut rng, Some(&mut latency));
+    let mut left = run.txns;
+    while left > 0 {
+        let round = conns.min(left as usize);
+        apply_round(&mut db, &mut lb, &mut rng, round, Some(&mut latency));
+        left -= round as u64;
     }
     let elapsed = clock.now_ns() - t0;
     let device = db.data_device_stats().delta_since(&stats0);
@@ -188,15 +201,70 @@ pub fn run_linkbench(run: &LinkBenchRun) -> LinkBenchResult {
     }
 }
 
-fn apply_op(
+/// Process one round of concurrent transactions (round size 1 = the
+/// original serial driver, bit-identical to the pre-queue behaviour).
+/// Larger rounds model C connections: the round's B+tree pages are
+/// prefetched with one batched device read per tree level, and every
+/// transaction's commit shares one group fsync.
+fn apply_round(
     db: &mut InnoDb<Ftl>,
     lb: &mut LinkBench,
     rng: &mut StdRng,
-    latency: Option<&mut LatencyRecorder>,
+    round: usize,
+    mut latency: Option<&mut LatencyRecorder>,
 ) {
-    let op = lb.next_op();
+    use mini_innodb::Key;
+    let grouped = round > 1;
+    // Collect the round's transactions; multiget targets are drawn up
+    // front so prefetch can see them.
+    let mut ops: Vec<(LinkOp, Vec<u64>)> = Vec::with_capacity(round);
+    for _ in 0..round {
+        let op = lb.next_op();
+        let id2s = if op.op == LinkOpType::MultigetLink {
+            (0..4).map(|_| rng.random_range(0..lb.node_count())).collect()
+        } else {
+            Vec::new()
+        };
+        ops.push((op, id2s));
+    }
+    if grouped {
+        let mut keys: Vec<Key> = Vec::with_capacity(ops.len() * 2);
+        for (op, id2s) in &ops {
+            match op.op {
+                LinkOpType::GetNode
+                | LinkOpType::AddNode
+                | LinkOpType::UpdateNode
+                | LinkOpType::DeleteNode => keys.push(Key::node(op.id1)),
+                LinkOpType::CountLink => keys.push(Key::count(op.id1, op.link_type)),
+                LinkOpType::MultigetLink => {
+                    keys.extend(id2s.iter().map(|&id2| Key::link(op.id1, op.link_type, id2)));
+                }
+                LinkOpType::GetLinkList => keys.push(Key::link_range_start(op.id1, op.link_type)),
+                LinkOpType::AddLink | LinkOpType::UpdateLink | LinkOpType::DeleteLink => {
+                    keys.push(Key::link(op.id1, op.link_type, op.id2));
+                    keys.push(Key::count(op.id1, op.link_type));
+                }
+            }
+        }
+        db.prefetch_keys(&keys).expect("prefetch");
+        db.begin_group();
+    }
     let clock = db.clock();
     let t0 = clock.now_ns();
+    for (op, id2s) in &ops {
+        apply_one(db, op, id2s, rng);
+        if let Some(rec) = latency.as_deref_mut() {
+            // Concurrent semantics: every txn in the round was submitted
+            // at t0, so each op's latency runs from the round start.
+            rec.record(op.op.name(), clock.now_ns() - t0);
+        }
+    }
+    if grouped {
+        db.group_commit().expect("group commit");
+    }
+}
+
+fn apply_one(db: &mut InnoDb<Ftl>, op: &LinkOp, id2s: &[u64], rng: &mut StdRng) {
     match op.op {
         LinkOpType::GetNode => {
             db.get_node(op.id1).expect("get_node");
@@ -205,8 +273,7 @@ fn apply_op(
             db.count_link(op.id1, op.link_type).expect("count_link");
         }
         LinkOpType::MultigetLink => {
-            let id2s: Vec<u64> = (0..4).map(|_| rng.random_range(0..lb.node_count())).collect();
-            db.multiget_link(op.id1, op.link_type, &id2s).expect("multiget_link");
+            db.multiget_link(op.id1, op.link_type, id2s).expect("multiget_link");
         }
         LinkOpType::GetLinkList => {
             db.get_link_list(op.id1, op.link_type).expect("get_link_list");
@@ -231,8 +298,5 @@ fn apply_op(
             db.update_link(op.id1, op.link_type, op.id2, &payload(rng, op.payload))
                 .expect("update_link");
         }
-    }
-    if let Some(rec) = latency {
-        rec.record(op.op.name(), clock.now_ns() - t0);
     }
 }

@@ -68,3 +68,68 @@ fn compaction_driver_is_zero_copy_in_share_mode() {
     assert_eq!(share.docs_moved, 400);
     assert!(share.bytes_written < orig.bytes_written / 2);
 }
+
+#[test]
+fn concurrent_ycsb_breaks_the_channel_plateau() {
+    // The serial driver is host-bound past 4 channels; 16 connections over
+    // queued reads + group-committed writes must keep scaling to 8.
+    let run_at = |channels: u32, connections: usize| {
+        run_ycsb(&YcsbRun {
+            mode: CouchMode::Share,
+            workload: YcsbWorkload::A,
+            batch_size: 64,
+            records: 600,
+            ops: 600,
+            channels,
+            connections,
+            ..Default::default()
+        })
+    };
+    let serial4 = run_at(4, 1);
+    let serial8 = run_at(8, 1);
+    let conc4 = run_at(4, 16);
+    let conc8 = run_at(8, 16);
+    // The bug being fixed: serial 4ch and 8ch are byte-identical.
+    assert_eq!(serial4.elapsed_secs, serial8.elapsed_secs, "serial plateau moved — update this test");
+    assert!(
+        conc8.ops_per_sec >= conc4.ops_per_sec * 1.5,
+        "8ch ({:.0} ops/s) must beat 4ch ({:.0} ops/s) by 1.5x with 16 connections",
+        conc8.ops_per_sec,
+        conc4.ops_per_sec
+    );
+    // Concurrency must not change what reaches the medium: the same
+    // document blocks are appended either way.
+    assert_eq!(conc8.couch.doc_blocks_appended, serial8.couch.doc_blocks_appended);
+}
+
+#[test]
+fn concurrent_linkbench_improves_channel_scaling() {
+    let run_at = |channels: u32, connections: usize| {
+        run_linkbench(&LinkBenchRun {
+            mode: FlushMode::Share,
+            nodes: 1_500,
+            warmup_txns: 200,
+            txns: 800,
+            channels,
+            connections,
+            ..Default::default()
+        })
+    };
+    let serial8 = run_at(8, 1);
+    let conc8 = run_at(8, 16);
+    assert!(
+        conc8.tps > serial8.tps * 1.2,
+        "16 connections ({:.0} tps) must clearly beat serial ({:.0} tps) at 8 channels",
+        conc8.tps,
+        serial8.tps
+    );
+    // Scaling ratio 1ch -> 8ch must improve under concurrency.
+    let serial1 = run_at(1, 1);
+    let conc1 = run_at(1, 16);
+    let serial_ratio = serial8.tps / serial1.tps;
+    let conc_ratio = conc8.tps / conc1.tps;
+    assert!(
+        conc_ratio > serial_ratio,
+        "concurrent 8ch/1ch ratio {conc_ratio:.2} must beat serial {serial_ratio:.2}"
+    );
+}

@@ -26,6 +26,12 @@ pub struct YcsbRun {
     pub seed: u64,
     /// NAND channels of the device (1 = the paper's serial device).
     pub channels: u32,
+    /// Concurrent host connections (1 = the original serial driver).
+    /// With C > 1 each round issues C operations together: reads through
+    /// `get_many` (queued, overlapping) and writes through `save_many`
+    /// (queued appends + one group commit), so independent commands from
+    /// different connections overlap across NAND channels.
+    pub connections: usize,
     /// Device telemetry collection (counters-only by default).
     pub telemetry: TelemetryConfig,
 }
@@ -41,6 +47,7 @@ impl Default for YcsbRun {
             ops: 10_000,
             seed: 42,
             channels: 1,
+            connections: 1,
             telemetry: TelemetryConfig::default(),
         }
     }
@@ -127,29 +134,10 @@ pub fn run_ycsb(run: &YcsbRun) -> YcsbResult {
     let clock = store.clock();
     let stats0 = store.device_stats();
     let t0 = clock.now_ns();
-    for _ in 0..run.ops {
-        match gen.next_op() {
-            YcsbOp::Read { key } => {
-                store.get(key).expect("read");
-            }
-            YcsbOp::Update { key } => {
-                store.save(key, &doc_payload(&mut rng, run.record_size)).expect("update");
-            }
-            YcsbOp::ReadModifyWrite { key } => {
-                let _old = store.get(key).expect("rmw read");
-                store.save(key, &doc_payload(&mut rng, run.record_size)).expect("rmw write");
-            }
-            YcsbOp::Insert { key } => {
-                store.save(key, &doc_payload(&mut rng, run.record_size)).expect("insert");
-            }
-            YcsbOp::Scan { key, len } => {
-                // The store has no range API (couchstore scans via views);
-                // model a scan as `len` point reads over the key range.
-                for k in key..(key + len).min(run.records) {
-                    store.get(k).expect("scan read");
-                }
-            }
-        }
+    if run.connections > 1 {
+        run_concurrent(run, &mut store, &mut gen, &mut rng);
+    } else {
+        run_serial(run, &mut store, &mut gen, &mut rng);
     }
     store.commit().expect("final commit");
     let elapsed = clock.now_ns() - t0;
@@ -167,6 +155,76 @@ pub fn run_ycsb(run: &YcsbRun) -> YcsbResult {
         couch: store.stats(),
         telemetry,
         tracer,
+    }
+}
+
+/// The original one-blocking-command-at-a-time driver.
+fn run_serial(run: &YcsbRun, store: &mut CouchStore<Ftl>, gen: &mut Ycsb, rng: &mut StdRng) {
+    for _ in 0..run.ops {
+        match gen.next_op() {
+            YcsbOp::Read { key } => {
+                store.get(key).expect("read");
+            }
+            YcsbOp::Update { key } => {
+                store.save(key, &doc_payload(rng, run.record_size)).expect("update");
+            }
+            YcsbOp::ReadModifyWrite { key } => {
+                let _old = store.get(key).expect("rmw read");
+                store.save(key, &doc_payload(rng, run.record_size)).expect("rmw write");
+            }
+            YcsbOp::Insert { key } => {
+                store.save(key, &doc_payload(rng, run.record_size)).expect("insert");
+            }
+            YcsbOp::Scan { key, len } => {
+                // The store has no range API (couchstore scans via views);
+                // model a scan as `len` point reads over the key range.
+                for k in key..(key + len).min(run.records) {
+                    store.get(k).expect("scan read");
+                }
+            }
+        }
+    }
+}
+
+/// The multi-connection driver: each round gathers one operation per
+/// connection, issues every read through the queued `get_many` path and
+/// every write through `save_many` (queued appends sharing one group
+/// commit), so commands from different connections overlap on the device.
+fn run_concurrent(run: &YcsbRun, store: &mut CouchStore<Ftl>, gen: &mut Ycsb, rng: &mut StdRng) {
+    let mut remaining = run.ops;
+    while remaining > 0 {
+        let round = run.connections.min(remaining as usize);
+        let ops: Vec<YcsbOp> = (0..round).map(|_| gen.next_op()).collect();
+        let mut read_keys: Vec<u64> = Vec::new();
+        for op in &ops {
+            match *op {
+                YcsbOp::Read { key } | YcsbOp::ReadModifyWrite { key } => read_keys.push(key),
+                YcsbOp::Scan { key, len } => {
+                    read_keys.extend(key..(key + len).min(run.records));
+                }
+                _ => {}
+            }
+        }
+        if !read_keys.is_empty() {
+            store.get_many(&read_keys).expect("round reads");
+        }
+        let writes: Vec<(u64, Vec<u8>)> = ops
+            .iter()
+            .filter_map(|op| match *op {
+                YcsbOp::Update { key }
+                | YcsbOp::Insert { key }
+                | YcsbOp::ReadModifyWrite { key } => {
+                    Some((key, doc_payload(rng, run.record_size)))
+                }
+                _ => None,
+            })
+            .collect();
+        if !writes.is_empty() {
+            let batch: Vec<(u64, &[u8])> =
+                writes.iter().map(|(k, d)| (*k, d.as_slice())).collect();
+            store.save_many(&batch).expect("round writes");
+        }
+        remaining -= round as u64;
     }
 }
 

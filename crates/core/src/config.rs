@@ -58,6 +58,10 @@ pub struct FtlConfig {
     /// Host-to-device command round-trip latency (share/trim/flush), ns.
     /// Models the ioctl/SATA path the paper batches SHARE pairs to amortize.
     pub command_ns: u64,
+    /// Submission-queue depth: how many queued commands may be in flight
+    /// (submitted, not yet reaped) at once. Synchronous commands ignore
+    /// this entirely; `submit` returns `QueueFull` beyond it.
+    pub queue_depth: usize,
     /// Telemetry collection settings. Counters are always on; latency
     /// histograms and the command ring are opt-in. Telemetry only reads
     /// the simulated clock, so no setting can change simulated results.
@@ -96,6 +100,7 @@ impl FtlConfig {
             gc_low_water: 3,
             gc_high_water: 6,
             command_ns: 20_000,
+            queue_depth: 32,
             telemetry: TelemetryConfig::default(),
         };
         let meta = 2 * cfg.ckpt_slot_blocks_for(logical_pages, page_size, pages_per_block) + log_blocks;
@@ -115,6 +120,13 @@ impl FtlConfig {
     /// Set the telemetry collection level.
     pub fn with_telemetry(mut self, telemetry: TelemetryConfig) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Set the submission-queue depth (must be at least 1).
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        assert!(depth >= 1, "queue depth must be at least 1");
+        self.queue_depth = depth;
         self
     }
 

@@ -8,6 +8,7 @@
 //! redundant-write protocols.
 
 use crate::error::FtlError;
+use crate::queue::{CmdTag, Completion, QueuedCmd};
 use crate::stats::DeviceStats;
 use crate::types::{Lpn, SharePair};
 use nand_sim::{FaultHandle, FaultMode, NandError, NandTiming, SimClock};
@@ -102,6 +103,56 @@ pub trait BlockDevice {
     /// Whether the device implements SHARE.
     fn supports_share(&self) -> bool {
         self.share_batch_limit() > 0
+    }
+
+    // ----- submission/completion queues (see crate::queue) ----------------
+
+    /// Whether the device implements queued submission ([`Self::submit`]).
+    fn supports_queue(&self) -> bool {
+        false
+    }
+
+    /// Configured submission-queue depth (0 = queueing unsupported).
+    fn queue_depth(&self) -> usize {
+        0
+    }
+
+    /// Change the submission-queue depth. Must only shrink below the
+    /// current in-flight count once those commands are reaped; devices may
+    /// clamp to at least 1. No-op on sync-only devices.
+    fn set_queue_depth(&mut self, _depth: usize) {}
+
+    /// Enqueue a tagged command. The device executes its state transitions
+    /// immediately (in submission order) but the completion — and the
+    /// simulated-time cost — is observed only when the host reaps it.
+    /// Returns [`FtlError::QueueFull`] at the configured depth and
+    /// [`FtlError::Unsupported`] on sync-only devices.
+    fn submit(&mut self, _cmd: QueuedCmd) -> Result<CmdTag, FtlError> {
+        Err(FtlError::Unsupported("submit"))
+    }
+
+    /// Reap completions already due at the current simulated time, oldest
+    /// completion first. Never advances the clock.
+    fn poll(&mut self) -> Vec<Completion> {
+        Vec::new()
+    }
+
+    /// Block until at least one outstanding command completes: advance the
+    /// clock to the earliest outstanding completion time and reap
+    /// everything due. Empty only when nothing is in flight.
+    fn reap(&mut self) -> Vec<Completion> {
+        Vec::new()
+    }
+
+    /// Wait for every outstanding command: advance the clock to the last
+    /// completion time and reap them all.
+    fn drain(&mut self) -> Vec<Completion> {
+        Vec::new()
+    }
+
+    /// Commands submitted but not yet reaped.
+    fn inflight(&self) -> usize {
+        0
     }
 
     /// Cumulative statistics.

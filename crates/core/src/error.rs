@@ -30,6 +30,9 @@ pub enum FtlError {
     /// The device does not implement this command (e.g. SHARE on a
     /// conventional SSD).
     Unsupported(&'static str),
+    /// The submission queue is at its configured depth; the host must reap
+    /// completions before submitting more commands.
+    QueueFull { depth: usize },
     /// Buffer length does not match the device page size.
     BadBufferLength { got: usize, want: usize },
     /// Recovery found an unusable on-flash state.
@@ -54,6 +57,9 @@ impl fmt::Display for FtlError {
             FtlError::RefOverflow => write!(f, "physical page reference count overflow"),
             FtlError::DeviceFull => write!(f, "no reclaimable flash space left"),
             FtlError::Unsupported(cmd) => write!(f, "command not supported by device: {cmd}"),
+            FtlError::QueueFull { depth } => {
+                write!(f, "submission queue full ({depth} commands in flight)")
+            }
             FtlError::BadBufferLength { got, want } => {
                 write!(f, "buffer length {got} does not match page size {want}")
             }
@@ -95,5 +101,6 @@ mod tests {
         assert!(FtlError::BatchTooLarge { got: 300, max: 254 }.to_string().contains("300"));
         assert!(FtlError::RevMapFull { capacity: 250 }.to_string().contains("250"));
         assert!(FtlError::Unsupported("share").to_string().contains("share"));
+        assert!(FtlError::QueueFull { depth: 16 }.to_string().contains("16"));
     }
 }

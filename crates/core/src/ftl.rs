@@ -20,17 +20,32 @@ use crate::device::BlockDevice;
 use crate::error::FtlError;
 use crate::mapping::MappingTable;
 use crate::pool::{BlockPool, WritePoint};
+use crate::queue::{CmdOutput, CmdTag, Completion, QueuedCmd};
 use crate::stats::DeviceStats;
 use crate::types::{Lpn, Ppn, SharePair};
 use nand_sim::{FaultHandle, NandArray, SimClock};
 use share_telemetry::{
-    apportion, BlameKind, Layer, OpClass, Snapshot, SpanId, Telemetry, Tracer, Track,
+    apportion, BlameKind, Layer, OpClass, QueueGauges, Snapshot, SpanId, Telemetry, Tracer, Track,
     UnitUtilization, STREAM_FTL,
 };
 use std::collections::HashSet;
 
 /// Checkpoint when fewer than this many log-ring pages remain.
 const CKPT_MIN_REMAINING_PAGES: u32 = 8;
+
+/// A submitted-but-unreaped queued command. Its state transitions already
+/// happened (at submission); only the completion — time, outcome, read
+/// payload — waits here for the host to reap it.
+#[derive(Debug)]
+struct PendingCmd {
+    tag: CmdTag,
+    submit_ns: u64,
+    complete_ns: u64,
+    result: Result<CmdOutput, FtlError>,
+    /// Data-pool blocks this command allocated into, pinned against GC
+    /// until the completion is reaped.
+    blocks: Vec<u32>,
+}
 
 /// Erase-count distribution over the data pool (wear-leveling quality).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -82,6 +97,16 @@ pub struct Ftl {
     /// Causal span tracer (disabled unless `cfg.telemetry.trace`); the
     /// NAND array holds a clone and attaches leaf events to it.
     tracer: Tracer,
+    /// Submitted-but-unreaped queued commands (bounded by
+    /// `cfg.queue_depth`).
+    pending: Vec<PendingCmd>,
+    /// Next submission tag (monotonic for the device's lifetime).
+    next_tag: u32,
+    /// Queue counters for telemetry: total submitted, total reaped, and
+    /// the high-water in-flight mark.
+    q_submitted: u64,
+    q_reaped: u64,
+    q_max_inflight: u64,
     /// Stream of the host command currently executing, for attributing
     /// internal passes it triggers (None outside any host command).
     cmd_stream: Option<u32>,
@@ -132,6 +157,11 @@ impl Ftl {
             next_ckpt_gen: 0,
             telemetry,
             tracer,
+            pending: Vec::new(),
+            next_tag: 0,
+            q_submitted: 0,
+            q_reaped: 0,
+            q_max_inflight: 0,
             cmd_stream: None,
             in_gc: false,
             block_blame: vec![Vec::new(); data_blocks],
@@ -207,6 +237,11 @@ impl Ftl {
             next_ckpt_gen: gen,
             telemetry,
             tracer,
+            pending: Vec::new(),
+            next_tag: 0,
+            q_submitted: 0,
+            q_reaped: 0,
+            q_max_inflight: 0,
             cmd_stream: None,
             in_gc: false,
             block_blame: vec![Vec::new(); data_blocks],
@@ -567,9 +602,13 @@ impl Ftl {
         // the free list between two GC checks (a batched submission feeds
         // every lane), so the watermarks shift up by the extra lanes. At
         // one channel this is exactly the configured low/high pair.
+        // Blocks pinned by unreaped queued commands are ineligible victims,
+        // so the same number of extra free blocks must be banked on top —
+        // otherwise a deep queue can strand GC with nothing collectible.
         let extra_lanes = self.cfg.geometry.channels as usize - 1;
-        let low = self.cfg.gc_low_water + extra_lanes;
-        let high = self.cfg.gc_high_water + extra_lanes;
+        let pinned = self.pool.inflight_pinned_blocks();
+        let low = self.cfg.gc_low_water + extra_lanes + pinned;
+        let high = self.cfg.gc_high_water + extra_lanes + pinned;
         if self.pool.free_count() > low {
             return Ok(());
         }
@@ -745,7 +784,7 @@ impl Ftl {
             self.nand.read(ppn, buf)?;
         } else {
             buf.fill(0);
-            self.nand.clock().advance(self.cfg.timing.xfer_ns(buf.len()));
+            self.nand.charge(self.cfg.timing.xfer_ns(buf.len()));
         }
         Ok(())
     }
@@ -771,7 +810,7 @@ impl Ftl {
     }
 
     fn trim_impl(&mut self, lpn: Lpn, len: u64) -> Result<(), FtlError> {
-        self.nand.clock().advance(self.cfg.command_ns);
+        self.nand.charge(self.cfg.command_ns);
         for i in 0..len {
             let l = lpn.offset(i);
             self.check_lpn(l)?;
@@ -791,14 +830,14 @@ impl Ftl {
 
     fn share_impl(&mut self, pairs: &[SharePair]) -> Result<(), FtlError> {
         self.validate_share(pairs)?;
-        self.nand.clock().advance(self.cfg.command_ns);
+        self.nand.charge(self.cfg.command_ns);
         self.stats.share_commands += 1;
         self.apply_share(pairs)
     }
 
     fn share_batch_impl(&mut self, pairs: &[SharePair]) -> Result<(), FtlError> {
         let limit = self.share_batch_limit();
-        self.nand.clock().advance(self.cfg.command_ns);
+        self.nand.charge(self.cfg.command_ns);
         self.stats.share_commands += 1;
         for chunk in pairs.chunks(limit) {
             self.validate_share(chunk)?;
@@ -832,7 +871,7 @@ impl Ftl {
             self.nand.read_batch(&mut mapped)?;
         }
         if zero_xfer > 0 {
-            self.nand.clock().advance(zero_xfer);
+            self.nand.charge(zero_xfer);
         }
         Ok(())
     }
@@ -888,7 +927,7 @@ impl Ftl {
                 return Err(FtlError::InvalidBatch("duplicate LPN in atomic write"));
             }
         }
-        self.nand.clock().advance(self.cfg.command_ns);
+        self.nand.charge(self.cfg.command_ns);
         let submit = self.submit_chunk_pages();
         let mut deltas = Vec::with_capacity(pages.len());
         for chunk in pages.chunks(submit) {
@@ -930,6 +969,101 @@ impl Ftl {
         self.settle_log_blame(meta_pages);
         self.maybe_checkpoint()
     }
+
+    /// Execute a queued command's state transitions (called under an open
+    /// deferred NAND window). Returns the op class, first LPN, page count
+    /// and outcome for the completion record.
+    fn execute_queued(&mut self, cmd: QueuedCmd) -> (OpClass, u64, u64, Result<CmdOutput, FtlError>) {
+        match cmd {
+            QueuedCmd::Read { lpn } => {
+                let mut buf = vec![0u8; self.page_size()];
+                let r = self.read_impl(lpn, &mut buf);
+                (OpClass::Read, lpn.0, 1, r.map(|()| CmdOutput::Page(buf)))
+            }
+            QueuedCmd::ReadBatch { lpns } => {
+                let first = lpns.first().map_or(0, |l| l.0);
+                let n = lpns.len() as u64;
+                let mut bufs = vec![vec![0u8; self.page_size()]; lpns.len()];
+                let mut reqs: Vec<(Lpn, &mut [u8])> = lpns
+                    .iter()
+                    .copied()
+                    .zip(bufs.iter_mut().map(|b| b.as_mut_slice()))
+                    .collect();
+                let r = self.read_batch_impl(&mut reqs);
+                drop(reqs);
+                (OpClass::ReadBatch, first, n, r.map(|()| CmdOutput::Pages(bufs)))
+            }
+            QueuedCmd::Write { lpn, data } => {
+                let r = self.write_impl(lpn, &data);
+                (OpClass::Write, lpn.0, 1, r.map(|()| CmdOutput::None))
+            }
+            QueuedCmd::WriteBatch { pages } => {
+                let first = pages.first().map_or(0, |(l, _)| l.0);
+                let n = pages.len() as u64;
+                let refs: Vec<(Lpn, &[u8])> =
+                    pages.iter().map(|(l, d)| (*l, d.as_slice())).collect();
+                let r = self.write_batch_impl(&refs);
+                (OpClass::WriteBatch, first, n, r.map(|()| CmdOutput::None))
+            }
+            QueuedCmd::WriteAtomic { pages } => {
+                let first = pages.first().map_or(0, |(l, _)| l.0);
+                let n = pages.len() as u64;
+                let refs: Vec<(Lpn, &[u8])> =
+                    pages.iter().map(|(l, d)| (*l, d.as_slice())).collect();
+                let r = if refs.is_empty() { Ok(()) } else { self.write_atomic_impl(&refs) };
+                (OpClass::WriteAtomic, first, n, r.map(|()| CmdOutput::None))
+            }
+            QueuedCmd::Share { pairs } => {
+                let first = pairs.first().map_or(0, |p| p.dest.0);
+                let n = pairs.len() as u64;
+                let r = if pairs.is_empty() { Ok(()) } else { self.share_impl(&pairs) };
+                (OpClass::Share, first, n, r.map(|()| CmdOutput::None))
+            }
+            QueuedCmd::ShareBatch { pairs } => {
+                let first = pairs.first().map_or(0, |p| p.dest.0);
+                let n = pairs.len() as u64;
+                let r = if pairs.is_empty() { Ok(()) } else { self.share_batch_impl(&pairs) };
+                (OpClass::ShareBatch, first, n, r.map(|()| CmdOutput::None))
+            }
+            QueuedCmd::Trim { lpn, len } => {
+                let r = self.trim_impl(lpn, len);
+                (OpClass::Trim, lpn.0, len, r.map(|()| CmdOutput::None))
+            }
+            QueuedCmd::Flush => {
+                self.stats.flushes += 1;
+                self.nand.charge(self.cfg.command_ns);
+                let r = self.flush_log();
+                (OpClass::Flush, 0, 0, r.map(|()| CmdOutput::None))
+            }
+        }
+    }
+
+    /// Remove and return every pending command with `complete_ns <= now`,
+    /// oldest completion first, unpinning its blocks.
+    fn take_due(&mut self, now: u64) -> Vec<Completion> {
+        let mut due: Vec<PendingCmd> = Vec::new();
+        let mut i = 0;
+        while i < self.pending.len() {
+            if self.pending[i].complete_ns <= now {
+                due.push(self.pending.remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        due.sort_by_key(|p| (p.complete_ns, p.tag));
+        self.q_reaped += due.len() as u64;
+        due.into_iter()
+            .map(|p| {
+                self.pool.release_inflight(&p.blocks);
+                Completion {
+                    tag: p.tag,
+                    submit_ns: p.submit_ns,
+                    complete_ns: p.complete_ns,
+                    result: p.result,
+                }
+            })
+            .collect()
+    }
 }
 
 impl BlockDevice for Ftl {
@@ -960,7 +1094,7 @@ impl BlockDevice for Ftl {
     fn flush(&mut self) -> Result<(), FtlError> {
         let (t0, span) = self.begin_command("flush");
         self.stats.flushes += 1;
-        self.nand.clock().advance(self.cfg.command_ns);
+        self.nand.charge(self.cfg.command_ns);
         let r = self.flush_log();
         self.end_command(span, 0, r.is_ok());
         self.telemetry.record(OpClass::Flush, 0, 0, t0, self.nand.now_ns(), r.is_ok());
@@ -1070,6 +1204,77 @@ impl BlockDevice for Ftl {
         self.cfg.deltas_per_page()
     }
 
+    fn supports_queue(&self) -> bool {
+        true
+    }
+
+    fn queue_depth(&self) -> usize {
+        self.cfg.queue_depth
+    }
+
+    fn set_queue_depth(&mut self, depth: usize) {
+        self.cfg.queue_depth = depth.max(1);
+    }
+
+    /// Queued submission: execute the command's state transitions *now*
+    /// (in submission order — the medium and crash images are identical to
+    /// the synchronous path) but dispatch its NAND timing onto a deferred
+    /// window, so commands from independent connections overlap across
+    /// channel-ways. The completion surfaces via `poll`/`reap`/`drain`.
+    fn submit(&mut self, cmd: QueuedCmd) -> Result<CmdTag, FtlError> {
+        if self.pending.len() >= self.cfg.queue_depth {
+            return Err(FtlError::QueueFull { depth: self.cfg.queue_depth });
+        }
+        let tag = CmdTag(self.next_tag);
+        self.next_tag = self.next_tag.wrapping_add(1);
+        let submit_ns = self.nand.now_ns();
+        let stream = self.telemetry.current_stream();
+        self.cmd_stream = Some(stream);
+        let span = self.begin_span(cmd.name(), stream, submit_ns);
+        self.pool.begin_capture();
+        self.nand.begin_deferred();
+        let (op, lpn0, pages, result) = self.execute_queued(cmd);
+        let complete_ns = self.nand.end_deferred();
+        let blocks = self.pool.end_capture();
+        self.cmd_stream = None;
+        let ok = result.is_ok();
+        self.tracer.end(span, complete_ns, pages, ok);
+        // Recorded with the submit→complete interval: under load this is
+        // the latency-under-load the host observes, not device service time.
+        self.telemetry.record(op, lpn0, pages, submit_ns, complete_ns, ok);
+        self.q_submitted += 1;
+        self.pending.push(PendingCmd { tag, submit_ns, complete_ns, result, blocks });
+        self.q_max_inflight = self.q_max_inflight.max(self.pending.len() as u64);
+        Ok(tag)
+    }
+
+    fn poll(&mut self) -> Vec<Completion> {
+        let now = self.nand.now_ns();
+        self.take_due(now)
+    }
+
+    fn reap(&mut self) -> Vec<Completion> {
+        let Some(earliest) = self.pending.iter().map(|p| p.complete_ns).min() else {
+            return Vec::new();
+        };
+        self.nand.clock().advance_to(earliest);
+        let now = self.nand.now_ns();
+        self.take_due(now)
+    }
+
+    fn drain(&mut self) -> Vec<Completion> {
+        let Some(latest) = self.pending.iter().map(|p| p.complete_ns).max() else {
+            return Vec::new();
+        };
+        self.nand.clock().advance_to(latest);
+        let now = self.nand.now_ns();
+        self.take_due(now)
+    }
+
+    fn inflight(&self) -> usize {
+        self.pending.len()
+    }
+
     fn stats(&self) -> DeviceStats {
         let mut s = self.stats;
         s.nand = self.nand.stats();
@@ -1105,6 +1310,13 @@ impl BlockDevice for Ftl {
             })
             .collect();
         snap.now_ns = self.nand.now_ns();
+        snap.queue = QueueGauges {
+            depth: self.cfg.queue_depth as u64,
+            inflight: self.pending.len() as u64,
+            max_inflight: self.q_max_inflight,
+            submitted: self.q_submitted,
+            reaped: self.q_reaped,
+        };
         Some(snap)
     }
 
@@ -2032,6 +2244,238 @@ mod tests {
             assert!(buf.iter().all(|&b| b == 11 ^ (i as u8)), "lpn {i} diverged after GC");
         }
         assert!(f.stats().gc_events > 0, "pressure must actually trigger GC");
+        f.check_invariants();
+    }
+
+    // ----- submission/completion queue ------------------------------------
+
+    #[test]
+    fn queued_write_then_read_round_trips() {
+        let mut f = tiny();
+        let page = pagev(0x5A, &f);
+        let wt = f.submit(QueuedCmd::Write { lpn: Lpn(3), data: page.clone() }).unwrap();
+        let done = f.drain();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].tag, wt);
+        assert!(done[0].is_ok());
+        let rt = f.submit(QueuedCmd::Read { lpn: Lpn(3) }).unwrap();
+        let done = f.drain();
+        assert_eq!(done[0].tag, rt);
+        let data = done[0].result.clone().unwrap().into_page().unwrap();
+        assert_eq!(data, page);
+        f.check_invariants();
+    }
+
+    #[test]
+    fn queued_state_is_eager_but_completion_is_deferred() {
+        let mut f = tiny_channels(2);
+        let page = pagev(0x42, &f);
+        let before = f.nand().now_ns();
+        f.submit(QueuedCmd::Write { lpn: Lpn(9), data: page.clone() }).unwrap();
+        // Submission never moves the clock...
+        assert_eq!(f.nand().now_ns(), before);
+        assert_eq!(f.inflight(), 1);
+        // ...and nothing is due yet under nonzero NAND timing.
+        assert!(f.poll().is_empty());
+        // But the state transition already happened: a sync read sees it.
+        assert_eq!(read_byte(&mut f, Lpn(9)), 0x42);
+        let done = f.drain();
+        assert_eq!(done.len(), 1);
+        assert_eq!(f.inflight(), 0);
+    }
+
+    #[test]
+    fn queue_full_applies_backpressure() {
+        let cfg = FtlConfig::for_capacity_with(1 << 20, 0.5, 4096, 16, NandTiming::zero())
+            .with_queue_depth(2);
+        let mut f = Ftl::new(cfg);
+        let page = pagev(1, &f);
+        f.submit(QueuedCmd::Write { lpn: Lpn(0), data: page.clone() }).unwrap();
+        f.submit(QueuedCmd::Write { lpn: Lpn(1), data: page.clone() }).unwrap();
+        assert_eq!(
+            f.submit(QueuedCmd::Write { lpn: Lpn(2), data: page.clone() }),
+            Err(FtlError::QueueFull { depth: 2 })
+        );
+        // Reaping frees a slot (zero timing: everything is due at once).
+        assert!(!f.reap().is_empty());
+        f.submit(QueuedCmd::Write { lpn: Lpn(2), data: page }).unwrap();
+        f.drain();
+    }
+
+    #[test]
+    fn qd1_submit_reap_is_bit_identical_to_sync() {
+        // One command in flight at a time must cost exactly what the
+        // blocking path costs — on any channel count.
+        let run_sync = |mut f: Ftl| -> (u64, Vec<u8>) {
+            let ps = f.page_size();
+            for i in 0..24u64 {
+                f.write(Lpn(i), &vec![(i % 251) as u8; ps]).unwrap();
+            }
+            f.share(&[SharePair::new(Lpn(30), Lpn(0))]).unwrap();
+            f.trim(Lpn(1), 2).unwrap();
+            f.flush().unwrap();
+            let mut buf = vec![0u8; ps];
+            f.read(Lpn(5), &mut buf).unwrap();
+            (f.nand().now_ns(), buf)
+        };
+        let run_queued = |mut f: Ftl| -> (u64, Vec<u8>) {
+            let ps = f.page_size();
+            let mut reap1 = |f: &mut Ftl| {
+                let done = f.reap();
+                assert_eq!(done.len(), 1);
+                done.into_iter().next().unwrap()
+            };
+            for i in 0..24u64 {
+                f.submit(QueuedCmd::Write { lpn: Lpn(i), data: vec![(i % 251) as u8; ps] })
+                    .unwrap();
+                assert!(reap1(&mut f).is_ok());
+            }
+            f.submit(QueuedCmd::Share { pairs: vec![SharePair::new(Lpn(30), Lpn(0))] })
+                .unwrap();
+            assert!(reap1(&mut f).is_ok());
+            f.submit(QueuedCmd::Trim { lpn: Lpn(1), len: 2 }).unwrap();
+            assert!(reap1(&mut f).is_ok());
+            f.submit(QueuedCmd::Flush).unwrap();
+            assert!(reap1(&mut f).is_ok());
+            f.submit(QueuedCmd::Read { lpn: Lpn(5) }).unwrap();
+            let c = reap1(&mut f);
+            (f.nand().now_ns(), c.result.unwrap().into_page().unwrap())
+        };
+        for channels in [1u32, 4] {
+            let (t_sync, d_sync) = run_sync(tiny_channels(channels));
+            let (t_q, d_q) = run_queued(tiny_channels(channels));
+            assert_eq!(t_sync, t_q, "qd=1 timing diverged at {channels} channels");
+            assert_eq!(d_sync, d_q);
+        }
+    }
+
+    #[test]
+    fn queued_commands_overlap_across_channels() {
+        // Four single-page writes, submitted before any completes: the
+        // block pool stripes them over four channels, so the whole burst
+        // must finish in far less than four serial write times.
+        let serial = {
+            let mut f = tiny_channels(4);
+            let t0 = f.nand().now_ns();
+            for i in 0..4u64 {
+                f.write(Lpn(i), &pagev(i as u8, &f)).unwrap();
+            }
+            f.nand().now_ns() - t0
+        };
+        let overlapped = {
+            let mut f = tiny_channels(4);
+            let t0 = f.nand().now_ns();
+            for i in 0..4u64 {
+                f.submit(QueuedCmd::Write { lpn: Lpn(i), data: pagev(i as u8, &f) }).unwrap();
+            }
+            let done = f.drain();
+            assert_eq!(done.len(), 4);
+            assert!(done.iter().all(Completion::is_ok));
+            f.nand().now_ns() - t0
+        };
+        assert!(
+            overlapped * 2 < serial,
+            "4 queued writes ({overlapped} ns) should overlap well under half of serial ({serial} ns)"
+        );
+    }
+
+    #[test]
+    fn poll_reap_drain_orderings() {
+        let mut f = tiny_channels(4);
+        let tags: Vec<CmdTag> = (0..3u64)
+            .map(|i| f.submit(QueuedCmd::Write { lpn: Lpn(i), data: pagev(i as u8, &f) }).unwrap())
+            .collect();
+        assert_eq!(f.inflight(), 3);
+        // reap advances only to the earliest completion.
+        let first = f.reap();
+        assert!(!first.is_empty());
+        assert!(f.inflight() < 3);
+        let rest = f.drain();
+        assert_eq!(first.len() + rest.len(), 3);
+        // Completions come back ordered by completion time.
+        let all: Vec<&Completion> = first.iter().chain(rest.iter()).collect();
+        for w in all.windows(2) {
+            assert!(w[0].complete_ns <= w[1].complete_ns);
+        }
+        let mut seen: Vec<CmdTag> = all.iter().map(|c| c.tag).collect();
+        seen.sort();
+        assert_eq!(seen, tags);
+        // Queue telemetry gauges reflect the run.
+        let snap = f.telemetry_snapshot().unwrap();
+        assert_eq!(snap.queue.submitted, 3);
+        assert_eq!(snap.queue.reaped, 3);
+        assert_eq!(snap.queue.inflight, 0);
+        assert_eq!(snap.queue.max_inflight, 3);
+        assert_eq!(snap.queue.depth, 32);
+    }
+
+    #[test]
+    fn queued_errors_surface_in_completions() {
+        let mut f = tiny();
+        let cap = f.capacity_pages();
+        f.submit(QueuedCmd::Read { lpn: Lpn(cap + 1) }).unwrap();
+        let done = f.drain();
+        assert_eq!(done.len(), 1);
+        assert!(matches!(done[0].result, Err(FtlError::LpnOutOfRange { .. })));
+    }
+
+    #[test]
+    fn deep_queue_under_gc_pressure_never_stalls() {
+        // Satellite regression: overwrite several times the pool's working
+        // set with a deep queue. Blocks pinned by unreaped commands are
+        // GC-ineligible; the raised watermarks must keep GC ahead anyway.
+        let cfg = FtlConfig::for_capacity_with(1 << 20, 0.5, 4096, 16, NandTiming::zero())
+            .with_parallelism(4, 1)
+            .with_queue_depth(16);
+        let mut f = Ftl::new(cfg);
+        let ps = f.page_size();
+        let span = 96u64;
+        for round in 0..10u8 {
+            for i in 0..span {
+                let data = vec![round ^ (i as u8); ps];
+                loop {
+                    match f.submit(QueuedCmd::Write { lpn: Lpn(i), data: data.clone() }) {
+                        Ok(_) => break,
+                        Err(FtlError::QueueFull { .. }) => {
+                            assert!(!f.reap().is_empty());
+                        }
+                        Err(e) => panic!("queued write failed under pressure: {e}"),
+                    }
+                }
+            }
+        }
+        for c in f.drain() {
+            assert!(c.is_ok(), "completion failed: {:?}", c.result);
+        }
+        assert!(f.stats().gc_events > 0, "pressure must actually trigger GC");
+        let mut buf = vec![0u8; ps];
+        for i in 0..span {
+            f.read(Lpn(i), &mut buf).unwrap();
+            assert!(buf.iter().all(|&b| b == 9 ^ (i as u8)), "lpn {i} diverged");
+        }
+        f.check_invariants();
+    }
+
+    #[test]
+    fn queued_batches_round_trip() {
+        let mut f = tiny_channels(4);
+        let ps = f.page_size();
+        let pages: Vec<(Lpn, Vec<u8>)> =
+            (0..16u64).map(|i| (Lpn(i), vec![(i % 251) as u8; ps])).collect();
+        f.submit(QueuedCmd::WriteBatch { pages: pages.clone() }).unwrap();
+        f.submit(QueuedCmd::WriteAtomic {
+            pages: (16..20u64).map(|i| (Lpn(i), vec![(i % 251) as u8; ps])).collect(),
+        })
+        .unwrap();
+        assert!(f.drain().iter().all(Completion::is_ok));
+        let lpns: Vec<Lpn> = (0..20).map(Lpn).collect();
+        f.submit(QueuedCmd::ReadBatch { lpns }).unwrap();
+        let done = f.drain();
+        let bufs = done[0].result.clone().unwrap().into_pages().unwrap();
+        assert_eq!(bufs.len(), 20);
+        for (i, b) in bufs.iter().enumerate() {
+            assert!(b.iter().all(|&x| x == (i % 251) as u8), "lpn {i} diverged");
+        }
         f.check_invariants();
     }
 }

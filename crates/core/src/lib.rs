@@ -50,6 +50,7 @@ mod error;
 mod ftl;
 mod mapping;
 mod pool;
+mod queue;
 mod shared;
 mod stats;
 mod types;
@@ -62,6 +63,7 @@ pub use error::FtlError;
 pub use ftl::{Ftl, WearStats};
 pub use mapping::{MappingTable, RevMap, RevMapPolicy, Unmapped};
 pub use pool::{BlockPool, BlockState, WritePoint};
+pub use queue::{CmdOutput, CmdTag, Completion, QueuedCmd};
 pub use shared::SharedDevice;
 pub use stats::DeviceStats;
 pub use types::{Lpn, SharePair};

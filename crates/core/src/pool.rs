@@ -67,6 +67,17 @@ pub struct BlockPool {
     /// frontier is behind this has in-flight batch pages and must not be
     /// erased by GC.
     alloc_next: Vec<u32>,
+    /// Per-block count of pages belonging to submitted-but-unreaped queued
+    /// commands. Such pages are already programmed on the medium (state is
+    /// eager), but the host has not observed their completion, so the block
+    /// must not be erased out from under the outstanding command.
+    inflight: Vec<u32>,
+    /// Blocks with `inflight > 0` (kept incrementally; sizes the GC
+    /// watermark raise in `Ftl::ensure_free`).
+    inflight_blocks: usize,
+    /// While capturing (between `begin_capture` / `end_capture`), every
+    /// allocation's block is recorded here and pinned in `inflight`.
+    capture: Option<Vec<u32>>,
 }
 
 impl BlockPool {
@@ -84,6 +95,9 @@ impl BlockPool {
             seal_seq: vec![0; count as usize],
             seal_counter: 0,
             alloc_next: vec![0; count as usize],
+            inflight: vec![0; count as usize],
+            inflight_blocks: 0,
+            capture: None,
         }
     }
 
@@ -178,7 +192,52 @@ impl BlockPool {
         open.next += 1;
         let (block, next) = (open.block, open.next);
         self.alloc_next[block as usize] = next;
+        if self.capture.is_some() {
+            self.pin_inflight(block);
+            self.capture.as_mut().expect("checked above").push(block);
+        }
         Ok(ppn)
+    }
+
+    fn pin_inflight(&mut self, rel: u32) {
+        if self.inflight[rel as usize] == 0 {
+            self.inflight_blocks += 1;
+        }
+        self.inflight[rel as usize] += 1;
+    }
+
+    /// Start recording which blocks the following allocations touch (one
+    /// entry per allocated page); each is pinned against GC until
+    /// [`Self::release_inflight`]. Used by queued command execution.
+    pub fn begin_capture(&mut self) {
+        debug_assert!(self.capture.is_none(), "capture windows do not nest");
+        self.capture = Some(Vec::new());
+    }
+
+    /// Stop recording and return the captured block list (to be released
+    /// when the command is reaped).
+    pub fn end_capture(&mut self) -> Vec<u32> {
+        self.capture.take().expect("end_capture without begin_capture")
+    }
+
+    /// Unpin blocks captured for a queued command once the host reaps its
+    /// completion.
+    pub fn release_inflight(&mut self, blocks: &[u32]) {
+        for &rel in blocks {
+            debug_assert!(self.inflight[rel as usize] > 0, "inflight underflow");
+            self.inflight[rel as usize] -= 1;
+            if self.inflight[rel as usize] == 0 {
+                self.inflight_blocks -= 1;
+            }
+        }
+    }
+
+    /// Blocks currently pinned by unreaped queued commands. `ensure_free`
+    /// raises its GC watermarks by this much: pinned blocks are ineligible
+    /// victims, so the same number of extra free blocks must be banked to
+    /// keep GC from stalling at high queue depth.
+    pub fn inflight_pinned_blocks(&self) -> usize {
+        self.inflight_blocks
     }
 
     /// Allocate the next physical page for `wp`, opening a fresh block from
@@ -197,11 +256,13 @@ impl BlockPool {
     }
 
     /// Whether `rel` may be chosen as a GC victim: closed (not a write
-    /// point) and with no allocated-but-unprogrammed pages still in flight
-    /// from a batched submission.
+    /// point), no allocated-but-unprogrammed pages still in flight from a
+    /// batched submission, and no pages of submitted-but-unreaped queued
+    /// commands.
     pub fn victim_eligible(&self, rel: u32, nand: &NandArray) -> bool {
         self.state[rel as usize] == BlockState::Closed
             && nand.write_frontier(self.abs(rel)) >= self.alloc_next[rel as usize]
+            && self.inflight[rel as usize] == 0
     }
 
     /// Return an erased victim to the free list.
@@ -221,6 +282,10 @@ impl BlockPool {
         self.user_cursor = 0;
         self.gc = None;
         self.free.clear();
+        // A crash drops the submission queue; nothing is in flight anymore.
+        self.inflight = vec![0; self.count as usize];
+        self.inflight_blocks = 0;
+        self.capture = None;
         for rel in 0..self.count {
             let frontier = nand.write_frontier(self.abs(rel));
             self.alloc_next[rel as usize] = frontier;
@@ -374,6 +439,64 @@ mod tests {
         let p4 = pool.alloc(&nand, WritePoint::User).unwrap();
         assert_eq!(g.block_of(p4), g.block_of(ppns[0]));
         assert_eq!(p4.0, ppns[0].0 + 1);
+    }
+
+    #[test]
+    fn captured_blocks_pin_victims_until_released() {
+        let (mut pool, mut nand) = setup();
+        // Fill one block inside a capture window, program every page.
+        pool.begin_capture();
+        let mut pages = Vec::new();
+        for _ in 0..4 {
+            let p = pool.alloc(&nand, WritePoint::User).unwrap();
+            nand.program(p, &[0u8; 512]).unwrap();
+            pages.push(p);
+        }
+        let captured = pool.end_capture();
+        assert_eq!(captured.len(), 4);
+        pool.alloc(&nand, WritePoint::User).unwrap(); // closes the full block
+        let rel = pool.rel(nand.geometry().block_of(pages[0])).unwrap();
+        assert_eq!(pool.state(rel), BlockState::Closed);
+        assert_eq!(pool.inflight_pinned_blocks(), 1);
+        assert!(
+            !pool.victim_eligible(rel, &nand),
+            "fully-programmed block must stay pinned while its command is unreaped"
+        );
+        pool.release_inflight(&captured);
+        assert_eq!(pool.inflight_pinned_blocks(), 0);
+        assert!(pool.victim_eligible(rel, &nand));
+    }
+
+    #[test]
+    fn overlapping_command_pins_release_independently() {
+        let (mut pool, mut nand) = setup();
+        pool.begin_capture();
+        let p0 = pool.alloc(&nand, WritePoint::User).unwrap();
+        nand.program(p0, &[0u8; 512]).unwrap();
+        let first = pool.end_capture();
+        pool.begin_capture();
+        let p1 = pool.alloc(&nand, WritePoint::User).unwrap();
+        nand.program(p1, &[0u8; 512]).unwrap();
+        let second = pool.end_capture();
+        // Both commands touched the same open block.
+        assert_eq!(first, second);
+        assert_eq!(pool.inflight_pinned_blocks(), 1);
+        pool.release_inflight(&first);
+        assert_eq!(pool.inflight_pinned_blocks(), 1, "second command still pins");
+        pool.release_inflight(&second);
+        assert_eq!(pool.inflight_pinned_blocks(), 0);
+    }
+
+    #[test]
+    fn rebuild_clears_inflight_pins() {
+        let (mut pool, mut nand) = setup();
+        pool.begin_capture();
+        let p = pool.alloc(&nand, WritePoint::User).unwrap();
+        nand.program(p, &[0u8; 512]).unwrap();
+        let _captured = pool.end_capture();
+        assert_eq!(pool.inflight_pinned_blocks(), 1);
+        pool.rebuild_from_nand(&nand);
+        assert_eq!(pool.inflight_pinned_blocks(), 0);
     }
 
     #[test]

@@ -1,0 +1,169 @@
+//! NVMe-style submission/completion queueing at the [`BlockDevice`]
+//! boundary.
+//!
+//! The synchronous `BlockDevice` methods model a host that submits one
+//! command and blocks until it completes — only pages *within* one batch
+//! ever overlap across NAND channels. Queued submission breaks that
+//! ceiling: the host enqueues tagged commands ([`QueuedCmd`]) up to the
+//! device's queue depth, the device executes each at submission time on a
+//! deferred NAND window (state eagerly, timing onto per-channel/way lanes),
+//! and the host later reaps [`Completion`]s. Commands from independent
+//! connections thus overlap across channels exactly as on a real NVMe
+//! device, while the simulated clock advances only when the host observes
+//! completions.
+//!
+//! [`BlockDevice`]: crate::BlockDevice
+
+use crate::error::FtlError;
+use crate::types::{Lpn, SharePair};
+
+/// Tag identifying one queued command on its device. Tags are unique for
+/// the device's lifetime (monotonic 32-bit counter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CmdTag(pub u32);
+
+impl std::fmt::Display for CmdTag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// A command enqueued on a device submission queue. Owns its payload: the
+/// host buffer is captured at submit time, so the submitting connection
+/// can move on before the command completes.
+#[derive(Debug, Clone)]
+pub enum QueuedCmd {
+    /// Read one page; completes with [`CmdOutput::Page`].
+    Read { lpn: Lpn },
+    /// Read a vector of pages as one submission; completes with
+    /// [`CmdOutput::Pages`] in request order.
+    ReadBatch { lpns: Vec<Lpn> },
+    /// Write one page.
+    Write { lpn: Lpn, data: Vec<u8> },
+    /// Write a vector of pages as one submission (prefix-durable on error,
+    /// like the sync `write_batch`).
+    WriteBatch { pages: Vec<(Lpn, Vec<u8>)> },
+    /// All-or-nothing multi-page write.
+    WriteAtomic { pages: Vec<(Lpn, Vec<u8>)> },
+    /// Atomic SHARE batch (one log page).
+    Share { pairs: Vec<SharePair> },
+    /// Chunked SHARE submission (one command, sub-batch atomicity).
+    ShareBatch { pairs: Vec<SharePair> },
+    /// Invalidate `len` pages starting at `lpn`.
+    Trim { lpn: Lpn, len: u64 },
+    /// Durability barrier for everything already submitted.
+    Flush,
+}
+
+impl QueuedCmd {
+    /// Stable name for spans/telemetry.
+    pub fn name(&self) -> &'static str {
+        match self {
+            QueuedCmd::Read { .. } => "q_read",
+            QueuedCmd::ReadBatch { .. } => "q_read_batch",
+            QueuedCmd::Write { .. } => "q_write",
+            QueuedCmd::WriteBatch { .. } => "q_write_batch",
+            QueuedCmd::WriteAtomic { .. } => "q_write_atomic",
+            QueuedCmd::Share { .. } => "q_share",
+            QueuedCmd::ShareBatch { .. } => "q_share_batch",
+            QueuedCmd::Trim { .. } => "q_trim",
+            QueuedCmd::Flush => "q_flush",
+        }
+    }
+}
+
+/// Data carried back by a completed command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CmdOutput {
+    /// No payload (writes, trim, share, flush).
+    None,
+    /// One page of read data.
+    Page(Vec<u8>),
+    /// Pages of read data, in request order.
+    Pages(Vec<Vec<u8>>),
+}
+
+impl CmdOutput {
+    /// The single page of a [`CmdOutput::Page`] completion.
+    pub fn into_page(self) -> Option<Vec<u8>> {
+        match self {
+            CmdOutput::Page(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// The page vector of a [`CmdOutput::Pages`] completion.
+    pub fn into_pages(self) -> Option<Vec<Vec<u8>>> {
+        match self {
+            CmdOutput::Pages(p) => Some(p),
+            _ => None,
+        }
+    }
+}
+
+/// A reaped completion: when the command was submitted, when the device
+/// finished it, and its outcome. `complete_ns - submit_ns` is the
+/// latency-under-load the telemetry histograms record.
+#[derive(Debug, Clone)]
+pub struct Completion {
+    /// Tag returned by `submit`.
+    pub tag: CmdTag,
+    /// Simulated time at submission.
+    pub submit_ns: u64,
+    /// Simulated time the device finished the command.
+    pub complete_ns: u64,
+    /// Outcome, with read payloads on success.
+    pub result: Result<CmdOutput, FtlError>,
+}
+
+impl Completion {
+    /// Whether the command succeeded.
+    pub fn is_ok(&self) -> bool {
+        self.result.is_ok()
+    }
+
+    /// Latency the host observed (completion minus submission).
+    pub fn latency_ns(&self) -> u64 {
+        self.complete_ns.saturating_sub(self.submit_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_order_and_display() {
+        assert!(CmdTag(1) < CmdTag(2));
+        assert_eq!(CmdTag(7).to_string(), "T7");
+    }
+
+    #[test]
+    fn output_accessors() {
+        assert_eq!(CmdOutput::Page(vec![1]).into_page(), Some(vec![1]));
+        assert_eq!(CmdOutput::None.into_page(), None);
+        assert_eq!(CmdOutput::Pages(vec![vec![2]]).into_pages(), Some(vec![vec![2]]));
+        assert_eq!(CmdOutput::Page(vec![1]).into_pages(), None);
+    }
+
+    #[test]
+    fn completion_latency_saturates() {
+        let c = Completion {
+            tag: CmdTag(0),
+            submit_ns: 100,
+            complete_ns: 250,
+            result: Ok(CmdOutput::None),
+        };
+        assert!(c.is_ok());
+        assert_eq!(c.latency_ns(), 150);
+        let weird = Completion { submit_ns: 300, ..c };
+        assert_eq!(weird.latency_ns(), 0);
+    }
+
+    #[test]
+    fn cmd_names_are_stable() {
+        assert_eq!(QueuedCmd::Read { lpn: Lpn(0) }.name(), "q_read");
+        assert_eq!(QueuedCmd::Flush.name(), "q_flush");
+        assert_eq!(QueuedCmd::Share { pairs: vec![] }.name(), "q_share");
+    }
+}

@@ -8,6 +8,7 @@
 
 use crate::device::BlockDevice;
 use crate::error::FtlError;
+use crate::queue::{CmdTag, Completion, QueuedCmd};
 use crate::stats::DeviceStats;
 use crate::types::{Lpn, SharePair};
 use nand_sim::SimClock;
@@ -106,6 +107,38 @@ impl<D: BlockDevice> BlockDevice for SharedDevice<D> {
 
     fn share_batch_limit(&self) -> usize {
         self.lock().share_batch_limit()
+    }
+
+    fn supports_queue(&self) -> bool {
+        self.lock().supports_queue()
+    }
+
+    fn queue_depth(&self) -> usize {
+        self.lock().queue_depth()
+    }
+
+    fn set_queue_depth(&mut self, depth: usize) {
+        self.lock().set_queue_depth(depth)
+    }
+
+    fn submit(&mut self, cmd: QueuedCmd) -> Result<CmdTag, FtlError> {
+        self.lock().submit(cmd)
+    }
+
+    fn poll(&mut self) -> Vec<Completion> {
+        self.lock().poll()
+    }
+
+    fn reap(&mut self) -> Vec<Completion> {
+        self.lock().reap()
+    }
+
+    fn drain(&mut self) -> Vec<Completion> {
+        self.lock().drain()
+    }
+
+    fn inflight(&self) -> usize {
+        self.lock().inflight()
     }
 
     fn stats(&self) -> DeviceStats {

@@ -320,19 +320,25 @@ impl<D: BlockDevice> CouchStore<D> {
 
     // ----- document I/O ------------------------------------------------------
 
-    fn append_doc(&mut self, key: u64, payload: &[u8]) -> Result<DocPtr, CouchError> {
+    /// Append a document's blocks at the tail: one batched submission when
+    /// blocking, one *queued* command when `queued` (the caller drains the
+    /// file system's queue before any ordering point).
+    fn append_doc_with(&mut self, key: u64, payload: &[u8], queued: bool) -> Result<DocPtr, CouchError> {
         let bs = self.fs.page_size();
         let rev = self.next_rev;
         self.next_rev += 1;
         let blocks = encode_doc(key, rev, payload, bs);
         let ptr = DocPtr { block: self.tail, nblocks: blocks.len() as u16, len: payload.len() as u32 };
-        // One batched submission for all of the document's blocks.
         let batch: Vec<(u64, &[u8])> = blocks
             .iter()
             .enumerate()
             .map(|(i, img)| (self.tail + i as u64, img.as_slice()))
             .collect();
-        self.fs.write_pages(self.file, &batch)?;
+        if queued {
+            self.fs.submit_write_pages(self.file, &batch)?;
+        } else {
+            self.fs.write_pages(self.file, &batch)?;
+        }
         self.tail += blocks.len() as u64;
         self.stats.doc_blocks_appended += blocks.len() as u64;
         Ok(ptr)
@@ -349,6 +355,11 @@ impl<D: BlockDevice> CouchStore<D> {
                 .collect();
             self.fs.read_pages(self.file, &mut reqs)?;
         }
+        Self::decode_doc_payload(ptr, &bufs)
+    }
+
+    /// Reassemble a document from its read block images.
+    fn decode_doc_payload(ptr: DocPtr, bufs: &[Vec<u8>]) -> Result<Vec<u8>, CouchError> {
         let mut payload = Vec::with_capacity(ptr.len as usize);
         for (i, buf) in bufs.iter().enumerate() {
             let d = decode_doc_block(buf).ok_or_else(|| {
@@ -406,6 +417,55 @@ impl<D: BlockDevice> CouchStore<D> {
         }
     }
 
+    /// Read several documents (e.g. the reads of concurrent connections)
+    /// as overlapping queued commands: index paths resolve first (node
+    /// reads are cached), then every document's blocks go to the device as
+    /// an independent queued read. Falls back to serial gets on devices
+    /// without queued submission.
+    pub fn get_many(&mut self, keys: &[u64]) -> Result<Vec<Option<Vec<u8>>>, CouchError> {
+        if !self.fs.supports_queue() || keys.len() <= 1 {
+            return keys.iter().map(|&k| self.get(k)).collect();
+        }
+        let span = self.root_span("group_get");
+        let r = self.get_many_inner(keys);
+        self.end_span(span, r.is_ok());
+        r
+    }
+
+    fn get_many_inner(&mut self, keys: &[u64]) -> Result<Vec<Option<Vec<u8>>>, CouchError> {
+        let mut ptrs = Vec::with_capacity(keys.len());
+        for &k in keys {
+            ptrs.push(self.current_of(k)?.map(|(p, _)| p));
+        }
+        let mut tags: Vec<(usize, share_core::CmdTag, DocPtr)> = Vec::with_capacity(keys.len());
+        let mut completions = Vec::new();
+        for (i, ptr) in ptrs.iter().enumerate() {
+            let Some(p) = ptr else { continue };
+            let pages: Vec<u64> = (0..p.nblocks as u64).map(|j| p.block + j).collect();
+            let tag = loop {
+                match self.fs.submit_read_pages(self.file, &pages) {
+                    Ok(t) => break t,
+                    Err(share_vfs::VfsError::Device(share_core::FtlError::QueueFull { .. })) => {
+                        completions.extend(self.fs.reap_queue());
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            };
+            tags.push((i, tag, *p));
+        }
+        completions.extend(self.fs.drain_queue());
+        let mut out: Vec<Option<Vec<u8>>> = vec![None; keys.len()];
+        for c in completions {
+            let output = c.result.map_err(share_vfs::VfsError::Device)?;
+            let Some(&(i, _, ptr)) = tags.iter().find(|(_, t, _)| *t == c.tag) else { continue };
+            let bufs = output
+                .into_pages()
+                .ok_or_else(|| CouchError::Corrupt("queued read carried no pages".into()))?;
+            out[i] = Some(Self::decode_doc_payload(ptr, &bufs)?);
+        }
+        Ok(out)
+    }
+
     /// Read a document by its sequence number (committed state only).
     pub fn get_by_seq(&mut self, seq: u64) -> Result<Option<(u64, Vec<u8>)>, CouchError> {
         let Some(e) = self.lookup_in(self.seq_root, self.seq_root_level, seq)? else {
@@ -444,6 +504,63 @@ impl<D: BlockDevice> CouchStore<D> {
     /// Insert or update a document. Appends the new copy immediately; the
     /// index effect is deferred to the commit boundary (`batch_size`).
     pub fn save(&mut self, key: u64, payload: &[u8]) -> Result<(), CouchError> {
+        self.save_with(key, payload, false)?;
+        self.bump_and_maybe_commit()
+    }
+
+    /// Save documents from several connections as one group: every copy is
+    /// appended as a *queued* device command (appends from independent
+    /// documents overlap across NAND channels), the queue is drained, and
+    /// a single commit covers the whole group once `batch_size` is due —
+    /// the group-commit path concurrent drivers use. Falls back to serial
+    /// saves on devices without queued submission.
+    pub fn save_many(&mut self, docs: &[(u64, &[u8])]) -> Result<(), CouchError> {
+        if !self.fs.supports_queue() || docs.len() <= 1 {
+            for (key, payload) in docs {
+                self.save(*key, payload)?;
+            }
+            return Ok(());
+        }
+        let span = self.root_span("group_save");
+        let r = self.save_many_inner(docs);
+        self.end_span(span, r.is_ok());
+        r
+    }
+
+    fn save_many_inner(&mut self, docs: &[(u64, &[u8])]) -> Result<(), CouchError> {
+        let depth = self.fs.queue_depth().max(1);
+        for (key, payload) in docs {
+            // Each append is one queued command; make room under depth.
+            while self.fs.inflight() >= depth {
+                self.drain_some()?;
+            }
+            self.save_with(*key, payload, true)?;
+            self.ops_since_commit += 1;
+        }
+        self.drain_appends()?;
+        if self.ops_since_commit >= self.cfg.batch_size {
+            self.commit()?;
+        }
+        Ok(())
+    }
+
+    /// Reap every outstanding queued append, surfacing the first failure.
+    fn drain_appends(&mut self) -> Result<(), CouchError> {
+        for c in self.fs.drain_queue() {
+            c.result.map_err(share_vfs::VfsError::Device)?;
+        }
+        Ok(())
+    }
+
+    /// Reap at least one outstanding queued append (backpressure relief).
+    fn drain_some(&mut self) -> Result<(), CouchError> {
+        for c in self.fs.reap_queue() {
+            c.result.map_err(share_vfs::VfsError::Device)?;
+        }
+        Ok(())
+    }
+
+    fn save_with(&mut self, key: u64, payload: &[u8], queued: bool) -> Result<(), CouchError> {
         let bs = self.fs.page_size();
         let new_blocks = doc_blocks(payload.len(), bs);
 
@@ -458,7 +575,7 @@ impl<D: BlockDevice> CouchStore<D> {
             if !self.pending.contains_key(&key) {
                 if let Some((old, _seq)) = self.tree_lookup(key)? {
                     if old.nblocks as u64 == new_blocks && old.len as usize == payload.len() {
-                        let new_ptr = self.append_doc(key, payload)?;
+                        let new_ptr = self.append_doc_with(key, payload, queued)?;
                         // The appended copy's blocks become stale the moment
                         // the remap lands (the tree keeps the old location);
                         // a superseded earlier copy in this batch is stale
@@ -466,7 +583,7 @@ impl<D: BlockDevice> CouchStore<D> {
                         self.pending_shares.insert(key, (old, new_ptr));
                         self.stale_blocks += new_blocks;
                         self.stats.share_remaps += 1;
-                        return self.bump_and_maybe_commit();
+                        return Ok(());
                     }
                 }
                 self.stats.share_fallbacks += 1;
@@ -476,7 +593,7 @@ impl<D: BlockDevice> CouchStore<D> {
         }
 
         let old_seq = self.current_of(key)?.map(|(_, s)| s);
-        let ptr = self.append_doc(key, payload)?;
+        let ptr = self.append_doc_with(key, payload, queued)?;
         let seq = self.next_seq;
         self.next_seq += 1;
         self.pending.insert(key, Pending::Put(ptr, seq));
@@ -484,7 +601,7 @@ impl<D: BlockDevice> CouchStore<D> {
             self.pending_seq.insert(old, Pending::Delete);
         }
         self.pending_seq.insert(seq, Pending::Put(ptr, key));
-        self.bump_and_maybe_commit()
+        Ok(())
     }
 
     /// Delete a document (tree path in both modes).
@@ -526,6 +643,11 @@ impl<D: BlockDevice> CouchStore<D> {
     fn commit_inner(&mut self) -> Result<(), CouchError> {
         if self.ops_since_commit == 0 && self.pending.is_empty() && self.pending_shares.is_empty() {
             return Ok(());
+        }
+        // Ordering point: queued appends must be on the medium — and their
+        // simulated completion observed — before the commit's share/fsync.
+        if self.fs.inflight() > 0 {
+            self.drain_appends()?;
         }
         // No explicit fsync on the SHARE path: the share command itself
         // persists the mapping log, which covers the appended copies' write

@@ -462,3 +462,73 @@ fn share_mode_written_volume_is_batch_independent() {
         "SHARE written volume should not depend on batch size: {w1} vs {w64}"
     );
 }
+
+#[test]
+fn group_save_and_get_match_serial_semantics() {
+    for mode in [CouchMode::Original, CouchMode::Share] {
+        let cfg = FtlConfig::for_capacity_with(48 << 20, 0.3, 4096, 32, NandTiming::default())
+            .with_parallelism(4, 1);
+        let fs = Vfs::format(Ftl::new(cfg), VfsOptions::default()).unwrap();
+        let mut s = CouchStore::create(
+            fs,
+            "group.couch",
+            CouchConfig { mode, batch_size: 4, node_max_entries: 16, ..Default::default() },
+        )
+        .unwrap();
+        // Seed, then group-save a concurrent batch of updates + inserts.
+        for k in 0..32u64 {
+            s.save(k, &doc(k, 1)).unwrap();
+        }
+        s.commit().unwrap();
+        let docs: Vec<(u64, Vec<u8>)> =
+            (0..8u64).map(|k| (k * 3, doc(k * 3, 2))).collect();
+        let batch: Vec<(u64, &[u8])> = docs.iter().map(|(k, d)| (*k, d.as_slice())).collect();
+        s.save_many(&batch).unwrap();
+        s.commit().unwrap();
+        // Queued multiget sees the new versions; misses stay None.
+        let keys: Vec<u64> = (0..8u64).map(|k| k * 3).chain([10_000]).collect();
+        let got = s.get_many(&keys).unwrap();
+        for (i, (k, d)) in docs.iter().enumerate() {
+            assert_eq!(got[i].as_deref(), Some(d.as_slice()), "key {k} diverged under {mode:?}");
+        }
+        assert_eq!(got[8], None);
+        // Serial gets agree.
+        for (k, d) in &docs {
+            assert_eq!(s.get(*k).unwrap().as_deref(), Some(d.as_slice()));
+        }
+    }
+}
+
+#[test]
+fn group_save_overlaps_across_channels() {
+    // The same 8-document group, on 1 channel vs 8: queued group appends
+    // must get faster with channels (the serial save path did not).
+    let elapsed_with = |channels: u32| -> u64 {
+        let cfg = FtlConfig::for_capacity_with(48 << 20, 0.3, 4096, 32, NandTiming::default())
+            .with_parallelism(channels, 1);
+        let fs = Vfs::format(Ftl::new(cfg), VfsOptions::default()).unwrap();
+        let mut s = CouchStore::create(
+            fs,
+            "ch.couch",
+            CouchConfig {
+                mode: CouchMode::Original,
+                batch_size: 64,
+                node_max_entries: 16,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let clock = s.clock();
+        let t0 = clock.now_ns();
+        let docs: Vec<(u64, Vec<u8>)> = (0..8u64).map(|k| (k, doc(k, 1))).collect();
+        let batch: Vec<(u64, &[u8])> = docs.iter().map(|(k, d)| (*k, d.as_slice())).collect();
+        s.save_many(&batch).unwrap();
+        clock.now_ns() - t0
+    };
+    let serial = elapsed_with(1);
+    let parallel = elapsed_with(8);
+    assert!(
+        parallel * 2 < serial,
+        "8-doc group on 8 channels ({parallel} ns) should beat 1 channel ({serial} ns) by >2x"
+    );
+}

@@ -38,9 +38,9 @@ pub enum FtlOp {
 }
 
 /// Shadow logical state: fill byte per LPN, `None` = unmapped.
-type State = Vec<Option<u8>>;
+pub(crate) type State = Vec<Option<u8>>;
 
-fn apply(state: &mut State, op: &FtlOp) {
+pub(crate) fn apply(state: &mut State, op: &FtlOp) {
     match op {
         FtlOp::Write { lpn, fill } => state[*lpn as usize] = Some(*fill),
         FtlOp::Read { .. } => {}
@@ -63,7 +63,7 @@ fn apply(state: &mut State, op: &FtlOp) {
 }
 
 /// Whether a *successful* `op` makes everything before it durable.
-fn is_durability_point(op: &FtlOp) -> bool {
+pub(crate) fn is_durability_point(op: &FtlOp) -> bool {
     matches!(
         op,
         FtlOp::Share { .. } | FtlOp::WriteAtomic { .. } | FtlOp::Flush | FtlOp::Checkpoint
@@ -101,10 +101,10 @@ fn exec(ftl: &mut Ftl, op: &FtlOp) -> Result<(), FtlError> {
 /// Drive `ops` against a fresh FTL with the fault handle already armed
 /// (or not, for measurement). Returns the model snapshots after each
 /// applied op, the admissible floor, and whether the run crashed.
-struct RunTrace {
-    states: Vec<State>,
-    floor: usize,
-    crashed: bool,
+pub(crate) struct RunTrace {
+    pub(crate) states: Vec<State>,
+    pub(crate) floor: usize,
+    pub(crate) crashed: bool,
 }
 
 fn drive(ftl: &mut Ftl, handle: &FaultHandle, ops: &[FtlOp], pages: u64) -> Result<RunTrace, String> {
@@ -146,7 +146,7 @@ fn drive(ftl: &mut Ftl, handle: &FaultHandle, ops: &[FtlOp], pages: u64) -> Resu
 }
 
 /// The full recovery oracle against a reopened device.
-fn verify_recovered(rec: &mut Ftl, trace: &RunTrace, cfg: &FtlConfig) -> Result<(), String> {
+pub(crate) fn verify_recovered(rec: &mut Ftl, trace: &RunTrace, cfg: &FtlConfig) -> Result<(), String> {
     // 1. The FTL's own exhaustive invariant walk (refcounts vs L2P,
     //    per-block valid counts, referrer discoverability).
     let ok = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| rec.check_invariants()));
@@ -278,9 +278,9 @@ fn run_ftl_case(
 /// one on any fault-free prefix.
 #[derive(Debug, Clone)]
 pub struct FtlMixedWorkload {
-    seed: u64,
-    ops: Vec<FtlOp>,
-    cfg: FtlConfig,
+    pub(crate) seed: u64,
+    pub(crate) ops: Vec<FtlOp>,
+    pub(crate) cfg: FtlConfig,
 }
 
 /// Logical pages of the mixed workload: small, so GC, sharing and

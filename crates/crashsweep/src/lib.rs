@@ -31,9 +31,11 @@
 
 pub mod ftl_workload;
 pub mod innodb_workload;
+pub mod queued_workload;
 pub mod sqlite_workload;
 
 pub use ftl_workload::{FtlMixedWorkload, FtlTraceWorkload};
+pub use queued_workload::{FtlQueuedWorkload, QueuedCaseOutcome};
 pub use innodb_workload::InnodbShareWorkload;
 pub use sqlite_workload::SqliteShareWorkload;
 

@@ -12,8 +12,8 @@
 
 use nand_sim::FaultMode;
 use share_crashsweep::{
-    deep_point_cap, sweep, CrashWorkload, FtlMixedWorkload, InnodbShareWorkload,
-    SqliteShareWorkload,
+    deep_point_cap, sweep, CrashWorkload, FtlMixedWorkload, FtlQueuedWorkload,
+    InnodbShareWorkload, SqliteShareWorkload,
 };
 
 /// Stride that visits about `target` points of a `total`-point space.
@@ -39,6 +39,10 @@ fn smoke_sweep_covers_200_points_across_the_stack() {
     visited += run_smoke(&SqliteShareWorkload::new(7, 24, 10), 45);
     // Engine-level: mini-InnoDB's DWB-via-SHARE flush/checkpoint path.
     visited += run_smoke(&InnodbShareWorkload::new(9, 40, 60), 45);
+    // Queued submission path: the same mixed op mix through the NVMe-style
+    // queue with commands in flight at the crash (submission boundaries
+    // via TornHalf/DroppedWrite, completion boundaries via AfterProgram).
+    visited += run_smoke(&FtlQueuedWorkload::new(42, 300, 4), 120);
     assert!(
         visited >= 200,
         "smoke tier must visit at least 200 distinct crash points, got {visited}"
@@ -54,10 +58,11 @@ fn smoke_sweep_covers_200_points_across_the_stack() {
 #[test]
 fn deep_sweep_soak() {
     let Some(cap) = deep_point_cap() else { return };
-    let workloads: [Box<dyn CrashWorkload>; 3] = [
+    let workloads: [Box<dyn CrashWorkload>; 4] = [
         Box::new(FtlMixedWorkload::new(1009, 800)),
         Box::new(SqliteShareWorkload::new(1013, 32, 25)),
         Box::new(InnodbShareWorkload::new(1019, 48, 150)),
+        Box::new(FtlQueuedWorkload::new(1021, 800, 4)),
     ];
     for w in &workloads {
         let total = w.crash_points();

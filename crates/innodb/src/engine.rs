@@ -112,6 +112,8 @@ pub struct EngineStats {
     pub share_fallbacks: u64,
     /// Fuzzy checkpoints taken.
     pub checkpoints: u64,
+    /// Group-commit windows closed (one shared log fsync each).
+    pub group_commits: u64,
 }
 
 enum LoadOutcome {
@@ -135,6 +137,11 @@ pub struct InnoDb<D: BlockDevice> {
     /// LSN of the last appended MtrEnd; dirty pages above this are pinned.
     mtr_safe_lsn: u64,
     replaying: bool,
+    /// Inside a group-commit window: commits log their MtrEnd but defer
+    /// log durability to the closing [`Self::group_commit`].
+    in_group: bool,
+    /// Transactions committed in the open group window.
+    group_pending: u64,
     stats: EngineStats,
 }
 
@@ -173,6 +180,8 @@ impl<D: BlockDevice> InnoDb<D> {
             ppd,
             mtr_safe_lsn: 0,
             replaying: false,
+            in_group: false,
+            group_pending: 0,
             stats: EngineStats::default(),
         })
     }
@@ -205,6 +214,8 @@ impl<D: BlockDevice> InnoDb<D> {
             ppd,
             mtr_safe_lsn: 0,
             replaying: true,
+            in_group: false,
+            group_pending: 0,
             stats: EngineStats::default(),
         };
         if meta.height == 0 && meta.root == 0 {
@@ -340,6 +351,57 @@ impl<D: BlockDevice> InnoDb<D> {
         Ok(())
     }
 
+    /// Load several tablespace pages with ONE batched device read so the
+    /// device-page reads overlap across NAND channels. Already-resident
+    /// pages are skipped; when the batch would swamp the pool the call is
+    /// a no-op and the serial [`Self::ensure_resident`] path takes over.
+    pub(crate) fn load_pages_batched(&mut self, page_nos: &[u64]) -> Result<(), EngineError> {
+        let mut missing: Vec<u64> =
+            page_nos.iter().copied().filter(|&no| !self.pool.contains(no)).collect();
+        missing.sort_unstable();
+        missing.dedup();
+        if missing.is_empty() {
+            return Ok(());
+        }
+        if missing.len() * 2 >= self.pool.capacity() {
+            return Ok(());
+        }
+        self.make_room_for(missing.len())?;
+        let dps = self.fs.page_size();
+        let mut imgs: Vec<Vec<u8>> =
+            missing.iter().map(|_| vec![0u8; self.cfg.page_bytes]).collect();
+        {
+            let mut reqs: Vec<(u64, &mut [u8])> =
+                Vec::with_capacity(missing.len() * self.ppd as usize);
+            for (img, &no) in imgs.iter_mut().zip(&missing) {
+                let base = self.ts_offset(no);
+                for (j, chunk) in img.chunks_mut(dps).enumerate() {
+                    reqs.push((base + j as u64, chunk));
+                }
+            }
+            self.fs.read_pages(self.ts, &mut reqs)?;
+        }
+        for (img, &no) in imgs.iter().zip(&missing) {
+            match NodePage::decode(img) {
+                Ok(p) if p.page_no == no => self.pool.insert(p, false),
+                Ok(p) => {
+                    return Err(EngineError::Corrupt(format!(
+                        "page {no} holds image of page {}",
+                        p.page_no
+                    )))
+                }
+                Err(PageDecodeError::Empty) => {} // serial path reports if really read
+                Err(PageDecodeError::BadChecksum { .. }) => {
+                    return Err(EngineError::TornPage { page_no: no })
+                }
+                Err(PageDecodeError::Malformed(m)) => {
+                    return Err(EngineError::Corrupt(format!("page {no}: {m}")))
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Make a page resident, loading it from the tablespace if needed.
     pub(crate) fn ensure_resident(&mut self, page_no: u64) -> Result<(), EngineError> {
         if self.pool.contains(page_no) {
@@ -356,7 +418,13 @@ impl<D: BlockDevice> InnoDb<D> {
     }
 
     fn make_room(&mut self) -> Result<(), EngineError> {
-        while self.pool.len() >= self.pool.capacity() {
+        self.make_room_for(1)
+    }
+
+    /// Evict until `slots` insertions fit (batched prefetch needs several
+    /// frames at once).
+    fn make_room_for(&mut self, slots: usize) -> Result<(), EngineError> {
+        while self.pool.len() + slots > self.pool.capacity() {
             let (victim, dirty) = self.pool.lru_victim().expect("full pool has a victim");
             if dirty {
                 let mut batch: Vec<u64> = self
@@ -671,9 +739,47 @@ impl<D: BlockDevice> InnoDb<D> {
         self.mtr_end()?;
         self.stats.commits += 1;
         self.fs.device().clock().advance(self.cfg.cpu_ns_per_op);
+        if self.in_group {
+            // Group-commit window: the MtrEnd is logged, durability is
+            // deferred to the shared fsync in `group_commit`.
+            self.group_pending += 1;
+            return Ok(());
+        }
         if self.cfg.fsync_on_commit {
             self.log.flush()?;
         }
+        if self.log.needs_checkpoint(self.cfg.ckpt_redo_bytes) {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Open a group-commit window: transactions committed until the next
+    /// [`Self::group_commit`] log their MtrEnd immediately but share ONE
+    /// log fsync — the classic group commit of C concurrent connections.
+    pub fn begin_group(&mut self) {
+        self.in_group = true;
+    }
+
+    /// Close the group-commit window: one log flush makes every deferred
+    /// transaction durable, then the usual checkpoint budget check runs.
+    pub fn group_commit(&mut self) -> Result<(), EngineError> {
+        self.in_group = false;
+        if self.group_pending == 0 {
+            return Ok(());
+        }
+        self.group_pending = 0;
+        let span = self.root_span("group_commit");
+        let r = self.group_commit_inner();
+        self.end_span(span, r.is_ok());
+        r
+    }
+
+    fn group_commit_inner(&mut self) -> Result<(), EngineError> {
+        if self.cfg.fsync_on_commit {
+            self.log.flush()?;
+        }
+        self.stats.group_commits += 1;
         if self.log.needs_checkpoint(self.cfg.ckpt_redo_bytes) {
             self.checkpoint()?;
         }

@@ -22,6 +22,20 @@ pub enum PageState {
 /// Byte value an erased NAND page reads as.
 const ERASED_BYTE: u8 = 0xFF;
 
+/// An open deferred-submission window: while active, operations dispatch
+/// onto their unit lanes starting from `frontier` but the shared clock is
+/// *not* advanced — the caller (a queued-command executor) learns the
+/// command's completion time from [`NandArray::end_deferred`] and decides
+/// when the host observes it.
+#[derive(Debug, Clone, Copy)]
+struct DeferredWindow {
+    /// Serial frontier inside the window: each sub-submission dispatches at
+    /// this time and moves it to its max completion, so one command's
+    /// internal phases (data program, log flush, GC) remain sequenced
+    /// exactly as the synchronous path sequences them.
+    frontier: u64,
+}
+
 /// A simulated NAND flash array.
 ///
 /// Content is stored per page (`None` = erased) so upper layers can verify
@@ -38,6 +52,14 @@ const ERASED_BYTE: u8 = 0xFF;
 /// their service time (identical to the pre-channel serial model), while a
 /// batch submission overlaps pages that land on different units and queues
 /// pages that share one.
+///
+/// Queued command execution opens a *deferred window*
+/// ([`Self::begin_deferred`]): operations still reserve their unit lanes at
+/// submission time, but the shared clock stays put and the command's
+/// completion time is reported to the caller instead. Commands queued from
+/// different hosts thus overlap across units exactly like pages of one
+/// batch do, while the host-visible clock only advances when completions
+/// are reaped.
 #[derive(Debug)]
 pub struct NandArray {
     geometry: NandGeometry,
@@ -51,10 +73,15 @@ pub struct NandArray {
     erase_counts: Vec<u32>,
     stats: NandStats,
     /// Per-unit (channel x way) time at which the unit next becomes idle.
-    /// Invariant between submissions: `busy_until[u] <= clock.now()` for
-    /// every unit, because each submission advances the clock to its max
-    /// completion time.
+    /// On the synchronous path `busy_until[u] <= clock.now()` holds between
+    /// submissions, because each submission advances the clock to its max
+    /// completion time. Queued (deferred-window) submissions relax this:
+    /// lanes may be reserved past `clock.now()` until the host reaps the
+    /// completions; `dispatch` already queues behind such reservations via
+    /// `busy_until[unit].max(t0)`.
     busy_until: Vec<u64>,
+    /// Active deferred-submission window, if any (queued command execution).
+    deferred: Option<DeferredWindow>,
     /// Cumulative service time per unit — busy/idle utilization counters.
     /// Runtime-only (never persisted in images).
     busy_ns: Vec<u64>,
@@ -84,6 +111,7 @@ impl NandArray {
             stats: NandStats::default(),
             busy_until: vec![0; geometry.units() as usize],
             busy_ns: vec![0; geometry.units() as usize],
+            deferred: None,
             tracer: Tracer::disabled(),
         }
     }
@@ -170,6 +198,68 @@ impl NandArray {
             });
         }
         Ok(())
+    }
+
+    /// Open a deferred-submission window at the current simulated time.
+    /// Until [`Self::end_deferred`], operations dispatch on their unit lanes
+    /// (queueing behind earlier reservations, overlapping across units) but
+    /// the shared clock stays put — the caller owns the completion time.
+    ///
+    /// Windows do not nest; a second `begin_deferred` before `end_deferred`
+    /// is a logic error in the queued-command executor.
+    pub fn begin_deferred(&mut self) {
+        debug_assert!(self.deferred.is_none(), "deferred windows do not nest");
+        self.deferred = Some(DeferredWindow { frontier: self.clock.now_ns() });
+    }
+
+    /// Close the deferred window and return the command's completion time
+    /// (the window frontier after every sub-submission and charge). The
+    /// shared clock has not moved; advancing it to (at least) the returned
+    /// time when the host observes the completion is the caller's job.
+    pub fn end_deferred(&mut self) -> u64 {
+        self.deferred.take().expect("end_deferred without begin_deferred").frontier
+    }
+
+    /// Whether a deferred window is currently open.
+    pub fn deferred_active(&self) -> bool {
+        self.deferred.is_some()
+    }
+
+    /// Charge non-NAND command time (controller/command overhead, bus
+    /// transfer for unmapped reads). Synchronous path: advances the shared
+    /// clock, exactly like `clock().advance(ns)` always did. Inside a
+    /// deferred window: extends the window frontier instead, so the charge
+    /// lands in the queued command's completion time.
+    pub fn charge(&mut self, ns: u64) {
+        match self.deferred.as_mut() {
+            Some(w) => w.frontier += ns,
+            None => {
+                self.clock.advance(ns);
+            }
+        }
+    }
+
+    /// Submission time for the next operation: the deferred-window frontier
+    /// when a window is open, the shared clock otherwise.
+    #[inline]
+    fn submit_t0(&self) -> u64 {
+        match self.deferred {
+            Some(w) => w.frontier,
+            None => self.clock.now_ns(),
+        }
+    }
+
+    /// Complete a submission whose max completion time is `max_end`:
+    /// synchronous path advances the shared clock; a deferred window only
+    /// moves its frontier.
+    #[inline]
+    fn complete_submission(&mut self, max_end: u64) {
+        match self.deferred.as_mut() {
+            Some(w) => w.frontier = w.frontier.max(max_end),
+            None => {
+                self.clock.advance_to(max_end);
+            }
+        }
     }
 
     /// Reserve `unit` for `service_ns`, starting no earlier than submission
@@ -313,9 +403,9 @@ impl NandArray {
     /// Read one page into `buf`. Erased pages read as 0xFF.
     pub fn read(&mut self, ppn: Ppn, buf: &mut [u8]) -> Result<()> {
         self.check_up()?;
-        let t0 = self.clock.now_ns();
+        let t0 = self.submit_t0();
         let (end, res) = self.read_one(ppn, buf, t0);
-        self.clock.advance_to(end);
+        self.complete_submission(end);
         res
     }
 
@@ -324,7 +414,7 @@ impl NandArray {
     /// in simulated time while same-unit pages queue behind each other.
     pub fn read_batch(&mut self, reqs: &mut [(Ppn, &mut [u8])]) -> Result<()> {
         self.check_up()?;
-        let t0 = self.clock.now_ns();
+        let t0 = self.submit_t0();
         let mut max_end = t0;
         let mut res = Ok(());
         for (ppn, buf) in reqs.iter_mut() {
@@ -335,7 +425,7 @@ impl NandArray {
                 break;
             }
         }
-        self.clock.advance_to(max_end);
+        self.complete_submission(max_end);
         res
     }
 
@@ -343,9 +433,9 @@ impl NandArray {
     /// programming within the block. An armed fault can tear this program.
     pub fn program(&mut self, ppn: Ppn, data: &[u8]) -> Result<()> {
         self.check_up()?;
-        let t0 = self.clock.now_ns();
+        let t0 = self.submit_t0();
         let (end, res) = self.program_one(ppn, data, t0);
-        self.clock.advance_to(end);
+        self.complete_submission(end);
         res
     }
 
@@ -358,7 +448,7 @@ impl NandArray {
     /// moves once, to the max completion time across units.
     pub fn program_batch(&mut self, reqs: &[(Ppn, &[u8])]) -> Result<()> {
         self.check_up()?;
-        let t0 = self.clock.now_ns();
+        let t0 = self.submit_t0();
         let mut max_end = t0;
         let mut res = Ok(());
         for (ppn, data) in reqs {
@@ -369,23 +459,23 @@ impl NandArray {
                 break;
             }
         }
-        self.clock.advance_to(max_end);
+        self.complete_submission(max_end);
         res
     }
 
     /// Erase a whole block, freeing all its pages.
     pub fn erase(&mut self, block: BlockId) -> Result<()> {
         self.check_up()?;
-        let t0 = self.clock.now_ns();
+        let t0 = self.submit_t0();
         let (end, res) = self.erase_one(block, t0);
-        self.clock.advance_to(end);
+        self.complete_submission(end);
         res
     }
 
     /// Erase a vector of blocks as one submission, channel-parallel.
     pub fn erase_batch(&mut self, blocks: &[BlockId]) -> Result<()> {
         self.check_up()?;
-        let t0 = self.clock.now_ns();
+        let t0 = self.submit_t0();
         let mut max_end = t0;
         let mut res = Ok(());
         for &block in blocks {
@@ -396,7 +486,7 @@ impl NandArray {
                 break;
             }
         }
-        self.clock.advance_to(max_end);
+        self.complete_submission(max_end);
         res
     }
 
@@ -459,6 +549,7 @@ impl NandArray {
             stats,
             busy_until: vec![0; geometry.units() as usize],
             busy_ns: vec![0; geometry.units() as usize],
+            deferred: None,
             tracer: Tracer::disabled(),
         })
     }
@@ -790,6 +881,76 @@ mod tests {
         assert_eq!(spans[0].name, "program");
         // Tracing never advanced the clock beyond the timing model.
         assert_eq!(a.now_ns(), 2 * p);
+    }
+
+    #[test]
+    fn deferred_windows_overlap_across_channels_without_moving_clock() {
+        let mut a = four_channel();
+        let t = a.timing();
+        let p = t.program_ns + t.xfer_ns(512);
+        let data = page(0xA1, 512);
+
+        // Two queued single-page programs on distinct channels: both windows
+        // open at t=0, both complete at p, and the clock never moves.
+        a.begin_deferred();
+        a.program(Ppn(0), &data).unwrap();
+        let end0 = a.end_deferred();
+        a.begin_deferred();
+        a.program(Ppn(4), &data).unwrap();
+        let end1 = a.end_deferred();
+        assert_eq!((end0, end1), (p, p));
+        assert_eq!(a.clock().now_ns(), 0);
+
+        // The host observes completions by advancing the clock itself.
+        a.clock().advance_to(end0.max(end1));
+        assert_eq!(a.clock().now_ns(), p);
+    }
+
+    #[test]
+    fn deferred_windows_queue_on_a_shared_unit() {
+        let mut a = four_channel();
+        let t = a.timing();
+        let p = t.program_ns + t.xfer_ns(512);
+        let data = page(0xA2, 512);
+        // Same block => same unit: the second queued command waits for the
+        // lane even though both were submitted at t=0.
+        a.begin_deferred();
+        a.program(Ppn(0), &data).unwrap();
+        assert_eq!(a.end_deferred(), p);
+        a.begin_deferred();
+        a.program(Ppn(1), &data).unwrap();
+        assert_eq!(a.end_deferred(), 2 * p);
+        assert_eq!(a.clock().now_ns(), 0);
+    }
+
+    #[test]
+    fn deferred_window_matches_sync_timing_for_one_command() {
+        // A single command executed in a window (NAND ops + a charge) must
+        // complete exactly when the synchronous path would have: windows
+        // serialize their internal sub-submissions on a frontier.
+        let data = page(0xA3, 512);
+        let mut sync = four_channel();
+        sync.program(Ppn(0), &data).unwrap();
+        sync.program(Ppn(4), &data).unwrap();
+        sync.charge(1_000);
+        let sync_end = sync.clock().now_ns();
+
+        let mut q = four_channel();
+        q.begin_deferred();
+        q.program(Ppn(0), &data).unwrap();
+        q.program(Ppn(4), &data).unwrap();
+        q.charge(1_000);
+        let end = q.end_deferred();
+        assert_eq!(end, sync_end);
+        assert_eq!(q.clock().now_ns(), 0);
+    }
+
+    #[test]
+    fn charge_advances_clock_when_not_deferred() {
+        let mut a = small();
+        a.charge(123);
+        assert_eq!(a.clock().now_ns(), 123);
+        assert!(!a.deferred_active());
     }
 
     #[test]

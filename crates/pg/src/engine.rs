@@ -430,6 +430,33 @@ impl<D: BlockDevice> MiniPg<D> {
         self.fs.tracer().end(id, self.fs.device().clock().now_ns(), 0, ok);
     }
 
+    /// Write a page batch, queued when the device supports asynchronous
+    /// submission so device pages overlap across NAND channels;
+    /// [`Self::barrier`] must run before any ordering point.
+    fn write_pages_overlapped(
+        &mut self,
+        file: FileId,
+        batch: &[(u64, &[u8])],
+    ) -> Result<(), VfsError> {
+        if self.fs.supports_queue() && batch.len() > 1 {
+            self.fs.submit_write_pages(file, batch)?;
+        } else {
+            self.fs.write_pages(file, batch)?;
+        }
+        Ok(())
+    }
+
+    /// Reap every in-flight queued write, surfacing the first device
+    /// error. Required before fsync / SHARE ordering points.
+    fn barrier(&mut self) -> Result<(), VfsError> {
+        if self.fs.supports_queue() && self.fs.inflight() > 0 {
+            for c in self.fs.drain_queue() {
+                c.result.map_err(VfsError::Device)?;
+            }
+        }
+        Ok(())
+    }
+
     /// Execute one TPC-B transaction and commit it (WAL fsync).
     pub fn run_txn(&mut self, aid: u64, tid: u64, bid: u64, delta: i64) -> Result<(), VfsError> {
         let span = self.root_span("txn_commit");
@@ -543,7 +570,8 @@ impl<D: BlockDevice> MiniPg<D> {
                         writes.push((slot as u64 * dpp + j as u64, chunk));
                     }
                 }
-                self.fs.write_pages(self.journal, &writes)?;
+                self.write_pages_overlapped(self.journal, &writes)?;
+                self.barrier()?;
                 self.fs.fsync(self.journal)?;
                 let mut pairs = Vec::new();
                 for (slot, &page_no) in batch.iter().enumerate() {
@@ -572,7 +600,8 @@ impl<D: BlockDevice> MiniPg<D> {
                         writes.push((page_no * dpp + j as u64, chunk));
                     }
                 }
-                self.fs.write_pages(self.data, &writes)?;
+                self.write_pages_overlapped(self.data, &writes)?;
+                self.barrier()?;
                 self.fs.fsync(self.data)?;
             }
             self.stats.pages_flushed += batch.len() as u64;

@@ -356,6 +356,33 @@ impl<D: BlockDevice> MiniSqlite<D> {
         }
     }
 
+    /// Write a page batch, queued when the device supports asynchronous
+    /// submission (the pages overlap across NAND channels and with later
+    /// submissions); [`Self::barrier`] must run before any ordering point.
+    fn write_pages_overlapped(
+        &mut self,
+        file: FileId,
+        batch: &[(u64, &[u8])],
+    ) -> Result<(), SqliteError> {
+        if self.fs.supports_queue() && batch.len() > 1 {
+            self.fs.submit_write_pages(file, batch)?;
+        } else {
+            self.fs.write_pages(file, batch)?;
+        }
+        Ok(())
+    }
+
+    /// Reap every in-flight queued write, surfacing the first device
+    /// error. Required before fsync / SHARE / read ordering points.
+    fn barrier(&mut self) -> Result<(), SqliteError> {
+        if self.fs.supports_queue() && self.fs.inflight() > 0 {
+            for c in self.fs.drain_queue() {
+                c.result.map_err(share_vfs::VfsError::Device)?;
+            }
+        }
+        Ok(())
+    }
+
     /// Write the current cache images of `pages` to the database file as
     /// one batched device submission.
     fn write_db_pages(&mut self, pages: &[u64]) -> Result<(), SqliteError> {
@@ -363,7 +390,7 @@ impl<D: BlockDevice> MiniSqlite<D> {
             pages.iter().map(|&p| (p, self.encode_page(p))).collect();
         let batch: Vec<(u64, &[u8])> =
             images.iter().map(|(p, img)| (*p, img.as_slice())).collect();
-        self.fs.write_pages(self.db, &batch)?;
+        self.write_pages_overlapped(self.db, &batch)?;
         self.stats.db_page_writes += pages.len() as u64;
         Ok(())
     }
@@ -401,14 +428,16 @@ impl<D: BlockDevice> MiniSqlite<D> {
             .collect();
         let batch: Vec<(u64, &[u8])> =
             images.iter().enumerate().map(|(i, img)| (1 + i as u64, img.as_slice())).collect();
-        self.fs.write_pages(self.journal, &batch)?;
+        self.write_pages_overlapped(self.journal, &batch)?;
         self.stats.journal_pages += dirty.len() as u64;
         let header = self.journal_header(dirty);
         self.fs.write_page(self.journal, 0, &header)?;
         self.stats.journal_pages += 1;
+        self.barrier()?;
         self.fs.fsync(self.journal)?;
         // 2. In-place page writes, batched.
         self.write_db_pages(dirty)?;
+        self.barrier()?;
         self.fs.fsync(self.db)?;
         // 3. Invalidate the journal — the commit point.
         let zero = vec![0u8; self.page_bytes()];
@@ -466,7 +495,7 @@ impl<D: BlockDevice> MiniSqlite<D> {
             .enumerate()
             .map(|(i, img)| (self.wal_tail + i as u64, img.as_slice()))
             .collect();
-        self.fs.write_pages(self.wal, &batch)?;
+        self.write_pages_overlapped(self.wal, &batch)?;
         for &p in dirty {
             self.wal_index.insert(p, self.wal_tail);
             self.wal_tail += 1;
@@ -479,6 +508,7 @@ impl<D: BlockDevice> MiniSqlite<D> {
         self.fs.write_page(self.wal, self.wal_tail, &img)?;
         self.wal_tail += 1;
         self.stats.wal_frames += 1;
+        self.barrier()?;
         self.fs.fsync(self.wal)?;
         if self.wal_tail >= self.cfg.wal_checkpoint_frames {
             self.checkpoint_wal()?;
@@ -497,6 +527,7 @@ impl<D: BlockDevice> MiniSqlite<D> {
     fn checkpoint_wal_inner(&mut self) -> Result<(), SqliteError> {
         let pages: Vec<u64> = self.wal_index.keys().copied().collect();
         self.write_db_pages(&pages)?;
+        self.barrier()?;
         self.fs.fsync(self.db)?;
         // Reset: zero the first frame so recovery sees an empty log.
         let zero = vec![0u8; self.page_bytes()];
@@ -560,6 +591,7 @@ impl<D: BlockDevice> MiniSqlite<D> {
 
     fn commit_off(&mut self, dirty: &[u64]) -> Result<(), SqliteError> {
         self.write_db_pages(dirty)?;
+        self.barrier()?;
         self.fs.fsync(self.db)?;
         Ok(())
     }
@@ -580,7 +612,8 @@ impl<D: BlockDevice> MiniSqlite<D> {
             .enumerate()
             .map(|(i, img)| (staging_base + i as u64, img.as_slice()))
             .collect();
-        self.fs.write_pages(self.db, &batch)?;
+        self.write_pages_overlapped(self.db, &batch)?;
+        self.barrier()?;
         self.fs.fsync(self.db)?;
         let pairs: Vec<(u64, u64)> =
             dirty.iter().enumerate().map(|(i, &p)| (p, staging_base + i as u64)).collect();

@@ -380,6 +380,7 @@ impl Telemetry {
                 .collect(),
             units: Vec::new(),
             now_ns: 0,
+            queue: QueueGauges::default(),
             events: self.ring.events(),
         }
     }
@@ -450,6 +451,23 @@ impl WaStreamSnapshot {
     }
 }
 
+/// Submission/completion-queue gauges in a [`Snapshot`]. All zero on
+/// devices without a queued command path (bare `Telemetry` snapshots too);
+/// the device owning the queue fills them in at snapshot time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueGauges {
+    /// Configured submission-queue depth (0 = queueing unsupported).
+    pub depth: u64,
+    /// Commands submitted but not yet reaped, at snapshot time.
+    pub inflight: u64,
+    /// High-water mark of `inflight` over the device's lifetime.
+    pub max_inflight: u64,
+    /// Total queued commands submitted.
+    pub submitted: u64,
+    /// Total completions reaped by the host.
+    pub reaped: u64,
+}
+
 /// One NAND unit's utilization in a [`Snapshot`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct UnitUtilization {
@@ -478,6 +496,9 @@ pub struct Snapshot {
     /// Simulated clock at snapshot time (0 for bare `Telemetry`
     /// snapshots); with `units`, yields busy/idle utilization.
     pub now_ns: u64,
+    /// Submission/completion-queue gauges (filled by the device; all
+    /// zero for bare `Telemetry` snapshots and sync-only devices).
+    pub queue: QueueGauges,
     /// Retained command events, oldest first.
     pub events: Vec<CommandEvent>,
 }
@@ -577,6 +598,13 @@ impl Snapshot {
                 })
                 .collect(),
         );
+        let queue = Json::obj(vec![
+            ("depth", count(self.queue.depth)),
+            ("inflight", count(self.queue.inflight)),
+            ("max_inflight", count(self.queue.max_inflight)),
+            ("submitted", count(self.queue.submitted)),
+            ("reaped", count(self.queue.reaped)),
+        ]);
         Json::obj(vec![
             ("commands", count(self.commands)),
             ("now_ns", count(self.now_ns)),
@@ -584,6 +612,7 @@ impl Snapshot {
             ("streams", streams),
             ("wa", wa),
             ("units", units),
+            ("queue", queue),
             ("events", events),
         ])
     }

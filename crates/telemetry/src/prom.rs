@@ -81,6 +81,24 @@ pub fn render(snap: &Snapshot) -> String {
         }
     }
 
+    if snap.queue.depth > 0 {
+        out.push_str("# HELP share_queue_depth Configured submission-queue depth.\n");
+        out.push_str("# TYPE share_queue_depth gauge\n");
+        out.push_str(&format!("share_queue_depth {}\n", snap.queue.depth));
+        out.push_str("# HELP share_queue_inflight Commands submitted but not yet reaped.\n");
+        out.push_str("# TYPE share_queue_inflight gauge\n");
+        out.push_str(&format!("share_queue_inflight {}\n", snap.queue.inflight));
+        out.push_str("# HELP share_queue_inflight_max High-water mark of in-flight commands.\n");
+        out.push_str("# TYPE share_queue_inflight_max gauge\n");
+        out.push_str(&format!("share_queue_inflight_max {}\n", snap.queue.max_inflight));
+        out.push_str("# HELP share_queue_submitted_total Queued commands submitted.\n");
+        out.push_str("# TYPE share_queue_submitted_total counter\n");
+        out.push_str(&format!("share_queue_submitted_total {}\n", snap.queue.submitted));
+        out.push_str("# HELP share_queue_reaped_total Completions reaped by the host.\n");
+        out.push_str("# TYPE share_queue_reaped_total counter\n");
+        out.push_str(&format!("share_queue_reaped_total {}\n", snap.queue.reaped));
+    }
+
     if !snap.units.is_empty() {
         out.push_str("# HELP share_unit_busy_ns_total Simulated busy time per NAND channel/way.\n");
         out.push_str("# TYPE share_unit_busy_ns_total counter\n");
@@ -104,6 +122,52 @@ pub fn render(snap: &Snapshot) -> String {
         }
     }
     out
+}
+
+/// Why a exposition line could not be read back as a sample.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SampleParseError {
+    /// The line is a comment (`# HELP` / `# TYPE`) or blank — no sample.
+    NotASample,
+    /// The line has no value field after its metric name.
+    MissingValue,
+    /// The value field is not an unsigned integer.
+    BadValue(String),
+}
+
+impl std::fmt::Display for SampleParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SampleParseError::NotASample => write!(f, "line is a comment or blank"),
+            SampleParseError::MissingValue => write!(f, "line has no value field"),
+            SampleParseError::BadValue(v) => write!(f, "value {v:?} is not an unsigned integer"),
+        }
+    }
+}
+
+impl std::error::Error for SampleParseError {}
+
+/// Read the integer value off one exposition sample line, tolerating
+/// leading/trailing whitespace and multiple spaces between fields.
+///
+/// `line.rsplit(' ').next().unwrap().parse().unwrap()` — the obvious
+/// one-liner — panics on a line with a trailing space (the final split
+/// field is empty) and on comment lines; scrapers and tests should use
+/// this instead and handle the error.
+pub fn parse_sample_value(line: &str) -> Result<u64, SampleParseError> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() || trimmed.starts_with('#') {
+        return Err(SampleParseError::NotASample);
+    }
+    // A sample is `name[{labels}] value`; labels may contain spaces inside
+    // quotes, so take the last whitespace-separated field as the value.
+    let mut fields = trimmed.split_ascii_whitespace();
+    let value = fields.next_back().ok_or(SampleParseError::MissingValue)?;
+    if fields.next().is_none() {
+        // Only one field: a bare metric name with no value.
+        return Err(SampleParseError::MissingValue);
+    }
+    value.parse().map_err(|_| SampleParseError::BadValue(value.to_string()))
 }
 
 fn stream_dirs(st: &crate::StreamSnapshot) -> [(&'static str, &OpCounters); 3] {
@@ -151,10 +215,57 @@ mod tests {
         // Cumulative bucket counts are non-decreasing.
         let mut last = 0u64;
         for line in text.lines().filter(|l| l.starts_with("share_op_latency_ns_bucket{op=\"write\"")) {
-            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            let v = super::parse_sample_value(line).expect("bucket line parses");
             assert!(v >= last);
             last = v;
         }
+    }
+
+    #[test]
+    fn parse_sample_value_handles_malformed_and_padded_lines() {
+        use super::{parse_sample_value, SampleParseError};
+        // Well-formed, with and without labels.
+        assert_eq!(parse_sample_value("share_commands_total 3"), Ok(3));
+        assert_eq!(parse_sample_value("share_op_ops_total{op=\"write\"} 17"), Ok(17));
+        // Whitespace padding must not panic or mis-parse (the old
+        // `rsplit(' ').next().unwrap().parse().unwrap()` path panicked on a
+        // trailing space because the last split field was empty).
+        assert_eq!(parse_sample_value("share_commands_total 3 "), Ok(3));
+        assert_eq!(parse_sample_value("  share_commands_total   42\t"), Ok(42));
+        // Comments and blanks are not samples.
+        assert_eq!(
+            parse_sample_value("# TYPE share_commands_total counter"),
+            Err(SampleParseError::NotASample)
+        );
+        assert_eq!(parse_sample_value("   "), Err(SampleParseError::NotASample));
+        // A bare name has no value field.
+        assert_eq!(parse_sample_value("share_commands_total"), Err(SampleParseError::MissingValue));
+        // Garbage values report what they saw instead of panicking.
+        assert_eq!(
+            parse_sample_value("share_commands_total NaN"),
+            Err(SampleParseError::BadValue("NaN".into()))
+        );
+        assert_eq!(
+            parse_sample_value("share_commands_total -1"),
+            Err(SampleParseError::BadValue("-1".into()))
+        );
+    }
+
+    #[test]
+    fn renders_queue_gauges_when_queueing_enabled() {
+        use crate::QueueGauges;
+        let t = Telemetry::default();
+        let mut snap = t.snapshot();
+        // Sync-only snapshot: no queue block at all.
+        assert!(!snap.to_prometheus().contains("share_queue_"));
+        snap.queue =
+            QueueGauges { depth: 16, inflight: 3, max_inflight: 9, submitted: 120, reaped: 117 };
+        let text = snap.to_prometheus();
+        assert!(text.contains("share_queue_depth 16\n"));
+        assert!(text.contains("share_queue_inflight 3\n"));
+        assert!(text.contains("share_queue_inflight_max 9\n"));
+        assert!(text.contains("share_queue_submitted_total 120\n"));
+        assert!(text.contains("share_queue_reaped_total 117\n"));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::alloc::{Extent, ExtentAllocator};
 use crate::error::VfsError;
-use share_core::{crc32c, BlockDevice, Lpn, SharePair};
+use share_core::{crc32c, BlockDevice, CmdTag, Completion, Lpn, QueuedCmd, SharePair};
 use share_telemetry::{Layer, SpanId, Track, Tracer};
 
 const META_MAGIC: u32 = 0x4653_4D44; // "FSMD"
@@ -580,6 +580,86 @@ impl<D: BlockDevice> Vfs<D> {
         self.dev.set_stream(self.stream_of(f.0));
         self.dev.flush()?;
         Ok(())
+    }
+
+    // ----- queued I/O ----------------------------------------------------
+
+    /// Whether the mounted device supports queued submission.
+    pub fn supports_queue(&self) -> bool {
+        self.dev.supports_queue()
+    }
+
+    /// Commands submitted through this mount but not yet reaped.
+    pub fn inflight(&self) -> usize {
+        self.dev.inflight()
+    }
+
+    /// The device's configured submission-queue depth (0 if unsupported).
+    pub fn queue_depth(&self) -> usize {
+        self.dev.queue_depth()
+    }
+
+    /// Submit several pages of one file as one queued write command and
+    /// return its tag without waiting. File metadata grows immediately
+    /// (matching the device's eager state execution); the completion —
+    /// and the simulated-time cost — surfaces via [`Vfs::poll_queue`],
+    /// [`Vfs::reap_queue`] or [`Vfs::drain_queue`]. Ordinary-write
+    /// durability semantics, same as [`Vfs::write_pages`].
+    pub fn submit_write_pages(
+        &mut self,
+        f: FileId,
+        pages: &[(u64, &[u8])],
+    ) -> Result<CmdTag, VfsError> {
+        let ps = self.dev.page_size();
+        let mut max_page = 0;
+        for (p, data) in pages {
+            if data.len() != ps {
+                return Err(VfsError::BadBufferLength { got: data.len(), want: ps });
+            }
+            max_page = max_page.max(p + 1);
+        }
+        if self.files.get(&f.0).map(|x| x.allocated_pages()).unwrap_or(0) < max_page {
+            self.fallocate(f, max_page)?;
+        }
+        let mut batch = Vec::with_capacity(pages.len());
+        for (p, data) in pages {
+            batch.push((self.lpn_of(f, *p)?, data.to_vec()));
+        }
+        self.dev.set_stream(self.stream_of(f.0));
+        let tag = self.dev.submit(QueuedCmd::WriteBatch { pages: batch })?;
+        let file = self.files.get_mut(&f.0).expect("resolved above");
+        file.len_pages = file.len_pages.max(max_page);
+        self.data_dirty = true;
+        Ok(tag)
+    }
+
+    /// Submit a batched read of `pages` of one file; the completion
+    /// carries the page payloads in request order.
+    pub fn submit_read_pages(&mut self, f: FileId, pages: &[u64]) -> Result<CmdTag, VfsError> {
+        let mut lpns = Vec::with_capacity(pages.len());
+        for &p in pages {
+            lpns.push(self.lpn_of(f, p)?);
+        }
+        self.dev.set_stream(self.stream_of(f.0));
+        Ok(self.dev.submit(QueuedCmd::ReadBatch { lpns })?)
+    }
+
+    /// Reap completions already due at the current simulated time
+    /// (never advances the clock).
+    pub fn poll_queue(&mut self) -> Vec<Completion> {
+        self.dev.poll()
+    }
+
+    /// Wait for at least one outstanding command and reap everything due.
+    pub fn reap_queue(&mut self) -> Vec<Completion> {
+        self.dev.reap()
+    }
+
+    /// Wait for every outstanding command. Engines call this before an
+    /// ordering point (fsync, journal commit) so queued data writes are
+    /// on the medium before the barrier is charged.
+    pub fn drain_queue(&mut self) -> Vec<Completion> {
+        self.dev.drain()
     }
 
     // ----- SHARE ioctl ---------------------------------------------------

@@ -314,3 +314,53 @@ fn streams_are_inert_on_plain_devices() {
     assert!(fs.device().telemetry_snapshot().is_none());
     assert_eq!(read_byte(&mut fs, f, 0), 9);
 }
+
+#[test]
+fn queued_writes_round_trip_through_the_mount() {
+    let cfg = share_core::FtlConfig::for_capacity_with(
+        8 << 20,
+        0.3,
+        4096,
+        16,
+        nand_sim::NandTiming::default(),
+    )
+    .with_parallelism(4, 1);
+    let mut fs = Vfs::format(Ftl::new(cfg), VfsOptions::default()).unwrap();
+    assert!(fs.supports_queue());
+    let f = fs.create("q.db").unwrap();
+    let ps = fs.page_size();
+    let pages: Vec<Vec<u8>> = (0..8u8).map(|i| vec![i; ps]).collect();
+    let batch: Vec<(u64, &[u8])> =
+        pages.iter().enumerate().map(|(i, p)| (i as u64, p.as_slice())).collect();
+    let wt = fs.submit_write_pages(f, &batch).unwrap();
+    // Metadata grew eagerly; the command is still in flight.
+    assert_eq!(fs.len_pages(f).unwrap(), 8);
+    assert_eq!(fs.inflight(), 1);
+    let done = fs.drain_queue();
+    assert_eq!(done.len(), 1);
+    assert_eq!(done[0].tag, wt);
+    assert!(done[0].is_ok());
+    let rt = fs.submit_read_pages(f, &[0, 3, 7]).unwrap();
+    let done = fs.drain_queue();
+    assert_eq!(done[0].tag, rt);
+    let bufs = done[0].result.clone().unwrap().into_pages().unwrap();
+    assert_eq!(bufs.len(), 3);
+    assert!(bufs[0].iter().all(|&b| b == 0));
+    assert!(bufs[1].iter().all(|&b| b == 3));
+    assert!(bufs[2].iter().all(|&b| b == 7));
+    assert!(fs.poll_queue().is_empty());
+}
+
+#[test]
+fn queued_submission_unsupported_on_simple_ssd() {
+    let dev = SimpleSsd::new(4096, 2048, nand_sim::SimClock::new());
+    let mut fs = Vfs::format(dev, VfsOptions::default()).unwrap();
+    assert!(!fs.supports_queue());
+    let f = fs.create("q.db").unwrap();
+    let data = vec![1u8; fs.page_size()];
+    let batch: Vec<(u64, &[u8])> = vec![(0, data.as_slice())];
+    assert_eq!(
+        fs.submit_write_pages(f, &batch),
+        Err(VfsError::Device(FtlError::Unsupported("submit")))
+    );
+}

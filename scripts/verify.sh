@@ -29,6 +29,14 @@ echo "== crash-point smoke sweep =="
 echo "== bench smoke (multi-channel + BENCH_share.json sanity) =="
 ./target/release/bench_channels
 
+# QD smoke tier: sweep submission-queue depth {1, 4, 16} on a 4-channel
+# device and record p50/p99 submit->complete latency-under-load from the
+# telemetry histograms into BENCH_share.json (qd_latency_smoke). Fails
+# unless qd=16 at least doubles qd=1 write throughput, p99 grows
+# monotonically with depth, and the recorded JSON re-reads cleanly.
+echo "== qd smoke (queue-depth sweep + latency-under-load percentiles) =="
+./target/release/bench_qd
+
 # Metrics smoke tier: run a short YCSB workload with full telemetry, dump
 # both exporter formats (Prometheus text + JSON), re-parse the JSON dump,
 # and assert the telemetry op counters equal the DeviceStats counters —
