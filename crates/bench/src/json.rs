@@ -24,6 +24,7 @@ pub fn device_json(d: &share_core::DeviceStats) -> Json {
         ("share_commands", count(d.share_commands)),
         ("shared_pages", count(d.shared_pages)),
         ("meta_page_writes", count(d.meta_page_writes)),
+        ("lane_steals", count(d.lane_steals)),
     ])
 }
 

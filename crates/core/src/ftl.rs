@@ -23,10 +23,11 @@ use crate::pool::{BlockPool, WritePoint};
 use crate::queue::{CmdOutput, CmdTag, Completion, QueuedCmd};
 use crate::stats::DeviceStats;
 use crate::types::{Lpn, Ppn, SharePair};
-use nand_sim::{FaultHandle, NandArray, SimClock};
+use crate::config::{PlacementConfig, CLASS_DEFAULT};
+use nand_sim::{FaultHandle, NandArray, SimClock, UNTAGGED};
 use share_telemetry::{
-    apportion, BlameKind, Layer, OpClass, QueueGauges, Snapshot, SpanId, Telemetry, Tracer, Track,
-    UnitUtilization, STREAM_FTL,
+    apportion, BlameKind, Layer, OpClass, PlacementClassGauge, PlacementGauges, QueueGauges,
+    Snapshot, SpanId, Telemetry, Tracer, Track, UnitUtilization, STREAM_FTL,
 };
 use std::collections::HashSet;
 
@@ -112,6 +113,10 @@ pub struct Ftl {
     cmd_stream: Option<u32>,
     /// True while GC runs: log flushes it triggers stay FTL-attributed.
     in_gc: bool,
+    /// Lifetime class per interned stream id (indexed by stream id;
+    /// unclassified streams — including HOST and FTL — are the default
+    /// class). Populated by `stream_intern` via `cfg.placement.classify`.
+    stream_class: Vec<u8>,
     /// WA ledger, GC axis: per data-pool block (relative index), how many
     /// pages each stream invalidated there. Settled into the telemetry
     /// blame ledger when the block is collected; cleared on erase.
@@ -141,7 +146,8 @@ impl Ftl {
     pub fn format(cfg: FtlConfig, mut nand: NandArray) -> Self {
         let map = MappingTable::with_policy(cfg.geometry, cfg.logical_pages, cfg.revmap_capacity, cfg.revmap_policy);
         let log = DeltaLog::new(&cfg, 0);
-        let pool = BlockPool::new(cfg.geometry, cfg.data_start(), cfg.data_blocks());
+        let pool = BlockPool::new(cfg.geometry, cfg.data_start(), cfg.data_blocks())
+            .with_classes(cfg.placement.classes());
         let telemetry = Telemetry::new(cfg.telemetry);
         let tracer = if cfg.telemetry.trace { Tracer::enabled() } else { Tracer::disabled() };
         nand.set_tracer(tracer.clone());
@@ -164,6 +170,7 @@ impl Ftl {
             q_max_inflight: 0,
             cmd_stream: None,
             in_gc: false,
+            stream_class: Vec::new(),
             block_blame: vec![Vec::new(); data_blocks],
             log_blame: Vec::new(),
             ckpt_blame: Vec::new(),
@@ -216,7 +223,8 @@ impl Ftl {
         }
         map.rebuild_reverse();
 
-        let mut pool = BlockPool::new(cfg.geometry, cfg.data_start(), cfg.data_blocks());
+        let mut pool = BlockPool::new(cfg.geometry, cfg.data_start(), cfg.data_blocks())
+            .with_classes(cfg.placement.classes());
         pool.rebuild_from_nand(&nand);
 
         let log = DeltaLog::new(&cfg, next_seq);
@@ -244,6 +252,7 @@ impl Ftl {
             q_max_inflight: 0,
             cmd_stream: None,
             in_gc: false,
+            stream_class: Vec::new(),
             block_blame: vec![Vec::new(); data_blocks],
             log_blame: Vec::new(),
             ckpt_blame: Vec::new(),
@@ -496,6 +505,22 @@ impl Ftl {
         Ok(pages)
     }
 
+    /// Lifetime class of `stream` (default for never-classified streams,
+    /// which includes the built-in HOST and FTL streams).
+    fn class_of_stream(&self, stream: u32) -> u8 {
+        self.stream_class.get(stream as usize).copied().unwrap_or(CLASS_DEFAULT)
+    }
+
+    /// Allocate a user page in the current stream's lifetime-class lane and
+    /// mirror the class onto the NAND block tag (persisted by image v3, so
+    /// recovery and GC can see each block's class without pool state).
+    fn alloc_user(&mut self) -> Result<Ppn, FtlError> {
+        let class = self.class_of_stream(self.telemetry.current_stream());
+        let ppn = self.pool.alloc(&self.nand, WritePoint::User { class })?;
+        self.nand.set_block_tag(self.cfg.geometry.block_of(ppn), class as u32);
+        Ok(ppn)
+    }
+
     /// Pick a GC victim per the configured policy: greedy (fewest valid
     /// pages) or FIFO (oldest sealed block). Fully valid blocks are never
     /// picked — erasing them reclaims nothing.
@@ -554,6 +579,15 @@ impl Ftl {
         self.stats.gc_events += 1;
         let block = self.pool.abs(rel);
         let ppb = self.cfg.geometry.pages_per_block;
+        // Survivors relocate with the victim's affinity: same lifetime
+        // class (NAND block tag; untagged pre-v3 blocks fall to the
+        // default class) and same channel, so relocated long-lived data
+        // never mixes into short-lived streams' blocks and copyback stays
+        // channel-local.
+        let tag = self.nand.block_tag(block);
+        let classes = self.pool.classes() as u32;
+        let class = if tag == UNTAGGED { CLASS_DEFAULT } else { tag.min(classes - 1) as u8 };
+        let channel = self.cfg.geometry.channel_of_block(block);
         if valid > 0 {
             let live: Vec<Ppn> = (0..ppb)
                 .map(|idx| self.cfg.geometry.ppn_at(block, idx))
@@ -569,7 +603,9 @@ impl Ftl {
             self.nand.read_batch(&mut reads)?;
             let mut dests = Vec::with_capacity(live.len());
             for _ in &live {
-                dests.push(self.pool.alloc(&self.nand, WritePoint::Gc)?);
+                let dest = self.pool.alloc(&self.nand, WritePoint::Gc { class, channel })?;
+                self.nand.set_block_tag(self.cfg.geometry.block_of(dest), class as u32);
+                dests.push(dest);
             }
             let programs: Vec<(Ppn, &[u8])> =
                 dests.iter().zip(&bufs).map(|(&d, b)| (d, b.as_slice())).collect();
@@ -598,14 +634,18 @@ impl Ftl {
     }
 
     fn ensure_free(&mut self) -> Result<(), FtlError> {
-        // One open user lane per channel can each pull a fresh block from
-        // the free list between two GC checks (a batched submission feeds
-        // every lane), so the watermarks shift up by the extra lanes. At
-        // one channel this is exactly the configured low/high pair.
+        // Every open lane — one user and one GC lane per (class, channel)
+        // — can pull a fresh block from the free list between two GC
+        // checks (a batched submission feeds every user lane; GC feeds one
+        // copyback lane per victim), so the watermarks shift up by the
+        // lanes beyond the baseline single user + single GC pair. At one
+        // channel with placement off this is exactly the configured
+        // low/high pair.
         // Blocks pinned by unreaped queued commands are ineligible victims,
         // so the same number of extra free blocks must be banked on top —
         // otherwise a deep queue can strand GC with nothing collectible.
-        let extra_lanes = self.cfg.geometry.channels as usize - 1;
+        let lanes = self.pool.classes() * self.cfg.geometry.channels as usize;
+        let extra_lanes = 2 * (lanes - 1);
         let pinned = self.pool.inflight_pinned_blocks();
         let low = self.cfg.gc_low_water + extra_lanes + pinned;
         let high = self.cfg.gc_high_water + extra_lanes + pinned;
@@ -744,7 +784,7 @@ impl Ftl {
     fn program_user_submission(&mut self, pages: &[(Lpn, &[u8])]) -> Result<Vec<Ppn>, FtlError> {
         let mut dests = Vec::with_capacity(pages.len());
         for _ in 0..pages.len() {
-            match self.pool.alloc(&self.nand, WritePoint::User) {
+            match self.alloc_user() {
                 Ok(p) => dests.push(p),
                 Err(FtlError::DeviceFull) => break,
                 Err(e) => return Err(e),
@@ -797,7 +837,7 @@ impl Ftl {
         self.stats.host_writes += 1;
         self.stats.host_write_bytes += data.len() as u64;
         self.ensure_free()?;
-        let ppn = self.pool.alloc(&self.nand, WritePoint::User)?;
+        let ppn = self.alloc_user()?;
         self.nand.program(ppn, data)?;
         let old = self.map.map_new_write(lpn, ppn)?;
         self.note_invalidation(&old);
@@ -1278,6 +1318,7 @@ impl BlockDevice for Ftl {
     fn stats(&self) -> DeviceStats {
         let mut s = self.stats;
         s.nand = self.nand.stats();
+        s.lane_steals = self.pool.lane_steals();
         s
     }
 
@@ -1287,6 +1328,11 @@ impl BlockDevice for Ftl {
 
     fn stream_intern(&mut self, label: &str) -> u32 {
         let id = self.telemetry.intern(label);
+        let idx = id as usize;
+        if self.stream_class.len() <= idx {
+            self.stream_class.resize(idx + 1, CLASS_DEFAULT);
+        }
+        self.stream_class[idx] = self.cfg.placement.classify(label);
         self.tracer.set_stream_label(id, label);
         id
     }
@@ -1316,6 +1362,19 @@ impl BlockDevice for Ftl {
             max_inflight: self.q_max_inflight,
             submitted: self.q_submitted,
             reaped: self.q_reaped,
+        };
+        snap.placement = PlacementGauges {
+            enabled: self.cfg.placement.enabled,
+            lane_steals: self.pool.lane_steals(),
+            classes: (0..self.pool.classes())
+                .map(|class| PlacementClassGauge {
+                    class: class as u8,
+                    label: PlacementConfig::class_label(class as u8).to_string(),
+                    placed_pages: self.pool.placed_pages(class),
+                    gc_moved_pages: self.pool.gc_moved_pages(class),
+                    open_blocks: self.pool.open_blocks(class),
+                })
+                .collect(),
         };
         Some(snap)
     }

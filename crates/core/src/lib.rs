@@ -56,7 +56,10 @@ mod stats;
 mod types;
 mod util;
 
-pub use config::{FtlConfig, GcPolicy, DELTA_BYTES, META_PAGE_HEADER};
+pub use config::{
+    FtlConfig, GcPolicy, PlacementConfig, CLASS_COLD, CLASS_DEFAULT, CLASS_SHORT, DELTA_BYTES,
+    META_PAGE_HEADER,
+};
 pub use delta::{Delta, DeltaLog, DeltaPage};
 pub use device::{BlockDevice, SimpleSsd};
 pub use error::FtlError;

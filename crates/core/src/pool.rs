@@ -1,24 +1,34 @@
 //! Data-pool block management: free list, active write points, block states.
 //!
 //! The pool tracks which data blocks are free (erased), which are open as
-//! write points, and which are closed and thus eligible as GC victims. Host
-//! writes feed one lane per channel, rotating round-robin, so consecutive
-//! host pages land on distinct channels and a batched submission can
-//! program them in parallel; GC copyback keeps a single lane (relocations
-//! come from one victim block, which lives on one channel anyway), which
-//! also keeps hot host data and cold relocated data apart.
+//! write points, and which are closed and thus eligible as GC victims.
+//!
+//! Write points are organized as a lane matrix indexed by **lifetime
+//! class** and **channel**. Host writes feed one lane per channel within
+//! their stream's class, rotating round-robin, so consecutive host pages
+//! land on distinct channels and a batched submission can program them in
+//! parallel — while pages of different lifetime classes (short-lived
+//! journal traffic vs long-lived data vs compaction output) never share a
+//! block. GC copyback gets its own lane per (class, channel): survivors
+//! relocate into a block of the victim's class on the victim's channel,
+//! keeping relocated data out of host blocks and letting relocation
+//! storms from victims on different channels proceed in parallel.
+//!
+//! A single-class pool (placement disabled) with one channel degenerates
+//! to exactly one user lane and one GC lane — the historical layout — and
+//! every allocation decision is bit-identical to it.
 
 use crate::error::FtlError;
-use nand_sim::{BlockId, NandArray, NandGeometry, Ppn};
+use nand_sim::{BlockId, NandArray, NandGeometry, Ppn, UNTAGGED};
 
 /// Lifecycle of a data-pool block.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BlockState {
     /// Erased, on the free list.
     Free,
-    /// Open as the host-write point.
+    /// Open as a host-write point.
     UserOpen,
-    /// Open as the GC copyback destination.
+    /// Open as a GC copyback destination.
     GcOpen,
     /// Fully or partially programmed and sealed; GC victim candidate.
     Closed,
@@ -27,11 +37,22 @@ pub enum BlockState {
 /// Which write point an allocation feeds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WritePoint {
-    /// Host data.
-    User,
-    /// GC copyback data.
-    Gc,
+    /// Host data of one lifetime class (0 when placement is disabled).
+    User {
+        /// Lifetime class of the writing stream.
+        class: u8,
+    },
+    /// GC copyback data: survivors of a victim of `class` on `channel`.
+    Gc {
+        /// Lifetime class of the victim block.
+        class: u8,
+        /// Channel the victim lives on (keeps copyback channel-affine).
+        channel: u32,
+    },
 }
+
+/// Per-block class marker for "never classified" (fresh or erased).
+const UNCLASSED: u8 = u8::MAX;
 
 #[derive(Debug, Clone, Copy)]
 struct Open {
@@ -39,11 +60,11 @@ struct Open {
     next: u32,  // next in-block page
 }
 
-/// A write-point lane: one of the per-channel user lanes, or the GC lane.
+/// A write-point lane coordinate: (class, channel) in either matrix.
 #[derive(Debug, Clone, Copy)]
 enum Lane {
-    User(usize),
-    Gc,
+    User { class: usize, ch: usize },
+    Gc { class: usize, ch: usize },
 }
 
 /// The data-pool allocator.
@@ -52,13 +73,19 @@ pub struct BlockPool {
     geometry: NandGeometry,
     start: u32,
     count: u32,
+    /// Number of lifetime classes (1 = placement disabled).
+    classes: usize,
     state: Vec<BlockState>,
     free: Vec<u32>,
-    /// Host write points, one lane per channel; `alloc` rotates across them
-    /// so consecutive host pages stripe over channels.
-    user: Vec<Option<Open>>,
-    user_cursor: usize,
-    gc: Option<Open>,
+    /// Host write points, `[class][channel]`; `alloc` rotates each class's
+    /// lanes so consecutive host pages of one class stripe over channels.
+    user: Vec<Vec<Option<Open>>>,
+    user_cursor: Vec<usize>,
+    /// GC copyback write points, `[class][channel]`.
+    gc: Vec<Vec<Option<Open>>>,
+    /// Lifetime class a block was opened under (`UNCLASSED` when free or
+    /// recovered from an untagged image).
+    class_of: Vec<u8>,
     /// Monotonic sequence assigned when a block is sealed (FIFO GC order).
     seal_seq: Vec<u64>,
     seal_counter: u64,
@@ -78,27 +105,61 @@ pub struct BlockPool {
     /// While capturing (between `begin_capture` / `end_capture`), every
     /// allocation's block is recorded here and pinned in `inflight`.
     capture: Option<Vec<u32>>,
+    /// Times a lane's preferred channel had no free block and the pop fell
+    /// back to another channel, collapsing lane parallelism.
+    lane_steals: u64,
+    /// Host pages allocated per class (placement gauge).
+    placed_pages: Vec<u64>,
+    /// GC copyback pages allocated per class (placement gauge).
+    gc_moved_pages: Vec<u64>,
 }
 
 impl BlockPool {
-    /// A pool over data blocks `[start, start + count)`, all erased.
+    /// A pool over data blocks `[start, start + count)`, all erased, with
+    /// a single lifetime class (placement disabled).
     pub fn new(geometry: NandGeometry, start: BlockId, count: u32) -> Self {
+        let channels = geometry.channels as usize;
         Self {
             geometry,
             start: start.0,
             count,
+            classes: 1,
             state: vec![BlockState::Free; count as usize],
             free: (0..count).rev().collect(),
-            user: vec![None; geometry.channels as usize],
-            user_cursor: 0,
-            gc: None,
+            user: vec![vec![None; channels]],
+            user_cursor: vec![0],
+            gc: vec![vec![None; channels]],
+            class_of: vec![UNCLASSED; count as usize],
             seal_seq: vec![0; count as usize],
             seal_counter: 0,
             alloc_next: vec![0; count as usize],
             inflight: vec![0; count as usize],
             inflight_blocks: 0,
             capture: None,
+            lane_steals: 0,
+            placed_pages: vec![0],
+            gc_moved_pages: vec![0],
         }
+    }
+
+    /// Reshape the lane matrix for `classes` lifetime classes. Must be
+    /// called before any allocation (the lanes are rebuilt empty).
+    pub fn with_classes(mut self, classes: usize) -> Self {
+        assert!(classes >= 1, "at least one lifetime class");
+        debug_assert_eq!(self.free.len(), self.count as usize, "reshaping a used pool");
+        let channels = self.geometry.channels as usize;
+        self.classes = classes;
+        self.user = vec![vec![None; channels]; classes];
+        self.user_cursor = vec![0; classes];
+        self.gc = vec![vec![None; channels]; classes];
+        self.placed_pages = vec![0; classes];
+        self.gc_moved_pages = vec![0; classes];
+        self
+    }
+
+    /// Number of lifetime classes the lane matrix is shaped for.
+    pub fn classes(&self) -> usize {
+        self.classes
     }
 
     /// Absolute block id for pool-relative index `rel`.
@@ -128,10 +189,41 @@ impl BlockPool {
         self.state[rel as usize]
     }
 
+    /// Lifetime class block `rel` was opened under, or `None` when the
+    /// block is free or predates classification (untagged image).
+    pub fn block_class(&self, rel: u32) -> Option<u8> {
+        let c = self.class_of[rel as usize];
+        (c != UNCLASSED).then_some(c)
+    }
+
+    /// Times a lane had to steal a free block from a foreign channel.
+    pub fn lane_steals(&self) -> u64 {
+        self.lane_steals
+    }
+
+    /// Host pages allocated into `class` so far.
+    pub fn placed_pages(&self, class: usize) -> u64 {
+        self.placed_pages[class]
+    }
+
+    /// GC copyback pages allocated into `class` so far.
+    pub fn gc_moved_pages(&self, class: usize) -> u64 {
+        self.gc_moved_pages[class]
+    }
+
+    /// Currently-open write-point blocks of `class` (user + GC lanes).
+    pub fn open_blocks(&self, class: usize) -> u64 {
+        let user = self.user[class].iter().flatten().count();
+        let gc = self.gc[class].iter().flatten().count();
+        (user + gc) as u64
+    }
+
     /// Pop a free block, preferring `prefer_channel` so the requesting lane
     /// stays channel-affine; within a channel (and on fallback) the lowest
     /// erase count wins (simple wear leveling). With one channel this is
-    /// exactly the old global min-wear pop.
+    /// exactly the old global min-wear pop. A cross-channel fallback is
+    /// counted as a *lane steal*: it keeps the device writable but
+    /// collapses the lane's channel parallelism, so it must be visible.
     fn pop_free(&mut self, nand: &NandArray, prefer_channel: Option<u32>) -> Option<u32> {
         if self.free.is_empty() {
             return None;
@@ -146,6 +238,11 @@ impl BlockPool {
             if let Some((pos, _)) = on_channel {
                 return Some(self.free.swap_remove(pos));
             }
+            // No free block on the preferred channel: fall through to the
+            // global pop, but record the parallelism loss. (With one
+            // channel the filter above never misses while blocks remain,
+            // so this counter can only fire on multi-channel devices.)
+            self.lane_steals += 1;
         }
         let (pos, _) = self
             .free
@@ -157,8 +254,8 @@ impl BlockPool {
 
     fn open_mut(&mut self, lane: Lane) -> &mut Option<Open> {
         match lane {
-            Lane::User(i) => &mut self.user[i],
-            Lane::Gc => &mut self.gc,
+            Lane::User { class, ch } => &mut self.user[class][ch],
+            Lane::Gc { class, ch } => &mut self.gc[class][ch],
         }
     }
 
@@ -174,15 +271,17 @@ impl BlockPool {
             }
         }
         if self.open_mut(lane).is_none() {
-            let prefer = match lane {
-                Lane::User(i) => Some(i as u32 % self.geometry.channels),
-                Lane::Gc => None,
+            let (class, prefer) = match lane {
+                Lane::User { class, ch } | Lane::Gc { class, ch } => {
+                    (class, Some(ch as u32 % self.geometry.channels))
+                }
             };
             let rel = self.pop_free(nand, prefer).ok_or(FtlError::DeviceFull)?;
             self.state[rel as usize] = match lane {
-                Lane::User(_) => BlockState::UserOpen,
-                Lane::Gc => BlockState::GcOpen,
+                Lane::User { .. } => BlockState::UserOpen,
+                Lane::Gc { .. } => BlockState::GcOpen,
             };
+            self.class_of[rel as usize] = class as u8;
             *self.open_mut(lane) = Some(Open { block: rel, next: 0 });
         }
         let geometry = self.geometry;
@@ -242,16 +341,28 @@ impl BlockPool {
 
     /// Allocate the next physical page for `wp`, opening a fresh block from
     /// the free list when needed. Host allocations rotate round-robin over
-    /// the per-channel lanes. Fails with `DeviceFull` when no block is
-    /// available.
+    /// their class's per-channel lanes; GC allocations go to the victim's
+    /// (class, channel) lane. Class indices beyond the configured matrix
+    /// clamp to the last class (an image written with more classes than
+    /// this mount was configured for must still allocate somewhere). Fails
+    /// with `DeviceFull` when no block is available.
     pub fn alloc(&mut self, nand: &NandArray, wp: WritePoint) -> Result<Ppn, FtlError> {
         match wp {
-            WritePoint::User => {
-                let lane = self.user_cursor;
-                self.user_cursor = (self.user_cursor + 1) % self.user.len();
-                self.alloc_in_lane(nand, Lane::User(lane))
+            WritePoint::User { class } => {
+                let class = (class as usize).min(self.classes - 1);
+                let ch = self.user_cursor[class];
+                self.user_cursor[class] = (ch + 1) % self.user[class].len();
+                let ppn = self.alloc_in_lane(nand, Lane::User { class, ch })?;
+                self.placed_pages[class] += 1;
+                Ok(ppn)
             }
-            WritePoint::Gc => self.alloc_in_lane(nand, Lane::Gc),
+            WritePoint::Gc { class, channel } => {
+                let class = (class as usize).min(self.classes - 1);
+                let ch = (channel as usize).min(self.geometry.channels as usize - 1);
+                let ppn = self.alloc_in_lane(nand, Lane::Gc { class, ch })?;
+                self.gc_moved_pages[class] += 1;
+                Ok(ppn)
+            }
         }
     }
 
@@ -270,17 +381,21 @@ impl BlockPool {
         debug_assert_eq!(self.state[rel as usize], BlockState::Closed);
         self.state[rel as usize] = BlockState::Free;
         self.alloc_next[rel as usize] = 0;
+        self.class_of[rel as usize] = UNCLASSED;
         self.free.push(rel);
     }
 
     /// Rebuild pool state after recovery from NAND program frontiers:
     /// untouched blocks are free, anything programmed is sealed. (Real MLC
     /// firmware also refuses to append to a block left open across power
-    /// loss.)
+    /// loss.) Sealed blocks recover their lifetime class from the NAND
+    /// block tags (image v3); untagged blocks — v2 images and older —
+    /// stay unclassed, which GC treats as the default class.
     pub fn rebuild_from_nand(&mut self, nand: &NandArray) {
-        self.user = vec![None; self.geometry.channels as usize];
-        self.user_cursor = 0;
-        self.gc = None;
+        let channels = self.geometry.channels as usize;
+        self.user = vec![vec![None; channels]; self.classes];
+        self.user_cursor = vec![0; self.classes];
+        self.gc = vec![vec![None; channels]; self.classes];
         self.free.clear();
         // A crash drops the submission queue; nothing is in flight anymore.
         self.inflight = vec![0; self.count as usize];
@@ -291,11 +406,18 @@ impl BlockPool {
             self.alloc_next[rel as usize] = frontier;
             if frontier == 0 {
                 self.state[rel as usize] = BlockState::Free;
+                self.class_of[rel as usize] = UNCLASSED;
                 self.free.push(rel);
             } else {
                 self.state[rel as usize] = BlockState::Closed;
                 self.seal_counter += 1;
                 self.seal_seq[rel as usize] = self.seal_counter;
+                let tag = nand.block_tag(self.abs(rel));
+                self.class_of[rel as usize] = if tag == UNTAGGED {
+                    UNCLASSED
+                } else {
+                    tag.min(self.classes as u32 - 1) as u8
+                };
             }
         }
     }
@@ -311,6 +433,9 @@ mod tests {
     use super::*;
     use nand_sim::{NandTiming, SimClock};
 
+    const USER: WritePoint = WritePoint::User { class: 0 };
+    const GC0: WritePoint = WritePoint::Gc { class: 0, channel: 0 };
+
     fn setup() -> (BlockPool, NandArray) {
         let g = NandGeometry::new(512, 4, 10);
         let nand = NandArray::with_timing(g, NandTiming::zero(), SimClock::new());
@@ -321,14 +446,14 @@ mod tests {
     #[test]
     fn allocations_are_sequential_within_a_block() {
         let (mut pool, nand) = setup();
-        let p0 = pool.alloc(&nand, WritePoint::User).unwrap();
-        let p1 = pool.alloc(&nand, WritePoint::User).unwrap();
+        let p0 = pool.alloc(&nand, USER).unwrap();
+        let p1 = pool.alloc(&nand, USER).unwrap();
         assert_eq!(p1.0, p0.0 + 1);
         // Same block until it fills (4 pages).
-        let p2 = pool.alloc(&nand, WritePoint::User).unwrap();
-        let p3 = pool.alloc(&nand, WritePoint::User).unwrap();
+        let p2 = pool.alloc(&nand, USER).unwrap();
+        let p3 = pool.alloc(&nand, USER).unwrap();
         assert_eq!(nand.geometry().block_of(p0), nand.geometry().block_of(p3));
-        let p4 = pool.alloc(&nand, WritePoint::User).unwrap();
+        let p4 = pool.alloc(&nand, USER).unwrap();
         assert_ne!(nand.geometry().block_of(p0), nand.geometry().block_of(p4));
         let _ = (p2, p4);
     }
@@ -336,9 +461,67 @@ mod tests {
     #[test]
     fn user_and_gc_write_points_use_distinct_blocks() {
         let (mut pool, nand) = setup();
-        let u = pool.alloc(&nand, WritePoint::User).unwrap();
-        let g = pool.alloc(&nand, WritePoint::Gc).unwrap();
+        let u = pool.alloc(&nand, USER).unwrap();
+        let g = pool.alloc(&nand, GC0).unwrap();
         assert_ne!(nand.geometry().block_of(u), nand.geometry().block_of(g));
+    }
+
+    #[test]
+    fn classes_never_share_a_block() {
+        let g = NandGeometry::new(512, 4, 12);
+        let nand = NandArray::with_timing(g, NandTiming::zero(), SimClock::new());
+        let mut pool = BlockPool::new(g, BlockId(0), 12).with_classes(3);
+        let mut block_of_class = vec![Vec::new(); 3];
+        for i in 0..24u32 {
+            let class = (i % 3) as u8;
+            let p = pool.alloc(&nand, WritePoint::User { class }).unwrap();
+            block_of_class[class as usize].push(g.block_of(p));
+        }
+        for a in 0..3 {
+            for b in (a + 1)..3 {
+                for blk in &block_of_class[a] {
+                    assert!(
+                        !block_of_class[b].contains(blk),
+                        "classes {a} and {b} share block {blk:?}"
+                    );
+                }
+            }
+        }
+        // Class marking follows the allocation.
+        let rel = pool.rel(block_of_class[1][0]).unwrap();
+        assert_eq!(pool.block_class(rel), Some(1));
+    }
+
+    #[test]
+    fn gc_lanes_are_per_channel() {
+        let g = NandGeometry::new(512, 4, 16).with_parallelism(4, 1);
+        let nand = NandArray::with_timing(g, NandTiming::zero(), SimClock::new());
+        let mut pool = BlockPool::new(g, BlockId(0), 16);
+        let a = pool.alloc(&nand, WritePoint::Gc { class: 0, channel: 0 }).unwrap();
+        let b = pool.alloc(&nand, WritePoint::Gc { class: 0, channel: 1 }).unwrap();
+        let c = pool.alloc(&nand, WritePoint::Gc { class: 0, channel: 0 }).unwrap();
+        assert_ne!(g.block_of(a), g.block_of(b), "distinct channels, distinct GC blocks");
+        assert_eq!(g.block_of(a), g.block_of(c), "same channel continues its open lane");
+        assert_eq!(g.channel_of_block(g.block_of(a)), 0);
+        assert_eq!(g.channel_of_block(g.block_of(b)), 1);
+    }
+
+    #[test]
+    fn lane_steal_fires_when_preferred_channel_is_dry() {
+        let g = NandGeometry::new(512, 4, 4).with_parallelism(2, 1);
+        let nand = NandArray::with_timing(g, NandTiming::zero(), SimClock::new());
+        let mut pool = BlockPool::new(g, BlockId(0), 4);
+        // Blocks 0 and 2 are channel 0; drain them through the channel-0
+        // GC lane (2 blocks x 4 pages).
+        for _ in 0..8 {
+            pool.alloc(&nand, WritePoint::Gc { class: 0, channel: 0 }).unwrap();
+        }
+        assert_eq!(pool.lane_steals(), 0);
+        // The ninth allocation must open a third block for channel 0 —
+        // only channel-1 blocks remain, so the lane steals one.
+        let p = pool.alloc(&nand, WritePoint::Gc { class: 0, channel: 0 }).unwrap();
+        assert_eq!(g.channel_of_block(g.block_of(p)), 1, "stolen block is foreign");
+        assert_eq!(pool.lane_steals(), 1, "cross-channel fallback must be counted");
     }
 
     #[test]
@@ -346,9 +529,9 @@ mod tests {
         let (mut pool, nand) = setup();
         // 8 blocks * 4 pages = 32 allocations, all to the user point.
         for _ in 0..32 {
-            pool.alloc(&nand, WritePoint::User).unwrap();
+            pool.alloc(&nand, USER).unwrap();
         }
-        assert_eq!(pool.alloc(&nand, WritePoint::User), Err(FtlError::DeviceFull));
+        assert_eq!(pool.alloc(&nand, USER), Err(FtlError::DeviceFull));
         assert_eq!(pool.free_count(), 0);
     }
 
@@ -356,11 +539,11 @@ mod tests {
     fn full_blocks_become_victim_eligible() {
         let (mut pool, mut nand) = setup();
         for _ in 0..4 {
-            let p = pool.alloc(&nand, WritePoint::User).unwrap();
+            let p = pool.alloc(&nand, USER).unwrap();
             nand.program(p, &[0u8; 512]).unwrap();
         }
         // Block not yet closed: closing happens lazily on the next alloc.
-        pool.alloc(&nand, WritePoint::User).unwrap();
+        pool.alloc(&nand, USER).unwrap();
         let closed: Vec<u32> = (0..8).filter(|&r| pool.victim_eligible(r, &nand)).collect();
         assert_eq!(closed.len(), 1);
     }
@@ -372,12 +555,12 @@ mod tests {
         // pages — the last allocation is still in flight.
         let mut pages = Vec::new();
         for _ in 0..4 {
-            pages.push(pool.alloc(&nand, WritePoint::User).unwrap());
+            pages.push(pool.alloc(&nand, USER).unwrap());
         }
         for p in &pages[..3] {
             nand.program(*p, &[0u8; 512]).unwrap();
         }
-        pool.alloc(&nand, WritePoint::User).unwrap(); // closes the full block
+        pool.alloc(&nand, USER).unwrap(); // closes the full block
         let rel = pool.rel(nand.geometry().block_of(pages[0])).unwrap();
         assert_eq!(pool.state(rel), BlockState::Closed);
         assert!(!pool.victim_eligible(rel, &nand), "in-flight page must pin the block");
@@ -389,7 +572,7 @@ mod tests {
     fn release_returns_block_to_free_list() {
         let (mut pool, mut nand) = setup();
         for _ in 0..5 {
-            let p = pool.alloc(&nand, WritePoint::User).unwrap();
+            let p = pool.alloc(&nand, USER).unwrap();
             nand.program(p, &[0u8; 512]).unwrap();
         }
         let victim = (0..8).find(|&r| pool.victim_eligible(r, &nand)).unwrap();
@@ -398,6 +581,7 @@ mod tests {
         pool.release(victim);
         assert_eq!(pool.free_count(), before + 1);
         assert_eq!(pool.state(victim), BlockState::Free);
+        assert_eq!(pool.block_class(victim), None, "release clears the class");
     }
 
     #[test]
@@ -407,7 +591,7 @@ mod tests {
         for _ in 0..5 {
             nand.erase(BlockId(2)).unwrap();
         }
-        let p = pool.alloc(&nand, WritePoint::User).unwrap();
+        let p = pool.alloc(&nand, USER).unwrap();
         // Allocation should come from some block other than the worn one.
         assert_ne!(nand.geometry().block_of(p), BlockId(2));
     }
@@ -415,7 +599,7 @@ mod tests {
     #[test]
     fn rebuild_from_nand_seals_programmed_blocks() {
         let (mut pool, mut nand) = setup();
-        let p = pool.alloc(&nand, WritePoint::User).unwrap();
+        let p = pool.alloc(&nand, USER).unwrap();
         nand.program(p, &[0u8; 512]).unwrap();
         pool.rebuild_from_nand(&nand);
         let rel = pool.rel(nand.geometry().block_of(p)).unwrap();
@@ -424,19 +608,41 @@ mod tests {
     }
 
     #[test]
+    fn rebuild_recovers_classes_from_nand_tags() {
+        let g = NandGeometry::new(512, 4, 8);
+        let mut nand = NandArray::with_timing(g, NandTiming::zero(), SimClock::new());
+        let mut pool = BlockPool::new(g, BlockId(0), 8).with_classes(3);
+        let p0 = pool.alloc(&nand, WritePoint::User { class: 2 }).unwrap();
+        let p1 = pool.alloc(&nand, WritePoint::User { class: 1 }).unwrap();
+        nand.program(p0, &[0u8; 512]).unwrap();
+        nand.program(p1, &[0u8; 512]).unwrap();
+        // Mirror what the FTL does after alloc: tag the blocks.
+        for (p, class) in [(p0, 2u32), (p1, 1)] {
+            nand.set_block_tag(g.block_of(p), class);
+        }
+        pool.rebuild_from_nand(&nand);
+        assert_eq!(pool.block_class(pool.rel(g.block_of(p0)).unwrap()), Some(2));
+        assert_eq!(pool.block_class(pool.rel(g.block_of(p1)).unwrap()), Some(1));
+        // An untagged programmed block (v2 image) recovers as unclassed.
+        let mut nand2 = NandArray::with_timing(g, NandTiming::zero(), SimClock::new());
+        nand2.program(g.first_ppn(BlockId(0)), &[0u8; 512]).unwrap();
+        pool.rebuild_from_nand(&nand2);
+        assert_eq!(pool.block_class(0), None);
+    }
+
+    #[test]
     fn user_allocations_stripe_across_channels() {
         let g = NandGeometry::new(512, 4, 16).with_parallelism(4, 1);
         let nand = NandArray::with_timing(g, NandTiming::zero(), SimClock::new());
         let mut pool = BlockPool::new(g, BlockId(0), 16);
-        let ppns: Vec<Ppn> =
-            (0..4).map(|_| pool.alloc(&nand, WritePoint::User).unwrap()).collect();
+        let ppns: Vec<Ppn> = (0..4).map(|_| pool.alloc(&nand, USER).unwrap()).collect();
         let mut channels: Vec<u32> =
             ppns.iter().map(|&p| g.channel_of_block(g.block_of(p))).collect();
         channels.sort_unstable();
         channels.dedup();
         assert_eq!(channels.len(), 4, "4 consecutive host pages span 4 channels");
         // The fifth allocation wraps back to the first lane's open block.
-        let p4 = pool.alloc(&nand, WritePoint::User).unwrap();
+        let p4 = pool.alloc(&nand, USER).unwrap();
         assert_eq!(g.block_of(p4), g.block_of(ppns[0]));
         assert_eq!(p4.0, ppns[0].0 + 1);
     }
@@ -448,13 +654,13 @@ mod tests {
         pool.begin_capture();
         let mut pages = Vec::new();
         for _ in 0..4 {
-            let p = pool.alloc(&nand, WritePoint::User).unwrap();
+            let p = pool.alloc(&nand, USER).unwrap();
             nand.program(p, &[0u8; 512]).unwrap();
             pages.push(p);
         }
         let captured = pool.end_capture();
         assert_eq!(captured.len(), 4);
-        pool.alloc(&nand, WritePoint::User).unwrap(); // closes the full block
+        pool.alloc(&nand, USER).unwrap(); // closes the full block
         let rel = pool.rel(nand.geometry().block_of(pages[0])).unwrap();
         assert_eq!(pool.state(rel), BlockState::Closed);
         assert_eq!(pool.inflight_pinned_blocks(), 1);
@@ -471,11 +677,11 @@ mod tests {
     fn overlapping_command_pins_release_independently() {
         let (mut pool, mut nand) = setup();
         pool.begin_capture();
-        let p0 = pool.alloc(&nand, WritePoint::User).unwrap();
+        let p0 = pool.alloc(&nand, USER).unwrap();
         nand.program(p0, &[0u8; 512]).unwrap();
         let first = pool.end_capture();
         pool.begin_capture();
-        let p1 = pool.alloc(&nand, WritePoint::User).unwrap();
+        let p1 = pool.alloc(&nand, USER).unwrap();
         nand.program(p1, &[0u8; 512]).unwrap();
         let second = pool.end_capture();
         // Both commands touched the same open block.
@@ -491,12 +697,29 @@ mod tests {
     fn rebuild_clears_inflight_pins() {
         let (mut pool, mut nand) = setup();
         pool.begin_capture();
-        let p = pool.alloc(&nand, WritePoint::User).unwrap();
+        let p = pool.alloc(&nand, USER).unwrap();
         nand.program(p, &[0u8; 512]).unwrap();
         let _captured = pool.end_capture();
         assert_eq!(pool.inflight_pinned_blocks(), 1);
         pool.rebuild_from_nand(&nand);
         assert_eq!(pool.inflight_pinned_blocks(), 0);
+    }
+
+    #[test]
+    fn placement_gauges_track_allocations() {
+        let g = NandGeometry::new(512, 4, 12);
+        let nand = NandArray::with_timing(g, NandTiming::zero(), SimClock::new());
+        let mut pool = BlockPool::new(g, BlockId(0), 12).with_classes(2);
+        for _ in 0..3 {
+            pool.alloc(&nand, WritePoint::User { class: 1 }).unwrap();
+        }
+        pool.alloc(&nand, WritePoint::User { class: 0 }).unwrap();
+        pool.alloc(&nand, WritePoint::Gc { class: 1, channel: 0 }).unwrap();
+        assert_eq!(pool.placed_pages(0), 1);
+        assert_eq!(pool.placed_pages(1), 3);
+        assert_eq!(pool.gc_moved_pages(1), 1);
+        assert_eq!(pool.open_blocks(0), 1);
+        assert_eq!(pool.open_blocks(1), 2, "one user lane + one GC lane open");
     }
 
     #[test]

@@ -44,6 +44,11 @@ pub struct DeviceStats {
     /// NAND pages programmed while recovering (the fresh checkpoint that
     /// closes recovery). Crash sweeps assert bounds on this.
     pub recovery_page_writes: u64,
+    /// Free-block pops where a write point's preferred channel had no
+    /// free block and one was stolen from another channel. Non-zero means
+    /// lane parallelism (and on a real device, channel striping) degraded
+    /// under free-space skew.
+    pub lane_steals: u64,
     /// Raw NAND counters (includes meta and GC traffic).
     pub nand: NandStats,
 }
@@ -77,6 +82,7 @@ impl DeviceStats {
             recoveries: self.recoveries - earlier.recoveries,
             recovery_page_reads: self.recovery_page_reads - earlier.recovery_page_reads,
             recovery_page_writes: self.recovery_page_writes - earlier.recovery_page_writes,
+            lane_steals: self.lane_steals - earlier.lane_steals,
             nand: self.nand.delta_since(&earlier.nand),
         }
     }
@@ -135,6 +141,7 @@ mod tests {
             recoveries: 14,
             recovery_page_reads: 15,
             recovery_page_writes: 16,
+            lane_steals: 21,
             nand: NandStats {
                 page_reads: 17,
                 page_programs: 18,

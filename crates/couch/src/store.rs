@@ -335,7 +335,10 @@ impl<D: BlockDevice> CouchStore<D> {
             .map(|(i, img)| (self.tail + i as u64, img.as_slice()))
             .collect();
         if queued {
-            self.fs.submit_write_pages(self.file, &batch)?;
+            // Retry through shared-queue saturation: only writes are in
+            // flight on the save path, so reaped completions carry no
+            // payloads this store still needs.
+            self.fs.submit_write_pages_retry(self.file, &batch)?;
         } else {
             self.fs.write_pages(self.file, &batch)?;
         }
@@ -442,15 +445,7 @@ impl<D: BlockDevice> CouchStore<D> {
         for (i, ptr) in ptrs.iter().enumerate() {
             let Some(p) = ptr else { continue };
             let pages: Vec<u64> = (0..p.nblocks as u64).map(|j| p.block + j).collect();
-            let tag = loop {
-                match self.fs.submit_read_pages(self.file, &pages) {
-                    Ok(t) => break t,
-                    Err(share_vfs::VfsError::Device(share_core::FtlError::QueueFull { .. })) => {
-                        completions.extend(self.fs.reap_queue());
-                    }
-                    Err(e) => return Err(e.into()),
-                }
-            };
+            let tag = self.fs.submit_read_pages_retry(self.file, &pages, &mut completions)?;
             tags.push((i, tag, *p));
         }
         completions.extend(self.fs.drain_queue());

@@ -70,7 +70,7 @@ pub(crate) fn is_durability_point(op: &FtlOp) -> bool {
     )
 }
 
-fn exec(ftl: &mut Ftl, op: &FtlOp) -> Result<(), FtlError> {
+pub(crate) fn exec(ftl: &mut Ftl, op: &FtlOp) -> Result<(), FtlError> {
     let ps = ftl.page_size();
     match op {
         FtlOp::Write { lpn, fill } => ftl.write(Lpn(*lpn), &vec![*fill; ps]),

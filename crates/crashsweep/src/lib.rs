@@ -33,11 +33,13 @@ pub mod ftl_workload;
 pub mod innodb_workload;
 pub mod queued_workload;
 pub mod sqlite_workload;
+pub mod stream_workload;
 
 pub use ftl_workload::{FtlMixedWorkload, FtlTraceWorkload};
 pub use queued_workload::{FtlQueuedWorkload, QueuedCaseOutcome};
 pub use innodb_workload::InnodbShareWorkload;
 pub use sqlite_workload::SqliteShareWorkload;
+pub use stream_workload::FtlStreamWorkload;
 
 use nand_sim::FaultMode;
 use std::fmt;

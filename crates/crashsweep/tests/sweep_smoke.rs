@@ -13,7 +13,7 @@
 use nand_sim::FaultMode;
 use share_crashsweep::{
     deep_point_cap, sweep, CrashWorkload, FtlMixedWorkload, FtlQueuedWorkload,
-    InnodbShareWorkload, SqliteShareWorkload,
+    FtlStreamWorkload, InnodbShareWorkload, SqliteShareWorkload,
 };
 
 /// Stride that visits about `target` points of a `total`-point space.
@@ -43,6 +43,9 @@ fn smoke_sweep_covers_200_points_across_the_stack() {
     // queue with commands in flight at the crash (submission boundaries
     // via TornHalf/DroppedWrite, completion boundaries via AfterProgram).
     visited += run_smoke(&FtlQueuedWorkload::new(42, 300, 4), 120);
+    // Multi-stream placement: three lifetime classes, several open
+    // frontiers at every crash boundary (the PR 7 placement tentpole).
+    visited += run_smoke(&FtlStreamWorkload::new(42, 300), 60);
     assert!(
         visited >= 200,
         "smoke tier must visit at least 200 distinct crash points, got {visited}"
@@ -58,11 +61,12 @@ fn smoke_sweep_covers_200_points_across_the_stack() {
 #[test]
 fn deep_sweep_soak() {
     let Some(cap) = deep_point_cap() else { return };
-    let workloads: [Box<dyn CrashWorkload>; 4] = [
+    let workloads: [Box<dyn CrashWorkload>; 5] = [
         Box::new(FtlMixedWorkload::new(1009, 800)),
         Box::new(SqliteShareWorkload::new(1013, 32, 25)),
         Box::new(InnodbShareWorkload::new(1019, 48, 150)),
         Box::new(FtlQueuedWorkload::new(1021, 800, 4)),
+        Box::new(FtlStreamWorkload::new(1031, 800)),
     ];
     for w in &workloads {
         let total = w.crash_points();

@@ -8,19 +8,22 @@
 //! magic "NSIM" | version u32 | page_size u64 | pages_per_block u32 |
 //! blocks u32 | channels u32 | ways u32 (v2+) | clock_ns u64 |
 //! stats (4 x u64) |
-//! per block: erase_count u32, frontier u32 |
+//! per block: erase_count u32, frontier u32, stream tag u32 (v3+) |
 //! per page:  state u8 (0 free, 1 programmed, 2 torn) [+ content]
 //! ```
 //!
 //! Version 1 images (pre-channel) load as a 1-channel, 1-way device.
+//! Version 2 images (pre-placement) load with every block untagged —
+//! i.e. as a single-stream device; the FTL treats untagged blocks as the
+//! default lifetime class on recovery.
 
-use crate::array::{NandArray, PageState};
+use crate::array::{NandArray, PageState, UNTAGGED};
 use crate::clock::SimClock;
 use crate::geometry::{BlockId, NandGeometry, NandTiming, Ppn};
 use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 4] = b"NSIM";
-const VERSION: u32 = 2;
+const VERSION: u32 = 3;
 
 fn put_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
@@ -67,6 +70,7 @@ impl NandArray {
         for b in 0..g.blocks {
             put_u32(w, self.erase_count(BlockId(b)))?;
             put_u32(w, self.write_frontier(BlockId(b)))?;
+            put_u32(w, self.block_tag(BlockId(b)))?;
         }
         for p in 0..g.total_pages() {
             let ppn = Ppn(p);
@@ -91,7 +95,7 @@ impl NandArray {
             return Err(bad("not a NAND image"));
         }
         let version = get_u32(r)?;
-        if version != 1 && version != VERSION {
+        if !(1..=VERSION).contains(&version) {
             return Err(bad("unsupported NAND image version"));
         }
         let page_size = get_u64(r)? as usize;
@@ -116,9 +120,11 @@ impl NandArray {
         };
         let mut erase_counts = Vec::with_capacity(blocks as usize);
         let mut frontiers = Vec::with_capacity(blocks as usize);
+        let mut tags = Vec::with_capacity(blocks as usize);
         for _ in 0..blocks {
             erase_counts.push(get_u32(r)?);
             frontiers.push(get_u32(r)?);
+            tags.push(if version >= 3 { get_u32(r)? } else { UNTAGGED });
         }
         let mut pages = Vec::with_capacity(geometry.total_pages() as usize);
         let mut torn = Vec::with_capacity(geometry.total_pages() as usize);
@@ -139,8 +145,18 @@ impl NandArray {
                 _ => return Err(bad("corrupt page tag")),
             }
         }
-        NandArray::from_parts(geometry, timing, clock, pages, torn, frontiers, erase_counts, stats)
-            .map_err(bad)
+        NandArray::from_parts(
+            geometry,
+            timing,
+            clock,
+            pages,
+            torn,
+            frontiers,
+            erase_counts,
+            tags,
+            stats,
+        )
+        .map_err(bad)
     }
 }
 
@@ -196,6 +212,82 @@ mod tests {
         let loaded = NandArray::load_image(&mut buf.as_slice(), NandTiming::default()).unwrap();
         assert_eq!(loaded.geometry(), g);
         assert_eq!(loaded.geometry().units(), 8);
+    }
+
+    #[test]
+    fn image_v3_round_trips_block_tags() {
+        let mut nand = build();
+        nand.set_block_tag(BlockId(0), 1);
+        nand.set_block_tag(BlockId(2), 0);
+        nand.set_block_tag(BlockId(4), 2);
+        let mut buf = Vec::new();
+        nand.save_image(&mut buf).unwrap();
+        let loaded = NandArray::load_image(&mut buf.as_slice(), NandTiming::default()).unwrap();
+        for b in 0..6 {
+            assert_eq!(loaded.block_tag(BlockId(b)), nand.block_tag(BlockId(b)), "block {b}");
+        }
+        assert_eq!(loaded.block_tag(BlockId(1)), UNTAGGED);
+    }
+
+    /// Hand-encode the version-2 layout (no per-block tag field) and load
+    /// it: a pre-placement image must come up as a single-stream device —
+    /// every block untagged — with all other state intact.
+    #[test]
+    fn v2_image_loads_as_single_stream() {
+        let nand = build();
+        let g = nand.geometry();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&2u32.to_le_bytes());
+        buf.extend_from_slice(&(g.page_size as u64).to_le_bytes());
+        buf.extend_from_slice(&g.pages_per_block.to_le_bytes());
+        buf.extend_from_slice(&g.blocks.to_le_bytes());
+        buf.extend_from_slice(&g.channels.to_le_bytes());
+        buf.extend_from_slice(&g.ways.to_le_bytes());
+        buf.extend_from_slice(&nand.clock().now_ns().to_le_bytes());
+        let s = nand.stats();
+        for v in [s.page_reads, s.page_programs, s.block_erases, s.torn_programs] {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        for b in 0..g.blocks {
+            buf.extend_from_slice(&nand.erase_count(BlockId(b)).to_le_bytes());
+            buf.extend_from_slice(&nand.write_frontier(BlockId(b)).to_le_bytes());
+        }
+        for p in 0..g.total_pages() {
+            let ppn = Ppn(p);
+            match nand.page_state(ppn) {
+                PageState::Free => buf.push(0),
+                state => {
+                    buf.push(if state == PageState::Torn { 2 } else { 1 });
+                    buf.extend_from_slice(nand.raw_page(ppn).unwrap());
+                }
+            }
+        }
+        let loaded = NandArray::load_image(&mut buf.as_slice(), NandTiming::default()).unwrap();
+        assert_eq!(loaded.geometry(), g);
+        assert_eq!(loaded.stats(), s);
+        for b in 0..g.blocks {
+            assert_eq!(loaded.block_tag(BlockId(b)), UNTAGGED, "block {b}");
+            assert_eq!(loaded.write_frontier(BlockId(b)), nand.write_frontier(BlockId(b)));
+        }
+        for p in 0..g.total_pages() {
+            assert_eq!(loaded.page_state(Ppn(p)), nand.page_state(Ppn(p)), "page {p}");
+        }
+        // Re-saving upgrades in place: the round trip through v3 keeps
+        // the untagged marking.
+        let mut buf3 = Vec::new();
+        loaded.save_image(&mut buf3).unwrap();
+        let again = NandArray::load_image(&mut buf3.as_slice(), NandTiming::default()).unwrap();
+        assert_eq!(again.block_tag(BlockId(0)), UNTAGGED);
+    }
+
+    #[test]
+    fn erase_clears_the_block_tag() {
+        let mut nand = build();
+        nand.set_block_tag(BlockId(1), 2);
+        assert_eq!(nand.block_tag(BlockId(1)), 2);
+        nand.erase(BlockId(1)).unwrap();
+        assert_eq!(nand.block_tag(BlockId(1)), UNTAGGED);
     }
 
     #[test]

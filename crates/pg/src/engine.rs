@@ -439,7 +439,10 @@ impl<D: BlockDevice> MiniPg<D> {
         batch: &[(u64, &[u8])],
     ) -> Result<(), VfsError> {
         if self.fs.supports_queue() && batch.len() > 1 {
-            self.fs.submit_write_pages(file, batch)?;
+            // A shared queue can be saturated by other connections at
+            // commit time; the retry variant reaps completions and
+            // resubmits instead of failing the commit with `QueueFull`.
+            self.fs.submit_write_pages_retry(file, batch)?;
         } else {
             self.fs.write_pages(file, batch)?;
         }

@@ -222,3 +222,41 @@ fn write_costs_order_as_the_paper_predicts() {
         "SHARE ({share}) should cost about the same as OFF ({off})"
     );
 }
+
+#[test]
+fn commit_retries_through_a_saturated_shared_queue() {
+    // Regression: commit used to propagate `QueueFull` out of
+    // `write_pages_overlapped` instead of draining and retrying, so a
+    // second connection keeping the shared queue full failed this
+    // connection's commit. Queue depth 4, preloaded to capacity.
+    use share_core::{BlockDevice, Lpn, QueuedCmd, SharedDevice};
+    let dev = SharedDevice::new(Ftl::new(ftl_cfg().with_queue_depth(4)));
+    let mut side = dev.clone();
+    let mut db = MiniSqlite::create(dev, cfg(JournalMode::Rollback)).unwrap();
+    // Values near the record-size cap so a handful of keys dirty several
+    // pages and the commit takes the queued multi-page path.
+    let big = |k: u64, v: u8| {
+        let mut x = vec![v; 1_000];
+        x[..8].copy_from_slice(&k.to_le_bytes());
+        x
+    };
+    for k in 0..16u64 {
+        db.put(k, &big(k, 1)).unwrap();
+    }
+    db.commit().unwrap();
+    // A second connection fills the shared submission queue to its depth.
+    for _ in 0..4 {
+        side.submit(QueuedCmd::ReadBatch { lpns: vec![Lpn(0)] }).unwrap();
+    }
+    assert_eq!(side.inflight(), 4, "shared queue must be saturated");
+    // This commit's journal and database batches must absorb the
+    // back-pressure (reap + retry), not fail.
+    for k in 0..16u64 {
+        db.put(k, &big(k, 2)).unwrap();
+    }
+    db.commit().unwrap();
+    for k in 0..16u64 {
+        assert_eq!(db.get(k).unwrap().unwrap(), big(k, 2), "key {k}");
+    }
+    db.into_device().with(|f| f.check_invariants());
+}

@@ -381,6 +381,7 @@ impl Telemetry {
             units: Vec::new(),
             now_ns: 0,
             queue: QueueGauges::default(),
+            placement: PlacementGauges::default(),
             events: self.ring.events(),
         }
     }
@@ -468,6 +469,36 @@ pub struct QueueGauges {
     pub reaped: u64,
 }
 
+/// One lifetime class's placement gauges in a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlacementClassGauge {
+    /// Lifetime-class index (0 = default/long-lived).
+    pub class: u8,
+    /// Human label ("default", "short-lived", "cold").
+    pub label: String,
+    /// Host pages placed into this class's write points.
+    pub placed_pages: u64,
+    /// GC copyback pages relocated into this class's lanes.
+    pub gc_moved_pages: u64,
+    /// Write-point blocks of this class currently open.
+    pub open_blocks: u64,
+}
+
+/// Multi-stream placement gauges in a [`Snapshot`]. Filled by the device
+/// (the block pool owns the counters); `enabled == false` with one
+/// all-default class row when placement is off, and empty for bare
+/// `Telemetry` snapshots.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PlacementGauges {
+    /// Whether multi-streamed placement was configured on.
+    pub enabled: bool,
+    /// Times a write point's preferred channel had no free block and a
+    /// block was stolen from another channel (lost lane parallelism).
+    pub lane_steals: u64,
+    /// Per-lifetime-class placement counters.
+    pub classes: Vec<PlacementClassGauge>,
+}
+
 /// One NAND unit's utilization in a [`Snapshot`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct UnitUtilization {
@@ -499,6 +530,9 @@ pub struct Snapshot {
     /// Submission/completion-queue gauges (filled by the device; all
     /// zero for bare `Telemetry` snapshots and sync-only devices).
     pub queue: QueueGauges,
+    /// Multi-stream placement gauges (filled by the device; default —
+    /// disabled, no classes — for bare `Telemetry` snapshots).
+    pub placement: PlacementGauges,
     /// Retained command events, oldest first.
     pub events: Vec<CommandEvent>,
 }
@@ -605,6 +639,28 @@ impl Snapshot {
             ("submitted", count(self.queue.submitted)),
             ("reaped", count(self.queue.reaped)),
         ]);
+        let placement_classes = Json::Obj(
+            self.placement
+                .classes
+                .iter()
+                .map(|c| {
+                    (
+                        c.label.clone(),
+                        Json::obj(vec![
+                            ("class", count(c.class as u64)),
+                            ("placed_pages", count(c.placed_pages)),
+                            ("gc_moved_pages", count(c.gc_moved_pages)),
+                            ("open_blocks", count(c.open_blocks)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        let placement = Json::obj(vec![
+            ("enabled", Json::Bool(self.placement.enabled)),
+            ("lane_steals", count(self.placement.lane_steals)),
+            ("classes", placement_classes),
+        ]);
         Json::obj(vec![
             ("commands", count(self.commands)),
             ("now_ns", count(self.now_ns)),
@@ -613,6 +669,7 @@ impl Snapshot {
             ("wa", wa),
             ("units", units),
             ("queue", queue),
+            ("placement", placement),
             ("events", events),
         ])
     }

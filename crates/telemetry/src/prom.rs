@@ -99,6 +99,42 @@ pub fn render(snap: &Snapshot) -> String {
         out.push_str(&format!("share_queue_reaped_total {}\n", snap.queue.reaped));
     }
 
+    if !snap.placement.classes.is_empty() {
+        out.push_str("# HELP share_placement_enabled Whether multi-streamed placement is on.\n");
+        out.push_str("# TYPE share_placement_enabled gauge\n");
+        out.push_str(&format!(
+            "share_placement_enabled {}\n",
+            u64::from(snap.placement.enabled)
+        ));
+        out.push_str("# HELP share_lane_steals_total Free-block pops that fell back to a foreign channel.\n");
+        out.push_str("# TYPE share_lane_steals_total counter\n");
+        out.push_str(&format!("share_lane_steals_total {}\n", snap.placement.lane_steals));
+        out.push_str("# HELP share_placement_placed_pages_total Host pages placed per lifetime class.\n");
+        out.push_str("# TYPE share_placement_placed_pages_total counter\n");
+        for c in &snap.placement.classes {
+            out.push_str(&format!(
+                "share_placement_placed_pages_total{{class=\"{}\"}} {}\n",
+                c.label, c.placed_pages
+            ));
+        }
+        out.push_str("# HELP share_placement_gc_moved_pages_total GC copyback pages relocated per lifetime class.\n");
+        out.push_str("# TYPE share_placement_gc_moved_pages_total counter\n");
+        for c in &snap.placement.classes {
+            out.push_str(&format!(
+                "share_placement_gc_moved_pages_total{{class=\"{}\"}} {}\n",
+                c.label, c.gc_moved_pages
+            ));
+        }
+        out.push_str("# HELP share_placement_open_blocks Currently open write-point blocks per lifetime class.\n");
+        out.push_str("# TYPE share_placement_open_blocks gauge\n");
+        for c in &snap.placement.classes {
+            out.push_str(&format!(
+                "share_placement_open_blocks{{class=\"{}\"}} {}\n",
+                c.label, c.open_blocks
+            ));
+        }
+    }
+
     if !snap.units.is_empty() {
         out.push_str("# HELP share_unit_busy_ns_total Simulated busy time per NAND channel/way.\n");
         out.push_str("# TYPE share_unit_busy_ns_total counter\n");

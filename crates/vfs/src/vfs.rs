@@ -644,6 +644,62 @@ impl<D: BlockDevice> Vfs<D> {
         Ok(self.dev.submit(QueuedCmd::ReadBatch { lpns })?)
     }
 
+    /// [`Vfs::submit_write_pages`] with queue-full back-pressure handling:
+    /// when the device rejects the submission with `QueueFull` (a shared
+    /// queue can be saturated by other connections), reap completions to
+    /// free slots and retry. Completion errors reaped while waiting
+    /// propagate — a failed earlier write must not be silently absorbed by
+    /// the retry loop. Reaped read payloads are dropped, so only use this
+    /// on paths with no outstanding reads of their own; read-heavy callers
+    /// want [`Vfs::submit_read_pages_retry`]'s completion hand-back.
+    pub fn submit_write_pages_retry(
+        &mut self,
+        f: FileId,
+        pages: &[(u64, &[u8])],
+    ) -> Result<CmdTag, VfsError> {
+        loop {
+            match self.submit_write_pages(f, pages) {
+                Err(VfsError::Device(share_core::FtlError::QueueFull { depth })) => {
+                    let reaped = self.reap_queue();
+                    if reaped.is_empty() {
+                        // Nothing in flight to wait for, yet the queue is
+                        // full: retrying cannot make progress.
+                        return Err(VfsError::Device(share_core::FtlError::QueueFull { depth }));
+                    }
+                    for c in reaped {
+                        c.result.map_err(VfsError::Device)?;
+                    }
+                }
+                r => return r,
+            }
+        }
+    }
+
+    /// [`Vfs::submit_read_pages`] with queue-full back-pressure handling:
+    /// on `QueueFull`, reap completions into `reaped` and retry. The
+    /// caller owns the handed-back completions — they may carry payloads
+    /// and per-command results of its own earlier submissions, so they are
+    /// returned unchecked rather than consumed here.
+    pub fn submit_read_pages_retry(
+        &mut self,
+        f: FileId,
+        pages: &[u64],
+        reaped: &mut Vec<Completion>,
+    ) -> Result<CmdTag, VfsError> {
+        loop {
+            match self.submit_read_pages(f, pages) {
+                Err(VfsError::Device(share_core::FtlError::QueueFull { depth })) => {
+                    let got = self.reap_queue();
+                    if got.is_empty() {
+                        return Err(VfsError::Device(share_core::FtlError::QueueFull { depth }));
+                    }
+                    reaped.extend(got);
+                }
+                r => return r,
+            }
+        }
+    }
+
     /// Reap completions already due at the current simulated time
     /// (never advances the clock).
     pub fn poll_queue(&mut self) -> Vec<Completion> {

@@ -37,6 +37,14 @@ echo "== bench smoke (multi-channel + BENCH_share.json sanity) =="
 echo "== qd smoke (queue-depth sweep + latency-under-load percentiles) =="
 ./target/release/bench_qd
 
+# Aging smoke tier: age a 4-channel device with mixed data/wal/doublewrite/
+# compact streams, placement off then on, and record both per-stream WA
+# ledgers into BENCH_share.json (aging_placement). Fails unless GC ran in
+# both runs and multi-streamed placement cuts the GC copyback blamed on
+# the short-lived journal streams at least 2x.
+echo "== aging smoke (multi-streamed placement on/off WA comparison) =="
+./target/release/bench_aging
+
 # Metrics smoke tier: run a short YCSB workload with full telemetry, dump
 # both exporter formats (Prometheus text + JSON), re-parse the JSON dump,
 # and assert the telemetry op counters equal the DeviceStats counters —
