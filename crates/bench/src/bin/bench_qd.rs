@@ -2,10 +2,16 @@
 //! vs submission-queue depth on a fixed multi-channel device.
 //!
 //! Sweeps queue depth in {1, 4, 16}: each run streams queued single-page
-//! writes (then queued read-backs) through the NVMe-style submission
-//! path with reap-on-full backpressure, and records the p50/p99
+//! writes, then queued read-backs, then a mixed phase interleaving reads
+//! and rewrites, through the NVMe-style submission path with
+//! reap-on-full backpressure, and records the p50/p99
 //! submit→complete latency from the device telemetry histograms into
-//! `BENCH_share.json` (`qd_latency_smoke` scenario). The run fails
+//! `BENCH_share.json` (`qd_latency_smoke` scenario). Each run also
+//! records a `device_bound` flag: true when the observed `max_inflight`
+//! exceeded the device's `channels * ways` service slots, i.e. commands
+//! were queueing behind busy NAND units rather than the submission
+//! window (the queue-side analogue of the channel sweep's `saturated`
+//! flag). The run fails
 //! (non-zero exit) unless deepening the queue from 1 to 16 at least
 //! doubles write throughput on the 4-channel device, unless p99
 //! latency-under-load grows monotonically with depth (deeper queues
@@ -26,16 +32,19 @@ use share_core::{
 const TOTAL_PAGES: u64 = 2048;
 const PAGE: usize = 4096;
 const CHANNELS: u32 = 4;
+const WAYS: u32 = 1;
 
 struct RunOut {
     elapsed_secs: f64,
     write_mb_s: f64,
+    mixed_mb_s: f64,
     write_p50_ns: u64,
     write_p99_ns: u64,
     read_p50_ns: u64,
     read_p99_ns: u64,
     max_inflight: u64,
     submitted: u64,
+    device_bound: bool,
     device: DeviceStats,
 }
 
@@ -90,19 +99,38 @@ fn run(qd: usize) -> RunOut {
     }
     let t_read = clock.now_ns();
 
+    // Mixed phase: alternate read-backs with rewrites, as a real log-
+    // structured workload interleaves them. Same backpressure discipline.
+    for lpn in 0..TOTAL_PAGES {
+        if lpn % 2 == 0 {
+            submit_bp(&mut dev, QueuedCmd::Read { lpn: Lpn(lpn) });
+        } else {
+            submit_bp(&mut dev, QueuedCmd::Write {
+                lpn: Lpn(lpn),
+                data: vec![fill_of(lpn + 1, qd); PAGE],
+            });
+        }
+    }
+    for c in dev.drain() {
+        c.result.expect("queued mixed op");
+    }
+    let t_mixed = clock.now_ns();
+
     let snap: Snapshot = dev.telemetry_snapshot().expect("histograms enabled");
     let wh = &snap.op(OpClass::Write).hist;
     let rh = &snap.op(OpClass::Read).hist;
     let bytes = TOTAL_PAGES as f64 * PAGE as f64;
     RunOut {
-        elapsed_secs: (t_read - t0) as f64 / 1e9,
+        elapsed_secs: (t_mixed - t0) as f64 / 1e9,
         write_mb_s: bytes / (1 << 20) as f64 / ((t_write - t0) as f64 / 1e9),
+        mixed_mb_s: bytes / (1 << 20) as f64 / ((t_mixed - t_read) as f64 / 1e9),
         write_p50_ns: wh.quantile(0.50),
         write_p99_ns: wh.quantile(0.99),
         read_p50_ns: rh.quantile(0.50),
         read_p99_ns: rh.quantile(0.99),
         max_inflight: snap.queue.max_inflight,
         submitted: snap.queue.submitted,
+        device_bound: snap.queue.max_inflight > (CHANNELS * WAYS) as u64,
         device: dev.stats(),
     }
 }
@@ -117,29 +145,33 @@ fn main() {
         rows.push(vec![
             qd.to_string(),
             f(r.write_mb_s, 1),
+            f(r.mixed_mb_s, 1),
             f(r.write_p50_ns as f64 / 1e3, 0),
             f(r.write_p99_ns as f64 / 1e3, 0),
             f(r.read_p99_ns as f64 / 1e3, 0),
             r.max_inflight.to_string(),
+            if r.device_bound { "yes" } else { "no" }.to_string(),
         ]);
         runs.push(Json::obj(vec![
             ("queue_depth", count(qd as u64)),
             ("channels", count(CHANNELS as u64)),
             ("elapsed_secs", num(r.elapsed_secs)),
             ("write_mb_per_sec", num(r.write_mb_s)),
+            ("mixed_mb_per_sec", num(r.mixed_mb_s)),
             ("write_p50_ns", count(r.write_p50_ns)),
             ("write_p99_ns", count(r.write_p99_ns)),
             ("read_p50_ns", count(r.read_p50_ns)),
             ("read_p99_ns", count(r.read_p99_ns)),
             ("max_inflight", count(r.max_inflight)),
             ("submitted", count(r.submitted)),
+            ("device_bound", Json::Bool(r.device_bound)),
             ("device", device_json(&r.device)),
         ]));
         outs.push((qd, r));
     }
     print_table(
-        "QD smoke: queued 8 MiB write + read-back vs queue depth (4 channels)",
-        &["qd", "write MB/s", "w p50 us", "w p99 us", "r p99 us", "max inflight"],
+        "QD smoke: queued 8 MiB write + read-back + mixed vs queue depth (4 channels)",
+        &["qd", "write MB/s", "mixed MB/s", "w p50 us", "w p99 us", "r p99 us", "max inflight", "dev bound"],
         &rows,
     );
 
@@ -179,6 +211,16 @@ fn main() {
         eprintln!(
             "FAIL: max_inflight gauges implausible (qd1 -> {}, qd16 -> {})",
             qd1.max_inflight, qd16.max_inflight
+        );
+        std::process::exit(1);
+    }
+    if qd1.device_bound || !qd16.device_bound {
+        eprintln!(
+            "FAIL: device_bound flags implausible (qd1 -> {}, qd16 -> {}): qd=16 should \
+             overcommit the {} channel*way service slots and qd=1 cannot",
+            qd1.device_bound,
+            qd16.device_bound,
+            CHANNELS * WAYS
         );
         std::process::exit(1);
     }

@@ -66,7 +66,7 @@ fn usage() -> String {
      \x20\x20\x20\x20 (run a traced workload: per-stream write-amplification table,\n\
      \x20\x20\x20\x20 optional Chrome trace_event JSON and span-tree dump —\n\
      \x20\x20\x20\x20 observation only, nothing is written back to the image)\n\
-     \x20 sharectl crashsweep [--workload ftl|queued|stream|sqlite|innodb|all] [--trace <file>]\n\
+     \x20 sharectl crashsweep [--workload ftl|queued|stream|gcpipe|sqlite|innodb|all] [--trace <file>]\n\
      \x20\x20\x20\x20 [--seed N] [--stride N] [--mode torn-half|dropped-write|after-program|all]\n\
      \x20\x20\x20\x20 [--index N]   (with a single --mode: replay exactly one crash case)\n"
         .to_string()
@@ -442,8 +442,8 @@ fn trace_cmd(args: &[String], out: &mut String) -> Result<()> {
 /// With `--index` and a single `--mode` it replays exactly one case.
 fn crashsweep_cmd(args: &[String], out: &mut String) -> Result<()> {
     use share_crashsweep::{
-        sweep, CrashWorkload, FtlMixedWorkload, FtlQueuedWorkload, FtlStreamWorkload,
-        FtlTraceWorkload, InnodbShareWorkload, SqliteShareWorkload,
+        sweep, CrashWorkload, FtlGcPipelineWorkload, FtlMixedWorkload, FtlQueuedWorkload,
+        FtlStreamWorkload, FtlTraceWorkload, InnodbShareWorkload, SqliteShareWorkload,
     };
 
     let which = flag_value(args, "--workload").unwrap_or("all");
@@ -484,6 +484,7 @@ fn crashsweep_cmd(args: &[String], out: &mut String) -> Result<()> {
             "ftl" => workloads.push(Box::new(FtlMixedWorkload::new(seed, 300))),
             "queued" => workloads.push(Box::new(FtlQueuedWorkload::new(seed, 300, 4))),
             "stream" => workloads.push(Box::new(FtlStreamWorkload::new(seed, 300))),
+            "gcpipe" => workloads.push(Box::new(FtlGcPipelineWorkload::new(seed, 600, 2))),
             "sqlite" => workloads.push(Box::new(SqliteShareWorkload::new(seed, 24, 10))),
             "innodb" => workloads.push(Box::new(InnodbShareWorkload::new(seed, 40, 60))),
             "all" => {
@@ -492,6 +493,7 @@ fn crashsweep_cmd(args: &[String], out: &mut String) -> Result<()> {
                 workloads.push(Box::new(InnodbShareWorkload::new(seed, 40, 60)));
                 workloads.push(Box::new(FtlQueuedWorkload::new(seed, 300, 4)));
                 workloads.push(Box::new(FtlStreamWorkload::new(seed, 300)));
+                workloads.push(Box::new(FtlGcPipelineWorkload::new(seed, 600, 2)));
             }
             other => return Err(CliError(format!("bad --workload: {other}"))),
         }

@@ -202,6 +202,14 @@ pub struct SimpleSsd {
     xfer_ns_per_kib: u64,
     fault: FaultHandle,
     stats: DeviceStats,
+    /// Independent write lanes (NVMe-style queue pairs). 1 = the
+    /// historical single-queue serial device: every command advances the
+    /// shared clock. More lanes stripe writes by page (strict per-page
+    /// ordering) onto per-lane `busy_until` reservations; only `flush`
+    /// advances the clock, to strictly after every lane has drained.
+    queues: usize,
+    /// Per-lane completion frontier (only used when `queues > 1`).
+    lane_busy_until: Vec<u64>,
 }
 
 impl SimpleSsd {
@@ -218,7 +226,37 @@ impl SimpleSsd {
             xfer_ns_per_kib: NandTiming::default().xfer_ns_per_kib,
             fault: FaultHandle::new(),
             stats: DeviceStats::default(),
+            queues: 1,
+            lane_busy_until: vec![0],
         }
+    }
+
+    /// Reshape the device into `queues` independent write lanes. One
+    /// queue (the default) is the exact historical serial device —
+    /// bit-identical state and timing. More queues overlap writes to
+    /// distinct pages: a write reserves its page's lane
+    /// (`page % queues`, so rewrites of one page stay strictly ordered)
+    /// without moving the shared clock, and `flush` acts as the
+    /// strictly-after barrier — the clock jumps to the latest lane
+    /// frontier plus the flush cost. Durability semantics are unchanged:
+    /// page content is stored eagerly, so crash images do not depend on
+    /// the queue shape.
+    pub fn with_queues(mut self, queues: usize) -> Self {
+        assert!(queues >= 1, "need at least one queue");
+        self.queues = queues;
+        self.lane_busy_until = vec![0; queues];
+        self
+    }
+
+    /// Number of independent write lanes.
+    pub fn queues(&self) -> usize {
+        self.queues
+    }
+
+    /// Latest completion frontier across all lanes (>= clock when writes
+    /// are still in flight on some lane).
+    fn lanes_drained_at(&self) -> u64 {
+        self.lane_busy_until.iter().copied().max().unwrap_or(0).max(self.clock.now_ns())
     }
 
     /// Power-loss injection handle. Unlike the FTL, a conventional drive
@@ -229,9 +267,13 @@ impl SimpleSsd {
         self.fault.clone()
     }
 
-    /// Bring the device back up after an injected power loss.
+    /// Bring the device back up after an injected power loss. Whatever
+    /// was still queued on a write lane died with the power: the lane
+    /// reservations clear (stored page content is unaffected — it was
+    /// applied eagerly at submission).
     pub fn power_cycle(&mut self) {
         self.fault.clear_down();
+        self.lane_busy_until.iter_mut().for_each(|b| *b = 0);
     }
 
     /// Override the latency model (read, write, flush in ns).
@@ -267,6 +309,10 @@ impl BlockDevice for SimpleSsd {
             return Err(FtlError::Nand(NandError::PowerLoss));
         }
         self.check(lpn, buf.len())?;
+        if self.queues > 1 {
+            // Reads are strictly ordered after every queued write.
+            self.clock.advance_to(self.lanes_drained_at());
+        }
         self.clock.advance(self.read_ns + (buf.len() as u64 * self.xfer_ns_per_kib) / 1024);
         self.stats.host_reads += 1;
         self.stats.host_read_bytes += buf.len() as u64;
@@ -282,7 +328,17 @@ impl BlockDevice for SimpleSsd {
             return Err(FtlError::Nand(NandError::PowerLoss));
         }
         self.check(lpn, data.len())?;
-        self.clock.advance(self.write_ns + (data.len() as u64 * self.xfer_ns_per_kib) / 1024);
+        let service = self.write_ns + (data.len() as u64 * self.xfer_ns_per_kib) / 1024;
+        if self.queues == 1 {
+            self.clock.advance(service);
+        } else {
+            // Dispatch onto the page's lane: the write occupies the lane
+            // from max(lane frontier, now) without moving the shared
+            // clock; `flush` is the barrier that makes it observable.
+            let lane = (lpn.0 % self.queues as u64) as usize;
+            let start = self.lane_busy_until[lane].max(self.clock.now_ns());
+            self.lane_busy_until[lane] = start + service;
+        }
         self.stats.host_writes += 1;
         self.stats.host_write_bytes += data.len() as u64;
         if let Some(mode) = self.fault.on_program() {
@@ -312,6 +368,11 @@ impl BlockDevice for SimpleSsd {
     fn flush(&mut self) -> Result<(), FtlError> {
         if self.fault.is_down() {
             return Err(FtlError::Nand(NandError::PowerLoss));
+        }
+        if self.queues > 1 {
+            // Strictly-after barrier: a flush completes only once every
+            // lane has drained.
+            self.clock.advance_to(self.lanes_drained_at());
         }
         self.clock.advance(self.flush_ns);
         self.stats.flushes += 1;
@@ -404,6 +465,91 @@ mod tests {
         d.read(Lpn(0), &mut buf).unwrap();
         assert!(buf[..256].iter().all(|&b| b == 0x22));
         assert!(buf[256..].iter().all(|&b| b == 0x11), "old tail must survive a torn write");
+    }
+
+    #[test]
+    fn multi_queue_overlaps_writes_and_flush_barriers() {
+        // Serial device: N writes + flush cost N*write + flush.
+        let mut serial = dev();
+        let c1 = serial.clock().clone();
+        for lpn in 0..4 {
+            serial.write(Lpn(lpn), &[lpn as u8; 512]).unwrap();
+        }
+        serial.flush().unwrap();
+        let serial_ns = c1.now_ns();
+
+        // Four lanes: the same four writes (distinct pages) overlap fully;
+        // the flush barrier lands at one write's service time + flush.
+        let mut mq = SimpleSsd::new(512, 16, SimClock::new()).with_queues(4);
+        assert_eq!(mq.queues(), 4);
+        let c2 = mq.clock().clone();
+        for lpn in 0..4 {
+            mq.write(Lpn(lpn), &[lpn as u8; 512]).unwrap();
+        }
+        assert_eq!(c2.now_ns(), 0, "writes alone never move the clock");
+        mq.flush().unwrap();
+        let mq_ns = c2.now_ns();
+        assert!(
+            mq_ns < serial_ns,
+            "4 lanes must beat serial: {mq_ns} vs {serial_ns}"
+        );
+        // Exactly one write service + flush (all four lanes ran in parallel).
+        let service = 30_000 + (512 * NandTiming::default().xfer_ns_per_kib) / 1024;
+        assert_eq!(mq_ns, service + 50_000);
+        // Content is identical either way.
+        for lpn in 0..4u64 {
+            let mut buf = [0u8; 512];
+            mq.read(Lpn(lpn), &mut buf).unwrap();
+            assert!(buf.iter().all(|&b| b == lpn as u8));
+        }
+    }
+
+    #[test]
+    fn multi_queue_serializes_rewrites_of_one_page() {
+        // Two writes to the same page share a lane: their service times
+        // stack, and the flush barrier sees the sum — strict per-page
+        // ordering is preserved in the timing model.
+        let mut mq = SimpleSsd::new(512, 16, SimClock::new()).with_queues(4);
+        let c = mq.clock().clone();
+        mq.write(Lpn(0), &[1u8; 512]).unwrap();
+        mq.write(Lpn(0), &[2u8; 512]).unwrap();
+        mq.flush().unwrap();
+        let service = 30_000 + (512 * NandTiming::default().xfer_ns_per_kib) / 1024;
+        assert_eq!(c.now_ns(), 2 * service + 50_000);
+        let mut buf = [0u8; 512];
+        mq.read(Lpn(0), &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 2), "last write wins");
+    }
+
+    #[test]
+    fn single_queue_stays_bit_identical_to_legacy_timing() {
+        // `with_queues(1)` must leave the historical serial path untouched.
+        let mut a = dev();
+        let mut b = SimpleSsd::new(512, 16, SimClock::new()).with_queues(1);
+        for d in [&mut a, &mut b] {
+            d.write(Lpn(0), &[5u8; 512]).unwrap();
+            d.write(Lpn(0), &[6u8; 512]).unwrap();
+            d.flush().unwrap();
+            let mut buf = [0u8; 512];
+            d.read(Lpn(0), &mut buf).unwrap();
+        }
+        assert_eq!(a.clock().now_ns(), b.clock().now_ns());
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn multi_queue_torn_write_semantics_unchanged() {
+        // Fault handling and stored content are independent of the queue
+        // shape: state is applied eagerly at submission.
+        let mut d = SimpleSsd::new(512, 16, SimClock::new()).with_queues(4);
+        d.write(Lpn(0), &[0x11u8; 512]).unwrap();
+        d.fault_handle().arm_after_programs(1, FaultMode::TornHalf);
+        assert!(d.write(Lpn(0), &[0x22u8; 512]).is_err());
+        d.power_cycle();
+        let mut buf = [0u8; 512];
+        d.read(Lpn(0), &mut buf).unwrap();
+        assert!(buf[..256].iter().all(|&b| b == 0x22));
+        assert!(buf[256..].iter().all(|&b| b == 0x11));
     }
 
     #[test]

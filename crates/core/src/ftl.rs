@@ -80,6 +80,26 @@ impl WearStats {
     }
 }
 
+/// An in-progress incremental victim collection (background GC pipeline).
+///
+/// The job is created when `pick_victim` chooses a block and lives until
+/// every candidate page has been examined; each step relocates at most a
+/// budget of still-live pages. Pages the host invalidates while the job
+/// is parked simply fail their `is_live` recheck and are skipped — late
+/// invalidations shrink the copyback for free.
+#[derive(Debug)]
+struct GcJob {
+    /// Victim block, pool-relative.
+    rel: u32,
+    /// Victim's lifetime class (survivors stay in it).
+    class: u8,
+    /// Victim's channel (survivors stay on it).
+    channel: u32,
+    /// Candidate PPNs not yet examined, in reverse page order (popped
+    /// from the back, so relocation proceeds in page order).
+    pending: Vec<Ppn>,
+}
+
 /// A flash device exposing the SHARE interface.
 #[derive(Debug)]
 pub struct Ftl {
@@ -113,6 +133,10 @@ pub struct Ftl {
     cmd_stream: Option<u32>,
     /// True while GC runs: log flushes it triggers stay FTL-attributed.
     in_gc: bool,
+    /// In-progress incremental collection (background GC pipeline only).
+    /// Persists across foreground commands until the victim is fully
+    /// relocated, flushed, and erased.
+    gc_job: Option<GcJob>,
     /// Lifetime class per interned stream id (indexed by stream id;
     /// unclassified streams — including HOST and FTL — are the default
     /// class). Populated by `stream_intern` via `cfg.placement.classify`.
@@ -170,6 +194,7 @@ impl Ftl {
             q_max_inflight: 0,
             cmd_stream: None,
             in_gc: false,
+            gc_job: None,
             stream_class: Vec::new(),
             block_blame: vec![Vec::new(); data_blocks],
             log_blame: Vec::new(),
@@ -252,6 +277,7 @@ impl Ftl {
             q_max_inflight: 0,
             cmd_stream: None,
             in_gc: false,
+            gc_job: None,
             stream_class: Vec::new(),
             block_blame: vec![Vec::new(); data_blocks],
             log_blame: Vec::new(),
@@ -522,14 +548,19 @@ impl Ftl {
     }
 
     /// Pick a GC victim per the configured policy: greedy (fewest valid
-    /// pages) or FIFO (oldest sealed block). Fully valid blocks are never
-    /// picked — erasing them reclaims nothing.
+    /// pages), FIFO (oldest sealed block), or cost-benefit (most
+    /// reclaimable space × seal age). Fully valid blocks are never
+    /// picked — erasing them reclaims nothing — and a block already being
+    /// collected incrementally is skipped.
     fn pick_victim(&self) -> Option<(u32, u32)> {
         let ppb = self.cfg.geometry.pages_per_block;
         let mut best: Option<(u32, u32, u64)> = None;
         for rel in 0..self.pool.block_count() {
             if !self.pool.victim_eligible(rel, &self.nand) {
                 continue;
+            }
+            if self.gc_job.as_ref().is_some_and(|j| j.rel == rel) {
+                continue; // already mid-collection
             }
             let valid = self.map.valid_pages(self.pool.abs(rel));
             if valid >= ppb {
@@ -538,6 +569,15 @@ impl Ftl {
             let rank = match self.cfg.gc_policy {
                 crate::config::GcPolicy::Greedy => valid as u64,
                 crate::config::GcPolicy::Fifo => self.pool.seal_seq(rel),
+                crate::config::GcPolicy::CostBenefit => {
+                    // Maximize reclaimable × age; invert into the shared
+                    // min-rank comparison. Age starts at 1 so a freshly
+                    // sealed empty block still beats a full one.
+                    let reclaimable = (ppb - valid) as u64;
+                    let age =
+                        self.pool.seal_counter().saturating_sub(self.pool.seal_seq(rel)) + 1;
+                    u64::MAX - reclaimable.saturating_mul(age)
+                }
             };
             if best.is_none_or(|(_, _, r)| rank < r) {
                 best = Some((rel, valid, rank));
@@ -633,6 +673,113 @@ impl Ftl {
         Ok(())
     }
 
+    /// Start an incremental collection job on the best victim, if any.
+    /// The victim selection counts as one `gc_events`, exactly like a
+    /// whole-victim `collect_once` pass.
+    fn gc_begin_job(&mut self) -> bool {
+        debug_assert!(self.gc_job.is_none(), "one collection job at a time");
+        let Some((rel, _valid)) = self.pick_victim() else {
+            return false;
+        };
+        self.stats.gc_events += 1;
+        let block = self.pool.abs(rel);
+        let ppb = self.cfg.geometry.pages_per_block;
+        // Survivors keep the victim's affinity: class and channel (same
+        // rules as `collect_victim`).
+        let tag = self.nand.block_tag(block);
+        let classes = self.pool.classes() as u32;
+        let class = if tag == UNTAGGED { CLASS_DEFAULT } else { tag.min(classes - 1) as u8 };
+        let channel = self.cfg.geometry.channel_of_block(block);
+        let pending: Vec<Ppn> =
+            (0..ppb).rev().map(|idx| self.cfg.geometry.ppn_at(block, idx)).collect();
+        self.gc_job = Some(GcJob { rel, class, channel, pending });
+        true
+    }
+
+    /// Relocate up to `budget` still-live pages of the in-progress victim;
+    /// once every candidate page has been examined, finish the job
+    /// (mapping flush, erase, release). Liveness is rechecked per page at
+    /// relocation time, so pages the host invalidated while the job was
+    /// parked are skipped. Returns the pages relocated this step.
+    fn gc_step(&mut self, budget: usize) -> Result<u64, FtlError> {
+        let (rel, class, channel) = {
+            let job = self.gc_job.as_ref().expect("gc_step without a job");
+            (job.rel, job.class, job.channel)
+        };
+        let mut live: Vec<Ppn> = Vec::new();
+        while live.len() < budget {
+            let Some(ppn) = self.gc_job.as_mut().expect("job exists").pending.pop() else {
+                break;
+            };
+            if self.map.is_live(ppn) {
+                live.push(ppn);
+            }
+        }
+        if !live.is_empty() {
+            let page_size = self.cfg.geometry.page_size;
+            let mut bufs = vec![vec![0u8; page_size]; live.len()];
+            let mut reads: Vec<(Ppn, &mut [u8])> =
+                live.iter().zip(bufs.iter_mut()).map(|(&p, b)| (p, b.as_mut_slice())).collect();
+            self.nand.read_batch(&mut reads)?;
+            let mut dests = Vec::with_capacity(live.len());
+            for _ in &live {
+                let dest = self.pool.alloc(&self.nand, WritePoint::Gc { class, channel })?;
+                self.nand.set_block_tag(self.cfg.geometry.block_of(dest), class as u32);
+                dests.push(dest);
+            }
+            let programs: Vec<(Ppn, &[u8])> =
+                dests.iter().zip(&bufs).map(|(&d, b)| (d, b.as_slice())).collect();
+            self.nand.program_batch(&programs)?;
+            for (&ppn, &dest) in live.iter().zip(&dests) {
+                for lpn in self.map.relocate(ppn, dest)? {
+                    self.log.append(Delta { lpn, old: ppn, new: dest });
+                    self.note_delta(STREAM_FTL, 1);
+                }
+                self.stats.copyback_pages += 1;
+            }
+            // Settle this step's copybacks against the victim's current
+            // blame weights — exact-sum per call, so the wa_ledger
+            // invariant holds even with the rest of the victim in flight.
+            let w = std::mem::take(&mut self.block_blame[rel as usize]);
+            self.settle_blame(BlameKind::Gc, live.len() as u64, &w);
+            self.block_blame[rel as usize] = w;
+        }
+        if self.gc_job.as_ref().expect("job exists").pending.is_empty() {
+            // The persisted mapping must stop referencing the victim
+            // before the victim's data disappears.
+            self.flush_log()?;
+            self.nand.erase(self.pool.abs(rel))?;
+            self.stats.gc_erases += 1;
+            self.pool.release(rel);
+            self.block_blame[rel as usize].clear();
+            self.gc_job = None;
+        }
+        Ok(live.len() as u64)
+    }
+
+    /// Run one traced GC pipeline step. `background` opens a background
+    /// timing window: relocations reserve idle channel/way lanes from
+    /// device time and the foreground command is never charged (it only
+    /// feels GC through lane contention). Without it the step runs on the
+    /// caller's timeline — the hard-floor drain path.
+    fn gc_step_traced(&mut self, budget: usize, background: bool) -> Result<u64, FtlError> {
+        let victim = self.pool.abs(self.gc_job.as_ref().expect("step without a job").rel);
+        let saved = if background { Some(self.nand.begin_background()) } else { None };
+        let t0 = self.nand.submission_now();
+        let span = self.begin_span("gc", STREAM_FTL, t0);
+        self.in_gc = true;
+        let r = self.gc_step(budget);
+        self.in_gc = false;
+        let end = match saved {
+            Some(s) => self.nand.end_background(s),
+            None => self.nand.submission_now(),
+        };
+        let copied = *r.as_ref().unwrap_or(&0);
+        self.tracer.end(span, end, copied, r.is_ok());
+        self.telemetry.record(OpClass::Gc, victim.0 as u64, copied, t0, end, r.is_ok());
+        r
+    }
+
     fn ensure_free(&mut self) -> Result<(), FtlError> {
         // Every open lane — one user and one GC lane per (class, channel)
         // — can pull a fresh block from the free list between two GC
@@ -649,12 +796,70 @@ impl Ftl {
         let pinned = self.pool.inflight_pinned_blocks();
         let low = self.cfg.gc_low_water + extra_lanes + pinned;
         let high = self.cfg.gc_high_water + extra_lanes + pinned;
-        if self.pool.free_count() > low {
+        if !self.cfg.gc_pipeline.enabled {
+            // Historical synchronous GC: whole victims collected on the
+            // foreground command's own timeline. The submission-time delta
+            // across the drain is exactly the stall the host observes.
+            if self.pool.free_count() > low {
+                return Ok(());
+            }
+            let t0 = self.nand.submission_now();
+            while self.pool.free_count() < high {
+                if !self.collect_once()? {
+                    break;
+                }
+            }
+            self.stats.gc_stall_ns += self.nand.submission_now() - t0;
+            if self.pool.free_count() == 0 {
+                return Err(FtlError::DeviceFull);
+            }
             return Ok(());
         }
-        while self.pool.free_count() < high {
-            if !self.collect_once()? {
-                break;
+        // Watermark-driven pipeline. The legacy low watermark banks
+        // `extra_lanes + pinned` blocks of slack precisely so open lanes
+        // can pull fresh blocks between GC checks — dipping into that
+        // slack is normal operation, not an emergency. So the pipeline's
+        // *hard floor* is the un-adjusted `gc_low_water + pinned` (the
+        // true point past which allocation is at risk), where it drains
+        // synchronously and accrues stall exactly like the legacy path.
+        // Above the floor, up to `soft_headroom` blocks over the legacy
+        // low, GC runs as budgeted background steps — at most
+        // `budget_pages` relocations per foreground command, dispatched
+        // onto idle lanes, turning urgent (bounded catch-up loop) while
+        // free is inside the legacy-low slack band. Collection therefore
+        // starts at the same fill levels as the legacy collector (similar
+        // victim valid counts, similar write amplification) but the
+        // foreground never waits for whole victims.
+        let floor = self.cfg.gc_low_water + pinned;
+        let soft = low + self.cfg.gc_pipeline.soft_headroom;
+        if self.pool.free_count() <= floor {
+            let t0 = self.nand.submission_now();
+            while self.pool.free_count() < high {
+                if self.gc_job.is_none() && !self.gc_begin_job() {
+                    break;
+                }
+                self.gc_step_traced(usize::MAX, false)?;
+            }
+            self.stats.gc_stall_ns += self.nand.submission_now() - t0;
+        } else if self.pool.free_count() <= soft {
+            // The iteration bound (~4 victims' worth of steps) prevents a
+            // death spiral when victims are nearly all-valid; past it,
+            // the hard floor above remains the correctness backstop.
+            let budget = self.cfg.gc_pipeline.budget_pages as usize;
+            let ppb = self.cfg.geometry.pages_per_block as usize;
+            let mut steps_left = (4 * ppb / budget.max(1)).max(1);
+            loop {
+                if self.gc_job.is_none() && !self.gc_begin_job() {
+                    break;
+                }
+                self.gc_step_traced(budget, true)?;
+                if self.gc_job.is_some() {
+                    self.stats.gc_budget_deferrals += 1;
+                }
+                steps_left -= 1;
+                if self.pool.free_count() > low || steps_left == 0 {
+                    break;
+                }
             }
         }
         if self.pool.free_count() == 0 {
@@ -1366,6 +1571,8 @@ impl BlockDevice for Ftl {
         snap.placement = PlacementGauges {
             enabled: self.cfg.placement.enabled,
             lane_steals: self.pool.lane_steals(),
+            gc_stall_ns: self.stats.gc_stall_ns,
+            gc_budget_deferrals: self.stats.gc_budget_deferrals,
             classes: (0..self.pool.classes())
                 .map(|class| PlacementClassGauge {
                     class: class as u8,

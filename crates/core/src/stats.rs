@@ -31,6 +31,14 @@ pub struct DeviceStats {
     pub copyback_pages: u64,
     /// Blocks erased by GC (excludes meta-area erases).
     pub gc_erases: u64,
+    /// Simulated time foreground commands spent stalled on synchronous GC
+    /// work inside `ensure_free` (copyback + mapping flush + erase run on
+    /// the command's own timeline). Background-pipelined relocation does
+    /// not accrue here — it only shows up as lane contention.
+    pub gc_stall_ns: u64,
+    /// Times the background GC pipeline exhausted its per-command page
+    /// budget and deferred the rest of the victim to later commands.
+    pub gc_budget_deferrals: u64,
     /// Mapping meta pages programmed (delta log + checkpoints).
     pub meta_page_writes: u64,
     /// Mapping-table checkpoints taken.
@@ -77,6 +85,8 @@ impl DeviceStats {
             gc_events: self.gc_events - earlier.gc_events,
             copyback_pages: self.copyback_pages - earlier.copyback_pages,
             gc_erases: self.gc_erases - earlier.gc_erases,
+            gc_stall_ns: self.gc_stall_ns - earlier.gc_stall_ns,
+            gc_budget_deferrals: self.gc_budget_deferrals - earlier.gc_budget_deferrals,
             meta_page_writes: self.meta_page_writes - earlier.meta_page_writes,
             checkpoints: self.checkpoints - earlier.checkpoints,
             recoveries: self.recoveries - earlier.recoveries,
@@ -136,6 +146,8 @@ mod tests {
             gc_events: 9,
             copyback_pages: 10,
             gc_erases: 11,
+            gc_stall_ns: 22,
+            gc_budget_deferrals: 23,
             meta_page_writes: 12,
             checkpoints: 13,
             recoveries: 14,

@@ -247,7 +247,7 @@ pub(crate) fn verify_recovered(rec: &mut Ftl, trace: &RunTrace, cfg: &FtlConfig)
 }
 
 /// Shared runner for FTL-level workloads.
-fn run_ftl_case(
+pub(crate) fn run_ftl_case(
     cfg: &FtlConfig,
     ops: &[FtlOp],
     mode: Option<FaultMode>,

@@ -12,8 +12,8 @@
 
 use nand_sim::FaultMode;
 use share_crashsweep::{
-    deep_point_cap, sweep, CrashWorkload, FtlMixedWorkload, FtlQueuedWorkload,
-    FtlStreamWorkload, InnodbShareWorkload, SqliteShareWorkload,
+    deep_point_cap, sweep, CrashWorkload, FtlGcPipelineWorkload, FtlMixedWorkload,
+    FtlQueuedWorkload, FtlStreamWorkload, InnodbShareWorkload, SqliteShareWorkload,
 };
 
 /// Stride that visits about `target` points of a `total`-point space.
@@ -46,6 +46,10 @@ fn smoke_sweep_covers_200_points_across_the_stack() {
     // Multi-stream placement: three lifetime classes, several open
     // frontiers at every crash boundary (the PR 7 placement tentpole).
     visited += run_smoke(&FtlStreamWorkload::new(42, 300), 60);
+    // Pipelined GC: tiny relocation budget parks half-collected victims
+    // across commands, so crashes land at copyback submission/completion
+    // boundaries with relocations (and buffered deltas) in flight.
+    visited += run_smoke(&FtlGcPipelineWorkload::new(42, 600, 2), 60);
     assert!(
         visited >= 200,
         "smoke tier must visit at least 200 distinct crash points, got {visited}"
@@ -61,12 +65,13 @@ fn smoke_sweep_covers_200_points_across_the_stack() {
 #[test]
 fn deep_sweep_soak() {
     let Some(cap) = deep_point_cap() else { return };
-    let workloads: [Box<dyn CrashWorkload>; 5] = [
+    let workloads: [Box<dyn CrashWorkload>; 6] = [
         Box::new(FtlMixedWorkload::new(1009, 800)),
         Box::new(SqliteShareWorkload::new(1013, 32, 25)),
         Box::new(InnodbShareWorkload::new(1019, 48, 150)),
         Box::new(FtlQueuedWorkload::new(1021, 800, 4)),
         Box::new(FtlStreamWorkload::new(1031, 800)),
+        Box::new(FtlGcPipelineWorkload::new(1033, 800, 2)),
     ];
     for w in &workloads {
         let total = w.crash_points();

@@ -247,6 +247,42 @@ impl NandArray {
         self.deferred.is_some()
     }
 
+    /// Open a background-relocation window. Unlike [`Self::begin_deferred`]
+    /// this nests inside a foreground window: the current window (if any)
+    /// is saved and a fresh one opens at the *shared clock* — not at the
+    /// foreground command's frontier — so background work dispatched here
+    /// reserves unit lanes starting from real device time without charging
+    /// the foreground command. Contention with foreground operations shows
+    /// up as queueing on the shared per-unit `busy_until` reservations.
+    ///
+    /// Returns an opaque token (the saved frontier) that must be passed
+    /// back to [`Self::end_background`].
+    pub fn begin_background(&mut self) -> Option<u64> {
+        let saved = self.deferred.take().map(|w| w.frontier);
+        self.deferred = Some(DeferredWindow { frontier: self.clock.now_ns() });
+        saved
+    }
+
+    /// Close a background window opened by [`Self::begin_background`],
+    /// restoring the saved foreground window (if one was open), and return
+    /// the background work's completion time. The shared clock has not
+    /// moved and the restored foreground frontier is untouched: background
+    /// time is only observable through lane contention.
+    pub fn end_background(&mut self, saved: Option<u64>) -> u64 {
+        let end =
+            self.deferred.take().expect("end_background without begin_background").frontier;
+        self.deferred = saved.map(|frontier| DeferredWindow { frontier });
+        end
+    }
+
+    /// Current submission time: the deferred-window frontier when a window
+    /// is open, the shared clock otherwise. This is the time the next
+    /// operation would be submitted at — deltas of it across a stretch of
+    /// synchronous work measure how long that work held up its caller.
+    pub fn submission_now(&self) -> u64 {
+        self.submit_t0()
+    }
+
     /// Charge non-NAND command time (controller/command overhead, bus
     /// transfer for unmapped reads). Synchronous path: advances the shared
     /// clock, exactly like `clock().advance(ns)` always did. Inside a
@@ -969,6 +1005,70 @@ mod tests {
         let end = q.end_deferred();
         assert_eq!(end, sync_end);
         assert_eq!(q.clock().now_ns(), 0);
+    }
+
+    #[test]
+    fn background_window_nests_inside_a_foreground_window() {
+        let mut a = four_channel();
+        let t = a.timing();
+        let p = t.program_ns + t.xfer_ns(512);
+        let data = page(0xB1, 512);
+
+        // Foreground queued command in flight on channel 0...
+        a.begin_deferred();
+        a.program(Ppn(0), &data).unwrap();
+        a.charge(500);
+        // ...background relocation cuts in on channel 1: its window opens
+        // at the *clock* (0), not the foreground frontier (p + 500).
+        let saved = a.begin_background();
+        assert!(a.deferred_active());
+        a.program(Ppn(4), &data).unwrap();
+        let bg_end = a.end_background(saved);
+        assert_eq!(bg_end, p, "background starts from device time, not the fg frontier");
+        // The foreground window is restored with its frontier intact.
+        a.program(Ppn(1), &data).unwrap();
+        let fg_end = a.end_deferred();
+        assert_eq!(fg_end, p + 500 + p);
+        assert_eq!(a.clock().now_ns(), 0, "neither window moved the shared clock");
+    }
+
+    #[test]
+    fn background_work_queues_foreground_ops_on_a_shared_unit() {
+        let mut a = four_channel();
+        let t = a.timing();
+        let p = t.program_ns + t.xfer_ns(512);
+        let data = page(0xB2, 512);
+        // Background reserves unit 0 for two pages.
+        let saved = a.begin_background();
+        a.program(Ppn(0), &data).unwrap();
+        a.program(Ppn(1), &data).unwrap();
+        assert_eq!(a.end_background(saved), 2 * p);
+        assert!(!a.deferred_active());
+        assert_eq!(a.clock().now_ns(), 0);
+        // A synchronous foreground program on the same unit queues behind
+        // the reservation; on an idle unit it starts immediately.
+        a.program(Ppn(2), &data).unwrap();
+        assert_eq!(a.clock().now_ns(), 3 * p, "fg op waited for the bg reservation");
+        let mut b = four_channel();
+        let saved = b.begin_background();
+        b.program(Ppn(0), &data).unwrap();
+        b.end_background(saved);
+        b.program(Ppn(4), &data).unwrap(); // different channel: no contention
+        assert_eq!(b.clock().now_ns(), p);
+    }
+
+    #[test]
+    fn submission_now_tracks_window_frontier_and_clock() {
+        let mut a = small();
+        assert_eq!(a.submission_now(), 0);
+        a.charge(100);
+        assert_eq!(a.submission_now(), 100);
+        a.begin_deferred();
+        a.charge(50);
+        assert_eq!(a.submission_now(), 150, "frontier, not the clock");
+        assert_eq!(a.clock().now_ns(), 100);
+        a.end_deferred();
+        assert_eq!(a.submission_now(), 100);
     }
 
     #[test]

@@ -495,6 +495,12 @@ pub struct PlacementGauges {
     /// Times a write point's preferred channel had no free block and a
     /// block was stolen from another channel (lost lane parallelism).
     pub lane_steals: u64,
+    /// Simulated time foreground commands spent stalled on synchronous GC
+    /// (settled at the same sites as the device's copyback counters).
+    pub gc_stall_ns: u64,
+    /// Times the background GC pipeline exhausted its per-command page
+    /// budget and deferred the rest of the victim.
+    pub gc_budget_deferrals: u64,
     /// Per-lifetime-class placement counters.
     pub classes: Vec<PlacementClassGauge>,
 }
@@ -659,6 +665,8 @@ impl Snapshot {
         let placement = Json::obj(vec![
             ("enabled", Json::Bool(self.placement.enabled)),
             ("lane_steals", count(self.placement.lane_steals)),
+            ("gc_stall_ns", count(self.placement.gc_stall_ns)),
+            ("gc_budget_deferrals", count(self.placement.gc_budget_deferrals)),
             ("classes", placement_classes),
         ]);
         Json::obj(vec![

@@ -109,6 +109,15 @@ pub fn render(snap: &Snapshot) -> String {
         out.push_str("# HELP share_lane_steals_total Free-block pops that fell back to a foreign channel.\n");
         out.push_str("# TYPE share_lane_steals_total counter\n");
         out.push_str(&format!("share_lane_steals_total {}\n", snap.placement.lane_steals));
+        out.push_str("# HELP share_gc_stall_ns_total Simulated time foreground commands spent stalled on synchronous GC.\n");
+        out.push_str("# TYPE share_gc_stall_ns_total counter\n");
+        out.push_str(&format!("share_gc_stall_ns_total {}\n", snap.placement.gc_stall_ns));
+        out.push_str("# HELP share_gc_budget_deferrals_total Background GC steps that exhausted their per-command page budget.\n");
+        out.push_str("# TYPE share_gc_budget_deferrals_total counter\n");
+        out.push_str(&format!(
+            "share_gc_budget_deferrals_total {}\n",
+            snap.placement.gc_budget_deferrals
+        ));
         out.push_str("# HELP share_placement_placed_pages_total Host pages placed per lifetime class.\n");
         out.push_str("# TYPE share_placement_placed_pages_total counter\n");
         for c in &snap.placement.classes {

@@ -45,6 +45,15 @@ echo "== qd smoke (queue-depth sweep + latency-under-load percentiles) =="
 echo "== aging smoke (multi-streamed placement on/off WA comparison) =="
 ./target/release/bench_aging
 
+# GC pipeline smoke tier: age a 4-channel device to steady-state GC with
+# a mixed-lifetime overwrite storm, synchronous collector vs pipelined
+# background collector, and record foreground write p50/p99 plus
+# gc_stall_ns into BENCH_share.json (gc_pipeline). Fails unless the
+# pipeline cuts the measured-window gc_stall_ns at least 2x and actually
+# parks victims mid-collection (gc_budget_deferrals > 0).
+echo "== gc pipeline smoke (steady-state aged device, stall off/on) =="
+./target/release/bench_gc
+
 # Metrics smoke tier: run a short YCSB workload with full telemetry, dump
 # both exporter formats (Prometheus text + JSON), re-parse the JSON dump,
 # and assert the telemetry op counters equal the DeviceStats counters —

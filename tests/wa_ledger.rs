@@ -154,6 +154,59 @@ fn wa_ledger_sums_exactly_across_four_engines() {
 }
 
 #[test]
+fn wa_ledger_sums_exactly_with_pipelined_relocation_in_flight() {
+    // With pipelined GC a victim stays half-collected across foreground
+    // commands, so the ledger is sampled *while* relocations are in
+    // flight: blame is settled per budgeted step, not per victim, and
+    // the per-stream rows must still sum to the device counters at every
+    // intermediate snapshot — not just after jobs complete.
+    use share_repro::core::Lpn;
+    let pages: u64 = 1024;
+    let mut dev = Ftl::new(
+        FtlConfig::for_capacity_with(pages * 4096, 0.12, 4096, 32, NandTiming::zero())
+            .with_telemetry(TelemetryConfig::full())
+            .with_gc_budget(2, 2),
+    );
+    let data = dev.stream_intern("data");
+    let journal = dev.stream_intern("journal");
+
+    let mut samples_in_flight = 0u64;
+    let mut last_deferrals = 0u64;
+    for round in 0..8u64 {
+        for i in 0..pages {
+            // Mixed lifetimes in a permuted order: no sealed block goes
+            // fully dead, so every victim carries live pages to relocate.
+            let lpn = (i * 173 + round * 311) % pages;
+            if round % (1 + lpn % 4) != 0 {
+                continue;
+            }
+            dev.set_stream(if lpn % 4 == 0 { journal } else { data });
+            dev.write(Lpn(lpn), &[(round + 1) as u8; 4096]).unwrap();
+            if i % 96 == 95 {
+                let stats = dev.stats();
+                let snap = dev.telemetry_snapshot().unwrap();
+                assert_ledger_sums("pipelined-ftl", &snap, &stats);
+                if stats.gc_budget_deferrals > last_deferrals {
+                    samples_in_flight += 1;
+                }
+                last_deferrals = stats.gc_budget_deferrals;
+            }
+        }
+        dev.flush().unwrap();
+    }
+    let stats = dev.stats();
+    let snap = dev.telemetry_snapshot().unwrap();
+    assert_ledger_sums("pipelined-ftl", &snap, &stats);
+    assert!(stats.copyback_pages > 0, "storm never forced a relocation");
+    assert!(
+        stats.gc_budget_deferrals > 0 && samples_in_flight > 0,
+        "no snapshot was taken with a victim half-collected \
+         (deferrals={}, in-flight samples={samples_in_flight})",
+        stats.gc_budget_deferrals
+    );
+}
+
+#[test]
 fn dwb_batch_flush_events_carry_the_doublewrite_stream() {
     // Regression for batched-path attribution: the double-write buffer is
     // flushed with one `write_batch` command, and every sub-op of that
