@@ -41,12 +41,61 @@ pub fn bench_json_path() -> PathBuf {
     p
 }
 
+/// The git revision the running binary's checkout is at, or `None`
+/// outside a repository (or without git on PATH). Used to stamp
+/// scenarios and to flag stale baselines.
+pub fn current_git_rev() -> Option<String> {
+    let out = std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let rev = String::from_utf8(out.stdout).ok()?.trim().to_string();
+    (!rev.is_empty()).then_some(rev)
+}
+
+/// Scenario names in `BENCH_share.json` whose `recorded_rev` stamp is
+/// missing or differs from `rev` — baselines recorded by an older binary
+/// that may no longer reproduce and should be re-recorded at HEAD.
+pub fn stale_scenarios(rev: &str) -> Vec<String> {
+    let Ok(text) = std::fs::read_to_string(bench_json_path()) else { return Vec::new() };
+    let Ok(Json::Obj(entries)) = parse(&text) else { return Vec::new() };
+    entries
+        .iter()
+        .filter(|(_, v)| match v {
+            Json::Obj(fields) => !fields
+                .iter()
+                .any(|(k, v)| k == "recorded_rev" && matches!(v, Json::Str(s) if s == rev)),
+            _ => true,
+        })
+        .map(|(k, _)| k.clone())
+        .collect()
+}
+
 /// Insert or replace one scenario in `BENCH_share.json`, preserving every
 /// other scenario already recorded. Returns the path written. An unreadable
 /// or unparsable existing file is treated as empty rather than an error, so
 /// a corrupt file self-heals on the next bench run.
+///
+/// Object scenarios are stamped with the recording binary's git revision
+/// (`recorded_rev`), and a warning listing every entry whose stamp no
+/// longer matches HEAD is printed after the write — the guard against
+/// comparing fresh runs to baselines an older binary recorded (PR 8 lost
+/// time to exactly that with `fig5_linkbench_channels`).
 pub fn record_scenario(name: &str, value: Json) -> std::io::Result<PathBuf> {
     let path = bench_json_path();
+    let rev = current_git_rev();
+    let value = match (value, &rev) {
+        (Json::Obj(mut fields), Some(rev)) => {
+            fields.retain(|(k, _)| k != "recorded_rev");
+            fields.push(("recorded_rev".into(), Json::Str(rev.clone())));
+            Json::Obj(fields)
+        }
+        (v, _) => v,
+    };
     let mut entries: Vec<(String, Json)> = match std::fs::read_to_string(&path) {
         Ok(text) => match parse(&text) {
             Ok(Json::Obj(fields)) => fields,
@@ -69,6 +118,18 @@ pub fn record_scenario(name: &str, value: Json) -> std::io::Result<PathBuf> {
     }
     out.push_str("}\n");
     std::fs::write(&path, out)?;
+    if let Some(rev) = rev {
+        let stale = stale_scenarios(&rev);
+        if !stale.is_empty() {
+            eprintln!(
+                "warning: {} baseline scenario(s) in {} were recorded at a different \
+                 git rev than HEAD ({rev}) and may not reproduce: {}",
+                stale.len(),
+                path.display(),
+                stale.join(", ")
+            );
+        }
+    }
     Ok(path)
 }
 
@@ -178,6 +239,22 @@ mod tests {
             assert_eq!(fields.len(), 2);
         } else {
             panic!("top level must be an object");
+        }
+
+        // Rev stamping + the staleness guard (skipped outside a git
+        // checkout, where nothing can be stamped).
+        if let Some(rev) = current_git_rev() {
+            assert_eq!(
+                doc.get("alpha").unwrap().get("recorded_rev"),
+                Some(&Json::Str(rev.clone())),
+                "scenarios must carry the recording binary's git rev"
+            );
+            assert!(
+                stale_scenarios(&rev).is_empty(),
+                "freshly recorded scenarios must not be flagged stale"
+            );
+            let stale = stale_scenarios("0000000000ff");
+            assert_eq!(stale, vec!["alpha".to_string(), "beta".to_string()]);
         }
 
         std::env::remove_var("SHARE_BENCH_JSON");

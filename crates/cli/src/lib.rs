@@ -66,7 +66,13 @@ fn usage() -> String {
      \x20\x20\x20\x20 (run a traced workload: per-stream write-amplification table,\n\
      \x20\x20\x20\x20 optional Chrome trace_event JSON and span-tree dump —\n\
      \x20\x20\x20\x20 observation only, nothing is written back to the image)\n\
-     \x20 sharectl crashsweep [--workload ftl|queued|stream|gcpipe|sqlite|innodb|all] [--trace <file>]\n\
+     \x20 sharectl snapshot <img> create <name> <start-lpn> <len>\n\
+     \x20 sharectl snapshot <img> clone  <name> <dst-lpn> [--offset N] [--len N]\n\
+     \x20 sharectl snapshot <img> drop   <name>\n\
+     \x20 sharectl snapshot <img> ls\n\
+     \x20\x20\x20\x20 (device-level snapshots: create freezes a page range with zero\n\
+     \x20\x20\x20\x20 NAND programs, clone materializes a writable zero-copy image)\n\
+     \x20 sharectl crashsweep [--workload ftl|queued|stream|gcpipe|snapshot|sqlite|innodb|all] [--trace <file>]\n\
      \x20\x20\x20\x20 [--seed N] [--stride N] [--mode torn-half|dropped-write|after-program|all]\n\
      \x20\x20\x20\x20 [--index N]   (with a single --mode: replay exactly one crash case)\n"
         .to_string()
@@ -306,6 +312,9 @@ pub fn run(args: &[String]) -> Result<String> {
             }
             // Observation only: nothing is written back to the image.
         }
+        Some("snapshot") => {
+            snapshot_cmd(args, &mut out)?;
+        }
         Some("trace") => {
             trace_cmd(args, &mut out)?;
         }
@@ -315,6 +324,98 @@ pub fn run(args: &[String]) -> Result<String> {
         _ => return Err(CliError(usage())),
     }
     Ok(out)
+}
+
+/// Device-level snapshot management. Mutating verbs (`create`, `clone`,
+/// `drop`) persist the snapshot table into the FTL checkpoint before the
+/// image is written back, so the snapshot survives the next load.
+fn snapshot_cmd(args: &[String], out: &mut String) -> Result<()> {
+    let img = args.get(1).ok_or_else(|| CliError(usage()))?;
+    let verb = args.get(2).map(String::as_str).ok_or_else(|| CliError(usage()))?;
+    match verb {
+        "create" => {
+            let name = args.get(3).ok_or_else(|| CliError(usage()))?;
+            let start = parse_u64(args.get(4).ok_or_else(|| CliError(usage()))?, "start-lpn")?;
+            let len = parse_u64(args.get(5).ok_or_else(|| CliError(usage()))?, "len")?;
+            let mut dev = load_device(img)?;
+            let before = dev.stats();
+            let id = dev.snapshot_create(name, Lpn(start), len)?;
+            let spent = dev.stats().delta_since(&before);
+            let mapped = dev
+                .snapshot_list()?
+                .iter()
+                .find(|s| s.id == id)
+                .map(|s| s.mapped_pages)
+                .unwrap_or(0);
+            writeln!(
+                out,
+                "snapshot {name} (id {id}): froze {len} page(s) at LPN {start}, \
+                 {mapped} mapped, {} NAND program(s)",
+                spent.nand.page_programs
+            )
+            .unwrap();
+            dev.snapshot_persist()?;
+            save_device(img, dev)?;
+        }
+        "clone" => {
+            let name = args.get(3).ok_or_else(|| CliError(usage()))?;
+            let dst = parse_u64(args.get(4).ok_or_else(|| CliError(usage()))?, "dst-lpn")?;
+            let offset =
+                flag_value(args, "--offset").map(|v| parse_u64(v, "offset")).transpose()?.unwrap_or(0);
+            let mut dev = load_device(img)?;
+            let total = dev
+                .snapshot_list()?
+                .iter()
+                .find(|s| &s.name == name)
+                .map(|s| s.len)
+                .ok_or_else(|| CliError(format!("no snapshot named {name}")))?;
+            let len = match flag_value(args, "--len") {
+                Some(v) => parse_u64(v, "len")?,
+                None => total.saturating_sub(offset),
+            };
+            let mapped = dev.snapshot_clone(name, offset, Lpn(dst), len)?;
+            writeln!(
+                out,
+                "cloned {len} page(s) of snapshot {name} (offset {offset}) to LPN {dst}: \
+                 {mapped} mapped, rest holes"
+            )
+            .unwrap();
+            dev.snapshot_persist()?;
+            save_device(img, dev)?;
+        }
+        "drop" => {
+            let name = args.get(3).ok_or_else(|| CliError(usage()))?;
+            let mut dev = load_device(img)?;
+            dev.snapshot_drop(name)?;
+            writeln!(out, "dropped snapshot {name}").unwrap();
+            dev.snapshot_persist()?;
+            save_device(img, dev)?;
+        }
+        "ls" => {
+            let dev = load_device(img)?;
+            let list = dev.snapshot_list()?;
+            if list.is_empty() {
+                writeln!(out, "no snapshots").unwrap();
+            } else {
+                writeln!(
+                    out,
+                    "{:<4} {:<24} {:>12} {:>8} {:>8}",
+                    "id", "name", "start", "len", "mapped"
+                )
+                .unwrap();
+                for s in &list {
+                    writeln!(
+                        out,
+                        "{:<4} {:<24} {:>12} {:>8} {:>8}",
+                        s.id, s.name, s.start.0, s.len, s.mapped_pages
+                    )
+                    .unwrap();
+                }
+            }
+        }
+        other => return Err(CliError(format!("bad snapshot verb: {other}\n{}", usage()))),
+    }
+    Ok(())
 }
 
 /// Causal span tracing: run a synthetic workload against the image with
@@ -443,7 +544,8 @@ fn trace_cmd(args: &[String], out: &mut String) -> Result<()> {
 fn crashsweep_cmd(args: &[String], out: &mut String) -> Result<()> {
     use share_crashsweep::{
         sweep, CrashWorkload, FtlGcPipelineWorkload, FtlMixedWorkload, FtlQueuedWorkload,
-        FtlStreamWorkload, FtlTraceWorkload, InnodbShareWorkload, SqliteShareWorkload,
+        FtlSnapshotWorkload, FtlStreamWorkload, FtlTraceWorkload, InnodbShareWorkload,
+        SqliteShareWorkload,
     };
 
     let which = flag_value(args, "--workload").unwrap_or("all");
@@ -485,6 +587,7 @@ fn crashsweep_cmd(args: &[String], out: &mut String) -> Result<()> {
             "queued" => workloads.push(Box::new(FtlQueuedWorkload::new(seed, 300, 4))),
             "stream" => workloads.push(Box::new(FtlStreamWorkload::new(seed, 300))),
             "gcpipe" => workloads.push(Box::new(FtlGcPipelineWorkload::new(seed, 600, 2))),
+            "snapshot" => workloads.push(Box::new(FtlSnapshotWorkload::new(seed, 300))),
             "sqlite" => workloads.push(Box::new(SqliteShareWorkload::new(seed, 24, 10))),
             "innodb" => workloads.push(Box::new(InnodbShareWorkload::new(seed, 40, 60))),
             "all" => {
@@ -494,6 +597,7 @@ fn crashsweep_cmd(args: &[String], out: &mut String) -> Result<()> {
                 workloads.push(Box::new(FtlQueuedWorkload::new(seed, 300, 4)));
                 workloads.push(Box::new(FtlStreamWorkload::new(seed, 300)));
                 workloads.push(Box::new(FtlGcPipelineWorkload::new(seed, 600, 2)));
+                workloads.push(Box::new(FtlSnapshotWorkload::new(seed, 300)));
             }
             other => return Err(CliError(format!("bad --workload: {other}"))),
         }

@@ -82,6 +82,13 @@ fn crashsweep_strided_ftl_sweep_is_clean() {
 }
 
 #[test]
+fn crashsweep_strided_snapshot_sweep_is_clean() {
+    let out = cmd(&["crashsweep", "--workload", "snapshot", "--stride", "40"]).unwrap();
+    assert!(out.contains("workload=ftl-snapshot-s42-n300"), "{out}");
+    assert!(out.contains("violations=0"), "{out}");
+}
+
+#[test]
 fn crashsweep_replays_a_single_triple() {
     let out = cmd(&[
         "crashsweep", "--workload", "ftl", "--mode", "torn-half", "--index", "10",
@@ -195,4 +202,58 @@ fn trace_reports_wa_ledger_and_exports_chrome_json() {
 
     let e = cmd(&["trace", img, "--workload", "bogus"]).unwrap_err();
     assert!(e.contains("bad --workload"), "{e}");
+}
+
+#[test]
+fn snapshot_create_clone_drop_ls_cycle_persists() {
+    let dir = tmpdir();
+    let img = dir.join("snap.nand");
+    let img = img.to_str().unwrap();
+
+    cmd(&["create", img, "16"]).unwrap();
+    cmd(&["write", img, "0", "--byte", "5a", "--count", "8"]).unwrap();
+
+    let out = cmd(&["snapshot", img, "create", "base", "0", "8"]).unwrap();
+    assert!(out.contains("froze 8 page(s)"), "{out}");
+    assert!(out.contains("0 NAND program(s)"), "create must be zero-copy: {out}");
+
+    // Snapshot table must survive the image round-trip.
+    let ls = cmd(&["snapshot", img, "ls"]).unwrap();
+    assert!(ls.contains("base"), "{ls}");
+
+    // Overwrite the live range, then clone the frozen image elsewhere.
+    cmd(&["write", img, "0", "--byte", "ff", "--count", "8"]).unwrap();
+    let out = cmd(&["snapshot", img, "clone", "base", "100"]).unwrap();
+    assert!(out.contains("cloned 8 page(s)"), "{out}");
+
+    // The clone carries the pre-overwrite bytes; the live range the new.
+    let out = cmd(&["read", img, "100"]).unwrap();
+    assert!(out.contains("5a 5a"), "clone lost frozen content: {out}");
+    let out = cmd(&["read", img, "0"]).unwrap();
+    assert!(out.contains("ff ff"), "live range lost new content: {out}");
+
+    cmd(&["snapshot", img, "drop", "base"]).unwrap();
+    let ls = cmd(&["snapshot", img, "ls"]).unwrap();
+    assert!(ls.contains("no snapshots"), "{ls}");
+    // Clone outlives the snapshot it came from.
+    let out = cmd(&["read", img, "100"]).unwrap();
+    assert!(out.contains("5a 5a"), "clone must outlive its snapshot: {out}");
+
+    // Snapshot gauges show up in the metrics exposition while live.
+    cmd(&["snapshot", img, "create", "again", "0", "4"]).unwrap();
+    let prom = cmd(&["metrics", img]).unwrap();
+    assert!(prom.contains("share_snapshots_live 1"), "{prom}");
+    assert!(prom.contains("share_snapshot_frozen_pages 4"), "{prom}");
+}
+
+#[test]
+fn snapshot_rejects_bad_arguments() {
+    let dir = tmpdir();
+    let img = dir.join("snapbad.nand");
+    let img = img.to_str().unwrap();
+    cmd(&["create", img, "16"]).unwrap();
+    assert!(cmd(&["snapshot", img, "create", "x"]).is_err());
+    assert!(cmd(&["snapshot", img, "clone", "missing", "0"]).unwrap_err().contains("missing"));
+    assert!(cmd(&["snapshot", img, "drop", "missing"]).is_err());
+    assert!(cmd(&["snapshot", img, "frobnicate"]).unwrap_err().contains("bad snapshot verb"));
 }

@@ -6,6 +6,14 @@
 //! alternate so a crash during checkpointing always leaves the previous
 //! snapshot intact; a commit page written last makes the new snapshot
 //! valid all-or-nothing.
+//!
+//! Image format v4 appends the serialized device snapshot table (see
+//! [`crate::snapshot`]) between the L2P table pages and the commit page,
+//! with its byte length and CRC recorded in the header and the CRC echoed
+//! in the commit page. A device with no snapshots writes a zero-length
+//! section — byte-identical layout to v3 — and v1–v3 images (whose header
+//! bytes at those offsets are zero) decode as an empty snapshot table, so
+//! old images load unchanged.
 
 use crate::config::FtlConfig;
 use crate::error::FtlError;
@@ -28,6 +36,10 @@ pub struct RecoveredCheckpoint {
     pub next_delta_seq: u64,
     /// The snapshotted L2P table.
     pub l2p: Vec<Ppn>,
+    /// Serialized device snapshot table (empty for pre-v4 images and
+    /// snapshot-free devices); decode with
+    /// [`crate::snapshot::SnapshotTable::decode`].
+    pub snap: Vec<u8>,
 }
 
 /// Serialize the L2P table into little-endian bytes.
@@ -46,11 +58,26 @@ fn slot_ppn(cfg: &FtlConfig, slot: u32, page_idx: u32) -> nand_sim::Ppn {
     nand_sim::Ppn(block.0 * ppb + page_idx % ppb)
 }
 
-/// Number of meta pages a checkpoint occupies (header + table + commit).
-#[allow(dead_code)] // exercised by tests; kept for capacity planning
+/// Number of meta pages a checkpoint occupies (header + table + commit),
+/// *excluding* any snapshot-table section.
 pub fn checkpoint_pages(cfg: &FtlConfig) -> u32 {
     let table_pages = (cfg.logical_pages * 4).div_ceil(cfg.geometry.page_size as u64) as u32;
     table_pages + 2
+}
+
+/// Meta pages a serialized snapshot table of `snap_bytes` occupies in a
+/// checkpoint (0 when empty).
+pub fn snapshot_section_pages(cfg: &FtlConfig, snap_bytes: usize) -> u32 {
+    snap_bytes.div_ceil(cfg.geometry.page_size) as u32
+}
+
+/// Largest serialized snapshot table a checkpoint slot can hold: the slot
+/// blocks are sized for header + L2P table + commit, and the snapshot
+/// section lives in the remaining slack pages.
+pub fn max_snapshot_bytes(cfg: &FtlConfig) -> usize {
+    let slot_pages = cfg.ckpt_slot_blocks() as u64 * cfg.geometry.pages_per_block as u64;
+    let slack = slot_pages.saturating_sub(checkpoint_pages(cfg) as u64);
+    slack as usize * cfg.geometry.page_size
 }
 
 /// Write a full snapshot into `slot`. `next_delta_seq` is the delta
@@ -59,8 +86,10 @@ pub fn checkpoint_pages(cfg: &FtlConfig) -> u32 {
 /// sequence alone cannot order the two slots: consecutive checkpoints
 /// with only RAM-buffered deltas between them (plain writes, no flush)
 /// carry the *same* `next_delta_seq`, and recovery picking the stale
-/// slot on that tie silently rolls back committed writes. Returns the
-/// number of meta pages programmed.
+/// slot on that tie silently rolls back committed writes. `snap` is the
+/// serialized snapshot table (empty for a snapshot-free device — the
+/// layout then matches v3 byte for byte). Returns the number of meta
+/// pages programmed.
 pub fn write_checkpoint(
     cfg: &FtlConfig,
     nand: &mut NandArray,
@@ -68,8 +97,12 @@ pub fn write_checkpoint(
     generation: u64,
     next_delta_seq: u64,
     l2p: &[Ppn],
+    snap: &[u8],
 ) -> Result<u64, FtlError> {
     debug_assert_eq!(l2p.len() as u64, cfg.logical_pages);
+    if snap.len() > max_snapshot_bytes(cfg) {
+        return Err(FtlError::SnapshotTableFull);
+    }
     let page_size = cfg.geometry.page_size;
     let slot_blocks: Vec<BlockId> =
         (0..cfg.ckpt_slot_blocks()).map(|b| BlockId(cfg.ckpt_slot_start(slot).0 + b)).collect();
@@ -78,24 +111,36 @@ pub fn write_checkpoint(
     let table = encode_table(l2p);
     let table_crc = crc32c(&table);
     let table_pages = table.len().div_ceil(page_size) as u32;
+    let snap_crc = if snap.is_empty() { 0 } else { crc32c(snap) };
+    let snap_pages = snapshot_section_pages(cfg, snap.len());
 
-    // Header page, then the table, as one batched submission. Correctness
-    // never depends on their order: only the commit page (programmed
-    // strictly after, as its own submission) validates the snapshot, and
-    // a fault mid-batch stops the batch before it.
-    let mut pages = Vec::with_capacity(1 + table_pages as usize);
+    // Header page, then the table, then the snapshot section, as one
+    // batched submission. Correctness never depends on their order: only
+    // the commit page (programmed strictly after, as its own submission)
+    // validates the snapshot, and a fault mid-batch stops the batch
+    // before it.
+    let mut pages = Vec::with_capacity(1 + table_pages as usize + snap_pages as usize);
     let mut header = vec![0u8; page_size];
     put_u32(&mut header, 0, CKPT_MAGIC);
     put_u64(&mut header, 4, next_delta_seq);
     put_u64(&mut header, 12, cfg.logical_pages);
     put_u32(&mut header, 20, table_crc);
     put_u64(&mut header, 24, generation);
+    put_u64(&mut header, 32, snap.len() as u64);
+    put_u32(&mut header, 40, snap_crc);
     pages.push(header);
     for i in 0..table_pages {
         let mut page = vec![0u8; page_size];
         let start = i as usize * page_size;
         let end = (start + page_size).min(table.len());
         page[..end - start].copy_from_slice(&table[start..end]);
+        pages.push(page);
+    }
+    for i in 0..snap_pages {
+        let mut page = vec![0u8; page_size];
+        let start = i as usize * page_size;
+        let end = (start + page_size).min(snap.len());
+        page[..end - start].copy_from_slice(&snap[start..end]);
         pages.push(page);
     }
     let programs: Vec<(nand_sim::Ppn, &[u8])> = pages
@@ -111,9 +156,10 @@ pub fn write_checkpoint(
     put_u64(&mut page, 4, next_delta_seq);
     put_u32(&mut page, 12, table_crc);
     put_u64(&mut page, 16, generation);
-    nand.program(slot_ppn(cfg, slot, 1 + table_pages), &page)?;
+    put_u32(&mut page, 24, snap_crc);
+    nand.program(slot_ppn(cfg, slot, 1 + table_pages + snap_pages), &page)?;
 
-    Ok(table_pages as u64 + 2)
+    Ok(table_pages as u64 + snap_pages as u64 + 2)
 }
 
 fn read_slot(cfg: &FtlConfig, nand: &mut NandArray, slot: u32) -> Option<RecoveredCheckpoint> {
@@ -127,18 +173,26 @@ fn read_slot(cfg: &FtlConfig, nand: &mut NandArray, slot: u32) -> Option<Recover
     let count = get_u64(&buf, 12);
     let table_crc = get_u32(&buf, 20);
     let generation = get_u64(&buf, 24);
+    // v1–v3 images left these header bytes zeroed: snap_bytes 0 decodes
+    // as an empty snapshot table.
+    let snap_bytes = get_u64(&buf, 32) as usize;
+    let snap_crc = get_u32(&buf, 40);
     if count != cfg.logical_pages {
         return None;
     }
     let table_bytes = (count * 4) as usize;
     let table_pages = table_bytes.div_ceil(page_size) as u32;
+    let snap_pages = snapshot_section_pages(cfg, snap_bytes);
 
     // Commit page first: cheap validity check before reading the table.
-    nand.read(slot_ppn(cfg, slot, 1 + table_pages), &mut buf).ok()?;
+    // (For pre-v4 images snap_pages is 0 and the commit page's byte 24
+    // region was zero, so both the position and the CRC echo match.)
+    nand.read(slot_ppn(cfg, slot, 1 + table_pages + snap_pages), &mut buf).ok()?;
     if get_u32(&buf, 0) != COMMIT_MAGIC
         || get_u64(&buf, 4) != seq
         || get_u32(&buf, 12) != table_crc
         || get_u64(&buf, 16) != generation
+        || get_u32(&buf, 24) != snap_crc
     {
         return None;
     }
@@ -152,11 +206,21 @@ fn read_slot(cfg: &FtlConfig, nand: &mut NandArray, slot: u32) -> Option<Recover
     if crc32c(&table) != table_crc {
         return None;
     }
+    let mut snap = vec![0u8; snap_pages as usize * page_size];
+    for i in 0..snap_pages {
+        let dst = i as usize * page_size;
+        nand.read(slot_ppn(cfg, slot, 1 + table_pages + i), &mut snap[dst..dst + page_size])
+            .ok()?;
+    }
+    snap.truncate(snap_bytes);
+    if !snap.is_empty() && crc32c(&snap) != snap_crc {
+        return None;
+    }
     let l2p = table
         .chunks_exact(4)
         .map(|c| Ppn(u32::from_le_bytes(c.try_into().unwrap())))
         .collect();
-    Some(RecoveredCheckpoint { slot, generation, next_delta_seq: seq, l2p })
+    Some(RecoveredCheckpoint { slot, generation, next_delta_seq: seq, l2p, snap })
 }
 
 /// Read the newest valid checkpoint, if any slot holds one. Ordered by
@@ -194,7 +258,7 @@ mod tests {
     fn write_then_read_round_trips() {
         let (cfg, mut nand) = setup();
         let l2p = sample_l2p(&cfg);
-        write_checkpoint(&cfg, &mut nand, 0, 1, 42, &l2p).unwrap();
+        write_checkpoint(&cfg, &mut nand, 0, 1, 42, &l2p, &[]).unwrap();
         let r = read_latest(&cfg, &mut nand).unwrap();
         assert_eq!(r.slot, 0);
         assert_eq!(r.next_delta_seq, 42);
@@ -213,8 +277,8 @@ mod tests {
         let old = sample_l2p(&cfg);
         let mut new = old.clone();
         new[0] = Ppn(777);
-        write_checkpoint(&cfg, &mut nand, 0, 1, 10, &old).unwrap();
-        write_checkpoint(&cfg, &mut nand, 1, 2, 20, &new).unwrap();
+        write_checkpoint(&cfg, &mut nand, 0, 1, 10, &old, &[]).unwrap();
+        write_checkpoint(&cfg, &mut nand, 1, 2, 20, &new, &[]).unwrap();
         let r = read_latest(&cfg, &mut nand).unwrap();
         assert_eq!(r.slot, 1);
         assert_eq!(r.l2p[0], Ppn(777));
@@ -224,9 +288,9 @@ mod tests {
     fn slots_alternate_by_erasure() {
         let (cfg, mut nand) = setup();
         let l2p = sample_l2p(&cfg);
-        write_checkpoint(&cfg, &mut nand, 0, 1, 10, &l2p).unwrap();
-        write_checkpoint(&cfg, &mut nand, 1, 2, 20, &l2p).unwrap();
-        write_checkpoint(&cfg, &mut nand, 0, 3, 30, &l2p).unwrap(); // reuse slot 0
+        write_checkpoint(&cfg, &mut nand, 0, 1, 10, &l2p, &[]).unwrap();
+        write_checkpoint(&cfg, &mut nand, 1, 2, 20, &l2p, &[]).unwrap();
+        write_checkpoint(&cfg, &mut nand, 0, 3, 30, &l2p, &[]).unwrap(); // reuse slot 0
         let r = read_latest(&cfg, &mut nand).unwrap();
         assert_eq!(r.next_delta_seq, 30);
         assert_eq!(r.slot, 0);
@@ -236,12 +300,12 @@ mod tests {
     fn crash_during_checkpoint_preserves_previous_snapshot() {
         let (cfg, mut nand) = setup();
         let old = sample_l2p(&cfg);
-        write_checkpoint(&cfg, &mut nand, 0, 1, 10, &old).unwrap();
+        write_checkpoint(&cfg, &mut nand, 0, 1, 10, &old, &[]).unwrap();
         // Crash while writing slot 1, before its commit page lands.
         nand.fault_handle().arm_after_programs(2, nand_sim::FaultMode::TornHalf);
         let mut new = old.clone();
         new[1] = Ppn(555);
-        assert!(write_checkpoint(&cfg, &mut nand, 1, 2, 20, &new).is_err());
+        assert!(write_checkpoint(&cfg, &mut nand, 1, 2, 20, &new, &[]).is_err());
         nand.power_cycle();
         let r = read_latest(&cfg, &mut nand).unwrap();
         assert_eq!(r.next_delta_seq, 10, "old snapshot must survive");
@@ -252,11 +316,11 @@ mod tests {
     fn corrupt_commit_page_invalidates_slot() {
         let (cfg, mut nand) = setup();
         let l2p = sample_l2p(&cfg);
-        write_checkpoint(&cfg, &mut nand, 0, 1, 5, &l2p).unwrap();
+        write_checkpoint(&cfg, &mut nand, 0, 1, 5, &l2p, &[]).unwrap();
         // Fault exactly on the commit page of the second checkpoint.
         let pages = checkpoint_pages(&cfg);
         nand.fault_handle().arm_after_programs(pages as u64, nand_sim::FaultMode::DroppedWrite);
-        assert!(write_checkpoint(&cfg, &mut nand, 1, 2, 6, &l2p).is_err());
+        assert!(write_checkpoint(&cfg, &mut nand, 1, 2, 6, &l2p, &[]).is_err());
         nand.power_cycle();
         let r = read_latest(&cfg, &mut nand).unwrap();
         assert_eq!(r.slot, 0);
@@ -267,7 +331,7 @@ mod tests {
     fn checkpoint_page_count_matches_layout() {
         let (cfg, mut nand) = setup();
         let l2p = sample_l2p(&cfg);
-        let written = write_checkpoint(&cfg, &mut nand, 0, 1, 1, &l2p).unwrap();
+        let written = write_checkpoint(&cfg, &mut nand, 0, 1, 1, &l2p, &[]).unwrap();
         assert_eq!(written, checkpoint_pages(&cfg) as u64);
     }
 
@@ -280,11 +344,73 @@ mod tests {
         let old = sample_l2p(&cfg);
         let mut new = old.clone();
         new[0] = Ppn(777);
-        write_checkpoint(&cfg, &mut nand, 0, 1, 10, &old).unwrap();
-        write_checkpoint(&cfg, &mut nand, 1, 2, 10, &new).unwrap();
+        write_checkpoint(&cfg, &mut nand, 0, 1, 10, &old, &[]).unwrap();
+        write_checkpoint(&cfg, &mut nand, 1, 2, 10, &new, &[]).unwrap();
         let r = read_latest(&cfg, &mut nand).unwrap();
         assert_eq!(r.slot, 1, "the higher generation must win the seq tie");
         assert_eq!(r.generation, 2);
         assert_eq!(r.l2p[0], Ppn(777));
+    }
+
+    #[test]
+    fn snapshot_section_round_trips() {
+        let (cfg, mut nand) = setup();
+        let l2p = sample_l2p(&cfg);
+        // Over a page of section bytes: exercises the multi-page path.
+        let snap: Vec<u8> = (0..cfg.geometry.page_size + 100).map(|i| (i % 251) as u8).collect();
+        let written = write_checkpoint(&cfg, &mut nand, 0, 1, 7, &l2p, &snap).unwrap();
+        assert_eq!(
+            written,
+            checkpoint_pages(&cfg) as u64 + snapshot_section_pages(&cfg, snap.len()) as u64
+        );
+        let r = read_latest(&cfg, &mut nand).unwrap();
+        assert_eq!(r.snap, snap);
+        assert_eq!(r.l2p, l2p);
+    }
+
+    #[test]
+    fn empty_snapshot_section_is_byte_identical_to_v3() {
+        // A v4 checkpoint of a snapshot-free device must program exactly
+        // the v3 pages: same count, same commit position, and a pre-v4
+        // reader (which ignores bytes 32.. of the header) sees the same
+        // zeros there.
+        let (cfg, mut nand) = setup();
+        let l2p = sample_l2p(&cfg);
+        let written = write_checkpoint(&cfg, &mut nand, 0, 3, 9, &l2p, &[]).unwrap();
+        assert_eq!(written, checkpoint_pages(&cfg) as u64);
+        let r = read_latest(&cfg, &mut nand).unwrap();
+        assert!(r.snap.is_empty());
+        let mut header = vec![0u8; cfg.geometry.page_size];
+        nand.read(slot_ppn(&cfg, 0, 0), &mut header).unwrap();
+        assert_eq!(get_u64(&header, 32), 0, "snap_bytes field zero");
+        assert_eq!(get_u32(&header, 40), 0, "snap_crc field zero");
+    }
+
+    #[test]
+    fn oversized_snapshot_section_is_rejected() {
+        let (cfg, mut nand) = setup();
+        let l2p = sample_l2p(&cfg);
+        let too_big = vec![0u8; max_snapshot_bytes(&cfg) + 1];
+        assert_eq!(
+            write_checkpoint(&cfg, &mut nand, 0, 1, 1, &l2p, &too_big),
+            Err(FtlError::SnapshotTableFull)
+        );
+    }
+
+    #[test]
+    fn corrupt_snapshot_section_invalidates_slot() {
+        let (cfg, mut nand) = setup();
+        let l2p = sample_l2p(&cfg);
+        write_checkpoint(&cfg, &mut nand, 0, 1, 5, &l2p, &[]).unwrap();
+        let snap = vec![0xabu8; 64];
+        // Fault on the snapshot-section page of the slot-1 checkpoint
+        // (header + table pages land first).
+        let table_pages = checkpoint_pages(&cfg) - 2;
+        nand.fault_handle()
+            .arm_after_programs(1 + table_pages as u64, nand_sim::FaultMode::DroppedWrite);
+        assert!(write_checkpoint(&cfg, &mut nand, 1, 2, 6, &l2p, &snap).is_err());
+        nand.power_cycle();
+        let r = read_latest(&cfg, &mut nand).unwrap();
+        assert_eq!(r.slot, 0, "torn snapshot section must not validate");
     }
 }

@@ -9,6 +9,7 @@
 
 use crate::error::FtlError;
 use crate::queue::{CmdTag, Completion, QueuedCmd};
+use crate::snapshot::SnapshotInfo;
 use crate::stats::DeviceStats;
 use crate::types::{Lpn, SharePair};
 use nand_sim::{FaultHandle, FaultMode, NandError, NandTiming, SimClock};
@@ -103,6 +104,58 @@ pub trait BlockDevice {
     /// Whether the device implements SHARE.
     fn supports_share(&self) -> bool {
         self.share_batch_limit() > 0
+    }
+
+    // ----- device-level snapshots (see crate::snapshot) -------------------
+
+    /// Whether the device implements the snapshot command family.
+    fn supports_snapshot(&self) -> bool {
+        false
+    }
+
+    /// Freeze the current contents of `len` pages starting at `start`
+    /// under `name`, returning the snapshot's device-assigned id. On a
+    /// SHARE-capable FTL this is pure metadata (no data copy). Default:
+    /// unsupported.
+    fn snapshot_create(&mut self, _name: &str, _start: Lpn, _len: u64) -> Result<u32, FtlError> {
+        Err(FtlError::Unsupported("snapshot_create"))
+    }
+
+    /// Delete the snapshot `name`, releasing its pins on physical pages.
+    /// Default: unsupported.
+    fn snapshot_drop(&mut self, _name: &str) -> Result<(), FtlError> {
+        Err(FtlError::Unsupported("snapshot_drop"))
+    }
+
+    /// Materialize a writable zero-copy clone of `len` pages of snapshot
+    /// `name` (starting at `src_offset` within its range) at logical
+    /// address `dst`. Returns the number of pages mapped; pages unmapped
+    /// at freeze time become holes that read zeroes. Default: unsupported.
+    fn snapshot_clone(
+        &mut self,
+        _name: &str,
+        _src_offset: u64,
+        _dst: Lpn,
+        _len: u64,
+    ) -> Result<u64, FtlError> {
+        Err(FtlError::Unsupported("snapshot_clone"))
+    }
+
+    /// Point-in-time read of the page at `offset` within snapshot `name`,
+    /// bypassing the live mapping. Default: unsupported.
+    fn snapshot_read(&mut self, _name: &str, _offset: u64, _buf: &mut [u8]) -> Result<(), FtlError> {
+        Err(FtlError::Unsupported("snapshot_read"))
+    }
+
+    /// Enumerate live snapshots. Default: unsupported.
+    fn snapshot_list(&self) -> Result<Vec<SnapshotInfo>, FtlError> {
+        Err(FtlError::Unsupported("snapshot_list"))
+    }
+
+    /// Make the snapshot table durable now instead of at the next natural
+    /// checkpoint. Default: unsupported.
+    fn snapshot_persist(&mut self) -> Result<(), FtlError> {
+        Err(FtlError::Unsupported("snapshot_persist"))
     }
 
     // ----- submission/completion queues (see crate::queue) ----------------

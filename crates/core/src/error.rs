@@ -37,6 +37,13 @@ pub enum FtlError {
     BadBufferLength { got: usize, want: usize },
     /// Recovery found an unusable on-flash state.
     RecoveryCorrupt(String),
+    /// No live snapshot has the requested name.
+    SnapshotNotFound,
+    /// A live snapshot already has the requested name.
+    SnapshotExists,
+    /// The snapshot table cannot grow: the id/offset space is exhausted or
+    /// the serialized table would no longer fit its checkpoint slot.
+    SnapshotTableFull,
 }
 
 impl fmt::Display for FtlError {
@@ -64,6 +71,11 @@ impl fmt::Display for FtlError {
                 write!(f, "buffer length {got} does not match page size {want}")
             }
             FtlError::RecoveryCorrupt(msg) => write!(f, "recovery: {msg}"),
+            FtlError::SnapshotNotFound => write!(f, "no snapshot with that name"),
+            FtlError::SnapshotExists => write!(f, "a snapshot with that name already exists"),
+            FtlError::SnapshotTableFull => {
+                write!(f, "snapshot table full (id space or checkpoint slot exhausted)")
+            }
         }
     }
 }
@@ -102,5 +114,8 @@ mod tests {
         assert!(FtlError::RevMapFull { capacity: 250 }.to_string().contains("250"));
         assert!(FtlError::Unsupported("share").to_string().contains("share"));
         assert!(FtlError::QueueFull { depth: 16 }.to_string().contains("16"));
+        assert!(FtlError::SnapshotNotFound.to_string().contains("snapshot"));
+        assert!(FtlError::SnapshotExists.to_string().contains("already exists"));
+        assert!(FtlError::SnapshotTableFull.to_string().contains("full"));
     }
 }

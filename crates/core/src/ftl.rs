@@ -21,13 +21,14 @@ use crate::error::FtlError;
 use crate::mapping::MappingTable;
 use crate::pool::{BlockPool, WritePoint};
 use crate::queue::{CmdOutput, CmdTag, Completion, QueuedCmd};
+use crate::snapshot::{self, SnapDelta, SnapshotInfo, SnapshotTable};
 use crate::stats::DeviceStats;
 use crate::types::{Lpn, Ppn, SharePair};
 use crate::config::{PlacementConfig, CLASS_DEFAULT};
 use nand_sim::{FaultHandle, NandArray, SimClock, UNTAGGED};
 use share_telemetry::{
     apportion, BlameKind, Layer, OpClass, PlacementClassGauge, PlacementGauges, QueueGauges,
-    Snapshot, SpanId, Telemetry, Tracer, Track, UnitUtilization, STREAM_FTL,
+    Snapshot, SnapshotGauges, SpanId, Telemetry, Tracer, Track, UnitUtilization, STREAM_FTL,
 };
 use std::collections::HashSet;
 
@@ -156,6 +157,11 @@ pub struct Ftl {
     share_incs: Vec<(Ppn, u32)>,
     share_src_ppns: Vec<Ppn>,
     share_deltas: Vec<Delta>,
+    /// Device snapshot table: frozen alias namespaces whose entries pin
+    /// physical pages against GC reclaim (relocation still allowed).
+    /// Persisted whole in checkpoints (image v4) and incrementally via
+    /// tagged delta-log records.
+    snaps: SnapshotTable,
 }
 
 impl Ftl {
@@ -204,6 +210,7 @@ impl Ftl {
             share_incs: Vec::new(),
             share_src_ppns: Vec::new(),
             share_deltas: Vec::new(),
+            snaps: SnapshotTable::new(),
         };
         ftl.checkpoint().expect("initial checkpoint on an erased device cannot fail");
         ftl
@@ -220,10 +227,11 @@ impl Ftl {
         let recovery_t0 = nand.now_ns();
 
         let recovered = ckpt::read_latest(&cfg, &mut nand);
-        let (next_seq0, base, slot, gen) = match recovered {
-            Some(c) => (c.next_delta_seq, Some(c.l2p), c.slot, c.generation + 1),
-            None => (0, None, 1, 0),
+        let (next_seq0, base, slot, gen, snap_bytes) = match recovered {
+            Some(c) => (c.next_delta_seq, Some(c.l2p), c.slot, c.generation + 1, c.snap),
+            None => (0, None, 1, 0, Vec::new()),
         };
+        let mut snaps = SnapshotTable::decode(&snap_bytes)?;
 
         let mut map = MappingTable::with_policy(cfg.geometry, cfg.logical_pages, cfg.revmap_capacity, cfg.revmap_policy);
         if let Some(base) = base {
@@ -242,11 +250,23 @@ impl Ftl {
         let mut next_seq = next_seq0;
         for page in DeltaLog::recover(&cfg, &mut nand, next_seq0) {
             for d in &page.deltas {
-                map.raw_set(d.lpn, d.new);
+                // Snapshot records travel the same log with a tag bit set;
+                // they must never reach the live map (the tagged value is
+                // far beyond the logical capacity).
+                match snapshot::decode_snap_delta(d.lpn) {
+                    Some(SnapDelta::Relocate { id, offset }) => {
+                        snaps.replay_relocate(id, offset, d.new);
+                    }
+                    Some(SnapDelta::Tombstone { id }) => {
+                        snaps.remove_by_id(id);
+                    }
+                    None => map.raw_set(d.lpn, d.new),
+                }
             }
             next_seq = page.seq + 1;
         }
         map.rebuild_reverse();
+        snaps.rebuild_rev();
 
         let mut pool = BlockPool::new(cfg.geometry, cfg.data_start(), cfg.data_blocks())
             .with_classes(cfg.placement.classes());
@@ -287,6 +307,7 @@ impl Ftl {
             share_incs: Vec::new(),
             share_src_ppns: Vec::new(),
             share_deltas: Vec::new(),
+            snaps,
         };
         ftl.checkpoint()?;
         // Account what recovery itself cost (checkpoint scan, delta
@@ -518,7 +539,9 @@ impl Ftl {
         let seq = self.log.next_seq();
         let l2p = self.map.l2p_raw().to_vec();
         let gen = self.next_ckpt_gen;
-        let pages = ckpt::write_checkpoint(&self.cfg, &mut self.nand, slot, gen, seq, &l2p)?;
+        let snap_bytes = self.snaps.encode();
+        let pages =
+            ckpt::write_checkpoint(&self.cfg, &mut self.nand, slot, gen, seq, &l2p, &snap_bytes)?;
         self.log.reset(&mut self.nand)?;
         self.last_ckpt_slot = slot;
         self.next_ckpt_gen = gen + 1;
@@ -554,6 +577,20 @@ impl Ftl {
     /// collected incrementally is skipped.
     fn pick_victim(&self) -> Option<(u32, u32)> {
         let ppb = self.cfg.geometry.pages_per_block;
+        // Snapshot-pinned pages that are dead in the live map still cost a
+        // copyback when their block is collected, so they count into the
+        // victim's effective valid-page total. Computed once per selection
+        // and only when snapshots exist — with an empty table the selection
+        // is exactly the historical one.
+        let pinned_dead = if self.snaps.is_empty() {
+            Vec::new()
+        } else {
+            self.snaps.pinned_dead_by_block(
+                self.pool.block_count() as usize,
+                |p| self.pool.rel(self.cfg.geometry.block_of(p)),
+                |p| self.map.is_live(p),
+            )
+        };
         let mut best: Option<(u32, u32, u64)> = None;
         for rel in 0..self.pool.block_count() {
             if !self.pool.victim_eligible(rel, &self.nand) {
@@ -562,7 +599,10 @@ impl Ftl {
             if self.gc_job.as_ref().is_some_and(|j| j.rel == rel) {
                 continue; // already mid-collection
             }
-            let valid = self.map.valid_pages(self.pool.abs(rel));
+            let mut valid = self.map.valid_pages(self.pool.abs(rel));
+            if !pinned_dead.is_empty() {
+                valid += pinned_dead[rel as usize];
+            }
             if valid >= ppb {
                 continue; // nothing reclaimable here
             }
@@ -629,9 +669,12 @@ impl Ftl {
         let class = if tag == UNTAGGED { CLASS_DEFAULT } else { tag.min(classes - 1) as u8 };
         let channel = self.cfg.geometry.channel_of_block(block);
         if valid > 0 {
+            // Relocation keeps both live-map referents and snapshot-pinned
+            // pages (frozen data must survive the erase even when nothing
+            // in the live map references it anymore).
             let live: Vec<Ppn> = (0..ppb)
                 .map(|idx| self.cfg.geometry.ppn_at(block, idx))
-                .filter(|&ppn| self.map.is_live(ppn))
+                .filter(|&ppn| self.map.is_live(ppn) || self.snaps.is_pinned(ppn))
                 .collect();
             // All relocation reads go out as one batched submission (they
             // come from one block, hence one unit, so this mostly amortizes
@@ -651,10 +694,7 @@ impl Ftl {
                 dests.iter().zip(&bufs).map(|(&d, b)| (d, b.as_slice())).collect();
             self.nand.program_batch(&programs)?;
             for (&ppn, &dest) in live.iter().zip(&dests) {
-                for lpn in self.map.relocate(ppn, dest)? {
-                    self.log.append(Delta { lpn, old: ppn, new: dest });
-                    self.note_delta(STREAM_FTL, 1);
-                }
+                self.relocate_mappings(ppn, dest)?;
                 self.stats.copyback_pages += 1;
             }
             // Blame the copybacks on the streams whose invalidations
@@ -670,6 +710,32 @@ impl Ftl {
         self.stats.gc_erases += 1;
         self.pool.release(rel);
         self.block_blame[rel as usize].clear();
+        Ok(())
+    }
+
+    /// Repoint every reference to the relocated page `ppn` — live-map LPNs
+    /// and snapshot table entries — at `dest`, logging one delta per
+    /// reference so recovery replays the move. A page held only by
+    /// snapshots skips the live map entirely (it has no referrers there).
+    fn relocate_mappings(&mut self, ppn: Ppn, dest: Ppn) -> Result<(), FtlError> {
+        if self.map.is_live(ppn) {
+            for lpn in self.map.relocate(ppn, dest)? {
+                self.log.append(Delta { lpn, old: ppn, new: dest });
+                self.note_delta(STREAM_FTL, 1);
+            }
+        } else {
+            self.stats.snapshot_pinned_relocations += 1;
+        }
+        if !self.snaps.is_empty() {
+            for (id, offset) in self.snaps.relocate(ppn, dest) {
+                self.log.append(Delta {
+                    lpn: snapshot::snap_delta_lpn(id, offset),
+                    old: ppn,
+                    new: dest,
+                });
+                self.note_delta(STREAM_FTL, 1);
+            }
+        }
         Ok(())
     }
 
@@ -711,7 +777,7 @@ impl Ftl {
             let Some(ppn) = self.gc_job.as_mut().expect("job exists").pending.pop() else {
                 break;
             };
-            if self.map.is_live(ppn) {
+            if self.map.is_live(ppn) || self.snaps.is_pinned(ppn) {
                 live.push(ppn);
             }
         }
@@ -731,10 +797,7 @@ impl Ftl {
                 dests.iter().zip(&bufs).map(|(&d, b)| (d, b.as_slice())).collect();
             self.nand.program_batch(&programs)?;
             for (&ppn, &dest) in live.iter().zip(&dests) {
-                for lpn in self.map.relocate(ppn, dest)? {
-                    self.log.append(Delta { lpn, old: ppn, new: dest });
-                    self.note_delta(STREAM_FTL, 1);
-                }
+                self.relocate_mappings(ppn, dest)?;
                 self.stats.copyback_pages += 1;
             }
             // Settle this step's copybacks against the victim's current
@@ -1091,6 +1154,232 @@ impl Ftl {
         Ok(())
     }
 
+    /// Read-only view of the device snapshot table (tests, crash sweeps,
+    /// CLI introspection).
+    pub fn snapshot_table(&self) -> &SnapshotTable {
+        &self.snaps
+    }
+
+    fn snapshot_create_impl(&mut self, name: &str, start: Lpn, len: u64) -> Result<u32, FtlError> {
+        if name.is_empty() {
+            return Err(FtlError::InvalidBatch("snapshot name must not be empty"));
+        }
+        if len == 0 {
+            return Err(FtlError::InvalidBatch("snapshot range must not be empty"));
+        }
+        if start.0 >= self.cfg.logical_pages || len > self.cfg.logical_pages - start.0 {
+            return Err(FtlError::LpnOutOfRange {
+                lpn: Lpn(start.0.saturating_add(len - 1)),
+                capacity: self.cfg.logical_pages,
+            });
+        }
+        self.nand.charge(self.cfg.command_ns);
+        // Freeze the current mapping of the range. Pure metadata: no NAND
+        // page is read or programmed — the frozen entries simply pin their
+        // physical pages against GC reclaim. Durability comes from the next
+        // checkpoint (see `snapshot_persist`).
+        let mut pages = Vec::new();
+        for off in 0..len {
+            let ppn = self.map.lookup(Lpn(start.0 + off));
+            if ppn.is_valid() {
+                pages.push((off, ppn));
+            }
+        }
+        let id = self.snaps.create(name, start, len, pages)?;
+        // The serialized table must still fit the checkpoint slot's slack,
+        // or no future checkpoint could persist it.
+        if self.snaps.encode().len() > ckpt::max_snapshot_bytes(&self.cfg) {
+            self.snaps.remove(name).expect("snapshot was just created");
+            return Err(FtlError::SnapshotTableFull);
+        }
+        self.stats.snapshot_creates += 1;
+        Ok(id)
+    }
+
+    fn snapshot_drop_impl(&mut self, name: &str) -> Result<(), FtlError> {
+        self.nand.charge(self.cfg.command_ns);
+        let rec = self.snaps.remove(name)?;
+        // Pages the drop just unpinned — no longer frozen anywhere and dead
+        // in the live map — become reclaimable garbage now, so the dropping
+        // stream takes the blame for their blocks' eventual GC copyback
+        // (mirrors `note_invalidation` at ordinary overwrite/trim death).
+        // One snapshot can freeze the same physical page at several offsets
+        // (SHAREd range), so blame each distinct page once.
+        let mut seen = std::collections::HashSet::new();
+        for &(_, ppn) in &rec.pages {
+            if seen.insert(ppn.0) && !self.snaps.is_pinned(ppn) && !self.map.is_live(ppn) {
+                self.note_invalidation(&crate::mapping::Unmapped { old_ppn: ppn, died: true });
+            }
+        }
+        // A tombstone delta makes the drop durable ahead of the next
+        // checkpoint: replay discards the snapshot the same way.
+        self.log.append(Delta {
+            lpn: snapshot::snap_tombstone_lpn(rec.id),
+            old: Ppn::INVALID,
+            new: Ppn::INVALID,
+        });
+        self.note_delta(self.telemetry.current_stream(), 1);
+        self.stats.snapshot_drops += 1;
+        if self.log.buffer_full() {
+            self.flush_log()?;
+        }
+        Ok(())
+    }
+
+    fn snapshot_clone_impl(
+        &mut self,
+        name: &str,
+        src_offset: u64,
+        dst: Lpn,
+        len: u64,
+    ) -> Result<u64, FtlError> {
+        if len == 0 {
+            return Err(FtlError::InvalidBatch("clone range must not be empty"));
+        }
+        if dst.0 >= self.cfg.logical_pages || len > self.cfg.logical_pages - dst.0 {
+            return Err(FtlError::LpnOutOfRange {
+                lpn: Lpn(dst.0.saturating_add(len - 1)),
+                capacity: self.cfg.logical_pages,
+            });
+        }
+        // Resolve the window against the frozen record up front; the record
+        // itself never changes while we rewire the live map.
+        let window: Vec<Option<Ppn>> = {
+            let rec = self.snaps.get(name).ok_or(FtlError::SnapshotNotFound)?;
+            if src_offset > rec.len || len > rec.len - src_offset {
+                return Err(FtlError::InvalidBatch("clone window exceeds the snapshot range"));
+            }
+            (0..len).map(|i| rec.page_at(src_offset + i)).collect()
+        };
+        self.nand.charge(self.cfg.command_ns);
+        // Reference-count overflow pre-check (conservative: ignores any
+        // refs the clone's own unmaps might release).
+        self.share_incs.clear();
+        for ppn in window.iter().flatten() {
+            match self.share_incs.iter_mut().find(|(p, _)| p == ppn) {
+                Some((_, c)) => *c += 1,
+                None => self.share_incs.push((*ppn, 1)),
+            }
+        }
+        for &(ppn, inc) in &self.share_incs {
+            let base = if self.map.is_live(ppn) { self.map.refcount(ppn) as u32 } else { 0 };
+            if base + inc > u16::MAX as u32 {
+                return Err(FtlError::RefOverflow);
+            }
+        }
+        // Strict reverse-map capacity pre-check, mirroring SHARE: the
+        // command is all-or-nothing on capacity. (Resurrected pinned pages
+        // re-enter as primary mappings and need no shared slot.)
+        if self.map.policy() == crate::mapping::RevMapPolicy::Strict {
+            let mut need = 0usize;
+            for (i, frozen) in window.iter().enumerate() {
+                if let Some(ppn) = frozen {
+                    if self.map.is_live(*ppn) {
+                        need += self.map.shared_slot_need(Lpn(dst.0 + i as u64), *ppn);
+                    }
+                }
+            }
+            if need > self.map.revmap().free() {
+                return Err(FtlError::RevMapFull { capacity: self.map.revmap().capacity() });
+            }
+        }
+        self.stats.snapshot_clones += 1;
+        let limit = self.cfg.deltas_per_page();
+        let mut deltas: Vec<Delta> = Vec::new();
+        let mut mapped_pages = 0u64;
+        for (i, &frozen) in window.iter().enumerate() {
+            let lpn = Lpn(dst.0 + i as u64);
+            match frozen {
+                Some(ppn) => {
+                    // Zero-copy materialization: the clone's LPN points at
+                    // the frozen physical page. Still-live pages gain a
+                    // reference (CoW exactly like SHARE); pages dead in the
+                    // live map re-enter it as a fresh primary mapping.
+                    let old = if self.map.is_live(ppn) {
+                        self.map.map_shared(lpn, ppn)?
+                    } else {
+                        self.map.map_new_write(lpn, ppn)?
+                    };
+                    self.note_invalidation(&old);
+                    deltas.push(Delta { lpn, old: old.old_ppn, new: ppn });
+                    mapped_pages += 1;
+                }
+                None => {
+                    // Hole in the snapshot: the clone reads zeroes there.
+                    let old = self.map.unmap(lpn);
+                    self.note_invalidation(&old);
+                    if old.old_ppn.is_valid() {
+                        deltas.push(Delta { lpn, old: old.old_ppn, new: Ppn::INVALID });
+                    }
+                }
+            }
+            if deltas.len() == limit {
+                self.clone_flush_deltas(&mut deltas)?;
+            }
+        }
+        self.clone_flush_deltas(&mut deltas)?;
+        self.stats.snapshot_clone_pages += mapped_pages;
+        self.maybe_checkpoint()?;
+        Ok(mapped_pages)
+    }
+
+    /// Flush a clone's accumulated mapping deltas as one atomically
+    /// programmed log page (same shape as `apply_share`'s commit).
+    fn clone_flush_deltas(&mut self, deltas: &mut Vec<Delta>) -> Result<(), FtlError> {
+        if deltas.is_empty() {
+            return Ok(());
+        }
+        let before = self.log.pages_written;
+        let t0 = self.nand.now_ns();
+        self.note_delta(self.telemetry.current_stream(), deltas.len() as u64);
+        let span = self.begin_span("log_flush", STREAM_FTL, t0);
+        let r = self.log.flush_atomic_batch(&mut self.nand, deltas);
+        let pages = self.log.pages_written - before;
+        self.tracer.end(span, self.nand.now_ns(), pages, r.is_ok());
+        self.telemetry.record_as(
+            OpClass::LogFlush,
+            self.bg_attr(),
+            0,
+            pages,
+            t0,
+            self.nand.now_ns(),
+            r.is_ok(),
+        );
+        self.stats.meta_page_writes += pages;
+        self.settle_log_blame(pages);
+        deltas.clear();
+        r
+    }
+
+    fn snapshot_read_impl(
+        &mut self,
+        name: &str,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> Result<(), FtlError> {
+        if buf.len() != self.page_size() {
+            return Err(FtlError::BadBufferLength { got: buf.len(), want: self.page_size() });
+        }
+        let ppn = {
+            let rec = self.snaps.get(name).ok_or(FtlError::SnapshotNotFound)?;
+            if offset >= rec.len {
+                return Err(FtlError::InvalidBatch("snapshot read beyond the frozen range"));
+            }
+            rec.page_at(offset)
+        };
+        self.stats.host_reads += 1;
+        self.stats.host_read_bytes += buf.len() as u64;
+        self.stats.snapshot_reads += 1;
+        match ppn {
+            Some(p) => self.nand.read(p, buf)?,
+            None => {
+                buf.fill(0);
+                self.nand.charge(self.cfg.timing.xfer_ns(buf.len()));
+            }
+        }
+        Ok(())
+    }
+
     fn read_batch_impl(&mut self, reqs: &mut [(Lpn, &mut [u8])]) -> Result<(), FtlError> {
         let want = self.page_size();
         for (lpn, buf) in reqs.iter() {
@@ -1402,6 +1691,71 @@ impl BlockDevice for Ftl {
         self.cfg.deltas_per_page()
     }
 
+    fn supports_snapshot(&self) -> bool {
+        true
+    }
+
+    /// Freeze the current mapping of `len` pages starting at `start` under
+    /// `name`. Pure metadata — zero NAND page programs; the frozen entries
+    /// pin their physical pages against GC reclaim until dropped.
+    fn snapshot_create(&mut self, name: &str, start: Lpn, len: u64) -> Result<u32, FtlError> {
+        let (_t0, span) = self.begin_command("snapshot_create");
+        let r = self.snapshot_create_impl(name, start, len);
+        self.end_command(span, len, r.is_ok());
+        r
+    }
+
+    /// Release `name`'s pins. Newly unreferenced pages become ordinary
+    /// garbage, blamed to the dropping stream.
+    fn snapshot_drop(&mut self, name: &str) -> Result<(), FtlError> {
+        let (_t0, span) = self.begin_command("snapshot_drop");
+        let r = self.snapshot_drop_impl(name);
+        self.end_command(span, 0, r.is_ok());
+        r
+    }
+
+    /// Materialize a writable zero-copy clone of a snapshot window at
+    /// `dst`: clone LPNs share the frozen physical pages; subsequent
+    /// overwrites copy-on-write exactly like SHARE'd pages. Returns the
+    /// number of pages mapped (holes in the snapshot read zeroes).
+    fn snapshot_clone(
+        &mut self,
+        name: &str,
+        src_offset: u64,
+        dst: Lpn,
+        len: u64,
+    ) -> Result<u64, FtlError> {
+        let (_t0, span) = self.begin_command("snapshot_clone");
+        let r = self.snapshot_clone_impl(name, src_offset, dst, len);
+        self.end_command(span, len, r.is_ok());
+        r
+    }
+
+    /// Point-in-time read of one page from a snapshot, without touching
+    /// the live mapping.
+    fn snapshot_read(&mut self, name: &str, offset: u64, buf: &mut [u8]) -> Result<(), FtlError> {
+        let (t0, span) = self.begin_command("snapshot_read");
+        let r = self.snapshot_read_impl(name, offset, buf);
+        self.end_command(span, 1, r.is_ok());
+        self.telemetry.record(OpClass::Read, offset, 1, t0, self.nand.now_ns(), r.is_ok());
+        r
+    }
+
+    fn snapshot_list(&self) -> Result<Vec<SnapshotInfo>, FtlError> {
+        Ok(self.snaps.list())
+    }
+
+    /// Persist the snapshot table durably by taking a checkpoint now
+    /// (creates are otherwise durable only at the next natural
+    /// checkpoint).
+    fn snapshot_persist(&mut self) -> Result<(), FtlError> {
+        let (_t0, span) = self.begin_command("snapshot_persist");
+        self.nand.charge(self.cfg.command_ns);
+        let r = self.checkpoint();
+        self.end_command(span, 0, r.is_ok());
+        r
+    }
+
     /// Batched read: mapped pages go to the NAND as one submission, so
     /// reads on distinct channel-ways overlap in simulated time.
     fn read_batch(&mut self, reqs: &mut [(Lpn, &mut [u8])]) -> Result<(), FtlError> {
@@ -1582,6 +1936,17 @@ impl BlockDevice for Ftl {
                     open_blocks: self.pool.open_blocks(class),
                 })
                 .collect(),
+        };
+        snap.snapshots = SnapshotGauges {
+            live: self.snaps.count() as u64,
+            frozen_pages: self.snaps.frozen_pages(),
+            pinned_pages: self.snaps.pinned_pages(),
+            creates: self.stats.snapshot_creates,
+            drops: self.stats.snapshot_drops,
+            clones: self.stats.snapshot_clones,
+            clone_pages: self.stats.snapshot_clone_pages,
+            reads: self.stats.snapshot_reads,
+            pinned_relocations: self.stats.snapshot_pinned_relocations,
         };
         Some(snap)
     }
@@ -2586,7 +2951,7 @@ mod tests {
         };
         let run_queued = |mut f: Ftl| -> (u64, Vec<u8>) {
             let ps = f.page_size();
-            let mut reap1 = |f: &mut Ftl| {
+            let reap1 = |f: &mut Ftl| {
                 let done = f.reap();
                 assert_eq!(done.len(), 1);
                 done.into_iter().next().unwrap()
@@ -2742,6 +3107,373 @@ mod tests {
         for (i, b) in bufs.iter().enumerate() {
             assert!(b.iter().all(|&x| x == (i % 251) as u8), "lpn {i} diverged");
         }
+        f.check_invariants();
+    }
+
+    // ----- device-level snapshots -----------------------------------------
+
+    #[test]
+    fn snapshot_create_consumes_no_nand_programs() {
+        // The tentpole's headline property: freezing a range is O(mapped
+        // pages) of RAM metadata — zero NAND page programs, zero reads.
+        let mut f = tiny();
+        for i in 0..32u64 {
+            f.write(Lpn(i), &pagev((i % 251) as u8, &f)).unwrap();
+        }
+        f.flush().unwrap();
+        let before = f.stats();
+        let id = f.snapshot_create("base", Lpn(0), 32).unwrap();
+        let spent = f.stats().delta_since(&before);
+        assert_eq!(spent.nand.page_programs, 0, "snapshot create must not program NAND");
+        assert_eq!(spent.nand.page_reads, 0, "snapshot create must not read NAND");
+        assert_eq!(spent.snapshot_creates, 1);
+        assert!(f.supports_snapshot());
+        let list = f.snapshot_list().unwrap();
+        assert_eq!(list.len(), 1);
+        assert_eq!((list[0].id, list[0].mapped_pages), (id, 32));
+        assert_eq!(f.snapshot_list().unwrap()[0].name, "base");
+        f.check_invariants();
+    }
+
+    #[test]
+    fn snapshot_read_is_point_in_time() {
+        let mut f = tiny();
+        for i in 0..8u64 {
+            f.write(Lpn(i), &pagev(7, &f)).unwrap();
+        }
+        f.snapshot_create("pit", Lpn(0), 8).unwrap();
+        // Overwrite and trim the live range after the freeze.
+        for i in 0..4u64 {
+            f.write(Lpn(i), &pagev(9, &f)).unwrap();
+        }
+        f.trim(Lpn(4), 4).unwrap();
+        let mut buf = vec![0u8; f.page_size()];
+        for off in 0..8u64 {
+            f.snapshot_read("pit", off, &mut buf).unwrap();
+            assert!(buf.iter().all(|&b| b == 7), "offset {off} must show frozen content");
+        }
+        // The live map sees the new world.
+        assert_eq!(read_byte(&mut f, Lpn(0)), 9);
+        assert_eq!(read_byte(&mut f, Lpn(4)), 0);
+        // Reads beyond the frozen range and of unknown names fail cleanly.
+        assert!(matches!(
+            f.snapshot_read("pit", 8, &mut buf),
+            Err(FtlError::InvalidBatch(_))
+        ));
+        assert_eq!(f.snapshot_read("nope", 0, &mut buf), Err(FtlError::SnapshotNotFound));
+        assert_eq!(f.stats().snapshot_reads, 8);
+        f.check_invariants();
+    }
+
+    #[test]
+    fn clone_is_zero_copy_then_cow() {
+        let mut f = tiny();
+        for i in 0..16u64 {
+            f.write(Lpn(i), &pagev((i + 1) as u8, &f)).unwrap();
+        }
+        f.snapshot_create("db", Lpn(0), 16).unwrap();
+        let before = f.stats();
+        let mapped = f.snapshot_clone("db", 0, Lpn(100), 16).unwrap();
+        assert_eq!(mapped, 16);
+        let spent = f.stats().delta_since(&before);
+        // Zero-copy: only mapping-log pages were programmed, no data pages.
+        assert_eq!(spent.nand.page_programs, spent.meta_page_writes);
+        assert!(spent.meta_page_writes >= 1, "clone deltas must be durably logged");
+        assert_eq!(spent.snapshot_clone_pages, 16);
+        // Clone reads the frozen content.
+        for i in 0..16u64 {
+            assert_eq!(read_byte(&mut f, Lpn(100 + i)), (i + 1) as u8);
+        }
+        // CoW: writing the clone diverges it without touching origin or
+        // snapshot.
+        f.write(Lpn(100), &pagev(200, &f)).unwrap();
+        assert_eq!(read_byte(&mut f, Lpn(100)), 200);
+        assert_eq!(read_byte(&mut f, Lpn(0)), 1);
+        let mut buf = vec![0u8; f.page_size()];
+        f.snapshot_read("db", 0, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 1));
+        // And writing the origin leaves the clone alone.
+        f.write(Lpn(1), &pagev(201, &f)).unwrap();
+        assert_eq!(read_byte(&mut f, Lpn(101)), 2);
+        f.check_invariants();
+    }
+
+    #[test]
+    fn clone_window_and_holes() {
+        let mut f = tiny();
+        // Only even offsets mapped at freeze time.
+        for i in (0..8u64).step_by(2) {
+            f.write(Lpn(i), &pagev(5, &f)).unwrap();
+        }
+        f.snapshot_create("sparse", Lpn(0), 8).unwrap();
+        // Pre-dirty the clone target so holes must actively unmap.
+        for i in 0..4u64 {
+            f.write(Lpn(50 + i), &pagev(99, &f)).unwrap();
+        }
+        // Window: offsets 2..6 (mapped at 2 and 4) onto 50..54.
+        let mapped = f.snapshot_clone("sparse", 2, Lpn(50), 4).unwrap();
+        assert_eq!(mapped, 2);
+        assert_eq!(read_byte(&mut f, Lpn(50)), 5); // offset 2
+        assert_eq!(read_byte(&mut f, Lpn(51)), 0); // hole (was 99)
+        assert_eq!(read_byte(&mut f, Lpn(52)), 5); // offset 4
+        assert_eq!(read_byte(&mut f, Lpn(53)), 0); // hole
+        assert!(matches!(
+            f.snapshot_clone("sparse", 6, Lpn(0), 4),
+            Err(FtlError::InvalidBatch(_))
+        ));
+        f.check_invariants();
+    }
+
+    #[test]
+    fn snapshot_pins_survive_gc_churn() {
+        // Pinned pages must stay bit-stable across victim collection even
+        // when nothing in the live map references them anymore. FIFO
+        // victim selection guarantees the frozen blocks actually get
+        // collected (greedy would keep preferring emptier churn blocks).
+        let mut cfg = FtlConfig::for_capacity_with(1 << 20, 0.5, 4096, 16, NandTiming::zero());
+        cfg.gc_policy = crate::config::GcPolicy::Fifo;
+        let mut f = Ftl::new(cfg);
+        let logical = f.capacity_pages();
+        // Interleave the to-be-frozen pages with churn pages so the frozen
+        // blocks keep reclaimable garbage (a fully-pinned block is never a
+        // victim — erasing it reclaims nothing).
+        for i in 0..32u64 {
+            f.write(Lpn(i), &pagev((i % 251) as u8, &f)).unwrap();
+            f.write(Lpn(32 + i), &pagev(0xEE, &f)).unwrap();
+        }
+        f.snapshot_create("pin", Lpn(0), 32).unwrap();
+        // Kill the live references entirely, then churn hard enough to
+        // collect every original block several times over.
+        f.trim(Lpn(0), 32).unwrap();
+        for round in 0..8u64 {
+            for i in 32..logical / 2 {
+                f.write(Lpn(i), &vec![((i + round) % 251) as u8; f.page_size()]).unwrap();
+            }
+        }
+        let s = f.stats();
+        assert!(s.gc_events > 0, "churn must trigger GC");
+        assert!(
+            s.snapshot_pinned_relocations > 0,
+            "pinned-only pages must have been relocated at least once"
+        );
+        let mut buf = vec![0u8; f.page_size()];
+        for off in 0..32u64 {
+            f.snapshot_read("pin", off, &mut buf).unwrap();
+            assert!(
+                buf.iter().all(|&b| b == (off % 251) as u8),
+                "offset {off} corrupted by GC"
+            );
+        }
+        f.check_invariants();
+    }
+
+    #[test]
+    fn snapshot_pins_survive_pipelined_gc_churn() {
+        let cfg = FtlConfig::for_capacity_with(1 << 20, 0.5, 4096, 16, NandTiming::zero())
+            .with_gc_budget(4, 2);
+        let mut f = Ftl::new(cfg);
+        let logical = f.capacity_pages();
+        for i in 0..32u64 {
+            f.write(Lpn(i), &pagev((i % 251) as u8, &f)).unwrap();
+            f.write(Lpn(32 + i), &pagev(0xEE, &f)).unwrap();
+        }
+        f.snapshot_create("pin", Lpn(0), 32).unwrap();
+        f.trim(Lpn(0), 32).unwrap();
+        for round in 0..8u64 {
+            for i in 32..logical / 2 {
+                f.write(Lpn(i), &vec![((i + round) % 251) as u8; f.page_size()]).unwrap();
+            }
+        }
+        assert!(f.stats().gc_events > 0, "churn must trigger GC");
+        let mut buf = vec![0u8; f.page_size()];
+        for off in 0..32u64 {
+            f.snapshot_read("pin", off, &mut buf).unwrap();
+            assert!(
+                buf.iter().all(|&b| b == (off % 251) as u8),
+                "offset {off} corrupted by pipelined GC"
+            );
+        }
+        f.check_invariants();
+    }
+
+    #[test]
+    fn snapshot_drop_releases_pins() {
+        let mut f = tiny();
+        for i in 0..16u64 {
+            f.write(Lpn(i), &pagev(3, &f)).unwrap();
+        }
+        f.snapshot_create("tmp", Lpn(0), 16).unwrap();
+        f.trim(Lpn(0), 16).unwrap();
+        assert_eq!(f.snapshot_table().pinned_pages(), 16);
+        f.snapshot_drop("tmp").unwrap();
+        assert_eq!(f.snapshot_table().pinned_pages(), 0);
+        assert_eq!(f.snapshot_drop("tmp"), Err(FtlError::SnapshotNotFound));
+        let mut buf = vec![0u8; f.page_size()];
+        assert_eq!(f.snapshot_read("tmp", 0, &mut buf), Err(FtlError::SnapshotNotFound));
+        assert_eq!(f.stats().snapshot_drops, 1);
+        // The freed space is genuinely reclaimable again.
+        let logical = f.capacity_pages();
+        for round in 0..6u64 {
+            for i in 0..logical / 2 {
+                f.write(Lpn(i), &vec![(round % 251) as u8; f.page_size()]).unwrap();
+            }
+        }
+        f.check_invariants();
+    }
+
+    #[test]
+    fn snapshots_survive_recovery() {
+        // Checkpointed table + tagged-delta replay (relocations and
+        // tombstones) must reconstruct the same frozen world after a
+        // reopen.
+        let cfg = FtlConfig::for_capacity_with(1 << 20, 0.5, 4096, 16, NandTiming::zero());
+        let mut f = Ftl::new(cfg.clone());
+        for i in 0..24u64 {
+            f.write(Lpn(i), &pagev((i + 10) as u8, &f)).unwrap();
+        }
+        f.snapshot_create("keep", Lpn(0), 16).unwrap();
+        f.snapshot_create("doomed", Lpn(16), 8).unwrap();
+        // Persist both, then mutate the table only via the delta log:
+        // drop one snapshot and churn so GC relocates pinned pages.
+        f.snapshot_persist().unwrap();
+        f.snapshot_drop("doomed").unwrap();
+        f.trim(Lpn(0), 16).unwrap();
+        let logical = f.capacity_pages();
+        for round in 0..6u64 {
+            for i in 24..logical / 2 {
+                f.write(Lpn(i), &vec![((i + round) % 251) as u8; f.page_size()]).unwrap();
+            }
+        }
+        f.flush().unwrap();
+        let live_before = f.snapshot_table().count();
+        let mut f2 = Ftl::open(cfg, f.into_nand()).unwrap();
+        assert_eq!(f2.snapshot_table().count(), live_before);
+        let list = f2.snapshot_list().unwrap();
+        assert_eq!(list.len(), 1);
+        assert_eq!(list[0].name, "keep");
+        let mut buf = vec![0u8; f2.page_size()];
+        for off in 0..16u64 {
+            f2.snapshot_read("keep", off, &mut buf).unwrap();
+            assert!(
+                buf.iter().all(|&b| b == (off + 10) as u8),
+                "offset {off} diverged across recovery"
+            );
+        }
+        // Ids keep advancing monotonically after recovery.
+        let id = f2.snapshot_create("after", Lpn(0), 4).unwrap();
+        assert!(id >= 2, "recovered next_id must not reuse dropped ids");
+        f2.check_invariants();
+    }
+
+    #[test]
+    fn snapshot_clone_survives_crash_after_log_flush() {
+        // A clone's deltas commit atomically in the log; a crash right
+        // after the command returns must preserve the whole clone.
+        let cfg = FtlConfig::for_capacity_with(1 << 20, 0.5, 4096, 16, NandTiming::zero());
+        let mut f = Ftl::new(cfg.clone());
+        for i in 0..8u64 {
+            f.write(Lpn(i), &pagev(42, &f)).unwrap();
+        }
+        f.snapshot_create("src", Lpn(0), 8).unwrap();
+        f.snapshot_persist().unwrap();
+        f.snapshot_clone("src", 0, Lpn(200), 8).unwrap();
+        // Crash: no flush/checkpoint after the clone.
+        let mut f2 = Ftl::open(cfg, f.into_nand()).unwrap();
+        for i in 0..8u64 {
+            assert_eq!(read_byte(&mut f2, Lpn(200 + i)), 42, "clone page {i} lost");
+        }
+        f2.check_invariants();
+    }
+
+    #[test]
+    fn unused_snapshot_path_is_bit_identical() {
+        // Off-path guarantee: a device that never issues a snapshot
+        // command keeps the empty-table fast paths — deterministic clock
+        // and stats across identical runs, with every snapshot counter
+        // still zero. (The recorded gc_pipeline goldens pin bit-identity
+        // against the pre-snapshot implementation.)
+        let cfg = FtlConfig::for_capacity_with(1 << 20, 0.5, 4096, 16, NandTiming::default());
+        let mut a = Ftl::new(cfg.clone());
+        let mut b = Ftl::new(cfg);
+        mixed_workload(&mut a);
+        mixed_workload(&mut b);
+        assert_eq!(a.clock().now_ns(), b.clock().now_ns());
+        assert_eq!(a.stats(), b.stats());
+        let s = a.stats();
+        assert_eq!(
+            (s.snapshot_creates, s.snapshot_clones, s.snapshot_reads),
+            (0, 0, 0),
+            "mixed workload must not touch the snapshot path"
+        );
+        assert!(a.snapshot_table().is_empty());
+    }
+
+    #[test]
+    fn snapshot_gauges_exported() {
+        let mut f = tiny();
+        for i in 0..8u64 {
+            f.write(Lpn(i), &pagev(1, &f)).unwrap();
+        }
+        f.snapshot_create("g", Lpn(0), 8).unwrap();
+        f.snapshot_clone("g", 0, Lpn(100), 8).unwrap();
+        let mut buf = vec![0u8; f.page_size()];
+        f.snapshot_read("g", 0, &mut buf).unwrap();
+        let t = f.telemetry_snapshot().unwrap();
+        assert_eq!(t.snapshots.live, 1);
+        assert_eq!(t.snapshots.frozen_pages, 8);
+        assert_eq!(t.snapshots.pinned_pages, 8);
+        assert_eq!(t.snapshots.creates, 1);
+        assert_eq!(t.snapshots.clones, 1);
+        assert_eq!(t.snapshots.clone_pages, 8);
+        assert_eq!(t.snapshots.reads, 1);
+        let text = t.to_prometheus();
+        assert!(text.contains("share_snapshots_live 1"));
+        assert!(text.contains("share_snapshot_clone_pages_total 8"));
+    }
+
+    #[test]
+    fn snapshot_wa_ledger_still_sums_exactly() {
+        // The pinned invariant, under snapshot churn: every background
+        // page program is blamed on exactly one stream, and the blamed
+        // totals equal copyback_pages + meta_page_writes. FIFO selection
+        // forces the pinned blocks through GC.
+        let mut cfg = FtlConfig::for_capacity_with(1 << 20, 0.5, 4096, 16, NandTiming::zero());
+        cfg.gc_policy = crate::config::GcPolicy::Fifo;
+        let mut f = Ftl::new(cfg);
+        let logical = f.capacity_pages();
+        for i in 0..32u64 {
+            f.write(Lpn(i), &pagev((i % 251) as u8, &f)).unwrap();
+            f.write(Lpn(96 + i), &pagev(0xEE, &f)).unwrap();
+        }
+        f.snapshot_create("w", Lpn(0), 32).unwrap();
+        f.snapshot_clone("w", 0, Lpn(64), 32).unwrap();
+        f.trim(Lpn(0), 32).unwrap();
+        // Half the clone dies too, leaving those frozen pages pinned-only.
+        f.trim(Lpn(64), 16).unwrap();
+        for round in 0..16u64 {
+            for i in 96..logical / 2 {
+                f.write(Lpn(i), &vec![((i + round) % 251) as u8; f.page_size()]).unwrap();
+            }
+        }
+        f.snapshot_drop("w").unwrap();
+        for round in 0..8u64 {
+            for i in 96..logical / 2 {
+                f.write(Lpn(i), &vec![((i + round) % 7) as u8; f.page_size()]).unwrap();
+            }
+        }
+        f.flush().unwrap();
+        let s = f.stats();
+        assert!(s.gc_events > 0 && s.snapshot_pinned_relocations > 0);
+        let t = f.telemetry().snapshot();
+        let bg_gc: u64 = t.wa.iter().map(|w| w.bg_gc).sum();
+        let bg_log: u64 = t.wa.iter().map(|w| w.bg_log).sum();
+        let bg_ckpt: u64 = t.wa.iter().map(|w| w.bg_ckpt).sum();
+        assert_eq!(bg_gc, s.copyback_pages, "GC blame must sum to copyback pages");
+        assert_eq!(
+            bg_log + bg_ckpt,
+            s.meta_page_writes,
+            "log+ckpt blame must sum to meta page writes"
+        );
         f.check_invariants();
     }
 }

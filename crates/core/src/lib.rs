@@ -52,10 +52,12 @@ mod mapping;
 mod pool;
 mod queue;
 mod shared;
+pub mod snapshot;
 mod stats;
 mod types;
 mod util;
 
+pub use ckpt::{checkpoint_pages, max_snapshot_bytes, snapshot_section_pages};
 pub use config::{
     FtlConfig, GcPolicy, PlacementConfig, CLASS_COLD, CLASS_DEFAULT, CLASS_SHORT, DELTA_BYTES,
     META_PAGE_HEADER,
@@ -68,6 +70,7 @@ pub use mapping::{MappingTable, RevMap, RevMapPolicy, Unmapped};
 pub use pool::{BlockPool, BlockState, WritePoint};
 pub use queue::{CmdOutput, CmdTag, Completion, QueuedCmd};
 pub use shared::SharedDevice;
+pub use snapshot::{SnapshotInfo, SnapshotTable};
 pub use stats::DeviceStats;
 pub use types::{Lpn, SharePair};
 pub use util::crc32c;

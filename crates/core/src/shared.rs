@@ -109,6 +109,40 @@ impl<D: BlockDevice> BlockDevice for SharedDevice<D> {
         self.lock().share_batch_limit()
     }
 
+    fn supports_snapshot(&self) -> bool {
+        self.lock().supports_snapshot()
+    }
+
+    fn snapshot_create(&mut self, name: &str, start: Lpn, len: u64) -> Result<u32, FtlError> {
+        self.lock().snapshot_create(name, start, len)
+    }
+
+    fn snapshot_drop(&mut self, name: &str) -> Result<(), FtlError> {
+        self.lock().snapshot_drop(name)
+    }
+
+    fn snapshot_clone(
+        &mut self,
+        name: &str,
+        src_offset: u64,
+        dst: Lpn,
+        len: u64,
+    ) -> Result<u64, FtlError> {
+        self.lock().snapshot_clone(name, src_offset, dst, len)
+    }
+
+    fn snapshot_read(&mut self, name: &str, offset: u64, buf: &mut [u8]) -> Result<(), FtlError> {
+        self.lock().snapshot_read(name, offset, buf)
+    }
+
+    fn snapshot_list(&self) -> Result<Vec<crate::snapshot::SnapshotInfo>, FtlError> {
+        self.lock().snapshot_list()
+    }
+
+    fn snapshot_persist(&mut self) -> Result<(), FtlError> {
+        self.lock().snapshot_persist()
+    }
+
     fn supports_queue(&self) -> bool {
         self.lock().supports_queue()
     }

@@ -25,6 +25,21 @@ pub struct DeviceStats {
     pub share_commands: u64,
     /// Individual LPN pairs remapped by SHARE.
     pub shared_pages: u64,
+    /// Snapshots created (`snapshot_create` commands).
+    pub snapshot_creates: u64,
+    /// Snapshots dropped (`snapshot_drop` commands).
+    pub snapshot_drops: u64,
+    /// Clone commands materialized from snapshots (a ranged clone counts
+    /// once).
+    pub snapshot_clones: u64,
+    /// Individual pages remapped into the live map by clones.
+    pub snapshot_clone_pages: u64,
+    /// Point-in-time page reads served from frozen snapshot entries.
+    pub snapshot_reads: u64,
+    /// GC relocations of snapshot-pinned pages that were already dead in
+    /// the live map (pure pin keep-alive copyback; also counted in
+    /// `copyback_pages`).
+    pub snapshot_pinned_relocations: u64,
     /// Garbage-collection victim selections.
     pub gc_events: u64,
     /// Valid pages copied back during GC.
@@ -82,6 +97,13 @@ impl DeviceStats {
             trims: self.trims - earlier.trims,
             share_commands: self.share_commands - earlier.share_commands,
             shared_pages: self.shared_pages - earlier.shared_pages,
+            snapshot_creates: self.snapshot_creates - earlier.snapshot_creates,
+            snapshot_drops: self.snapshot_drops - earlier.snapshot_drops,
+            snapshot_clones: self.snapshot_clones - earlier.snapshot_clones,
+            snapshot_clone_pages: self.snapshot_clone_pages - earlier.snapshot_clone_pages,
+            snapshot_reads: self.snapshot_reads - earlier.snapshot_reads,
+            snapshot_pinned_relocations: self.snapshot_pinned_relocations
+                - earlier.snapshot_pinned_relocations,
             gc_events: self.gc_events - earlier.gc_events,
             copyback_pages: self.copyback_pages - earlier.copyback_pages,
             gc_erases: self.gc_erases - earlier.gc_erases,
@@ -143,6 +165,12 @@ mod tests {
             trims: 6,
             share_commands: 7,
             shared_pages: 8,
+            snapshot_creates: 24,
+            snapshot_drops: 25,
+            snapshot_clones: 26,
+            snapshot_clone_pages: 27,
+            snapshot_reads: 28,
+            snapshot_pinned_relocations: 29,
             gc_events: 9,
             copyback_pages: 10,
             gc_erases: 11,

@@ -686,6 +686,54 @@ impl<D: BlockDevice> CouchStore<D> {
         Ok(())
     }
 
+    // ----- online backup ------------------------------------------------------
+
+    /// Whether the underlying device supports device-level snapshots.
+    pub fn supports_snapshot(&self) -> bool {
+        self.fs.supports_snapshot()
+    }
+
+    /// Begin an online backup: commit pending state so the last header is
+    /// durable, then freeze the database file as snapshot `snap` — zero
+    /// NAND page programs, O(mapped pages) of device RAM work. Foreground
+    /// saves and commits continue normally afterwards; the frozen image
+    /// stays consistent (copy-on-write at the FTL level). Returns the
+    /// number of frozen blocks.
+    pub fn begin_backup(&mut self, snap: &str) -> Result<u64, CouchError> {
+        let span = self.root_span("begin_backup");
+        let r = self.begin_backup_inner(snap);
+        self.end_span(span, r.is_ok());
+        r
+    }
+
+    fn begin_backup_inner(&mut self, snap: &str) -> Result<u64, CouchError> {
+        self.commit()?;
+        let name = self.name.clone();
+        self.fs.vfs_snapshot(&name, snap)?;
+        Ok(self.tail)
+    }
+
+    /// Finish an online backup: materialize snapshot `snap` as standalone
+    /// file `dst` (no data copied) and release the snapshot. The backup
+    /// file opens like any database — its newest intact header is the
+    /// state at `begin_backup` time, regardless of foreground writes since.
+    pub fn finish_backup(&mut self, snap: &str, dst: &str) -> Result<(), CouchError> {
+        let span = self.root_span("finish_backup");
+        let r = self.fs.vfs_clone(snap, dst).map(|_| ());
+        let drop_r = self.fs.vfs_snapshot_drop(snap);
+        self.end_span(span, r.is_ok());
+        r?;
+        drop_r?;
+        Ok(())
+    }
+
+    /// One-shot consistent backup of the committed database into `dst`.
+    pub fn backup(&mut self, dst: &str) -> Result<(), CouchError> {
+        let snap = format!("{dst}-src");
+        self.begin_backup(&snap)?;
+        self.finish_backup(&snap, dst)
+    }
+
     // ----- wandering-tree update ----------------------------------------------
 
     /// Copy-on-write update of one of the two indexes; returns the new

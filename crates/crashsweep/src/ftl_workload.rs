@@ -160,18 +160,22 @@ pub(crate) fn verify_recovered(rec: &mut Ftl, trace: &RunTrace, cfg: &FtlConfig)
     }
 
     // 2. Recovery cost bound: exactly one recovery, whose only programs
-    //    are the closing checkpoint (header + table pages + commit page).
+    //    are the closing checkpoint (header + table pages + snapshot
+    //    section + commit page). The snapshot section is sized from the
+    //    recovered table itself: zero pages for images that never used
+    //    snapshots, so the historical `table_pages + 2` bound is intact.
+    let snap_bytes = rec.snapshot_table().encode().len();
     let s = rec.stats();
     if s.recoveries != 1 {
         return Err(format!("expected 1 recovery in stats, found {}", s.recoveries));
     }
     let table_pages =
         (cfg.logical_pages * 4).div_ceil(cfg.geometry.page_size as u64);
-    if s.recovery_page_writes != table_pages + 2 {
+    let ckpt_pages = table_pages + 2 + share_core::snapshot_section_pages(cfg, snap_bytes) as u64;
+    if s.recovery_page_writes != ckpt_pages {
         return Err(format!(
             "recovery wrote {} pages, expected exactly the closing checkpoint ({})",
-            s.recovery_page_writes,
-            table_pages + 2
+            s.recovery_page_writes, ckpt_pages
         ));
     }
 

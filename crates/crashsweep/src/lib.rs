@@ -33,12 +33,14 @@ pub mod ftl_workload;
 pub mod gcpipe_workload;
 pub mod innodb_workload;
 pub mod queued_workload;
+pub mod snapshot_workload;
 pub mod sqlite_workload;
 pub mod stream_workload;
 
 pub use ftl_workload::{FtlMixedWorkload, FtlTraceWorkload};
 pub use gcpipe_workload::FtlGcPipelineWorkload;
 pub use queued_workload::{FtlQueuedWorkload, QueuedCaseOutcome};
+pub use snapshot_workload::FtlSnapshotWorkload;
 pub use innodb_workload::InnodbShareWorkload;
 pub use sqlite_workload::SqliteShareWorkload;
 pub use stream_workload::FtlStreamWorkload;

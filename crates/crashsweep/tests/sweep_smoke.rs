@@ -13,7 +13,8 @@
 use nand_sim::FaultMode;
 use share_crashsweep::{
     deep_point_cap, sweep, CrashWorkload, FtlGcPipelineWorkload, FtlMixedWorkload,
-    FtlQueuedWorkload, FtlStreamWorkload, InnodbShareWorkload, SqliteShareWorkload,
+    FtlQueuedWorkload, FtlSnapshotWorkload, FtlStreamWorkload, InnodbShareWorkload,
+    SqliteShareWorkload,
 };
 
 /// Stride that visits about `target` points of a `total`-point space.
@@ -50,6 +51,10 @@ fn smoke_sweep_covers_200_points_across_the_stack() {
     // across commands, so crashes land at copyback submission/completion
     // boundaries with relocations (and buffered deltas) in flight.
     visited += run_smoke(&FtlGcPipelineWorkload::new(42, 600, 2), 60);
+    // Snapshot lifecycle: crash points around RAM-only creates, atomic
+    // clone delta flushes, buffered drop tombstones and pinned-page GC
+    // (the snapshot/clone subsystem tentpole).
+    visited += run_smoke(&FtlSnapshotWorkload::new(42, 300), 60);
     assert!(
         visited >= 200,
         "smoke tier must visit at least 200 distinct crash points, got {visited}"
@@ -65,13 +70,14 @@ fn smoke_sweep_covers_200_points_across_the_stack() {
 #[test]
 fn deep_sweep_soak() {
     let Some(cap) = deep_point_cap() else { return };
-    let workloads: [Box<dyn CrashWorkload>; 6] = [
+    let workloads: [Box<dyn CrashWorkload>; 7] = [
         Box::new(FtlMixedWorkload::new(1009, 800)),
         Box::new(SqliteShareWorkload::new(1013, 32, 25)),
         Box::new(InnodbShareWorkload::new(1019, 48, 150)),
         Box::new(FtlQueuedWorkload::new(1021, 800, 4)),
         Box::new(FtlStreamWorkload::new(1031, 800)),
         Box::new(FtlGcPipelineWorkload::new(1033, 800, 2)),
+        Box::new(FtlSnapshotWorkload::new(1039, 800)),
     ];
     for w in &workloads {
         let total = w.crash_points();

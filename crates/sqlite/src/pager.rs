@@ -625,6 +625,61 @@ impl<D: BlockDevice> MiniSqlite<D> {
         Ok(())
     }
 
+    // --- snapshots / instant clone ---------------------------------------------
+
+    /// Whether the underlying device supports device-level snapshots.
+    pub fn supports_snapshot(&self) -> bool {
+        self.fs.supports_snapshot()
+    }
+
+    /// Freeze the committed database image under snapshot `name` — the
+    /// paper-style "instant" operation: O(mapped pages) of RAM work, zero
+    /// NAND page programs. WAL contents are checkpointed into the database
+    /// first so the frozen file is self-contained.
+    pub fn snapshot_db(&mut self, name: &str) -> Result<(), SqliteError> {
+        let span = self.root_span("snapshot_db");
+        let r = self.snapshot_db_inner(name);
+        self.end_span(span, r.is_ok());
+        r
+    }
+
+    fn snapshot_db_inner(&mut self, name: &str) -> Result<(), SqliteError> {
+        self.barrier()?;
+        if self.cfg.mode == JournalMode::Wal && !self.wal_index.is_empty() {
+            self.checkpoint_wal()?;
+        }
+        self.fs.fsync(self.db)?;
+        self.fs.vfs_snapshot("main.db", name)?;
+        Ok(())
+    }
+
+    /// Release snapshot `name` (clones made from it stay valid).
+    pub fn drop_snapshot(&mut self, name: &str) -> Result<(), SqliteError> {
+        self.fs.vfs_snapshot_drop(name)?;
+        Ok(())
+    }
+
+    /// Materialize snapshot `name` as a standalone writable database file
+    /// `dst` without copying data (copy-on-write at the FTL level).
+    pub fn clone_from_snapshot(&mut self, name: &str, dst: &str) -> Result<(), SqliteError> {
+        let span = self.root_span("clone_db");
+        let r = self.fs.vfs_clone(name, dst).map(|_| ());
+        self.end_span(span, r.is_ok());
+        r.map_err(Into::into)
+    }
+
+    /// Instant clone: snapshot the committed database, materialize it as
+    /// file `dst`, release the snapshot. The clone keeps the frozen pages
+    /// alive through its own references.
+    pub fn instant_clone(&mut self, dst: &str) -> Result<(), SqliteError> {
+        let snap = format!("{dst}-src");
+        self.snapshot_db(&snap)?;
+        let r = self.clone_from_snapshot(&snap, dst);
+        let drop_r = self.drop_snapshot(&snap);
+        r?;
+        drop_r
+    }
+
     // --- startup scan ---------------------------------------------------------------
 
     fn load_database(&mut self) -> Result<(), SqliteError> {

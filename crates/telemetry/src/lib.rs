@@ -382,6 +382,7 @@ impl Telemetry {
             now_ns: 0,
             queue: QueueGauges::default(),
             placement: PlacementGauges::default(),
+            snapshots: SnapshotGauges::default(),
             events: self.ring.events(),
         }
     }
@@ -505,6 +506,31 @@ pub struct PlacementGauges {
     pub classes: Vec<PlacementClassGauge>,
 }
 
+/// Device-snapshot gauges in a [`Snapshot`]. Filled by a snapshot-capable
+/// device (the FTL owns the table); all zero for bare `Telemetry`
+/// snapshots and devices without the snapshot command family.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SnapshotGauges {
+    /// Live (not yet dropped) device snapshots at snapshot time.
+    pub live: u64,
+    /// Frozen logical-page entries across all live snapshots.
+    pub frozen_pages: u64,
+    /// Distinct physical pages pinned against GC reclaim.
+    pub pinned_pages: u64,
+    /// Total snapshots created over the device's lifetime.
+    pub creates: u64,
+    /// Total snapshots dropped.
+    pub drops: u64,
+    /// Total clone commands materialized.
+    pub clones: u64,
+    /// Total pages remapped into the live map by clones.
+    pub clone_pages: u64,
+    /// Total point-in-time page reads served from snapshots.
+    pub reads: u64,
+    /// GC relocations that existed only to keep pinned pages alive.
+    pub pinned_relocations: u64,
+}
+
 /// One NAND unit's utilization in a [`Snapshot`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct UnitUtilization {
@@ -539,6 +565,9 @@ pub struct Snapshot {
     /// Multi-stream placement gauges (filled by the device; default —
     /// disabled, no classes — for bare `Telemetry` snapshots).
     pub placement: PlacementGauges,
+    /// Device-snapshot gauges (filled by a snapshot-capable device; all
+    /// zero otherwise).
+    pub snapshots: SnapshotGauges,
     /// Retained command events, oldest first.
     pub events: Vec<CommandEvent>,
 }
@@ -669,6 +698,17 @@ impl Snapshot {
             ("gc_budget_deferrals", count(self.placement.gc_budget_deferrals)),
             ("classes", placement_classes),
         ]);
+        let snapshots = Json::obj(vec![
+            ("live", count(self.snapshots.live)),
+            ("frozen_pages", count(self.snapshots.frozen_pages)),
+            ("pinned_pages", count(self.snapshots.pinned_pages)),
+            ("creates", count(self.snapshots.creates)),
+            ("drops", count(self.snapshots.drops)),
+            ("clones", count(self.snapshots.clones)),
+            ("clone_pages", count(self.snapshots.clone_pages)),
+            ("reads", count(self.snapshots.reads)),
+            ("pinned_relocations", count(self.snapshots.pinned_relocations)),
+        ]);
         Json::obj(vec![
             ("commands", count(self.commands)),
             ("now_ns", count(self.now_ns)),
@@ -678,6 +718,7 @@ impl Snapshot {
             ("units", units),
             ("queue", queue),
             ("placement", placement),
+            ("snapshots", snapshots),
             ("events", events),
         ])
     }

@@ -144,6 +144,39 @@ pub fn render(snap: &Snapshot) -> String {
         }
     }
 
+    if snap.snapshots.creates > 0 || snap.snapshots.live > 0 {
+        out.push_str("# HELP share_snapshots_live Live device snapshots.\n");
+        out.push_str("# TYPE share_snapshots_live gauge\n");
+        out.push_str(&format!("share_snapshots_live {}\n", snap.snapshots.live));
+        out.push_str("# HELP share_snapshot_frozen_pages Frozen logical-page entries across live snapshots.\n");
+        out.push_str("# TYPE share_snapshot_frozen_pages gauge\n");
+        out.push_str(&format!("share_snapshot_frozen_pages {}\n", snap.snapshots.frozen_pages));
+        out.push_str("# HELP share_snapshot_pinned_pages Distinct physical pages pinned against GC reclaim.\n");
+        out.push_str("# TYPE share_snapshot_pinned_pages gauge\n");
+        out.push_str(&format!("share_snapshot_pinned_pages {}\n", snap.snapshots.pinned_pages));
+        out.push_str("# HELP share_snapshot_creates_total Snapshots created.\n");
+        out.push_str("# TYPE share_snapshot_creates_total counter\n");
+        out.push_str(&format!("share_snapshot_creates_total {}\n", snap.snapshots.creates));
+        out.push_str("# HELP share_snapshot_drops_total Snapshots dropped.\n");
+        out.push_str("# TYPE share_snapshot_drops_total counter\n");
+        out.push_str(&format!("share_snapshot_drops_total {}\n", snap.snapshots.drops));
+        out.push_str("# HELP share_snapshot_clones_total Clone commands materialized from snapshots.\n");
+        out.push_str("# TYPE share_snapshot_clones_total counter\n");
+        out.push_str(&format!("share_snapshot_clones_total {}\n", snap.snapshots.clones));
+        out.push_str("# HELP share_snapshot_clone_pages_total Pages remapped into the live map by clones.\n");
+        out.push_str("# TYPE share_snapshot_clone_pages_total counter\n");
+        out.push_str(&format!("share_snapshot_clone_pages_total {}\n", snap.snapshots.clone_pages));
+        out.push_str("# HELP share_snapshot_reads_total Point-in-time page reads served from snapshots.\n");
+        out.push_str("# TYPE share_snapshot_reads_total counter\n");
+        out.push_str(&format!("share_snapshot_reads_total {}\n", snap.snapshots.reads));
+        out.push_str("# HELP share_snapshot_pinned_relocations_total GC relocations done only to keep pinned pages alive.\n");
+        out.push_str("# TYPE share_snapshot_pinned_relocations_total counter\n");
+        out.push_str(&format!(
+            "share_snapshot_pinned_relocations_total {}\n",
+            snap.snapshots.pinned_relocations
+        ));
+    }
+
     if !snap.units.is_empty() {
         out.push_str("# HELP share_unit_busy_ns_total Simulated busy time per NAND channel/way.\n");
         out.push_str("# TYPE share_unit_busy_ns_total counter\n");

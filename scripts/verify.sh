@@ -54,6 +54,14 @@ echo "== aging smoke (multi-streamed placement on/off WA comparison) =="
 echo "== gc pipeline smoke (steady-state aged device, stall off/on) =="
 ./target/release/bench_gc
 
+# Snapshot smoke tier: clone a 64 MiB aged mini-SQLite database through
+# the device snapshot subsystem and record clone latency, copy-on-write
+# WA and point-in-time read p50/p99 into BENCH_share.json
+# (snapshot_clone). Fails unless the snapshot create programs zero NAND
+# pages and the clone programs far fewer pages than it maps (zero-copy).
+echo "== snapshot smoke (instant clone of an aged mini-SQLite DB) =="
+./target/release/bench_snapshot
+
 # Metrics smoke tier: run a short YCSB workload with full telemetry, dump
 # both exporter formats (Prometheus text + JSON), re-parse the JSON dump,
 # and assert the telemetry op counters equal the DeviceStats counters —

@@ -207,6 +207,83 @@ fn wa_ledger_sums_exactly_with_pipelined_relocation_in_flight() {
 }
 
 #[test]
+fn wa_ledger_sums_exactly_with_snapshots_pinning_pages() {
+    // Snapshots add a third kind of background traffic: GC relocating
+    // pinned-only pages (dead in the live map, frozen in a snapshot) and
+    // clone/drop deltas through the log. The blame ledger must keep
+    // summing exactly to the device counters while a snapshot pins pages
+    // across GC churn, while a clone CoW-materializes under its own
+    // stream, and after the drop settles the unpinned garbage.
+    use share_repro::core::{GcPolicy, Lpn};
+    let pages: u64 = 1024;
+    let mut cfg = FtlConfig::for_capacity_with(pages * 4096, 0.12, 4096, 32, NandTiming::zero())
+        .with_telemetry(TelemetryConfig::full());
+    // FIFO victims: blocks whose pages are only snapshot-pinned still
+    // rotate through GC, forcing pinned relocations (greedy would park
+    // them forever as "fully valid").
+    cfg.gc_policy = GcPolicy::Fifo;
+    let mut dev = Ftl::new(cfg);
+    let data = dev.stream_intern("data");
+    let cloner = dev.stream_intern("clone");
+
+    dev.set_stream(data);
+    // Permuted seed order scatters the to-be-frozen LPNs across blocks:
+    // a block holding only frozen pages stays fully effective-valid
+    // (live + pinned-dead) and would never be a victim, so each must
+    // share its block with churnable neighbors to keep GC interested.
+    for i in 0..pages {
+        dev.write(Lpn((i * 389) % pages), &[7u8; 4096]).unwrap();
+    }
+    dev.snapshot_create("base", Lpn(0), 256).unwrap();
+
+    for round in 0..8u64 {
+        for i in 0..pages {
+            let lpn = (i * 173 + round * 311) % pages;
+            if round % (1 + lpn % 3) != 0 {
+                continue;
+            }
+            dev.write(Lpn(lpn), &[(round + 2) as u8; 4096]).unwrap();
+            if i % 128 == 127 {
+                let stats = dev.stats();
+                let snap = dev.telemetry_snapshot().unwrap();
+                assert_ledger_sums("snapshot-ftl", &snap, &stats);
+            }
+        }
+        if round == 3 {
+            // Mid-churn zero-copy clone: its mapping deltas (and the CoW
+            // garbage its dst overwrites leave behind) bill to `clone`.
+            dev.set_stream(cloner);
+            dev.snapshot_clone("base", 0, Lpn(512), 256).unwrap();
+            dev.set_stream(data);
+        }
+        if round == 6 {
+            dev.set_stream(cloner);
+            dev.snapshot_drop("base").unwrap();
+            dev.set_stream(data);
+        }
+        dev.flush().unwrap();
+    }
+
+    let stats = dev.stats();
+    let snap = dev.telemetry_snapshot().unwrap();
+    assert_ledger_sums("snapshot-ftl", &snap, &stats);
+    assert!(stats.copyback_pages > 0, "storm never forced a relocation");
+    assert!(
+        stats.snapshot_pinned_relocations > 0,
+        "no pinned-only page was ever relocated by GC (copyback={})",
+        stats.copyback_pages
+    );
+    assert_eq!(stats.snapshot_clone_pages, 256);
+    // The cloning stream owns real blame rows: its clone deltas flushed
+    // through the log, and the garbage its drop unpinned fed GC.
+    let clone_row = snap.wa.iter().find(|w| w.label == "clone").unwrap();
+    assert!(
+        clone_row.bg_log > 0,
+        "clone/drop deltas produced no log blame for the clone stream"
+    );
+}
+
+#[test]
 fn dwb_batch_flush_events_carry_the_doublewrite_stream() {
     // Regression for batched-path attribution: the double-write buffer is
     // flushed with one `write_batch` command, and every sub-op of that
