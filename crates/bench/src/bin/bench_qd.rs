@@ -71,7 +71,11 @@ fn run(qd: usize) -> RunOut {
     let cfg = FtlConfig::for_capacity_with(64 << 20, 0.25, PAGE, 128, NandTiming::default())
         .with_parallelism(CHANNELS, 1)
         .with_queue_depth(qd)
-        .with_telemetry(TelemetryConfig { histograms: true, ring_capacity: 0, trace: false });
+        .with_telemetry(TelemetryConfig {
+            histograms: true,
+            ring_capacity: 0,
+            ..TelemetryConfig::default()
+        });
     let mut dev = Ftl::new(cfg);
     let clock = dev.clock().clone();
     let t0 = clock.now_ns();

@@ -1,0 +1,38 @@
+//! Baseline-freshness gate for `scripts/verify.sh` (runs last).
+//!
+//! Every verify tier that records a scenario into `BENCH_share.json`
+//! stamps it with the recording binary's git revision. This gate turns
+//! the long-standing staleness *warning* into a failure: if any of the
+//! scenarios the verify tiers just (re-)recorded is missing or carries a
+//! stamp from a different revision than HEAD, the build is comparing
+//! itself to baselines an older binary produced, and verify must say so
+//! loudly instead of in a footnote.
+//!
+//! Escape hatch: `SHARE_ALLOW_STALE=1` downgrades the failure back to a
+//! warning (local iteration without re-running every bench tier).
+//! Outside a git checkout nothing can be stamped and the gate passes.
+
+use share_bench::require_fresh;
+
+/// One scenario per verify tier that records a baseline, in tier order.
+const VERIFY_SCENARIOS: &[&str] = &[
+    "channels_write_smoke",
+    "qd_latency_smoke",
+    "aging_placement",
+    "gc_pipeline",
+    "snapshot_clone",
+    "health_aging",
+    "trace_smoke",
+];
+
+fn main() {
+    match require_fresh(VERIFY_SCENARIOS) {
+        Ok(()) => {
+            println!("bench_stale_gate: OK ({} verify baselines fresh at HEAD)", VERIFY_SCENARIOS.len());
+        }
+        Err(e) => {
+            eprintln!("FAIL: {e}");
+            std::process::exit(1);
+        }
+    }
+}

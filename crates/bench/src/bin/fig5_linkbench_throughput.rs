@@ -7,9 +7,9 @@
 
 use mini_innodb::FlushMode;
 use share_bench::{
-    count, device_json, f, maybe_dump_metrics, maybe_dump_trace, num, print_table,
-    record_scenario, run_linkbench, s, scale_from_env, scaled, telemetry_from_env, Json,
-    LinkBenchRun,
+    count, device_json, f, maybe_dump_metrics, maybe_dump_monitor, maybe_dump_trace, num,
+    print_table, record_scenario, run_linkbench, s, scale_from_env, scaled, telemetry_from_env,
+    Json, LinkBenchRun,
 };
 
 fn base() -> LinkBenchRun {
@@ -36,6 +36,9 @@ fn main() {
                 // SHARE_TRACE=1: the full txn->VFS->FTL->NAND span tree of
                 // the same runs as Chrome trace_event JSON.
                 maybe_dump_trace(&format!("fig5a_{mode:?}"), &r.tracer);
+                // SHARE_MONITOR=1: the flight recorder's per-epoch time
+                // series (counters, WA blame, queue depth, alerts).
+                maybe_dump_monitor(&format!("fig5a_{mode:?}"), r.monitor.as_ref());
             }
             tps.push(r.tps);
         }

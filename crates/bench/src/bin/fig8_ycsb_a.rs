@@ -6,8 +6,9 @@
 
 use mini_couch::CouchMode;
 use share_bench::{
-    count, device_json, f, maybe_dump_metrics, maybe_dump_trace, mb, num, print_table,
-    record_scenario, run_ycsb, s, scale_from_env, scaled, telemetry_from_env, Json, YcsbRun,
+    count, device_json, f, maybe_dump_metrics, maybe_dump_monitor, maybe_dump_trace, mb, num,
+    print_table, record_scenario, run_ycsb, s, scale_from_env, scaled, telemetry_from_env, Json,
+    YcsbRun,
 };
 use share_workloads::YcsbWorkload;
 
@@ -42,6 +43,9 @@ fn main() {
             // SHARE_TRACE=1: span trees of the same runs as Chrome JSON.
             maybe_dump_trace("fig8_batch1_Original", &orig.tracer);
             maybe_dump_trace("fig8_batch1_Share", &share.tracer);
+            // SHARE_MONITOR=1: per-epoch flight-recorder time series.
+            maybe_dump_monitor("fig8_batch1_Original", orig.monitor.as_ref());
+            maybe_dump_monitor("fig8_batch1_Share", share.monitor.as_ref());
         }
         rows.push(vec![
             batch.to_string(),

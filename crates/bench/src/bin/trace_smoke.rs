@@ -1,10 +1,12 @@
 //! Trace smoke check (verify.sh tier): run a short YCSB workload twice —
-//! tracing off and tracing on — assert the simulation is bit-identical
-//! either way, export the span tree as Chrome `trace_event` JSON, re-parse
-//! it through the repo's own JSON layer, and check well-formedness:
-//! monotonic timestamps, non-negative durations, every event's pid/tid
-//! announced by a metadata record, and every parent reference resolvable.
-//! The wall-clock overhead of tracing is recorded into `BENCH_share.json`.
+//! telemetry off and tracing+monitoring on — assert the simulation is
+//! bit-identical either way, export the span tree as Chrome `trace_event`
+//! JSON, re-parse it through the repo's own JSON layer, and check
+//! well-formedness: monotonic timestamps, non-negative durations, every
+//! event's pid/tid announced by a metadata record, every parent reference
+//! resolvable, and the flight recorder's per-unit busy-time series
+//! present as a `unit_epoch_busy_ns` metadata record. The wall-clock
+//! overhead of tracing is recorded into `BENCH_share.json`.
 
 use share_bench::{dump_trace, num, parse, record_scenario, run_ycsb, Json, YcsbResult, YcsbRun};
 use share_core::TelemetryConfig;
@@ -28,7 +30,9 @@ fn main() {
     let off = run(TelemetryConfig::default());
     let wall_off = wall.elapsed().as_secs_f64();
     let wall = std::time::Instant::now();
-    let on = run(TelemetryConfig::tracing());
+    // Tracing plus the epoch sampler: both are observation-only, so the
+    // run must stay bit-identical to the bare one.
+    let on = run(TelemetryConfig { trace: true, ..TelemetryConfig::monitoring(10_000_000) });
     let wall_on = wall.elapsed().as_secs_f64();
 
     // Tracing must observe, never perturb: same simulated time, same
@@ -38,6 +42,8 @@ fn main() {
         "tracing changed the simulated timeline"
     );
     assert_eq!(off.device_total, on.device_total, "tracing changed device traffic");
+    let mon = on.monitor.as_ref().expect("monitoring was on");
+    assert!(mon.sealed > 0, "no epochs sealed during the traced run");
     let spans = on.tracer.span_count();
     assert!(spans > 0, "tracing was on but recorded no spans");
     assert_eq!(off.tracer.span_count(), 0, "tracing-off run recorded spans");
@@ -58,6 +64,7 @@ fn main() {
     let mut parents: Vec<u64> = Vec::new();
     let mut last_ts = f64::MIN;
     let mut x_events = 0u64;
+    let mut unit_epoch_records = 0u64;
     for ev in events {
         let ph = ev.get("ph").and_then(Json::as_str).expect("event phase");
         let pid = ev.get("pid").and_then(Json::as_u64).expect("event pid");
@@ -71,6 +78,31 @@ fn main() {
                     "thread_name" => {
                         let tid = ev.get("tid").and_then(Json::as_u64).expect("meta tid");
                         named.insert((pid, tid));
+                    }
+                    "unit_epoch_busy_ns" => {
+                        // Flight-recorder utilization series: one column
+                        // of busy-ns deltas per NAND unit, all exactly as
+                        // long as the epoch-end timestamp row.
+                        unit_epoch_records += 1;
+                        let args = ev.get("args").expect("utilization args");
+                        let ends = args
+                            .get("epoch_end_ns")
+                            .and_then(Json::as_array)
+                            .expect("epoch_end_ns array");
+                        assert!(!ends.is_empty(), "utilization record with no epochs");
+                        let units = match args.get("units") {
+                            Some(Json::Obj(fields)) => fields,
+                            _ => panic!("units object missing"),
+                        };
+                        assert!(!units.is_empty(), "utilization record with no units");
+                        for (label, col) in units {
+                            let col = col.as_array().expect("unit series array");
+                            assert_eq!(
+                                col.len(),
+                                ends.len(),
+                                "unit {label} series length != epoch count"
+                            );
+                        }
                     }
                     other => panic!("unexpected metadata record {other}"),
                 }
@@ -98,6 +130,7 @@ fn main() {
         }
     }
     assert_eq!(x_events, spans as u64, "exported X events != recorded spans");
+    assert_eq!(unit_epoch_records, 1, "expected exactly one unit_epoch_busy_ns record");
     for p in &parents {
         assert!(span_ids.contains(p), "parent span {p} missing from the export");
     }

@@ -75,6 +75,58 @@ pub fn stale_scenarios(rev: &str) -> Vec<String> {
         .collect()
 }
 
+/// Whether `SHARE_ALLOW_STALE=1` downgrades the freshness gate from a
+/// hard failure to a warning (escape hatch for local iteration where
+/// re-recording every baseline per commit is too slow).
+pub fn stale_allowed() -> bool {
+    std::env::var("SHARE_ALLOW_STALE").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Fail unless every named scenario exists in `BENCH_share.json` *and*
+/// carries a `recorded_rev` stamp matching HEAD. This is the verify-tier
+/// teeth behind the `stale_scenarios` warning: a baseline recorded by an
+/// older binary (or never recorded at all) is an error, not a footnote.
+///
+/// * Outside a git checkout (`current_git_rev()` is `None`) nothing can be
+///   stamped, so the gate passes trivially.
+/// * With `SHARE_ALLOW_STALE=1` offenders are printed as a warning and the
+///   gate passes.
+/// * Scenarios present in the file but *not* named are ignored — the gate
+///   only polices the baselines its caller depends on.
+pub fn require_fresh(scenarios: &[&str]) -> Result<(), String> {
+    let Some(rev) = current_git_rev() else { return Ok(()) };
+    let stale = stale_scenarios(&rev);
+    let recorded: Vec<String> = match std::fs::read_to_string(bench_json_path()) {
+        Ok(text) => match parse(&text) {
+            Ok(Json::Obj(entries)) => entries.into_iter().map(|(k, _)| k).collect(),
+            _ => Vec::new(),
+        },
+        Err(_) => Vec::new(),
+    };
+    let offending: Vec<&str> = scenarios
+        .iter()
+        .copied()
+        .filter(|name| {
+            !recorded.iter().any(|r| r == name) || stale.iter().any(|s| s == name)
+        })
+        .collect();
+    if offending.is_empty() {
+        return Ok(());
+    }
+    let msg = format!(
+        "{} baseline scenario(s) in {} are missing or were recorded at a different \
+         git rev than HEAD ({rev}): {}",
+        offending.len(),
+        bench_json_path().display(),
+        offending.join(", ")
+    );
+    if stale_allowed() {
+        eprintln!("warning: {msg} (passing: SHARE_ALLOW_STALE=1)");
+        return Ok(());
+    }
+    Err(format!("{msg}\nre-run the bench tiers at HEAD, or set SHARE_ALLOW_STALE=1"))
+}
+
 /// Insert or replace one scenario in `BENCH_share.json`, preserving every
 /// other scenario already recorded. Returns the path written. An unreadable
 /// or unparsable existing file is treated as empty rather than an error, so
@@ -255,6 +307,18 @@ mod tests {
             );
             let stale = stale_scenarios("0000000000ff");
             assert_eq!(stale, vec!["alpha".to_string(), "beta".to_string()]);
+
+            // The hard gate: fresh names pass, a missing name fails even
+            // though every *recorded* entry is fresh, and the escape hatch
+            // downgrades the failure to a warning.
+            require_fresh(&["alpha", "beta"]).expect("fresh scenarios must pass");
+            let err = require_fresh(&["alpha", "gamma"])
+                .expect_err("a never-recorded scenario must fail the gate");
+            assert!(err.contains("gamma"), "error must name the offender: {err}");
+            assert!(!err.contains("alpha"), "fresh scenarios must not be blamed: {err}");
+            std::env::set_var("SHARE_ALLOW_STALE", "1");
+            require_fresh(&["gamma"]).expect("SHARE_ALLOW_STALE=1 must downgrade to warning");
+            std::env::remove_var("SHARE_ALLOW_STALE");
         }
 
         std::env::remove_var("SHARE_BENCH_JSON");

@@ -17,11 +17,14 @@ pub mod table;
 pub mod timing;
 pub mod ycsb_driver;
 
-pub use json::{bench_json_path, count, device_json, num, parse, record_scenario, s, Json};
+pub use json::{
+    bench_json_path, count, device_json, num, parse, record_scenario, require_fresh, s,
+    stale_allowed, Json,
+};
 pub use linkbench_driver::{run_linkbench, LinkBenchResult, LinkBenchRun};
 pub use metrics::{
-    dump_metrics, dump_trace, maybe_dump_metrics, maybe_dump_trace, metrics_enabled,
-    telemetry_from_env, trace_enabled,
+    dump_metrics, dump_monitor, dump_trace, maybe_dump_metrics, maybe_dump_monitor,
+    maybe_dump_trace, metrics_enabled, monitor_enabled, telemetry_from_env, trace_enabled,
 };
 pub use table::{f, mb, print_table, scale_from_env, scaled};
 pub use ycsb_driver::{loaded_store, run_compaction, run_ycsb, YcsbResult, YcsbRun};

@@ -4,7 +4,8 @@ use mini_innodb::{standard_log_device_with_queues, FlushMode, InnoDb, InnoDbConf
 use nand_sim::NandTiming;
 use share_rng::{Rng, StdRng};
 use share_core::{
-    BlockDevice, DeviceStats, Ftl, FtlConfig, GcPolicy, RevMapPolicy, Snapshot, TelemetryConfig,
+    BlockDevice, DeviceStats, FlightSnapshot, Ftl, FtlConfig, GcPolicy, RevMapPolicy, Snapshot,
+    TelemetryConfig,
 };
 use share_workloads::{LatencyRecorder, LinkBench, LinkBenchConfig, LinkOp, LinkOpType};
 
@@ -103,6 +104,9 @@ pub struct LinkBenchResult {
     /// Span tracer of the data device (a disabled no-op handle unless the
     /// run's [`TelemetryConfig`] enabled tracing).
     pub tracer: share_core::Tracer,
+    /// Flight-recorder epoch time series (present only when the run's
+    /// [`TelemetryConfig`] enabled epoch sampling, e.g. `SHARE_MONITOR=1`).
+    pub monitor: Option<FlightSnapshot>,
 }
 
 fn payload(rng: &mut StdRng, n: usize) -> Vec<u8> {
@@ -196,6 +200,7 @@ pub fn run_linkbench(run: &LinkBenchRun) -> LinkBenchResult {
     let device = db.data_device_stats().delta_since(&stats0);
     let wear = db.fs_mut().device().wear_stats();
     let telemetry = db.fs_mut().device().telemetry_snapshot();
+    let monitor = db.fs_mut().device().monitor_snapshot();
     let tracer = db.fs_mut().tracer().clone();
 
     LinkBenchResult {
@@ -209,6 +214,7 @@ pub fn run_linkbench(run: &LinkBenchRun) -> LinkBenchResult {
         wear,
         telemetry,
         tracer,
+        monitor,
     }
 }
 

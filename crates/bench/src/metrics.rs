@@ -7,7 +7,7 @@
 //! `SHARE_METRICS_DIR`). Telemetry never advances the simulated clock, so
 //! the dumped numbers ride along without perturbing the bench results.
 
-use share_core::{Snapshot, TelemetryConfig, Tracer};
+use share_core::{FlightSnapshot, Snapshot, TelemetryConfig, Tracer};
 use std::path::PathBuf;
 
 /// Whether `SHARE_METRICS=1` asked for metrics dumps.
@@ -21,12 +21,35 @@ pub fn trace_enabled() -> bool {
     std::env::var("SHARE_TRACE").map(|v| v == "1").unwrap_or(false)
 }
 
+/// Whether `SHARE_MONITOR=1` asked for flight-recorder epoch sampling
+/// (`MONITOR_<scenario>.json` dumps of the per-epoch time series).
+pub fn monitor_enabled() -> bool {
+    std::env::var("SHARE_MONITOR").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Epoch length the flight recorder samples at when `SHARE_MONITOR=1`:
+/// `SHARE_MONITOR_EPOCH_MS` (simulated milliseconds), default 10 ms.
+fn monitor_epoch_ns() -> u64 {
+    std::env::var("SHARE_MONITOR_EPOCH_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .filter(|&ms| ms > 0)
+        .unwrap_or(10)
+        * 1_000_000
+}
+
 /// The telemetry config benches should run with: everything on when
-/// `SHARE_METRICS=1`, span tracing alone when `SHARE_TRACE=1`,
-/// counters-only (the bit-identical default) otherwise.
+/// `SHARE_METRICS=1`, span tracing alone when `SHARE_TRACE=1`, epoch
+/// sampling added when `SHARE_MONITOR=1`, counters-only (the
+/// bit-identical default) otherwise.
 pub fn telemetry_from_env() -> TelemetryConfig {
-    let mut cfg =
-        if metrics_enabled() { TelemetryConfig::full() } else { TelemetryConfig::default() };
+    let mut cfg = if monitor_enabled() {
+        TelemetryConfig::monitoring(monitor_epoch_ns())
+    } else if metrics_enabled() {
+        TelemetryConfig::full()
+    } else {
+        TelemetryConfig::default()
+    };
     if trace_enabled() {
         cfg.trace = true;
     }
@@ -80,6 +103,34 @@ pub fn maybe_dump_trace(scenario: &str, tracer: &Tracer) {
         Ok(Some(path)) => println!("trace: {}", path.display()),
         Ok(None) => eprintln!("trace: device of {scenario} was built without tracing"),
         Err(e) => eprintln!("trace: failed to write {scenario}: {e}"),
+    }
+}
+
+/// Write the flight recorder's epoch time series as
+/// `MONITOR_<scenario>.json`; returns the path written.
+pub fn dump_monitor(scenario: &str, mon: &FlightSnapshot) -> std::io::Result<PathBuf> {
+    let dir = metrics_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("MONITOR_{scenario}.json"));
+    let mut text = mon.to_json().render();
+    text.push('\n');
+    std::fs::write(&path, text)?;
+    Ok(path)
+}
+
+/// If `SHARE_MONITOR=1` and the run kept a flight recorder, dump its epoch
+/// time series and print where it went (drivers call this once per
+/// scenario, next to the metrics dump).
+pub fn maybe_dump_monitor(scenario: &str, mon: Option<&FlightSnapshot>) {
+    if !monitor_enabled() {
+        return;
+    }
+    match mon {
+        Some(mon) => match dump_monitor(scenario, mon) {
+            Ok(path) => println!("monitor: {}", path.display()),
+            Err(e) => eprintln!("monitor: failed to write {scenario}: {e}"),
+        },
+        None => eprintln!("monitor: device of {scenario} has no flight recorder"),
     }
 }
 

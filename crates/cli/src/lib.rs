@@ -16,7 +16,11 @@
 //! All logic lives in [`run`], which returns the output text — `main` is a
 //! thin wrapper, so the whole tool is unit-testable.
 
-use share_core::{BlockDevice, Ftl, FtlConfig, Lpn, SharePair, TelemetryConfig};
+use share_core::telemetry::EpochObservation;
+use share_core::{
+    AlertSeverity, BlockDevice, Ftl, FtlConfig, Lpn, SharePair, SloConfig, TelemetryConfig,
+    DEFAULT_ENDURANCE_CYCLES,
+};
 use share_workloads::{parse_trace, AccessPattern, TraceConfig, TraceGen, TraceOp};
 use std::fmt::Write as _;
 use std::fs;
@@ -66,6 +70,17 @@ fn usage() -> String {
      \x20\x20\x20\x20 (run a traced workload: per-stream write-amplification table,\n\
      \x20\x20\x20\x20 optional Chrome trace_event JSON and span-tree dump —\n\
      \x20\x20\x20\x20 observation only, nothing is written back to the image)\n\
+     \x20 sharectl monitor <img> [--workload sequential|uniform|zipfian|mixed] [--ops N]\n\
+     \x20\x20\x20\x20 [--seed N] [--epoch-ms N] [--ring N] [--format table|json]\n\
+     \x20\x20\x20\x20 [--write-p99-us N] [--read-p99-us N] [--gc-stall-ms N]\n\
+     \x20\x20\x20\x20 [--free-floor N] [--skew-max X] [--life-floor X]\n\
+     \x20\x20\x20\x20 (run a workload under the flight recorder: one row of counter\n\
+     \x20\x20\x20\x20 deltas per epoch, SLO alerts at epoch boundaries — observation\n\
+     \x20\x20\x20\x20 only, nothing is written back to the image)\n\
+     \x20 sharectl doctor <img> [--endurance N] [--free-floor N] [--skew-max X]\n\
+     \x20\x20\x20\x20 [--life-floor X] [--format text|json]\n\
+     \x20\x20\x20\x20 (read-only health report: wear histogram, free-block headroom,\n\
+     \x20\x20\x20\x20 lifetime WA, remaining life; exits non-zero on a critical breach)\n\
      \x20 sharectl snapshot <img> create <name> <start-lpn> <len>\n\
      \x20 sharectl snapshot <img> clone  <name> <dst-lpn> [--offset N] [--len N]\n\
      \x20 sharectl snapshot <img> drop   <name>\n\
@@ -92,10 +107,10 @@ fn save_cfg(img: &str, cfg: &FtlConfig) -> Result<()> {
 }
 
 fn load_device(img: &str) -> Result<Ftl> {
-    load_device_with(img, TelemetryConfig::default())
+    load_device_with(img, TelemetryConfig::default(), SloConfig::default())
 }
 
-fn load_device_with(img: &str, telemetry: TelemetryConfig) -> Result<Ftl> {
+fn load_device_with(img: &str, telemetry: TelemetryConfig, slo: SloConfig) -> Result<Ftl> {
     let cfg_text = fs::read_to_string(cfg_path(img))
         .map_err(|_| CliError(format!("missing sidecar {} — not a sharectl image?", cfg_path(img))))?;
     let field = |name: &str| -> Result<u64> {
@@ -125,6 +140,7 @@ fn load_device_with(img: &str, telemetry: TelemetryConfig) -> Result<Ftl> {
     cfg.revmap_capacity = revmap_capacity;
     cfg.logical_pages = logical_pages;
     cfg.telemetry = telemetry;
+    cfg.slo = slo;
     Ftl::open(cfg, nand).map_err(Into::into)
 }
 
@@ -286,7 +302,7 @@ pub fn run(args: &[String]) -> Result<String> {
             }
             // Full telemetry (histograms + command ring) for this invocation
             // only — the toggle never touches the image or its sidecar.
-            let mut dev = load_device_with(img, TelemetryConfig::full())?;
+            let mut dev = load_device_with(img, TelemetryConfig::full(), SloConfig::default())?;
             if let Some(trace_file) = flag_value(args, "--trace") {
                 let text = fs::read_to_string(trace_file)?;
                 let page = vec![0xCDu8; dev.page_size()];
@@ -317,6 +333,12 @@ pub fn run(args: &[String]) -> Result<String> {
         }
         Some("trace") => {
             trace_cmd(args, &mut out)?;
+        }
+        Some("monitor") => {
+            monitor_cmd(args, &mut out)?;
+        }
+        Some("doctor") => {
+            doctor_cmd(args, &mut out)?;
         }
         Some("crashsweep") => {
             crashsweep_cmd(args, &mut out)?;
@@ -439,7 +461,7 @@ fn trace_cmd(args: &[String], out: &mut String) -> Result<()> {
             )))
         }
     };
-    let mut dev = load_device_with(img, TelemetryConfig::full())?;
+    let mut dev = load_device_with(img, TelemetryConfig::full(), SloConfig::default())?;
     let logical = dev.config().logical_pages;
     // Two host streams split by address: the low 3/4 reads as table/data
     // traffic, the top 1/4 as journal traffic — enough structure for the
@@ -534,6 +556,323 @@ fn trace_cmd(args: &[String], out: &mut String) -> Result<()> {
         }
     }
     // Observation only: nothing is written back to the image.
+    Ok(())
+}
+
+fn parse_f64(s: &str, what: &str) -> Result<f64> {
+    s.parse().map_err(|_| CliError(format!("bad {what}: {s}")))
+}
+
+fn parse_pattern(workload: &str) -> Result<AccessPattern> {
+    Ok(match workload {
+        "sequential" => AccessPattern::Sequential,
+        "uniform" => AccessPattern::Uniform,
+        "zipfian" => AccessPattern::Zipfian { theta: 0.99 },
+        "mixed" => AccessPattern::Mixed { seq_fraction: 0.5 },
+        other => {
+            return Err(CliError(format!(
+                "bad --workload: {other} (want sequential|uniform|zipfian|mixed)"
+            )))
+        }
+    })
+}
+
+/// SLO threshold flags shared by `monitor` (defaults: no thresholds) and
+/// `doctor` (defaults: conservative health floors).
+fn slo_from_flags(args: &[String], defaults: SloConfig) -> Result<SloConfig> {
+    let mut slo = defaults;
+    if let Some(v) = flag_value(args, "--write-p99-us") {
+        slo.write_p99_ceiling_ns = Some(parse_u64(v, "write-p99-us")? * 1_000);
+    }
+    if let Some(v) = flag_value(args, "--read-p99-us") {
+        slo.read_p99_ceiling_ns = Some(parse_u64(v, "read-p99-us")? * 1_000);
+    }
+    if let Some(v) = flag_value(args, "--gc-stall-ms") {
+        slo.gc_stall_budget_ns = Some(parse_u64(v, "gc-stall-ms")? * 1_000_000);
+    }
+    if let Some(v) = flag_value(args, "--free-floor") {
+        slo.free_block_floor = Some(parse_u64(v, "free-floor")?);
+    }
+    if let Some(v) = flag_value(args, "--skew-max") {
+        slo.wear_skew_max = Some(parse_f64(v, "skew-max")?);
+    }
+    if let Some(v) = flag_value(args, "--life-floor") {
+        slo.remaining_life_floor = Some(parse_f64(v, "life-floor")?);
+    }
+    Ok(slo)
+}
+
+/// Longitudinal monitoring: run a synthetic workload with the flight
+/// recorder sealing an epoch every `--epoch-ms` of *simulated* time, then
+/// print one row of counter deltas per epoch plus any SLO alerts fired at
+/// epoch boundaries. Observation only — nothing is written back.
+fn monitor_cmd(args: &[String], out: &mut String) -> Result<()> {
+    let img = args.get(1).ok_or_else(|| CliError(usage()))?;
+    let workload = flag_value(args, "--workload").unwrap_or("zipfian");
+    let pattern = parse_pattern(workload)?;
+    let ops = flag_value(args, "--ops").map(|v| parse_u64(v, "ops")).transpose()?.unwrap_or(2_000);
+    let seed = flag_value(args, "--seed").map(|v| parse_u64(v, "seed")).transpose()?.unwrap_or(42);
+    let epoch_ms =
+        flag_value(args, "--epoch-ms").map(|v| parse_u64(v, "epoch-ms")).transpose()?.unwrap_or(10);
+    if epoch_ms == 0 {
+        return Err(CliError("--epoch-ms must be at least 1".into()));
+    }
+    let format = flag_value(args, "--format").unwrap_or("table");
+    if format != "table" && format != "json" {
+        return Err(CliError(format!("bad --format: {format} (want table|json)")));
+    }
+    let slo = slo_from_flags(args, SloConfig::default())?;
+    let mut telemetry = TelemetryConfig::monitoring(epoch_ms * 1_000_000);
+    if let Some(v) = flag_value(args, "--ring") {
+        telemetry.epoch_ring = parse_u64(v, "ring")? as usize;
+    }
+
+    let mut dev = load_device_with(img, telemetry, slo)?;
+    let logical = dev.config().logical_pages;
+    // Same two-stream address split as `trace`: low 3/4 data, top 1/4
+    // journal, so the per-epoch WA rows attribute against real streams.
+    let data = dev.stream_intern("data");
+    let journal = dev.stream_intern("journal");
+    let stream_of = |lpn: u64| if lpn * 4 >= logical * 3 { journal } else { data };
+    let gen = TraceGen::new(TraceConfig {
+        pattern,
+        logical_pages: logical,
+        ops,
+        write_fraction: 0.7,
+        trim_every: 97,
+        flush_every: 64,
+        seed,
+    });
+    let t0 = dev.clock().now_ns();
+    let page = vec![0xCDu8; dev.page_size()];
+    let mut buf = vec![0u8; dev.page_size()];
+    let mut replayed = 0u64;
+    for op in gen {
+        match op {
+            TraceOp::Write { lpn } => {
+                dev.set_stream(stream_of(lpn));
+                dev.write(Lpn(lpn), &page)?
+            }
+            TraceOp::Read { lpn } => {
+                dev.set_stream(stream_of(lpn));
+                dev.read(Lpn(lpn), &mut buf)?
+            }
+            TraceOp::Trim { lpn, len } => {
+                dev.set_stream(stream_of(lpn));
+                dev.trim(Lpn(lpn), len)?
+            }
+            TraceOp::Share { dest, src, len } => {
+                dev.share(&SharePair::range(Lpn(dest), Lpn(src), len))?
+            }
+            TraceOp::Flush => dev.flush()?,
+        }
+        replayed += 1;
+    }
+    let snap = dev.monitor_snapshot().expect("monitoring telemetry is on");
+    if format == "json" {
+        out.push_str(&snap.to_json().render());
+        out.push('\n');
+        return Ok(());
+    }
+
+    let dt = dev.clock().now_ns() - t0;
+    writeln!(
+        out,
+        "monitored {replayed} {workload} op(s) over {:.3} simulated s: \
+         {} epoch(s) sealed ({} rolled off the {}-epoch ring)",
+        dt as f64 / 1e9,
+        snap.sealed,
+        snap.dropped,
+        snap.epochs.len().max(1)
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:>5} {:>9} {:>6} {:>6} {:>7} {:>7} {:>9} {:>5} {:>9} {:>9} {:>6}",
+        "epoch", "t(ms)", "wr", "rd", "progs", "cb", "stall(us)", "free", "wp99(us)", "rp99(us)", "alert"
+    )
+    .unwrap();
+    for e in &snap.epochs {
+        let q = |h: &share_core::telemetry::Histogram| {
+            if h.is_empty() { "-".to_string() } else { format!("{:.0}", h.quantile(0.99) as f64 / 1e3) }
+        };
+        writeln!(
+            out,
+            "{:>5} {:>9.1} {:>6} {:>6} {:>7} {:>7} {:>9.0} {:>5} {:>9} {:>9} {:>6}",
+            e.epoch,
+            e.end_ns as f64 / 1e6,
+            e.stats.host_writes,
+            e.stats.host_reads,
+            e.stats.nand.page_programs,
+            e.stats.copyback_pages,
+            e.stats.gc_stall_ns as f64 / 1e3,
+            e.free_blocks,
+            q(&e.write_hist),
+            q(&e.read_hist),
+            e.alerts.len()
+        )
+        .unwrap();
+    }
+    // Per-unit busy-time shares over the retained window: the same series
+    // the Chrome trace carries as `unit_epoch_busy_ns` metadata.
+    let window_ns: u64 = snap.epochs.iter().map(|e| e.end_ns - e.start_ns).sum();
+    if window_ns > 0 && !snap.unit_labels.is_empty() {
+        write!(out, "unit busy: ").unwrap();
+        for (i, label) in snap.unit_labels.iter().enumerate() {
+            let busy: u64 = snap.epochs.iter().filter_map(|e| e.unit_busy_ns.get(i)).sum();
+            write!(out, "{label} {:.0}%  ", busy as f64 * 100.0 / window_ns as f64).unwrap();
+        }
+        writeln!(out).unwrap();
+    }
+    let health = dev.health_report();
+    writeln!(
+        out,
+        "health: wear {}..{} (skew {:.2}), free {}/{} blocks, WAF {:.3}, life {:.1}%",
+        health.wear.min_erases,
+        health.wear.max_erases,
+        health.wear_skew,
+        health.free_blocks,
+        health.data_blocks,
+        health.waf,
+        health.remaining_life * 100.0
+    )
+    .unwrap();
+    if snap.alerts.is_empty() {
+        writeln!(out, "alerts: none").unwrap();
+    } else {
+        writeln!(out, "alerts ({}):", snap.alerts.len()).unwrap();
+        for a in &snap.alerts {
+            writeln!(
+                out,
+                "  {:>8} epoch {:>4} {}: {:.1} (threshold {:.1})",
+                a.severity.name(),
+                a.epoch,
+                a.kind.name(),
+                a.value,
+                a.threshold
+            )
+            .unwrap();
+        }
+    }
+    // Observation only: nothing is written back to the image.
+    Ok(())
+}
+
+/// Read-only device health report ("SMART for the simulator"): wear
+/// histogram and moments, free-block headroom, lifetime WA, and a
+/// remaining-life estimate, checked against health floors. A critical
+/// breach returns an error so the process exits non-zero.
+fn doctor_cmd(args: &[String], out: &mut String) -> Result<()> {
+    let img = args.get(1).ok_or_else(|| CliError(usage()))?;
+    let endurance = flag_value(args, "--endurance")
+        .map(|v| parse_u64(v, "endurance"))
+        .transpose()?
+        .unwrap_or(DEFAULT_ENDURANCE_CYCLES);
+    let format = flag_value(args, "--format").unwrap_or("text");
+    if format != "text" && format != "json" {
+        return Err(CliError(format!("bad --format: {format} (want text|json)")));
+    }
+    // Health floors: free pool nearly exhausted, badly skewed wear, or
+    // under 5 % life left. Each is overridable per invocation.
+    let defaults = SloConfig {
+        free_block_floor: Some(1),
+        wear_skew_max: Some(8.0),
+        remaining_life_floor: Some(0.05),
+        ..SloConfig::default()
+    };
+    let slo = slo_from_flags(args, defaults)?;
+
+    let dev = load_device(img)?;
+    let report = dev.health_report_with(endurance);
+    let obs = EpochObservation {
+        epoch: 0,
+        end_ns: dev.clock().now_ns(),
+        write_p99_ns: None,
+        read_p99_ns: None,
+        gc_stall_delta_ns: 0,
+        free_blocks: report.free_blocks,
+        wear_skew: report.wear_skew,
+        remaining_life: report.remaining_life,
+    };
+    let alerts = slo.evaluate(&obs);
+    let critical = alerts.iter().filter(|a| a.severity == AlertSeverity::Critical).count();
+
+    if format == "json" {
+        let mut doc = report.to_json();
+        if let share_core::telemetry::json::Json::Obj(fields) = &mut doc {
+            fields.push((
+                "alerts".into(),
+                share_core::telemetry::json::Json::Arr(
+                    alerts.iter().map(share_core::Alert::to_json).collect(),
+                ),
+            ));
+        }
+        out.push_str(&doc.render());
+        out.push('\n');
+    } else {
+        writeln!(out, "device health: {img}").unwrap();
+        writeln!(out, "  data blocks:    {} ({} free)", report.data_blocks, report.free_blocks)
+            .unwrap();
+        writeln!(
+            out,
+            "  host writes:    {} page(s), lifetime WAF {:.3}",
+            report.host_writes, report.waf
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "  background:     {} copyback page(s), {} meta page(s)",
+            report.copyback_pages, report.meta_page_writes
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "  wear:           {}..{} erases (mean {:.1}, stddev {:.1}, skew {:.2})",
+            report.wear.min_erases,
+            report.wear.max_erases,
+            report.wear.mean_erases,
+            report.wear.stddev_erases,
+            report.wear_skew
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "  remaining life: {:.1}% (assuming {} rated P/E cycles)",
+            report.remaining_life * 100.0,
+            report.endurance_cycles
+        )
+        .unwrap();
+        writeln!(out, "  wear histogram:").unwrap();
+        let peak = report.wear_hist.iter().map(|b| b.blocks).max().unwrap_or(0).max(1);
+        for b in &report.wear_hist {
+            let bar = "#".repeat(((b.blocks * 40).div_ceil(peak)) as usize);
+            writeln!(out, "    [{:>5}..{:>5}] {:<40} {}", b.lo, b.hi, bar, b.blocks).unwrap();
+        }
+        if alerts.is_empty() {
+            writeln!(out, "alerts: none").unwrap();
+        } else {
+            writeln!(out, "alerts ({}):", alerts.len()).unwrap();
+            for a in &alerts {
+                writeln!(
+                    out,
+                    "  {:>8} {}: {:.2} (threshold {:.2})",
+                    a.severity.name(),
+                    a.kind.name(),
+                    a.value,
+                    a.threshold
+                )
+                .unwrap();
+            }
+        }
+    }
+    if critical > 0 {
+        // Returned as the error so the exit status is non-zero; the report
+        // rides along in the message.
+        return Err(CliError(format!("{out}doctor: CRITICAL — {critical} critical alert(s)")));
+    }
+    if format != "json" {
+        writeln!(out, "doctor: OK").unwrap();
+    }
     Ok(())
 }
 

@@ -247,6 +247,85 @@ fn snapshot_create_clone_drop_ls_cycle_persists() {
 }
 
 #[test]
+fn monitor_reports_epoch_series_in_both_formats() {
+    let dir = tmpdir();
+    let img = dir.join("monitored.nand");
+    let img = img.to_str().unwrap();
+    cmd(&["create", img, "16"]).unwrap();
+
+    let info_before = cmd(&["info", img]).unwrap();
+    let out = cmd(&[
+        "monitor", img, "--workload", "zipfian", "--ops", "3000", "--seed", "7",
+        "--epoch-ms", "5",
+    ])
+    .unwrap();
+    assert!(out.contains("epoch(s) sealed"), "{out}");
+    assert!(out.contains("wp99(us)"), "epoch table header missing: {out}");
+    assert!(out.contains("unit busy: ch0:w0"), "per-unit utilization missing: {out}");
+    assert!(out.contains("health:"), "health one-liner missing: {out}");
+
+    // JSON form re-parses through the repo's own parser and carries the
+    // per-epoch series.
+    let json = cmd(&[
+        "monitor", img, "--workload", "zipfian", "--ops", "3000", "--seed", "7",
+        "--epoch-ms", "5", "--format", "json",
+    ])
+    .unwrap();
+    let doc = share_core::telemetry::json::parse(&json).expect("monitor JSON parses");
+    let sealed = doc.get("sealed").and_then(|v| v.as_u64()).expect("sealed count");
+    assert!(sealed > 10, "only {sealed} epochs sealed");
+    let epochs = doc.get("epochs").and_then(|e| e.as_array()).expect("epochs array");
+    assert!(!epochs.is_empty(), "no epoch records");
+    assert!(epochs[0].get("free_blocks").is_some(), "epoch rows missing gauges");
+
+    // Observation only: the monitored workload must not persist.
+    let info_after = cmd(&["info", img]).unwrap();
+    assert_eq!(info_before, info_after, "monitor must not save the image");
+
+    // An SLO flag that always breaches surfaces in the table's alert list.
+    let out = cmd(&[
+        "monitor", img, "--workload", "uniform", "--ops", "1500", "--free-floor", "100000",
+    ])
+    .unwrap();
+    assert!(out.contains("critical"), "breached floor missing from output: {out}");
+
+    assert!(cmd(&["monitor", img, "--epoch-ms", "0"]).unwrap_err().contains("epoch-ms"));
+    assert!(cmd(&["monitor", img, "--workload", "bogus"]).unwrap_err().contains("bad --workload"));
+}
+
+#[test]
+fn doctor_reports_health_and_exits_nonzero_on_critical() {
+    let dir = tmpdir();
+    let img = dir.join("doctored.nand");
+    let img = img.to_str().unwrap();
+    cmd(&["create", img, "16"]).unwrap();
+    // Age the image a little so wear counters are non-trivial.
+    cmd(&["write", img, "0", "--byte", "a5", "--count", "64"]).unwrap();
+    cmd(&["write", img, "0", "--byte", "5a", "--count", "64"]).unwrap();
+
+    let out = cmd(&["doctor", img]).unwrap();
+    assert!(out.contains("device health"), "{out}");
+    assert!(out.contains("wear histogram"), "{out}");
+    assert!(out.contains("skew"), "{out}");
+    assert!(out.contains("remaining life"), "{out}");
+    assert!(out.contains("doctor: OK"), "{out}");
+
+    let json = cmd(&["doctor", img, "--format", "json"]).unwrap();
+    let doc = share_core::telemetry::json::parse(&json).expect("doctor JSON parses");
+    assert!(doc.get("wear_hist").and_then(|h| h.as_array()).is_some(), "{json}");
+    assert!(doc.get("remaining_life").is_some(), "{json}");
+
+    // A floor no healthy image satisfies: the report still prints, but the
+    // run fails (non-zero exit from the binary).
+    let e = cmd(&["doctor", img, "--free-floor", "100000"]).unwrap_err();
+    assert!(e.contains("doctor: CRITICAL"), "{e}");
+    assert!(e.contains("free_blocks"), "offending check missing: {e}");
+    assert!(e.contains("device health"), "report must ride with the failure: {e}");
+
+    assert!(cmd(&["doctor", img, "--format", "xml"]).unwrap_err().contains("bad --format"));
+}
+
+#[test]
 fn snapshot_rejects_bad_arguments() {
     let dir = tmpdir();
     let img = dir.join("snapbad.nand");

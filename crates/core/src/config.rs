@@ -15,7 +15,7 @@
 use crate::mapping::RevMapPolicy;
 use crate::util::div_ceil_u64;
 use nand_sim::{BlockId, NandGeometry, NandTiming};
-use share_telemetry::TelemetryConfig;
+use share_telemetry::{SloConfig, TelemetryConfig};
 
 /// Garbage-collection victim-selection policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -168,6 +168,9 @@ pub struct FtlConfig {
     /// histograms and the command ring are opt-in. Telemetry only reads
     /// the simulated clock, so no setting can change simulated results.
     pub telemetry: TelemetryConfig,
+    /// SLO thresholds evaluated at flight-recorder epoch boundaries.
+    /// Inert unless `telemetry.epoch_ns` turns the recorder on.
+    pub slo: SloConfig,
     /// Multi-streamed data-placement settings (off by default).
     pub placement: PlacementConfig,
     /// Background GC pipeline settings (off by default).
@@ -208,6 +211,7 @@ impl FtlConfig {
             command_ns: 20_000,
             queue_depth: 32,
             telemetry: TelemetryConfig::default(),
+            slo: SloConfig::default(),
             placement: PlacementConfig::default(),
             gc_pipeline: GcPipelineConfig::default(),
         };
@@ -228,6 +232,12 @@ impl FtlConfig {
     /// Set the telemetry collection level.
     pub fn with_telemetry(mut self, telemetry: TelemetryConfig) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Set the SLO thresholds the flight recorder evaluates per epoch.
+    pub fn with_slo(mut self, slo: SloConfig) -> Self {
+        self.slo = slo;
         self
     }
 

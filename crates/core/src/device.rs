@@ -230,6 +230,12 @@ pub trait BlockDevice {
         None
     }
 
+    /// Point-in-time flight-recorder snapshot (per-epoch counter-delta
+    /// series), if the device runs one (`telemetry.epoch_ns > 0`).
+    fn monitor_snapshot(&self) -> Option<crate::monitor::FlightSnapshot> {
+        None
+    }
+
     /// The causal span tracer of this device. Layers above (VFS, engines)
     /// clone this handle to attach their spans to the same trace tree.
     /// Devices without tracing return a disabled (no-op) handle.

@@ -18,7 +18,9 @@ use crate::config::FtlConfig;
 use crate::delta::{Delta, DeltaLog};
 use crate::device::BlockDevice;
 use crate::error::FtlError;
+use crate::health::{HealthReport, DEFAULT_ENDURANCE_CYCLES};
 use crate::mapping::MappingTable;
+use crate::monitor::{EpochSample, FlightRecorder, FlightSnapshot};
 use crate::pool::{BlockPool, WritePoint};
 use crate::queue::{CmdOutput, CmdTag, Completion, QueuedCmd};
 use crate::snapshot::{self, SnapDelta, SnapshotInfo, SnapshotTable};
@@ -27,8 +29,9 @@ use crate::types::{Lpn, Ppn, SharePair};
 use crate::config::{PlacementConfig, CLASS_DEFAULT};
 use nand_sim::{FaultHandle, NandArray, SimClock, UNTAGGED};
 use share_telemetry::{
-    apportion, BlameKind, Layer, OpClass, PlacementClassGauge, PlacementGauges, QueueGauges,
-    Snapshot, SnapshotGauges, SpanId, Telemetry, Tracer, Track, UnitUtilization, STREAM_FTL,
+    apportion, AlertSeverity, BlameKind, Layer, OpClass, PlacementClassGauge, PlacementGauges,
+    QueueGauges, Snapshot, SnapshotGauges, SpanId, Telemetry, Tracer, Track, UnitUtilization,
+    STREAM_FTL,
 };
 use std::collections::HashSet;
 
@@ -58,6 +61,8 @@ pub struct WearStats {
     pub max_erases: u32,
     /// Mean erase count.
     pub mean_erases: f64,
+    /// Population standard deviation of the per-block erase counts.
+    pub stddev_erases: f64,
 }
 
 impl WearStats {
@@ -67,18 +72,43 @@ impl WearStats {
         let mut min = u32::MAX;
         let mut max = 0u32;
         let mut sum = 0u64;
+        let mut sumsq = 0u128;
         let mut n = 0u64;
         for e in counts {
             min = min.min(e);
             max = max.max(e);
             sum += e as u64;
+            sumsq += (e as u128) * (e as u128);
             n += 1;
         }
         if n == 0 {
-            return WearStats { min_erases: 0, max_erases: 0, mean_erases: 0.0 };
+            return WearStats { min_erases: 0, max_erases: 0, mean_erases: 0.0, stddev_erases: 0.0 };
         }
-        WearStats { min_erases: min, max_erases: max, mean_erases: sum as f64 / n as f64 }
+        let mean = sum as f64 / n as f64;
+        let var = (sumsq as f64 / n as f64 - mean * mean).max(0.0);
+        WearStats {
+            min_erases: min,
+            max_erases: max,
+            mean_erases: mean,
+            stddev_erases: var.sqrt(),
+        }
     }
+
+    /// Wear-leveling skew: max/mean erase count. 1.0 is perfectly even
+    /// wear, 0.0 a device that has never erased anything.
+    pub fn skew(&self) -> f64 {
+        if self.mean_erases == 0.0 {
+            0.0
+        } else {
+            self.max_erases as f64 / self.mean_erases
+        }
+    }
+}
+
+/// Names for the NAND units in index order (`ch{c}:w{w}`, matching how
+/// `telemetry_snapshot` decomposes a unit index into channel and way).
+fn unit_labels(channels: u32, units: usize) -> Vec<String> {
+    (0..units as u32).map(|u| format!("ch{}:w{}", u % channels, u / channels)).collect()
 }
 
 /// An in-progress incremental victim collection (background GC pipeline).
@@ -162,6 +192,10 @@ pub struct Ftl {
     /// Persisted whole in checkpoints (image v4) and incrementally via
     /// tagged delta-log records.
     snaps: SnapshotTable,
+    /// Time-series flight recorder (None unless `telemetry.epoch_ns > 0`).
+    /// Seals one epoch of counter deltas at the first command boundary at
+    /// or after each epoch tick; only ever *reads* the clock.
+    recorder: Option<FlightRecorder>,
 }
 
 impl Ftl {
@@ -181,6 +215,10 @@ impl Ftl {
         let telemetry = Telemetry::new(cfg.telemetry);
         let tracer = if cfg.telemetry.trace { Tracer::enabled() } else { Tracer::disabled() };
         nand.set_tracer(tracer.clone());
+        tracer.set_unit_labels(unit_labels(cfg.geometry.channels, nand.busy_ns().len()));
+        let recorder = (cfg.telemetry.epoch_ns > 0).then(|| {
+            FlightRecorder::new(cfg.telemetry.epoch_ns, cfg.telemetry.epoch_ring, cfg.slo, nand.now_ns())
+        });
         let data_blocks = cfg.data_blocks() as usize;
         let mut ftl = Self {
             cfg,
@@ -211,6 +249,7 @@ impl Ftl {
             share_src_ppns: Vec::new(),
             share_deltas: Vec::new(),
             snaps: SnapshotTable::new(),
+            recorder,
         };
         ftl.checkpoint().expect("initial checkpoint on an erased device cannot fail");
         ftl
@@ -276,6 +315,10 @@ impl Ftl {
         let telemetry = Telemetry::new(cfg.telemetry);
         let tracer = if cfg.telemetry.trace { Tracer::enabled() } else { Tracer::disabled() };
         nand.set_tracer(tracer.clone());
+        tracer.set_unit_labels(unit_labels(cfg.geometry.channels, nand.busy_ns().len()));
+        let recorder = (cfg.telemetry.epoch_ns > 0).then(|| {
+            FlightRecorder::new(cfg.telemetry.epoch_ns, cfg.telemetry.epoch_ring, cfg.slo, nand.now_ns())
+        });
         let recovery_span =
             tracer.begin(Layer::Ftl, "recovery", Track::Stream(STREAM_FTL), recovery_t0);
         let data_blocks = cfg.data_blocks() as usize;
@@ -308,6 +351,7 @@ impl Ftl {
             share_src_ppns: Vec::new(),
             share_deltas: Vec::new(),
             snaps,
+            recorder,
         };
         ftl.checkpoint()?;
         // Account what recovery itself cost (checkpoint scan, delta
@@ -497,10 +541,79 @@ impl Ftl {
         (t0, self.begin_span(name, stream, t0))
     }
 
-    /// Leave a host command, closing its span.
+    /// Leave a host command, closing its span. Every synchronous command
+    /// exits through here, which makes it the flight recorder's sampling
+    /// point: epochs seal lazily at the first command boundary at or after
+    /// their clock tick (queued submissions hook `submit` directly).
     fn end_command(&mut self, span: SpanId, pages: u64, ok: bool) {
         self.tracer.end(span, self.nand.now_ns(), pages, ok);
         self.cmd_stream = None;
+        self.epoch_tick();
+    }
+
+    /// Seal a flight-recorder epoch if the clock has crossed a boundary.
+    /// Pure observation: reads the clock and counters, never advances
+    /// simulated time or touches the medium — a monitored run stays
+    /// bit-identical to an unmonitored one.
+    fn epoch_tick(&mut self) {
+        let now = self.nand.now_ns();
+        if !self.recorder.as_ref().is_some_and(|r| r.due(now)) {
+            return;
+        }
+        let wear = self.wear_stats();
+        let remaining_life = if DEFAULT_ENDURANCE_CYCLES == 0 {
+            0.0
+        } else {
+            (1.0 - wear.mean_erases / DEFAULT_ENDURANCE_CYCLES as f64).clamp(0.0, 1.0)
+        };
+        let (read_hist, write_hist) = self.telemetry.take_epoch_windows();
+        let sample = EpochSample {
+            now_ns: now,
+            stats: self.stats(),
+            wa: self.telemetry.wa_raw(),
+            unit_busy_ns: self.nand.busy_ns().to_vec(),
+            free_blocks: self.pool.free_count() as u64,
+            inflight: self.pending.len() as u64,
+            wear_skew: wear.skew(),
+            remaining_life,
+            read_hist,
+            write_hist,
+        };
+        let outcome = self.recorder.as_mut().expect("checked above").seal(sample);
+        self.tracer.push_unit_epoch(outcome.end_ns, &outcome.unit_busy_ns);
+        // Fired alerts land on the command ring too, so the flight around
+        // an SLO breach is visible in the same event stream as the I/O.
+        for a in &outcome.alerts {
+            self.telemetry.record_as(
+                OpClass::Alert,
+                Some(STREAM_FTL),
+                a.kind.index() as u64,
+                0,
+                outcome.end_ns,
+                outcome.end_ns,
+                a.severity != AlertSeverity::Critical,
+            );
+        }
+    }
+
+    /// Device health report under the default rated endurance.
+    pub fn health_report(&self) -> HealthReport {
+        self.health_report_with(DEFAULT_ENDURANCE_CYCLES)
+    }
+
+    /// Device health report assuming `endurance_cycles` rated P/E cycles.
+    /// Read-only: derived entirely from per-block erase counts, pool
+    /// headroom, and the cumulative counters.
+    pub fn health_report_with(&self, endurance_cycles: u64) -> HealthReport {
+        let n = self.pool.block_count();
+        let counts: Vec<u32> =
+            (0..n).map(|rel| self.nand.erase_count(self.pool.abs(rel))).collect();
+        HealthReport::compute(
+            &counts,
+            self.pool.free_count() as u64,
+            &self.stats(),
+            endurance_cycles,
+        )
     }
 
     fn maybe_checkpoint(&mut self) -> Result<(), FtlError> {
@@ -1844,6 +1957,7 @@ impl BlockDevice for Ftl {
         self.q_submitted += 1;
         self.pending.push(PendingCmd { tag, submit_ns, complete_ns, result, blocks });
         self.q_max_inflight = self.q_max_inflight.max(self.pending.len() as u64);
+        self.epoch_tick();
         Ok(tag)
     }
 
@@ -1948,6 +2062,19 @@ impl BlockDevice for Ftl {
             reads: self.stats.snapshot_reads,
             pinned_relocations: self.stats.snapshot_pinned_relocations,
         };
+        snap.health = self.health_report().gauges();
+        if let Some(rec) = &self.recorder {
+            snap.alerts = rec.alerts().to_vec();
+        }
+        Some(snap)
+    }
+
+    fn monitor_snapshot(&self) -> Option<FlightSnapshot> {
+        let rec = self.recorder.as_ref()?;
+        let mut snap =
+            rec.snapshot(self.nand.now_ns(), &self.stats(), &self.telemetry.wa_raw());
+        snap.labels = self.telemetry.stream_labels().to_vec();
+        snap.unit_labels = unit_labels(self.cfg.geometry.channels, self.nand.busy_ns().len());
         Some(snap)
     }
 

@@ -1,0 +1,238 @@
+//! SMART-style device health and wear model.
+//!
+//! Everything here is derived read-only from state the device already
+//! persists — per-block erase counts (NAND image), pool free-block state,
+//! and the cumulative [`DeviceStats`] — so a health report can be taken
+//! from any image without changing it, and the image format is untouched.
+//!
+//! The centerpiece is [`HealthReport`]: the erase-count distribution as a
+//! bucketed wear histogram plus summary moments, free-block headroom,
+//! cumulative write amplification, and a remaining-life estimate in the
+//! spirit of SMART attribute 177 (wear leveling) / 231 (life left):
+//! `1 - mean_erases / endurance_cycles`, clamped to `[0, 1]`.
+
+use crate::ftl::WearStats;
+use crate::stats::DeviceStats;
+use share_telemetry::json::{count, num, Json};
+use share_telemetry::HealthGauges;
+
+/// Rated program/erase cycles assumed when no override is given. Mid-range
+/// MLC endurance; `sharectl doctor --endurance` overrides it per report.
+pub const DEFAULT_ENDURANCE_CYCLES: u64 = 3_000;
+
+/// Number of equal-width bins in the erase-count histogram.
+pub const WEAR_HIST_BINS: usize = 12;
+
+/// One bin of the erase-count histogram: blocks whose erase count lies in
+/// `[lo, hi]` (inclusive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WearBucket {
+    /// Lowest erase count this bin covers.
+    pub lo: u32,
+    /// Highest erase count this bin covers.
+    pub hi: u32,
+    /// Data blocks whose erase count falls in the bin.
+    pub blocks: u64,
+}
+
+/// A point-in-time device health report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthReport {
+    /// Erase-count summary moments over the data pool.
+    pub wear: WearStats,
+    /// Wear-leveling skew (max/mean erases; 1.0 = perfectly even).
+    pub wear_skew: f64,
+    /// Bucketed erase-count histogram (equal-width bins over `min..=max`;
+    /// bucket counts always sum to `data_blocks`).
+    pub wear_hist: Vec<WearBucket>,
+    /// Data blocks currently free.
+    pub free_blocks: u64,
+    /// Data blocks total.
+    pub data_blocks: u64,
+    /// Host pages written over the device's lifetime.
+    pub host_writes: u64,
+    /// Cumulative write-amplification factor (NAND programs / host writes).
+    pub waf: f64,
+    /// GC copyback pages over the device's lifetime.
+    pub copyback_pages: u64,
+    /// Mapping meta pages (delta log + checkpoints) over the lifetime.
+    pub meta_page_writes: u64,
+    /// Remaining-life fraction in `[0, 1]`.
+    pub remaining_life: f64,
+    /// The rated endurance the estimate assumed.
+    pub endurance_cycles: u64,
+}
+
+impl HealthReport {
+    /// Build a report from per-block erase counts, pool headroom, and the
+    /// cumulative device counters.
+    pub fn compute(
+        erase_counts: &[u32],
+        free_blocks: u64,
+        stats: &DeviceStats,
+        endurance_cycles: u64,
+    ) -> HealthReport {
+        let wear = WearStats::from_counts(erase_counts.iter().copied());
+        let remaining_life = if endurance_cycles == 0 {
+            0.0
+        } else {
+            (1.0 - wear.mean_erases / endurance_cycles as f64).clamp(0.0, 1.0)
+        };
+        HealthReport {
+            wear,
+            wear_skew: wear.skew(),
+            wear_hist: wear_histogram(erase_counts, &wear),
+            free_blocks,
+            data_blocks: erase_counts.len() as u64,
+            host_writes: stats.host_writes,
+            waf: stats.waf(),
+            copyback_pages: stats.copyback_pages,
+            meta_page_writes: stats.meta_page_writes,
+            remaining_life,
+            endurance_cycles,
+        }
+    }
+
+    /// The exporter-facing gauge subset of this report.
+    pub fn gauges(&self) -> HealthGauges {
+        HealthGauges {
+            wear_min: self.wear.min_erases as u64,
+            wear_max: self.wear.max_erases as u64,
+            wear_mean: self.wear.mean_erases,
+            wear_stddev: self.wear.stddev_erases,
+            wear_skew: self.wear_skew,
+            free_blocks: self.free_blocks,
+            data_blocks: self.data_blocks,
+            remaining_life: self.remaining_life,
+            endurance_cycles: self.endurance_cycles,
+        }
+    }
+
+    /// JSON form used by `sharectl doctor` and bench dumps.
+    pub fn to_json(&self) -> Json {
+        let hist = Json::Arr(
+            self.wear_hist
+                .iter()
+                .map(|b| {
+                    Json::obj(vec![
+                        ("lo", count(b.lo as u64)),
+                        ("hi", count(b.hi as u64)),
+                        ("blocks", count(b.blocks)),
+                    ])
+                })
+                .collect(),
+        );
+        Json::obj(vec![
+            ("wear_min", count(self.wear.min_erases as u64)),
+            ("wear_max", count(self.wear.max_erases as u64)),
+            ("wear_mean", num(self.wear.mean_erases)),
+            ("wear_stddev", num(self.wear.stddev_erases)),
+            ("wear_skew", num(self.wear_skew)),
+            ("wear_hist", hist),
+            ("free_blocks", count(self.free_blocks)),
+            ("data_blocks", count(self.data_blocks)),
+            ("host_writes", count(self.host_writes)),
+            ("waf", num(self.waf)),
+            ("copyback_pages", count(self.copyback_pages)),
+            ("meta_page_writes", count(self.meta_page_writes)),
+            ("remaining_life", num(self.remaining_life)),
+            ("endurance_cycles", count(self.endurance_cycles)),
+        ])
+    }
+}
+
+/// Equal-width erase-count histogram over `[min, max]`. A flat pool (all
+/// blocks at the same count) collapses to one bin; bin counts always sum
+/// to the number of blocks.
+fn wear_histogram(erase_counts: &[u32], wear: &WearStats) -> Vec<WearBucket> {
+    if erase_counts.is_empty() {
+        return Vec::new();
+    }
+    let (lo, hi) = (wear.min_erases, wear.max_erases);
+    let span = (hi - lo) as u64 + 1;
+    let bins = (WEAR_HIST_BINS as u64).min(span) as usize;
+    let width = span.div_ceil(bins as u64);
+    let mut out: Vec<WearBucket> = (0..bins)
+        .map(|i| {
+            let b_lo = lo as u64 + i as u64 * width;
+            let b_hi = (b_lo + width - 1).min(hi as u64);
+            WearBucket { lo: b_lo as u32, hi: b_hi as u32, blocks: 0 }
+        })
+        .collect();
+    for &e in erase_counts {
+        let idx = (((e - lo) as u64) / width) as usize;
+        out[idx.min(bins - 1)].blocks += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_summarizes_wear_and_life() {
+        let counts = vec![10u32, 20, 30, 40];
+        let stats = DeviceStats {
+            host_writes: 1000,
+            copyback_pages: 250,
+            meta_page_writes: 50,
+            nand: nand_sim::NandStats { page_programs: 1300, ..Default::default() },
+            ..Default::default()
+        };
+        let r = HealthReport::compute(&counts, 2, &stats, 100);
+        assert_eq!(r.wear.min_erases, 10);
+        assert_eq!(r.wear.max_erases, 40);
+        assert!((r.wear.mean_erases - 25.0).abs() < 1e-12);
+        assert!((r.wear_skew - 40.0 / 25.0).abs() < 1e-12);
+        assert!((r.waf - 1.3).abs() < 1e-12);
+        assert_eq!(r.data_blocks, 4);
+        assert_eq!(r.free_blocks, 2);
+        // 25 mean erases of 100 rated cycles → 75% life left.
+        assert!((r.remaining_life - 0.75).abs() < 1e-12);
+        // Histogram covers every block exactly once.
+        assert_eq!(r.wear_hist.iter().map(|b| b.blocks).sum::<u64>(), 4);
+        assert_eq!(r.wear_hist[0].lo, 10);
+        assert_eq!(r.wear_hist.last().unwrap().hi, 40);
+    }
+
+    #[test]
+    fn life_clamps_and_handles_zero_endurance() {
+        let counts = vec![500u32; 3];
+        let stats = DeviceStats::default();
+        assert_eq!(HealthReport::compute(&counts, 0, &stats, 100).remaining_life, 0.0);
+        assert_eq!(HealthReport::compute(&counts, 0, &stats, 0).remaining_life, 0.0);
+        let fresh = HealthReport::compute(&[0, 0], 2, &stats, 100);
+        assert_eq!(fresh.remaining_life, 1.0);
+        assert_eq!(fresh.wear_skew, 0.0);
+    }
+
+    #[test]
+    fn flat_pool_collapses_histogram_to_one_bin() {
+        let r = HealthReport::compute(&[7u32; 16], 4, &DeviceStats::default(), 100);
+        assert_eq!(r.wear_hist.len(), 1);
+        assert_eq!(r.wear_hist[0], WearBucket { lo: 7, hi: 7, blocks: 16 });
+        // Empty pool: no histogram, no NaNs.
+        let empty = HealthReport::compute(&[], 0, &DeviceStats::default(), 100);
+        assert!(empty.wear_hist.is_empty());
+        assert_eq!(empty.remaining_life, 1.0);
+    }
+
+    #[test]
+    fn report_json_round_trips() {
+        let r = HealthReport::compute(&[1, 2, 3, 100], 1, &DeviceStats::default(), 3000);
+        let doc = r.to_json();
+        let back = share_telemetry::json::parse(&doc.render()).expect("health json parses");
+        assert_eq!(back.get("wear_max").and_then(Json::as_u64), Some(100));
+        assert_eq!(back.get("data_blocks").and_then(Json::as_u64), Some(4));
+        let hist = back.get("wear_hist").and_then(Json::as_array).unwrap();
+        let total: u64 =
+            hist.iter().filter_map(|b| b.get("blocks").and_then(Json::as_u64)).sum();
+        assert_eq!(total, 4);
+        // Gauges mirror the report.
+        let g = r.gauges();
+        assert_eq!(g.wear_max, 100);
+        assert_eq!(g.data_blocks, 4);
+        assert_eq!(g.endurance_cycles, 3000);
+    }
+}

@@ -48,7 +48,9 @@ mod delta;
 mod device;
 mod error;
 mod ftl;
+pub mod health;
 mod mapping;
+pub mod monitor;
 mod pool;
 mod queue;
 mod shared;
@@ -66,7 +68,9 @@ pub use delta::{Delta, DeltaLog, DeltaPage};
 pub use device::{BlockDevice, SimpleSsd};
 pub use error::FtlError;
 pub use ftl::{Ftl, WearStats};
+pub use health::{HealthReport, WearBucket, DEFAULT_ENDURANCE_CYCLES, WEAR_HIST_BINS};
 pub use mapping::{MappingTable, RevMap, RevMapPolicy, Unmapped};
+pub use monitor::{EpochRecord, EpochSample, FlightRecorder, FlightSnapshot, SealOutcome};
 pub use pool::{BlockPool, BlockState, WritePoint};
 pub use queue::{CmdOutput, CmdTag, Completion, QueuedCmd};
 pub use shared::SharedDevice;
@@ -79,7 +83,8 @@ pub use util::crc32c;
 /// op-class counters, latency histograms, command ring, exporters.
 pub use share_telemetry as telemetry;
 pub use share_telemetry::{
-    Layer, OpClass, Snapshot, Span, SpanId, Telemetry, TelemetryConfig, Track, Tracer,
+    Alert, AlertKind, AlertSeverity, Layer, OpClass, SloConfig, Snapshot, Span, SpanId, Telemetry,
+    TelemetryConfig, Track, Tracer,
 };
 
 /// Result alias for device operations.

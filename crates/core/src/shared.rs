@@ -195,6 +195,10 @@ impl<D: BlockDevice> BlockDevice for SharedDevice<D> {
         self.lock().telemetry_snapshot()
     }
 
+    fn monitor_snapshot(&self) -> Option<crate::monitor::FlightSnapshot> {
+        self.lock().monitor_snapshot()
+    }
+
     fn tracer(&self) -> share_telemetry::Tracer {
         self.lock().tracer()
     }

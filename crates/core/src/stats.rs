@@ -118,6 +118,45 @@ impl DeviceStats {
             nand: self.nand.delta_since(&earlier.nand),
         }
     }
+
+    /// Field-wise sum `self += delta`, the inverse of [`delta_since`]:
+    /// `b.accumulate(&a.delta_since(&b))` restores `a` exactly. The flight
+    /// recorder folds evicted epoch deltas into one accumulator with this,
+    /// which is what keeps retained + evicted + partial deltas summing
+    /// exactly to the cumulative counters.
+    ///
+    /// [`delta_since`]: DeviceStats::delta_since
+    pub fn accumulate(&mut self, delta: &DeviceStats) {
+        self.host_reads += delta.host_reads;
+        self.host_writes += delta.host_writes;
+        self.host_read_bytes += delta.host_read_bytes;
+        self.host_write_bytes += delta.host_write_bytes;
+        self.flushes += delta.flushes;
+        self.trims += delta.trims;
+        self.share_commands += delta.share_commands;
+        self.shared_pages += delta.shared_pages;
+        self.snapshot_creates += delta.snapshot_creates;
+        self.snapshot_drops += delta.snapshot_drops;
+        self.snapshot_clones += delta.snapshot_clones;
+        self.snapshot_clone_pages += delta.snapshot_clone_pages;
+        self.snapshot_reads += delta.snapshot_reads;
+        self.snapshot_pinned_relocations += delta.snapshot_pinned_relocations;
+        self.gc_events += delta.gc_events;
+        self.copyback_pages += delta.copyback_pages;
+        self.gc_erases += delta.gc_erases;
+        self.gc_stall_ns += delta.gc_stall_ns;
+        self.gc_budget_deferrals += delta.gc_budget_deferrals;
+        self.meta_page_writes += delta.meta_page_writes;
+        self.checkpoints += delta.checkpoints;
+        self.recoveries += delta.recoveries;
+        self.recovery_page_reads += delta.recovery_page_reads;
+        self.recovery_page_writes += delta.recovery_page_writes;
+        self.lane_steals += delta.lane_steals;
+        self.nand.page_reads += delta.nand.page_reads;
+        self.nand.page_programs += delta.nand.page_programs;
+        self.nand.block_erases += delta.nand.block_erases;
+        self.nand.torn_programs += delta.nand.torn_programs;
+    }
 }
 
 #[cfg(test)]
@@ -192,5 +231,13 @@ mod tests {
         assert_eq!(full.delta_since(&DeviceStats::default()), full);
         // And the self-delta is all zeros.
         assert_eq!(full.delta_since(&full), DeviceStats::default());
+        // accumulate is delta_since's exact inverse: the same all-distinct
+        // values round-trip through subtract-then-add, so a field missed
+        // by either side fails here the moment it is added.
+        let base = DeviceStats { host_writes: 1, gc_events: 4, ..Default::default() };
+        let delta = full.delta_since(&base);
+        let mut rebuilt = base;
+        rebuilt.accumulate(&delta);
+        assert_eq!(rebuilt, full);
     }
 }

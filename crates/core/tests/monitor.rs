@@ -1,0 +1,143 @@
+//! Flight-recorder acceptance: the two standing guarantees.
+//!
+//! 1. **Bit-identity off-path**: turning the epoch sampler on must not
+//!    change a single simulated outcome — same clock, same counters, same
+//!    serialized flash image — because the recorder only *reads* the
+//!    clock and counters at command boundaries.
+//! 2. **Exact-sum**: at any moment, the evicted + retained + partial-tail
+//!    epoch deltas reproduce the cumulative [`DeviceStats`] exactly, and
+//!    the deltas sealed between two observation points sum to precisely
+//!    `DeviceStats::delta_since` of those points — no drift, ever, even
+//!    with the ring overflowing on a GC-heavy workload.
+
+use nand_sim::NandTiming;
+use share_core::{
+    AlertSeverity, BlockDevice, Ftl, FtlConfig, Lpn, OpClass, SloConfig, TelemetryConfig,
+};
+
+const PAGES: u64 = 1024;
+const PAGE: usize = 4096;
+const EPOCH_NS: u64 = 50_000_000;
+
+fn gc_heavy_cfg() -> FtlConfig {
+    // 12 % over-provisioning on realistic timing: victims always carry
+    // live pages, so GC copyback, log flushes, and checkpoints all run
+    // while epochs seal.
+    FtlConfig::for_capacity_with(PAGES * PAGE as u64, 0.12, PAGE, 32, NandTiming::default())
+}
+
+/// Deterministic GC-heavy storm (mirrors the gc_pipeline golden driver).
+fn drive(ftl: &mut Ftl, rounds: u64) {
+    for round in 0..rounds {
+        for i in 0..PAGES {
+            let lpn = (i * 173 + round * 311) % PAGES;
+            if round % (1 + lpn % 4) == 0 {
+                ftl.write(Lpn(lpn), &[((round * 67 + lpn * 31) % 255 + 1) as u8; PAGE]).unwrap();
+            }
+        }
+        if round % 3 == 2 {
+            ftl.trim(Lpn((round * 7) % PAGES), 2).unwrap();
+        }
+        ftl.flush().unwrap();
+    }
+}
+
+fn image_bytes(ftl: Ftl) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    ftl.into_nand().save_image(&mut bytes).expect("image serializes");
+    bytes
+}
+
+#[test]
+fn monitored_run_is_bit_identical_to_unmonitored() {
+    let mut plain = Ftl::new(gc_heavy_cfg());
+    let mut monitored =
+        Ftl::new(gc_heavy_cfg().with_telemetry(TelemetryConfig::monitoring(EPOCH_NS)));
+    drive(&mut plain, 6);
+    drive(&mut monitored, 6);
+
+    // The sampler must have actually run...
+    let snap = monitored.monitor_snapshot().expect("recorder is on");
+    assert!(snap.sealed > 10, "only {} epochs sealed — sampler idle?", snap.sealed);
+    assert!(plain.monitor_snapshot().is_none(), "recorder must be opt-in");
+
+    // ...while changing nothing simulated: clock, counters, and the
+    // entire serialized flash image (mapping meta included) match bit
+    // for bit.
+    assert_eq!(plain.clock().now_ns(), monitored.clock().now_ns(), "clock drifted");
+    assert_eq!(plain.stats(), monitored.stats(), "counters drifted");
+    plain.check_invariants();
+    monitored.check_invariants();
+    assert_eq!(image_bytes(plain), image_bytes(monitored), "flash image drifted");
+}
+
+#[test]
+fn epoch_deltas_sum_exactly_to_cumulative_stats() {
+    // A 6-epoch ring under a storm that seals dozens: eviction and the
+    // fold-in accumulator are exercised for real.
+    let telemetry = TelemetryConfig { epoch_ring: 6, ..TelemetryConfig::monitoring(EPOCH_NS) };
+    let mut ftl = Ftl::new(gc_heavy_cfg().with_telemetry(telemetry));
+
+    let mut last_stats = ftl.stats();
+    let mut last_sealed_sum = ftl.stats(); // zero at creation
+    for round in 0..3 {
+        drive(&mut ftl, 2);
+        let cum = ftl.stats();
+        let snap = ftl.monitor_snapshot().expect("recorder is on");
+
+        // Exact-sum invariant at this instant, ring overflow and all.
+        assert_eq!(snap.total_stats(), cum, "round {round}: deltas drifted from cumulative");
+
+        // The sealed+tail deltas accrued since the previous observation
+        // equal delta_since of the two cumulative readings exactly.
+        let mut accrued = last_sealed_sum; // evicted+retained+tail at last look
+        accrued.accumulate(&cum.delta_since(&last_stats));
+        assert_eq!(snap.total_stats(), accrued, "round {round}: window mismatch");
+        last_stats = cum;
+        last_sealed_sum = snap.total_stats();
+    }
+
+    let snap = ftl.monitor_snapshot().unwrap();
+    assert!(snap.dropped > 0, "ring never overflowed — eviction path untested");
+    assert_eq!(snap.epochs.len(), 6, "ring should be full");
+    // Per-stream WA blame rows obey the same exact sum.
+    let totals = snap.total_wa();
+    let host_fg: u64 = totals.iter().map(|&(fg, _)| fg).sum();
+    assert_eq!(host_fg, ftl.stats().host_writes, "WA foreground rows drifted");
+    // Epochs are contiguous: each starts where its predecessor ended.
+    for w in snap.epochs.windows(2) {
+        assert_eq!(w[0].end_ns, w[1].start_ns, "epoch gap");
+        assert_eq!(w[0].epoch + 1, w[1].epoch, "epoch index gap");
+    }
+    assert_eq!(snap.epochs.last().unwrap().end_ns, snap.tail_start_ns);
+}
+
+#[test]
+fn slo_breaches_fire_alerts_onto_the_command_ring() {
+    // A free-block floor far above what this greedy-GC config ever holds:
+    // every epoch breaches, critically.
+    let slo = SloConfig { free_block_floor: Some(10_000), ..SloConfig::default() };
+    let mut ftl = Ftl::new(
+        gc_heavy_cfg().with_telemetry(TelemetryConfig::monitoring(EPOCH_NS)).with_slo(slo),
+    );
+    drive(&mut ftl, 2);
+
+    let snap = ftl.telemetry_snapshot().expect("telemetry on");
+    assert!(!snap.alerts.is_empty(), "no alerts despite a guaranteed breach");
+    assert!(
+        snap.alerts.iter().all(|a| a.severity == AlertSeverity::Critical),
+        "free-block floor breaches are critical"
+    );
+    // The same breaches are visible as events on the command ring,
+    // interleaved with the I/O that surrounded them.
+    let alert_events: Vec<_> =
+        snap.events.iter().filter(|e| e.op == OpClass::Alert).collect();
+    assert!(!alert_events.is_empty(), "alerts missing from the command ring");
+    assert!(alert_events.iter().all(|e| !e.ok), "critical alerts must record ok=false");
+    // And the structured log agrees with the recorder's own count.
+    let mon = ftl.monitor_snapshot().unwrap();
+    assert_eq!(mon.alerts.len(), snap.alerts.len());
+    let breached_epochs: Vec<_> =
+        mon.epochs.iter().filter(|e| !e.alerts.is_empty()).collect();
+    assert!(!breached_epochs.is_empty(), "per-epoch records lost their alerts");
+}

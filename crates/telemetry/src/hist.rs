@@ -114,6 +114,17 @@ impl Histogram {
         }
     }
 
+    /// Take the recorded contents as a fresh histogram, leaving `self`
+    /// empty and ready to record again. The epoch sampler uses this to
+    /// close a latency window at each epoch boundary: the returned
+    /// histogram is the finished epoch, `self` keeps recording the next
+    /// one, and merging every window back together reproduces the
+    /// uninterrupted histogram exactly (same counts, sum, min/max and
+    /// buckets — so the same quantiles).
+    pub fn reset_returning(&mut self) -> Histogram {
+        std::mem::take(self)
+    }
+
     /// Nearest-rank quantile estimate, `q` in `[0, 1]`.
     ///
     /// The rank is resolved to a bucket by walking the cumulative counts
@@ -269,6 +280,46 @@ mod tests {
         assert!(c.is_empty());
         c.merge(&a);
         assert_eq!(c, a);
+    }
+
+    #[test]
+    fn reset_returning_takes_contents_and_empties() {
+        let mut h = Histogram::new();
+        for v in [3u64, 50, 700] {
+            h.record(v);
+        }
+        let taken = h.reset_returning();
+        assert_eq!((taken.count, taken.sum, taken.min, taken.max), (3, 753, 3, 700));
+        assert!(h.is_empty());
+        assert_eq!(h, Histogram::new());
+        // The emptied histogram records cleanly again (min/max re-seed).
+        h.record(9);
+        assert_eq!((h.count, h.min, h.max), (1, 9, 9));
+    }
+
+    #[test]
+    fn merge_reset_round_trip_preserves_quantiles_exactly() {
+        // Record one stream of samples twice: once uninterrupted, once
+        // split into epoch windows by reset_returning, then merged back.
+        // The round trip must be lossless — identical struct, therefore
+        // identical quantiles at every q. This is the property the flight
+        // recorder's per-epoch latency windows rely on.
+        let samples: Vec<u64> = (1..=500u64).map(|i| (i * 7919) % 100_000).collect();
+        let mut continuous = Histogram::new();
+        let mut windowed = Histogram::new();
+        let mut merged = Histogram::new();
+        for (i, &v) in samples.iter().enumerate() {
+            continuous.record(v);
+            windowed.record(v);
+            if i % 37 == 36 {
+                merged.merge(&windowed.reset_returning());
+            }
+        }
+        merged.merge(&windowed.reset_returning());
+        assert_eq!(merged, continuous);
+        for q in [0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0] {
+            assert_eq!(merged.quantile(q), continuous.quantile(q), "q={q}");
+        }
     }
 
     #[test]

@@ -23,18 +23,24 @@ pub mod hist;
 pub mod json;
 pub mod percentile;
 pub mod prom;
+pub mod recorder;
 pub mod ring;
+pub mod slo;
 pub mod trace;
 
 pub use hist::{bucket_of, Histogram, HistogramSet};
 pub use json::Json;
 pub use percentile::{nearest_rank_index, percentile_sorted};
+pub use recorder::EpochRing;
 pub use ring::{CommandEvent, CommandRing};
+pub use slo::{Alert, AlertKind, AlertSeverity, EpochObservation, SloConfig};
 pub use trace::{apportion, Layer, Span, SpanId, Track, Tracer, NO_PARENT};
 
 /// Command classes recorded at the FTL boundary. Host-facing classes map
 /// 1:1 onto `BlockDevice` methods; `Gc`, `LogFlush`, `Checkpoint` and
-/// `Recovery` are the FTL's internal passes.
+/// `Recovery` are the FTL's internal passes. `Alert` events are not
+/// commands at all: the SLO engine records one per fired threshold so
+/// alerts interleave with the commands around them in the ring.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OpClass {
     Read,
@@ -50,6 +56,7 @@ pub enum OpClass {
     LogFlush,
     Checkpoint,
     Recovery,
+    Alert,
 }
 
 /// Traffic direction of an op class, for per-stream breakdowns.
@@ -62,7 +69,7 @@ pub enum Direction {
 
 impl OpClass {
     /// Every op class, in stable export order.
-    pub const ALL: [OpClass; 13] = [
+    pub const ALL: [OpClass; 14] = [
         OpClass::Read,
         OpClass::Write,
         OpClass::Trim,
@@ -76,6 +83,7 @@ impl OpClass {
         OpClass::LogFlush,
         OpClass::Checkpoint,
         OpClass::Recovery,
+        OpClass::Alert,
     ];
 
     /// Dense index into per-op arrays.
@@ -100,6 +108,7 @@ impl OpClass {
             OpClass::LogFlush => "log_flush",
             OpClass::Checkpoint => "checkpoint",
             OpClass::Recovery => "recovery",
+            OpClass::Alert => "alert",
         }
     }
 
@@ -109,7 +118,11 @@ impl OpClass {
     pub fn is_internal(self) -> bool {
         matches!(
             self,
-            OpClass::Gc | OpClass::LogFlush | OpClass::Checkpoint | OpClass::Recovery
+            OpClass::Gc
+                | OpClass::LogFlush
+                | OpClass::Checkpoint
+                | OpClass::Recovery
+                | OpClass::Alert
         )
     }
 
@@ -137,17 +150,36 @@ pub struct TelemetryConfig {
     pub ring_capacity: usize,
     /// Record causal spans ([`trace::Tracer`]) through every layer.
     pub trace: bool,
+    /// Flight-recorder epoch length in simulated nanoseconds (0 disables
+    /// the epoch sampler entirely — the default, and what `full()` keeps,
+    /// so monitoring stays strictly opt-in).
+    pub epoch_ns: u64,
+    /// How many sealed epoch records the rolling ring retains; older
+    /// epochs fold into the recorder's eviction accumulator.
+    pub epoch_ring: usize,
 }
 
 impl TelemetryConfig {
-    /// Everything on: histograms, a 256-event command ring, and tracing.
+    /// Everything point-in-time on: histograms, a 256-event command ring,
+    /// and tracing. The epoch sampler stays off.
     pub fn full() -> Self {
-        Self { histograms: true, ring_capacity: 256, trace: true }
+        Self { histograms: true, ring_capacity: 256, trace: true, ..Self::default() }
     }
 
     /// Counters plus span tracing (no histograms/ring).
     pub fn tracing() -> Self {
         Self { trace: true, ..Self::default() }
+    }
+
+    /// Longitudinal monitoring: everything `full()` enables plus the
+    /// epoch sampler at the given interval with a 4096-epoch ring.
+    pub fn monitoring(epoch_ns: u64) -> Self {
+        Self { epoch_ns, epoch_ring: 4096, ..Self::full() }
+    }
+
+    /// Whether the epoch sampler is configured on.
+    pub fn monitors(&self) -> bool {
+        self.epoch_ns > 0
     }
 }
 
@@ -222,6 +254,11 @@ pub struct Telemetry {
     blamed_bg: Vec<[u64; 3]>,
     current_stream: u32,
     ring: CommandRing,
+    /// Open per-epoch latency windows (host reads / host writes), drained
+    /// by the flight recorder at each epoch boundary via
+    /// [`Histogram::reset_returning`]. Only recorded when `epoch_ns > 0`.
+    win_read: Histogram,
+    win_write: Histogram,
 }
 
 impl Telemetry {
@@ -237,6 +274,8 @@ impl Telemetry {
             blamed_bg: vec![[0; 3]; 2],
             current_stream: STREAM_HOST,
             ring: CommandRing::new(cfg.ring_capacity),
+            win_read: Histogram::new(),
+            win_write: Histogram::new(),
         }
     }
 
@@ -307,6 +346,13 @@ impl Telemetry {
         if self.cfg.histograms {
             self.hists[op.index()].record(end_ns.saturating_sub(start_ns));
         }
+        if self.cfg.epoch_ns > 0 {
+            match op.direction() {
+                Direction::Read => self.win_read.record(end_ns.saturating_sub(start_ns)),
+                Direction::Write => self.win_write.record(end_ns.saturating_sub(start_ns)),
+                Direction::Other => {}
+            }
+        }
         if self.cfg.ring_capacity > 0 {
             self.ring.push(CommandEvent {
                 seq: self.commands,
@@ -341,6 +387,31 @@ impl Telemetry {
     /// the exact-sum invariant).
     pub fn blamed_total(&self) -> u64 {
         self.blamed_bg.iter().flat_map(|b| b.iter()).sum()
+    }
+
+    /// Raw per-stream WA-ledger state, in intern order: each entry is
+    /// `(foreground write pages, blamed background pages by BlameKind)`.
+    /// The flight recorder diffs consecutive read-outs to attribute each
+    /// epoch's background traffic.
+    pub fn wa_raw(&self) -> Vec<(u64, [u64; 3])> {
+        self.streams
+            .iter()
+            .enumerate()
+            .map(|(i, _)| (self.stream_counters[i][Direction::Write as usize].pages, self.blamed_bg[i]))
+            .collect()
+    }
+
+    /// Interned stream labels, in intern order.
+    pub fn stream_labels(&self) -> &[String] {
+        &self.streams
+    }
+
+    /// Close the current epoch's latency windows, returning the finished
+    /// `(reads, writes)` histograms and leaving fresh empty windows
+    /// recording. Merging every window returned over a run reproduces the
+    /// run-wide histograms exactly.
+    pub fn take_epoch_windows(&mut self) -> (Histogram, Histogram) {
+        (self.win_read.reset_returning(), self.win_write.reset_returning())
     }
 
     /// A point-in-time copy of everything collected so far.
@@ -383,6 +454,8 @@ impl Telemetry {
             queue: QueueGauges::default(),
             placement: PlacementGauges::default(),
             snapshots: SnapshotGauges::default(),
+            health: HealthGauges::default(),
+            alerts: Vec::new(),
             events: self.ring.events(),
         }
     }
@@ -542,6 +615,33 @@ pub struct UnitUtilization {
     pub busy_ns: u64,
 }
 
+/// Device health/wear gauges in a [`Snapshot`]. Filled by the device
+/// from its wear model (the FTL owns the erase counts); all zero for
+/// bare `Telemetry` snapshots.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HealthGauges {
+    /// Fewest erases of any data block.
+    pub wear_min: u64,
+    /// Most erases of any data block.
+    pub wear_max: u64,
+    /// Mean erases per data block.
+    pub wear_mean: f64,
+    /// Population standard deviation of per-block erase counts.
+    pub wear_stddev: f64,
+    /// Wear-leveling skew: max/mean erases (1.0 = perfectly even,
+    /// 0.0 = nothing erased yet).
+    pub wear_skew: f64,
+    /// Data blocks currently free.
+    pub free_blocks: u64,
+    /// Data blocks total.
+    pub data_blocks: u64,
+    /// SMART-style remaining-life fraction in `[0, 1]`:
+    /// `1 - mean_erases / endurance_cycles`.
+    pub remaining_life: f64,
+    /// The rated program/erase endurance the estimate assumes.
+    pub endurance_cycles: u64,
+}
+
 /// A point-in-time copy of a device's telemetry, ready for export.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Snapshot {
@@ -568,6 +668,12 @@ pub struct Snapshot {
     /// Device-snapshot gauges (filled by a snapshot-capable device; all
     /// zero otherwise).
     pub snapshots: SnapshotGauges,
+    /// Health/wear gauges (filled by the device's wear model; all zero
+    /// for bare `Telemetry` snapshots).
+    pub health: HealthGauges,
+    /// SLO alerts fired so far (filled by the device's flight recorder;
+    /// empty when monitoring is off).
+    pub alerts: Vec<Alert>,
     /// Retained command events, oldest first.
     pub events: Vec<CommandEvent>,
 }
@@ -698,6 +804,18 @@ impl Snapshot {
             ("gc_budget_deferrals", count(self.placement.gc_budget_deferrals)),
             ("classes", placement_classes),
         ]);
+        let health = Json::obj(vec![
+            ("wear_min", count(self.health.wear_min)),
+            ("wear_max", count(self.health.wear_max)),
+            ("wear_mean", Json::Num(self.health.wear_mean)),
+            ("wear_stddev", Json::Num(self.health.wear_stddev)),
+            ("wear_skew", Json::Num(self.health.wear_skew)),
+            ("free_blocks", count(self.health.free_blocks)),
+            ("data_blocks", count(self.health.data_blocks)),
+            ("remaining_life", Json::Num(self.health.remaining_life)),
+            ("endurance_cycles", count(self.health.endurance_cycles)),
+        ]);
+        let alerts = Json::Arr(self.alerts.iter().map(Alert::to_json).collect());
         let snapshots = Json::obj(vec![
             ("live", count(self.snapshots.live)),
             ("frozen_pages", count(self.snapshots.frozen_pages)),
@@ -719,6 +837,8 @@ impl Snapshot {
             ("queue", queue),
             ("placement", placement),
             ("snapshots", snapshots),
+            ("health", health),
+            ("alerts", alerts),
             ("events", events),
         ])
     }
@@ -879,12 +999,66 @@ mod tests {
             ops.get("checkpoint").and_then(|c| c.get("latency_ns")).and_then(|l| l.get("max")).and_then(Json::as_u64),
             Some(60)
         );
-        // All 13 op classes and the interned stream are present.
+        // All op classes and the interned stream are present.
         if let Json::Obj(fields) = ops {
             assert_eq!(fields.len(), OpClass::ALL.len());
         } else {
             panic!("ops must be an object");
         }
         assert!(back.get("streams").and_then(|s| s.get("db")).is_some());
+    }
+
+    #[test]
+    fn epoch_windows_gated_on_epoch_ns() {
+        // Off (even with full()): windows stay empty.
+        let mut off = Telemetry::new(TelemetryConfig::full());
+        off.record(OpClass::Write, 0, 1, 0, 100, true);
+        let (r, w) = off.take_epoch_windows();
+        assert!(r.is_empty() && w.is_empty());
+
+        // On: reads and writes land in their direction's window; Other
+        // direction (and alert events) never do.
+        let mut t = Telemetry::new(TelemetryConfig::monitoring(1_000));
+        t.record(OpClass::Write, 0, 1, 0, 100, true);
+        t.record(OpClass::WriteAtomic, 0, 2, 100, 250, true);
+        t.record(OpClass::Read, 0, 1, 250, 300, true);
+        t.record(OpClass::Flush, 0, 0, 300, 400, true);
+        t.record(OpClass::Gc, 0, 4, 400, 500, true);
+        let (r1, w1) = t.take_epoch_windows();
+        assert_eq!((r1.count, w1.count), (1, 2));
+        assert_eq!(w1.max, 150);
+        // Windows reset: the next epoch starts empty, and merging the
+        // per-epoch windows reproduces the uninterrupted histograms.
+        t.record(OpClass::Write, 0, 1, 500, 900, true);
+        let (r2, w2) = t.take_epoch_windows();
+        assert!(r2.is_empty());
+        let mut merged = w1.clone();
+        merged.merge(&w2);
+        let snap = t.snapshot();
+        let mut runwide = snap.op(OpClass::Write).hist.clone();
+        runwide.merge(&snap.op(OpClass::WriteAtomic).hist);
+        assert_eq!(merged, runwide);
+    }
+
+    #[test]
+    fn monitoring_config_builds_on_full() {
+        let cfg = TelemetryConfig::monitoring(5_000_000);
+        assert!(cfg.histograms && cfg.trace && cfg.ring_capacity == 256);
+        assert_eq!(cfg.epoch_ns, 5_000_000);
+        assert!(cfg.monitors());
+        assert!(!TelemetryConfig::full().monitors());
+    }
+
+    #[test]
+    fn wa_raw_matches_snapshot_ledger() {
+        let mut t = Telemetry::default();
+        let db = t.intern("db");
+        t.set_stream(db);
+        t.record(OpClass::Write, 0, 10, 0, 0, true);
+        t.blame(db, BlameKind::Gc, 4);
+        let raw = t.wa_raw();
+        assert_eq!(raw.len(), t.stream_labels().len());
+        assert_eq!(raw[db as usize], (10, [4, 0, 0]));
+        assert_eq!(t.stream_labels()[db as usize], "db");
     }
 }

@@ -177,6 +177,55 @@ pub fn render(snap: &Snapshot) -> String {
         ));
     }
 
+    if snap.health.data_blocks > 0 {
+        out.push_str("# HELP share_wear_erases_min Fewest erases of any data block.\n");
+        out.push_str("# TYPE share_wear_erases_min gauge\n");
+        out.push_str(&format!("share_wear_erases_min {}\n", snap.health.wear_min));
+        out.push_str("# HELP share_wear_erases_max Most erases of any data block.\n");
+        out.push_str("# TYPE share_wear_erases_max gauge\n");
+        out.push_str(&format!("share_wear_erases_max {}\n", snap.health.wear_max));
+        out.push_str("# HELP share_wear_erases_mean Mean erases per data block.\n");
+        out.push_str("# TYPE share_wear_erases_mean gauge\n");
+        out.push_str(&format!("share_wear_erases_mean {}\n", snap.health.wear_mean));
+        out.push_str("# HELP share_wear_erases_stddev Standard deviation of per-block erase counts.\n");
+        out.push_str("# TYPE share_wear_erases_stddev gauge\n");
+        out.push_str(&format!("share_wear_erases_stddev {}\n", snap.health.wear_stddev));
+        out.push_str("# HELP share_wear_skew Wear-leveling skew (max/mean erases; 1 = even).\n");
+        out.push_str("# TYPE share_wear_skew gauge\n");
+        out.push_str(&format!("share_wear_skew {}\n", snap.health.wear_skew));
+        out.push_str("# HELP share_free_blocks Data blocks currently free.\n");
+        out.push_str("# TYPE share_free_blocks gauge\n");
+        out.push_str(&format!("share_free_blocks {}\n", snap.health.free_blocks));
+        out.push_str("# HELP share_data_blocks Data blocks total.\n");
+        out.push_str("# TYPE share_data_blocks gauge\n");
+        out.push_str(&format!("share_data_blocks {}\n", snap.health.data_blocks));
+        out.push_str("# HELP share_remaining_life SMART-style remaining-life fraction (1 = new).\n");
+        out.push_str("# TYPE share_remaining_life gauge\n");
+        out.push_str(&format!("share_remaining_life {}\n", snap.health.remaining_life));
+    }
+
+    if !snap.alerts.is_empty() {
+        out.push_str("# HELP share_alerts_total SLO alerts fired, by threshold kind and severity.\n");
+        out.push_str("# TYPE share_alerts_total counter\n");
+        for kind in crate::AlertKind::ALL {
+            for severity in [crate::AlertSeverity::Warning, crate::AlertSeverity::Critical] {
+                let n = snap
+                    .alerts
+                    .iter()
+                    .filter(|a| a.kind == kind && a.severity == severity)
+                    .count() as u64;
+                if n > 0 {
+                    out.push_str(&format!(
+                        "share_alerts_total{{kind=\"{}\",severity=\"{}\"}} {}\n",
+                        kind.name(),
+                        severity.name(),
+                        n
+                    ));
+                }
+            }
+        }
+    }
+
     if !snap.units.is_empty() {
         out.push_str("# HELP share_unit_busy_ns_total Simulated busy time per NAND channel/way.\n");
         out.push_str("# TYPE share_unit_busy_ns_total counter\n");
@@ -365,6 +414,61 @@ mod tests {
         assert!(text.contains("share_stream_bg_pages_total{stream=\"db\",cause=\"log_flush\"} 0\n"));
         assert!(text.contains("share_unit_busy_ns_total{channel=\"0\",way=\"0\"} 500\n"));
         assert!(text.contains("share_unit_utilization{channel=\"1\",way=\"0\"} 0.25\n"));
+    }
+
+    #[test]
+    fn renders_health_gauges_and_alert_counts_when_present() {
+        use crate::{Alert, AlertKind, AlertSeverity, HealthGauges};
+        let t = Telemetry::default();
+        let mut snap = t.snapshot();
+        // Bare snapshot: neither block appears.
+        let bare = snap.to_prometheus();
+        assert!(!bare.contains("share_wear_") && !bare.contains("share_alerts_total"));
+        snap.health = HealthGauges {
+            wear_min: 2,
+            wear_max: 9,
+            wear_mean: 4.5,
+            wear_stddev: 1.25,
+            wear_skew: 2.0,
+            free_blocks: 17,
+            data_blocks: 64,
+            remaining_life: 0.9985,
+            endurance_cycles: 3000,
+        };
+        snap.alerts = vec![
+            Alert {
+                epoch: 1,
+                ns: 10,
+                kind: AlertKind::FreeBlocks,
+                severity: AlertSeverity::Critical,
+                value: 1.0,
+                threshold: 4.0,
+            },
+            Alert {
+                epoch: 2,
+                ns: 20,
+                kind: AlertKind::FreeBlocks,
+                severity: AlertSeverity::Critical,
+                value: 0.0,
+                threshold: 4.0,
+            },
+            Alert {
+                epoch: 2,
+                ns: 20,
+                kind: AlertKind::GcStall,
+                severity: AlertSeverity::Warning,
+                value: 9.0,
+                threshold: 5.0,
+            },
+        ];
+        let text = snap.to_prometheus();
+        assert!(text.contains("share_wear_erases_max 9\n"));
+        assert!(text.contains("share_wear_skew 2\n"));
+        assert!(text.contains("share_free_blocks 17\n"));
+        assert!(text.contains("share_remaining_life 0.9985\n"));
+        assert!(text.contains("share_alerts_total{kind=\"free_blocks\",severity=\"critical\"} 2\n"));
+        assert!(text.contains("share_alerts_total{kind=\"gc_stall\",severity=\"warning\"} 1\n"));
+        assert!(!text.contains("severity=\"warning\"} 0"));
     }
 
     #[test]

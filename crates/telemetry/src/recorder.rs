@@ -1,0 +1,100 @@
+//! Fixed-capacity rolling ring for epoch records.
+//!
+//! The flight recorder seals one record per epoch; a long soak would grow
+//! an unbounded vector, so records land in this ring instead. `push`
+//! returns the record it evicted (if the ring was full) so the caller can
+//! fold the evicted epoch's deltas into an accumulator — that is how the
+//! recorder keeps the standing guarantee that *evicted + retained +
+//! current-partial deltas sum exactly to the cumulative counters* even
+//! after arbitrarily many epochs have rolled off.
+
+use std::collections::VecDeque;
+
+/// A bounded FIFO of epoch records. Capacity 0 is legal and keeps
+/// nothing (every push evicts its own record immediately).
+#[derive(Debug, Clone)]
+pub struct EpochRing<T> {
+    cap: usize,
+    buf: VecDeque<T>,
+    evicted: u64,
+}
+
+impl<T> EpochRing<T> {
+    /// An empty ring holding at most `cap` records.
+    pub fn new(cap: usize) -> Self {
+        Self { cap, buf: VecDeque::with_capacity(cap.min(4096)), evicted: 0 }
+    }
+
+    /// Append a record, returning the oldest one if the ring was full.
+    pub fn push(&mut self, record: T) -> Option<T> {
+        if self.cap == 0 {
+            self.evicted += 1;
+            return Some(record);
+        }
+        let out = if self.buf.len() == self.cap {
+            self.evicted += 1;
+            self.buf.pop_front()
+        } else {
+            None
+        };
+        self.buf.push_back(record);
+        out
+    }
+
+    /// Retained records, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.buf.iter()
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// How many records have rolled off the front since creation.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_newest_cap_records() {
+        let mut ring = EpochRing::new(3);
+        assert!(ring.is_empty());
+        for i in 0..5u32 {
+            let out = ring.push(i);
+            if i < 3 {
+                assert_eq!(out, None);
+            } else {
+                assert_eq!(out, Some(i - 3), "oldest evicted in order");
+            }
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.capacity(), 3);
+        assert_eq!(ring.evicted(), 2);
+        assert_eq!(ring.iter().copied().collect::<Vec<_>>(), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_capacity_evicts_everything() {
+        let mut ring = EpochRing::new(0);
+        assert_eq!(ring.push(7), Some(7));
+        assert_eq!(ring.push(8), Some(8));
+        assert!(ring.is_empty());
+        assert_eq!(ring.evicted(), 2);
+    }
+}

@@ -82,4 +82,20 @@ SHARE_METRICS_DIR="$METRICS_TMP" ./target/release/metrics_smoke
 echo "== trace smoke (span tracer + Chrome export well-formedness) =="
 SHARE_METRICS_DIR="$METRICS_TMP" ./target/release/trace_smoke
 
+# Health smoke tier: age a 4-channel device with the flight recorder on,
+# record the wear histogram, skew, remaining life and downsampled
+# free-block/GC time series into BENCH_share.json (health_aging). Fails
+# unless the device actually aged, the sealed epoch deltas sum exactly to
+# the cumulative device counters, wear skew stays under the pinned bound,
+# and zero critical SLO alerts fired.
+echo "== health smoke (wear model + flight recorder + SLO engine) =="
+./target/release/bench_health
+
+# Baseline freshness gate (must run last, after every tier above has
+# re-recorded its scenario at HEAD): fails if any verify-tier baseline in
+# BENCH_share.json is missing or stamped with a different git revision
+# than HEAD. SHARE_ALLOW_STALE=1 downgrades to a warning.
+echo "== baseline freshness gate (BENCH_share.json recorded_rev) =="
+./target/release/bench_stale_gate
+
 echo "verify: OK"
